@@ -1,0 +1,150 @@
+//! Criterion micro-benchmarks of the real-thread primitives:
+//! process-counter operations and barrier episodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasync_core::barrier::{ButterflyBarrier, CounterBarrier, DisseminationBarrier, PhaseBarrier};
+use datasync_core::handle::ProcessHandle;
+use datasync_core::pc::PcPool;
+use std::time::Duration;
+
+fn bench_pc_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pc_primitives");
+    g.measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+
+    g.bench_function("mark+transfer (uncontended)", |b| {
+        b.iter_batched(
+            || PcPool::new(16),
+            |pool| {
+                let mut h = ProcessHandle::load_index(&pool, 0);
+                h.mark_pc(1);
+                h.mark_pc(2);
+                h.transfer_pc();
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("wait_pc satisfied", |b| {
+        let pool = PcPool::new(16);
+        pool.set_pc(3, 5);
+        b.iter(|| pool.wait_pc(4, 1, 3));
+    });
+
+    g.bench_function("handoff chain x1000", |b| {
+        b.iter_batched(
+            || PcPool::new(8),
+            |pool| {
+                for pid in 0..1000u64 {
+                    let mut h = ProcessHandle::load_index(&pool, pid);
+                    h.mark_pc(1);
+                    h.transfer_pc();
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_100_episodes");
+    g.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10);
+
+    for p in [2usize, 4, 8] {
+        let run = |barrier: &dyn PhaseBarrier| {
+            std::thread::scope(|s| {
+                for pid in 0..p {
+                    s.spawn(move || {
+                        for _ in 0..100 {
+                            barrier.wait(pid);
+                        }
+                    });
+                }
+            });
+        };
+        g.bench_with_input(BenchmarkId::new("butterfly", p), &p, |b, &p| {
+            b.iter_batched(
+                || ButterflyBarrier::new(p),
+                |bar| run(&bar),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        g.bench_with_input(BenchmarkId::new("dissemination", p), &p, |b, &p| {
+            b.iter_batched(
+                || DisseminationBarrier::new(p),
+                |bar| run(&bar),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        g.bench_with_input(BenchmarkId::new("counter", p), &p, |b, &p| {
+            b.iter_batched(
+                || CounterBarrier::new(p),
+                |bar| run(&bar),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+/// The E4 story on real threads: one slow iteration; statement counters
+/// serialize every later iteration's update, process counters do not.
+fn bench_sc_vs_pc_skew(c: &mut Criterion) {
+    use datasync_core::sc::ScPool;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let n = 400u64;
+    let threads = 4;
+    let slow = move |pid: u64| {
+        if pid == 50 {
+            // ~30us of real work
+            let mut h = 0u64;
+            for i in 0..60_000u64 {
+                h = h.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(h);
+        }
+    };
+
+    let mut g = c.benchmark_group("skewed_chain_real_threads");
+    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10);
+
+    g.bench_function("statement-counters", |b| {
+        b.iter(|| {
+            let scs = ScPool::new(1);
+            let next = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let (scs, next) = (&scs, &next);
+                    s.spawn(move || loop {
+                        let pid = next.fetch_add(1, Ordering::Relaxed);
+                        if pid >= n {
+                            return;
+                        }
+                        scs.await_sc(0, pid, 4);
+                        slow(pid);
+                        scs.advance(0, pid); // serial handoff
+                    });
+                }
+            });
+        });
+    });
+
+    g.bench_function("process-counters", |b| {
+        b.iter(|| {
+            datasync_core::doacross::Doacross::new(n).threads(threads).pcs(16).run(
+                |pid, ctx| {
+                    ctx.wait(4, 1);
+                    slow(pid);
+                    ctx.mark(1); // independent per-iteration mark
+                },
+            );
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pc_ops, bench_barriers, bench_sc_vs_pc_skew);
+criterion_main!(benches);

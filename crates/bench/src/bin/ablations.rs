@@ -1,0 +1,9 @@
+//! A1-A4: ablation sweeps over the simulator's design axes.
+fn main() {
+    println!("{}", datasync_bench::ablations::banked_memory(48, 4, 8));
+    println!("{}", datasync_bench::ablations::spin_retry(8, &[1, 2, 4, 8, 16]));
+    println!("{}", datasync_bench::ablations::x_to_p_grid(48, &[2, 4, 8], &[1, 2, 4]));
+    println!("{}", datasync_bench::ablations::dispatch_cost(48, 4, &[0, 2, 8, 16]));
+    println!("{}", datasync_bench::ablations::schedule_order(48, 4, 8));
+    println!("{}", datasync_bench::ablations::unroll_sweep(48, 4, &[1, 2, 4, 8]));
+}

@@ -1,0 +1,5 @@
+//! E10: FFT phases — pairwise vs global-barrier synchronization.
+fn main() {
+    println!("{}", datasync_bench::ex5::sim_experiment(8, 12, 12));
+    println!("{}", datasync_bench::ex5::fft_experiment(1 << 14, &[1, 2, 4, 8]));
+}

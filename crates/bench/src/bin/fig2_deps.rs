@@ -1,0 +1,4 @@
+//! E1: prints the Fig 2.1 dependence graph reproduction.
+fn main() {
+    println!("{}", datasync_bench::fig2::run());
+}

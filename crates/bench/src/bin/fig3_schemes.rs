@@ -1,0 +1,5 @@
+//! E2/E3/E12: the Section 3 scheme comparison and storage scaling.
+fn main() {
+    println!("{}", datasync_bench::fig3::comparison(64, 4, 8));
+    println!("{}", datasync_bench::fig3::storage_scaling(&[32, 64, 128], 4, 8));
+}

@@ -1,0 +1,5 @@
+//! E4/E5: delay injection and the X sweep.
+fn main() {
+    println!("{}", datasync_bench::fig4::delay_injection(64, 8, 16, 400));
+    println!("{}", datasync_bench::fig4::x_sweep(64, 4, &[1, 2, 4, 8, 16]));
+}

@@ -1,0 +1,5 @@
+//! E6: wavefront vs asynchronous pipelining with a G sweep.
+fn main() {
+    println!("{}", datasync_bench::fig51::run_experiment(33, 4, 24, &[1, 2, 4, 8]));
+    println!("{}", datasync_bench::fig51::p_sweep(33, 24, &[1, 2, 4, 8, 16]));
+}

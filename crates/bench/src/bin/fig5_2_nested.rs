@@ -1,0 +1,4 @@
+//! E7: nested Doacross loops — linearized pids vs boundary checks.
+fn main() {
+    println!("{}", datasync_bench::fig52::run_experiment(8, 10, 4));
+}

@@ -1,0 +1,4 @@
+//! E8: dependence sources in branches.
+fn main() {
+    println!("{}", datasync_bench::fig53::run_experiment(64, 4));
+}

@@ -1,0 +1,4 @@
+//! E9: butterfly vs counter barrier, hot-spot processor sweep.
+fn main() {
+    println!("{}", datasync_bench::fig54::run_experiment(&[2, 4, 8, 16, 32], 8));
+}

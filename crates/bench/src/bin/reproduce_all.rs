@@ -1,0 +1,14 @@
+//! Runs every experiment; `--markdown` emits EXPERIMENTS.md-ready tables,
+//! `--quick` shrinks problem sizes.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let quick = args.iter().any(|a| a == "--quick");
+    for table in datasync_bench::run_all(quick) {
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            println!("{table}");
+        }
+    }
+}

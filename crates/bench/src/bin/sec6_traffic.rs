@@ -1,0 +1,4 @@
+//! E11: sync-bus traffic and write coalescing.
+fn main() {
+    println!("{}", datasync_bench::sec6::run_experiment(64, 4));
+}

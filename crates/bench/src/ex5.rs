@@ -1,0 +1,112 @@
+//! E10 / Example 5 — phase-structured computation (FFT): pairwise
+//! synchronization vs a global barrier per stage.
+
+use crate::table::{f, Table};
+use datasync_core::phased::PhaseSync;
+use datasync_sim::{run, MachineConfig, SyncTransport};
+use datasync_workloads::barrier_sim::{
+    barrier_violations, barrier_workload, pairwise_violations, pairwise_workload, BarrierKind,
+};
+use datasync_workloads::fft::{max_error, parallel_fft, sequential_fft};
+use datasync_workloads::Complex;
+use std::time::Instant;
+
+/// Simulator comparison: `phases` phases with skewed compute; pairwise
+/// partner sync vs global barriers.
+pub fn sim_experiment(procs: usize, phases: usize, skew: u32) -> Table {
+    let compute = move |p: usize, e: usize| 20 + (((p * 13 + e * 5) % 8) as u32 * skew);
+    let mut t = Table::new(
+        "E10a / Ex 5 (sim)",
+        &format!("phase-structured computation (P={procs}, {phases} phases, skew {skew})"),
+        &["sync", "makespan", "cycles/phase", "spin cycles", "violations"],
+    );
+    {
+        let w = pairwise_workload(procs, phases, compute);
+        let out = run(&MachineConfig::with_processors(procs), &w).expect("sim failed");
+        t.row(vec![
+            "pairwise (PC, Example 5)".into(),
+            out.stats.makespan.to_string(),
+            f(out.stats.makespan as f64 / phases as f64),
+            out.stats.total_spin().to_string(),
+            pairwise_violations(&out.trace, procs, phases).to_string(),
+        ]);
+    }
+    for (kind, transport, label) in [
+        (BarrierKind::Butterfly, SyncTransport::DedicatedBus, "global butterfly barrier"),
+        (BarrierKind::Counter, SyncTransport::SharedMemory, "global counter barrier (hot-spot)"),
+    ] {
+        let w = barrier_workload(procs, phases, kind, compute);
+        let out = run(&MachineConfig::with_processors(procs).transport(transport), &w)
+            .expect("sim failed");
+        t.row(vec![
+            label.into(),
+            out.stats.makespan.to_string(),
+            f(out.stats.makespan as f64 / phases as f64),
+            out.stats.total_spin().to_string(),
+            barrier_violations(&out.trace, procs, phases).to_string(),
+        ]);
+    }
+    t.note("Paper: 'since communication only takes place between two processors in each stage, there is no need for a global barrier as in [7]' — pairwise waiting absorbs skew that a barrier serializes.");
+    t
+}
+
+/// Real-thread wall-clock FFT comparison.
+pub fn fft_experiment(n: usize, workers: &[usize]) -> Table {
+    let x: Vec<Complex> = (0..n)
+        .map(|i| {
+            let ti = i as f64;
+            Complex::new((ti * 0.031).sin() + 0.3 * (ti * 0.37).cos(), (ti * 0.011).sin())
+        })
+        .collect();
+    let reference = sequential_fft(&x);
+
+    let mut t = Table::new(
+        "E10b / Ex 5 (threads)",
+        &format!("parallel FFT wall-clock, n = {n} points"),
+        &["workers", "sync", "time (ms)", "max error vs sequential"],
+    );
+    for &w in workers {
+        for sync in [PhaseSync::Pairwise, PhaseSync::GlobalDissemination, PhaseSync::GlobalCounter] {
+            // Warm-up + best-of-3 to de-noise.
+            let mut best = f64::INFINITY;
+            let mut err = 0.0;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let out = parallel_fft(&x, w, sync);
+                let dt = t0.elapsed().as_secs_f64() * 1e3;
+                best = best.min(dt);
+                err = max_error(&out, &reference);
+            }
+            t.row(vec![w.to_string(), sync.name().into(), format!("{best:.2}"), format!("{err:.1e}")]);
+        }
+    }
+    t.note("All policies must agree bit-for-bit with the sequential FFT (error 0).");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pairwise_beats_barriers_under_skew() {
+        let t = super::sim_experiment(8, 10, 12);
+        let get = |name: &str| -> u64 {
+            t.rows.iter().find(|r| r[0].starts_with(name)).unwrap()[1].parse().unwrap()
+        };
+        let pw = get("pairwise");
+        let bf = get("global butterfly");
+        let ctr = get("global counter");
+        assert!(pw <= bf, "pairwise {pw} vs butterfly {bf}");
+        assert!(bf < ctr, "butterfly {bf} vs counter {ctr}");
+        for r in &t.rows {
+            assert_eq!(r.last().unwrap(), "0");
+        }
+    }
+
+    #[test]
+    fn fft_table_has_zero_error() {
+        let t = super::fft_experiment(1024, &[1, 4]);
+        for r in &t.rows {
+            assert!(r[3].starts_with("0.0e0") || r[3] == "0e0", "error {} for {:?}", r[3], r);
+        }
+    }
+}

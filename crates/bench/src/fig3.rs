@@ -1,0 +1,107 @@
+//! E2 / E3 / E12 — the Section 3 scheme comparison on the running
+//! example: synchronization activity (Fig 3.1, Fig 3.2) and storage /
+//! initialization scaling.
+
+use crate::table::{f, Table};
+use datasync_loopir::analysis::analyze;
+use datasync_loopir::space::IterSpace;
+use datasync_loopir::workpatterns::fig21_loop;
+use datasync_schemes::compare::compare_all;
+use datasync_sim::MachineConfig;
+
+/// Runs every scheme on Fig 2.1's loop for one `n`.
+pub fn comparison(n: i64, procs: usize, x: usize) -> Table {
+    let nest = fig21_loop(n);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let base = MachineConfig::with_processors(procs);
+    let rows = compare_all(&nest, &graph, &space, &base, x).expect("simulation failed");
+    let mut t = Table::new(
+        "E2-E3 / Fig 3.1-3.2",
+        &format!("all schemes on the Fig 2.1 loop (N={n}, P={procs}, X={x})"),
+        &[
+            "scheme", "sync vars", "init ops", "extra cells", "makespan", "speedup",
+            "util %", "data tx", "polls", "broadcasts", "violations",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.scheme,
+            r.sync_vars.to_string(),
+            r.init_ops.to_string(),
+            r.extra_cells.to_string(),
+            r.makespan.to_string(),
+            f(r.speedup),
+            f(r.utilization * 100.0),
+            r.data_transactions.to_string(),
+            r.spin_polls.to_string(),
+            r.sync_broadcasts.to_string(),
+            r.violations.to_string(),
+        ]);
+    }
+    t.note("Paper: data-oriented schemes need keys per element (storage ~ N) and costly initialization; the instance-based scheme additionally multiplies data cells; SCs scale with source statements; PCs with X only.");
+    t
+}
+
+/// The E12 storage-scaling table: sync variables vs N per scheme.
+pub fn storage_scaling(ns: &[i64], procs: usize, x: usize) -> Table {
+    let mut t = Table::new(
+        "E12 / Sec 3+6",
+        "synchronization-variable storage vs loop length",
+        &["scheme", "N=first", "N=mid", "N=last"],
+    );
+    assert_eq!(ns.len(), 3, "expects three N values");
+    let mut per_scheme: Vec<(String, Vec<u64>)> = Vec::new();
+    for &n in ns {
+        let nest = fig21_loop(n);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let base = MachineConfig::with_processors(procs);
+        for r in compare_all(&nest, &graph, &space, &base, x).expect("simulation failed") {
+            match per_scheme.iter_mut().find(|(s, _)| *s == r.scheme) {
+                Some((_, v)) => v.push(r.sync_vars),
+                None => per_scheme.push((r.scheme, vec![r.sync_vars])),
+            }
+        }
+    }
+    for (scheme, vars) in per_scheme {
+        t.row(vec![
+            scheme,
+            vars[0].to_string(),
+            vars[1].to_string(),
+            vars[2].to_string(),
+        ]);
+    }
+    t.note(format!("N values: {ns:?}. Keys grow linearly with N; SCs and PCs are constant."));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn comparison_has_six_schemes_no_violations() {
+        let t = super::comparison(24, 4, 8);
+        assert_eq!(t.rows.len(), 6);
+        for r in &t.rows {
+            assert_eq!(r.last().unwrap(), "0", "{} has violations", r[0]);
+        }
+    }
+
+    #[test]
+    fn storage_scales_as_claimed() {
+        let t = super::storage_scaling(&[16, 32, 64], 4, 8);
+        let find = |name: &str| -> Vec<u64> {
+            t.rows
+                .iter()
+                .find(|r| r[0].starts_with(name))
+                .map(|r| r[1..].iter().map(|c| c.parse().unwrap()).collect())
+                .unwrap()
+        };
+        let keys = find("reference-based");
+        assert!(keys[2] > keys[0], "keys must grow with N");
+        let pcs = find("process-oriented (X=8, improved)");
+        assert_eq!(pcs, vec![8, 8, 8], "PCs independent of N");
+        let scs = find("statement-oriented");
+        assert_eq!(scs, vec![4, 4, 4], "SCs independent of N");
+    }
+}

@@ -1,0 +1,82 @@
+//! E9 / Fig 5.4 — butterfly barrier vs centralized counter barrier:
+//! the hot-spot effect over a processor sweep.
+
+use crate::table::{f, Table};
+use datasync_sim::{run, MachineConfig, SyncTransport};
+use datasync_workloads::barrier_sim::{barrier_violations, barrier_workload, BarrierKind};
+
+/// One barrier configuration's measurements.
+fn measure(
+    procs: usize,
+    episodes: usize,
+    kind: BarrierKind,
+    transport: SyncTransport,
+) -> (u64, u64, u64, usize) {
+    let w = barrier_workload(procs, episodes, kind, |p, e| 20 + ((p * 7 + e * 3) % 8) as u32);
+    let out = run(&MachineConfig::with_processors(procs).transport(transport), &w)
+        .expect("sim failed");
+    let violations = barrier_violations(&out.trace, procs, episodes);
+    (out.stats.makespan, out.stats.spin_polls, out.stats.data_transactions, violations)
+}
+
+/// The processor sweep: counter-on-memory (the hot spot), counter over
+/// the sync bus, and the butterfly on both transports.
+pub fn run_experiment(procs: &[usize], episodes: usize) -> Table {
+    let mut t = Table::new(
+        "E9 / Fig 5.4",
+        &format!("barrier latency sweep ({episodes} episodes, skewed compute)"),
+        &["P", "barrier", "transport", "makespan", "cycles/episode", "spin polls", "violations"],
+    );
+    for &p in procs {
+        for (kind, transport) in [
+            (BarrierKind::Counter, SyncTransport::SharedMemory),
+            (BarrierKind::Counter, SyncTransport::DedicatedBus),
+            (BarrierKind::Butterfly, SyncTransport::DedicatedBus),
+        ] {
+            let (makespan, polls, _tx, violations) = measure(p, episodes, kind, transport);
+            t.row(vec![
+                p.to_string(),
+                kind.name().into(),
+                format!("{transport:?}"),
+                makespan.to_string(),
+                f(makespan as f64 / episodes as f64),
+                polls.to_string(),
+                violations.to_string(),
+            ]);
+        }
+    }
+    t.note("Paper (Example 4, citing Brooks [6]): the butterfly removes the hot-spot effect and 'performs better than a counter-based barrier even in a small bus-based system', needing no atomic operation.");
+    t.note("Counter-on-memory polls the shared counter across the data bus: traffic and latency grow superlinearly with P.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterfly_beats_hotspot_counter_at_scale() {
+        let t = run_experiment(&[4, 16], 6);
+        let find = |p: &str, barrier: &str, transport: &str| -> u64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == p && r[1] == barrier && r[2].contains(transport))
+                .unwrap()[3]
+                .parse()
+                .unwrap()
+        };
+        assert!(find("16", "butterfly", "Dedicated") < find("16", "counter", "SharedMemory"));
+        // The hot-spot grows faster than the butterfly with P.
+        let growth_counter =
+            find("16", "counter", "SharedMemory") as f64 / find("4", "counter", "SharedMemory") as f64;
+        let growth_butterfly =
+            find("16", "butterfly", "Dedicated") as f64 / find("4", "butterfly", "Dedicated") as f64;
+        assert!(
+            growth_counter > growth_butterfly,
+            "counter growth {growth_counter:.2} should exceed butterfly {growth_butterfly:.2}"
+        );
+        for r in &t.rows {
+            assert_eq!(r.last().unwrap(), "0");
+        }
+    }
+}

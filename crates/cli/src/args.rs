@@ -1,0 +1,125 @@
+//! Minimal `--flag value` argument parsing (keeping the workspace inside
+//! the offline dependency allowlist).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options and bare
+/// `--switch` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// First positional argument.
+    pub command: String,
+    options: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Parsed {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Rejects missing subcommands, options without values and stray
+    /// positionals.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut it = args.iter().peekable();
+        let command = it.next().ok_or("missing subcommand")?.clone();
+        if command.starts_with('-') {
+            return Err(format!("expected a subcommand, got option '{command}'"));
+        }
+        let mut options = HashMap::new();
+        let mut switches = Vec::new();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{arg}'"));
+            };
+            if let Some((k, v)) = name.split_once('=') {
+                options.insert(k.to_string(), v.to_string());
+            } else if it.peek().is_some_and(|next| !next.starts_with("--")) {
+                options.insert(name.to_string(), it.next().expect("peeked").clone());
+            } else {
+                switches.push(name.to_string());
+            }
+        }
+        Ok(Self { command, options, switches })
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Integer option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unparsable values.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+        }
+    }
+
+    /// Bare switch presence.
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    /// Rejects unknown options/switches (catches typos).
+    ///
+    /// # Errors
+    ///
+    /// Lists the first unrecognized name.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), String> {
+        for k in self.options.keys().chain(self.switches.iter()) {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("unknown option '--{k}'"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Parsed, String> {
+        Parsed::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn basic_forms() {
+        let p = parse(&["simulate", "--loop", "fig21", "--n=64", "--timeline"]).unwrap();
+        assert_eq!(p.command, "simulate");
+        assert_eq!(p.get("loop"), Some("fig21"));
+        assert_eq!(p.get_u64("n", 0).unwrap(), 64);
+        assert!(p.has("timeline"));
+        assert!(!p.has("quick"));
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let p = parse(&["compare"]).unwrap();
+        assert_eq!(p.get_u64("n", 48).unwrap(), 48);
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--loop", "x"]).is_err());
+        assert!(parse(&["run", "extra"]).is_err());
+        let bad = parse(&["x", "--n", "abc"]).unwrap();
+        assert!(bad.get_u64("n", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_options_detected() {
+        let p = parse(&["analyze", "--typo", "3"]).unwrap();
+        assert!(p.expect_only(&["loop", "n"]).is_err());
+        assert!(p.expect_only(&["typo"]).is_ok());
+    }
+
+    #[test]
+    fn trailing_switch_then_option() {
+        let p = parse(&["simulate", "--quick", "--n", "8"]).unwrap();
+        assert!(p.has("quick"));
+        assert_eq!(p.get_u64("n", 0).unwrap(), 8);
+    }
+}

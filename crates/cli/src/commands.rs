@@ -1,0 +1,253 @@
+//! Subcommand implementations.
+
+use crate::args::Parsed;
+use datasync_loopir::analysis::analyze as analyze_deps;
+use datasync_loopir::covering::reduce;
+use datasync_loopir::ir::LoopNest;
+use datasync_loopir::plan::SyncPlan;
+use datasync_loopir::profit::analyze_doacross;
+use datasync_loopir::render::{render_doacross, render_loop};
+use datasync_loopir::space::IterSpace;
+use datasync_loopir::workpatterns;
+use datasync_schemes::scheme::Scheme;
+use datasync_schemes::{
+    BarrierPhased, InstanceBased, ProcessOriented, ReferenceBased, StatementOriented,
+};
+use datasync_sim::MachineConfig;
+use std::fmt::Write as _;
+
+/// Builds the selected example loop, or parses one from `--file`.
+fn build_loop(p: &Parsed) -> Result<LoopNest, String> {
+    if let Some(path) = p.get("file") {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read '{path}': {e}"))?;
+        return datasync_loopir::parse::parse_loop(&source).map_err(|e| e.to_string());
+    }
+    let n = p.get_u64("n", 48)? as i64;
+    let m = p.get_u64("m", 8)? as i64;
+    match p.get("loop").unwrap_or("fig21") {
+        "fig21" => Ok(workpatterns::fig21_loop(n)),
+        "relaxation" => Ok(workpatterns::example1_relaxation(n.max(3), 4)),
+        "nested" => Ok(workpatterns::example2_nested(n.max(2), m.max(2), 4)),
+        "branches" => Ok(workpatterns::example3_branches(n, 4)),
+        other => Err(format!("unknown loop '{other}' (fig21 | relaxation | nested | branches)")),
+    }
+}
+
+/// Builds the selected scheme.
+fn build_scheme(p: &Parsed, procs: usize, x: usize) -> Result<Box<dyn Scheme>, String> {
+    Ok(match p.get("scheme").unwrap_or("process") {
+        "process" => Box::new(ProcessOriented::new(x)),
+        "process-basic" => Box::new(ProcessOriented::basic(x)),
+        "statement" => Box::new(StatementOriented::new()),
+        "reference" => Box::new(ReferenceBased::new()),
+        "instance" => Box::new(InstanceBased::new()),
+        "barrier-phased" => {
+            if !procs.is_power_of_two() {
+                return Err("barrier-phased needs a power-of-two --procs".into());
+            }
+            Box::new(BarrierPhased::new(procs))
+        }
+        other => Err(format!(
+            "unknown scheme '{other}' (process | process-basic | statement | reference | instance | barrier-phased)"
+        ))?,
+    })
+}
+
+/// `datasync analyze`.
+pub fn analyze(p: &Parsed) -> Result<String, String> {
+    p.expect_only(&["loop", "file", "n", "m", "dot"])?;
+    let nest = build_loop(p)?;
+    let space = IterSpace::of(&nest);
+    let graph = analyze_deps(&nest);
+    let reduced = reduce(&nest, &graph);
+    let mut out = String::new();
+
+    let _ = writeln!(out, "== source ==\n{}", render_loop(&nest));
+    let _ = writeln!(out, "== dependences ({}) ==", graph.deps().len());
+    for d in graph.deps() {
+        let covered = if reduced.deps().contains(d) { "" } else { "   [covered]" };
+        let _ = writeln!(out, "  {d}{covered}");
+    }
+    if p.has("dot") {
+        let _ = writeln!(out, "\n== graphviz ==\n{}", graph.to_dot(&nest));
+    }
+    let linear = reduced.linearized(&space);
+    let plan = SyncPlan::build(&nest, &linear);
+    let _ = writeln!(out, "\n== Doacross transformation (process-oriented) ==");
+    let _ = writeln!(out, "{}", render_doacross(&nest, &plan));
+
+    let decision = analyze_doacross(&nest, &linear);
+    let n = space.count();
+    let _ = writeln!(
+        out,
+        "== profitability ==\n  iteration time: {} cycles, delay: {} cycles{}",
+        decision.iteration_time,
+        decision.delay,
+        if decision.doall { " (Doall: no carried dependences)" } else { "" }
+    );
+    for procs in [2u64, 4, 8] {
+        let _ = writeln!(
+            out,
+            "  P={procs}: estimated speedup {:.2}{}",
+            decision.speedup(n, procs),
+            if decision.profitable(n, procs, 1.5) { "  -> run as Doacross" } else { "" }
+        );
+    }
+    Ok(out)
+}
+
+/// `datasync simulate`.
+pub fn simulate(p: &Parsed) -> Result<String, String> {
+    p.expect_only(&["loop", "file", "n", "m", "scheme", "procs", "x", "banks", "timeline"])?;
+    let nest = build_loop(p)?;
+    let procs = p.get_u64("procs", 4)? as usize;
+    let x = p.get_u64("x", 2 * procs as u64)? as usize;
+    let scheme = build_scheme(p, procs, x)?;
+    let graph = analyze_deps(&nest);
+    let space = IterSpace::of(&nest);
+    let compiled = scheme.compile(&nest, &graph, &space);
+    let banks = p.get_u64("banks", 0)? as usize;
+    let memory_model = if banks == 0 {
+        datasync_sim::MemoryModel::BusHeld
+    } else {
+        datasync_sim::MemoryModel::Banked { banks }
+    };
+    let config = MachineConfig {
+        sync_transport: scheme.natural_transport(),
+        memory_model,
+        ..MachineConfig::with_processors(procs)
+    };
+    let out = compiled.run(&config).map_err(|e| e.to_string())?;
+    let violations = compiled.validate(&out);
+
+    let mut text = String::new();
+    let _ = writeln!(text, "scheme: {}   transport: {:?}", scheme.name(), config.sync_transport);
+    let _ = writeln!(
+        text,
+        "iterations: {}   processors: {procs}   sync vars: {}",
+        space.count(),
+        compiled.storage.vars
+    );
+    let _ = writeln!(text, "makespan: {} cycles   utilization: {:.1}%", out.stats.makespan, out.stats.utilization() * 100.0);
+    let _ = writeln!(
+        text,
+        "busy: {}   spin: {}   data tx: {}   broadcasts: {}   polls: {}",
+        out.stats.total_busy(),
+        out.stats.total_spin(),
+        out.stats.data_transactions,
+        out.stats.sync_broadcasts,
+        out.stats.spin_polls
+    );
+    let _ = writeln!(text, "violations: {}", violations.len());
+    for v in violations.iter().take(5) {
+        let _ = writeln!(text, "  {v}");
+    }
+    if p.has("timeline") {
+        let _ = writeln!(text, "\n{}", datasync_sim::render_timeline(&out.trace, procs, 100));
+    }
+    Ok(text)
+}
+
+/// `datasync compare`.
+pub fn compare(p: &Parsed) -> Result<String, String> {
+    p.expect_only(&["loop", "file", "n", "m", "procs", "x"])?;
+    let nest = build_loop(p)?;
+    let procs = p.get_u64("procs", 4)? as usize;
+    let x = p.get_u64("x", 2 * procs as u64)? as usize;
+    let graph = analyze_deps(&nest);
+    let space = IterSpace::of(&nest);
+    let base = MachineConfig::with_processors(procs);
+    let rows = datasync_schemes::compare::compare_all(&nest, &graph, &space, &base, x)
+        .map_err(|e| e.to_string())?;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "{:<34} {:>9} {:>9} {:>8} {:>7} {:>10}",
+        "scheme", "sync vars", "makespan", "speedup", "util%", "violations"
+    );
+    for r in rows {
+        let _ = writeln!(
+            text,
+            "{:<34} {:>9} {:>9} {:>8.2} {:>7.1} {:>10}",
+            r.scheme, r.sync_vars, r.makespan, r.speedup, r.utilization * 100.0, r.violations
+        );
+    }
+    Ok(text)
+}
+
+/// `datasync wavefront`.
+pub fn wavefront(p: &Parsed) -> Result<String, String> {
+    p.expect_only(&["loop", "file", "n", "m"])?;
+    let nest = build_loop(p)?;
+    if nest.depth() != 2 {
+        return Err("wavefront needs a depth-2 loop (--loop relaxation | nested)".into());
+    }
+    let graph = analyze_deps(&nest);
+    let space = IterSpace::of(&nest);
+    let mut text = String::new();
+    match datasync_loopir::wavefront::wavefront_schedule(&graph, &space) {
+        None => {
+            let _ = writeln!(text, "no legal wavefront schedule (serial chain in the graph)");
+        }
+        Some(ws) => {
+            let _ = writeln!(
+                text,
+                "lambda = ({}, {}): {} wavefronts, widest {} iterations, {} total",
+                ws.lambda.0,
+                ws.lambda.1,
+                ws.parallel_steps(),
+                ws.max_width(),
+                ws.total()
+            );
+            for (i, wave) in ws.waves.iter().enumerate().take(8) {
+                let _ = writeln!(text, "  wave {i:>3}: {} iterations", wave.len());
+            }
+            if ws.waves.len() > 8 {
+                let _ = writeln!(text, "  ... ({} more)", ws.waves.len() - 8);
+            }
+        }
+    }
+    Ok(text)
+}
+
+/// `datasync unroll`.
+pub fn unroll(p: &Parsed) -> Result<String, String> {
+    p.expect_only(&["loop", "file", "n", "factor"])?;
+    let nest = build_loop(p)?;
+    let factor = p.get_u64("factor", 4)? as u32;
+    if !datasync_loopir::transform::can_unroll(&nest, factor) {
+        return Err(format!(
+            "cannot unroll this loop by {factor} (needs a singly-nested, branch-free loop with a divisible iteration count)"
+        ));
+    }
+    let un = datasync_loopir::transform::unroll(&nest, factor);
+    let graph = reduce(&un, &analyze_deps(&un));
+    let space = IterSpace::of(&un);
+    let plan = SyncPlan::build(&un, &graph.linearized(&space));
+    let mut text = String::new();
+    let _ = writeln!(text, "{}", render_loop(&un));
+    let _ = writeln!(text, "{}", render_doacross(&un, &plan));
+    let _ = writeln!(
+        text,
+        "{} iterations x {} sync steps (was {} x original steps before unrolling)",
+        space.count(),
+        plan.n_steps(),
+        nest.iter_count()
+    );
+    Ok(text)
+}
+
+/// `datasync reproduce`.
+pub fn reproduce(p: &Parsed) -> Result<String, String> {
+    p.expect_only(&["quick", "markdown"])?;
+    let mut text = String::new();
+    for table in datasync_bench::run_all(p.has("quick")) {
+        if p.has("markdown") {
+            let _ = writeln!(text, "{}", table.to_markdown());
+        } else {
+            let _ = writeln!(text, "{table}");
+        }
+    }
+    Ok(text)
+}

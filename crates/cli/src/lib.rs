@@ -1,0 +1,152 @@
+//! The `datasync` command-line tool: analyze loops, simulate them under
+//! every synchronization scheme, compare schemes, and regenerate the
+//! paper's experiment tables.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+mod commands;
+
+use args::Parsed;
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+datasync — Su & Yew (ISCA 1989) data-synchronization toolkit
+
+USAGE:
+  datasync analyze   [--loop L] [--n N] [--m M] [--dot]
+      Dependence analysis, covering, the Doacross transformation listing,
+      and the profitability decision for a loop.
+  datasync simulate  [--loop L] [--n N] [--m M] [--scheme S] [--procs P]
+                     [--x X] [--banks B] [--timeline]
+      Run the loop on the simulated multiprocessor under one scheme.
+  datasync compare   [--loop L] [--n N] [--m M] [--procs P] [--x X]
+      Run the loop under every scheme and print the comparison table.
+  datasync wavefront [--loop L] [--n N] [--m M]
+      Derive the wavefront (skewing) schedule of a depth-2 loop.
+  datasync unroll    [--loop L] [--n N] [--factor U]
+      Unroll a loop and show the re-synchronized Doacross listing.
+  datasync reproduce [--quick] [--markdown]
+      Regenerate every experiment table of the paper reproduction.
+
+LOOPS (--loop): fig21 (default) | relaxation | nested | branches,
+  or --file <path> with the loop language (see datasync_loopir::parse)
+SCHEMES (--scheme): process (default) | process-basic | statement |
+                    reference | instance | barrier-phased
+";
+
+/// Runs the CLI; returns the text to print.
+///
+/// # Errors
+///
+/// Returns a user-facing message for bad arguments.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let parsed = Parsed::parse(argv)?;
+    match parsed.command.as_str() {
+        "analyze" => commands::analyze(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "compare" => commands::compare(&parsed),
+        "wavefront" => commands::wavefront(&parsed),
+        "unroll" => commands::unroll(&parsed),
+        "reproduce" => commands::reproduce(&parsed),
+        "help" | "--help" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn run(words: &[&str]) -> Result<String, String> {
+        super::run(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn analyze_fig21() {
+        let out = run(&["analyze", "--n", "50"]).unwrap();
+        assert!(out.contains("DO I = 1, 50"));
+        assert!(out.contains("S1 -> S2 (flow, d=2)"));
+        assert!(out.contains("doacross"));
+        assert!(out.contains("mark_PC(1);"));
+        assert!(out.contains("delay"));
+    }
+
+    #[test]
+    fn analyze_all_loops() {
+        for l in ["fig21", "relaxation", "nested", "branches"] {
+            let out = run(&["analyze", "--loop", l, "--n", "8", "--m", "5"]).unwrap();
+            assert!(out.contains("dependences"), "{l}: {out}");
+        }
+    }
+
+    #[test]
+    fn simulate_every_scheme() {
+        for s in ["process", "process-basic", "statement", "reference", "instance", "barrier-phased"] {
+            let out =
+                run(&["simulate", "--n", "16", "--scheme", s, "--procs", "4", "--x", "8"]).unwrap();
+            assert!(out.contains("makespan"), "{s}: {out}");
+            assert!(out.contains("violations: 0"), "{s}: {out}");
+        }
+    }
+
+    #[test]
+    fn simulate_with_banked_memory() {
+        let out = run(&["simulate", "--n", "12", "--banks", "8"]).unwrap();
+        assert!(out.contains("violations: 0"));
+    }
+
+    #[test]
+    fn simulate_with_timeline() {
+        let out = run(&["simulate", "--n", "12", "--timeline"]).unwrap();
+        assert!(out.contains("P0"));
+        assert!(out.contains("cycles/column"));
+    }
+
+    #[test]
+    fn compare_prints_table() {
+        let out = run(&["compare", "--n", "16", "--procs", "4"]).unwrap();
+        assert!(out.contains("process-oriented"));
+        assert!(out.contains("reference-based"));
+        assert!(out.contains("barrier-phased"));
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(run(&["bogus"]).is_err());
+        assert!(run(&["simulate", "--scheme", "nope"]).is_err());
+        assert!(run(&["analyze", "--loop", "nope"]).is_err());
+        assert!(run(&["analyze", "--typo", "1"]).is_err());
+    }
+
+    #[test]
+    fn help_shows_usage() {
+        assert!(run(&["help"]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn analyze_from_file() {
+        let dir = std::env::temp_dir().join("datasync_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("loop.txt");
+        std::fs::write(&path, "DO I = 1, 30\n  S1: A[I] = A[I-1] @6\nEND DO\n").unwrap();
+        let out = run(&["analyze", "--file", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("S1 -> S1 (flow, d=1)"), "{out}");
+        assert!(out.contains("delay"));
+        assert!(run(&["analyze", "--file", "/nonexistent/x.txt"]).is_err());
+    }
+
+    #[test]
+    fn wavefront_on_relaxation() {
+        let out = run(&["wavefront", "--loop", "relaxation", "--n", "10"]).unwrap();
+        assert!(out.contains("lambda = (1, 1)"), "{out}");
+        assert!(run(&["wavefront", "--loop", "fig21"]).is_err());
+    }
+
+    #[test]
+    fn unroll_fig21() {
+        let out = run(&["unroll", "--n", "32", "--factor", "4"]).unwrap();
+        assert!(out.contains("S1@0"));
+        assert!(out.contains("doacross"));
+        assert!(run(&["unroll", "--n", "10", "--factor", "3"]).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! The `datasync` command-line tool.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match datasync_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{}", datasync_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! A self-scheduled Doacross executor over real threads.
+//!
+//! [`Doacross`] runs the iterations of a loop as processes in the paper's
+//! sense: iterations are claimed dynamically in increasing order
+//! (processor self-scheduling, the policy all of Section 5's examples
+//! assume), each iteration gets a [`ProcessCtx`] exposing the
+//! process-oriented primitives, and the executor guarantees the final
+//! `transfer_PC` so the folded counter chain always advances.
+//!
+//! Deadlock freedom: iterations are claimed in increasing pid order and
+//! every wait targets a strictly smaller pid (dependences and ownership
+//! handoff both point backward), so the smallest unfinished iteration can
+//! always run to completion.
+
+use crate::pc::PcPool;
+use crate::wait::WaitStrategy;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which primitive set the executor uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Primitives {
+    /// Fig 4.2.a: `get_PC` acquires ownership before the first update;
+    /// every `mark` then writes unconditionally.
+    Basic,
+    /// Fig 4.3 (default): `mark_PC` skips while the counter belongs to an
+    /// earlier process; only `transfer_PC` may block on ownership.
+    #[default]
+    Improved,
+}
+
+/// Per-iteration context handed to the loop body.
+#[derive(Debug)]
+pub struct ProcessCtx<'a> {
+    pool: &'a PcPool,
+    pid: u64,
+    primitives: Primitives,
+    owned: bool,
+    transferred: bool,
+}
+
+impl ProcessCtx<'_> {
+    /// This iteration's linear process id.
+    pub fn pid(&self) -> u64 {
+        self.pid
+    }
+
+    /// `mark_PC(step)` / `set_PC(step)` — completion of a source
+    /// statement. With [`Primitives::Basic`] the first mark acquires the
+    /// counter (`get_PC`); with [`Primitives::Improved`] an unowned mark
+    /// is skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`ProcessCtx::transfer`].
+    pub fn mark(&mut self, step: u32) {
+        assert!(!self.transferred, "mark after transfer");
+        if !self.owned {
+            match self.primitives {
+                Primitives::Basic => self.pool.get_pc(self.pid),
+                Primitives::Improved => {
+                    if self.pool.load(self.pid).owner < self.pid {
+                        return;
+                    }
+                }
+            }
+        }
+        self.pool.set_pc(self.pid, step);
+        self.owned = true;
+    }
+
+    /// `transfer_PC()` / `release_PC()` — completion of the last source
+    /// statement. Idempotent; the executor calls it automatically when
+    /// the body returns without doing so.
+    pub fn transfer(&mut self) {
+        if self.transferred {
+            return;
+        }
+        if !self.owned {
+            self.pool.get_pc(self.pid);
+            self.owned = true;
+        }
+        self.pool.release_pc(self.pid);
+        self.transferred = true;
+    }
+
+    /// `wait_PC(dist, step)` — wait for iteration `pid - dist` to
+    /// complete source `step`; no-op at the loop boundary
+    /// (`dist > pid`).
+    pub fn wait(&self, dist: u64, step: u32) {
+        self.pool.wait_pc(self.pid, dist, step);
+    }
+}
+
+/// Builder/executor for Doacross loops.
+///
+/// # Examples
+///
+/// A chain `A[i] = A[i-1]` (one source, distance 1):
+///
+/// ```
+/// use datasync_core::doacross::Doacross;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let n = 64usize;
+/// let a: Vec<AtomicU64> = (0..n + 1).map(|_| AtomicU64::new(1)).collect();
+/// Doacross::new(n as u64).threads(4).pcs(8).run(|i, ctx| {
+///     ctx.wait(1, 1); // wait for iteration i-1's source
+///     let prev = a[i as usize].load(Ordering::Acquire);
+///     a[i as usize + 1].store(prev + 1, Ordering::Release);
+///     ctx.transfer();
+/// });
+/// assert_eq!(a[n].load(Ordering::Relaxed), n as u64 + 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Doacross {
+    n_iters: u64,
+    threads: usize,
+    pcs: usize,
+    chunk: u64,
+    strategy: WaitStrategy,
+    primitives: Primitives,
+}
+
+impl Doacross {
+    /// A loop of `n_iters` iterations (pids `0..n_iters`).
+    pub fn new(n_iters: u64) -> Self {
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+        Self {
+            n_iters,
+            threads,
+            pcs: 2 * threads.next_power_of_two(),
+            chunk: 1,
+            strategy: WaitStrategy::default(),
+            primitives: Primitives::default(),
+        }
+    }
+
+    /// Number of worker threads (the paper's processors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Number of process counters `X` to fold onto.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0`.
+    pub fn pcs(mut self, x: usize) -> Self {
+        assert!(x > 0, "need at least one process counter");
+        self.pcs = x;
+        self
+    }
+
+    /// Iterations claimed per self-scheduling step (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn chunk(mut self, chunk: u64) -> Self {
+        assert!(chunk > 0, "chunk must be positive");
+        self.chunk = chunk;
+        self
+    }
+
+    /// Busy-wait strategy for all primitives.
+    pub fn wait_strategy(mut self, s: WaitStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Chooses the primitive set (basic Fig 4.2 vs improved Fig 4.3).
+    pub fn primitives(mut self, p: Primitives) -> Self {
+        self.primitives = p;
+        self
+    }
+
+    /// Runs the loop. `body(pid, ctx)` is called once per iteration, in
+    /// parallel; within a thread, claimed iterations run in increasing
+    /// pid order.
+    ///
+    /// If the body returns without calling [`ProcessCtx::transfer`], the
+    /// executor transfers on its behalf (keeping the folded chain alive —
+    /// the Example 3 rule that every path must hand the counter on).
+    pub fn run<F>(&self, body: F)
+    where
+        F: Fn(u64, &mut ProcessCtx<'_>) + Sync,
+    {
+        if self.n_iters == 0 {
+            return;
+        }
+        let pool = PcPool::with_strategy(self.pcs, self.strategy);
+        let next = AtomicU64::new(0);
+        let body = &body;
+        let pool_ref = &pool;
+        let next_ref = &next;
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(self.n_iters as usize) {
+                scope.spawn(move || loop {
+                    let start = next_ref.fetch_add(self.chunk, Ordering::Relaxed);
+                    if start >= self.n_iters {
+                        return;
+                    }
+                    let end = (start + self.chunk).min(self.n_iters);
+                    for pid in start..end {
+                        let mut ctx = ProcessCtx {
+                            pool: pool_ref,
+                            pid,
+                            primitives: self.primitives,
+                            owned: false,
+                            transferred: false,
+                        };
+                        body(pid, &mut ctx);
+                        ctx.transfer();
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn empty_loop_is_fine() {
+        Doacross::new(0).threads(2).run(|_, _| panic!("no iterations"));
+    }
+
+    #[test]
+    fn every_iteration_runs_exactly_once() {
+        let n = 500u64;
+        let count = AtomicUsize::new(0);
+        let sum = AtomicU64::new(0);
+        Doacross::new(n).threads(4).pcs(8).run(|pid, _ctx| {
+            count.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(pid, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), n as usize);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn dependence_chain_is_ordered() {
+        // Each iteration appends its pid after waiting for pid-1; the log
+        // must come out sorted.
+        let n = 300u64;
+        let log = Mutex::new(Vec::new());
+        Doacross::new(n).threads(4).pcs(4).run(|pid, ctx| {
+            ctx.wait(1, 1);
+            log.lock().unwrap().push(pid);
+            ctx.mark(1);
+            ctx.transfer();
+        });
+        let log = log.into_inner().unwrap();
+        assert_eq!(log.len(), n as usize);
+        assert!(log.windows(2).all(|w| w[0] < w[1]), "chain must serialize in order");
+    }
+
+    #[test]
+    fn distance_two_chains_interleave() {
+        // dist-2 dependence: even and odd chains are independent; verify
+        // each chain is ordered.
+        let n = 200u64;
+        let log = Mutex::new(Vec::new());
+        Doacross::new(n).threads(4).pcs(8).run(|pid, ctx| {
+            ctx.wait(2, 1);
+            log.lock().unwrap().push(pid);
+            ctx.mark(1);
+            ctx.transfer();
+        });
+        let log = log.into_inner().unwrap();
+        let pos = |p: u64| log.iter().position(|&x| x == p).unwrap();
+        for pid in 2..n {
+            assert!(pos(pid - 2) < pos(pid), "iteration {pid} ran before {}", pid - 2);
+        }
+    }
+
+    #[test]
+    fn works_with_one_pc_and_one_thread() {
+        let n = 50u64;
+        let count = AtomicUsize::new(0);
+        Doacross::new(n).threads(1).pcs(1).run(|_pid, ctx| {
+            ctx.wait(1, 1);
+            count.fetch_add(1, Ordering::Relaxed);
+            ctx.mark(1);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), n as usize);
+    }
+
+    #[test]
+    fn chunked_claiming_still_respects_deps() {
+        let n = 240u64;
+        let log = Mutex::new(Vec::new());
+        Doacross::new(n).threads(3).pcs(8).chunk(5).run(|pid, ctx| {
+            ctx.wait(1, 1);
+            log.lock().unwrap().push(pid);
+            ctx.mark(1);
+        });
+        let log = log.into_inner().unwrap();
+        assert!(log.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn basic_primitives_chain_ordered() {
+        let n = 200u64;
+        let log = Mutex::new(Vec::new());
+        Doacross::new(n).threads(4).pcs(4).primitives(Primitives::Basic).run(|pid, ctx| {
+            ctx.wait(1, 1);
+            log.lock().unwrap().push(pid);
+            ctx.mark(1);
+        });
+        let log = log.into_inner().unwrap();
+        assert_eq!(log.len(), n as usize);
+        assert!(log.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn basic_and_improved_agree_on_results() {
+        use std::sync::atomic::AtomicU64;
+        let n = 128u64;
+        let run_mode = |p: Primitives| {
+            let acc: Vec<AtomicU64> = (0..n as usize + 1).map(|_| AtomicU64::new(7)).collect();
+            Doacross::new(n).threads(4).pcs(8).primitives(p).run(|i, ctx| {
+                ctx.wait(1, 1);
+                let prev = acc[i as usize].load(Ordering::Acquire);
+                acc[i as usize + 1].store(prev.wrapping_mul(31).wrapping_add(i), Ordering::Release);
+                ctx.mark(1);
+            });
+            acc[n as usize].load(Ordering::Relaxed)
+        };
+        assert_eq!(run_mode(Primitives::Basic), run_mode(Primitives::Improved));
+    }
+
+    #[test]
+    fn more_threads_than_iterations() {
+        let count = AtomicUsize::new(0);
+        Doacross::new(3).threads(16).pcs(4).run(|_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,0 +1,246 @@
+//! Phase-structured computation with local communication (Example 5).
+//!
+//! The paper's FFT example: partition the data into one chunk per
+//! processor; in each stage a processor exchanges data with exactly one
+//! partner (`pid xor 2^stage`). A global barrier per stage over-
+//! synchronizes; the process-oriented scheme lets each processor wait
+//! only for its partner — `mark_PC(i)` then
+//! `while (PC[pid xor 2^i].step < i)`.
+//!
+//! [`Phased`] runs `phases` rounds of a user computation under either
+//! policy so the two can be compared on identical work.
+
+use crate::barrier::{ButterflyBarrier, CounterBarrier, DisseminationBarrier, PhaseBarrier};
+use crate::wait::WaitStrategy;
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Synchronization policy between phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseSync {
+    /// Global centralized counter barrier after every phase (the paper's
+    /// `\[7\]` baseline).
+    GlobalCounter,
+    /// Global butterfly barrier after every phase.
+    GlobalButterfly,
+    /// Global dissemination barrier after every phase.
+    GlobalDissemination,
+    /// Pairwise: after phase `i`, wait only for partner
+    /// `pid xor 2^(i mod log2 P)` (Example 5). Requires the phase-`i+1`
+    /// computation at `pid` to read only data produced by `pid` and that
+    /// partner — the butterfly communication pattern of FFT.
+    Pairwise,
+}
+
+impl PhaseSync {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseSync::GlobalCounter => "global-counter",
+            PhaseSync::GlobalButterfly => "global-butterfly",
+            PhaseSync::GlobalDissemination => "global-dissemination",
+            PhaseSync::Pairwise => "pairwise",
+        }
+    }
+}
+
+/// Executor for phase-structured computations.
+///
+/// # Examples
+///
+/// ```
+/// use datasync_core::phased::{Phased, PhaseSync};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let p = 4;
+/// let stages = 2; // log2(4)
+/// let hits: Vec<AtomicU64> = (0..p).map(|_| AtomicU64::new(0)).collect();
+/// Phased::new(p, stages).sync(PhaseSync::Pairwise).run(|pid, _phase| {
+///     hits[pid].fetch_add(1, Ordering::Relaxed);
+/// });
+/// assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == stages as u64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Phased {
+    workers: usize,
+    phases: usize,
+    sync: PhaseSync,
+    strategy: WaitStrategy,
+}
+
+impl Phased {
+    /// `workers` processors running `phases` phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize, phases: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        Self { workers, phases, sync: PhaseSync::Pairwise, strategy: WaitStrategy::default() }
+    }
+
+    /// Chooses the synchronization policy.
+    pub fn sync(mut self, sync: PhaseSync) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Busy-wait strategy.
+    pub fn wait_strategy(mut self, s: WaitStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Runs `compute(pid, phase)` for every worker and phase, with the
+    /// configured synchronization between phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is [`PhaseSync::Pairwise`] or
+    /// [`PhaseSync::GlobalButterfly`] and `workers` is not a power of two.
+    pub fn run<F>(&self, compute: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        match self.sync {
+            PhaseSync::GlobalCounter => {
+                let b = CounterBarrier::with_strategy(self.workers, self.strategy);
+                self.run_with_barrier(&b, &compute);
+            }
+            PhaseSync::GlobalButterfly => {
+                let b = ButterflyBarrier::with_strategy(self.workers, self.strategy);
+                self.run_with_barrier(&b, &compute);
+            }
+            PhaseSync::GlobalDissemination => {
+                let b = DisseminationBarrier::with_strategy(self.workers, self.strategy);
+                self.run_with_barrier(&b, &compute);
+            }
+            PhaseSync::Pairwise => self.run_pairwise(&compute),
+        }
+    }
+
+    fn run_with_barrier<F>(&self, barrier: &dyn PhaseBarrier, compute: &F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        std::thread::scope(|s| {
+            for pid in 0..self.workers {
+                s.spawn(move || {
+                    for phase in 0..self.phases {
+                        compute(pid, phase);
+                        barrier.wait(pid);
+                    }
+                });
+            }
+        });
+    }
+
+    fn run_pairwise<F>(&self, compute: &F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        assert!(
+            self.workers.is_power_of_two(),
+            "pairwise phase sync needs a power-of-two worker count"
+        );
+        let log_p = self.workers.trailing_zeros() as usize;
+        let counters: Vec<CachePadded<AtomicU64>> =
+            (0..self.workers).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+        let counters = &counters;
+        std::thread::scope(|s| {
+            for pid in 0..self.workers {
+                s.spawn(move || {
+                    for phase in 0..self.phases {
+                        compute(pid, phase);
+                        let step = phase as u64 + 1;
+                        // mark_PC(i)
+                        counters[pid].store(step, Ordering::Release);
+                        if log_p > 0 {
+                            // while (PC[pid xor 2^i].step < i)
+                            let partner = pid ^ (1usize << (phase % log_p));
+                            let cell = &counters[partner];
+                            self.strategy.wait_until(|| cell.load(Ordering::Acquire) >= step);
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn count_phases(sync: PhaseSync, workers: usize, phases: usize) {
+        let per_phase: Vec<AtomicUsize> = (0..phases).map(|_| AtomicUsize::new(0)).collect();
+        Phased::new(workers, phases).sync(sync).run(|_pid, phase| {
+            per_phase[phase].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, c) in per_phase.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), workers, "phase {i} under {}", sync.name());
+        }
+    }
+
+    #[test]
+    fn all_policies_run_all_phases() {
+        for sync in [
+            PhaseSync::GlobalCounter,
+            PhaseSync::GlobalButterfly,
+            PhaseSync::GlobalDissemination,
+            PhaseSync::Pairwise,
+        ] {
+            count_phases(sync, 4, 6);
+        }
+    }
+
+    #[test]
+    fn global_barrier_orders_phases_strictly() {
+        // With a global barrier, no worker may start phase k+1 before all
+        // finished phase k.
+        let in_phase = AtomicUsize::new(0);
+        Phased::new(4, 5).sync(PhaseSync::GlobalDissemination).run(|_pid, phase| {
+            let seen = in_phase.load(Ordering::SeqCst);
+            assert!(seen >= phase * 4 && seen < (phase + 1) * 4);
+            in_phase.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    #[test]
+    fn pairwise_orders_partner_data() {
+        // Worker pid writes slot[pid] at each phase; at phase k+1 it reads
+        // the partner slot written in phase k — pairwise sync must make
+        // that read safe. We assert the partner's phase counter is high
+        // enough when read.
+        let p = 8;
+        let phases = 6;
+        let slots: Vec<AtomicUsize> = (0..p).map(|_| AtomicUsize::new(0)).collect();
+        let log_p = 3;
+        Phased::new(p, phases).sync(PhaseSync::Pairwise).run(|pid, phase| {
+            if phase > 0 {
+                let prev_partner = pid ^ (1usize << ((phase - 1) % log_p));
+                let v = slots[prev_partner].load(Ordering::SeqCst);
+                assert!(v >= phase, "partner {prev_partner} behind at phase {phase}: {v}");
+            }
+            slots[pid].store(phase + 1, Ordering::SeqCst);
+        });
+    }
+
+    #[test]
+    fn non_power_of_two_works_for_global() {
+        count_phases(PhaseSync::GlobalCounter, 5, 4);
+        count_phases(PhaseSync::GlobalDissemination, 5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn pairwise_rejects_non_power_of_two() {
+        Phased::new(6, 2).sync(PhaseSync::Pairwise).run(|_, _| {});
+    }
+
+    #[test]
+    fn single_worker_trivial() {
+        count_phases(PhaseSync::Pairwise, 1, 3);
+    }
+}

@@ -1,0 +1,232 @@
+//! Executing compiled loops ([`SyncPlan`]s) on real threads.
+//!
+//! This module closes the loop between the compiler substrate
+//! (`datasync-loopir`) and the runtime: [`run_plan`] drives arbitrary
+//! user statement bodies through a placement, and [`run_nest`] executes a
+//! whole [`LoopNest`] under the abstract order-sensitive semantics so the
+//! result can be compared bit-for-bit against the sequential oracle —
+//! the strongest possible correctness check for the process-oriented
+//! scheme on real hardware.
+
+use crate::doacross::{Doacross, ProcessCtx};
+use datasync_loopir::exec::ArrayStore;
+use datasync_loopir::ir::{ArrayId, LoopNest, StmtId};
+use datasync_loopir::plan::{IterOp, PcOp, SyncPlan};
+use datasync_loopir::space::IterSpace;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Runs a planned Doacross loop, invoking `body(stmt, pid)` for every
+/// statement instance the plan schedules.
+///
+/// Waits, marks and transfers are taken verbatim from the plan, so any
+/// executor disagreement with the simulator would surface as a
+/// correctness failure in the cross-checking tests.
+///
+/// # Panics
+///
+/// Panics if `plan` was built for a different nest.
+pub fn run_plan<F>(exec: &Doacross, nest: &LoopNest, plan: &SyncPlan, body: F)
+where
+    F: Fn(StmtId, u64) + Sync,
+{
+    assert_eq!(plan.n_stmts(), nest.n_stmts(), "plan does not match nest");
+    exec.run(|pid, ctx| {
+        run_iteration(nest, plan, pid, ctx, &body);
+    });
+}
+
+/// Executes the ops of one iteration against a context.
+fn run_iteration<F>(nest: &LoopNest, plan: &SyncPlan, pid: u64, ctx: &mut ProcessCtx<'_>, body: F)
+where
+    F: Fn(StmtId, u64),
+{
+    for op in plan.iteration_ops(nest, pid) {
+        match op {
+            IterOp::Wait(w) => ctx.wait(w.dist as u64, w.step),
+            IterOp::Exec(s) => body(s, pid),
+            IterOp::Pc(PcOp::Mark(step)) => ctx.mark(step),
+            IterOp::Pc(PcOp::Transfer) => ctx.transfer(),
+        }
+    }
+}
+
+/// A sharded concurrent array store with the same read/write semantics as
+/// [`ArrayStore`]. Reads of unwritten elements return the deterministic
+/// init value; correct synchronization (not the store's locks) is what
+/// makes each read see the right write.
+#[derive(Debug)]
+pub struct SharedArrayStore {
+    shards: Vec<Mutex<HashMap<(ArrayId, Vec<i64>), u64>>>,
+}
+
+impl SharedArrayStore {
+    /// Creates a store with a fixed shard count.
+    pub fn new() -> Self {
+        Self { shards: (0..64).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, array: ArrayId, element: &[i64]) -> &Mutex<HashMap<(ArrayId, Vec<i64>), u64>> {
+        let mut h = datasync_loopir::exec::mix2(array.0 as u64, element.len() as u64);
+        for &e in element {
+            h = datasync_loopir::exec::mix2(h, e as u64);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Reads an element (init value if never written).
+    pub fn read(&self, array: ArrayId, element: &[i64]) -> u64 {
+        let guard = self.shard(array, element).lock().expect("store lock poisoned");
+        match guard.get(&(array, element.to_vec())) {
+            Some(&v) => v,
+            None => datasync_loopir::exec::init_value(array, element),
+        }
+    }
+
+    /// Writes an element.
+    pub fn write(&self, array: ArrayId, element: Vec<i64>, value: u64) {
+        let mut guard = self.shard(array, &element).lock().expect("store lock poisoned");
+        guard.insert((array, element), value);
+    }
+
+    /// Collapses into a plain [`ArrayStore`] for comparison.
+    pub fn into_store(self) -> ArrayStore {
+        let mut out = ArrayStore::new();
+        for shard in self.shards {
+            for ((array, element), value) in shard.into_inner().expect("store lock poisoned") {
+                out.write(array, element, value);
+            }
+        }
+        out
+    }
+}
+
+impl Default for SharedArrayStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs a whole nest in parallel under the abstract semantics and returns
+/// the resulting store.
+///
+/// The result must equal [`datasync_loopir::exec::run_sequential`] —
+/// the abstract semantics is order-sensitive, so equality proves every
+/// dependence was respected.
+///
+/// # Examples
+///
+/// ```
+/// use datasync_core::{doacross::Doacross, planexec::run_nest};
+/// use datasync_loopir::{analysis, covering, exec::run_sequential,
+///                       plan::SyncPlan, space::IterSpace, workpatterns::fig21_loop};
+///
+/// let nest = fig21_loop(64);
+/// let space = IterSpace::of(&nest);
+/// let graph = covering::reduce(&nest, &analysis::analyze(&nest)).linearized(&space);
+/// let plan = SyncPlan::build(&nest, &graph);
+/// let exec = Doacross::new(space.count()).threads(4).pcs(8);
+/// let parallel = run_nest(&exec, &nest, &plan);
+/// assert_eq!(parallel.fingerprint(), run_sequential(&nest).fingerprint());
+/// ```
+pub fn run_nest(exec: &Doacross, nest: &LoopNest, plan: &SyncPlan) -> ArrayStore {
+    assert_eq!(plan.n_stmts(), nest.n_stmts(), "plan does not match nest");
+    let space = IterSpace::of(nest);
+    let store = SharedArrayStore::new();
+    exec.run(|pid, ctx| {
+        let indices = space.indices(pid);
+        for op in plan.iteration_ops(nest, pid) {
+            match op {
+                IterOp::Wait(w) => ctx.wait(w.dist as u64, w.step),
+                IterOp::Exec(s) => {
+                    // Mirror of `execute_stmt` against the shared store.
+                    let stmt = nest.stmt(s);
+                    let reads: Vec<u64> = stmt
+                        .reads()
+                        .map(|r| store.read(r.array, &r.element(&indices)))
+                        .collect();
+                    let v = datasync_loopir::exec::stmt_value(stmt, &indices, &reads);
+                    for w in stmt.writes() {
+                        store.write(w.array, w.element(&indices), v);
+                    }
+                }
+                IterOp::Pc(PcOp::Mark(step)) => ctx.mark(step),
+                IterOp::Pc(PcOp::Transfer) => ctx.transfer(),
+            }
+        }
+    });
+    store.into_store()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasync_loopir::exec::run_sequential;
+    use datasync_loopir::workpatterns::{example2_nested, example3_branches, fig21_loop};
+    use datasync_loopir::{analysis, covering};
+
+    fn plan_of(nest: &LoopNest) -> SyncPlan {
+        let space = IterSpace::of(nest);
+        let graph = covering::reduce(nest, &analysis::analyze(nest)).linearized(&space);
+        SyncPlan::build(nest, &graph)
+    }
+
+    fn check_matches_sequential(nest: &LoopNest, threads: usize, pcs: usize) {
+        let plan = plan_of(nest);
+        let exec = Doacross::new(nest.iter_count()).threads(threads).pcs(pcs);
+        let parallel = run_nest(&exec, nest, &plan);
+        let sequential = run_sequential(nest);
+        assert_eq!(parallel, sequential, "parallel execution diverged from sequential oracle");
+    }
+
+    #[test]
+    fn fig21_matches_sequential() {
+        check_matches_sequential(&fig21_loop(200), 4, 8);
+    }
+
+    #[test]
+    fn fig21_small_pool_matches_sequential() {
+        // X = 2 forces heavy folding; still correct.
+        check_matches_sequential(&fig21_loop(150), 4, 2);
+    }
+
+    #[test]
+    fn example2_nested_matches_sequential() {
+        check_matches_sequential(&example2_nested(12, 9, 2), 4, 8);
+    }
+
+    #[test]
+    fn depth3_matches_sequential() {
+        check_matches_sequential(&datasync_loopir::workpatterns::depth3_nest(3, 4, 5, 1), 4, 8);
+    }
+
+    #[test]
+    fn example3_branches_match_sequential() {
+        check_matches_sequential(&example3_branches(180, 2), 4, 8);
+    }
+
+    #[test]
+    fn run_plan_visits_every_instance() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let nest = fig21_loop(60);
+        let plan = plan_of(&nest);
+        let count = AtomicUsize::new(0);
+        let exec = Doacross::new(60).threads(3).pcs(4);
+        run_plan(&exec, &nest, &plan, |_stmt, _pid| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 60 * 5);
+    }
+
+    #[test]
+    fn shared_store_roundtrip() {
+        let s = SharedArrayStore::new();
+        let a = ArrayId(1);
+        assert_eq!(s.read(a, &[3]), datasync_loopir::exec::init_value(a, &[3]));
+        s.write(a, vec![3], 99);
+        assert_eq!(s.read(a, &[3]), 99);
+        let plain = s.into_store();
+        assert_eq!(plain.read(a, &[3]), 99);
+        assert_eq!(plain.written_len(), 1);
+    }
+}

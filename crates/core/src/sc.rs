@@ -1,0 +1,166 @@
+//! Statement counters — the statement-oriented scheme (Section 3.2) on
+//! real threads, Alliant `Advance`/`Await` semantics.
+//!
+//! One counter per source statement, shared "horizontally" by all
+//! iterations: after iteration `i` completes source `Sa` it waits for
+//! `SC[a] == i-1` and sets it to `i`, so iteration `i`'s update cannot
+//! happen before every earlier iteration's — the serialization the
+//! paper's Section 4 criticizes (and which [`crate::pc::PcPool`]'s
+//! "vertical" sharing avoids). Counters store `last_advanced + 1`
+//! (initially 0) so 0-based iteration ids need no signed values.
+
+use crate::wait::WaitStrategy;
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A pool of statement counters.
+///
+/// # Examples
+///
+/// ```
+/// use datasync_core::sc::ScPool;
+///
+/// let scs = ScPool::new(2); // two source statements
+/// // Iteration 0 completes source 0 and advances it.
+/// scs.advance(0, 0);
+/// // Iteration 1 may await source 0 of iteration 0 (distance 1)...
+/// scs.await_sc(0, 1, 1);
+/// // ...and then advance its own instance.
+/// scs.advance(0, 1);
+/// ```
+#[derive(Debug)]
+pub struct ScPool {
+    scs: Box<[CachePadded<AtomicU64>]>,
+    strategy: WaitStrategy,
+}
+
+impl ScPool {
+    /// Creates `n` counters, all at "no iteration has advanced yet".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        Self::with_strategy(n, WaitStrategy::default())
+    }
+
+    /// [`ScPool::new`] with an explicit wait strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_strategy(n: usize, strategy: WaitStrategy) -> Self {
+        assert!(n > 0, "a pool needs at least one statement counter");
+        Self { scs: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(), strategy }
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.scs.len()
+    }
+
+    /// `true` if the pool is empty (never — kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.scs.is_empty()
+    }
+
+    /// `Advance(sc)` for iteration `pid`: waits until every earlier
+    /// iteration advanced this counter, then records this one.
+    pub fn advance(&self, sc: usize, pid: u64) {
+        let cell = &*self.scs[sc];
+        self.strategy.wait_until(|| cell.load(Ordering::Acquire) == pid);
+        cell.store(pid + 1, Ordering::Release);
+    }
+
+    /// `Await(d, sc)` for iteration `pid`: waits until iteration
+    /// `pid - dist` advanced the counter; no-op at the loop boundary.
+    pub fn await_sc(&self, sc: usize, pid: u64, dist: u64) {
+        if dist > pid {
+            return;
+        }
+        let threshold = pid - dist + 1;
+        let cell = &*self.scs[sc];
+        self.strategy.wait_until(|| cell.load(Ordering::Acquire) >= threshold);
+    }
+
+    /// Current value (last advanced iteration + 1).
+    pub fn load(&self, sc: usize) -> u64 {
+        self.scs[sc].load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Cell;
+    use std::sync::Mutex;
+
+    #[test]
+    fn advance_serializes_iterations() {
+        // Iterations advancing one SC from many threads must form the
+        // strict sequence 0, 1, 2, ...
+        let scs = ScPool::new(1);
+        let log = Mutex::new(Vec::new());
+        let next = Cell::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (scs, log, next) = (&scs, &log, &next);
+                s.spawn(move || loop {
+                    let pid = next.fetch_add(1, Ordering::Relaxed);
+                    if pid >= 200 {
+                        return;
+                    }
+                    scs.advance(0, pid);
+                    log.lock().unwrap().push(pid);
+                });
+            }
+        });
+        let log = log.into_inner().unwrap();
+        assert_eq!(log.len(), 200);
+        assert!(log.windows(2).all(|w| w[0] < w[1]), "Advance must serialize");
+        assert_eq!(scs.load(0), 200);
+    }
+
+    #[test]
+    fn await_boundary_and_satisfaction() {
+        let scs = ScPool::new(2);
+        scs.await_sc(1, 0, 3); // boundary: returns immediately
+        scs.advance(1, 0);
+        scs.await_sc(1, 1, 1); // satisfied by the advance above
+    }
+
+    #[test]
+    fn doacross_with_scs_matches_chain_order() {
+        // The Fig 2.1-style pattern: one source, sinks await distance 2.
+        let scs = ScPool::new(1);
+        let produced: Vec<Cell> = (0..100).map(|_| Cell::new(0)).collect();
+        let next = Cell::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (scs, produced, next) = (&scs, &produced, &next);
+                s.spawn(move || loop {
+                    let pid = next.fetch_add(1, Ordering::Relaxed);
+                    if pid >= 100 {
+                        return;
+                    }
+                    scs.await_sc(0, pid, 2);
+                    let upstream = if pid >= 2 {
+                        produced[pid as usize - 2].load(Ordering::Acquire)
+                    } else {
+                        1
+                    };
+                    assert_ne!(upstream, 0, "await(2) must guarantee the source ran");
+                    produced[pid as usize].store(upstream + 1, Ordering::Release);
+                    scs.advance(0, pid);
+                });
+            }
+        });
+        assert_eq!(produced[98].load(Ordering::Relaxed), 51);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one statement counter")]
+    fn empty_pool_panics() {
+        let _ = ScPool::new(0);
+    }
+}

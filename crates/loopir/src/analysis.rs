@@ -1,0 +1,487 @@
+//! Data-dependence analysis for affine loop nests.
+//!
+//! Implements the constant-distance dependence testing the paper assumes a
+//! parallelizing compiler provides (Section 2): for every pair of
+//! references to the same array (at least one a write) we solve the affine
+//! conflict equation and classify the result:
+//!
+//! * a **unique** integer distance vector — the common case in numerical
+//!   programs, emitted as [`Distance::Vector`];
+//! * a **family** of solutions (free index components, unequal
+//!   coefficients, scalar accesses) — conservatively emitted as
+//!   [`Distance::SerialChain`], which totally orders all instances of the
+//!   two statements via a linear distance-1 chain (sound for *any*
+//!   conflict pattern);
+//! * **no** solution (including GCD non-divisibility) — no dependence.
+//!
+//! Dependences are classified flow / anti / output by which access
+//! executes first (Section 2.1).
+
+use crate::graph::{Dep, DepGraph, DepKind, Distance};
+use crate::ir::{AccessKind, ArrayRef, LoopNest, StmtId};
+
+/// Outcome of solving the conflict equation for a reference pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Solve {
+    /// No iteration pair conflicts.
+    NoConflict,
+    /// Exactly one distance vector `delta = y - x` (sink iter − source iter).
+    Unique(Vec<i64>),
+    /// Conflicts exist at more than one distance (or could not be pinned
+    /// down); requires conservative serialization.
+    Family,
+}
+
+/// Solves `C · delta = rhs` for the distance vector when both references
+/// share coefficient vectors, or falls back to a GCD feasibility test.
+fn solve_pair(depth: usize, a: &ArrayRef, b: &ArrayRef) -> Solve {
+    if a.array != b.array || a.subscript.len() != b.subscript.len() {
+        return Solve::NoConflict;
+    }
+    let same_coefs = a
+        .subscript
+        .iter()
+        .zip(&b.subscript)
+        .all(|(ea, eb)| ea.coefs_at_depth(depth) == eb.coefs_at_depth(depth));
+    if !same_coefs {
+        // Unequal coefficients: distances are not constant. GCD test per
+        // dimension can still prove absence of any conflict.
+        for (ea, eb) in a.subscript.iter().zip(&b.subscript) {
+            let mut g: i64 = 0;
+            for k in 0..depth {
+                g = gcd(g, ea.coef(k));
+                g = gcd(g, eb.coef(k));
+            }
+            let rhs = eb.offset - ea.offset;
+            if g == 0 {
+                if rhs != 0 {
+                    return Solve::NoConflict;
+                }
+            } else if rhs % g != 0 {
+                return Solve::NoConflict;
+            }
+        }
+        return Solve::Family;
+    }
+
+    // Equal coefficients: per array dimension m, c_m · delta = a.offset_m − b.offset_m
+    // (element of `a` at iter x equals element of `b` at iter y = x + delta).
+    let rows: Vec<(Vec<i64>, i64)> = a
+        .subscript
+        .iter()
+        .zip(&b.subscript)
+        .map(|(ea, eb)| (ea.coefs_at_depth(depth), ea.offset - eb.offset))
+        .collect();
+    solve_system(depth, rows)
+}
+
+/// Greatest common divisor (non-negative; `gcd(0, x) = |x|`).
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Fraction-free Gaussian elimination over the integers.
+///
+/// Returns `Unique` only when every variable is pinned to an integer;
+/// `Family` when at least one variable is free; `NoConflict` on an
+/// inconsistent or non-integral system.
+fn solve_system(depth: usize, rows: Vec<(Vec<i64>, i64)>) -> Solve {
+    let mut m: Vec<(Vec<i128>, i128)> = rows
+        .into_iter()
+        .map(|(c, r)| (c.into_iter().map(i128::from).collect(), i128::from(r)))
+        .collect();
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; depth];
+    let mut pivot_rows: Vec<usize> = Vec::new();
+    for col in 0..depth {
+        let Some(pr) = (0..m.len())
+            .find(|&r| !pivot_rows.contains(&r) && m[r].0[col] != 0)
+        else {
+            continue;
+        };
+        pivot_of_col[col] = Some(pr);
+        pivot_rows.push(pr);
+        let (pc, _) = (m[pr].0[col], m[pr].1);
+        for r in 0..m.len() {
+            if r == pr || m[r].0[col] == 0 {
+                continue;
+            }
+            let f = m[r].0[col];
+            for k in 0..depth {
+                m[r].0[k] = m[r].0[k] * pc - m[pr].0[k] * f;
+            }
+            m[r].1 = m[r].1 * pc - m[pr].1 * f;
+        }
+    }
+    // Inconsistent zero rows => no solution.
+    for (c, rhs) in &m {
+        if c.iter().all(|&x| x == 0) && *rhs != 0 {
+            return Solve::NoConflict;
+        }
+    }
+    if pivot_of_col.iter().any(Option::is_none) {
+        return Solve::Family;
+    }
+    let mut delta = vec![0i64; depth];
+    for col in 0..depth {
+        let pr = pivot_of_col[col].expect("checked above");
+        // After full elimination the pivot row has a single non-zero coef.
+        let pc = m[pr].0[col];
+        let rhs = m[pr].1;
+        if rhs % pc != 0 {
+            return Solve::NoConflict;
+        }
+        let v = rhs / pc;
+        if v > i128::from(i64::MAX) || v < i128::from(i64::MIN) {
+            return Solve::NoConflict;
+        }
+        delta[col] = v as i64;
+    }
+    Solve::Unique(delta)
+}
+
+/// Sign of a distance vector under lexicographic order.
+fn lex_sign(d: &[i64]) -> std::cmp::Ordering {
+    for &x in d {
+        match x.cmp(&0) {
+            std::cmp::Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Dependence kind given the kinds of the first- and second-executed access.
+fn kind_of(first: AccessKind, second: AccessKind) -> Option<DepKind> {
+    match (first, second) {
+        (AccessKind::Write, AccessKind::Read) => Some(DepKind::Flow),
+        (AccessKind::Read, AccessKind::Write) => Some(DepKind::Anti),
+        (AccessKind::Write, AccessKind::Write) => Some(DepKind::Output),
+        (AccessKind::Read, AccessKind::Read) => None,
+    }
+}
+
+/// Runs dependence analysis over a nest and returns its dependence graph.
+///
+/// # Examples
+///
+/// Reproduces Fig 2.1.b of the paper:
+///
+/// ```
+/// use datasync_loopir::analysis::analyze;
+/// use datasync_loopir::graph::DepKind;
+/// use datasync_loopir::workpatterns::fig21_loop;
+///
+/// let nest = fig21_loop(100);
+/// let g = analyze(&nest);
+/// // S1 -> S2 flow with distance 2.
+/// assert!(g.carried().any(|d| d.src.0 == 0 && d.dst.0 == 1
+///     && d.kind == DepKind::Flow && d.linear_distance(&nest) == 2));
+/// ```
+pub fn analyze(nest: &LoopNest) -> DepGraph {
+    let depth = nest.depth();
+    // Flatten (stmt, ref) instances in textual order.
+    let insts: Vec<(StmtId, &ArrayRef)> = nest
+        .stmts()
+        .flat_map(|s| s.refs.iter().map(move |r| (s.id, r)))
+        .collect();
+
+    let mut deps: Vec<Dep> = Vec::new();
+    let mut push = |d: Dep| {
+        if !deps.contains(&d) {
+            deps.push(d);
+        }
+    };
+
+    for i in 0..insts.len() {
+        for j in i..insts.len() {
+            let (sa, ra) = insts[i];
+            let (sb, rb) = insts[j];
+            if !ra.kind.is_write() && !rb.kind.is_write() {
+                continue;
+            }
+            if i == j {
+                // Self-conflict of one reference across iterations: only
+                // possible when the element does not vary with any index.
+                if ra.kind.is_write() {
+                    if let Solve::Family = solve_pair(depth, ra, ra) {
+                        push(Dep {
+                            src: sa,
+                            dst: sa,
+                            kind: DepKind::Output,
+                            distance: Distance::SerialChain,
+                        });
+                    }
+                }
+                continue;
+            }
+            match solve_pair(depth, ra, rb) {
+                Solve::NoConflict => {}
+                Solve::Family => {
+                    // Conservative total order of both statements' instances.
+                    if sa == sb {
+                        push(Dep {
+                            src: sa,
+                            dst: sa,
+                            kind: kind_of(ra.kind, rb.kind)
+                                .or_else(|| kind_of(rb.kind, ra.kind))
+                                .expect("at least one write"),
+                            distance: Distance::SerialChain,
+                        });
+                    } else {
+                        // sa is textually earlier (i < j over textual order).
+                        let k01 = kind_of(ra.kind, rb.kind);
+                        let k10 = kind_of(rb.kind, ra.kind);
+                        if nest.coexecutable(sa, sb) {
+                            if let Some(k) = k01 {
+                                push(Dep {
+                                    src: sa,
+                                    dst: sb,
+                                    kind: k,
+                                    distance: Distance::Vector(vec![0; depth]),
+                                });
+                            }
+                        }
+                        push(Dep {
+                            src: sb,
+                            dst: sa,
+                            kind: k10.or(k01).expect("at least one write"),
+                            distance: Distance::SerialChain,
+                        });
+                    }
+                }
+                Solve::Unique(delta) => {
+                    use std::cmp::Ordering::*;
+                    match lex_sign(&delta) {
+                        Greater => {
+                            // `ra` at x executes before `rb` at x + delta.
+                            if let Some(k) = kind_of(ra.kind, rb.kind) {
+                                push(Dep {
+                                    src: sa,
+                                    dst: sb,
+                                    kind: k,
+                                    distance: Distance::Vector(delta),
+                                });
+                            }
+                        }
+                        Less => {
+                            let neg: Vec<i64> = delta.iter().map(|&x| -x).collect();
+                            if let Some(k) = kind_of(rb.kind, ra.kind) {
+                                push(Dep {
+                                    src: sb,
+                                    dst: sa,
+                                    kind: k,
+                                    distance: Distance::Vector(neg),
+                                });
+                            }
+                        }
+                        Equal => {
+                            if sa == sb || !nest.coexecutable(sa, sb) {
+                                continue;
+                            }
+                            // Same iteration: textual order decides.
+                            // `sa` is textually earlier because i < j walks
+                            // statements in order.
+                            if let Some(k) = kind_of(ra.kind, rb.kind) {
+                                push(Dep {
+                                    src: sa,
+                                    dst: sb,
+                                    kind: k,
+                                    distance: Distance::Vector(delta),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    DepGraph::new(nest.n_stmts(), deps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArrayId, ArrayRef, LinExpr, LoopNestBuilder};
+    use crate::workpatterns::fig21_loop;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(-4, 6), 2);
+        assert_eq!(gcd(0, 0), 0);
+    }
+
+    #[test]
+    fn fig21_dependence_graph_matches_paper() {
+        let nest = fig21_loop(50);
+        let g = analyze(&nest);
+        let find = |s: usize, t: usize| -> Vec<(DepKind, i64)> {
+            g.deps()
+                .iter()
+                .filter(|d| d.src.0 == s && d.dst.0 == t)
+                .map(|d| (d.kind, d.linear_distance(&nest)))
+                .collect()
+        };
+        // Fig 2.1.b: S1->S2 flow 2; S1->S3 flow 1; S4->S5 flow 1;
+        // S2->S4 anti 1; S3->S4 anti 2; S1->S4 output 3.
+        assert_eq!(find(0, 1), vec![(DepKind::Flow, 2)]);
+        assert_eq!(find(0, 2), vec![(DepKind::Flow, 1)]);
+        assert_eq!(find(3, 4), vec![(DepKind::Flow, 1)]);
+        assert_eq!(find(1, 3), vec![(DepKind::Anti, 1)]);
+        assert_eq!(find(2, 3), vec![(DepKind::Anti, 2)]);
+        assert_eq!(find(0, 3), vec![(DepKind::Output, 3)]);
+        // Pairwise testing additionally finds S1->S5 (flow, 4), which the
+        // paper omits because it is covered by S1->S4 + S4->S5; the
+        // covering pass removes it.
+        assert_eq!(find(0, 4), vec![(DepKind::Flow, 4)]);
+        assert_eq!(g.deps().len(), 7);
+    }
+
+    #[test]
+    fn no_dependence_between_disjoint_offsets_with_stride() {
+        // A[2I] vs A[2I+1]: parity proves no conflict.
+        let a = ArrayId(0);
+        let nest = LoopNestBuilder::new(1, 100)
+            .stmt("S1", 1, vec![ArrayRef::new(a, AccessKind::Write, vec![LinExpr::new(vec![2], 0)])])
+            .stmt("S2", 1, vec![ArrayRef::new(a, AccessKind::Read, vec![LinExpr::new(vec![2], 1)])])
+            .build();
+        assert!(analyze(&nest).deps().is_empty());
+    }
+
+    #[test]
+    fn scalar_write_becomes_serial_chain() {
+        // S1: X = ... every iteration writes the same scalar.
+        let x = ArrayId(0);
+        let nest = LoopNestBuilder::new(1, 10)
+            .stmt("S1", 1, vec![ArrayRef::new(x, AccessKind::Write, vec![LinExpr::constant(0)])])
+            .build();
+        let g = analyze(&nest);
+        assert_eq!(g.deps().len(), 1);
+        assert_eq!(g.deps()[0].distance, Distance::SerialChain);
+        assert_eq!(g.deps()[0].kind, DepKind::Output);
+    }
+
+    #[test]
+    fn unequal_coefficients_are_conservative() {
+        // A[2I] vs A[I]: conflicts at varying distances -> SerialChain arcs.
+        let a = ArrayId(0);
+        let nest = LoopNestBuilder::new(1, 100)
+            .stmt("S1", 1, vec![ArrayRef::new(a, AccessKind::Write, vec![LinExpr::new(vec![2], 0)])])
+            .stmt("S2", 1, vec![ArrayRef::new(a, AccessKind::Read, vec![LinExpr::new(vec![1], 0)])])
+            .build();
+        let g = analyze(&nest);
+        assert!(g.deps().iter().any(|d| d.distance == Distance::SerialChain));
+    }
+
+    #[test]
+    fn two_dim_nest_distance_vectors() {
+        // Example 2: S1 writes A[I,J]; S2 reads A[I,J-1] -> flow (0,1).
+        //            S2 writes B[I,J]; S3 reads B[I-1,J-1] -> flow (1,1).
+        let (a, b) = (ArrayId(0), ArrayId(1));
+        let nest = LoopNestBuilder::new(1, 4)
+            .inner(1, 5)
+            .stmt(
+                "S1",
+                1,
+                vec![ArrayRef::new(a, AccessKind::Write, vec![LinExpr::index(0, 0), LinExpr::index(1, 0)])],
+            )
+            .stmt(
+                "S2",
+                1,
+                vec![
+                    ArrayRef::new(b, AccessKind::Write, vec![LinExpr::index(0, 0), LinExpr::index(1, 0)]),
+                    ArrayRef::new(a, AccessKind::Read, vec![LinExpr::index(0, 0), LinExpr::index(1, -1)]),
+                ],
+            )
+            .stmt(
+                "S3",
+                1,
+                vec![ArrayRef::new(b, AccessKind::Read, vec![LinExpr::index(0, -1), LinExpr::index(1, -1)])],
+            )
+            .build();
+        let g = analyze(&nest);
+        let v = |s: usize, t: usize| {
+            g.deps()
+                .iter()
+                .find(|d| d.src.0 == s && d.dst.0 == t)
+                .map(|d| d.distance.clone())
+        };
+        assert_eq!(v(0, 1), Some(Distance::Vector(vec![0, 1])));
+        assert_eq!(v(1, 2), Some(Distance::Vector(vec![1, 1])));
+        assert_eq!(g.deps().len(), 2);
+    }
+
+    #[test]
+    fn anti_dependence_direction_flip() {
+        // S1 reads A[I+1]; S2 writes A[I]. Write at iter j touches the
+        // element read at iter j-1: read first -> anti S1->S2 distance 1.
+        let a = ArrayId(0);
+        let nest = LoopNestBuilder::new(1, 50)
+            .stmt("S1", 1, vec![ArrayRef::simple(a, AccessKind::Read, 1)])
+            .stmt("S2", 1, vec![ArrayRef::simple(a, AccessKind::Write, 0)])
+            .build();
+        let g = analyze(&nest);
+        assert_eq!(g.deps().len(), 1);
+        let d = &g.deps()[0];
+        assert_eq!((d.src.0, d.dst.0, d.kind), (0, 1, DepKind::Anti));
+        assert_eq!(d.distance, Distance::Vector(vec![1]));
+    }
+
+    #[test]
+    fn loop_independent_dep_same_iteration() {
+        // S1 writes A[I]; S2 reads A[I]: flow with distance 0.
+        let a = ArrayId(0);
+        let nest = LoopNestBuilder::new(1, 10)
+            .stmt("S1", 1, vec![ArrayRef::simple(a, AccessKind::Write, 0)])
+            .stmt("S2", 1, vec![ArrayRef::simple(a, AccessKind::Read, 0)])
+            .build();
+        let g = analyze(&nest);
+        assert_eq!(g.deps().len(), 1);
+        assert_eq!(g.deps()[0].distance, Distance::Vector(vec![0]));
+        assert!(g.carried().next().is_none());
+        assert_eq!(g.independent().count(), 1);
+    }
+
+    #[test]
+    fn different_arms_have_no_intra_iteration_dep() {
+        let a = ArrayId(0);
+        let nest = LoopNestBuilder::new(1, 10)
+            .branch(vec![
+                vec![("Sb", 1, vec![ArrayRef::simple(a, AccessKind::Write, 0)])],
+                vec![("Sc", 1, vec![ArrayRef::simple(a, AccessKind::Read, 0)])],
+            ])
+            .build();
+        let g = analyze(&nest);
+        // Distance-0 conflicts across mutually exclusive arms are impossible.
+        assert!(g.independent().next().is_none());
+    }
+
+    #[test]
+    fn read_read_is_not_a_dependence() {
+        let a = ArrayId(0);
+        let nest = LoopNestBuilder::new(1, 10)
+            .stmt("S1", 1, vec![ArrayRef::simple(a, AccessKind::Read, 0)])
+            .stmt("S2", 1, vec![ArrayRef::simple(a, AccessKind::Read, 1)])
+            .build();
+        assert!(analyze(&nest).deps().is_empty());
+    }
+
+    #[test]
+    fn solver_rejects_non_integral_solutions() {
+        // A[2I] vs A[2I+1] handled by parity; also check 2*delta = 1 path.
+        let s = solve_system(1, vec![(vec![2], 1)]);
+        assert_eq!(s, Solve::NoConflict);
+        assert_eq!(solve_system(1, vec![(vec![2], 4)]), Solve::Unique(vec![2]));
+        assert_eq!(solve_system(2, vec![(vec![1, 0], 3)]), Solve::Family);
+        assert_eq!(solve_system(2, vec![(vec![1, 0], 3), (vec![0, 1], -1)]), Solve::Unique(vec![3, -1]));
+        assert_eq!(solve_system(1, vec![(vec![0], 5)]), Solve::NoConflict);
+    }
+}

@@ -1,0 +1,318 @@
+//! Redundant (covered) dependence elimination.
+//!
+//! A dependence arc `u -> v` with distance `d` is *covered* when the graph
+//! contains a path from `u` to `v` whose distance vectors sum to exactly
+//! `d` (Section 2.1: "by enforcing S1->S3 and S3->S4, the dependence
+//! S1->S4 can be covered"). Enforcing the path arcs transitively enforces
+//! the covered arc, so it needs no synchronization of its own.
+//!
+//! # Why exact sums?
+//!
+//! A path with a *smaller* distance sum `d' < d` would order `v(i+d)`
+//! after `u(i + (d - d'))` — a *later* instance of `u`. Under Doacross
+//! execution, instances of the same statement across iterations are not
+//! ordered unless a dependence orders them, so completion of `u(i+k)` does
+//! not imply completion of `u(i)`. Only exact-sum paths are sound.
+//!
+//! [`Distance::SerialChain`] arcs never participate: their distance is not
+//! a single vector.
+//!
+//! # Branches
+//!
+//! A covering path is only as strong as its weakest instance: if an
+//! intermediate statement sits inside a branch arm, the iteration the
+//! path routes through may take the other arm and the chain breaks.
+//! Paths therefore only pass through **unconditional** intermediate
+//! statements; the covered arc's endpoints may be conditional (the
+//! obligation is itself conditional on those instances executing).
+
+use crate::graph::{Dep, DepGraph, Distance};
+use crate::ir::{LoopNest, StmtId};
+use std::collections::HashSet;
+
+/// Limits on the covering-path search (keeps the search total on cyclic
+/// graphs; hitting a limit only means an arc is conservatively kept).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverLimits {
+    /// Maximum number of arcs in a covering path.
+    pub max_path_len: usize,
+    /// Maximum number of DFS node expansions per candidate arc.
+    pub max_expansions: usize,
+}
+
+impl Default for CoverLimits {
+    fn default() -> Self {
+        Self { max_path_len: 16, max_expansions: 50_000 }
+    }
+}
+
+/// Removes covered carried arcs and returns the reduced graph.
+///
+/// Arcs are considered in decreasing linear-magnitude order, and each
+/// candidate is tested against the *current* remaining graph, so removals
+/// compose soundly (every removed arc stays implied by arcs that remain).
+///
+/// # Examples
+///
+/// ```
+/// use datasync_loopir::{analysis::analyze, covering::reduce, workpatterns::fig21_loop};
+///
+/// let nest = fig21_loop(50);
+/// let g = analyze(&nest);
+/// let reduced = reduce(&nest, &g);
+/// // S1->S4 (output, 3) is covered by S1->S3 (1) + S3->S4 (2);
+/// // S1->S5 (flow, 4) is covered by S1->S4's cover + S4->S5.
+/// assert_eq!(g.deps().len() - reduced.deps().len(), 2);
+/// ```
+pub fn reduce(nest: &LoopNest, graph: &DepGraph) -> DepGraph {
+    reduce_with(nest, graph, CoverLimits::default())
+}
+
+/// [`reduce`] with explicit search limits.
+pub fn reduce_with(nest: &LoopNest, graph: &DepGraph, limits: CoverLimits) -> DepGraph {
+    assert_eq!(nest.n_stmts(), graph.n_stmts(), "graph does not match nest");
+    // A statement inside a branch arm may not execute every iteration.
+    let conditional: Vec<bool> =
+        (0..graph.n_stmts()).map(|i| nest.branch_of(StmtId(i)).is_some()).collect();
+    let remaining: Vec<Dep> = graph.deps().to_vec();
+
+    // Candidates: carried vector arcs, largest distances first (the larger
+    // an arc, the more likely a multi-arc path covers it).
+    let mut order: Vec<usize> = (0..remaining.len())
+        .filter(|&i| remaining[i].is_carried() && matches!(remaining[i].distance, Distance::Vector(_)))
+        .collect();
+    order.sort_by_key(|&i| {
+        std::cmp::Reverse(match &remaining[i].distance {
+            Distance::Vector(v) => v.iter().map(|x| x.abs()).sum::<i64>(),
+            Distance::SerialChain => 0,
+        })
+    });
+
+    let mut removed: HashSet<usize> = HashSet::new();
+    for &cand in &order {
+        let arcs: Vec<&Dep> = remaining
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != cand && !removed.contains(&i))
+            .map(|(_, d)| d)
+            .collect();
+        if is_covered(&remaining[cand], &arcs, &conditional, limits) {
+            removed.insert(cand);
+        }
+    }
+
+    let deps = remaining
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !removed.contains(i))
+        .map(|(_, d)| d)
+        .collect();
+    DepGraph::new(graph.n_stmts(), deps)
+}
+
+/// Tests whether `target` is covered by a path over `arcs` whose
+/// intermediate statements all execute unconditionally.
+fn is_covered(target: &Dep, arcs: &[&Dep], conditional: &[bool], limits: CoverLimits) -> bool {
+    let Distance::Vector(goal) = &target.distance else { return false };
+    let depth = goal.len();
+    let budget: i64 = goal.iter().map(|x| x.abs()).sum::<i64>()
+        + arcs
+            .iter()
+            .filter_map(|d| match &d.distance {
+                Distance::Vector(v) => Some(v.iter().map(|x| x.abs()).sum::<i64>()),
+                Distance::SerialChain => None,
+            })
+            .sum::<i64>();
+
+    // DFS over (stmt, accumulated distance); only count paths of >= 2 arcs
+    // unless a distinct parallel arc matches exactly.
+    let mut stack: Vec<(StmtId, Vec<i64>, usize)> = vec![(target.src, vec![0; depth], 0)];
+    let mut seen: HashSet<(StmtId, Vec<i64>)> = HashSet::new();
+    let mut expansions = 0usize;
+
+    while let Some((at, acc, len)) = stack.pop() {
+        expansions += 1;
+        if expansions > limits.max_expansions || len >= limits.max_path_len {
+            continue;
+        }
+        for arc in arcs {
+            if arc.src != at {
+                continue;
+            }
+            let Distance::Vector(v) = &arc.distance else { continue };
+            let next: Vec<i64> = acc.iter().zip(v).map(|(a, b)| a + b).collect();
+            let l1: i64 = next.iter().map(|x| x.abs()).sum();
+            if l1 > budget {
+                continue;
+            }
+            if arc.dst == target.dst && next == *goal {
+                return true;
+            }
+            // Only unconditional statements may serve as intermediates.
+            if conditional[arc.dst.0] {
+                continue;
+            }
+            let key = (arc.dst, next.clone());
+            if seen.insert(key) {
+                stack.push((arc.dst, next, len + 1));
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::graph::DepKind;
+    use crate::workpatterns::fig21_loop;
+
+    fn dep(s: usize, t: usize, kind: DepKind, v: Vec<i64>) -> Dep {
+        Dep { src: StmtId(s), dst: StmtId(t), kind, distance: Distance::Vector(v) }
+    }
+
+    /// A nest of `n` unconditional empty statements (structure only).
+    fn flat_nest(n: usize) -> LoopNest {
+        let mut b = crate::ir::LoopNestBuilder::new(1, 4);
+        for i in 0..n {
+            b = b.stmt(&format!("S{i}"), 1, vec![]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fig21_covering_matches_paper() {
+        let nest = fig21_loop(50);
+        let g = analyze(&nest);
+        let r = reduce(&nest, &g);
+        let has = |s: usize, t: usize| r.deps().iter().any(|d| d.src.0 == s && d.dst.0 == t);
+        // Removed: S1->S4 (covered by S1->S3 + S3->S4) and S1->S5
+        // (covered by remaining arcs + S4->S5).
+        assert!(!has(0, 3), "S1->S4 should be covered");
+        assert!(!has(0, 4), "S1->S5 should be covered");
+        // Kept: the five arcs the paper synchronizes.
+        assert!(has(0, 1) && has(0, 2) && has(1, 3) && has(2, 3) && has(3, 4));
+        assert_eq!(r.deps().len(), 5);
+    }
+
+    #[test]
+    fn exact_sum_required() {
+        // u->v (3) and a path u->w->v summing to 2: NOT covering.
+        let g = DepGraph::new(
+            3,
+            vec![
+                dep(0, 2, DepKind::Flow, vec![3]),
+                dep(0, 1, DepKind::Flow, vec![1]),
+                dep(1, 2, DepKind::Flow, vec![1]),
+            ],
+        );
+        let r = reduce(&flat_nest(3), &g);
+        assert_eq!(r.deps().len(), 3, "smaller-sum path must not cover");
+    }
+
+    #[test]
+    fn zero_distance_arcs_can_participate() {
+        // u->v (2) covered by u->w (0) + w->v (2).
+        let g = DepGraph::new(
+            3,
+            vec![
+                dep(0, 2, DepKind::Flow, vec![2]),
+                dep(0, 1, DepKind::Flow, vec![0]),
+                dep(1, 2, DepKind::Flow, vec![2]),
+            ],
+        );
+        let r = reduce(&flat_nest(3), &g);
+        assert_eq!(r.deps().len(), 2);
+        assert!(!r.deps().iter().any(|d| d.src.0 == 0 && d.dst.0 == 2));
+    }
+
+    #[test]
+    fn serial_chains_are_preserved() {
+        let g = DepGraph::new(
+            2,
+            vec![
+                Dep {
+                    src: StmtId(0),
+                    dst: StmtId(1),
+                    kind: DepKind::Output,
+                    distance: Distance::SerialChain,
+                },
+                dep(0, 1, DepKind::Flow, vec![1]),
+            ],
+        );
+        let r = reduce(&flat_nest(2), &g);
+        assert_eq!(r.deps().len(), 2);
+    }
+
+    #[test]
+    fn vector_distances_cover_componentwise() {
+        // (1,1) covered by (1,0) + (0,1).
+        let g = DepGraph::new(
+            3,
+            vec![
+                dep(0, 2, DepKind::Flow, vec![1, 1]),
+                dep(0, 1, DepKind::Flow, vec![1, 0]),
+                dep(1, 2, DepKind::Flow, vec![0, 1]),
+            ],
+        );
+        let r = reduce(&flat_nest(3), &g);
+        assert_eq!(r.deps().len(), 2);
+    }
+
+    #[test]
+    fn self_cycle_does_not_loop_forever() {
+        // A cycle u->u (1) with a candidate u->v (5): terminates within caps.
+        let g = DepGraph::new(
+            2,
+            vec![dep(0, 0, DepKind::Output, vec![1]), dep(0, 1, DepKind::Flow, vec![5])],
+        );
+        let r = reduce_with(&flat_nest(2), &g, CoverLimits { max_path_len: 8, max_expansions: 1000 });
+        // No path u->...->v other than the arc itself: both kept.
+        assert_eq!(r.deps().len(), 2);
+    }
+
+    #[test]
+    fn chain_of_selfloops_covers_long_arc() {
+        // u->u (1) and u->v (1): u->v (3) is covered by u->u,u->u,u->v.
+        let g = DepGraph::new(
+            2,
+            vec![
+                dep(0, 0, DepKind::Output, vec![1]),
+                dep(0, 1, DepKind::Flow, vec![1]),
+                dep(0, 1, DepKind::Flow, vec![3]),
+            ],
+        );
+        let r = reduce(&flat_nest(2), &g);
+        assert!(!r.deps().iter().any(
+            |d| d.src.0 == 0 && d.dst.0 == 1 && d.distance == Distance::Vector(vec![3])
+        ));
+    }
+
+    #[test]
+    fn conditional_intermediates_do_not_cover() {
+        // u (top level) -> c (in a branch arm) -> v: the path through c
+        // must NOT cover u -> v, because c may not execute in the middle
+        // iteration.
+        use crate::ir::{LoopNestBuilder};
+        let nest = LoopNestBuilder::new(1, 8)
+            .stmt("u", 1, vec![])
+            .branch(vec![vec![("c", 1, vec![])], vec![("c2", 1, vec![])]])
+            .stmt("v", 1, vec![])
+            .build();
+        // u = S0, c = S1, c2 = S2, v = S3.
+        let g = DepGraph::new(
+            4,
+            vec![
+                dep(0, 3, DepKind::Flow, vec![2]),
+                dep(0, 1, DepKind::Flow, vec![1]),
+                dep(1, 3, DepKind::Flow, vec![1]),
+            ],
+        );
+        let r = reduce(&nest, &g);
+        assert_eq!(r.deps().len(), 3, "path through conditional c must not cover");
+        // Same shape with all statements unconditional: covered.
+        let r2 = reduce(&flat_nest(4), &g);
+        assert_eq!(r2.deps().len(), 2);
+    }
+}

@@ -1,0 +1,412 @@
+//! Dependence graphs.
+//!
+//! Nodes are statements; arcs are data dependences annotated with their
+//! kind (flow / anti / output) and distance. Distances are stored as
+//! vectors over the nest dimensions and can be linearized onto process ids
+//! with [`Dep::linear_distance`] (Example 2 of the paper).
+
+use crate::ir::{LoopNest, StmtId};
+use crate::space::IterSpace;
+use std::fmt;
+
+/// The three kinds of ordered data dependence (Section 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Read-after-write.
+    Flow,
+    /// Write-after-read.
+    Anti,
+    /// Write-after-write.
+    Output,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepKind::Flow => "flow",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dependence distance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Distance {
+    /// A constant distance vector over the nest dimensions
+    /// (all-zero = loop independent).
+    Vector(Vec<i64>),
+    /// Conflicts occur at non-constant distances; the instances of the two
+    /// statements must be totally ordered. Realized as a linear distance-1
+    /// chain (conservative, always sound).
+    SerialChain,
+}
+
+/// One dependence arc `src -> dst`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dep {
+    /// Statement at the tail (executes first).
+    pub src: StmtId,
+    /// Statement at the head (must wait).
+    pub dst: StmtId,
+    /// Flow, anti or output.
+    pub kind: DepKind,
+    /// The dependence distance.
+    pub distance: Distance,
+}
+
+impl Dep {
+    /// `true` if the dependence crosses iterations.
+    pub fn is_carried(&self) -> bool {
+        match &self.distance {
+            Distance::Vector(v) => v.iter().any(|&x| x != 0),
+            Distance::SerialChain => true,
+        }
+    }
+
+    /// The linear (process-id) distance of the dependence within `nest`'s
+    /// iteration space. `SerialChain` linearizes to 1.
+    pub fn linear_distance(&self, nest: &LoopNest) -> i64 {
+        self.linear_distance_in(&IterSpace::of(nest))
+    }
+
+    /// As [`Dep::linear_distance`], over an explicit space.
+    pub fn linear_distance_in(&self, space: &IterSpace) -> i64 {
+        match &self.distance {
+            Distance::Vector(v) => space.linear_distance(v),
+            Distance::SerialChain => 1,
+        }
+    }
+
+    /// The linear distance of an arc in an already-linearized graph
+    /// (see [`DepGraph::linearized`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distance is a vector of more than one dimension.
+    pub fn linear(&self) -> i64 {
+        match &self.distance {
+            Distance::Vector(v) => {
+                assert_eq!(v.len(), 1, "arc {self} is not linearized");
+                v[0]
+            }
+            Distance::SerialChain => 1,
+        }
+    }
+}
+
+impl fmt::Display for Dep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.distance {
+            Distance::Vector(v) if v.len() == 1 => {
+                write!(f, "{} -> {} ({}, d={})", self.src, self.dst, self.kind, v[0])
+            }
+            Distance::Vector(v) => {
+                write!(f, "{} -> {} ({}, d={:?})", self.src, self.dst, self.kind, v)
+            }
+            Distance::SerialChain => {
+                write!(f, "{} -> {} ({}, serial-chain)", self.src, self.dst, self.kind)
+            }
+        }
+    }
+}
+
+/// A dependence graph over the statements of one loop nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepGraph {
+    n_stmts: usize,
+    deps: Vec<Dep>,
+}
+
+impl DepGraph {
+    /// Creates a graph from arcs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any arc references a statement `>= n_stmts`.
+    pub fn new(n_stmts: usize, deps: Vec<Dep>) -> Self {
+        for d in &deps {
+            assert!(
+                d.src.0 < n_stmts && d.dst.0 < n_stmts,
+                "dependence {d} references a statement outside 0..{n_stmts}"
+            );
+        }
+        Self { n_stmts, deps }
+    }
+
+    /// Number of statements (nodes).
+    pub fn n_stmts(&self) -> usize {
+        self.n_stmts
+    }
+
+    /// All dependence arcs.
+    pub fn deps(&self) -> &[Dep] {
+        &self.deps
+    }
+
+    /// Loop-carried dependences (distance lexicographically positive or
+    /// serial chains).
+    pub fn carried(&self) -> impl Iterator<Item = &Dep> {
+        self.deps.iter().filter(|d| d.is_carried())
+    }
+
+    /// Loop-independent dependences (all-zero distance; enforced by the
+    /// sequential statement order within one process).
+    pub fn independent(&self) -> impl Iterator<Item = &Dep> {
+        self.deps.iter().filter(|d| !d.is_carried())
+    }
+
+    /// Statement ids that are the source of at least one carried dependence,
+    /// ascending (the statements needing `mark_PC`/`Advance`).
+    pub fn carried_sources(&self) -> Vec<StmtId> {
+        let mut v: Vec<StmtId> = self.carried().map(|d| d.src).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Statement ids that are the sink of at least one carried dependence.
+    pub fn carried_sinks(&self) -> Vec<StmtId> {
+        let mut v: Vec<StmtId> = self.carried().map(|d| d.dst).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Returns a graph with every distance linearized onto the given
+    /// iteration space: each arc's distance becomes a 1-vector holding the
+    /// linear pid distance. Serial chains stay serial chains.
+    ///
+    /// This is the implicit-coalescing step of Example 2 — including the
+    /// conservatism the paper describes: the linear arc is enforced at
+    /// *every* pid, which adds the dashed boundary dependences.
+    pub fn linearized(&self, space: &IterSpace) -> DepGraph {
+        let deps = self
+            .deps
+            .iter()
+            .map(|d| Dep {
+                src: d.src,
+                dst: d.dst,
+                kind: d.kind,
+                distance: match &d.distance {
+                    Distance::Vector(v) => Distance::Vector(vec![space.linear_distance(v)]),
+                    Distance::SerialChain => Distance::SerialChain,
+                },
+            })
+            .collect();
+        DepGraph::new(self.n_stmts, deps)
+    }
+
+    /// Strongly connected components of the statement graph (all arcs,
+    /// carried and loop-independent), returned in **topological order**
+    /// of the condensation — the phase order loop distribution
+    /// (Allen–Kennedy) uses. Single statements with a self arc form their
+    /// own (recurrent) component.
+    pub fn sccs(&self) -> Vec<Vec<StmtId>> {
+        // Tarjan's algorithm, iterative.
+        let n = self.n_stmts;
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for d in &self.deps {
+            if d.src != d.dst {
+                adj[d.src.0].push(d.dst.0);
+            }
+        }
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut comps: Vec<Vec<StmtId>> = Vec::new();
+
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            // Explicit DFS stack of (node, next child position).
+            let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut ci)) = dfs.last_mut() {
+                if *ci == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if *ci < adj[v].len() {
+                    let w = adj[v][*ci];
+                    *ci += 1;
+                    if index[w] == usize::MAX {
+                        dfs.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack");
+                            on_stack[w] = false;
+                            comp.push(StmtId(w));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        comps.push(comp);
+                    }
+                    dfs.pop();
+                    if let Some(&mut (u, _)) = dfs.last_mut() {
+                        low[u] = low[u].min(low[v]);
+                    }
+                }
+            }
+        }
+        // Tarjan emits components in reverse topological order.
+        comps.reverse();
+        comps
+    }
+
+    /// `true` if the component `comp` contains a recurrence: a carried
+    /// arc between (or within) its statements.
+    pub fn component_recurrent(&self, comp: &[StmtId]) -> bool {
+        self.carried().any(|d| comp.contains(&d.src) && comp.contains(&d.dst))
+    }
+
+    /// Renders the graph in Graphviz `dot` syntax (for documentation and
+    /// debugging).
+    pub fn to_dot(&self, nest: &LoopNest) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph deps {\n  rankdir=TB;\n");
+        for s in nest.stmts() {
+            let _ = writeln!(out, "  s{} [label=\"{}\"];", s.id.0, s.label);
+        }
+        for d in &self.deps {
+            let style = match d.kind {
+                DepKind::Flow => "solid",
+                DepKind::Anti => "dashed",
+                DepKind::Output => "dotted",
+            };
+            let label = match &d.distance {
+                Distance::Vector(v) if v.len() == 1 => format!("{}", v[0]),
+                Distance::Vector(v) => format!("{v:?}"),
+                Distance::SerialChain => "*".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  s{} -> s{} [label=\"{label}\", style={style}];",
+                d.src.0, d.dst.0
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::LoopDim;
+
+    fn dep(s: usize, t: usize, kind: DepKind, v: Vec<i64>) -> Dep {
+        Dep { src: StmtId(s), dst: StmtId(t), kind, distance: Distance::Vector(v) }
+    }
+
+    #[test]
+    fn carried_vs_independent() {
+        let g = DepGraph::new(
+            3,
+            vec![
+                dep(0, 1, DepKind::Flow, vec![0]),
+                dep(1, 2, DepKind::Anti, vec![2]),
+                Dep {
+                    src: StmtId(2),
+                    dst: StmtId(0),
+                    kind: DepKind::Output,
+                    distance: Distance::SerialChain,
+                },
+            ],
+        );
+        assert_eq!(g.carried().count(), 2);
+        assert_eq!(g.independent().count(), 1);
+        assert_eq!(g.carried_sources(), vec![StmtId(1), StmtId(2)]);
+        assert_eq!(g.carried_sinks(), vec![StmtId(0), StmtId(2)]);
+    }
+
+    #[test]
+    fn linearized_maps_vectors() {
+        let space = IterSpace::new(vec![LoopDim::new(1, 3), LoopDim::new(1, 5)]);
+        let g = DepGraph::new(2, vec![dep(0, 1, DepKind::Flow, vec![1, 1])]);
+        let lin = g.linearized(&space);
+        assert_eq!(lin.deps()[0].distance, Distance::Vector(vec![6]));
+    }
+
+    #[test]
+    fn serial_chain_linear_distance_is_one() {
+        let space = IterSpace::new(vec![LoopDim::new(1, 10)]);
+        let d = Dep {
+            src: StmtId(0),
+            dst: StmtId(0),
+            kind: DepKind::Output,
+            distance: Distance::SerialChain,
+        };
+        assert_eq!(d.linear_distance_in(&space), 1);
+        assert!(d.is_carried());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_arc_panics() {
+        let _ = DepGraph::new(1, vec![dep(0, 1, DepKind::Flow, vec![1])]);
+    }
+
+    #[test]
+    fn sccs_of_fig21_are_singletons_in_topo_order() {
+        let nest = crate::workpatterns::fig21_loop(10);
+        let g = crate::analysis::analyze(&nest);
+        let comps = g.sccs();
+        assert_eq!(comps.len(), 5, "no cycles in Fig 2.1");
+        // Topological: S1 before S2/S3, S2/S3 before S4, S4 before S5.
+        let pos = |s: usize| comps.iter().position(|c| c.contains(&StmtId(s))).unwrap();
+        assert!(pos(0) < pos(1) && pos(0) < pos(2));
+        assert!(pos(1) < pos(3) && pos(2) < pos(3));
+        assert!(pos(3) < pos(4));
+        assert!(!g.component_recurrent(&comps[pos(0)]));
+    }
+
+    #[test]
+    fn scc_groups_mutual_recurrence() {
+        // S0 -> S1 (flow, 1) and S1 -> S0 (anti, 1): one recurrent SCC.
+        let g = DepGraph::new(
+            3,
+            vec![
+                dep(0, 1, DepKind::Flow, vec![1]),
+                dep(1, 0, DepKind::Anti, vec![1]),
+                dep(1, 2, DepKind::Flow, vec![0]),
+            ],
+        );
+        let comps = g.sccs();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![StmtId(0), StmtId(1)]);
+        assert_eq!(comps[1], vec![StmtId(2)]);
+        assert!(g.component_recurrent(&comps[0]));
+        assert!(!g.component_recurrent(&comps[1]));
+    }
+
+    #[test]
+    fn self_loop_is_recurrent_singleton() {
+        let g = DepGraph::new(1, vec![dep(0, 0, DepKind::Output, vec![1])]);
+        let comps = g.sccs();
+        assert_eq!(comps, vec![vec![StmtId(0)]]);
+        assert!(g.component_recurrent(&comps[0]));
+    }
+
+    #[test]
+    fn dot_output_mentions_every_arc() {
+        let nest = crate::workpatterns::fig21_loop(10);
+        let g = crate::analysis::analyze(&nest);
+        let dot = g.to_dot(&nest);
+        assert!(dot.contains("digraph"));
+        assert_eq!(dot.matches(" -> ").count(), g.deps().len());
+    }
+}

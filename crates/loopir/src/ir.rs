@@ -1,0 +1,534 @@
+//! The loop intermediate representation.
+//!
+//! A [`LoopNest`] models a (possibly nested) Fortran-style `DO` loop whose
+//! body is a sequence of statements and (single-level) conditional branches.
+//! Each statement carries a set of [`ArrayRef`]s with subscripts that are
+//! affine in the loop indices — the program model assumed throughout
+//! Su & Yew (ISCA 1989).
+//!
+//! The IR deliberately has no concrete arithmetic: a statement's "value" is
+//! defined by the deterministic mixing semantics in [`crate::exec`], which
+//! is order-sensitive and therefore a perfect oracle for checking that a
+//! parallel execution preserved sequential semantics.
+
+use std::fmt;
+
+/// Identifies an array within one [`LoopNest`].
+///
+/// Plain index newtype; arrays are declared implicitly by being referenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub usize);
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// Identifies a statement by its flattened textual position in the body.
+///
+/// Statements inside branch arms are numbered in arm order, so `StmtId`
+/// ordering is consistent with textual ordering of the source program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub usize);
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0 + 1)
+    }
+}
+
+/// Identifies a branch (an `IF`/`ELSE` region) within one [`LoopNest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BranchId(pub usize);
+
+/// Whether an [`ArrayRef`] reads or writes its element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// The statement fetches the element.
+    Read,
+    /// The statement stores to the element.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// An affine expression `coefs · indices + offset` over the loop indices.
+///
+/// `coefs[k]` multiplies the index of loop dimension `k` (outermost first).
+/// Dimensions beyond `coefs.len()` have coefficient zero.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LinExpr {
+    /// Per-dimension coefficients, outermost loop first.
+    pub coefs: Vec<i64>,
+    /// Constant offset.
+    pub offset: i64,
+}
+
+impl LinExpr {
+    /// Creates `coefs · indices + offset`.
+    pub fn new(coefs: Vec<i64>, offset: i64) -> Self {
+        Self { coefs, offset }
+    }
+
+    /// The expression `i_dim + offset` (unit coefficient on one dimension).
+    pub fn index(dim: usize, offset: i64) -> Self {
+        let mut coefs = vec![0; dim + 1];
+        coefs[dim] = 1;
+        Self { coefs, offset }
+    }
+
+    /// A constant subscript.
+    pub fn constant(offset: i64) -> Self {
+        Self { coefs: Vec::new(), offset }
+    }
+
+    /// Coefficient of dimension `dim` (zero if absent).
+    pub fn coef(&self, dim: usize) -> i64 {
+        self.coefs.get(dim).copied().unwrap_or(0)
+    }
+
+    /// Evaluates the expression at a concrete index vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is shorter than the number of non-zero
+    /// coefficient positions used by this expression.
+    pub fn eval(&self, indices: &[i64]) -> i64 {
+        let mut v = self.offset;
+        for (k, &c) in self.coefs.iter().enumerate() {
+            if c != 0 {
+                v += c * indices[k];
+            }
+        }
+        v
+    }
+
+    /// Returns coefficients padded/truncated to exactly `depth` entries.
+    pub fn coefs_at_depth(&self, depth: usize) -> Vec<i64> {
+        (0..depth).map(|k| self.coef(k)).collect()
+    }
+}
+
+/// One array access `kind A[subscript...]` inside a statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArrayRef {
+    /// The accessed array.
+    pub array: ArrayId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// One affine expression per array dimension.
+    pub subscript: Vec<LinExpr>,
+}
+
+impl ArrayRef {
+    /// Creates a reference with the given subscripts.
+    pub fn new(array: ArrayId, kind: AccessKind, subscript: Vec<LinExpr>) -> Self {
+        Self { array, kind, subscript }
+    }
+
+    /// Convenience: 1-D reference `A[i_0 + offset]` on loop dimension 0.
+    pub fn simple(array: ArrayId, kind: AccessKind, offset: i64) -> Self {
+        Self::new(array, kind, vec![LinExpr::index(0, offset)])
+    }
+
+    /// Evaluates all subscripts at a concrete index vector.
+    pub fn element(&self, indices: &[i64]) -> Vec<i64> {
+        self.subscript.iter().map(|e| e.eval(indices)).collect()
+    }
+}
+
+/// An executable statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Flattened textual position (assigned by [`LoopNestBuilder`]).
+    pub id: StmtId,
+    /// Human-readable label, e.g. `"S1"`.
+    pub label: String,
+    /// Abstract execution cost in machine cycles (simulator compute time).
+    pub cost: u32,
+    /// Array accesses performed by the statement.
+    pub refs: Vec<ArrayRef>,
+}
+
+impl Stmt {
+    /// Iterates over write references.
+    pub fn writes(&self) -> impl Iterator<Item = &ArrayRef> {
+        self.refs.iter().filter(|r| r.kind.is_write())
+    }
+
+    /// Iterates over read references.
+    pub fn reads(&self) -> impl Iterator<Item = &ArrayRef> {
+        self.refs.iter().filter(|r| !r.kind.is_write())
+    }
+}
+
+/// A single-level conditional region: exactly one arm executes per iteration.
+///
+/// The arm taken is a deterministic pseudo-random function of the branch id
+/// and the iteration index (see [`Branch::arm_taken`]), so every executor
+/// (sequential oracle, simulator, real threads) agrees on control flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Branch {
+    /// Branch identity within the nest.
+    pub id: BranchId,
+    /// The alternative arms; each arm is a statement sequence.
+    pub arms: Vec<Vec<Stmt>>,
+}
+
+impl Branch {
+    /// The arm executed at linear iteration `pid` (deterministic hash).
+    pub fn arm_taken(&self, pid: u64) -> usize {
+        debug_assert!(!self.arms.is_empty());
+        (crate::exec::mix2(0x6272_616e_6368_0000 ^ self.id.0 as u64, pid) % self.arms.len() as u64)
+            as usize
+    }
+
+    /// All statements of all arms, in textual order.
+    pub fn stmts(&self) -> impl Iterator<Item = &Stmt> {
+        self.arms.iter().flatten()
+    }
+}
+
+/// One element of a loop body: a plain statement or a branch region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BodyItem {
+    /// An unconditional statement.
+    Stmt(Stmt),
+    /// A conditional region.
+    Branch(Branch),
+}
+
+impl BodyItem {
+    /// All statements contained in this item.
+    pub fn stmts(&self) -> Box<dyn Iterator<Item = &Stmt> + '_> {
+        match self {
+            BodyItem::Stmt(s) => Box::new(std::iter::once(s)),
+            BodyItem::Branch(b) => Box::new(b.stmts()),
+        }
+    }
+}
+
+/// Inclusive bounds of one loop dimension, `DO i = lower, upper`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopDim {
+    /// First index value.
+    pub lower: i64,
+    /// Last index value (inclusive, Fortran style).
+    pub upper: i64,
+}
+
+impl LoopDim {
+    /// Creates a dimension; `upper < lower` yields an empty dimension.
+    pub fn new(lower: i64, upper: i64) -> Self {
+        Self { lower, upper }
+    }
+
+    /// Number of iterations of this dimension.
+    pub fn count(&self) -> u64 {
+        if self.upper < self.lower {
+            0
+        } else {
+            (self.upper - self.lower + 1) as u64
+        }
+    }
+}
+
+/// A (possibly nested) loop with an attached body.
+///
+/// `dims[0]` is the outermost loop. All statements live in the innermost
+/// body (perfect nesting), matching the loops studied in the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNest {
+    /// Loop dimensions, outermost first. Never empty.
+    pub dims: Vec<LoopDim>,
+    /// The loop body.
+    pub body: Vec<BodyItem>,
+}
+
+impl LoopNest {
+    /// Nesting depth.
+    pub fn depth(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of iterations (product of dimension counts).
+    pub fn iter_count(&self) -> u64 {
+        self.dims.iter().map(LoopDim::count).product()
+    }
+
+    /// All statements in textual order.
+    pub fn stmts(&self) -> impl Iterator<Item = &Stmt> {
+        self.body.iter().flat_map(|item| item.stmts())
+    }
+
+    /// Number of statements (including those inside branch arms).
+    pub fn n_stmts(&self) -> usize {
+        self.stmts().count()
+    }
+
+    /// Looks up a statement by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn stmt(&self, id: StmtId) -> &Stmt {
+        self.stmts().find(|s| s.id == id).expect("statement id out of range")
+    }
+
+    /// The branch containing `id`, if any, with the arm index.
+    pub fn branch_of(&self, id: StmtId) -> Option<(&Branch, usize)> {
+        for item in &self.body {
+            if let BodyItem::Branch(b) = item {
+                for (arm_ix, arm) in b.arms.iter().enumerate() {
+                    if arm.iter().any(|s| s.id == id) {
+                        return Some((b, arm_ix));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// `true` if two statements can execute in the same iteration
+    /// (i.e. they are not in different arms of the same branch).
+    pub fn coexecutable(&self, a: StmtId, b: StmtId) -> bool {
+        match (self.branch_of(a), self.branch_of(b)) {
+            (Some((ba, arm_a)), Some((bb, arm_b))) if ba.id == bb.id => arm_a == arm_b,
+            _ => true,
+        }
+    }
+
+    /// Statements executed at linear iteration `pid`, in textual order
+    /// (resolves branch arms).
+    pub fn executed_stmts(&self, pid: u64) -> Vec<&Stmt> {
+        let mut out = Vec::new();
+        for item in &self.body {
+            match item {
+                BodyItem::Stmt(s) => out.push(s),
+                BodyItem::Branch(b) => out.extend(b.arms[b.arm_taken(pid)].iter()),
+            }
+        }
+        out
+    }
+
+    /// Distinct arrays referenced by the nest, ascending.
+    pub fn arrays(&self) -> Vec<ArrayId> {
+        let mut ids: Vec<ArrayId> = self.stmts().flat_map(|s| s.refs.iter().map(|r| r.array)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// Builder for [`LoopNest`] that assigns statement and branch ids.
+///
+/// # Examples
+///
+/// ```
+/// use datasync_loopir::ir::{AccessKind, ArrayId, ArrayRef, LoopNestBuilder};
+///
+/// let a = ArrayId(0);
+/// let nest = LoopNestBuilder::new(1, 100)
+///     .stmt("S1", 4, vec![ArrayRef::simple(a, AccessKind::Write, 3)])
+///     .stmt("S2", 4, vec![ArrayRef::simple(a, AccessKind::Read, 1)])
+///     .build();
+/// assert_eq!(nest.n_stmts(), 2);
+/// assert_eq!(nest.iter_count(), 100);
+/// ```
+#[derive(Debug)]
+pub struct LoopNestBuilder {
+    dims: Vec<LoopDim>,
+    body: Vec<BodyItem>,
+    next_stmt: usize,
+    next_branch: usize,
+}
+
+impl LoopNestBuilder {
+    /// Starts a single loop `DO i = lower, upper`.
+    pub fn new(lower: i64, upper: i64) -> Self {
+        Self {
+            dims: vec![LoopDim::new(lower, upper)],
+            body: Vec::new(),
+            next_stmt: 0,
+            next_branch: 0,
+        }
+    }
+
+    /// Adds an inner loop dimension (call once per extra nesting level,
+    /// outermost to innermost).
+    pub fn inner(mut self, lower: i64, upper: i64) -> Self {
+        self.dims.push(LoopDim::new(lower, upper));
+        self
+    }
+
+    /// Appends a statement with the given label, cost and references.
+    pub fn stmt(mut self, label: &str, cost: u32, refs: Vec<ArrayRef>) -> Self {
+        let id = StmtId(self.next_stmt);
+        self.next_stmt += 1;
+        self.body.push(BodyItem::Stmt(Stmt { id, label: label.to_string(), cost, refs }));
+        self
+    }
+
+    /// Appends a branch region. Each arm is a list of `(label, cost, refs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    #[allow(clippy::type_complexity)]
+    pub fn branch(mut self, arms: Vec<Vec<(&str, u32, Vec<ArrayRef>)>>) -> Self {
+        assert!(!arms.is_empty(), "a branch needs at least one arm");
+        let id = BranchId(self.next_branch);
+        self.next_branch += 1;
+        let arms = arms
+            .into_iter()
+            .map(|arm| {
+                arm.into_iter()
+                    .map(|(label, cost, refs)| {
+                        let sid = StmtId(self.next_stmt);
+                        self.next_stmt += 1;
+                        Stmt { id: sid, label: label.to_string(), cost, refs }
+                    })
+                    .collect()
+            })
+            .collect();
+        self.body.push(BodyItem::Branch(Branch { id, arms }));
+        self
+    }
+
+    /// Finalizes the nest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body is empty.
+    pub fn build(self) -> LoopNest {
+        assert!(!self.body.is_empty(), "loop body must not be empty");
+        LoopNest { dims: self.dims, body: self.body }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_stmt_nest() -> LoopNest {
+        let a = ArrayId(0);
+        LoopNestBuilder::new(1, 10)
+            .stmt("S1", 1, vec![ArrayRef::simple(a, AccessKind::Write, 0)])
+            .stmt("S2", 1, vec![ArrayRef::simple(a, AccessKind::Read, -1)])
+            .build()
+    }
+
+    #[test]
+    fn lin_expr_eval() {
+        let e = LinExpr::new(vec![2, -1], 5);
+        assert_eq!(e.eval(&[3, 4]), 2 * 3 - 4 + 5);
+        assert_eq!(LinExpr::constant(7).eval(&[100]), 7);
+        assert_eq!(LinExpr::index(1, -2).eval(&[9, 6]), 4);
+    }
+
+    #[test]
+    fn lin_expr_coef_padding() {
+        let e = LinExpr::index(0, 3);
+        assert_eq!(e.coef(0), 1);
+        assert_eq!(e.coef(5), 0);
+        assert_eq!(e.coefs_at_depth(3), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let nest = two_stmt_nest();
+        let ids: Vec<usize> = nest.stmts().map(|s| s.id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(nest.stmt(StmtId(1)).label, "S2");
+    }
+
+    #[test]
+    fn builder_branch_ids_flattened() {
+        let a = ArrayId(0);
+        let nest = LoopNestBuilder::new(1, 4)
+            .stmt("S1", 1, vec![ArrayRef::simple(a, AccessKind::Write, 0)])
+            .branch(vec![
+                vec![("Sb", 1, vec![ArrayRef::simple(a, AccessKind::Read, -1)])],
+                vec![("Sc", 1, vec![]), ("Sd", 1, vec![])],
+            ])
+            .stmt("S5", 1, vec![])
+            .build();
+        let ids: Vec<usize> = nest.stmts().map(|s| s.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(nest.branch_of(StmtId(1)).is_some());
+        assert!(nest.branch_of(StmtId(0)).is_none());
+        assert_eq!(nest.branch_of(StmtId(2)).unwrap().1, 1);
+    }
+
+    #[test]
+    fn coexecutable_rules() {
+        let a = ArrayId(0);
+        let nest = LoopNestBuilder::new(1, 4)
+            .stmt("S1", 1, vec![ArrayRef::simple(a, AccessKind::Write, 0)])
+            .branch(vec![vec![("Sb", 1, vec![])], vec![("Sc", 1, vec![])]])
+            .build();
+        // top-level vs arm: coexecutable
+        assert!(nest.coexecutable(StmtId(0), StmtId(1)));
+        // different arms of the same branch: never in the same iteration
+        assert!(!nest.coexecutable(StmtId(1), StmtId(2)));
+        // a statement with itself
+        assert!(nest.coexecutable(StmtId(1), StmtId(1)));
+    }
+
+    #[test]
+    fn executed_stmts_resolves_arms() {
+        let nest = LoopNestBuilder::new(1, 4)
+            .branch(vec![vec![("Sb", 1, vec![])], vec![("Sc", 1, vec![])]])
+            .build();
+        for pid in 0..16 {
+            let ex = nest.executed_stmts(pid);
+            assert_eq!(ex.len(), 1);
+            assert!(ex[0].label == "Sb" || ex[0].label == "Sc");
+        }
+        // deterministic
+        let b = match &nest.body[0] {
+            BodyItem::Branch(b) => b,
+            _ => unreachable!(),
+        };
+        assert_eq!(b.arm_taken(3), b.arm_taken(3));
+        // both arms occur over enough iterations
+        let taken: Vec<usize> = (0..64).map(|p| b.arm_taken(p)).collect();
+        assert!(taken.contains(&0) && taken.contains(&1));
+    }
+
+    #[test]
+    fn iter_count_and_dims() {
+        let nest = LoopNestBuilder::new(2, 10).inner(1, 5).stmt("S", 1, vec![]).build();
+        assert_eq!(nest.depth(), 2);
+        assert_eq!(nest.iter_count(), 9 * 5);
+        assert_eq!(LoopDim::new(5, 4).count(), 0);
+    }
+
+    #[test]
+    fn arrays_deduplicated() {
+        let nest = LoopNestBuilder::new(1, 2)
+            .stmt(
+                "S1",
+                1,
+                vec![
+                    ArrayRef::simple(ArrayId(1), AccessKind::Write, 0),
+                    ArrayRef::simple(ArrayId(0), AccessKind::Read, 0),
+                    ArrayRef::simple(ArrayId(1), AccessKind::Read, 1),
+                ],
+            )
+            .build();
+        assert_eq!(nest.arrays(), vec![ArrayId(0), ArrayId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loop body must not be empty")]
+    fn empty_body_panics() {
+        let _ = LoopNestBuilder::new(1, 2).build();
+    }
+}

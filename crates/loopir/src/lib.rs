@@ -1,0 +1,70 @@
+//! Loop IR, data-dependence analysis and synchronization placement for
+//! Doacross loops.
+//!
+//! This crate is the compiler substrate of the reproduction of Su & Yew,
+//! *On Data Synchronization for Multiprocessors* (ISCA 1989). The paper
+//! assumes a parallelizing compiler that (a) finds the data dependences of
+//! a loop, (b) removes covered (redundant) ones, and (c) inserts
+//! synchronization primitives. This crate implements all three steps:
+//!
+//! * [`ir`] — the loop intermediate representation ([`ir::LoopNest`],
+//!   statements, affine array references, branches);
+//! * [`analysis`] — constant-distance dependence testing
+//!   ([`analysis::analyze`]);
+//! * [`graph`] — dependence graphs with distance vectors;
+//! * [`covering`] — covered-dependence elimination ([`covering::reduce`]);
+//! * [`space`] — linearized iteration spaces (Example 2's `lpid`);
+//! * [`plan`] — process-oriented synchronization placement
+//!   ([`plan::SyncPlan`], the Fig 4.2.b transformation);
+//! * [`profit`] — the Doacross-profitability decision (delay model);
+//! * [`render`] — Fortran-like listings of loops and their Doacross form;
+//! * [`parse`] — a parser for that loop language (text file in, IR out);
+//! * [`ranks`] — access-rank computation for data-oriented schemes;
+//! * [`wavefront`] — the wavefront loop transformation of Fig 5.1.c;
+//! * [`transform`] — loop unrolling (the compiler-side G-grouping of Fig 5.1.b);
+//! * [`exec`] — an order-sensitive abstract execution semantics used as a
+//!   correctness oracle by every executor in the workspace;
+//! * [`workpatterns`] — the paper's example loops as IR builders.
+//!
+//! # Examples
+//!
+//! Reproduce the paper's running example end to end (Fig 2.1 → Fig 4.2.b):
+//!
+//! ```
+//! use datasync_loopir::{analysis, covering, plan::SyncPlan, space::IterSpace,
+//!                       workpatterns::fig21_loop};
+//!
+//! let nest = fig21_loop(100);
+//! let graph = covering::reduce(&nest, &analysis::analyze(&nest));
+//! let space = IterSpace::of(&nest);
+//! let plan = SyncPlan::build(&nest, &graph.linearized(&space));
+//! assert_eq!(plan.n_steps(), 4); // S1..S4 are carried sources
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod covering;
+pub mod exec;
+pub mod graph;
+pub mod ir;
+pub mod parse;
+pub mod plan;
+pub mod profit;
+pub mod ranks;
+pub mod render;
+pub mod space;
+pub mod transform;
+pub mod wavefront;
+pub mod workpatterns;
+
+pub use analysis::analyze;
+pub use covering::reduce;
+pub use exec::{run_sequential, ArrayStore};
+pub use graph::{Dep, DepGraph, DepKind, Distance};
+pub use ir::{AccessKind, ArrayId, ArrayRef, LinExpr, LoopDim, LoopNest, LoopNestBuilder, Stmt, StmtId};
+pub use plan::{IterOp, PcOp, SyncPlan, WaitSpec};
+pub use profit::{analyze_doacross, DoacrossDecision};
+pub use wavefront::{wavefront_schedule, WavefrontSchedule};
+pub use space::IterSpace;

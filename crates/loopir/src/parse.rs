@@ -1,0 +1,466 @@
+//! A parser for the Fortran-like loop language that [`crate::render`]
+//! prints — so loops can be written in a text file, analyzed, and
+//! transformed without touching the builder API.
+//!
+//! # Grammar (line oriented)
+//!
+//! ```text
+//! DO I = 1, 100            -- one line per nesting level, outermost first
+//!   S1: A[I+3] = B[2*I-1] + A[I]   @4      -- label: writes = reads @cost
+//!   IF (...) THEN
+//!     S2: C[I] = A[I-1]
+//!   ELSE
+//!     S3: C[I] = B[I]
+//!   END IF
+//! END DO                   -- one per level (extras are tolerated)
+//! ```
+//!
+//! * the left-hand side lists **write** references (comma separated);
+//!   the right-hand side **read** references (`+` separated); either side
+//!   may be `...` for none;
+//! * subscripts are affine in the loop indices: `I`, `-J`, `3*I+2`,
+//!   `I-1`, constants; multi-dimensional arrays use commas: `A[I, J-1]`;
+//! * `@N` sets the statement cost in cycles (default 4);
+//! * array and index names are case-insensitive identifiers; arrays get
+//!   ids in order of first appearance (names of the form `A<number>`
+//!   keep that number, so [`crate::render::render_loop`] output parses
+//!   back to the same ids).
+
+use crate::ir::{AccessKind, ArrayId, ArrayRef, LinExpr, LoopNest, LoopNestBuilder};
+use std::collections::HashMap;
+
+/// A parse failure with its (1-based) line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error was found on.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+#[derive(Debug)]
+struct Ctx {
+    indices: Vec<String>,
+    arrays: HashMap<String, ArrayId>,
+    next_array: usize,
+}
+
+impl Ctx {
+    fn array_id(&mut self, name: &str) -> ArrayId {
+        if let Some(&id) = self.arrays.get(name) {
+            return id;
+        }
+        // `A7` style names keep their number for render round-trips.
+        let id = name
+            .strip_prefix('a')
+            .and_then(|rest| rest.parse::<usize>().ok())
+            .map(ArrayId)
+            .unwrap_or_else(|| {
+                let mut candidate = self.next_array;
+                while self.arrays.values().any(|a| a.0 == candidate) {
+                    candidate += 1;
+                }
+                ArrayId(candidate)
+            });
+        self.next_array = id.0 + 1;
+        self.arrays.insert(name.to_string(), id);
+        id
+    }
+
+    /// Parses one affine subscript expression, e.g. `2*i + 3 - j`.
+    fn lin_expr(&self, text: &str, line: usize) -> Result<LinExpr, ParseError> {
+        let mut coefs = vec![0i64; self.indices.len()];
+        let mut offset = 0i64;
+        // Tokenize into signed terms.
+        let cleaned = text.replace(' ', "");
+        if cleaned.is_empty() {
+            return err(line, "empty subscript expression");
+        }
+        let mut terms: Vec<String> = Vec::new();
+        let mut cur = String::new();
+        for (i, ch) in cleaned.chars().enumerate() {
+            if (ch == '+' || ch == '-') && i > 0 {
+                terms.push(cur.clone());
+                cur.clear();
+            }
+            if !(ch == '+' && i > 0) {
+                cur.push(ch);
+            } else if i == 0 {
+                cur.push(ch);
+            }
+        }
+        terms.push(cur);
+        for term in terms.iter().filter(|t| !t.is_empty() && *t != "+") {
+            let (sign, body) = match term.strip_prefix('-') {
+                Some(rest) => (-1i64, rest),
+                None => (1i64, term.strip_prefix('+').unwrap_or(term)),
+            };
+            if body.is_empty() {
+                return err(line, format!("dangling sign in subscript '{text}'"));
+            }
+            let (coef, var) = match body.split_once('*') {
+                Some((c, v)) => {
+                    let c: i64 = c
+                        .parse()
+                        .map_err(|_| ParseError { line, message: format!("bad coefficient '{c}'") })?;
+                    (c, v.to_string())
+                }
+                None if body.chars().all(|c| c.is_ascii_digit()) => {
+                    offset += sign * body.parse::<i64>().map_err(|_| ParseError {
+                        line,
+                        message: format!("bad constant '{body}'"),
+                    })?;
+                    continue;
+                }
+                None => (1, body.to_string()),
+            };
+            match self.indices.iter().position(|n| *n == var) {
+                Some(k) => coefs[k] += sign * coef,
+                None => return err(line, format!("unknown index variable '{var}'")),
+            }
+        }
+        Ok(LinExpr::new(coefs, offset))
+    }
+
+    /// Parses `name[expr, expr]` into a reference.
+    fn array_ref(&mut self, text: &str, kind: AccessKind, line: usize) -> Result<ArrayRef, ParseError> {
+        let text = text.trim();
+        let Some(open) = text.find('[') else {
+            return err(line, format!("expected 'name[subscripts]', got '{text}'"));
+        };
+        if !text.ends_with(']') {
+            return err(line, format!("missing ']' in '{text}'"));
+        }
+        let name = text[..open].trim().to_lowercase();
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return err(line, format!("bad array name '{name}'"));
+        }
+        let inner = &text[open + 1..text.len() - 1];
+        let subscript = inner
+            .split(',')
+            .map(|e| self.lin_expr(e, line))
+            .collect::<Result<Vec<_>, _>>()?;
+        if subscript.is_empty() {
+            return err(line, "array reference needs at least one subscript");
+        }
+        let array = self.array_id(&name);
+        Ok(ArrayRef::new(array, kind, subscript))
+    }
+}
+
+/// Splits on `sep` at bracket depth zero only (so `A[i, j]` survives a
+/// comma split and `A[i+1]` survives a plus split).
+fn split_top(text: &str, sep: char) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for ch in text.chars() {
+        match ch {
+            '[' => depth += 1,
+            ']' => depth -= 1,
+            c if c == sep && depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(ch);
+    }
+    out.push(cur);
+    out
+}
+
+/// Parses a statement line `label: writes = reads [@cost]`.
+fn parse_stmt(ctx: &mut Ctx, text: &str, line: usize) -> Result<(String, u32, Vec<ArrayRef>), ParseError> {
+    let Some((label, rest)) = text.split_once(':') else {
+        return err(line, format!("expected 'label: ...', got '{text}'"));
+    };
+    let label = label.trim().to_string();
+    let rest = rest.to_lowercase();
+    let (body, cost) = match rest.rsplit_once('@') {
+        Some((b, c)) => {
+            let cost: u32 = c.trim().parse().map_err(|_| ParseError {
+                line,
+                message: format!("bad cost '@{}'", c.trim()),
+            })?;
+            (b, cost)
+        }
+        None => (rest.as_str(), 4),
+    };
+    let Some((lhs, rhs)) = body.split_once('=') else {
+        return err(line, format!("statement needs 'writes = reads', got '{body}'"));
+    };
+    let mut refs = Vec::new();
+    for r in split_top(rhs, '+') {
+        let r = r.trim();
+        if !r.is_empty() && r != "..." {
+            refs.push(ctx.array_ref(r, AccessKind::Read, line)?);
+        }
+    }
+    for w in split_top(lhs, ',') {
+        let w = w.trim();
+        if !w.is_empty() && w != "..." {
+            refs.push(ctx.array_ref(w, AccessKind::Write, line)?);
+        }
+    }
+    Ok((label, cost, refs))
+}
+
+/// Parses the loop language into a [`LoopNest`].
+///
+/// # Errors
+///
+/// Returns the first syntax problem with its line number.
+pub fn parse_loop(source: &str) -> Result<LoopNest, ParseError> {
+    let mut ctx = Ctx { indices: Vec::new(), arrays: HashMap::new(), next_array: 0 };
+    let mut dims: Vec<(i64, i64)> = Vec::new();
+    #[allow(clippy::type_complexity)]
+    let mut stmts: Vec<(String, u32, Vec<ArrayRef>)> = Vec::new();
+    // Branch under construction: arms of statements.
+    #[allow(clippy::type_complexity)]
+    let mut branch: Option<Vec<Vec<(String, u32, Vec<ArrayRef>)>>> = None;
+    #[allow(clippy::type_complexity)]
+    let mut items: Vec<Item> = Vec::new();
+
+    #[allow(clippy::type_complexity)]
+    enum Item {
+        Stmt(String, u32, Vec<ArrayRef>),
+        Branch(Vec<Vec<(String, u32, Vec<ArrayRef>)>>),
+    }
+
+    for (ix, raw) in source.lines().enumerate() {
+        let line_no = ix + 1;
+        let line = raw.split("--").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lower = line.to_lowercase();
+        if let Some(rest) = lower.strip_prefix("do ") {
+            if !items.is_empty() || branch.is_some() {
+                return err(line_no, "all DO lines must precede the body (perfect nesting)");
+            }
+            let Some((var, bounds)) = rest.split_once('=') else {
+                return err(line_no, "expected 'DO var = lo, hi'");
+            };
+            let var = var.trim().to_string();
+            if ctx.indices.contains(&var) {
+                return err(line_no, format!("duplicate index '{var}'"));
+            }
+            let Some((lo, hi)) = bounds.split_once(',') else {
+                return err(line_no, "expected 'DO var = lo, hi'");
+            };
+            let lo: i64 = lo.trim().parse().map_err(|_| ParseError {
+                line: line_no,
+                message: format!("bad lower bound '{}'", lo.trim()),
+            })?;
+            let hi: i64 = hi.trim().parse().map_err(|_| ParseError {
+                line: line_no,
+                message: format!("bad upper bound '{}'", hi.trim()),
+            })?;
+            ctx.indices.push(var);
+            dims.push((lo, hi));
+        } else if lower.starts_with("if") && lower.ends_with("then") {
+            if branch.is_some() {
+                return err(line_no, "nested branches are not supported");
+            }
+            flush_stmts(&mut stmts, &mut items);
+            branch = Some(vec![Vec::new()]);
+        } else if lower == "else" {
+            match branch.as_mut() {
+                Some(arms) => arms.push(Vec::new()),
+                None => return err(line_no, "ELSE outside a branch"),
+            }
+        } else if lower == "end if" || lower == "endif" {
+            match branch.take() {
+                Some(arms) => items.push(Item::Branch(arms)),
+                None => return err(line_no, "END IF outside a branch"),
+            }
+        } else if lower == "end do" || lower == "end" || lower == "enddo" {
+            // tolerated; nesting is tracked by the DO headers
+        } else {
+            if dims.is_empty() {
+                return err(line_no, "statements must appear inside a DO loop");
+            }
+            let stmt = parse_stmt(&mut ctx, line, line_no)?;
+            match branch.as_mut() {
+                Some(arms) => arms.last_mut().expect("arm open").push(stmt),
+                None => stmts.push(stmt),
+            }
+        }
+    }
+    if branch.is_some() {
+        return err(source.lines().count(), "unterminated IF (missing END IF)");
+    }
+    flush_stmts(&mut stmts, &mut items);
+    if dims.is_empty() {
+        return err(1, "no DO loop found");
+    }
+    if items.is_empty() {
+        return err(source.lines().count(), "loop body is empty");
+    }
+
+    let mut b = LoopNestBuilder::new(dims[0].0, dims[0].1);
+    for &(lo, hi) in &dims[1..] {
+        b = b.inner(lo, hi);
+    }
+    for item in items {
+        match item {
+            Item::Stmt(label, cost, refs) => b = b.stmt(&label, cost, refs),
+            Item::Branch(arms) => {
+                let arms_view: Vec<Vec<(&str, u32, Vec<ArrayRef>)>> = arms
+                    .iter()
+                    .map(|arm| {
+                        arm.iter().map(|(l, c, r)| (l.as_str(), *c, r.clone())).collect()
+                    })
+                    .collect();
+                b = b.branch(arms_view);
+            }
+        }
+    }
+    return Ok(b.build());
+
+    fn flush_stmts(
+        stmts: &mut Vec<(String, u32, Vec<ArrayRef>)>,
+        items: &mut Vec<Item>,
+    ) {
+        for (l, c, r) in stmts.drain(..) {
+            items.push(Item::Stmt(l, c, r));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::render::render_loop;
+    use crate::workpatterns::fig21_loop;
+
+    #[test]
+    fn parses_fig21_style_source() {
+        let src = "
+            DO I = 1, 100
+              S1: A[I+3] = ...          @4
+              S2: R2[I]  = A[I+1]       @4
+              S3: R3[I]  = A[I+2]       @4
+              S4: A[I]   = ...          @4
+              S5: R5[I]  = A[I-1]       @4
+            END DO
+        ";
+        let nest = parse_loop(src).unwrap();
+        assert_eq!(nest.n_stmts(), 5);
+        assert_eq!(nest.iter_count(), 100);
+        let g = analyze(&nest);
+        // Same shape as Fig 2.1: S1->S2 flow 2 etc.
+        assert!(g
+            .deps()
+            .iter()
+            .any(|d| d.src.0 == 0 && d.dst.0 == 1 && d.linear_distance(&nest) == 2));
+    }
+
+    #[test]
+    fn round_trips_the_renderer() {
+        let nest = fig21_loop(42);
+        let text = render_loop(&nest);
+        let parsed = parse_loop(&text).unwrap();
+        assert_eq!(parsed.n_stmts(), nest.n_stmts());
+        assert_eq!(parsed.iter_count(), nest.iter_count());
+        // Dependence graphs must match exactly (array ids preserved via
+        // the A<number> convention).
+        assert_eq!(analyze(&parsed), analyze(&nest));
+    }
+
+    #[test]
+    fn nested_loops_and_coefficients() {
+        let src = "
+            do i = 1, 8
+            do j = 2, 9
+              S1: A[i, j] = A[i-1, j] + A[i, j-1] @7
+              S2: B[2*j] = A[i, j]
+            end do
+            end do
+        ";
+        let nest = parse_loop(src).unwrap();
+        assert_eq!(nest.depth(), 2);
+        assert_eq!(nest.iter_count(), 64);
+        let s2 = nest.stmt(crate::ir::StmtId(1));
+        let w = s2.writes().next().unwrap();
+        assert_eq!(w.subscript[0].coef(1), 2);
+        assert_eq!(nest.stmt(crate::ir::StmtId(0)).cost, 7);
+    }
+
+    #[test]
+    fn branches_parse() {
+        let src = "
+            DO I = 1, 20
+              Sa: A[I+1] = ...
+              IF (...) THEN
+                Sb: R[I] = A[I-1]
+              ELSE
+                Sc: R[I] = ...
+                Sd: B[I+2] = ...
+              END IF
+              Se: Q[I] = B[I]
+            END DO
+        ";
+        let nest = parse_loop(src).unwrap();
+        assert_eq!(nest.n_stmts(), 5);
+        assert!(matches!(nest.body[1], crate::ir::BodyItem::Branch(_)));
+        let b = match &nest.body[1] {
+            crate::ir::BodyItem::Branch(b) => b,
+            _ => unreachable!(),
+        };
+        assert_eq!(b.arms.len(), 2);
+        assert_eq!(b.arms[1].len(), 2);
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let bad = "DO I = 1, 10\n  S1: A[K] = ...\nEND DO";
+        let e = parse_loop(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown index"));
+
+        assert!(parse_loop("S1: A[I] = ...").unwrap_err().message.contains("inside a DO"));
+        assert!(parse_loop("DO I = 1, 10\nEND DO").unwrap_err().message.contains("empty"));
+        assert!(parse_loop("DO I = 1, x\n S: A[I]=...\nEND DO")
+            .unwrap_err()
+            .message
+            .contains("bad upper bound"));
+        let unterminated = "DO I = 1, 4\nIF (...) THEN\n S: A[I] = ...\nEND DO";
+        assert!(parse_loop(unterminated).unwrap_err().message.contains("unterminated IF"));
+    }
+
+    #[test]
+    fn subscript_arithmetic_forms() {
+        let src = "do i = 1, 4\n do j = 1, 4\n  S: A[3*i - 2*j + 5, j] = A[-i + 1, 2] @1\nend";
+        let nest = parse_loop(src).unwrap();
+        let s = nest.stmt(crate::ir::StmtId(0));
+        let w = s.writes().next().unwrap();
+        assert_eq!(w.subscript[0], LinExpr::new(vec![3, -2], 5));
+        let r = s.reads().next().unwrap();
+        assert_eq!(r.subscript[0], LinExpr::new(vec![-1, 0], 1));
+        assert_eq!(r.subscript[1], LinExpr::new(vec![0, 0], 2));
+    }
+
+    #[test]
+    fn comments_and_case_insensitivity() {
+        let src = "Do I = 1, 5  -- outer\n  s1: a[i] = A[I-1]  -- chain\nEnD dO";
+        let nest = parse_loop(src).unwrap();
+        assert_eq!(nest.n_stmts(), 1);
+        let g = analyze(&nest);
+        assert_eq!(g.carried().count(), 1);
+    }
+}

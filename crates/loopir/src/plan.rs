@@ -1,0 +1,378 @@
+//! Synchronization placement for the process-oriented scheme.
+//!
+//! Given a loop nest and its (linearized) dependence graph, [`SyncPlan`]
+//! decides, exactly as the paper's Fig 4.2.b / Fig 4.3 transformation:
+//!
+//! * a **step number** for every carried-dependence source, in textual
+//!   order (1-based);
+//! * **waits** `wait_PC(dist, step)` placed before every sink;
+//! * **`mark_PC(step)`** after every source except the last, and
+//!   **`transfer_PC`** after the last source;
+//! * the **branch rules** of Example 3: every arm of a branch containing
+//!   sources must bring the PC to the branch's maximum step (arms without
+//!   sources mark at entry), and if the loop's final source sits inside a
+//!   branch, every arm ends by transferring.
+//!
+//! [`SyncPlan::iteration_ops`] lowers one iteration to a linear op list,
+//! the common input for both the simulator codegen and the real-thread
+//! executor — guaranteeing all executors agree on placement.
+
+use crate::graph::DepGraph;
+use crate::ir::{BodyItem, LoopNest, StmtId};
+
+/// One `wait_PC(dist, step)` obligation of a sink statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitSpec {
+    /// Source statement the wait corresponds to (diagnostic only).
+    pub src: StmtId,
+    /// Process-id distance (`> 0`).
+    pub dist: i64,
+    /// Step the source will have marked (or exceeded).
+    pub step: u32,
+}
+
+/// A PC-updating operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcOp {
+    /// `mark_PC(step)`.
+    Mark(u32),
+    /// `transfer_PC()` — completes the last source and hands the PC on.
+    Transfer,
+}
+
+/// One element of a lowered iteration (see [`SyncPlan::iteration_ops`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterOp {
+    /// Spin until the source process has reached the step.
+    Wait(WaitSpec),
+    /// Execute the statement body.
+    Exec(StmtId),
+    /// Update this process's PC.
+    Pc(PcOp),
+}
+
+/// A complete synchronization placement for one Doacross loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncPlan {
+    n_stmts: usize,
+    /// Step number per statement (sources only).
+    steps: Vec<Option<u32>>,
+    /// Waits to perform immediately before each statement.
+    pre_waits: Vec<Vec<WaitSpec>>,
+    /// PC ops to perform immediately after each statement.
+    post_ops: Vec<Vec<PcOp>>,
+    /// PC ops at entry of `(branch_index_in_body, arm)` (compensating
+    /// marks/transfers for arms without sources).
+    arm_entry_ops: Vec<Vec<Vec<PcOp>>>,
+    n_steps: u32,
+}
+
+impl SyncPlan {
+    /// Builds the placement from a nest and its **linearized** dependence
+    /// graph (see [`DepGraph::linearized`]; for singly-nested loops the
+    /// analysis output is already linear).
+    ///
+    /// Call [`crate::covering::reduce`] first to avoid synchronizing
+    /// covered dependences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph does not match the nest or contains
+    /// non-linear distances.
+    pub fn build(nest: &LoopNest, graph: &DepGraph) -> Self {
+        assert_eq!(nest.n_stmts(), graph.n_stmts(), "graph does not match nest");
+        let n = nest.n_stmts();
+
+        // 1. Step numbering of carried sources, textual order.
+        let sources = graph.carried_sources();
+        let mut steps: Vec<Option<u32>> = vec![None; n];
+        for (k, &s) in sources.iter().enumerate() {
+            steps[s.0] = Some(k as u32 + 1);
+        }
+        let n_steps = sources.len() as u32;
+        let last_source = sources.last().copied();
+
+        // 2. Waits before sinks.
+        let mut pre_waits: Vec<Vec<WaitSpec>> = vec![Vec::new(); n];
+        for d in graph.carried() {
+            let dist = d.linear();
+            debug_assert!(dist > 0, "carried dependence with non-positive linear distance");
+            let step = steps[d.src.0].expect("carried source must be numbered");
+            let w = WaitSpec { src: d.src, dist, step };
+            let waits = &mut pre_waits[d.dst.0];
+            // Dedup: an existing wait with the same distance and a >= step
+            // already implies this one.
+            if let Some(existing) = waits.iter_mut().find(|x| x.dist == w.dist) {
+                if w.step > existing.step {
+                    *existing = w;
+                }
+            } else {
+                waits.push(w);
+            }
+        }
+
+        // 3. Marks/transfers after sources, with the Example 3 branch rules.
+        let mut post_ops: Vec<Vec<PcOp>> = vec![Vec::new(); n];
+        let mut arm_entry_ops: Vec<Vec<Vec<PcOp>>> = Vec::new();
+
+        for item in &nest.body {
+            match item {
+                BodyItem::Stmt(s) => {
+                    if let Some(step) = steps[s.id.0] {
+                        post_ops[s.id.0].push(if Some(s.id) == last_source {
+                            PcOp::Transfer
+                        } else {
+                            PcOp::Mark(step)
+                        });
+                    }
+                }
+                BodyItem::Branch(b) => {
+                    let branch_sources: Vec<StmtId> =
+                        b.stmts().filter(|s| steps[s.id.0].is_some()).map(|s| s.id).collect();
+                    let mut entry = vec![Vec::new(); b.arms.len()];
+                    if !branch_sources.is_empty() {
+                        let m_max = branch_sources
+                            .iter()
+                            .map(|s| steps[s.0].expect("source"))
+                            .max()
+                            .expect("non-empty");
+                        let transfers = last_source
+                            .map(|ls| branch_sources.contains(&ls))
+                            .unwrap_or(false);
+                        let closing = if transfers { PcOp::Transfer } else { PcOp::Mark(m_max) };
+                        for (arm_ix, arm) in b.arms.iter().enumerate() {
+                            let arm_sources: Vec<StmtId> = arm
+                                .iter()
+                                .filter(|s| steps[s.id.0].is_some())
+                                .map(|s| s.id)
+                                .collect();
+                            match arm_sources.split_last() {
+                                Some((&last_in_arm, earlier)) => {
+                                    // Earlier sources mark their own step
+                                    // (early signaling); the arm's last
+                                    // source closes with the escalated op.
+                                    for &s in earlier {
+                                        post_ops[s.0].push(PcOp::Mark(
+                                            steps[s.0].expect("source"),
+                                        ));
+                                    }
+                                    post_ops[last_in_arm.0].push(closing);
+                                }
+                                None => {
+                                    // "mark_PC(3), though not required, is
+                                    // added as the first statement in
+                                    // branch B."
+                                    entry[arm_ix].push(closing);
+                                }
+                            }
+                        }
+                    }
+                    arm_entry_ops.push(entry);
+                }
+            }
+        }
+
+        Self { n_stmts: n, steps, pre_waits, post_ops, arm_entry_ops, n_steps }
+    }
+
+    /// Number of statements covered by the plan.
+    pub fn n_stmts(&self) -> usize {
+        self.n_stmts
+    }
+
+    /// Total number of source steps in one iteration.
+    pub fn n_steps(&self) -> u32 {
+        self.n_steps
+    }
+
+    /// `true` if the loop needs any synchronization (otherwise it is a
+    /// Doall loop).
+    pub fn has_sync(&self) -> bool {
+        self.n_steps > 0
+    }
+
+    /// Step number of a statement, if it is a carried source.
+    pub fn step_of(&self, s: StmtId) -> Option<u32> {
+        self.steps[s.0]
+    }
+
+    /// Waits placed before a statement.
+    pub fn waits_before(&self, s: StmtId) -> &[WaitSpec] {
+        &self.pre_waits[s.0]
+    }
+
+    /// PC ops placed after a statement.
+    pub fn ops_after(&self, s: StmtId) -> &[PcOp] {
+        &self.post_ops[s.0]
+    }
+
+    /// Compensating PC ops at entry of the `arm`-th arm of the
+    /// `branch_ix`-th branch in the body (Example 3).
+    pub fn arm_entry(&self, branch_ix: usize, arm: usize) -> &[PcOp] {
+        &self.arm_entry_ops[branch_ix][arm]
+    }
+
+    /// Lowers iteration `pid` of the nest to a linear op sequence,
+    /// resolving branch arms and dropping waits that would reach before
+    /// the first iteration (loop-boundary rule).
+    pub fn iteration_ops(&self, nest: &LoopNest, pid: u64) -> Vec<IterOp> {
+        let mut out = Vec::new();
+        let mut branch_ix = 0usize;
+        for item in &nest.body {
+            match item {
+                BodyItem::Stmt(s) => self.lower_stmt(s.id, pid, &mut out),
+                BodyItem::Branch(b) => {
+                    let arm = b.arm_taken(pid);
+                    for op in &self.arm_entry_ops[branch_ix][arm] {
+                        out.push(IterOp::Pc(*op));
+                    }
+                    for s in &b.arms[arm] {
+                        self.lower_stmt(s.id, pid, &mut out);
+                    }
+                    branch_ix += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn lower_stmt(&self, s: StmtId, pid: u64, out: &mut Vec<IterOp>) {
+        for w in &self.pre_waits[s.0] {
+            // Boundary rule: no source iteration exists before the first.
+            if (w.dist as u64) <= pid {
+                out.push(IterOp::Wait(*w));
+            }
+        }
+        out.push(IterOp::Exec(s));
+        for op in &self.post_ops[s.0] {
+            out.push(IterOp::Pc(*op));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::covering::reduce;
+    use crate::workpatterns::{example3_branches, fig21_loop};
+
+    use crate::space::IterSpace;
+
+    fn fig21_plan(n: i64) -> (crate::ir::LoopNest, SyncPlan) {
+        let nest = fig21_loop(n);
+        let g = reduce(&nest, &analyze(&nest));
+        let space = IterSpace::of(&nest);
+        let plan = SyncPlan::build(&nest, &g.linearized(&space));
+        (nest, plan)
+    }
+
+    #[test]
+    fn fig21_plan_matches_fig42b() {
+        let (_, plan) = fig21_plan(50);
+        // Sources: S1 (step 1), S2 (2), S3 (3), S4 (4, last -> transfer).
+        assert_eq!(plan.n_steps(), 4);
+        assert_eq!(plan.step_of(StmtId(0)), Some(1));
+        assert_eq!(plan.step_of(StmtId(1)), Some(2));
+        assert_eq!(plan.step_of(StmtId(2)), Some(3));
+        assert_eq!(plan.step_of(StmtId(3)), Some(4));
+        assert_eq!(plan.step_of(StmtId(4)), None);
+        // Fig 4.2.b: wait_PC(2,1) before S2; wait_PC(1,1) before S3;
+        // wait_PC(1,2) and wait_PC(2,3) before S4; wait_PC(1,4) before S5.
+        assert_eq!(plan.waits_before(StmtId(1)), &[WaitSpec { src: StmtId(0), dist: 2, step: 1 }]);
+        assert_eq!(plan.waits_before(StmtId(2)), &[WaitSpec { src: StmtId(0), dist: 1, step: 1 }]);
+        let s4_waits = plan.waits_before(StmtId(3));
+        assert_eq!(s4_waits.len(), 2);
+        assert!(s4_waits.contains(&WaitSpec { src: StmtId(1), dist: 1, step: 2 }));
+        assert!(s4_waits.contains(&WaitSpec { src: StmtId(2), dist: 2, step: 3 }));
+        assert_eq!(plan.waits_before(StmtId(4)), &[WaitSpec { src: StmtId(3), dist: 1, step: 4 }]);
+        // Marks after S1..S3, transfer after S4.
+        assert_eq!(plan.ops_after(StmtId(0)), &[PcOp::Mark(1)]);
+        assert_eq!(plan.ops_after(StmtId(1)), &[PcOp::Mark(2)]);
+        assert_eq!(plan.ops_after(StmtId(2)), &[PcOp::Mark(3)]);
+        assert_eq!(plan.ops_after(StmtId(3)), &[PcOp::Transfer]);
+        assert_eq!(plan.ops_after(StmtId(4)), &[]);
+    }
+
+    #[test]
+    fn boundary_waits_dropped_in_early_iterations() {
+        let (nest, plan) = fig21_plan(50);
+        let ops0 = plan.iteration_ops(&nest, 0);
+        assert!(ops0.iter().all(|op| !matches!(op, IterOp::Wait(_))));
+        let ops1 = plan.iteration_ops(&nest, 1);
+        let waits1 = ops1.iter().filter(|o| matches!(o, IterOp::Wait(_))).count();
+        // Only the dist-1 waits survive at pid 1 (before S3, S4, S5).
+        assert_eq!(waits1, 3);
+        let ops2 = plan.iteration_ops(&nest, 2);
+        let waits2 = ops2.iter().filter(|o| matches!(o, IterOp::Wait(_))).count();
+        assert_eq!(waits2, 5);
+    }
+
+    #[test]
+    fn iteration_ops_sequence_shape() {
+        let (nest, plan) = fig21_plan(50);
+        let ops = plan.iteration_ops(&nest, 10);
+        // S1; mark(1); wait(2,1); S2; mark(2); wait(1,1); S3; mark(3);
+        // wait(1,2); wait(2,3); S4; transfer; wait(1,4); S5.
+        use IterOp::*;
+        use PcOp::*;
+        let expect = vec![
+            Exec(StmtId(0)),
+            Pc(Mark(1)),
+            Wait(WaitSpec { src: StmtId(0), dist: 2, step: 1 }),
+            Exec(StmtId(1)),
+            Pc(Mark(2)),
+            Wait(WaitSpec { src: StmtId(0), dist: 1, step: 1 }),
+            Exec(StmtId(2)),
+            Pc(Mark(3)),
+            Wait(WaitSpec { src: StmtId(1), dist: 1, step: 2 }),
+            Wait(WaitSpec { src: StmtId(2), dist: 2, step: 3 }),
+            Exec(StmtId(3)),
+            Pc(Transfer),
+            Wait(WaitSpec { src: StmtId(3), dist: 1, step: 4 }),
+            Exec(StmtId(4)),
+        ];
+        assert_eq!(ops, expect);
+    }
+
+    #[test]
+    fn doall_loop_has_no_sync() {
+        use crate::ir::{AccessKind, ArrayId, ArrayRef, LoopNestBuilder};
+        let nest = LoopNestBuilder::new(1, 10)
+            .stmt("S1", 1, vec![ArrayRef::simple(ArrayId(0), AccessKind::Write, 0)])
+            .build();
+        let g = analyze(&nest);
+        let plan = SyncPlan::build(&nest, &g);
+        assert!(!plan.has_sync());
+        assert_eq!(
+            plan.iteration_ops(&nest, 3),
+            vec![IterOp::Exec(StmtId(0))]
+        );
+    }
+
+    #[test]
+    fn branch_arms_compensate_marks() {
+        let nest = example3_branches(40, 2);
+        let g = reduce(&nest, &analyze(&nest));
+        let space = IterSpace::of(&nest);
+        let plan = SyncPlan::build(&nest, &g.linearized(&space));
+        // Sources: Sa (S1, step 1) and Sd (S4, step 2, last -> transfer).
+        assert_eq!(plan.step_of(StmtId(0)), Some(1));
+        assert_eq!(plan.step_of(StmtId(3)), Some(2));
+        // Arm 0 (no sources) must transfer at entry (last source lives in
+        // the branch); arm 1 closes with transfer after Sd.
+        for pid in 0..40u64 {
+            let ops = plan.iteration_ops(&nest, pid);
+            let transfers = ops.iter().filter(|o| matches!(o, IterOp::Pc(PcOp::Transfer))).count();
+            assert_eq!(transfers, 1, "exactly one transfer on every path (pid {pid})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "graph does not match nest")]
+    fn mismatched_graph_panics() {
+        let nest = fig21_loop(10);
+        let g = DepGraph::new(2, vec![]);
+        let _ = SyncPlan::build(&nest, &g);
+    }
+}

@@ -1,0 +1,253 @@
+//! Doacross profitability analysis.
+//!
+//! The paper (Section 1): "depending on the amount of time a processor
+//! has to wait for another processor to satisfy the data dependence, it
+//! may not be desirable to run a loop concurrently. A compiler is
+//! required to perform thorough data dependence analysis on the loop to
+//! determine which loop should be a Doacross loop."
+//!
+//! This module implements that decision with the classic Doacross *delay*
+//! model (Cytron 1986, the paper's reference \[8\]): if consecutive
+//! iterations start `D` cycles apart, a carried dependence `u -> v` with
+//! distance `d` is satisfied when
+//! `i*D + end(u) <= (i+d)*D + start(v)`, i.e.
+//! `D >= (end(u) - start(v)) / d`. The loop's delay is the maximum over
+//! all carried dependences (clamped at zero); `D = 0` means perfect
+//! pipelining, `D >= T` (the iteration time) means the loop is
+//! effectively serial.
+
+use crate::graph::DepGraph;
+use crate::ir::{BodyItem, LoopNest};
+
+/// Per-statement start offsets within one iteration, in cycles.
+///
+/// Statements in different arms of a branch are laid out in parallel
+/// (each arm starts at the branch entry); the branch contributes its
+/// longest arm to the iteration time — a conservative profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterationProfile {
+    starts: Vec<u64>,
+    ends: Vec<u64>,
+    iteration_time: u64,
+}
+
+impl IterationProfile {
+    /// Builds the profile of a nest's body.
+    pub fn of(nest: &LoopNest) -> Self {
+        let n = nest.n_stmts();
+        let mut starts = vec![0u64; n];
+        let mut ends = vec![0u64; n];
+        let mut cum = 0u64;
+        for item in &nest.body {
+            match item {
+                BodyItem::Stmt(s) => {
+                    starts[s.id.0] = cum;
+                    cum += u64::from(s.cost);
+                    ends[s.id.0] = cum;
+                }
+                BodyItem::Branch(b) => {
+                    let mut longest = 0u64;
+                    for arm in &b.arms {
+                        let mut t = cum;
+                        for s in arm {
+                            starts[s.id.0] = t;
+                            t += u64::from(s.cost);
+                            ends[s.id.0] = t;
+                        }
+                        longest = longest.max(t - cum);
+                    }
+                    cum += longest;
+                }
+            }
+        }
+        Self { starts, ends, iteration_time: cum }
+    }
+
+    /// Start offset of a statement.
+    pub fn start(&self, s: crate::ir::StmtId) -> u64 {
+        self.starts[s.0]
+    }
+
+    /// End offset of a statement.
+    pub fn end(&self, s: crate::ir::StmtId) -> u64 {
+        self.ends[s.0]
+    }
+
+    /// Compute time of one whole iteration.
+    pub fn iteration_time(&self) -> u64 {
+        self.iteration_time
+    }
+}
+
+/// The compiler's Doacross decision for one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoacrossDecision {
+    /// Minimal start-to-start distance between consecutive iterations.
+    pub delay: u64,
+    /// Compute time of one iteration.
+    pub iteration_time: u64,
+    /// `true` when the loop has no carried dependences at all (Doall).
+    pub doall: bool,
+}
+
+impl DoacrossDecision {
+    /// Estimated makespan for `n` iterations on `p` processors:
+    /// the larger of the pipeline critical path `(n-1)*delay + T` and the
+    /// throughput bound `ceil(n/p) * T`.
+    pub fn makespan(&self, n: u64, p: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let pipeline = (n - 1) * self.delay + self.iteration_time;
+        let throughput = n.div_ceil(p.max(1)) * self.iteration_time;
+        pipeline.max(throughput)
+    }
+
+    /// Estimated speedup over serial execution on `p` processors.
+    pub fn speedup(&self, n: u64, p: u64) -> f64 {
+        let serial = n * self.iteration_time;
+        let par = self.makespan(n, p);
+        if par == 0 {
+            return 1.0;
+        }
+        serial as f64 / par as f64
+    }
+
+    /// Whether running the loop as a Doacross on `p` processors is worth
+    /// it (estimated speedup above `threshold`, e.g. `1.5`).
+    pub fn profitable(&self, n: u64, p: u64, threshold: f64) -> bool {
+        self.speedup(n, p) > threshold
+    }
+}
+
+/// Computes the Doacross decision from a nest and its **linearized**
+/// dependence graph.
+///
+/// # Panics
+///
+/// Panics if the graph does not match the nest or holds non-linear
+/// distances.
+pub fn analyze_doacross(nest: &LoopNest, graph: &DepGraph) -> DoacrossDecision {
+    assert_eq!(nest.n_stmts(), graph.n_stmts(), "graph does not match nest");
+    let profile = IterationProfile::of(nest);
+    let mut delay = 0u64;
+    let mut carried = false;
+    for d in graph.carried() {
+        carried = true;
+        let dist = d.linear() as u64;
+        debug_assert!(dist > 0);
+        let end_u = profile.end(d.src) as i64;
+        let start_v = profile.start(d.dst) as i64;
+        let need = (end_u - start_v).max(0) as u64;
+        delay = delay.max(need.div_ceil(dist));
+    }
+    DoacrossDecision { delay, iteration_time: profile.iteration_time(), doall: !carried }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::covering::reduce;
+    use crate::ir::{AccessKind, ArrayId, ArrayRef, LoopNestBuilder, StmtId};
+    use crate::space::IterSpace;
+    use crate::workpatterns::fig21_loop;
+
+    fn decide(nest: &crate::ir::LoopNest) -> DoacrossDecision {
+        let space = IterSpace::of(nest);
+        let graph = reduce(nest, &analyze(nest)).linearized(&space);
+        analyze_doacross(nest, &graph)
+    }
+
+    #[test]
+    fn fig21_pipelines_perfectly() {
+        // All carried dependences point "downhill" within the iteration
+        // (the source ends no later than the sink starts, scaled by
+        // distance), so the delay is zero: consecutive iterations can
+        // start back to back — which is why the paper's Fig 4.2.b
+        // transformation pays off.
+        let nest = fig21_loop(100);
+        let d = decide(&nest);
+        assert_eq!(d.delay, 0);
+        assert!(!d.doall);
+        assert_eq!(d.iteration_time, 20);
+        assert!(d.speedup(100, 4) > 3.5);
+    }
+
+    #[test]
+    fn tight_recurrence_is_serial() {
+        // S: A[I] = A[I-1] — the sink starts where the source starts;
+        // delay = cost: no speedup regardless of processor count.
+        let a = ArrayId(0);
+        let nest = LoopNestBuilder::new(1, 50)
+            .stmt(
+                "S",
+                10,
+                vec![
+                    ArrayRef::simple(a, AccessKind::Read, -1),
+                    ArrayRef::simple(a, AccessKind::Write, 0),
+                ],
+            )
+            .build();
+        let d = decide(&nest);
+        assert_eq!(d.delay, 10);
+        assert_eq!(d.iteration_time, 10);
+        assert!((d.speedup(50, 8) - 1.0).abs() < 1e-9);
+        assert!(!d.profitable(50, 8, 1.5));
+    }
+
+    #[test]
+    fn larger_distance_cuts_delay() {
+        // A[I] = A[I-4]: four independent chains -> delay = cost / 4.
+        let a = ArrayId(0);
+        let nest = LoopNestBuilder::new(1, 64)
+            .stmt(
+                "S",
+                12,
+                vec![
+                    ArrayRef::simple(a, AccessKind::Read, -4),
+                    ArrayRef::simple(a, AccessKind::Write, 0),
+                ],
+            )
+            .build();
+        let d = decide(&nest);
+        assert_eq!(d.delay, 3);
+        assert!(d.speedup(64, 4) > 3.0);
+        assert!(d.profitable(64, 4, 1.5));
+    }
+
+    #[test]
+    fn doall_detected() {
+        let nest = LoopNestBuilder::new(1, 10)
+            .stmt("S", 5, vec![ArrayRef::simple(ArrayId(0), AccessKind::Write, 0)])
+            .build();
+        let d = decide(&nest);
+        assert!(d.doall);
+        assert_eq!(d.delay, 0);
+        assert!((d.speedup(10, 5) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_bound_caps_speedup() {
+        let d = DoacrossDecision { delay: 0, iteration_time: 10, doall: true };
+        // 100 iterations on 8 procs: ceil(100/8)=13 iterations serial.
+        assert_eq!(d.makespan(100, 8), 130);
+        assert_eq!(d.makespan(0, 8), 0);
+    }
+
+    #[test]
+    fn profile_handles_branches() {
+        let nest = LoopNestBuilder::new(1, 4)
+            .stmt("S1", 3, vec![])
+            .branch(vec![vec![("A", 5, vec![])], vec![("B1", 2, vec![]), ("B2", 2, vec![])]])
+            .stmt("S4", 1, vec![])
+            .build();
+        let p = IterationProfile::of(&nest);
+        assert_eq!(p.start(StmtId(0)), 0);
+        assert_eq!(p.start(StmtId(1)), 3); // arm A
+        assert_eq!(p.start(StmtId(2)), 3); // arm B starts at branch entry
+        assert_eq!(p.start(StmtId(3)), 5);
+        assert_eq!(p.start(StmtId(4)), 8); // after the longest arm (5)
+        assert_eq!(p.iteration_time(), 9);
+    }
+}

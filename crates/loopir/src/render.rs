@@ -1,0 +1,208 @@
+//! Human-readable listings of loops and their Doacross transformations —
+//! the textual shape of the paper's Fig 2.1.a and Fig 4.2.b.
+
+use crate::ir::{AccessKind, ArrayRef, BodyItem, LoopNest, Stmt};
+use crate::plan::{PcOp, SyncPlan};
+use std::fmt::Write as _;
+
+fn subscript(r: &ArrayRef, names: &[&str]) -> String {
+    let dims: Vec<String> = r
+        .subscript
+        .iter()
+        .map(|e| {
+            let mut parts: Vec<String> = Vec::new();
+            for (k, &c) in e.coefs.iter().enumerate() {
+                let var = names.get(k).copied().unwrap_or("?");
+                match c {
+                    0 => {}
+                    1 => parts.push(var.to_string()),
+                    -1 => parts.push(format!("-{var}")),
+                    c => parts.push(format!("{c}*{var}")),
+                }
+            }
+            match (parts.is_empty(), e.offset) {
+                (true, off) => off.to_string(),
+                (false, 0) => parts.join("+"),
+                (false, off) if off > 0 => format!("{}+{off}", parts.join("+")),
+                (false, off) => format!("{}{off}", parts.join("+")),
+            }
+        })
+        .collect();
+    format!("A{}[{}]", r.array.0, dims.join(","))
+}
+
+fn stmt_line(s: &Stmt, names: &[&str]) -> String {
+    let writes: Vec<String> =
+        s.refs.iter().filter(|r| r.kind == AccessKind::Write).map(|r| subscript(r, names)).collect();
+    let reads: Vec<String> =
+        s.refs.iter().filter(|r| r.kind == AccessKind::Read).map(|r| subscript(r, names)).collect();
+    let lhs = if writes.is_empty() { "...".to_string() } else { writes.join(", ") };
+    let rhs = if reads.is_empty() { "...".to_string() } else { reads.join(" + ") };
+    format!("{}: {lhs} = {rhs}  @{}", s.label, s.cost)
+}
+
+/// Index-variable names for up to three nesting levels.
+const INDEX_NAMES: [&str; 3] = ["I", "J", "K"];
+
+/// Renders the original loop in a Fortran-like listing (Fig 2.1.a).
+pub fn render_loop(nest: &LoopNest) -> String {
+    let names = &INDEX_NAMES[..nest.depth().min(3)];
+    let mut out = String::new();
+    for (k, d) in nest.dims.iter().enumerate() {
+        let _ = writeln!(out, "{}DO {} = {}, {}", "  ".repeat(k), names[k], d.lower, d.upper);
+    }
+    let pad = "  ".repeat(nest.depth());
+    for item in &nest.body {
+        match item {
+            BodyItem::Stmt(s) => {
+                let _ = writeln!(out, "{pad}{}", stmt_line(s, names));
+            }
+            BodyItem::Branch(b) => {
+                for (i, arm) in b.arms.iter().enumerate() {
+                    let kw = if i == 0 { "IF (...) THEN" } else { "ELSE" };
+                    let _ = writeln!(out, "{pad}{kw}");
+                    for s in arm {
+                        let _ = writeln!(out, "{pad}  {}", stmt_line(s, names));
+                    }
+                }
+                let _ = writeln!(out, "{pad}END IF");
+            }
+        }
+    }
+    for k in (0..nest.depth()).rev() {
+        let _ = writeln!(out, "{}END DO", "  ".repeat(k));
+    }
+    out
+}
+
+fn pc_op_line(op: &PcOp) -> String {
+    match op {
+        PcOp::Mark(step) => format!("mark_PC({step});"),
+        PcOp::Transfer => "transfer_PC();".to_string(),
+    }
+}
+
+/// Renders the Doacross transformation of the loop under a
+/// process-oriented placement — the paper's Fig 4.2.b listing (with the
+/// improved primitives of Fig 4.3 and the Example 3 branch rules).
+///
+/// # Panics
+///
+/// Panics if the plan does not match the nest.
+pub fn render_doacross(nest: &LoopNest, plan: &SyncPlan) -> String {
+    assert_eq!(plan.n_stmts(), nest.n_stmts(), "plan does not match nest");
+    let names = &INDEX_NAMES[..nest.depth().min(3)];
+    let mut out = String::new();
+    let total = nest.iter_count();
+    let _ = writeln!(out, "doacross lpid = 0, {}", total.saturating_sub(1));
+    let _ = writeln!(out, "  load_index(lpid);");
+    let pad = "  ";
+
+    let emit_stmt = |out: &mut String, s: &Stmt, extra_pad: &str| {
+        for w in plan.waits_before(s.id) {
+            let _ = writeln!(out, "{pad}{extra_pad}wait_PC({}, {});", w.dist, w.step);
+        }
+        let args = names.join(",");
+        let _ = writeln!(out, "{pad}{extra_pad}{}({args});", s.label);
+        for op in plan.ops_after(s.id) {
+            let _ = writeln!(out, "{pad}{extra_pad}{}", pc_op_line(op));
+        }
+    };
+
+    let mut branch_ix = 0usize;
+    for item in &nest.body {
+        match item {
+            BodyItem::Stmt(s) => emit_stmt(&mut out, s, ""),
+            BodyItem::Branch(b) => {
+                for (i, arm) in b.arms.iter().enumerate() {
+                    let kw = if i == 0 { "if (...) {" } else { "} else {" };
+                    let _ = writeln!(out, "{pad}{kw}");
+                    for op in plan.arm_entry(branch_ix, i) {
+                        let _ = writeln!(out, "{pad}  {}", pc_op_line(op));
+                    }
+                    for s in arm {
+                        emit_stmt(&mut out, s, "  ");
+                    }
+                }
+                let _ = writeln!(out, "{pad}}}");
+                branch_ix += 1;
+            }
+        }
+    }
+    out.push_str("end doacross\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::covering::reduce;
+    use crate::space::IterSpace;
+    use crate::workpatterns::{example3_branches, fig21_loop};
+
+    #[test]
+    fn fig21_source_listing() {
+        let nest = fig21_loop(100);
+        let text = render_loop(&nest);
+        assert!(text.starts_with("DO I = 1, 100"));
+        assert!(text.contains("S1: A0[I+3] = ...  @4"));
+        assert!(text.contains("S5: A12[I] = A0[I-1]  @4"));
+        assert!(text.trim_end().ends_with("END DO"));
+    }
+
+    #[test]
+    fn fig21_doacross_matches_fig42b() {
+        let nest = fig21_loop(100);
+        let space = IterSpace::of(&nest);
+        let graph = reduce(&nest, &analyze(&nest)).linearized(&space);
+        let plan = SyncPlan::build(&nest, &graph);
+        let text = render_doacross(&nest, &plan);
+        // The op sequence of Fig 4.2.b (0-based pids, improved primitives).
+        let expect = [
+            "doacross lpid = 0, 99",
+            "load_index(lpid);",
+            "S1(I);",
+            "mark_PC(1);",
+            "wait_PC(2, 1);",
+            "S2(I);",
+            "mark_PC(2);",
+            "wait_PC(1, 1);",
+            "S3(I);",
+            "mark_PC(3);",
+            "wait_PC(1, 2);",
+            "wait_PC(2, 3);",
+            "S4(I);",
+            "transfer_PC();",
+            "wait_PC(1, 4);",
+            "S5(I);",
+            "end doacross",
+        ];
+        let lines: Vec<&str> = text.lines().map(str::trim).collect();
+        assert_eq!(lines, expect);
+    }
+
+    #[test]
+    fn branch_listing_shows_compensating_ops() {
+        let nest = example3_branches(50, 2);
+        let space = IterSpace::of(&nest);
+        let graph = reduce(&nest, &analyze(&nest)).linearized(&space);
+        let plan = SyncPlan::build(&nest, &graph);
+        let text = render_doacross(&nest, &plan);
+        assert!(text.contains("if (...) {"));
+        assert!(text.contains("} else {"));
+        // The sourceless arm gets the compensating transfer at entry.
+        let arm0 = text.split("if (...) {").nth(1).unwrap().split("} else {").next().unwrap();
+        assert!(arm0.contains("transfer_PC();"), "arm 0 must compensate:\n{text}");
+    }
+
+    #[test]
+    fn nested_loop_renders_two_levels() {
+        let nest = crate::workpatterns::example2_nested(4, 6, 1);
+        let text = render_loop(&nest);
+        assert!(text.contains("DO I = 1, 4"));
+        assert!(text.contains("DO J = 1, 6"));
+        assert!(text.contains("A0[I,J]"));
+        assert!(text.contains("A1[I-1,J-1]"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Iteration spaces and linearized process ids.
+//!
+//! A Doacross loop assigns each iteration to a *process*; for multiply
+//! nested loops the paper coalesces the nest into a single sequence of
+//! linearized process ids (`lpid`, Example 2). [`IterSpace`] is that
+//! mapping: row-major over the nest dimensions, with `lpid` starting at 0.
+
+use crate::ir::{LoopDim, LoopNest};
+
+/// A row-major linearization of a loop nest's iteration space.
+///
+/// Linear pid 0 corresponds to all dimensions at their lower bounds; the
+/// innermost dimension varies fastest — exactly the paper's
+/// `lpid = (i-1)*M + j` mapping (shifted to 0-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterSpace {
+    dims: Vec<LoopDim>,
+}
+
+impl IterSpace {
+    /// Builds the space from explicit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty.
+    pub fn new(dims: Vec<LoopDim>) -> Self {
+        assert!(!dims.is_empty(), "iteration space needs at least one dimension");
+        Self { dims }
+    }
+
+    /// The space of a loop nest.
+    pub fn of(nest: &LoopNest) -> Self {
+        Self::new(nest.dims.clone())
+    }
+
+    /// The dimensions, outermost first.
+    pub fn dims(&self) -> &[LoopDim] {
+        &self.dims
+    }
+
+    /// Nesting depth.
+    pub fn depth(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of iterations.
+    pub fn count(&self) -> u64 {
+        self.dims.iter().map(LoopDim::count).product()
+    }
+
+    /// Iteration count of the dimension strictly inside `dim`
+    /// (the row-major stride of `dim`).
+    pub fn stride(&self, dim: usize) -> u64 {
+        self.dims[dim + 1..].iter().map(LoopDim::count).product()
+    }
+
+    /// Maps a linear pid to the index vector (outermost first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid >= self.count()`.
+    pub fn indices(&self, pid: u64) -> Vec<i64> {
+        assert!(pid < self.count(), "pid {pid} out of range (count {})", self.count());
+        let mut rem = pid;
+        let mut out = vec![0; self.dims.len()];
+        for (k, d) in self.dims.iter().enumerate().rev() {
+            let c = d.count();
+            out[k] = d.lower + (rem % c) as i64;
+            rem /= c;
+        }
+        out
+    }
+
+    /// Maps an index vector back to the linear pid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of its dimension's bounds.
+    pub fn pid(&self, indices: &[i64]) -> u64 {
+        assert_eq!(indices.len(), self.dims.len());
+        let mut pid = 0u64;
+        for (k, d) in self.dims.iter().enumerate() {
+            let i = indices[k];
+            assert!(
+                i >= d.lower && i <= d.upper,
+                "index {i} out of bounds [{}, {}] in dim {k}",
+                d.lower,
+                d.upper
+            );
+            pid = pid * d.count() + (i - d.lower) as u64;
+        }
+        pid
+    }
+
+    /// Converts a dependence *distance vector* to the linear pid distance.
+    ///
+    /// Per Example 2: in an `N x M` nest, the vector `(di, dj)` becomes
+    /// `di*M + dj`. The result can be negative only for lexicographically
+    /// negative vectors, which the analysis never produces for carried
+    /// dependences.
+    pub fn linear_distance(&self, distance: &[i64]) -> i64 {
+        assert_eq!(distance.len(), self.dims.len());
+        let mut d = 0i64;
+        for (k, dim) in self.dims.iter().enumerate() {
+            d = d * dim.count() as i64 + distance[k];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_2d() -> IterSpace {
+        // DO I = 1, 3; DO J = 1, 5  (the paper's Example 2 shape, M = 5)
+        IterSpace::new(vec![LoopDim::new(1, 3), LoopDim::new(1, 5)])
+    }
+
+    #[test]
+    fn roundtrip_pid_indices() {
+        let s = space_2d();
+        assert_eq!(s.count(), 15);
+        for pid in 0..s.count() {
+            let ix = s.indices(pid);
+            assert_eq!(s.pid(&ix), pid);
+        }
+        assert_eq!(s.indices(0), vec![1, 1]);
+        assert_eq!(s.indices(4), vec![1, 5]);
+        assert_eq!(s.indices(5), vec![2, 1]);
+        assert_eq!(s.indices(14), vec![3, 5]);
+    }
+
+    #[test]
+    fn linear_distance_matches_paper_example2() {
+        // dep on B[I-1, J-1]: distance (1, 1) -> M + 1 with M = 5.
+        let s = space_2d();
+        assert_eq!(s.linear_distance(&[1, 1]), 6);
+        // dep on A[I, J-1]: distance (0, 1) -> 1.
+        assert_eq!(s.linear_distance(&[0, 1]), 1);
+        // lexicographically positive with negative inner component
+        assert_eq!(s.linear_distance(&[1, -2]), 3);
+    }
+
+    #[test]
+    fn stride_and_depth() {
+        let s = space_2d();
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.stride(0), 5);
+        assert_eq!(s.stride(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pid_panics() {
+        space_2d().indices(15);
+    }
+
+    #[test]
+    fn single_dim_with_offset_lower() {
+        let s = IterSpace::new(vec![LoopDim::new(2, 9)]);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.indices(0), vec![2]);
+        assert_eq!(s.pid(&[9]), 7);
+        assert_eq!(s.linear_distance(&[3]), 3);
+    }
+}

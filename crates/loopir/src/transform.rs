@@ -1,0 +1,208 @@
+//! Loop transformations that trade synchronization for granularity.
+//!
+//! The paper reduces synchronization by *grouping* `G` inner iterations
+//! between `wait_PC`/`mark_PC` pairs (Fig 5.1.b: "the amount of
+//! synchronization can be reduced significantly due to the increase of
+//! granularity"). The compiler-side equivalent is **loop unrolling**:
+//! replicate the body `u` times, re-analyze, and synchronize the unrolled
+//! loop — distances shrink by roughly `1/u`, and each `wait`/`mark` pair
+//! now covers `u` original iterations.
+
+use crate::ir::{ArrayRef, BodyItem, LinExpr, LoopDim, LoopNest, Stmt, StmtId};
+
+/// Unrolls a **singly-nested, branch-free** loop by `factor`.
+///
+/// Iteration `i'` of the result executes original iterations
+/// `lower + (i' - lower)*factor + k` for `k = 0..factor`; subscripts are
+/// rewritten accordingly (`a*I + b` becomes `a*factor*I' + b + a*k +
+/// a*(1-factor)*lower`). Statement ids are renumbered in copy order, with
+/// labels suffixed `@k`.
+///
+/// # Panics
+///
+/// Panics if `factor == 0`, the nest is deeper than one level, contains
+/// branches, or its iteration count is not divisible by `factor` (an
+/// epilogue loop is out of scope for this IR).
+pub fn unroll(nest: &LoopNest, factor: u32) -> LoopNest {
+    assert!(factor >= 1, "unroll factor must be positive");
+    assert_eq!(nest.depth(), 1, "unroll expects a singly-nested loop");
+    assert!(
+        nest.body.iter().all(|i| matches!(i, BodyItem::Stmt(_))),
+        "unroll expects a branch-free body"
+    );
+    let dim = nest.dims[0];
+    let count = dim.count();
+    assert!(
+        count.is_multiple_of(u64::from(factor)),
+        "iteration count {count} not divisible by unroll factor {factor}"
+    );
+    if factor == 1 {
+        return nest.clone();
+    }
+
+    let f = i64::from(factor);
+    let new_upper = dim.lower + (count / u64::from(factor)) as i64 - 1;
+    let mut body = Vec::new();
+    let mut next_id = 0usize;
+    for k in 0..f {
+        for item in &nest.body {
+            let BodyItem::Stmt(s) = item else { unreachable!("checked branch-free") };
+            let refs = s
+                .refs
+                .iter()
+                .map(|r| ArrayRef {
+                    array: r.array,
+                    kind: r.kind,
+                    subscript: r
+                        .subscript
+                        .iter()
+                        .map(|e| {
+                            let a = e.coef(0);
+                            LinExpr::new(
+                                vec![a * f],
+                                e.offset + a * k + a * (1 - f) * dim.lower,
+                            )
+                        })
+                        .collect(),
+                })
+                .collect();
+            body.push(BodyItem::Stmt(Stmt {
+                id: StmtId(next_id),
+                label: format!("{}@{k}", s.label),
+                cost: s.cost,
+                refs,
+            }));
+            next_id += 1;
+        }
+    }
+    LoopNest { dims: vec![LoopDim::new(dim.lower, new_upper)], body }
+}
+
+/// Convenience: `true` when the nest can be unrolled by `factor` (the
+/// preconditions of [`unroll`] hold).
+pub fn can_unroll(nest: &LoopNest, factor: u32) -> bool {
+    factor >= 1
+        && nest.depth() == 1
+        && nest.body.iter().all(|i| matches!(i, BodyItem::Stmt(_)))
+        && nest.iter_count().is_multiple_of(u64::from(factor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::covering::reduce;
+    use crate::exec::run_sequential;
+    use crate::plan::SyncPlan;
+    use crate::space::IterSpace;
+    use crate::workpatterns::fig21_loop;
+
+    #[test]
+    fn unroll_preserves_semantics() {
+        // The oracle result of the unrolled loop must equal the original
+        // (same statement values requires matching (stmt, iter) hashing —
+        // instead compare per-element values of the SHARED array which
+        // depend only on access order... they do depend on stmt ids, so
+        // compare structurally: same elements written).
+        let nest = fig21_loop(24);
+        for factor in [1u32, 2, 3, 4, 6] {
+            let un = unroll(&nest, factor);
+            assert_eq!(un.iter_count(), 24 / u64::from(factor) as u64);
+            assert_eq!(un.n_stmts(), 5 * factor as usize);
+            // Same set of elements is touched.
+            let touched = |n: &LoopNest| {
+                let mut v: Vec<(usize, Vec<i64>)> = Vec::new();
+                let space = IterSpace::of(n);
+                for pid in 0..space.count() {
+                    let ix = space.indices(pid);
+                    for s in n.executed_stmts(pid) {
+                        for r in &s.refs {
+                            v.push((r.array.0, r.element(&ix)));
+                        }
+                    }
+                }
+                v.sort();
+                v.dedup();
+                v
+            };
+            assert_eq!(touched(&un), touched(&nest), "factor {factor}");
+        }
+    }
+
+    #[test]
+    fn unroll_accesses_in_original_order_per_element() {
+        // The unrolled loop's sequential execution must perform the same
+        // per-element access sequence (kinds in order) as the original.
+        let nest = fig21_loop(12);
+        let un = unroll(&nest, 3);
+        let seq = |n: &LoopNest| {
+            let mut m: std::collections::HashMap<(usize, Vec<i64>), Vec<bool>> =
+                std::collections::HashMap::new();
+            let space = IterSpace::of(n);
+            for pid in 0..space.count() {
+                let ix = space.indices(pid);
+                for s in n.executed_stmts(pid) {
+                    for r in s.reads().chain(s.writes()) {
+                        m.entry((r.array.0, r.element(&ix))).or_default().push(r.kind.is_write());
+                    }
+                }
+            }
+            m
+        };
+        assert_eq!(seq(&nest), seq(&un));
+    }
+
+    #[test]
+    fn unrolling_cuts_sync_steps_per_original_iteration() {
+        let nest = fig21_loop(48);
+        let space = IterSpace::of(&nest);
+        let plan1 = SyncPlan::build(
+            &nest,
+            &reduce(&nest, &analyze(&nest)).linearized(&space),
+        );
+        let un = unroll(&nest, 4);
+        let space_u = IterSpace::of(&un);
+        let plan4 = SyncPlan::build(
+            &un,
+            &reduce(&un, &analyze(&un)).linearized(&space_u),
+        );
+        // Total PC updates across the whole loop: steps * iterations.
+        let ops1 = u64::from(plan1.n_steps()) * space.count();
+        let ops4 = u64::from(plan4.n_steps()) * space_u.count();
+        assert!(
+            ops4 < ops1,
+            "unrolling must cut total sync ops: {ops1} -> {ops4}"
+        );
+    }
+
+    #[test]
+    fn unrolled_loop_still_runs_correctly() {
+        let nest = fig21_loop(24);
+        let un = unroll(&nest, 4);
+        // The oracle runs the unrolled loop fine (values differ from the
+        // original because statement identities differ, but the unrolled
+        // loop is self-consistent: parallel == sequential is checked in
+        // the cross-crate tests; here assert the store is populated).
+        let store = run_sequential(&un);
+        assert!(store.written_len() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_factor_rejected() {
+        let _ = unroll(&fig21_loop(10), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "singly-nested")]
+    fn nested_rejected() {
+        let _ = unroll(&crate::workpatterns::example2_nested(4, 4, 1), 2);
+    }
+
+    #[test]
+    fn can_unroll_predicate() {
+        assert!(can_unroll(&fig21_loop(12), 3));
+        assert!(!can_unroll(&fig21_loop(10), 3));
+        assert!(!can_unroll(&crate::workpatterns::example2_nested(4, 4, 1), 2));
+    }
+}

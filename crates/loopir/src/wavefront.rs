@@ -1,0 +1,211 @@
+//! The wavefront method (loop index transformation).
+//!
+//! Fig 5.1.c of the paper runs the relaxation loop by anti-diagonals:
+//! "the well known wavefront method which requires loop index
+//! transformation. A barrier synchronization is needed between two
+//! consecutive wavefronts." This module derives that transformation for
+//! any depth-2 nest: it searches for a schedule vector `λ` with
+//! `λ · d >= 1` for every carried dependence distance `d`, so all
+//! iterations on one hyperplane `λ · (i, j) = w` are independent.
+
+use crate::graph::{DepGraph, Distance};
+use crate::space::IterSpace;
+
+/// A legal wavefront schedule for a depth-2 iteration space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WavefrontSchedule {
+    /// The schedule (skewing) vector.
+    pub lambda: (i64, i64),
+    /// Iterations (linear pids) of each wavefront, in execution order.
+    pub waves: Vec<Vec<u64>>,
+}
+
+impl WavefrontSchedule {
+    /// Number of parallel steps (wavefronts).
+    pub fn parallel_steps(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// Width of the widest wavefront (peak parallelism).
+    pub fn max_width(&self) -> usize {
+        self.waves.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total iterations scheduled.
+    pub fn total(&self) -> usize {
+        self.waves.iter().map(Vec::len).sum()
+    }
+}
+
+/// Derives a wavefront schedule, or `None` when no legal `λ` exists
+/// within the search bound (e.g. the graph has a serial chain).
+///
+/// The search minimizes `λ1 + λ2` (fewer, wider waves first).
+///
+/// # Panics
+///
+/// Panics if the space is not two-dimensional or distances are not
+/// 2-vectors.
+pub fn wavefront_schedule(graph: &DepGraph, space: &IterSpace) -> Option<WavefrontSchedule> {
+    assert_eq!(space.depth(), 2, "wavefront transformation expects a depth-2 nest");
+    let mut dists: Vec<(i64, i64)> = Vec::new();
+    for d in graph.carried() {
+        match &d.distance {
+            Distance::Vector(v) => {
+                assert_eq!(v.len(), 2, "distance must be a 2-vector");
+                dists.push((v[0], v[1]));
+            }
+            Distance::SerialChain => return None,
+        }
+    }
+
+    let bound = dists
+        .iter()
+        .map(|(a, b)| a.abs().max(b.abs()))
+        .max()
+        .unwrap_or(0)
+        .max(1)
+        * (dists.len() as i64 + 1);
+    let legal = |l1: i64, l2: i64| dists.iter().all(|&(d1, d2)| l1 * d1 + l2 * d2 >= 1);
+
+    let mut lambda = None;
+    'outer: for sum in 1..=2 * bound {
+        for l1 in 0..=sum {
+            let l2 = sum - l1;
+            // At least one positive component and legality.
+            if (l1 > 0 || l2 > 0) && legal(l1, l2) {
+                lambda = Some((l1, l2));
+                break 'outer;
+            }
+        }
+    }
+    let lambda = lambda?;
+
+    // Bucket iterations by hyperplane value.
+    let mut buckets: std::collections::BTreeMap<i64, Vec<u64>> = std::collections::BTreeMap::new();
+    for pid in 0..space.count() {
+        let ix = space.indices(pid);
+        let w = lambda.0 * ix[0] + lambda.1 * ix[1];
+        buckets.entry(w).or_default().push(pid);
+    }
+    Some(WavefrontSchedule { lambda, waves: buckets.into_values().collect() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::workpatterns::example1_relaxation;
+
+    #[test]
+    fn relaxation_skews_to_anti_diagonals() {
+        let n = 10;
+        let nest = example1_relaxation(n, 1);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let ws = wavefront_schedule(&graph, &space).expect("relaxation must be schedulable");
+        assert_eq!(ws.lambda, (1, 1));
+        // i + j ranges over 4..=2n: 2n - 3 wavefronts.
+        assert_eq!(ws.parallel_steps(), (2 * n - 3) as usize);
+        assert_eq!(ws.total() as u64, space.count());
+        assert_eq!(ws.max_width(), (n - 1) as usize);
+    }
+
+    #[test]
+    fn waves_are_independent() {
+        // Brute force: no two iterations in the same wave may conflict
+        // through any carried dependence.
+        let nest = example1_relaxation(6, 1);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let ws = wavefront_schedule(&graph, &space).unwrap();
+        let dists: Vec<(i64, i64)> = graph
+            .carried()
+            .map(|d| match &d.distance {
+                Distance::Vector(v) => (v[0], v[1]),
+                _ => unreachable!(),
+            })
+            .collect();
+        for wave in &ws.waves {
+            for &a in wave {
+                for &b in wave {
+                    let (ia, ib) = (space.indices(a), space.indices(b));
+                    for &(d1, d2) in &dists {
+                        assert!(
+                            !(ib[0] - ia[0] == d1 && ib[1] - ia[1] == d2),
+                            "iterations {ia:?} and {ib:?} in one wave conflict"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_only_dependence_schedules_by_rows() {
+        use crate::ir::{AccessKind, ArrayId, ArrayRef, LinExpr, LoopNestBuilder};
+        // A[I, J] = A[I-1, J+1]: distance (1, -1) -> λ = (1, 0) works.
+        let a = ArrayId(0);
+        let nest = LoopNestBuilder::new(1, 6)
+            .inner(1, 6)
+            .stmt(
+                "S",
+                1,
+                vec![
+                    ArrayRef::new(a, AccessKind::Write, vec![LinExpr::index(0, 0), LinExpr::index(1, 0)]),
+                    ArrayRef::new(a, AccessKind::Read, vec![LinExpr::index(0, -1), LinExpr::index(1, 1)]),
+                ],
+            )
+            .build();
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let ws = wavefront_schedule(&graph, &space).unwrap();
+        assert_eq!(ws.lambda, (1, 0));
+        assert_eq!(ws.parallel_steps(), 6);
+        assert_eq!(ws.max_width(), 6);
+    }
+
+    #[test]
+    fn doall_nest_gets_single_wave() {
+        use crate::ir::{AccessKind, ArrayId, ArrayRef, LinExpr, LoopNestBuilder};
+        let nest = LoopNestBuilder::new(1, 4)
+            .inner(1, 4)
+            .stmt(
+                "S",
+                1,
+                vec![ArrayRef::new(
+                    ArrayId(0),
+                    AccessKind::Write,
+                    vec![LinExpr::index(0, 0), LinExpr::index(1, 0)],
+                )],
+            )
+            .build();
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let ws = wavefront_schedule(&graph, &space).unwrap();
+        // No constraints: λ = (0, 1) or (1, 0) picked at sum 1; waves
+        // follow one index.
+        assert_eq!(ws.lambda.0 + ws.lambda.1, 1);
+        assert_eq!(ws.parallel_steps(), 4);
+    }
+
+    #[test]
+    fn serial_chain_refuses_schedule() {
+        use crate::graph::{Dep, DepKind};
+        use crate::ir::StmtId;
+        let g = DepGraph::new(
+            1,
+            vec![Dep {
+                src: StmtId(0),
+                dst: StmtId(0),
+                kind: DepKind::Output,
+                distance: Distance::SerialChain,
+            }],
+        );
+        let space = IterSpace::new(vec![
+            crate::ir::LoopDim::new(1, 3),
+            crate::ir::LoopDim::new(1, 3),
+        ]);
+        assert!(wavefront_schedule(&g, &space).is_none());
+    }
+}

@@ -1,0 +1,279 @@
+//! The canonical loops from the paper, as IR builders.
+//!
+//! These are referenced throughout the workspace: Fig 2.1's running
+//! example, Example 1's relaxation loop, Example 2's doubly-nested loop
+//! and Example 3's branchy loop. Higher-level workload generators live in
+//! the `datasync-workloads` crate; these are the bare IR shapes.
+
+use crate::ir::{AccessKind, ArrayRef, LinExpr, LoopNest, LoopNestBuilder};
+
+/// Array ids used by the pattern builders.
+pub mod arrays {
+    use crate::ir::ArrayId;
+    /// The shared array `A` of Fig 2.1 / Example 1 / Example 2.
+    pub const A: ArrayId = ArrayId(0);
+    /// The shared array `B` of Example 2.
+    pub const B: ArrayId = ArrayId(1);
+    /// Per-statement result arrays (no cross-statement conflicts).
+    pub const R2: ArrayId = ArrayId(10);
+    /// See [`R2`].
+    pub const R3: ArrayId = ArrayId(11);
+    /// See [`R2`].
+    pub const R5: ArrayId = ArrayId(12);
+}
+
+/// The loop of Fig 2.1.a with `DO I = 1, N`:
+///
+/// ```fortran
+/// S1: A[I+3] = ...
+/// S2: ...    = A[I+1]
+/// S3: ...    = A[I+2]
+/// S4: A[I]   = ...
+/// S5: ...    = A[I-1]
+/// ```
+///
+/// Reads additionally store into private result arrays so that the
+/// order-sensitive execution oracle observes their values.
+pub fn fig21_loop(n: i64) -> LoopNest {
+    fig21_loop_with_cost(n, 4)
+}
+
+/// [`fig21_loop`] with an explicit per-statement cost (simulator cycles).
+pub fn fig21_loop_with_cost(n: i64, cost: u32) -> LoopNest {
+    use arrays::*;
+    LoopNestBuilder::new(1, n)
+        .stmt("S1", cost, vec![ArrayRef::simple(A, AccessKind::Write, 3)])
+        .stmt(
+            "S2",
+            cost,
+            vec![
+                ArrayRef::simple(A, AccessKind::Read, 1),
+                ArrayRef::simple(R2, AccessKind::Write, 0),
+            ],
+        )
+        .stmt(
+            "S3",
+            cost,
+            vec![
+                ArrayRef::simple(A, AccessKind::Read, 2),
+                ArrayRef::simple(R3, AccessKind::Write, 0),
+            ],
+        )
+        .stmt("S4", cost, vec![ArrayRef::simple(A, AccessKind::Write, 0)])
+        .stmt(
+            "S5",
+            cost,
+            vec![
+                ArrayRef::simple(A, AccessKind::Read, -1),
+                ArrayRef::simple(R5, AccessKind::Write, 0),
+            ],
+        )
+        .build()
+}
+
+/// Example 1's four-point relaxation `DO I = 2, N; DO J = 2, N`:
+///
+/// ```fortran
+/// S1: A[I,J] = A[I-1,J] + A[I,J-1]
+/// ```
+pub fn example1_relaxation(n: i64, cost: u32) -> LoopNest {
+    use arrays::A;
+    LoopNestBuilder::new(2, n)
+        .inner(2, n)
+        .stmt(
+            "S1",
+            cost,
+            vec![
+                ArrayRef::new(
+                    A,
+                    AccessKind::Write,
+                    vec![LinExpr::index(0, 0), LinExpr::index(1, 0)],
+                ),
+                ArrayRef::new(
+                    A,
+                    AccessKind::Read,
+                    vec![LinExpr::index(0, -1), LinExpr::index(1, 0)],
+                ),
+                ArrayRef::new(
+                    A,
+                    AccessKind::Read,
+                    vec![LinExpr::index(0, 0), LinExpr::index(1, -1)],
+                ),
+            ],
+        )
+        .build()
+}
+
+/// Example 2's doubly-nested loop `DO I = 1, N; DO J = 1, M`:
+///
+/// ```fortran
+/// S1: A[I,J] = ...
+/// S2: B[I,J] = A[I,J-1] ...
+/// S3: ...    = B[I-1,J-1]
+/// ```
+pub fn example2_nested(n: i64, m: i64, cost: u32) -> LoopNest {
+    use arrays::*;
+    LoopNestBuilder::new(1, n)
+        .inner(1, m)
+        .stmt(
+            "S1",
+            cost,
+            vec![ArrayRef::new(
+                A,
+                AccessKind::Write,
+                vec![LinExpr::index(0, 0), LinExpr::index(1, 0)],
+            )],
+        )
+        .stmt(
+            "S2",
+            cost,
+            vec![
+                ArrayRef::new(
+                    B,
+                    AccessKind::Write,
+                    vec![LinExpr::index(0, 0), LinExpr::index(1, 0)],
+                ),
+                ArrayRef::new(
+                    A,
+                    AccessKind::Read,
+                    vec![LinExpr::index(0, 0), LinExpr::index(1, -1)],
+                ),
+            ],
+        )
+        .stmt(
+            "S3",
+            cost,
+            vec![
+                ArrayRef::new(
+                    B,
+                    AccessKind::Read,
+                    vec![LinExpr::index(0, -1), LinExpr::index(1, -1)],
+                ),
+                ArrayRef::new(R3, AccessKind::Write, vec![LinExpr::index(0, 0), LinExpr::index(1, 0)]),
+            ],
+        )
+        .build()
+}
+
+/// Example 3's loop with a dependence source inside a branch:
+/// statement `Sa` always writes `A[I+1]`; one arm additionally writes
+/// `A[I+2]` (a second source), the other arm only reads. A trailing sink
+/// reads both elements.
+pub fn example3_branches(n: i64, cost: u32) -> LoopNest {
+    use arrays::*;
+    LoopNestBuilder::new(1, n)
+        .stmt("Sa", cost, vec![ArrayRef::simple(A, AccessKind::Write, 1)])
+        .branch(vec![
+            vec![
+                ("Sb", cost, vec![ArrayRef::simple(R2, AccessKind::Write, 0)]),
+            ],
+            vec![
+                ("Sc", cost, vec![ArrayRef::simple(R3, AccessKind::Write, 0)]),
+                ("Sd", cost, vec![ArrayRef::simple(B, AccessKind::Write, 2)]),
+            ],
+        ])
+        .stmt(
+            "Se",
+            cost,
+            vec![
+                ArrayRef::simple(A, AccessKind::Read, -1),
+                ArrayRef::simple(B, AccessKind::Read, 0),
+                ArrayRef::simple(R5, AccessKind::Write, 0),
+            ],
+        )
+        .build()
+}
+
+/// A depth-3 nest exercising three-level linearization:
+/// `DO I = 1, N; DO J = 1, M; DO K = 1, L`:
+///
+/// ```fortran
+/// S1: A[I,J,K] = A[I,J,K-1] + B[I-1,J,K]
+/// S2: B[I,J,K] = A[I,J-1,K]
+/// ```
+pub fn depth3_nest(n: i64, m: i64, l: i64, cost: u32) -> LoopNest {
+    use arrays::*;
+    let ix = |d: usize, off: i64| LinExpr::index(d, off);
+    LoopNestBuilder::new(1, n)
+        .inner(1, m)
+        .inner(1, l)
+        .stmt(
+            "S1",
+            cost,
+            vec![
+                ArrayRef::new(A, AccessKind::Write, vec![ix(0, 0), ix(1, 0), ix(2, 0)]),
+                ArrayRef::new(A, AccessKind::Read, vec![ix(0, 0), ix(1, 0), ix(2, -1)]),
+                ArrayRef::new(B, AccessKind::Read, vec![ix(0, -1), ix(1, 0), ix(2, 0)]),
+            ],
+        )
+        .stmt(
+            "S2",
+            cost,
+            vec![
+                ArrayRef::new(B, AccessKind::Write, vec![ix(0, 0), ix(1, 0), ix(2, 0)]),
+                ArrayRef::new(A, AccessKind::Read, vec![ix(0, 0), ix(1, -1), ix(2, 0)]),
+            ],
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::graph::Distance;
+
+    #[test]
+    fn fig21_has_five_statements() {
+        let nest = fig21_loop(20);
+        assert_eq!(nest.n_stmts(), 5);
+        assert_eq!(nest.iter_count(), 20);
+    }
+
+    #[test]
+    fn relaxation_has_unit_distance_vectors() {
+        let nest = example1_relaxation(10, 2);
+        let g = analyze(&nest);
+        let dists: Vec<Distance> = g.deps().iter().map(|d| d.distance.clone()).collect();
+        assert!(dists.contains(&Distance::Vector(vec![1, 0])));
+        assert!(dists.contains(&Distance::Vector(vec![0, 1])));
+        assert_eq!(g.deps().len(), 2);
+    }
+
+    #[test]
+    fn example2_matches_paper_distances() {
+        let nest = example2_nested(3, 5, 2);
+        let g = analyze(&nest);
+        let lin: Vec<i64> = g.carried().map(|d| d.linear_distance(&nest)).collect();
+        // (0,1) -> 1 and (1,1) -> M+1 = 6.
+        assert!(lin.contains(&1));
+        assert!(lin.contains(&6));
+    }
+
+    #[test]
+    fn depth3_linearizes() {
+        let nest = depth3_nest(3, 4, 5, 2);
+        assert_eq!(nest.depth(), 3);
+        assert_eq!(nest.iter_count(), 60);
+        let g = analyze(&nest);
+        // (0,0,1) -> 1; (1,0,0) -> 20; (0,1,0) -> 5.
+        let lin: Vec<i64> = g.carried().map(|d| d.linear_distance(&nest)).collect();
+        assert!(lin.contains(&1));
+        assert!(lin.contains(&20));
+        assert!(lin.contains(&5));
+    }
+
+    #[test]
+    fn example3_branch_source_dep() {
+        let nest = example3_branches(30, 2);
+        let g = analyze(&nest);
+        // Sa (S1) writes A[I+1]; Se reads A[I-1]: flow distance 2.
+        assert!(g
+            .carried()
+            .any(|d| d.src.0 == 0 && d.linear_distance(&nest) == 2));
+        // Sd writes B[I+2]; Se reads B[I]: flow distance 2 from inside arm.
+        assert!(g
+            .carried()
+            .any(|d| d.src.0 == 3 && d.linear_distance(&nest) == 2));
+    }
+}

@@ -1,0 +1,202 @@
+//! Property test: the dependence analysis is checked against brute-force
+//! conflict enumeration over small loops.
+//!
+//! Ground truth: two statement instances conflict when they touch the
+//! same array element and at least one writes it. The analysis is
+//! **sound** if, for every conflicting ordered pair, the instance-level
+//! order implied by the dependence graph (arcs expanded over iterations,
+//! plus intra-iteration textual order) contains that pair in its
+//! transitive closure.
+
+use datasync_loopir::analysis::analyze;
+use datasync_loopir::graph::Distance;
+use datasync_loopir::ir::{AccessKind, ArrayId, ArrayRef, LinExpr, LoopNest, LoopNestBuilder};
+use datasync_loopir::space::IterSpace;
+use proptest::prelude::*;
+
+/// A statement instance: (pid, stmt).
+type Inst = (u64, usize);
+
+/// Builds the instance-level "must happen before" relation implied by the
+/// dependence graph and intra-iteration order, as an adjacency list.
+fn implied_order(nest: &LoopNest, space: &IterSpace) -> Vec<Vec<Inst>> {
+    let graph = analyze(nest);
+    let n_stmts = nest.n_stmts();
+    let count = space.count();
+    let idx = |(pid, s): Inst| (pid as usize) * n_stmts + s;
+    let mut adj: Vec<Vec<Inst>> = vec![Vec::new(); count as usize * n_stmts];
+
+    // Intra-iteration textual order between coexecutable statements.
+    for pid in 0..count {
+        let executed = nest.executed_stmts(pid);
+        for w in executed.windows(2) {
+            adj[idx((pid, w[0].id.0))].push((pid, w[1].id.0));
+        }
+    }
+    // Dependence arcs, expanded per instance.
+    for d in graph.deps() {
+        match &d.distance {
+            Distance::Vector(v) => {
+                let dist = space.linear_distance(v);
+                assert!(dist >= 0);
+                for pid in 0..count.saturating_sub(dist as u64) {
+                    adj[idx((pid, d.src.0))].push((pid + dist as u64, d.dst.0));
+                }
+            }
+            Distance::SerialChain => {
+                // Total order of all instances of src and dst.
+                for pid in 0..count {
+                    if d.src != d.dst {
+                        adj[idx((pid, d.src.0))].push((pid, d.dst.0));
+                    }
+                    if pid + 1 < count {
+                        adj[idx((pid, d.dst.0))].push((pid + 1, d.src.0));
+                    }
+                }
+            }
+        }
+    }
+    adj
+}
+
+/// BFS reachability in the implied order.
+fn reaches(adj: &[Vec<Inst>], n_stmts: usize, from: Inst, to: Inst) -> bool {
+    let idx = |(pid, s): Inst| (pid as usize) * n_stmts + s;
+    let mut seen = vec![false; adj.len()];
+    let mut queue = std::collections::VecDeque::from([from]);
+    seen[idx(from)] = true;
+    while let Some(cur) = queue.pop_front() {
+        if cur == to {
+            return true;
+        }
+        for &next in &adj[idx(cur)] {
+            if !seen[idx(next)] {
+                seen[idx(next)] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+    false
+}
+
+/// Enumerates every conflicting ordered instance pair by brute force.
+fn brute_force_conflicts(nest: &LoopNest, space: &IterSpace) -> Vec<(Inst, Inst)> {
+    // (sequential position, instance, element accesses)
+    let mut accesses: Vec<(Inst, Vec<(ArrayId, Vec<i64>, bool)>)> = Vec::new();
+    for pid in 0..space.count() {
+        let indices = space.indices(pid);
+        for stmt in nest.executed_stmts(pid) {
+            let elems = stmt
+                .refs
+                .iter()
+                .map(|r| (r.array, r.element(&indices), r.kind.is_write()))
+                .collect();
+            accesses.push(((pid, stmt.id.0), elems));
+        }
+    }
+    let mut pairs = Vec::new();
+    for i in 0..accesses.len() {
+        for j in (i + 1)..accesses.len() {
+            let (a, ea) = &accesses[i];
+            let (b, eb) = &accesses[j];
+            if a.1 == b.1 && a.0 == b.0 {
+                continue; // same instance
+            }
+            let conflict = ea.iter().any(|(arr1, el1, w1)| {
+                eb.iter().any(|(arr2, el2, w2)| arr1 == arr2 && el1 == el2 && (*w1 || *w2))
+            });
+            if conflict {
+                pairs.push((*a, *b)); // a executes first (sequential order)
+            }
+        }
+    }
+    pairs
+}
+
+/// Small random loops (depth 1 or 2) directly via proptest strategies.
+fn small_nest() -> impl Strategy<Value = LoopNest> {
+    let array_ref = (0..2usize, prop::bool::ANY, -2i64..=2)
+        .prop_map(|(a, w, off)| {
+            ArrayRef::simple(ArrayId(a), if w { AccessKind::Write } else { AccessKind::Read }, off)
+        });
+    let stmt_refs = prop::collection::vec(array_ref, 1..3);
+    (2i64..=7, prop::collection::vec(stmt_refs, 1..4)).prop_map(|(n, stmts)| {
+        let mut b = LoopNestBuilder::new(1, n);
+        for (i, refs) in stmts.into_iter().enumerate() {
+            b = b.stmt(&format!("S{i}"), 1, refs);
+        }
+        b.build()
+    })
+}
+
+/// Depth-2 random loops with per-dimension offsets.
+fn small_nest_2d() -> impl Strategy<Value = LoopNest> {
+    let array_ref = (0..2usize, prop::bool::ANY, -1i64..=1, -1i64..=1).prop_map(|(a, w, o1, o2)| {
+        ArrayRef::new(
+            ArrayId(a),
+            if w { AccessKind::Write } else { AccessKind::Read },
+            vec![LinExpr::index(0, o1), LinExpr::index(1, o2)],
+        )
+    });
+    let stmt_refs = prop::collection::vec(array_ref, 1..3);
+    (2i64..=4, 2i64..=4, prop::collection::vec(stmt_refs, 1..3)).prop_map(|(n, m, stmts)| {
+        let mut b = LoopNestBuilder::new(1, n).inner(1, m);
+        for (i, refs) in stmts.into_iter().enumerate() {
+            b = b.stmt(&format!("S{i}"), 1, refs);
+        }
+        b.build()
+    })
+}
+
+fn check_soundness(nest: &LoopNest) -> Result<(), TestCaseError> {
+    let space = IterSpace::of(nest);
+    let adj = implied_order(nest, &space);
+    let n_stmts = nest.n_stmts();
+    for (first, second) in brute_force_conflicts(nest, &space) {
+        prop_assert!(
+            reaches(&adj, n_stmts, first, second),
+            "conflict {first:?} -> {second:?} not ordered by the analysis of {nest:?}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 120, ..ProptestConfig::default() })]
+
+    /// Every brute-force conflict is ordered by the analysis (soundness).
+    #[test]
+    fn analysis_orders_every_conflict_1d(nest in small_nest()) {
+        check_soundness(&nest)?;
+    }
+
+    /// Same for depth-2 nests with vector distances.
+    #[test]
+    fn analysis_orders_every_conflict_2d(nest in small_nest_2d()) {
+        check_soundness(&nest)?;
+    }
+
+    /// Covering preserves the implied order (every original conflict is
+    /// still ordered when the order is rebuilt from the reduced graph via
+    /// the process-oriented realization — checked end-to-end elsewhere;
+    /// here: reduce() never removes arcs from an acyclic chain it cannot
+    /// recover).
+    #[test]
+    fn covering_is_idempotent(nest in small_nest()) {
+        let g = analyze(&nest);
+        let r1 = datasync_loopir::covering::reduce(&nest, &g);
+        let r2 = datasync_loopir::covering::reduce(&nest, &r1);
+        prop_assert_eq!(&r1, &r2, "covering must be idempotent");
+    }
+
+    /// Precision guard: the analysis emits no dependence for loops whose
+    /// references never overlap.
+    #[test]
+    fn disjoint_arrays_no_deps(n in 2i64..20, off in 0i64..3) {
+        let nest = LoopNestBuilder::new(1, n)
+            .stmt("S0", 1, vec![ArrayRef::simple(ArrayId(0), AccessKind::Write, off)])
+            .stmt("S1", 1, vec![ArrayRef::simple(ArrayId(1), AccessKind::Write, off)])
+            .build();
+        prop_assert!(analyze(&nest).deps().is_empty());
+    }
+}

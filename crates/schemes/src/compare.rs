@@ -1,0 +1,207 @@
+//! Running one workload under every scheme — the engine behind the
+//! Fig 3.x reproduction tables.
+
+use crate::barrier_phased::BarrierPhased;
+use crate::instance_based::InstanceBased;
+use crate::process_oriented::ProcessOriented;
+use crate::reference_based::ReferenceBased;
+use crate::scheme::{emit_stmt, CompiledLoop, CostFn, Scheme};
+use crate::statement_oriented::StatementOriented;
+use datasync_loopir::graph::DepGraph;
+use datasync_loopir::ir::LoopNest;
+use datasync_loopir::space::IterSpace;
+use datasync_sim::{MachineConfig, Program, SimError, Workload};
+use serde::Serialize;
+
+/// One row of a scheme-comparison table.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchemeReport {
+    /// Scheme name.
+    pub scheme: String,
+    /// Transport the run used.
+    pub transport: String,
+    /// Synchronization variables allocated.
+    pub sync_vars: u64,
+    /// Initialization writes.
+    pub init_ops: u64,
+    /// Renamed data cells (instance-based only).
+    pub extra_cells: u64,
+    /// Total cycles.
+    pub makespan: u64,
+    /// Busy-cycle fraction of `P * makespan`.
+    pub utilization: f64,
+    /// Total busy cycles.
+    pub busy: u64,
+    /// Total spin cycles.
+    pub spin: u64,
+    /// Total bus/memory-blocked cycles.
+    pub blocked: u64,
+    /// Data-bus transactions.
+    pub data_transactions: u64,
+    /// Busy-wait polls through memory (hot-spot traffic).
+    pub spin_polls: u64,
+    /// Sync-bus broadcasts.
+    pub sync_broadcasts: u64,
+    /// Broadcasts saved by write coalescing.
+    pub coalesced: u64,
+    /// Speedup over the single-processor no-synchronization baseline.
+    pub speedup: f64,
+    /// Dependence-order violations found in the trace (must be 0).
+    pub violations: usize,
+}
+
+/// Compiles the nest with no synchronization at all (for the sequential
+/// baseline and for Doall-style upper bounds).
+pub fn plain_compiled(nest: &LoopNest, space: &IterSpace, cost: Option<CostFn<'_>>) -> CompiledLoop {
+    let n = space.count();
+    let mut programs = Vec::with_capacity(n as usize);
+    for pid in 0..n {
+        let indices = space.indices(pid);
+        let mut prog = Program::new();
+        for stmt in nest.executed_stmts(pid) {
+            let c = cost.map_or(stmt.cost, |f| f(stmt.id, pid));
+            emit_stmt(&mut prog, stmt, pid, &indices, c, None);
+        }
+        programs.push(prog);
+    }
+    CompiledLoop {
+        workload: Workload::dynamic(programs),
+        storage: Default::default(),
+        presets: Vec::new(),
+        validation_arcs: Vec::new(),
+        instance_pairs: Vec::new(),
+    }
+}
+
+/// Makespan of the unsynchronized loop on one processor.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn sequential_cycles(
+    nest: &LoopNest,
+    space: &IterSpace,
+    base: &MachineConfig,
+    cost: Option<CostFn<'_>>,
+) -> Result<u64, SimError> {
+    let compiled = plain_compiled(nest, space, cost);
+    let config = MachineConfig { processors: 1, ..base.clone() };
+    Ok(compiled.run(&config)?.stats.makespan)
+}
+
+/// Runs one scheme and builds its report row.
+///
+/// # Errors
+///
+/// Propagates simulator failures (a deadlock here means the scheme's
+/// compilation is wrong).
+pub fn report_for(
+    scheme: &dyn Scheme,
+    nest: &LoopNest,
+    graph: &DepGraph,
+    space: &IterSpace,
+    base: &MachineConfig,
+    cost: Option<CostFn<'_>>,
+) -> Result<SchemeReport, SimError> {
+    let compiled = scheme.compile_with(nest, graph, space, cost);
+    let config = MachineConfig { sync_transport: scheme.natural_transport(), ..base.clone() };
+    let out = compiled.run(&config)?;
+    let seq = sequential_cycles(nest, space, base, cost)?;
+    let violations = compiled.validate(&out).len();
+    Ok(SchemeReport {
+        scheme: scheme.name(),
+        transport: format!("{:?}", config.sync_transport),
+        sync_vars: compiled.storage.vars,
+        init_ops: compiled.storage.init_ops,
+        extra_cells: compiled.storage.extra_data_cells,
+        makespan: out.stats.makespan,
+        utilization: out.stats.utilization(),
+        busy: out.stats.total_busy(),
+        spin: out.stats.total_spin(),
+        blocked: out.stats.procs.iter().map(|p| p.blocked).sum(),
+        data_transactions: out.stats.data_transactions,
+        spin_polls: out.stats.spin_polls,
+        sync_broadcasts: out.stats.sync_broadcasts,
+        coalesced: out.stats.coalesced_writes,
+        speedup: out.stats.speedup_vs(seq),
+        violations,
+    })
+}
+
+/// Runs the four scheme families (process-oriented in both primitive
+/// variants) on one workload.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn compare_all(
+    nest: &LoopNest,
+    graph: &DepGraph,
+    space: &IterSpace,
+    base: &MachineConfig,
+    x: usize,
+) -> Result<Vec<SchemeReport>, SimError> {
+    let mut schemes: Vec<Box<dyn Scheme>> = vec![
+        Box::new(ReferenceBased::new()),
+        Box::new(InstanceBased::new()),
+        Box::new(StatementOriented::new()),
+        Box::new(ProcessOriented::basic(x)),
+        Box::new(ProcessOriented::new(x)),
+    ];
+    if base.processors.is_power_of_two() {
+        schemes.push(Box::new(BarrierPhased::new(base.processors)));
+    }
+    schemes
+        .iter()
+        .map(|s| report_for(s.as_ref(), nest, graph, space, base, None))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasync_loopir::analysis::analyze;
+    use datasync_loopir::workpatterns::fig21_loop;
+
+    #[test]
+    fn compare_all_runs_and_validates() {
+        let nest = fig21_loop(24);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let base = MachineConfig::with_processors(4);
+        let rows = compare_all(&nest, &graph, &space, &base, 8).unwrap();
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert_eq!(r.violations, 0, "{} violated dependences", r.scheme);
+            assert!(r.makespan > 0);
+        }
+        // Storage shape (E12): keys scale with N, SCs with statements,
+        // PCs with X.
+        let by_name = |n: &str| rows.iter().find(|r| r.scheme.starts_with(n)).unwrap();
+        assert!(by_name("reference-based").sync_vars > by_name("statement-oriented").sync_vars);
+        assert_eq!(by_name("statement-oriented").sync_vars, 4);
+        assert_eq!(by_name("process-oriented (X=8, improved)").sync_vars, 8);
+    }
+
+    #[test]
+    fn sequential_baseline_positive() {
+        let nest = fig21_loop(10);
+        let space = IterSpace::of(&nest);
+        let base = MachineConfig::with_processors(4);
+        let seq = sequential_cycles(&nest, &space, &base, None).unwrap();
+        // 10 iterations, 5 stmts, cost 4 each + accesses.
+        assert!(seq > 10 * 5 * 4);
+    }
+
+    #[test]
+    fn schemes_speed_up_over_sequential() {
+        let nest = fig21_loop(48);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let base = MachineConfig::with_processors(8);
+        let rows = compare_all(&nest, &graph, &space, &base, 16).unwrap();
+        // The process-oriented scheme must actually exploit parallelism.
+        let po = rows.iter().find(|r| r.scheme.contains("improved")).unwrap();
+        assert!(po.speedup > 1.5, "speedup {}", po.speedup);
+    }
+}

@@ -1,0 +1,286 @@
+//! The instance-based (data-oriented) scheme of Fig 3.1.b.
+//!
+//! Every updated value gets a fresh memory location (single assignment,
+//! as in the HEP's full/empty bits plus compile-time renaming), and one
+//! **copy per reader** so reads after the update proceed in parallel:
+//! the writer writes all copies and sets their full bits; each reader
+//! waits only on its own copy's bit. Anti- and output dependences vanish
+//! entirely — at the price of storage proportional to the number of
+//! write *instances* times their reader counts.
+//!
+//! Reads whose value predates the loop (reaching definition outside)
+//! need no synchronization: initial data is full.
+
+use crate::scheme::{element_addr, emit_stmt, CompiledLoop, CostFn, Scheme, SyncStorage};
+use datasync_loopir::exec::mix2;
+use datasync_loopir::graph::DepGraph;
+use datasync_loopir::ir::{ArrayId, LoopNest, StmtId};
+use datasync_loopir::space::IterSpace;
+use datasync_sim::{Instr, Label, Pred, Program, SyncTransport, Workload};
+use std::collections::HashMap;
+
+/// Trace-label offset for per-copy events: copy `key` is published by the
+/// writer as an *end* event and consumed by its reader as a *start* event
+/// under the synthetic statement id `COPY_EVENT_BASE + key`, giving the
+/// validator exactly the write-before-read obligation renaming must keep.
+const COPY_EVENT_BASE: u32 = 1 << 30;
+
+/// The instance-based scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceBased {
+    /// Charge the `O(r*d)` boundary-test overhead on multiply-nested
+    /// loops (Example 2's criticism applies to data-oriented schemes in
+    /// general). Default `true`.
+    pub boundary_checks: bool,
+}
+
+impl Default for InstanceBased {
+    fn default() -> Self {
+        Self { boundary_checks: true }
+    }
+}
+
+impl InstanceBased {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A write instance discovered by the renaming pass.
+#[derive(Debug, Default, Clone)]
+struct WriteInstance {
+    readers: Vec<(u64, StmtId, usize)>,
+}
+
+impl Scheme for InstanceBased {
+    fn name(&self) -> String {
+        "instance-based".to_string()
+    }
+
+    fn natural_transport(&self) -> SyncTransport {
+        // Full/empty bits live with the memory words (HEP).
+        SyncTransport::SharedMemory
+    }
+
+    fn compile_with(
+        &self,
+        nest: &LoopNest,
+        graph: &DepGraph,
+        space: &IterSpace,
+        cost: Option<CostFn<'_>>,
+    ) -> CompiledLoop {
+        let _ = graph; // renaming needs reaching definitions, not arcs
+        let n = space.count();
+
+        // Pass 1: reaching definitions over the sequential access order.
+        let mut last_writer: HashMap<(ArrayId, Vec<i64>), usize> = HashMap::new();
+        let mut writes: Vec<WriteInstance> = Vec::new();
+        let mut write_site: Vec<(u64, StmtId)> = Vec::new();
+        // write instance id per (pid, stmt, pos); reader's (write, copy) too.
+        let mut write_of: HashMap<(u64, StmtId, usize), usize> = HashMap::new();
+        let mut source_of: HashMap<(u64, StmtId, usize), (usize, usize)> = HashMap::new();
+        for pid in 0..n {
+            let indices = space.indices(pid);
+            for stmt in nest.executed_stmts(pid) {
+                for (pos, r) in crate::scheme::ordered_accesses(stmt).into_iter().enumerate() {
+                    let element = r.element(&indices);
+                    if r.kind.is_write() {
+                        let id = writes.len();
+                        writes.push(WriteInstance::default());
+                        write_site.push((pid, stmt.id));
+                        write_of.insert((pid, stmt.id, pos), id);
+                        last_writer.insert((r.array, element), id);
+                    } else if let Some(&w) = last_writer.get(&(r.array, element)) {
+                        let copy = writes[w].readers.len();
+                        writes[w].readers.push((pid, stmt.id, pos));
+                        source_of.insert((pid, stmt.id, pos), (w, copy));
+                    }
+                }
+            }
+        }
+
+        // Key variables: one per (write instance, copy). Assign offsets.
+        let mut key_base: Vec<usize> = Vec::with_capacity(writes.len());
+        let mut next = 0usize;
+        for w in &writes {
+            key_base.push(next);
+            next += w.readers.len();
+        }
+        let total_keys = next as u64;
+        let total_cells: u64 = writes.iter().map(|w| w.readers.len().max(1) as u64).sum();
+
+        // Pass 2: program emission.
+        let depth = space.depth();
+        let mut programs = Vec::with_capacity(n as usize);
+        for pid in 0..n {
+            let indices = space.indices(pid);
+            let mut prog = Program::new();
+            let refs: u32 = nest.executed_stmts(pid).iter().map(|s| s.refs.len() as u32).sum();
+            if self.boundary_checks && depth > 1 {
+                prog.push(Instr::Compute(refs * depth as u32));
+            }
+            for stmt in nest.executed_stmts(pid) {
+                let c = cost.map_or(stmt.cost, |f| f(stmt.id, pid));
+                let mut pos = 0usize;
+                let mut wrap = |prog: &mut Program,
+                                r: &datasync_loopir::ir::ArrayRef,
+                                element: &[i64]| {
+                    let my_pos = pos;
+                    pos += 1;
+                    if r.kind.is_write() {
+                        let w = write_of[&(pid, stmt.id, my_pos)];
+                        let copies = writes[w].readers.len().max(1);
+                        for copy in 0..copies {
+                            prog.push(Instr::Access {
+                                addr: copy_addr(w, copy),
+                                write: true,
+                            });
+                            if copy < writes[w].readers.len() {
+                                let key = key_base[w] + copy;
+                                prog.push(Instr::SyncSet { var: key, val: 1 });
+                                prog.push(Instr::Note(Label {
+                                    pid,
+                                    stmt: COPY_EVENT_BASE + key as u32,
+                                    start: false,
+                                }));
+                            }
+                        }
+                    } else if let Some(&(w, copy)) = source_of.get(&(pid, stmt.id, my_pos)) {
+                        let key = key_base[w] + copy;
+                        prog.push(Instr::SyncWait { var: key, pred: Pred::Eq(1) });
+                        prog.push(Instr::Note(Label {
+                            pid,
+                            stmt: COPY_EVENT_BASE + key as u32,
+                            start: true,
+                        }));
+                        prog.push(Instr::Access { addr: copy_addr(w, copy), write: false });
+                    } else {
+                        // Initial data: full from the start.
+                        prog.push(Instr::Access {
+                            addr: element_addr(r.array, element),
+                            write: false,
+                        });
+                    }
+                };
+                emit_stmt(&mut prog, stmt, pid, &indices, c, Some(&mut wrap));
+            }
+            programs.push(prog);
+        }
+
+        assert!(total_keys < u64::from(COPY_EVENT_BASE), "too many copies to label");
+        // Validation: only the flow obligations the renaming actually
+        // enforces — each copy published before it is consumed.
+        let instance_pairs = source_of
+            .iter()
+            .map(|(&(rpid, _, _), &(w, copy))| {
+                let (wpid, _) = write_site[w];
+                let ev = COPY_EVENT_BASE + (key_base[w] + copy) as u32;
+                (ev, wpid, ev, rpid)
+            })
+            .collect();
+
+        CompiledLoop {
+            workload: Workload::dynamic(programs),
+            storage: SyncStorage {
+                vars: total_keys,
+                init_ops: total_keys,
+                extra_data_cells: total_cells,
+            },
+            presets: Vec::new(),
+            validation_arcs: Vec::new(),
+            instance_pairs,
+        }
+    }
+}
+
+/// Address of a renamed copy.
+fn copy_addr(write_instance: usize, copy: usize) -> u64 {
+    mix2(0x7265_6e61_6d65, mix2(write_instance as u64, copy as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasync_loopir::analysis::analyze;
+    use datasync_loopir::workpatterns::{example2_nested, fig21_loop};
+    use datasync_sim::MachineConfig;
+
+    fn check(nest: &LoopNest, procs: usize) -> (CompiledLoop, datasync_sim::RunOutcome) {
+        let graph = analyze(nest);
+        let space = IterSpace::of(nest);
+        let compiled = InstanceBased::new().compile(nest, &graph, &space);
+        let config = MachineConfig::with_processors(procs).transport(SyncTransport::SharedMemory);
+        let out = compiled.run(&config).expect("simulation failed");
+        let violations = compiled.validate(&out);
+        assert!(violations.is_empty(), "flow violations: {violations:?}");
+        (compiled, out)
+    }
+
+    #[test]
+    fn fig21_flow_ordered() {
+        check(&fig21_loop(25), 4);
+    }
+
+    #[test]
+    fn storage_scales_with_write_instances() {
+        let nest = fig21_loop(30);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let c = InstanceBased::new().compile(&nest, &graph, &space);
+        // Every iteration writes: A[I+3] (read by S2@+2, S3@+1, S5@+4 until
+        // killed by S4@+3 -> readers S2, S3 only), A[I] (read by S5@+1),
+        // R2, R3, R5 (no readers). Roughly 3 reader-copies per iteration
+        // plus 5 cells; exact numbers depend on boundaries.
+        assert!(c.storage.vars > 2 * 30 && c.storage.vars <= 4 * 30, "keys = {}", c.storage.vars);
+        assert!(c.storage.extra_data_cells >= 5 * 30 - 20, "cells = {}", c.storage.extra_data_cells);
+        assert_eq!(c.storage.init_ops, c.storage.vars);
+    }
+
+    #[test]
+    fn anti_and_output_deps_do_not_serialize() {
+        // A loop with ONLY anti/output dependences: instance-based runs
+        // every iteration fully parallel (no sync waits at all).
+        use datasync_loopir::ir::{AccessKind, ArrayRef, LoopNestBuilder};
+        let a = ArrayId(0);
+        let nest = LoopNestBuilder::new(1, 20)
+            .stmt("S1", 2, vec![ArrayRef::simple(a, AccessKind::Read, 1)])
+            .stmt("S2", 2, vec![ArrayRef::simple(a, AccessKind::Write, 0)])
+            .build();
+        let graph = analyze(&nest);
+        assert!(graph.carried().next().is_some(), "loop must have an anti dep");
+        let space = IterSpace::of(&nest);
+        let compiled = InstanceBased::new().compile(&nest, &graph, &space);
+        let has_waits = compiled
+            .workload
+            .programs
+            .iter()
+            .flat_map(|p| &p.instrs)
+            .any(|i| matches!(i, Instr::SyncWait { .. }));
+        assert!(!has_waits, "renaming must remove all waits for anti-only loops");
+    }
+
+    #[test]
+    fn nested_flow_ordered() {
+        check(&example2_nested(5, 5, 3), 4);
+    }
+
+    #[test]
+    fn multiple_readers_get_own_copies() {
+        let nest = fig21_loop(15);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let compiled = InstanceBased::new().compile(&nest, &graph, &space);
+        // A[I+3] written by S1 is read by S2 (dist 2) and S3 (dist 1):
+        // at least two copies for interior iterations.
+        let writes_per_prog: Vec<usize> = compiled
+            .workload
+            .programs
+            .iter()
+            .map(|p| p.instrs.iter().filter(|i| matches!(i, Instr::Access { write: true, .. })).count())
+            .collect();
+        // Interior iterations write 2 copies of A[I+3] + 1 of A[I] +
+        // 1 of each result array = at least 6 stores.
+        assert!(writes_per_prog.iter().skip(4).take(6).all(|&w| w >= 6), "{writes_per_prog:?}");
+    }
+}

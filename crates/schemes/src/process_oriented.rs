@@ -1,0 +1,225 @@
+//! The process-oriented scheme (Section 4) compiled onto the simulator.
+//!
+//! One process counter per iteration, folded onto `X` physical counters.
+//! Uses the covering-reduced dependence graph and the placement computed
+//! by [`SyncPlan`] — the same placement the real-thread executor uses, so
+//! the two substrates are guaranteed to agree.
+//!
+//! Two primitive sets are supported:
+//!
+//! * **basic** (Fig 4.2): `get_PC` before the first source statement,
+//!   `set_PC` after each source, `release_PC` after the last;
+//! * **improved** (Fig 4.3): `mark_PC` (conditional on ownership, free
+//!   when skipped) and `transfer_PC` (acquire-if-needed then release).
+
+use crate::scheme::{emit_stmt, validation_arcs, CompiledLoop, CostFn, Scheme, SyncStorage};
+use datasync_loopir::covering;
+use datasync_loopir::graph::DepGraph;
+use datasync_loopir::ir::LoopNest;
+use datasync_loopir::plan::{IterOp, PcOp, SyncPlan};
+use datasync_loopir::space::IterSpace;
+use datasync_sim::{pack_pc, Instr, Pred, Program, SyncTransport, Workload};
+
+/// The process-oriented scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessOriented {
+    /// Number of physical process counters (`X`). The paper recommends a
+    /// power of two, a small multiple of the processor count.
+    pub x: usize,
+    /// Use the improved primitives of Fig 4.3.
+    pub improved: bool,
+}
+
+impl ProcessOriented {
+    /// Improved-primitive scheme with `x` counters.
+    pub fn new(x: usize) -> Self {
+        Self { x, improved: true }
+    }
+
+    /// Basic-primitive scheme (Fig 4.2) with `x` counters.
+    pub fn basic(x: usize) -> Self {
+        Self { x, improved: false }
+    }
+
+    fn pc_var(&self, pid: u64) -> usize {
+        (pid % self.x as u64) as usize
+    }
+}
+
+impl Scheme for ProcessOriented {
+    fn name(&self) -> String {
+        format!(
+            "process-oriented (X={}, {})",
+            self.x,
+            if self.improved { "improved" } else { "basic" }
+        )
+    }
+
+    fn natural_transport(&self) -> SyncTransport {
+        SyncTransport::DedicatedBus
+    }
+
+    fn compile_with(
+        &self,
+        nest: &LoopNest,
+        graph: &DepGraph,
+        space: &IterSpace,
+        cost: Option<CostFn<'_>>,
+    ) -> CompiledLoop {
+        assert!(self.x > 0, "X must be positive");
+        let reduced = covering::reduce(nest, graph).linearized(space);
+        let plan = SyncPlan::build(nest, &reduced);
+        let n = space.count();
+        let mut programs = Vec::with_capacity(n as usize);
+
+        for pid in 0..n {
+            let indices = space.indices(pid);
+            let mut prog = Program::new();
+            let own = self.pc_var(pid);
+            let ownership_guard = pack_pc(pid, 0);
+            // Basic primitives: get_PC before anything that updates the PC.
+            if !self.improved && plan.has_sync() {
+                prog.push(Instr::SyncWait { var: own, pred: Pred::Geq(ownership_guard) });
+            }
+            for op in plan.iteration_ops(nest, pid) {
+                match op {
+                    IterOp::Wait(w) => {
+                        let target = pid - w.dist as u64;
+                        prog.push(Instr::SyncWait {
+                            var: self.pc_var(target),
+                            pred: Pred::Geq(pack_pc(target, w.step)),
+                        });
+                    }
+                    IterOp::Exec(s) => {
+                        let stmt = nest.stmt(s);
+                        let c = cost.map_or(stmt.cost, |f| f(s, pid));
+                        emit_stmt(&mut prog, stmt, pid, &indices, c, None);
+                    }
+                    IterOp::Pc(PcOp::Mark(step)) => {
+                        let val = pack_pc(pid, step);
+                        if self.improved {
+                            // mark_PC: skip while the counter still belongs
+                            // to an earlier process.
+                            prog.push(Instr::SyncSetIfGeq {
+                                var: own,
+                                guard: ownership_guard,
+                                val,
+                            });
+                        } else {
+                            prog.push(Instr::SyncSet { var: own, val });
+                        }
+                    }
+                    IterOp::Pc(PcOp::Transfer) => {
+                        if self.improved {
+                            // transfer_PC: acquire ownership if never
+                            // obtained, then hand the counter on.
+                            prog.push(Instr::SyncWait {
+                                var: own,
+                                pred: Pred::Geq(ownership_guard),
+                            });
+                        }
+                        prog.push(Instr::SyncSet {
+                            var: own,
+                            val: pack_pc(pid + self.x as u64, 0),
+                        });
+                    }
+                }
+            }
+            programs.push(prog);
+        }
+
+        let presets = (0..self.x.min(n as usize))
+            .map(|i| (i, pack_pc(i as u64, 0)))
+            .collect();
+        CompiledLoop {
+            workload: Workload::dynamic(programs),
+            storage: SyncStorage {
+                vars: self.x as u64,
+                init_ops: self.x as u64,
+                extra_data_cells: 0,
+            },
+            presets,
+            validation_arcs: validation_arcs(graph, space),
+            instance_pairs: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasync_loopir::analysis::analyze;
+    use datasync_loopir::workpatterns::{example2_nested, example3_branches, fig21_loop};
+    use datasync_sim::MachineConfig;
+
+    fn check(nest: &LoopNest, scheme: ProcessOriented, procs: usize) -> datasync_sim::RunOutcome {
+        let graph = analyze(nest);
+        let space = IterSpace::of(nest);
+        let compiled = scheme.compile(nest, &graph, &space);
+        let out = compiled.run(&MachineConfig::with_processors(procs)).expect("simulation failed");
+        let violations = out.trace.validate_order(&compiled.validation_arcs);
+        assert!(violations.is_empty(), "order violations: {violations:?}");
+        out
+    }
+
+    #[test]
+    fn fig21_improved_orders_all_deps() {
+        let nest = fig21_loop(40);
+        let out = check(&nest, ProcessOriented::new(8), 4);
+        // 40 iterations * 5 statements, each with start+end notes.
+        assert_eq!(out.trace.events().len(), 40 * 5 * 2);
+    }
+
+    #[test]
+    fn fig21_basic_orders_all_deps() {
+        let nest = fig21_loop(40);
+        check(&nest, ProcessOriented::basic(8), 4);
+    }
+
+    #[test]
+    fn tiny_pool_still_correct() {
+        let nest = fig21_loop(30);
+        check(&nest, ProcessOriented::new(1), 4);
+        check(&nest, ProcessOriented::basic(2), 4);
+    }
+
+    #[test]
+    fn nested_loop_linearized(){
+        let nest = example2_nested(6, 5, 3);
+        check(&nest, ProcessOriented::new(8), 4);
+    }
+
+    #[test]
+    fn branches_every_path_transfers() {
+        let nest = example3_branches(50, 2);
+        check(&nest, ProcessOriented::new(4), 4);
+    }
+
+    #[test]
+    fn storage_is_x_independent_of_n() {
+        let space = IterSpace::of(&fig21_loop(500));
+        let nest = fig21_loop(500);
+        let graph = analyze(&nest);
+        let c = ProcessOriented::new(16).compile(&nest, &graph, &space);
+        assert_eq!(c.storage.vars, 16);
+        assert_eq!(c.storage.init_ops, 16);
+    }
+
+    #[test]
+    fn improved_beats_basic_in_makespan_or_ties() {
+        // The improved primitives never wait before intermediate marks, so
+        // they can only help.
+        let nest = fig21_loop(60);
+        let imp = check(&nest, ProcessOriented::new(4), 4).stats.makespan;
+        let bas = check(&nest, ProcessOriented::basic(4), 4).stats.makespan;
+        assert!(imp <= bas, "improved {imp} > basic {bas}");
+    }
+
+    #[test]
+    fn more_processors_do_not_slow_down_much() {
+        let nest = fig21_loop(64);
+        let p2 = check(&nest, ProcessOriented::new(8), 2).stats.makespan;
+        let p8 = check(&nest, ProcessOriented::new(16), 8).stats.makespan;
+        assert!(p8 < p2, "8 procs ({p8}) should beat 2 procs ({p2})");
+    }
+}

@@ -1,0 +1,308 @@
+//! The reference-based (data-oriented) scheme of Fig 3.1.a.
+//!
+//! One key per array element; every access to a synchronized array is a
+//! Cedar-style atomic *test-and-access*: wait until `key >= rank`,
+//! perform the access, increment the key. Ranks follow the sequential
+//! access order of the element, with **consecutive reads sharing a rank**
+//! so independent fetches (S2 and S3 in Fig 2.1) can proceed in any
+//! order.
+//!
+//! The compile pass brute-forces the sequential access sequence to assign
+//! ranks — for multiply-nested loops a real compiler would instead emit
+//! boundary tests costing `O(r*d)` per iteration (Example 2's criticism);
+//! that overhead is charged as extra compute when the nest depth exceeds
+//! one.
+
+use crate::scheme::{element_addr, emit_stmt, CompiledLoop, CostFn, Scheme, SyncStorage};
+use datasync_loopir::graph::DepGraph;
+use datasync_loopir::ir::{ArrayId, LoopNest, StmtId};
+use datasync_loopir::space::IterSpace;
+use datasync_sim::{Instr, Label, Program, SyncTransport, Workload};
+use std::collections::{HashMap, HashSet};
+
+/// Trace-label offset for per-access events. The scheme orders *element
+/// accesses*, not whole statements, so each keyed access `q` records its
+/// completion under the synthetic statement id `ACCESS_EVENT_BASE + q`
+/// (as both a start and an end event) and the validator checks the
+/// element's access order directly.
+const ACCESS_EVENT_BASE: u32 = 1 << 30;
+
+/// The reference-based scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReferenceBased {
+    /// Charge the `O(r*d)` per-iteration boundary-test overhead on
+    /// multiply-nested loops (Example 2). Default `true`.
+    pub boundary_checks: bool,
+}
+
+impl Default for ReferenceBased {
+    fn default() -> Self {
+        Self { boundary_checks: true }
+    }
+}
+
+impl ReferenceBased {
+    /// Creates the scheme with boundary-check charging enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[derive(Debug, Default)]
+struct ElementState {
+    total: u64,
+    group_start: u64,
+    last_was_read: bool,
+    writes: u64,
+    /// Pid of the access preceding the current read group (a write), if
+    /// any, as `(seq, pid)`.
+    pre_group: Option<(u64, u64)>,
+    /// The current read group's accesses, `(seq, pid)`.
+    group: Vec<(u64, u64)>,
+}
+
+impl ElementState {
+    /// Ranks a read; returns `(rank, obligations)` where each obligation
+    /// is a `(pred_seq, pred_pid)` that must complete before this access.
+    fn rank_read(&mut self, seq: u64, pid: u64) -> (u64, Vec<(u64, u64)>) {
+        let rank = if self.last_was_read { self.group_start } else { self.total };
+        if !self.last_was_read {
+            self.group_start = self.total;
+            debug_assert!(self.group.is_empty(), "a write must have closed the read group");
+        }
+        self.last_was_read = true;
+        self.total += 1;
+        let obligations = self.pre_group.into_iter().collect();
+        self.group.push((seq, pid));
+        (rank, obligations)
+    }
+
+    /// Ranks a write; the write must follow every access of the preceding
+    /// read group (or the preceding write when adjacent).
+    fn rank_write(&mut self, seq: u64, pid: u64) -> (u64, Vec<(u64, u64)>) {
+        let rank = self.total;
+        self.last_was_read = false;
+        self.total += 1;
+        self.writes += 1;
+        let mut obligations: Vec<(u64, u64)> = std::mem::take(&mut self.group);
+        if obligations.is_empty() {
+            obligations.extend(self.pre_group);
+        }
+        self.pre_group = Some((seq, pid));
+        (rank, obligations)
+    }
+}
+
+impl Scheme for ReferenceBased {
+    fn name(&self) -> String {
+        "reference-based".to_string()
+    }
+
+    fn natural_transport(&self) -> SyncTransport {
+        // Keys live in the memory modules next to their data.
+        SyncTransport::SharedMemory
+    }
+
+    fn compile_with(
+        &self,
+        nest: &LoopNest,
+        graph: &DepGraph,
+        space: &IterSpace,
+        cost: Option<CostFn<'_>>,
+    ) -> CompiledLoop {
+        let n = space.count();
+
+        // Pass 1: sequential walk — rank every access, find which arrays
+        // actually need ordering, and collect the per-element ordering
+        // obligations for trace validation.
+        let mut elems: HashMap<(ArrayId, Vec<i64>), ElementState> = HashMap::new();
+        // (rank, access seq) per (pid, stmt, position in ordered_accesses)
+        let mut ranks: HashMap<(u64, StmtId, usize), (u64, u64)> = HashMap::new();
+        let mut pairs: Vec<(u32, u64, u32, u64)> = Vec::new();
+        let mut next_seq = 0u64;
+        for pid in 0..n {
+            let indices = space.indices(pid);
+            for stmt in nest.executed_stmts(pid) {
+                for (pos, r) in crate::scheme::ordered_accesses(stmt).into_iter().enumerate() {
+                    let element = r.element(&indices);
+                    let st = elems.entry((r.array, element)).or_default();
+                    let seq = next_seq;
+                    next_seq += 1;
+                    let (rank, obligations) = if r.kind.is_write() {
+                        st.rank_write(seq, pid)
+                    } else {
+                        st.rank_read(seq, pid)
+                    };
+                    for (pseq, ppid) in obligations {
+                        pairs.push((
+                            ACCESS_EVENT_BASE + pseq as u32,
+                            ppid,
+                            ACCESS_EVENT_BASE + seq as u32,
+                            pid,
+                        ));
+                    }
+                    ranks.insert((pid, stmt.id, pos), (rank, seq));
+                }
+            }
+        }
+        assert!(next_seq < u64::from(ACCESS_EVENT_BASE), "too many accesses to label");
+        let synced_arrays: HashSet<ArrayId> = elems
+            .iter()
+            .filter(|(_, st)| st.total >= 2 && st.writes >= 1)
+            .map(|((a, _), _)| *a)
+            .collect();
+
+        // Keys: one per touched element of every synchronized array,
+        // assigned deterministically.
+        let mut key_of: HashMap<(ArrayId, Vec<i64>), usize> = HashMap::new();
+        {
+            let mut touched: Vec<&(ArrayId, Vec<i64>)> =
+                elems.keys().filter(|(a, _)| synced_arrays.contains(a)).collect();
+            touched.sort();
+            for (i, k) in touched.into_iter().enumerate() {
+                key_of.insert(k.clone(), i);
+            }
+        }
+
+        // Pass 2: program emission.
+        let depth = space.depth();
+        let mut programs = Vec::with_capacity(n as usize);
+        for pid in 0..n {
+            let indices = space.indices(pid);
+            let mut prog = Program::new();
+            let synced_refs: u32 = nest
+                .executed_stmts(pid)
+                .iter()
+                .flat_map(|s| s.refs.iter())
+                .filter(|r| synced_arrays.contains(&r.array))
+                .count() as u32;
+            if self.boundary_checks && depth > 1 && synced_refs > 0 {
+                // O(r*d) boundary testing per iteration.
+                prog.push(Instr::Compute(synced_refs * depth as u32));
+            }
+            for stmt in nest.executed_stmts(pid) {
+                let c = cost.map_or(stmt.cost, |f| f(stmt.id, pid));
+                let mut pos = 0usize;
+                let mut wrap = |prog: &mut Program,
+                                r: &datasync_loopir::ir::ArrayRef,
+                                element: &[i64]| {
+                    let my_pos = pos;
+                    pos += 1;
+                    if let Some(&key) = key_of.get(&(r.array, element.to_vec())) {
+                        let (rank, seq) = ranks[&(pid, stmt.id, my_pos)];
+                        prog.push(Instr::KeyedAccess { var: key, geq: rank });
+                        // Completion event, both as a start and an end so
+                        // obligation pairs compare completion order.
+                        let ev = ACCESS_EVENT_BASE + seq as u32;
+                        prog.push(Instr::Note(Label { pid, stmt: ev, start: true }));
+                        prog.push(Instr::Note(Label { pid, stmt: ev, start: false }));
+                    } else {
+                        prog.push(Instr::Access {
+                            addr: element_addr(r.array, element),
+                            write: r.kind.is_write(),
+                        });
+                    }
+                };
+                emit_stmt(&mut prog, stmt, pid, &indices, c, Some(&mut wrap));
+            }
+            programs.push(prog);
+        }
+
+        let _ = graph; // ordering is derived per element, not from arcs
+        // Only keep obligations between accesses of *synchronized*
+        // elements (unsynchronized arrays have no ordering needs).
+        let keys = key_of.len() as u64;
+        CompiledLoop {
+            workload: Workload::dynamic(programs),
+            storage: SyncStorage { vars: keys, init_ops: keys, extra_data_cells: 0 },
+            presets: Vec::new(),
+            validation_arcs: Vec::new(),
+            instance_pairs: pairs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasync_loopir::analysis::analyze;
+    use datasync_loopir::workpatterns::{example2_nested, example3_branches, fig21_loop};
+    use datasync_sim::MachineConfig;
+
+    fn check(nest: &LoopNest, procs: usize) -> (CompiledLoop, datasync_sim::RunOutcome) {
+        let graph = analyze(nest);
+        let space = IterSpace::of(nest);
+        let compiled = ReferenceBased::new().compile(nest, &graph, &space);
+        let config = MachineConfig::with_processors(procs)
+            .transport(ReferenceBased::new().natural_transport());
+        let out = compiled.run(&config).expect("simulation failed");
+        let violations = compiled.validate(&out);
+        assert!(violations.is_empty(), "order violations: {violations:?}");
+        (compiled, out)
+    }
+
+    #[test]
+    fn fig21_orders_all_deps() {
+        check(&fig21_loop(30), 4);
+    }
+
+    #[test]
+    fn storage_scales_with_elements_not_statements() {
+        let (c20, _) = check(&fig21_loop(20), 2);
+        let (c40, _) = check(&fig21_loop(40), 2);
+        // Elements of A touched: I-1 .. I+3 over I = 1..N -> N + 4 keys.
+        assert_eq!(c20.storage.vars, 24);
+        assert_eq!(c40.storage.vars, 44);
+        assert_eq!(c40.storage.init_ops, 44);
+    }
+
+    #[test]
+    fn read_groups_share_rank() {
+        // In Fig 2.1 the fetches of S2 (A[I+1]) and S3 (A[I+2]) hit an
+        // element between its writes; those consecutive reads form rank
+        // groups, so the key final value still counts every access.
+        let nest = fig21_loop(12);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let compiled = ReferenceBased::new().compile(&nest, &graph, &space);
+        let config = MachineConfig::with_processors(3)
+            .transport(SyncTransport::SharedMemory);
+        let out = compiled.run(&config).unwrap();
+        // Every keyed access incremented exactly once: sum of final key
+        // values == number of keyed accesses (5 per iteration).
+        let total: u64 = out.sync_final.iter().sum();
+        assert_eq!(total, 12 * 5);
+    }
+
+    #[test]
+    fn private_arrays_need_no_keys() {
+        let nest = fig21_loop(10);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let compiled = ReferenceBased::new().compile(&nest, &graph, &space);
+        // Keys only for A's elements (14), not for R2/R3/R5.
+        assert_eq!(compiled.storage.vars, 14);
+    }
+
+    #[test]
+    fn nested_loop_ordered() {
+        check(&example2_nested(5, 6, 3), 4);
+    }
+
+    #[test]
+    fn branches_ordered() {
+        check(&example3_branches(40, 2), 4);
+    }
+
+    #[test]
+    fn works_on_dedicated_bus_too() {
+        let nest = fig21_loop(20);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let compiled = ReferenceBased::new().compile(&nest, &graph, &space);
+        let out = compiled
+            .run(&MachineConfig::with_processors(4).transport(SyncTransport::DedicatedBus))
+            .unwrap();
+        assert!(compiled.validate(&out).is_empty());
+    }
+}

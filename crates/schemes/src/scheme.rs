@@ -1,0 +1,254 @@
+//! The common scheme interface and shared program-building helpers.
+//!
+//! A [`Scheme`] compiles a loop nest plus its dependence graph into
+//! simulator programs (one per iteration) and accounts for the
+//! synchronization-variable storage and initialization overhead the
+//! paper's Section 3 classification compares.
+
+use datasync_loopir::exec::mix2;
+use datasync_loopir::graph::{DepGraph, Distance};
+use datasync_loopir::ir::{ArrayRef, LoopNest, Stmt, StmtId};
+use datasync_loopir::space::IterSpace;
+use datasync_sim::{Instr, Label, MachineConfig, Program, RunOutcome, SimError, SyncTransport, Workload};
+
+/// Synchronization-variable accounting (the Section 3 / Section 6
+/// storage comparison, experiment E12).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncStorage {
+    /// Number of synchronization variables the scheme allocates.
+    pub vars: u64,
+    /// Writes needed to initialize them before the loop starts.
+    pub init_ops: u64,
+    /// Extra *data* storage (renamed copies, instance-based scheme only).
+    pub extra_data_cells: u64,
+}
+
+/// A loop compiled for the simulator under one scheme.
+#[derive(Debug, Clone)]
+pub struct CompiledLoop {
+    /// One program per iteration, dispatched dynamically in pid order.
+    pub workload: Workload,
+    /// Storage accounting.
+    pub storage: SyncStorage,
+    /// Initial sync-variable values that differ from zero.
+    pub presets: Vec<(usize, u64)>,
+    /// Every carried dependence as `(src_stmt, dst_stmt, linear_distance)`
+    /// for trace validation — always the *full* (unreduced) set, so
+    /// validation also proves covering soundness.
+    ///
+    /// The instance-based scheme leaves this empty (renaming legitimately
+    /// removes anti/output dependences) and uses
+    /// [`CompiledLoop::instance_pairs`] instead.
+    pub validation_arcs: Vec<(u32, u32, i64)>,
+    /// Instance-granular obligations `(src_stmt, src_pid, dst_stmt,
+    /// dst_pid)`: the source instance's end must precede the sink
+    /// instance's start.
+    pub instance_pairs: Vec<(u32, u64, u32, u64)>,
+}
+
+impl CompiledLoop {
+    /// Runs the compiled loop on a machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the simulator.
+    pub fn run(&self, config: &MachineConfig) -> Result<RunOutcome, SimError> {
+        config.validate().map_err(SimError::BadConfig)?;
+        let mut m = datasync_sim::Machine::new(config.clone(), self.workload.clone());
+        for &(var, val) in &self.presets {
+            m.preset_sync(var, val);
+        }
+        m.run_to_completion()
+    }
+
+    /// Validates a run's trace against both the distance arcs and the
+    /// instance pairs; returns human-readable violations (empty = correct).
+    pub fn validate(&self, out: &RunOutcome) -> Vec<String> {
+        let mut problems: Vec<String> = out
+            .trace
+            .validate_order(&self.validation_arcs)
+            .into_iter()
+            .map(|v| {
+                format!(
+                    "S{}@{} (ends {}) must precede S{}@{} (starts {})",
+                    v.src_stmt + 1, v.src_pid, v.src_end, v.dst_stmt + 1, v.dst_pid, v.dst_start
+                )
+            })
+            .collect();
+        for &(ss, sp, ds, dp) in &self.instance_pairs {
+            let (Some(end), Some(start)) =
+                (out.trace.end_of(ss, sp), out.trace.start_of(ds, dp))
+            else {
+                continue;
+            };
+            if start < end {
+                problems.push(format!(
+                    "instance S{}@{sp} (ends {end}) must precede S{}@{dp} (starts {start})",
+                    ss + 1, ds + 1
+                ));
+            }
+        }
+        problems
+    }
+}
+
+/// A synchronization scheme, in the paper's Section 3 classification.
+pub trait Scheme {
+    /// Human-readable name for report tables.
+    fn name(&self) -> String;
+
+    /// The hardware the scheme was designed for: data-oriented schemes
+    /// keep their keys in shared memory; statement- and process-oriented
+    /// schemes use the dedicated synchronization bus.
+    fn natural_transport(&self) -> SyncTransport;
+
+    /// Compiles the nest (with its **raw, unreduced** dependence graph in
+    /// vector-distance form) into simulator programs. `cost` optionally
+    /// overrides per-instance statement costs (delay-injection
+    /// experiments).
+    fn compile_with(
+        &self,
+        nest: &LoopNest,
+        graph: &DepGraph,
+        space: &IterSpace,
+        cost: Option<CostFn<'_>>,
+    ) -> CompiledLoop;
+
+    /// [`Scheme::compile_with`] using every statement's own cost.
+    fn compile(&self, nest: &LoopNest, graph: &DepGraph, space: &IterSpace) -> CompiledLoop {
+        self.compile_with(nest, graph, space, None)
+    }
+}
+
+/// Per-iteration cost override used by the delay-injection experiments
+/// (`None` means every instance uses the statement's own cost).
+pub type CostFn<'a> = &'a dyn Fn(StmtId, u64) -> u32;
+
+/// Deterministic memory address of an array element.
+pub fn element_addr(array: datasync_loopir::ir::ArrayId, element: &[i64]) -> u64 {
+    let mut h = mix2(0x6164_6472, array.0 as u64);
+    for &e in element {
+        h = mix2(h, e as u64);
+    }
+    h
+}
+
+/// The canonical intra-statement access order every scheme must use:
+/// reads in textual reference order, then writes in textual order.
+pub fn ordered_accesses(stmt: &Stmt) -> Vec<&ArrayRef> {
+    stmt.reads().chain(stmt.writes()).collect()
+}
+
+/// Emits the body of a statement instance: start note, read accesses,
+/// compute, write accesses, end note. `wrap_access` lets a scheme insert
+/// per-access synchronization (reference-based keys); pass `None` for
+/// plain accesses.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_stmt(
+    prog: &mut Program,
+    stmt: &Stmt,
+    pid: u64,
+    indices: &[i64],
+    cost: u32,
+    mut wrap_access: Option<&mut dyn FnMut(&mut Program, &ArrayRef, &[i64])>,
+) {
+    prog.push(Instr::Note(Label { pid, stmt: stmt.id.0 as u32, start: true }));
+    for r in stmt.reads() {
+        let element = r.element(indices);
+        match wrap_access.as_deref_mut() {
+            Some(f) => f(prog, r, &element),
+            None => {
+                prog.push(Instr::Access { addr: element_addr(r.array, &element), write: false });
+            }
+        }
+    }
+    prog.push(Instr::Compute(cost));
+    for w in stmt.writes() {
+        let element = w.element(indices);
+        match wrap_access.as_deref_mut() {
+            Some(f) => f(prog, w, &element),
+            None => {
+                prog.push(Instr::Access { addr: element_addr(w.array, &element), write: true });
+            }
+        }
+    }
+    prog.push(Instr::Note(Label { pid, stmt: stmt.id.0 as u32, start: false }));
+}
+
+/// Expands a dependence graph into trace-validation arcs
+/// `(src, dst, linear_distance)`. Serial chains become the two arcs that
+/// realize the total order; loop-independent arcs are included with
+/// distance 0 (program order must satisfy them).
+pub fn validation_arcs(graph: &DepGraph, space: &IterSpace) -> Vec<(u32, u32, i64)> {
+    let mut arcs = Vec::new();
+    for d in graph.deps() {
+        match &d.distance {
+            Distance::Vector(v) => {
+                let dist = space.linear_distance(v);
+                debug_assert!(dist >= 0);
+                arcs.push((d.src.0 as u32, d.dst.0 as u32, dist));
+            }
+            Distance::SerialChain => {
+                if d.src == d.dst {
+                    arcs.push((d.src.0 as u32, d.src.0 as u32, 1));
+                } else {
+                    arcs.push((d.src.0 as u32, d.dst.0 as u32, 0));
+                    arcs.push((d.dst.0 as u32, d.src.0 as u32, 1));
+                }
+            }
+        }
+    }
+    arcs.sort_unstable();
+    arcs.dedup();
+    arcs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasync_loopir::analysis::analyze;
+    use datasync_loopir::ir::{AccessKind, ArrayId};
+    use datasync_loopir::workpatterns::fig21_loop;
+
+    #[test]
+    fn element_addr_distinguishes_elements() {
+        let a = ArrayId(0);
+        assert_ne!(element_addr(a, &[1]), element_addr(a, &[2]));
+        assert_ne!(element_addr(a, &[1]), element_addr(ArrayId(1), &[1]));
+        assert_eq!(element_addr(a, &[1, 2]), element_addr(a, &[1, 2]));
+    }
+
+    #[test]
+    fn ordered_accesses_reads_before_writes() {
+        let nest = fig21_loop(4);
+        let s2 = nest.stmt(StmtId(1)); // reads A, writes R2
+        let order = ordered_accesses(s2);
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0].kind, AccessKind::Read);
+        assert_eq!(order[1].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn emit_stmt_shape() {
+        let nest = fig21_loop(4);
+        let s2 = nest.stmt(StmtId(1));
+        let mut prog = Program::new();
+        emit_stmt(&mut prog, s2, 3, &[4], 7, None);
+        assert!(matches!(prog.instrs[0], Instr::Note(Label { start: true, .. })));
+        assert!(matches!(prog.instrs[1], Instr::Access { write: false, .. }));
+        assert!(matches!(prog.instrs[2], Instr::Compute(7)));
+        assert!(matches!(prog.instrs[3], Instr::Access { write: true, .. }));
+        assert!(matches!(prog.instrs[4], Instr::Note(Label { start: false, .. })));
+    }
+
+    #[test]
+    fn validation_arcs_cover_graph() {
+        let nest = fig21_loop(20);
+        let g = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let arcs = validation_arcs(&g, &space);
+        assert_eq!(arcs.len(), g.deps().len(), "no serial chains in fig 2.1");
+        assert!(arcs.contains(&(0, 1, 2)));
+        assert!(arcs.contains(&(3, 4, 1)));
+    }
+}

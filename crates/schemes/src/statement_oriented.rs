@@ -1,0 +1,216 @@
+//! The statement-oriented scheme (Section 3.2): one statement counter per
+//! carried-dependence source, Alliant FX/8 `Advance`/`Await` semantics.
+//!
+//! After process `i` completes source statement `Sa`, it `Advance`s
+//! `SC[a]`: it waits until `SC[a] = i-1` and then sets it to `i` — the
+//! "horizontal" sharing that serializes consecutive iterations on every
+//! source statement. A sink `Sb` with distance `D` executes
+//! `Await(D, a)`: wait until `SC[a] >= i - D`.
+//!
+//! Counters are stored shifted by one (`sc_enc = last_advanced_pid + 1`,
+//! initially 0) so 0-based pids need no signed values.
+//!
+//! Branch rule (Example 3): every arm must advance every SC whose source
+//! lives inside the branch, so the sequential handoff never stalls.
+
+use crate::scheme::{emit_stmt, validation_arcs, CompiledLoop, CostFn, Scheme, SyncStorage};
+use datasync_loopir::covering;
+use datasync_loopir::graph::DepGraph;
+use datasync_loopir::ir::{BodyItem, LoopNest, StmtId};
+use datasync_loopir::space::IterSpace;
+use datasync_sim::{Instr, Pred, Program, SyncTransport, Workload};
+use std::collections::HashMap;
+
+/// The statement-oriented scheme.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatementOriented;
+
+impl StatementOriented {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// Emits `Advance(sc)` for iteration `pid`.
+fn advance(prog: &mut Program, sc: usize, pid: u64) {
+    prog.push(Instr::SyncWait { var: sc, pred: Pred::Eq(pid) });
+    prog.push(Instr::SyncSet { var: sc, val: pid + 1 });
+}
+
+impl Scheme for StatementOriented {
+    fn name(&self) -> String {
+        "statement-oriented".to_string()
+    }
+
+    fn natural_transport(&self) -> SyncTransport {
+        SyncTransport::DedicatedBus
+    }
+
+    fn compile_with(
+        &self,
+        nest: &LoopNest,
+        graph: &DepGraph,
+        space: &IterSpace,
+        cost: Option<CostFn<'_>>,
+    ) -> CompiledLoop {
+        let reduced = covering::reduce(nest, graph).linearized(space);
+        let sources = reduced.carried_sources();
+        let sc_of: HashMap<StmtId, usize> =
+            sources.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+
+        // Waits before each sink: (sc index, distance), deduped to the
+        // tightest (the smallest pid-d is the binding one per sc).
+        let mut waits: Vec<Vec<(usize, i64)>> = vec![Vec::new(); nest.n_stmts()];
+        for d in reduced.carried() {
+            let sc = sc_of[&d.src];
+            let dist = d.linear();
+            let w = &mut waits[d.dst.0];
+            match w.iter_mut().find(|(s, _)| *s == sc) {
+                Some(existing) => existing.1 = existing.1.min(dist),
+                None => w.push((sc, dist)),
+            }
+        }
+
+        let n = space.count();
+        let mut programs = Vec::with_capacity(n as usize);
+        for pid in 0..n {
+            let indices = space.indices(pid);
+            let mut prog = Program::new();
+            for item in &nest.body {
+                match item {
+                    BodyItem::Stmt(s) => {
+                        emit_one(&mut prog, nest, s.id, pid, &indices, &waits, &sc_of, cost);
+                    }
+                    BodyItem::Branch(b) => {
+                        let arm = b.arm_taken(pid);
+                        let mut advanced: Vec<usize> = Vec::new();
+                        for s in &b.arms[arm] {
+                            emit_one(&mut prog, nest, s.id, pid, &indices, &waits, &sc_of, cost);
+                            if let Some(&sc) = sc_of.get(&s.id) {
+                                advanced.push(sc);
+                            }
+                        }
+                        // Branch rule: advance the SCs of sources in the
+                        // arms not taken, ascending.
+                        let mut missing: Vec<usize> = b
+                            .stmts()
+                            .filter_map(|s| sc_of.get(&s.id).copied())
+                            .filter(|sc| !advanced.contains(sc))
+                            .collect();
+                        missing.sort_unstable();
+                        for sc in missing {
+                            advance(&mut prog, sc, pid);
+                        }
+                    }
+                }
+            }
+            programs.push(prog);
+        }
+
+        CompiledLoop {
+            workload: Workload::dynamic(programs),
+            storage: SyncStorage {
+                vars: sources.len() as u64,
+                init_ops: sources.len() as u64,
+                extra_data_cells: 0,
+            },
+            presets: Vec::new(),
+            validation_arcs: validation_arcs(graph, space),
+            instance_pairs: Vec::new(),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_one(
+    prog: &mut Program,
+    nest: &LoopNest,
+    s: StmtId,
+    pid: u64,
+    indices: &[i64],
+    waits: &[Vec<(usize, i64)>],
+    sc_of: &HashMap<StmtId, usize>,
+    cost: Option<CostFn<'_>>,
+) {
+    // Sink first: Await every source this statement depends on.
+    for &(sc, dist) in &waits[s.0] {
+        if (dist as u64) <= pid {
+            prog.push(Instr::SyncWait { var: sc, pred: Pred::Geq(pid - dist as u64 + 1) });
+        }
+    }
+    let stmt = nest.stmt(s);
+    let c = cost.map_or(stmt.cost, |f| f(s, pid));
+    emit_stmt(prog, stmt, pid, indices, c, None);
+    if let Some(&sc) = sc_of.get(&s) {
+        advance(prog, sc, pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasync_loopir::analysis::analyze;
+    use datasync_loopir::workpatterns::{example2_nested, example3_branches, fig21_loop};
+    use datasync_sim::MachineConfig;
+
+    fn check(nest: &LoopNest, procs: usize) -> datasync_sim::RunOutcome {
+        let graph = analyze(nest);
+        let space = IterSpace::of(nest);
+        let compiled = StatementOriented::new().compile(nest, &graph, &space);
+        let out = compiled.run(&MachineConfig::with_processors(procs)).expect("simulation failed");
+        let violations = out.trace.validate_order(&compiled.validation_arcs);
+        assert!(violations.is_empty(), "order violations: {violations:?}");
+        out
+    }
+
+    #[test]
+    fn fig21_orders_all_deps() {
+        check(&fig21_loop(40), 4);
+    }
+
+    #[test]
+    fn storage_is_source_count() {
+        let nest = fig21_loop(200);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let c = StatementOriented::new().compile(&nest, &graph, &space);
+        // Sources after covering: S1..S4.
+        assert_eq!(c.storage.vars, 4);
+        assert_eq!(c.storage.init_ops, 4);
+    }
+
+    #[test]
+    fn nested_loop_works() {
+        check(&example2_nested(5, 6, 3), 4);
+    }
+
+    #[test]
+    fn branches_advance_missing_sources() {
+        check(&example3_branches(60, 2), 4);
+    }
+
+    #[test]
+    fn advance_serializes_consecutive_iterations() {
+        // The SC handoff forces iteration i's Advance after i-1's even
+        // when the dependence distance is large: a slow iteration delays
+        // every later one (the Section 4 criticism).
+        let nest = fig21_loop(24);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let slowdown: crate::scheme::CostFn<'_> =
+            &|_s, pid| if pid == 5 { 400 } else { 4 };
+        let compiled =
+            StatementOriented::new().compile_with(&nest, &graph, &space, Some(slowdown));
+        let out = compiled.run(&MachineConfig::with_processors(8)).unwrap();
+        // S2 at pid 8 awaits SC[S1] >= 7, i.e. iteration 6 advanced SC[S1];
+        // the sequential Advance handoff forces that after iteration 5's
+        // slow S1 completed — even though no data dependence links them.
+        let slow_s1_end = out.trace.end_of(0, 5).unwrap();
+        let s2_at_8_start = out.trace.start_of(1, 8).unwrap();
+        assert!(
+            s2_at_8_start > slow_s1_end,
+            "statement-oriented must stall S2@8 ({s2_at_8_start}) past slow S1@5 ({slow_s1_end})"
+        );
+    }
+}

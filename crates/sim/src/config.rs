@@ -1,0 +1,165 @@
+//! Machine configuration.
+
+/// How shared memory is reached through the data bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryModel {
+    /// The data bus is held for the whole access
+    /// (`data_bus_latency + memory_latency` cycles) — a simple
+    /// circuit-switched bus, the default.
+    BusHeld,
+    /// The bus is held only for the request (`data_bus_latency`); the
+    /// access then proceeds in one of `banks` independent memory modules
+    /// for `memory_latency` cycles (Cedar-style interleaving). Requests
+    /// to the same bank queue up.
+    Banked {
+        /// Number of interleaved memory banks (>= 1).
+        banks: usize,
+    },
+}
+
+/// How synchronization variables are stored and reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncTransport {
+    /// A dedicated synchronization bus with a local image of every
+    /// variable in each processor (the Alliant-style hardware of
+    /// Section 6). Writes are posted broadcasts; busy-waiting spins on the
+    /// local image and generates **no** traffic.
+    DedicatedBus,
+    /// Synchronization variables live in shared memory and every
+    /// operation — including each poll of a busy-wait — is a data-bus
+    /// transaction. This is the transport that exhibits the hot-spot
+    /// effect.
+    SharedMemory,
+}
+
+/// Parameters of the simulated multiprocessor.
+///
+/// All latencies are in cycles. The defaults model a small bus-based
+/// machine of the Alliant FX/8 class: a handful of processors, a data bus
+/// that is the main bottleneck, and a fast dedicated synchronization bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of processors.
+    pub processors: usize,
+    /// Cycles the data bus is held per transaction.
+    pub data_bus_latency: u32,
+    /// Additional memory-module latency per data access.
+    pub memory_latency: u32,
+    /// Memory organisation behind the data bus.
+    pub memory_model: MemoryModel,
+    /// Cycles the sync bus is held per broadcast.
+    pub sync_bus_latency: u32,
+    /// Where synchronization variables live.
+    pub sync_transport: SyncTransport,
+    /// Coalesce posted sync-bus writes to the same variable from the same
+    /// processor while still queued (Section 6 optimization).
+    pub coalesce_sync_writes: bool,
+    /// Cycles between successive polls when busy-waiting through shared
+    /// memory.
+    pub spin_retry: u32,
+    /// Cycles charged to a processor for claiming the next iteration from
+    /// the self-scheduling dispatcher.
+    pub dispatch_latency: u32,
+    /// Safety cap on simulated cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            processors: 8,
+            data_bus_latency: 2,
+            memory_latency: 4,
+            memory_model: MemoryModel::BusHeld,
+            sync_bus_latency: 1,
+            sync_transport: SyncTransport::DedicatedBus,
+            coalesce_sync_writes: true,
+            spin_retry: 4,
+            dispatch_latency: 2,
+            max_cycles: 200_000_000,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A config with `p` processors and defaults otherwise.
+    pub fn with_processors(p: usize) -> Self {
+        Self { processors: p, ..Self::default() }
+    }
+
+    /// Switches the sync transport.
+    pub fn transport(mut self, t: SyncTransport) -> Self {
+        self.sync_transport = t;
+        self
+    }
+
+    /// Enables or disables write coalescing.
+    pub fn coalescing(mut self, on: bool) -> Self {
+        self.coalesce_sync_writes = on;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any parameter is degenerate (zero processors,
+    /// zero bus latency, zero spin retry).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.processors == 0 {
+            return Err("machine needs at least one processor".into());
+        }
+        if self.data_bus_latency == 0 || self.sync_bus_latency == 0 {
+            return Err("bus latencies must be at least 1 cycle".into());
+        }
+        if self.spin_retry == 0 {
+            return Err("spin_retry must be at least 1 cycle".into());
+        }
+        if let MemoryModel::Banked { banks: 0 } = self.memory_model {
+            return Err("banked memory needs at least one bank".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(MachineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = MachineConfig::with_processors(4)
+            .transport(SyncTransport::SharedMemory)
+            .coalescing(false);
+        assert_eq!(c.processors, 4);
+        assert_eq!(c.sync_transport, SyncTransport::SharedMemory);
+        assert!(!c.coalesce_sync_writes);
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        assert!(MachineConfig { processors: 0, ..Default::default() }.validate().is_err());
+        assert!(MachineConfig { data_bus_latency: 0, ..Default::default() }.validate().is_err());
+        assert!(MachineConfig { spin_retry: 0, ..Default::default() }.validate().is_err());
+        assert!(MachineConfig {
+            memory_model: MemoryModel::Banked { banks: 0 },
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn banked_model_valid() {
+        let c = MachineConfig {
+            memory_model: MemoryModel::Banked { banks: 8 },
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,1094 @@
+//! The cycle-driven machine model.
+//!
+//! A [`Machine`] simulates `P` processors sharing a **data bus** (to the
+//! memory modules) and, optionally, a **dedicated synchronization bus**
+//! with a local image of every synchronization variable in each processor
+//! (Section 6 of the paper). The model is deliberately simple — a single
+//! arbitrated transaction at a time per bus — because that is exactly the
+//! regime in which the paper's claims about traffic, hot-spots and
+//! busy-waiting live.
+//!
+//! Determinism: processors are stepped in id order and bus queues are
+//! FIFO, so a run is a pure function of the configuration and workload.
+
+use crate::config::{MachineConfig, MemoryModel, SyncTransport};
+use crate::program::{Instr, Pred, Program, SyncVar};
+use crate::stats::{ProcBreakdown, RunStats};
+use crate::trace::Trace;
+use std::collections::VecDeque;
+
+/// How iteration programs are handed to processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Processor self-scheduling (the paper's assumed policy): free
+    /// processors claim the lowest unclaimed program, paying
+    /// `dispatch_latency` cycles per claim.
+    Dynamic,
+    /// A fixed assignment: `assignment[p]` is the ordered list of program
+    /// indices processor `p` runs. Used for phase-structured workloads
+    /// (barriers, wavefronts).
+    Static(Vec<Vec<usize>>),
+}
+
+/// A set of programs plus the dispatch policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// The programs (for Doacross loops: one per iteration, in order).
+    pub programs: Vec<Program>,
+    /// Dispatch policy.
+    pub dispatch: DispatchMode,
+}
+
+impl Workload {
+    /// A dynamic (self-scheduled) workload.
+    pub fn dynamic(programs: Vec<Program>) -> Self {
+        Self { programs, dispatch: DispatchMode::Dynamic }
+    }
+
+    /// A statically assigned workload with **cyclic** (interleaved)
+    /// iteration order: processor `p` runs programs `p, p+P, p+2P, …` —
+    /// the classic Doacross assignment.
+    pub fn static_cyclic(programs: Vec<Program>, procs: usize) -> Self {
+        let assignment = (0..procs)
+            .map(|p| (p..programs.len()).step_by(procs).collect())
+            .collect();
+        Self::static_assigned(programs, assignment)
+    }
+
+    /// A statically assigned workload with **blocked** iteration order:
+    /// processor `p` runs a contiguous chunk. For Doacross loops with
+    /// backward dependences this serializes the processors — the
+    /// scheduling-order effect of the paper's reference [23].
+    pub fn static_blocked(programs: Vec<Program>, procs: usize) -> Self {
+        let n = programs.len();
+        let chunk = n.div_ceil(procs.max(1));
+        let assignment = (0..procs)
+            .map(|p| {
+                let lo = (p * chunk).min(n);
+                let hi = ((p + 1) * chunk).min(n);
+                (lo..hi).collect()
+            })
+            .collect();
+        Self::static_assigned(programs, assignment)
+    }
+
+    /// A statically assigned workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment references a missing program.
+    pub fn static_assigned(programs: Vec<Program>, assignment: Vec<Vec<usize>>) -> Self {
+        for q in &assignment {
+            for &ix in q {
+                assert!(ix < programs.len(), "assignment references program {ix}");
+            }
+        }
+        Self { programs, dispatch: DispatchMode::Static(assignment) }
+    }
+
+    /// Number of synchronization variables required.
+    pub fn n_sync_vars(&self) -> usize {
+        self.programs.iter().filter_map(Program::max_sync_var).max().map_or(0, |v| v + 1)
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No processor can ever make progress again.
+    Deadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
+        /// Processors stuck spinning.
+        spinning: Vec<usize>,
+        /// Human-readable description of each stuck processor.
+        detail: Vec<String>,
+    },
+    /// `max_cycles` exceeded.
+    Timeout {
+        /// The configured cap.
+        max_cycles: u64,
+    },
+    /// Invalid configuration.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, spinning, detail } => {
+                write!(
+                    f,
+                    "deadlock at cycle {cycle}: processors {spinning:?} spin forever ({})",
+                    detail.join("; ")
+                )
+            }
+            SimError::Timeout { max_cycles } => write!(f, "exceeded {max_cycles} cycles"),
+            SimError::BadConfig(msg) => write!(f, "invalid machine config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    /// The note trace.
+    pub trace: Trace,
+    /// Final values of all synchronization variables.
+    pub sync_final: Vec<u64>,
+}
+
+/// Runs a workload to completion on a machine.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadConfig`] for invalid configurations,
+/// [`SimError::Deadlock`] when synchronization can never be satisfied and
+/// [`SimError::Timeout`] past `max_cycles`.
+pub fn run(config: &MachineConfig, workload: &Workload) -> Result<RunOutcome, SimError> {
+    config.validate().map_err(SimError::BadConfig)?;
+    Machine::new(config.clone(), workload.clone()).run_to_completion()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpinPhase {
+    WaitingResult,
+    Backoff { until: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Idle,
+    Ready,
+    Computing { remaining: u32 },
+    BlockedData,
+    BlockedSync,
+    SpinLocal { var: SyncVar, pred: Pred },
+    /// Busy-wait through shared memory: `retry` is re-issued after each
+    /// backoff until it succeeds.
+    SpinMem { retry: DataReqKind, phase: SpinPhase },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DataReqKind {
+    Access,
+    SyncWrite { var: SyncVar, val: u64 },
+    SyncRmw { var: SyncVar },
+    Poll { var: SyncVar, pred: Pred },
+    /// Read for a conditional write: on completion, a write of `val` is
+    /// issued only when the value read is `>= guard`.
+    ReadCheck { var: SyncVar, guard: u64, val: u64 },
+    /// One attempt of a Cedar-style keyed access: test-and-(access +
+    /// increment) in a single memory transaction; retries on failure.
+    KeyedAttempt { var: SyncVar, geq: u64 },
+}
+
+/// Interleaving address of a re-issued spin request.
+fn retry_addr(kind: DataReqKind) -> u64 {
+    match kind {
+        DataReqKind::Poll { var, .. }
+        | DataReqKind::SyncWrite { var, .. }
+        | DataReqKind::SyncRmw { var }
+        | DataReqKind::ReadCheck { var, .. }
+        | DataReqKind::KeyedAttempt { var, .. } => var as u64,
+        DataReqKind::Access => 0,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DataReq {
+    proc: usize,
+    kind: DataReqKind,
+    /// Address used for memory-bank interleaving (sync vars use their
+    /// index).
+    addr: u64,
+}
+
+/// One interleaved memory module (only used by [`MemoryModel::Banked`]).
+#[derive(Debug, Default)]
+struct Bank {
+    active: Option<(DataReq, u64)>,
+    queue: VecDeque<DataReq>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SyncReq {
+    Post { proc: usize, var: SyncVar, val: u64 },
+    Rmw { proc: usize, var: SyncVar },
+}
+
+#[derive(Debug)]
+struct Proc {
+    state: ProcState,
+    current: Option<usize>,
+    ip: usize,
+    queue: VecDeque<usize>,
+    stats: ProcBreakdown,
+}
+
+/// The machine state (see [`run`] for the one-shot entry point).
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    workload: Workload,
+    cycle: u64,
+    procs: Vec<Proc>,
+    sync_global: Vec<u64>,
+    sync_images: Vec<Vec<u64>>,
+    data_queue: VecDeque<DataReq>,
+    data_active: Option<(DataReq, u64)>,
+    banks: Vec<Bank>,
+    sync_queue: VecDeque<SyncReq>,
+    sync_active: Option<(SyncReq, u64)>,
+    next_dynamic: usize,
+    stats: RunStats,
+    trace: Trace,
+}
+
+impl Machine {
+    /// Builds a machine with all processors idle.
+    pub fn new(config: MachineConfig, workload: Workload) -> Self {
+        let p = config.processors;
+        let n_vars = workload.n_sync_vars();
+        let queues: Vec<VecDeque<usize>> = match &workload.dispatch {
+            DispatchMode::Dynamic => vec![VecDeque::new(); p],
+            DispatchMode::Static(assign) => {
+                let mut qs = vec![VecDeque::new(); p];
+                for (i, q) in assign.iter().enumerate().take(p) {
+                    qs[i] = q.iter().copied().collect();
+                }
+                qs
+            }
+        };
+        let procs = queues
+            .into_iter()
+            .map(|queue| Proc {
+                state: ProcState::Idle,
+                current: None,
+                ip: 0,
+                queue,
+                stats: ProcBreakdown::default(),
+            })
+            .collect();
+        let n_banks = match config.memory_model {
+            MemoryModel::BusHeld => 0,
+            MemoryModel::Banked { banks } => banks,
+        };
+        Self {
+            sync_images: vec![vec![0; n_vars]; p],
+            sync_global: vec![0; n_vars],
+            procs,
+            cycle: 0,
+            data_queue: VecDeque::new(),
+            data_active: None,
+            banks: (0..n_banks).map(|_| Bank::default()).collect(),
+            sync_queue: VecDeque::new(),
+            sync_active: None,
+            next_dynamic: 0,
+            stats: RunStats { procs: vec![ProcBreakdown::default(); p], ..Default::default() },
+            trace: Trace::new(),
+            config,
+            workload,
+        }
+    }
+
+    /// Overrides the initial value of a synchronization variable
+    /// (before the run starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range or the machine already ran.
+    pub fn preset_sync(&mut self, var: SyncVar, val: u64) {
+        assert_eq!(self.cycle, 0, "preset_sync must be called before running");
+        if var >= self.sync_global.len() {
+            self.sync_global.resize(var + 1, 0);
+            for img in &mut self.sync_images {
+                img.resize(var + 1, 0);
+            }
+        }
+        self.sync_global[var] = val;
+        for img in &mut self.sync_images {
+            img[var] = val;
+        }
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`].
+    pub fn run_to_completion(mut self) -> Result<RunOutcome, SimError> {
+        loop {
+            if self.finished() {
+                let mut stats = std::mem::take(&mut self.stats);
+                stats.makespan = self.cycle;
+                for (i, p) in self.procs.iter().enumerate() {
+                    stats.procs[i] = p.stats;
+                }
+                return Ok(RunOutcome {
+                    stats,
+                    trace: std::mem::take(&mut self.trace),
+                    sync_final: std::mem::take(&mut self.sync_global),
+                });
+            }
+            if self.cycle >= self.config.max_cycles {
+                return Err(SimError::Timeout { max_cycles: self.config.max_cycles });
+            }
+            if let Some(dead) = self.deadlocked() {
+                let detail = dead
+                    .iter()
+                    .map(|&i| {
+                        let p = &self.procs[i];
+                        let at = match p.state {
+                            ProcState::SpinLocal { var, pred } => {
+                                format!("waiting {var} {pred} (image {})", self.sync_images[i][var])
+                            }
+                            ProcState::SpinMem { retry, .. } => format!("retrying {retry:?}"),
+                            _ => "?".to_string(),
+                        };
+                        format!(
+                            "proc {i}: program {:?} ip {} {at}",
+                            p.current, p.ip
+                        )
+                    })
+                    .collect();
+                return Err(SimError::Deadlock { cycle: self.cycle, spinning: dead, detail });
+            }
+            self.step();
+        }
+    }
+
+    fn finished(&self) -> bool {
+        let no_pending = self.data_active.is_none()
+            && self.sync_active.is_none()
+            && self.data_queue.is_empty()
+            && self.sync_queue.is_empty()
+            && self.banks.iter().all(|b| b.active.is_none() && b.queue.is_empty());
+        let dynamic_left = matches!(self.workload.dispatch, DispatchMode::Dynamic)
+            && self.next_dynamic < self.workload.programs.len();
+        no_pending
+            && !dynamic_left
+            && self.procs.iter().all(|p| {
+                matches!(p.state, ProcState::Idle) && p.current.is_none() && p.queue.is_empty()
+            })
+    }
+
+    /// If the machine can provably never progress, the spinning culprits.
+    fn deadlocked(&self) -> Option<Vec<usize>> {
+        let any_active = self.data_active.is_some()
+            || self.sync_active.is_some()
+            || !self.sync_queue.is_empty()
+            || self.banks.iter().any(|b| b.active.is_some() || !b.queue.is_empty())
+            || self
+                .data_queue
+                .iter()
+                .any(|r| !matches!(r.kind, DataReqKind::Poll { .. }));
+        if any_active {
+            return None;
+        }
+        let dynamic_left = matches!(self.workload.dispatch, DispatchMode::Dynamic)
+            && self.next_dynamic < self.workload.programs.len();
+        let mut spinning = Vec::new();
+        for (i, p) in self.procs.iter().enumerate() {
+            match p.state {
+                // A spin whose condition already holds will succeed on its
+                // next check — that is progress, not deadlock.
+                ProcState::SpinLocal { var, pred } => {
+                    if pred.eval(self.sync_images[i][var]) {
+                        return None;
+                    }
+                    spinning.push(i);
+                }
+                ProcState::SpinMem { retry, .. } => {
+                    let satisfiable = match retry {
+                        DataReqKind::Poll { var, pred } => pred.eval(self.sync_global[var]),
+                        DataReqKind::KeyedAttempt { var, geq } => self.sync_global[var] >= geq,
+                        _ => true,
+                    };
+                    if satisfiable {
+                        return None;
+                    }
+                    spinning.push(i);
+                }
+                ProcState::Idle if p.queue.is_empty() && !dynamic_left => {}
+                _ => return None,
+            }
+        }
+        // Pending polls only re-read values no one will write again.
+        if spinning.is_empty() {
+            None
+        } else {
+            Some(spinning)
+        }
+    }
+
+    fn step(&mut self) {
+        self.complete_transactions();
+        self.grant_transactions();
+        for p in 0..self.procs.len() {
+            self.step_proc(p);
+        }
+        self.cycle += 1;
+    }
+
+    fn complete_transactions(&mut self) {
+        if let Some((req, end)) = self.data_active {
+            if end == self.cycle {
+                self.data_active = None;
+                match self.config.memory_model {
+                    MemoryModel::BusHeld => self.apply_data_effect(req),
+                    MemoryModel::Banked { banks } => {
+                        // Bus phase done: hand the request to its bank.
+                        let bank = (req.addr % banks as u64) as usize;
+                        self.banks[bank].queue.push_back(req);
+                    }
+                }
+            }
+        }
+        for b in 0..self.banks.len() {
+            if let Some((req, end)) = self.banks[b].active {
+                if end == self.cycle {
+                    self.banks[b].active = None;
+                    self.apply_data_effect(req);
+                }
+            }
+            if self.banks[b].active.is_none() {
+                if let Some(req) = self.banks[b].queue.pop_front() {
+                    let end = self.cycle + u64::from(self.config.memory_latency).max(1);
+                    self.banks[b].active = Some((req, end));
+                }
+            }
+        }
+        if let Some((req, end)) = self.sync_active {
+            if end == self.cycle {
+                self.sync_active = None;
+                match req {
+                    SyncReq::Post { var, val, .. } => self.write_sync(var, val),
+                    SyncReq::Rmw { proc, var } => {
+                        let v = self.sync_global[var] + 1;
+                        self.write_sync(var, v);
+                        self.unblock(proc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the globally-performed effect of a data-path request.
+    fn apply_data_effect(&mut self, req: DataReq) {
+        match req.kind {
+            DataReqKind::Access => self.unblock(req.proc),
+            DataReqKind::SyncWrite { var, val } => {
+                self.write_sync(var, val);
+                self.unblock(req.proc);
+            }
+            DataReqKind::SyncRmw { var } => {
+                let v = self.sync_global[var] + 1;
+                self.write_sync(var, v);
+                self.unblock(req.proc);
+            }
+            DataReqKind::Poll { var, pred } => {
+                if pred.eval(self.sync_global[var]) {
+                    self.unblock(req.proc);
+                } else {
+                    self.procs[req.proc].state = ProcState::SpinMem {
+                        retry: req.kind,
+                        phase: SpinPhase::Backoff {
+                            until: self.cycle + u64::from(self.config.spin_retry),
+                        },
+                    };
+                }
+            }
+            DataReqKind::ReadCheck { var, guard, val } => {
+                if self.sync_global[var] >= guard {
+                    self.data_queue.push_back(DataReq {
+                        proc: req.proc,
+                        kind: DataReqKind::SyncWrite { var, val },
+                        addr: req.addr,
+                    });
+                } else {
+                    self.unblock(req.proc);
+                }
+            }
+            DataReqKind::KeyedAttempt { var, geq } => {
+                if self.sync_global[var] >= geq {
+                    let v = self.sync_global[var] + 1;
+                    self.write_sync(var, v);
+                    self.stats.rmw_ops += 1;
+                    self.unblock(req.proc);
+                } else {
+                    self.procs[req.proc].state = ProcState::SpinMem {
+                        retry: req.kind,
+                        phase: SpinPhase::Backoff {
+                            until: self.cycle + u64::from(self.config.spin_retry),
+                        },
+                    };
+                }
+            }
+        }
+    }
+
+    fn write_sync(&mut self, var: SyncVar, val: u64) {
+        self.sync_global[var] = val;
+        for img in &mut self.sync_images {
+            img[var] = val;
+        }
+    }
+
+    fn unblock(&mut self, proc: usize) {
+        self.procs[proc].state = ProcState::Ready;
+    }
+
+    fn grant_transactions(&mut self) {
+        if self.data_active.is_none() {
+            if let Some(req) = self.data_queue.pop_front() {
+                self.stats.data_transactions += 1;
+                match req.kind {
+                    DataReqKind::Poll { .. } => self.stats.spin_polls += 1,
+                    DataReqKind::SyncRmw { .. } => self.stats.rmw_ops += 1,
+                    _ => {}
+                }
+                let dur = match self.config.memory_model {
+                    MemoryModel::BusHeld => {
+                        u64::from(self.config.data_bus_latency + self.config.memory_latency)
+                    }
+                    MemoryModel::Banked { .. } => u64::from(self.config.data_bus_latency),
+                };
+                self.data_active = Some((req, self.cycle + dur));
+            }
+        }
+        if self.sync_active.is_none() {
+            if let Some(req) = self.sync_queue.pop_front() {
+                self.stats.sync_broadcasts += 1;
+                if let SyncReq::Rmw { .. } = req {
+                    self.stats.rmw_ops += 1;
+                }
+                let dur = u64::from(self.config.sync_bus_latency);
+                self.sync_active = Some((req, self.cycle + dur));
+            }
+        }
+    }
+
+    fn post_sync_write(&mut self, proc: usize, var: SyncVar, val: u64) {
+        if self.config.coalesce_sync_writes {
+            for pending in self.sync_queue.iter_mut() {
+                if let SyncReq::Post { proc: p, var: v, val: pv } = pending {
+                    if *p == proc && *v == var {
+                        *pv = val;
+                        self.stats.coalesced_writes += 1;
+                        return;
+                    }
+                }
+            }
+        }
+        self.sync_queue.push_back(SyncReq::Post { proc, var, val });
+    }
+
+    /// Executes instructions for processor `p` in the current cycle.
+    /// "Free" instructions (notes, posted writes, satisfied waits,
+    /// zero-cost computes) retire in the same cycle; the first costly one
+    /// decides how the cycle is accounted.
+    fn step_proc(&mut self, p: usize) {
+        loop {
+            match self.procs[p].state {
+                ProcState::Idle => {
+                    if !self.try_dispatch(p) {
+                        self.procs[p].stats.idle += 1;
+                        return;
+                    }
+                    // Dispatch may impose latency (state becomes Computing)
+                    // or leave the proc Ready; loop to handle either.
+                }
+                ProcState::Computing { remaining } => {
+                    self.procs[p].stats.busy += 1;
+                    let left = remaining - 1;
+                    self.procs[p].state =
+                        if left == 0 { ProcState::Ready } else { ProcState::Computing { remaining: left } };
+                    return;
+                }
+                ProcState::BlockedData | ProcState::BlockedSync => {
+                    self.procs[p].stats.blocked += 1;
+                    return;
+                }
+                ProcState::SpinLocal { var, pred } => {
+                    if pred.eval(self.sync_images[p][var]) {
+                        self.procs[p].state = ProcState::Ready;
+                        // The successful check still costs this cycle.
+                        self.procs[p].stats.spin += 1;
+                        return;
+                    }
+                    self.procs[p].stats.spin += 1;
+                    return;
+                }
+                ProcState::SpinMem { retry, phase } => {
+                    if let SpinPhase::Backoff { until } = phase {
+                        if self.cycle >= until {
+                            self.data_queue.push_back(DataReq { proc: p, kind: retry, addr: retry_addr(retry) });
+                            self.procs[p].state =
+                                ProcState::SpinMem { retry, phase: SpinPhase::WaitingResult };
+                        }
+                    }
+                    self.procs[p].stats.spin += 1;
+                    return;
+                }
+                ProcState::Ready => {
+                    // Issue the next instruction; cost (if any) is applied
+                    // by the state branch on the next loop pass, so issuing
+                    // does not add a cycle of its own.
+                    self.execute_next_instr(p);
+                }
+            }
+        }
+    }
+
+    /// Issues the next instruction; any cost shows up as a state change
+    /// handled by [`Machine::step_proc`] in the same cycle.
+    fn execute_next_instr(&mut self, p: usize) {
+        let prog_ix = match self.procs[p].current {
+            Some(ix) => ix,
+            None => {
+                self.procs[p].state = ProcState::Idle;
+                return;
+            }
+        };
+        let ip = self.procs[p].ip;
+        let program = &self.workload.programs[prog_ix];
+        if ip >= program.instrs.len() {
+            self.procs[p].current = None;
+            self.procs[p].ip = 0;
+            self.procs[p].state = ProcState::Idle;
+            return;
+        }
+        let instr = program.instrs[ip];
+        self.procs[p].ip += 1;
+        match instr {
+            Instr::Compute(0) => {}
+            Instr::Compute(c) => {
+                self.procs[p].state = ProcState::Computing { remaining: c };
+            }
+            Instr::Note(label) => {
+                self.trace.record(self.cycle, p, label);
+            }
+            Instr::Access { addr, write: _ } => {
+                self.data_queue.push_back(DataReq { proc: p, kind: DataReqKind::Access, addr });
+                self.procs[p].state = ProcState::BlockedData;
+            }
+            Instr::SyncSet { var, val } => match self.config.sync_transport {
+                SyncTransport::DedicatedBus => {
+                    self.post_sync_write(p, var, val);
+                }
+                SyncTransport::SharedMemory => {
+                    self.data_queue.push_back(DataReq {
+                        proc: p,
+                        kind: DataReqKind::SyncWrite { var, val },
+                        addr: var as u64,
+                    });
+                    self.procs[p].state = ProcState::BlockedData;
+                }
+            },
+            Instr::SyncRmw { var } => match self.config.sync_transport {
+                SyncTransport::DedicatedBus => {
+                    self.sync_queue.push_back(SyncReq::Rmw { proc: p, var });
+                    self.procs[p].state = ProcState::BlockedSync;
+                }
+                SyncTransport::SharedMemory => {
+                    self.data_queue.push_back(DataReq {
+                        proc: p,
+                        kind: DataReqKind::SyncRmw { var },
+                        addr: var as u64,
+                    });
+                    self.procs[p].state = ProcState::BlockedData;
+                }
+            },
+            Instr::SyncWait { var, pred } => match self.config.sync_transport {
+                SyncTransport::DedicatedBus => {
+                    if !pred.eval(self.sync_images[p][var]) {
+                        self.procs[p].state = ProcState::SpinLocal { var, pred };
+                    }
+                }
+                SyncTransport::SharedMemory => {
+                    let kind = DataReqKind::Poll { var, pred };
+                    self.data_queue.push_back(DataReq { proc: p, kind, addr: var as u64 });
+                    self.procs[p].state =
+                        ProcState::SpinMem { retry: kind, phase: SpinPhase::WaitingResult };
+                }
+            },
+            Instr::SyncSetIfGeq { var, guard, val } => match self.config.sync_transport {
+                SyncTransport::DedicatedBus => {
+                    if self.sync_images[p][var] >= guard {
+                        self.post_sync_write(p, var, val);
+                    }
+                }
+                SyncTransport::SharedMemory => {
+                    self.data_queue.push_back(DataReq {
+                        proc: p,
+                        kind: DataReqKind::ReadCheck { var, guard, val },
+                        addr: var as u64,
+                    });
+                    self.procs[p].state = ProcState::BlockedData;
+                }
+            },
+            Instr::KeyedAccess { var, geq } => match self.config.sync_transport {
+                SyncTransport::DedicatedBus => {
+                    if self.sync_images[p][var] >= geq {
+                        self.sync_queue.push_back(SyncReq::Rmw { proc: p, var });
+                        self.procs[p].state = ProcState::BlockedSync;
+                    } else {
+                        // Spin on the local image, then re-issue this
+                        // instruction once the key advances.
+                        self.procs[p].ip -= 1;
+                        self.procs[p].state =
+                            ProcState::SpinLocal { var, pred: Pred::Geq(geq) };
+                    }
+                }
+                SyncTransport::SharedMemory => {
+                    let kind = DataReqKind::KeyedAttempt { var, geq };
+                    self.data_queue.push_back(DataReq { proc: p, kind, addr: var as u64 });
+                    self.procs[p].state =
+                        ProcState::SpinMem { retry: kind, phase: SpinPhase::WaitingResult };
+                }
+            },
+        }
+    }
+
+    /// Returns `true` if a program was assigned.
+    fn try_dispatch(&mut self, p: usize) -> bool {
+        let next = match self.workload.dispatch {
+            DispatchMode::Dynamic => {
+                if self.next_dynamic >= self.workload.programs.len() {
+                    return false;
+                }
+                let ix = self.next_dynamic;
+                self.next_dynamic += 1;
+                ix
+            }
+            DispatchMode::Static(_) => match self.procs[p].queue.pop_front() {
+                Some(ix) => ix,
+                None => return false,
+            },
+        };
+        self.stats.dispatched += 1;
+        self.procs[p].current = Some(next);
+        self.procs[p].ip = 0;
+        let lat = self.config.dispatch_latency;
+        self.procs[p].state =
+            if lat == 0 { ProcState::Ready } else { ProcState::Computing { remaining: lat } };
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{pack_pc, Label};
+
+    fn cfg(p: usize) -> MachineConfig {
+        MachineConfig::with_processors(p)
+    }
+
+    #[test]
+    fn single_compute_program_runs() {
+        let w = Workload::dynamic(vec![Program::from_instrs(vec![Instr::Compute(10)])]);
+        let out = run(&cfg(1), &w).unwrap();
+        // dispatch_latency (2) + compute (10), all busy.
+        assert_eq!(out.stats.procs[0].busy, 12);
+        assert_eq!(out.stats.dispatched, 1);
+        assert!(out.stats.makespan >= 12);
+    }
+
+    #[test]
+    fn notes_are_free_and_traced() {
+        let l1 = Label { pid: 0, stmt: 0, start: true };
+        let l2 = Label { pid: 0, stmt: 0, start: false };
+        let w = Workload::dynamic(vec![Program::from_instrs(vec![
+            Instr::Note(l1),
+            Instr::Compute(5),
+            Instr::Note(l2),
+        ])]);
+        let out = run(&cfg(1), &w).unwrap();
+        let ev = out.trace.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[1].cycle - ev[0].cycle, 5);
+    }
+
+    #[test]
+    fn data_accesses_serialize_on_the_bus() {
+        // Two processors each issue one access at the same time; the second
+        // must wait for the first to release the bus.
+        let prog = Program::from_instrs(vec![Instr::Access { addr: 0, write: true }]);
+        let w = Workload::static_assigned(vec![prog.clone(), prog], vec![vec![0], vec![1]]);
+        let mut c = cfg(2);
+        c.dispatch_latency = 0;
+        let out = run(&c, &w).unwrap();
+        assert_eq!(out.stats.data_transactions, 2);
+        // Total service time = 2 * (bus 2 + mem 4) = 12 > single access 6.
+        assert!(out.stats.makespan >= 12);
+        // The loser blocked longer than the winner.
+        let blocked: Vec<u64> = out.stats.procs.iter().map(|p| p.blocked).collect();
+        assert_ne!(blocked[0], blocked[1]);
+    }
+
+    #[test]
+    fn dedicated_bus_wait_satisfied_by_broadcast() {
+        // Proc 0 computes then posts var0 = 1; proc 1 waits for it.
+        let producer = Program::from_instrs(vec![
+            Instr::Compute(20),
+            Instr::SyncSet { var: 0, val: 1 },
+        ]);
+        let consumer = Program::from_instrs(vec![
+            Instr::SyncWait { var: 0, pred: Pred::Geq(1) },
+            Instr::Compute(1),
+        ]);
+        let w = Workload::static_assigned(vec![producer, consumer], vec![vec![0], vec![1]]);
+        let out = run(&cfg(2), &w).unwrap();
+        assert_eq!(out.stats.sync_broadcasts, 1);
+        assert_eq!(out.stats.spin_polls, 0, "local-image spinning makes no traffic");
+        assert!(out.stats.procs[1].spin > 0);
+        assert_eq!(out.sync_final[0], 1);
+    }
+
+    #[test]
+    fn shared_memory_wait_costs_polls() {
+        let producer = Program::from_instrs(vec![
+            Instr::Compute(60),
+            Instr::SyncSet { var: 0, val: 1 },
+        ]);
+        let consumer = Program::from_instrs(vec![Instr::SyncWait { var: 0, pred: Pred::Geq(1) }]);
+        let w = Workload::static_assigned(vec![producer, consumer], vec![vec![0], vec![1]]);
+        let c = cfg(2).transport(SyncTransport::SharedMemory);
+        let out = run(&c, &w).unwrap();
+        assert!(out.stats.spin_polls > 2, "polling traffic expected, got {}", out.stats.spin_polls);
+    }
+
+    #[test]
+    fn coalescing_merges_queued_writes() {
+        // Saturate the sync bus with a competing stream so proc 0's two
+        // posted writes to the same var are both queued simultaneously.
+        let noisy = Program::from_instrs(vec![
+            Instr::SyncSet { var: 1, val: 1 },
+            Instr::SyncSet { var: 2, val: 1 },
+            Instr::SyncSet { var: 3, val: 1 },
+        ]);
+        let writer = Program::from_instrs(vec![
+            Instr::SyncSet { var: 0, val: 1 },
+            Instr::SyncSet { var: 0, val: 2 },
+        ]);
+        let w = Workload::static_assigned(vec![noisy, writer], vec![vec![0], vec![1]]);
+        let on = run(&cfg(2).coalescing(true), &w).unwrap();
+        assert_eq!(on.stats.coalesced_writes, 1);
+        assert_eq!(on.sync_final[0], 2, "latest value must win");
+        let off = run(&cfg(2).coalescing(false), &w).unwrap();
+        assert_eq!(off.stats.coalesced_writes, 0);
+        assert_eq!(off.stats.sync_broadcasts, on.stats.sync_broadcasts + 1);
+        assert_eq!(off.sync_final[0], 2);
+    }
+
+    #[test]
+    fn rmw_increments_atomically() {
+        let prog = Program::from_instrs(vec![Instr::SyncRmw { var: 0 }, Instr::SyncRmw { var: 0 }]);
+        let w = Workload::static_assigned(
+            vec![prog.clone(), prog],
+            vec![vec![0], vec![1]],
+        );
+        for transport in [SyncTransport::DedicatedBus, SyncTransport::SharedMemory] {
+            let out = run(&cfg(2).transport(transport), &w).unwrap();
+            assert_eq!(out.sync_final[0], 4, "transport {transport:?}");
+            assert_eq!(out.stats.rmw_ops, 4);
+        }
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let stuck = Program::from_instrs(vec![Instr::SyncWait { var: 0, pred: Pred::Geq(1) }]);
+        let w = Workload::dynamic(vec![stuck]);
+        match run(&cfg(1), &w) {
+            Err(SimError::Deadlock { spinning, .. }) => assert_eq!(spinning, vec![0]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_memory_deadlock_detected() {
+        let stuck = Program::from_instrs(vec![Instr::SyncWait { var: 0, pred: Pred::Geq(1) }]);
+        let w = Workload::dynamic(vec![stuck]);
+        let c = cfg(1).transport(SyncTransport::SharedMemory);
+        match run(&c, &w) {
+            Err(SimError::Deadlock { .. }) | Err(SimError::Timeout { .. }) => {}
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dynamic_dispatch_claims_in_order() {
+        // 4 programs, 2 procs: all get executed, dispatched == 4.
+        let prog = Program::from_instrs(vec![Instr::Compute(5)]);
+        let w = Workload::dynamic(vec![prog.clone(), prog.clone(), prog.clone(), prog]);
+        let out = run(&cfg(2), &w).unwrap();
+        assert_eq!(out.stats.dispatched, 4);
+        assert!(out.stats.makespan < 4 * (5 + 2) + 4, "two procs should overlap");
+    }
+
+    #[test]
+    fn preset_sync_applies_to_images() {
+        let consumer =
+            Program::from_instrs(vec![Instr::SyncWait { var: 0, pred: Pred::Geq(pack_pc(1, 0)) }]);
+        let w = Workload::dynamic(vec![consumer]);
+        let mut m = Machine::new(cfg(1), w);
+        m.preset_sync(0, pack_pc(1, 0));
+        let out = m.run_to_completion().unwrap();
+        assert_eq!(out.sync_final[0], pack_pc(1, 0));
+    }
+
+    #[test]
+    fn determinism_same_run_same_stats() {
+        let prog = |c| Program::from_instrs(vec![Instr::Compute(c), Instr::Access { addr: 1, write: true }]);
+        let w = Workload::dynamic(vec![prog(3), prog(9), prog(1), prog(7), prog(5)]);
+        let a = run(&cfg(3), &w).unwrap();
+        let b = run(&cfg(3), &w).unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn keyed_access_orders_and_increments() {
+        // Proc 1's keyed access (rank 1) must wait for proc 0's (rank 0).
+        let first = Program::from_instrs(vec![
+            Instr::Compute(30),
+            Instr::KeyedAccess { var: 0, geq: 0 },
+            Instr::SyncSet { var: 1, val: 1 },
+        ]);
+        let second = Program::from_instrs(vec![Instr::KeyedAccess { var: 0, geq: 1 }]);
+        let w = Workload::static_assigned(vec![first, second], vec![vec![0], vec![1]]);
+        for transport in [SyncTransport::DedicatedBus, SyncTransport::SharedMemory] {
+            let out = run(&cfg(2).transport(transport), &w).unwrap();
+            assert_eq!(out.sync_final[0], 2, "both accesses increment ({transport:?})");
+            assert!(out.stats.rmw_ops >= 2);
+        }
+    }
+
+    #[test]
+    fn keyed_access_failed_attempts_cost_memory_traffic() {
+        let slow = Program::from_instrs(vec![
+            Instr::Compute(100),
+            Instr::KeyedAccess { var: 0, geq: 0 },
+        ]);
+        let eager = Program::from_instrs(vec![Instr::KeyedAccess { var: 0, geq: 1 }]);
+        let w = Workload::static_assigned(vec![slow, eager], vec![vec![0], vec![1]]);
+        let out = run(&cfg(2).transport(SyncTransport::SharedMemory), &w).unwrap();
+        // The eager processor's failed attempts are bus transactions.
+        assert!(out.stats.data_transactions > 3, "got {}", out.stats.data_transactions);
+    }
+
+    #[test]
+    fn banked_memory_overlaps_accesses() {
+        use crate::config::MemoryModel;
+        // 4 procs each make 4 accesses to different banks: with banking
+        // the memory latencies overlap, so the banked makespan beats the
+        // bus-held one.
+        let progs: Vec<Program> = (0..4u64)
+            .map(|p| {
+                Program::from_instrs(
+                    (0..4).map(|k| Instr::Access { addr: p * 4 + k, write: false }).collect(),
+                )
+            })
+            .collect();
+        let w = Workload::static_assigned(progs, (0..4).map(|p| vec![p]).collect());
+        let mut held = cfg(4);
+        held.dispatch_latency = 0;
+        let mut banked = held.clone();
+        banked.memory_model = MemoryModel::Banked { banks: 8 };
+        let out_held = run(&held, &w).unwrap();
+        let out_banked = run(&banked, &w).unwrap();
+        assert!(
+            out_banked.stats.makespan < out_held.stats.makespan,
+            "banked {} should beat bus-held {}",
+            out_banked.stats.makespan,
+            out_held.stats.makespan
+        );
+        assert_eq!(out_banked.stats.data_transactions, 16);
+    }
+
+    #[test]
+    fn single_bank_conflicts_serialize() {
+        use crate::config::MemoryModel;
+        // All accesses hit bank 0: banking cannot help beyond the bus
+        // pipelining of the request phase.
+        let progs: Vec<Program> = (0..2u64)
+            .map(|_| {
+                Program::from_instrs(
+                    (0..3).map(|k| Instr::Access { addr: k * 4, write: true }).collect(),
+                )
+            })
+            .collect();
+        let w = Workload::static_assigned(progs, vec![vec![0], vec![1]]);
+        let mut c = cfg(2);
+        c.dispatch_latency = 0;
+        c.memory_model = MemoryModel::Banked { banks: 4 };
+        let out = run(&c, &w).unwrap();
+        // 6 accesses through one bank: at least 6 * memory_latency cycles.
+        assert!(out.stats.makespan >= 6 * 4, "makespan {}", out.stats.makespan);
+    }
+
+    #[test]
+    fn banked_sync_ops_still_correct() {
+        use crate::config::MemoryModel;
+        let producer = Program::from_instrs(vec![
+            Instr::Compute(30),
+            Instr::SyncSet { var: 3, val: 1 },
+        ]);
+        let consumer = Program::from_instrs(vec![
+            Instr::SyncWait { var: 3, pred: Pred::Geq(1) },
+            Instr::SyncRmw { var: 3 },
+        ]);
+        let w = Workload::static_assigned(vec![producer, consumer], vec![vec![0], vec![1]]);
+        let c = cfg(2)
+            .transport(SyncTransport::SharedMemory);
+        let mut c = c;
+        c.memory_model = MemoryModel::Banked { banks: 4 };
+        let out = run(&c, &w).unwrap();
+        assert_eq!(out.sync_final[3], 2);
+    }
+
+    #[test]
+    fn cyclic_and_blocked_assignments_cover_everything() {
+        let prog = |c| Program::from_instrs(vec![Instr::Compute(c)]);
+        let programs: Vec<Program> = (1..=7).map(prog).collect();
+        for w in [
+            Workload::static_cyclic(programs.clone(), 3),
+            Workload::static_blocked(programs.clone(), 3),
+        ] {
+            let out = run(&cfg(3), &w).unwrap();
+            assert_eq!(out.stats.dispatched, 7);
+        }
+    }
+
+    #[test]
+    fn per_proc_cycle_accounting_conserves() {
+        // Every processor ticks exactly one breakdown category per cycle,
+        // so busy + spin + blocked + idle == makespan for each.
+        let prog = |c| {
+            Program::from_instrs(vec![
+                Instr::Compute(c),
+                Instr::Access { addr: u64::from(c), write: true },
+                Instr::SyncSet { var: 0, val: u64::from(c) },
+            ])
+        };
+        let w = Workload::dynamic((1..12).map(prog).collect());
+        let out = run(&cfg(3), &w).unwrap();
+        for (i, p) in out.stats.procs.iter().enumerate() {
+            assert_eq!(p.total(), out.stats.makespan, "proc {i}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn timeout_enforced() {
+        let mut c = cfg(1);
+        c.max_cycles = 5;
+        let w = Workload::dynamic(vec![Program::from_instrs(vec![Instr::Compute(100)])]);
+        assert!(matches!(run(&c, &w), Err(SimError::Timeout { .. })));
+    }
+}

@@ -1,0 +1,101 @@
+//! Run statistics.
+
+/// Per-processor cycle breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcBreakdown {
+    /// Cycles spent computing (useful work).
+    pub busy: u64,
+    /// Cycles spent busy-waiting on synchronization.
+    pub spin: u64,
+    /// Cycles blocked on the data bus / memory.
+    pub blocked: u64,
+    /// Cycles with no work assigned (before first dispatch or after the
+    /// last program finished).
+    pub idle: u64,
+}
+
+impl ProcBreakdown {
+    /// Total accounted cycles.
+    pub fn total(&self) -> u64 {
+        self.busy + self.spin + self.blocked + self.idle
+    }
+}
+
+/// Aggregate statistics of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Total cycles until the last processor finished.
+    pub makespan: u64,
+    /// Per-processor cycle breakdown.
+    pub procs: Vec<ProcBreakdown>,
+    /// Data-bus transactions (shared accesses + memory-transport sync ops
+    /// + spin polls).
+    pub data_transactions: u64,
+    /// Of which: polls issued by busy-waits through shared memory.
+    pub spin_polls: u64,
+    /// Sync-bus broadcasts granted.
+    pub sync_broadcasts: u64,
+    /// Posted sync-bus writes absorbed by write coalescing.
+    pub coalesced_writes: u64,
+    /// Atomic read-modify-writes performed.
+    pub rmw_ops: u64,
+    /// Iterations dispatched.
+    pub dispatched: u64,
+}
+
+impl RunStats {
+    /// Sum of busy cycles over processors.
+    pub fn total_busy(&self) -> u64 {
+        self.procs.iter().map(|p| p.busy).sum()
+    }
+
+    /// Sum of spin cycles over processors.
+    pub fn total_spin(&self) -> u64 {
+        self.procs.iter().map(|p| p.spin).sum()
+    }
+
+    /// Processor utilization: busy cycles / (P * makespan).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 || self.procs.is_empty() {
+            return 0.0;
+        }
+        self.total_busy() as f64 / (self.makespan as f64 * self.procs.len() as f64)
+    }
+
+    /// Speedup relative to a given sequential-work cycle count.
+    pub fn speedup_vs(&self, sequential_cycles: u64) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        sequential_cycles as f64 / self.makespan as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let stats = RunStats {
+            makespan: 100,
+            procs: vec![
+                ProcBreakdown { busy: 80, spin: 10, blocked: 5, idle: 5 },
+                ProcBreakdown { busy: 40, spin: 30, blocked: 20, idle: 10 },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(stats.total_busy(), 120);
+        assert_eq!(stats.total_spin(), 40);
+        assert!((stats.utilization() - 0.6).abs() < 1e-12);
+        assert!((stats.speedup_vs(150) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_safe() {
+        let s = RunStats::default();
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.speedup_vs(10), 0.0);
+        assert_eq!(ProcBreakdown::default().total(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! ASCII timelines from execution traces.
+//!
+//! Renders one row per processor, one column per time bucket; each bucket
+//! shows the statement the processor was executing (by its trace notes),
+//! or `.` when no statement span covers the bucket (idle, spinning or
+//! blocked). Useful to *see* pipelining, barrier idling, and hot-spot
+//! serialization.
+
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// One statement-execution span recovered from a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Processor that ran it.
+    pub proc: usize,
+    /// Statement id.
+    pub stmt: u32,
+    /// Iteration.
+    pub pid: u64,
+    /// First cycle.
+    pub start: u64,
+    /// Last cycle (inclusive).
+    pub end: u64,
+}
+
+/// Recovers statement spans by pairing start/end notes per
+/// `(proc, stmt, pid)`.
+pub fn spans(trace: &Trace) -> Vec<Span> {
+    let mut open: std::collections::HashMap<(usize, u32, u64), u64> =
+        std::collections::HashMap::new();
+    let mut out = Vec::new();
+    for e in trace.events() {
+        // Synthetic labels (access/copy events) use huge stmt ids; skip
+        // anything that is not a plain statement marker.
+        if e.label.stmt >= 1 << 24 {
+            continue;
+        }
+        let key = (e.proc, e.label.stmt, e.label.pid);
+        if e.label.start {
+            open.insert(key, e.cycle);
+        } else if let Some(start) = open.remove(&key) {
+            out.push(Span { proc: e.proc, stmt: e.label.stmt, pid: e.label.pid, start, end: e.cycle });
+        }
+    }
+    out.sort_by_key(|s| (s.proc, s.start));
+    out
+}
+
+/// Renders the timeline with at most `width` columns.
+///
+/// Statement ids are shown as `0`-`9` then `a`-`z`; simultaneous spans in
+/// one bucket keep the earliest. Returns an empty string for an empty
+/// trace.
+pub fn render(trace: &Trace, procs: usize, width: usize) -> String {
+    let spans = spans(trace);
+    let Some(last) = spans.iter().map(|s: &Span| s.end).max() else {
+        return String::new();
+    };
+    let width = width.max(10);
+    let scale = ((last + 1) as f64 / width as f64).max(1.0);
+    let glyph = |stmt: u32| -> char {
+        match stmt {
+            0..=9 => (b'0' + stmt as u8) as char,
+            10..=35 => (b'a' + (stmt - 10) as u8) as char,
+            _ => '#',
+        }
+    };
+    let mut rows = vec![vec!['.'; width]; procs];
+    for s in &spans {
+        if s.proc >= procs {
+            continue;
+        }
+        let c0 = (s.start as f64 / scale) as usize;
+        let c1 = ((s.end as f64 / scale) as usize).min(width - 1);
+        for c in c0..=c1 {
+            if rows[s.proc][c] == '.' {
+                rows[s.proc][c] = glyph(s.stmt);
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "cycles 0..{last} ({:.1} cycles/column)", scale);
+    for (p, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "P{p:<2} |{}|", row.iter().collect::<String>());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Label;
+
+    fn note(t: &mut Trace, cycle: u64, proc: usize, stmt: u32, pid: u64, start: bool) {
+        t.record(cycle, proc, Label { pid, stmt, start });
+    }
+
+    #[test]
+    fn spans_pair_start_end() {
+        let mut t = Trace::new();
+        note(&mut t, 5, 0, 1, 0, true);
+        note(&mut t, 9, 0, 1, 0, false);
+        note(&mut t, 10, 1, 2, 1, true);
+        note(&mut t, 20, 1, 2, 1, false);
+        let s = spans(&t);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], Span { proc: 0, stmt: 1, pid: 0, start: 5, end: 9 });
+    }
+
+    #[test]
+    fn synthetic_labels_skipped() {
+        let mut t = Trace::new();
+        note(&mut t, 1, 0, 1 << 30, 0, true);
+        note(&mut t, 2, 0, 1 << 30, 0, false);
+        assert!(spans(&t).is_empty());
+    }
+
+    #[test]
+    fn render_shows_stagger() {
+        let mut t = Trace::new();
+        note(&mut t, 0, 0, 0, 0, true);
+        note(&mut t, 49, 0, 0, 0, false);
+        note(&mut t, 50, 1, 1, 1, true);
+        note(&mut t, 99, 1, 1, 1, false);
+        let text = render(&t, 2, 20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("P0  |0"));
+        // P1's first half must be idle dots.
+        let p1 = lines[2].split('|').nth(1).unwrap();
+        assert!(p1.starts_with(".........."), "{p1}");
+        assert!(p1.contains('1'));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert_eq!(render(&Trace::new(), 4, 40), "");
+    }
+
+    #[test]
+    fn end_to_end_from_simulation() {
+        use crate::config::MachineConfig;
+        use crate::machine::{run, Workload};
+        use crate::program::{Instr, Program};
+        let prog = |pid: u64| {
+            Program::from_instrs(vec![
+                Instr::Note(Label { pid, stmt: 0, start: true }),
+                Instr::Compute(20),
+                Instr::Note(Label { pid, stmt: 0, start: false }),
+            ])
+        };
+        let w = Workload::dynamic((0..4).map(prog).collect());
+        let out = run(&MachineConfig::with_processors(2), &w).unwrap();
+        let text = render(&out.trace, 2, 40);
+        assert!(text.contains("P0"));
+        assert!(text.contains('0'));
+        assert_eq!(spans(&out.trace).len(), 4);
+    }
+}

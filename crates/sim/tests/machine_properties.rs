@@ -1,0 +1,114 @@
+//! Property-based tests of the machine model's invariants over random
+//! (wait-free, hence always-terminating) programs.
+
+use datasync_sim::{
+    run, Instr, Label, MachineConfig, MemoryModel, Program, SyncTransport, Workload,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random wait-free instruction.
+fn instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (1u32..20).prop_map(Instr::Compute),
+        (0u64..64, prop::bool::ANY).prop_map(|(addr, write)| Instr::Access { addr, write }),
+        (0usize..8, 1u64..100).prop_map(|(var, val)| Instr::SyncSet { var, val }),
+        (0usize..8).prop_map(|var| Instr::SyncRmw { var }),
+        (0u64..32, 0u32..4, prop::bool::ANY)
+            .prop_map(|(pid, stmt, start)| Instr::Note(Label { pid, stmt, start })),
+    ]
+}
+
+fn programs() -> impl Strategy<Value = Vec<Program>> {
+    prop::collection::vec(
+        prop::collection::vec(instr(), 0..12).prop_map(Program::from_instrs),
+        1..10,
+    )
+}
+
+fn configs() -> impl Strategy<Value = MachineConfig> {
+    (
+        1usize..6,
+        1u32..4,
+        0u32..6,
+        prop_oneof![
+            Just(MemoryModel::BusHeld),
+            (1usize..5).prop_map(|banks| MemoryModel::Banked { banks })
+        ],
+        prop_oneof![Just(SyncTransport::DedicatedBus), Just(SyncTransport::SharedMemory)],
+        prop::bool::ANY,
+    )
+        .prop_map(|(p, bus, mem, memory_model, transport, coalesce)| MachineConfig {
+            processors: p,
+            data_bus_latency: bus,
+            memory_latency: mem,
+            memory_model,
+            sync_transport: transport,
+            coalesce_sync_writes: coalesce,
+            ..MachineConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Wait-free workloads always terminate, every processor's cycle
+    /// breakdown sums to the makespan, and every program is dispatched.
+    #[test]
+    fn conservation_and_termination(progs in programs(), config in configs()) {
+        let n = progs.len() as u64;
+        let w = Workload::dynamic(progs);
+        let out = run(&config, &w).expect("wait-free workloads terminate");
+        prop_assert_eq!(out.stats.dispatched, n);
+        for (i, p) in out.stats.procs.iter().enumerate() {
+            prop_assert_eq!(p.total(), out.stats.makespan, "proc {} breakdown", i);
+        }
+    }
+
+    /// Determinism: two runs of the same configuration agree exactly.
+    #[test]
+    fn deterministic(progs in programs(), config in configs()) {
+        let w = Workload::dynamic(progs);
+        let a = run(&config, &w).expect("terminates");
+        let b = run(&config, &w).expect("terminates");
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.trace, b.trace);
+        prop_assert_eq!(a.sync_final, b.sync_final);
+    }
+
+    /// Final sync-variable values are transport- and policy-independent
+    /// for RMW-only traffic (increments commute), and the RMW count is
+    /// exact.
+    #[test]
+    fn rmw_counts_exact(increments in prop::collection::vec(0usize..4, 1..12),
+                        config in configs()) {
+        let progs: Vec<Program> = increments
+            .iter()
+            .map(|&v| Program::from_instrs(vec![Instr::SyncRmw { var: v }]))
+            .collect();
+        let w = Workload::dynamic(progs);
+        let out = run(&config, &w).expect("terminates");
+        prop_assert_eq!(out.stats.rmw_ops, increments.len() as u64);
+        for var in 0..4usize {
+            let expect = increments.iter().filter(|&&v| v == var).count() as u64;
+            let got = out.sync_final.get(var).copied().unwrap_or(0);
+            prop_assert_eq!(got, expect, "var {}", var);
+        }
+    }
+
+    /// Static cyclic and blocked assignments run the same programs to the
+    /// same final sync state as dynamic dispatch (order-insensitive ops).
+    #[test]
+    fn assignment_mode_equivalence(increments in prop::collection::vec(0usize..4, 1..12),
+                                   procs in 1usize..5) {
+        let progs: Vec<Program> = increments
+            .iter()
+            .map(|&v| Program::from_instrs(vec![Instr::SyncRmw { var: v }]))
+            .collect();
+        let config = MachineConfig::with_processors(procs);
+        let dynamic = run(&config, &Workload::dynamic(progs.clone())).expect("ok");
+        let cyclic = run(&config, &Workload::static_cyclic(progs.clone(), procs)).expect("ok");
+        let blocked = run(&config, &Workload::static_blocked(progs, procs)).expect("ok");
+        prop_assert_eq!(&dynamic.sync_final, &cyclic.sync_final);
+        prop_assert_eq!(&dynamic.sync_final, &blocked.sync_final);
+    }
+}

@@ -1,0 +1,234 @@
+//! Simulator workloads for Example 4: butterfly vs counter barrier.
+//!
+//! Each of `P` processors runs `episodes` rounds of `Compute(cost)`
+//! followed by a barrier. The centralized counter barrier arrives with an
+//! atomic fetch-and-add and spins on the shared counter — on the
+//! shared-memory transport every spin poll is a bus transaction (the
+//! hot-spot the paper cites from Brooks \[6\]). The butterfly barrier uses
+//! only single-writer counters and needs no atomic operation.
+
+use datasync_sim::{Instr, Label, Pred, Program, Workload};
+
+/// Barrier implementation under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierKind {
+    /// Centralized counter: `fetch&add` on arrival, spin until the
+    /// arrival count reaches `P * episode`.
+    Counter,
+    /// Butterfly: `log2 P` pairwise rounds on per-processor counters.
+    Butterfly,
+}
+
+impl BarrierKind {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BarrierKind::Counter => "counter",
+            BarrierKind::Butterfly => "butterfly",
+        }
+    }
+}
+
+/// Builds the barrier stress workload.
+///
+/// `compute(p, e)` gives processor `p`'s compute cost in episode `e`
+/// (skew it to model the "waiting for the last processor" effect).
+/// Sync variables: counter barrier uses var 0; butterfly uses vars
+/// `0..P`. Episode `e` of processor `p` is traced as
+/// `Label { pid: e, stmt: p }` at the moment the barrier is passed.
+///
+/// # Panics
+///
+/// Panics if `kind` is [`BarrierKind::Butterfly`] and `procs` is not a
+/// power of two.
+pub fn barrier_workload(
+    procs: usize,
+    episodes: usize,
+    kind: BarrierKind,
+    compute: impl Fn(usize, usize) -> u32,
+) -> Workload {
+    let mut programs = Vec::with_capacity(procs);
+    match kind {
+        BarrierKind::Counter => {
+            for p in 0..procs {
+                let mut prog = Program::new();
+                for e in 0..episodes {
+                    prog.push(Instr::Compute(compute(p, e)));
+                    prog.push(Instr::SyncRmw { var: 0 });
+                    prog.push(Instr::SyncWait {
+                        var: 0,
+                        pred: Pred::Geq((procs * (e + 1)) as u64),
+                    });
+                    prog.push(Instr::Note(Label { pid: e as u64, stmt: p as u32, start: false }));
+                }
+                programs.push(prog);
+            }
+        }
+        BarrierKind::Butterfly => {
+            assert!(procs.is_power_of_two(), "butterfly needs power-of-two processors");
+            let rounds = procs.trailing_zeros();
+            for p in 0..procs {
+                let mut prog = Program::new();
+                for e in 0..episodes {
+                    prog.push(Instr::Compute(compute(p, e)));
+                    for r in 0..rounds {
+                        let round = (e as u64) * u64::from(rounds) + u64::from(r) + 1;
+                        prog.push(Instr::SyncSet { var: p, val: round });
+                        prog.push(Instr::SyncWait {
+                            var: p ^ (1 << r),
+                            pred: Pred::Geq(round),
+                        });
+                    }
+                    prog.push(Instr::Note(Label { pid: e as u64, stmt: p as u32, start: false }));
+                }
+                programs.push(prog);
+            }
+        }
+    }
+    Workload::static_assigned(programs, (0..procs).map(|p| vec![p]).collect())
+}
+
+/// Example 5's pairwise phase synchronization: after phase `e`, processor
+/// `p` marks its counter and waits only for partner `p xor 2^(e mod log2 P)`
+/// — no global barrier. Sync variables `0..P`; trace labels as in
+/// [`barrier_workload`].
+///
+/// # Panics
+///
+/// Panics unless `procs` is a power of two.
+pub fn pairwise_workload(
+    procs: usize,
+    phases: usize,
+    compute: impl Fn(usize, usize) -> u32,
+) -> Workload {
+    assert!(procs.is_power_of_two(), "pairwise sync needs power-of-two processors");
+    let log_p = procs.trailing_zeros() as usize;
+    let mut programs = Vec::with_capacity(procs);
+    for p in 0..procs {
+        let mut prog = Program::new();
+        for e in 0..phases {
+            prog.push(Instr::Compute(compute(p, e)));
+            let step = e as u64 + 1;
+            prog.push(Instr::SyncSet { var: p, val: step });
+            if log_p > 0 {
+                let partner = p ^ (1 << (e % log_p));
+                prog.push(Instr::SyncWait { var: partner, pred: Pred::Geq(step) });
+            }
+            prog.push(Instr::Note(Label { pid: e as u64, stmt: p as u32, start: false }));
+        }
+        programs.push(prog);
+    }
+    Workload::static_assigned(programs, (0..procs).map(|p| vec![p]).collect())
+}
+
+/// Checks a pairwise-phase trace: each processor's phase `e` must pass
+/// only after its phase-`e` *partner* completed phase `e-1` (the local
+/// obligation Example 5 actually needs).
+pub fn pairwise_violations(trace: &datasync_sim::Trace, procs: usize, phases: usize) -> usize {
+    let log_p = procs.trailing_zeros() as usize;
+    if log_p == 0 {
+        return 0;
+    }
+    let mut bad = 0;
+    for e in 1..phases {
+        for p in 0..procs {
+            let partner = p ^ (1 << ((e - 1) % log_p));
+            if let (Some(mine), Some(theirs)) =
+                (trace.end_of(p as u32, e as u64), trace.end_of(partner as u32, e as u64 - 1))
+            {
+                if mine < theirs {
+                    bad += 1;
+                }
+            }
+        }
+    }
+    bad
+}
+
+/// Checks a barrier trace: within each episode, no processor may pass the
+/// barrier before every processor's *previous* episode completed — i.e.
+/// episode `e` passes strictly after episode `e-1` for every pair.
+pub fn barrier_violations(trace: &datasync_sim::Trace, procs: usize, episodes: usize) -> usize {
+    let mut bad = 0;
+    for e in 1..episodes {
+        for p in 0..procs {
+            let this = trace.end_of(p as u32, e as u64);
+            for q in 0..procs {
+                let prev = trace.end_of(q as u32, e as u64 - 1);
+                if let (Some(t), Some(pv)) = (this, prev) {
+                    if t < pv {
+                        bad += 1;
+                    }
+                }
+            }
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasync_sim::{run, MachineConfig, SyncTransport};
+
+    fn check(kind: BarrierKind, transport: SyncTransport, procs: usize) -> datasync_sim::RunStats {
+        let episodes = 6;
+        let w = barrier_workload(procs, episodes, kind, |p, e| 10 + ((p + e) % 5) as u32 * 4);
+        let out = run(&MachineConfig::with_processors(procs).transport(transport), &w)
+            .expect("sim failed");
+        assert_eq!(barrier_violations(&out.trace, procs, episodes), 0, "{}", kind.name());
+        out.stats
+    }
+
+    #[test]
+    fn counter_barrier_correct_on_both_transports() {
+        check(BarrierKind::Counter, SyncTransport::SharedMemory, 8);
+        check(BarrierKind::Counter, SyncTransport::DedicatedBus, 8);
+    }
+
+    #[test]
+    fn butterfly_barrier_correct_on_both_transports() {
+        check(BarrierKind::Butterfly, SyncTransport::SharedMemory, 8);
+        check(BarrierKind::Butterfly, SyncTransport::DedicatedBus, 8);
+    }
+
+    #[test]
+    fn counter_hot_spot_generates_poll_traffic() {
+        let counter = check(BarrierKind::Counter, SyncTransport::SharedMemory, 16);
+        let butterfly = check(BarrierKind::Butterfly, SyncTransport::DedicatedBus, 16);
+        assert!(counter.spin_polls > 0);
+        assert_eq!(butterfly.spin_polls, 0);
+        assert!(
+            butterfly.makespan < counter.makespan,
+            "butterfly {} must beat the hot-spot counter {}",
+            butterfly.makespan,
+            counter.makespan
+        );
+    }
+
+    #[test]
+    fn works_with_two_processors() {
+        check(BarrierKind::Butterfly, SyncTransport::DedicatedBus, 2);
+        check(BarrierKind::Counter, SyncTransport::SharedMemory, 2);
+    }
+
+    #[test]
+    fn pairwise_phases_locally_ordered_and_faster_under_skew() {
+        let procs = 8;
+        let phases = 8;
+        // Processor 0 is slow in every phase: a global barrier drags
+        // everyone down; pairwise only delays 0's partners transitively.
+        let skew = |p: usize, _e: usize| if p == 0 { 120u32 } else { 10 };
+        let pw = pairwise_workload(procs, phases, skew);
+        let out = run(&MachineConfig::with_processors(procs), &pw).expect("sim failed");
+        assert_eq!(pairwise_violations(&out.trace, procs, phases), 0);
+        let bf = barrier_workload(procs, phases, BarrierKind::Butterfly, skew);
+        let out_bf = run(&MachineConfig::with_processors(procs), &bf).expect("sim failed");
+        assert!(
+            out.stats.makespan <= out_bf.stats.makespan,
+            "pairwise {} should not lose to global butterfly {}",
+            out.stats.makespan,
+            out_bf.stats.makespan
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! A minimal complex-number type (kept in-repo to stay within the
+//! offline dependency allowlist).
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Creates `re + im*i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl std::fmt::Display for Complex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.4}+{:.4}i", self.re, self.im)
+        } else {
+            write!(f, "{:.4}{:.4}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Complex::new(1.0, 2.0)), "1.0000+2.0000i");
+        assert_eq!(format!("{}", Complex::new(1.0, -2.0)), "1.0000-2.0000i");
+    }
+}

@@ -1,0 +1,271 @@
+//! A real parallel FFT — the workload of Example 5.
+//!
+//! Radix-2 decimation-in-time FFT over `n` points, partitioned into one
+//! contiguous chunk per worker. After bit-reversal, stage `s` pairs
+//! element `i` with `i xor 2^(s-1)`; once the pair distance reaches the
+//! chunk size, the data a worker needs was produced by exactly one
+//! partner — worker `pid xor 2^(s-1)/chunk` — which is why the paper's
+//! pairwise `mark_PC`/`wait_PC` synchronization suffices and no global
+//! barrier is needed.
+//!
+//! Buffers are ping-ponged between stages (stage `s` reads buffer
+//! `s-1 mod 2`, writes `s mod 2`), so cross-worker reads only touch data
+//! the phase synchronization has already published. Values are stored in
+//! atomics (relaxed loads/stores; the ordering comes from the phase
+//! synchronization's acquire/release edges), keeping the implementation
+//! in safe Rust.
+
+use crate::complex::Complex;
+use datasync_core::barrier::{ButterflyBarrier, CounterBarrier, DisseminationBarrier, PhaseBarrier};
+use datasync_core::phased::PhaseSync;
+use datasync_core::wait::WaitStrategy;
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared buffer of complex values readable and writable across
+/// workers (bit-cast `f64` atomics).
+#[derive(Debug)]
+struct SharedBuf {
+    re: Vec<AtomicU64>,
+    im: Vec<AtomicU64>,
+}
+
+impl SharedBuf {
+    fn new(n: usize) -> Self {
+        Self {
+            re: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            im: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn store(&self, i: usize, v: Complex) {
+        self.re[i].store(v.re.to_bits(), Ordering::Relaxed);
+        self.im[i].store(v.im.to_bits(), Ordering::Relaxed);
+    }
+
+    fn load(&self, i: usize) -> Complex {
+        Complex::new(
+            f64::from_bits(self.re[i].load(Ordering::Relaxed)),
+            f64::from_bits(self.im[i].load(Ordering::Relaxed)),
+        )
+    }
+}
+
+/// Bit-reversal permutation index.
+fn bit_reverse(i: usize, bits: u32) -> usize {
+    i.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Computes the FFT of `input` in parallel.
+///
+/// `workers` workers run `log2 n` stages; between stages they synchronize
+/// with the given [`PhaseSync`] policy — [`PhaseSync::Pairwise`] is the
+/// paper's Example 5, the global policies are the `\[7\]` baseline.
+///
+/// # Panics
+///
+/// Panics unless `input.len()` and `workers` are powers of two with
+/// `workers <= input.len()`.
+pub fn parallel_fft(input: &[Complex], workers: usize, sync: PhaseSync) -> Vec<Complex> {
+    let n = input.len();
+    assert!(n.is_power_of_two() && n >= 1, "FFT size must be a power of two");
+    assert!(workers.is_power_of_two() && workers >= 1, "worker count must be a power of two");
+    assert!(workers <= n, "more workers than points");
+    let bits = n.trailing_zeros();
+    let chunk = n / workers;
+
+    let bufs = [SharedBuf::new(n), SharedBuf::new(n)];
+    // Bit-reversal permutation into buffer 0 (embarrassingly parallel;
+    // done up front).
+    for i in 0..n {
+        bufs[0].store(bit_reverse(i, bits), input[i]);
+    }
+
+    let stages = bits as usize;
+    // The cross-chunk partner of stage `k` (0-based): stage k pairs
+    // element i with i ^ 2^k; once 2^k >= chunk that element lives in
+    // worker pid ^ (2^k / chunk).
+    let cross_partner = |pid: usize, k: usize| -> Option<usize> {
+        let half = 1usize << k;
+        if half >= chunk { Some(pid ^ (half / chunk)) } else { None }
+    };
+
+    let barrier: Option<Box<dyn PhaseBarrier>> = match sync {
+        PhaseSync::GlobalCounter => Some(Box::new(CounterBarrier::new(workers))),
+        PhaseSync::GlobalButterfly => Some(Box::new(ButterflyBarrier::new(workers))),
+        PhaseSync::GlobalDissemination => Some(Box::new(DisseminationBarrier::new(workers))),
+        PhaseSync::Pairwise => None,
+    };
+    // Per-worker completed-stage counters for the pairwise policy
+    // (Example 5's PCs: mark after each stage, wait only for the workers
+    // whose data the next stage touches).
+    let counters: Vec<CachePadded<AtomicU64>> =
+        (0..workers).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+    let strategy = WaitStrategy::default();
+
+    std::thread::scope(|scope| {
+        for pid in 0..workers {
+            let (bufs, barrier, counters) = (&bufs, &barrier, &counters);
+            scope.spawn(move || {
+                let base = pid * chunk;
+                for stage in 0..stages {
+                    if let Some(b) = barrier {
+                        if stage > 0 {
+                            b.wait(pid);
+                        }
+                    } else if stage > 0 {
+                        let done = stage as u64;
+                        // RAW: the worker whose stage-(k-1) output this
+                        // stage reads must have completed it.
+                        if let Some(p) = cross_partner(pid, stage) {
+                            let cell = &counters[p];
+                            strategy.wait_until(|| cell.load(Ordering::Acquire) >= done);
+                        }
+                        // WAR: the worker that read our previous output
+                        // during stage k-1 must be done with it before we
+                        // overwrite the ping-pong buffer. (The paper's
+                        // Example 5 elides this: it assumes in-place
+                        // exchange with implicit buffering.)
+                        if let Some(p) = cross_partner(pid, stage - 1) {
+                            let cell = &counters[p];
+                            strategy.wait_until(|| cell.load(Ordering::Acquire) >= done);
+                        }
+                    }
+                    let s = stage + 1;
+                    let half = 1usize << (s - 1);
+                    let m = half * 2;
+                    let src = &bufs[stage % 2];
+                    let dst = &bufs[(stage + 1) % 2];
+                    for i in base..base + chunk {
+                        let pos = i & (half - 1);
+                        let angle = -2.0 * std::f64::consts::PI * pos as f64 / m as f64;
+                        let w = Complex::new(angle.cos(), angle.sin());
+                        let j = i ^ half;
+                        let out = if i & half == 0 {
+                            src.load(i) + w * src.load(j)
+                        } else {
+                            src.load(j) - w * src.load(i)
+                        };
+                        dst.store(i, out);
+                    }
+                    counters[pid].store(stage as u64 + 1, Ordering::Release);
+                }
+            });
+        }
+    });
+
+    let final_buf = &bufs[stages % 2];
+    (0..n).map(|i| final_buf.load(i)).collect()
+}
+
+/// Sequential reference FFT (same algorithm, one thread).
+pub fn sequential_fft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    assert!(n.is_power_of_two(), "FFT size must be a power of two");
+    let bits = n.trailing_zeros();
+    let mut buf: Vec<Complex> = (0..n).map(|i| input[bit_reverse(i, bits)]).collect();
+    let mut next = vec![Complex::ZERO; n];
+    for s in 1..=bits {
+        let half = 1usize << (s - 1);
+        let m = half * 2;
+        for i in 0..n {
+            let pos = i & (half - 1);
+            let angle = -2.0 * std::f64::consts::PI * pos as f64 / m as f64;
+            let w = Complex::new(angle.cos(), angle.sin());
+            let j = i ^ half;
+            next[i] = if i & half == 0 { buf[i] + w * buf[j] } else { buf[j] - w * buf[i] };
+        }
+        std::mem::swap(&mut buf, &mut next);
+    }
+    buf
+}
+
+/// Naive `O(n^2)` DFT for verification.
+pub fn naive_dft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let angle = -2.0 * std::f64::consts::PI * (k * j % n) as f64 / n as f64;
+                acc = acc + x * Complex::new(angle.cos(), angle.sin());
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Maximum absolute component difference between two spectra.
+pub fn max_error(a: &[Complex], b: &[Complex]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x.re - y.re).abs().max((x.im - y.im).abs()))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                Complex::new(
+                    (2.0 * std::f64::consts::PI * 3.0 * t).sin() + 0.5 * (2.0 * std::f64::consts::PI * 7.0 * t).cos(),
+                    0.1 * t,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bit_reverse_basics() {
+        assert_eq!(bit_reverse(0b001, 3), 0b100);
+        assert_eq!(bit_reverse(0b110, 3), 0b011);
+        assert_eq!(bit_reverse(0, 4), 0);
+    }
+
+    #[test]
+    fn sequential_fft_matches_naive_dft() {
+        let x = test_signal(64);
+        let err = max_error(&sequential_fft(&x), &naive_dft(&x));
+        assert!(err < 1e-9, "error {err}");
+    }
+
+    #[test]
+    fn parallel_pairwise_matches_sequential_exactly() {
+        let x = test_signal(256);
+        let seq = sequential_fft(&x);
+        for workers in [1, 2, 4, 8] {
+            let par = parallel_fft(&x, workers, PhaseSync::Pairwise);
+            assert_eq!(max_error(&par, &seq), 0.0, "workers = {workers} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn parallel_global_barriers_match_too() {
+        let x = test_signal(128);
+        let seq = sequential_fft(&x);
+        for sync in [PhaseSync::GlobalCounter, PhaseSync::GlobalButterfly, PhaseSync::GlobalDissemination] {
+            let par = parallel_fft(&x, 4, sync);
+            assert_eq!(max_error(&par, &seq), 0.0, "{}", sync.name());
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 32];
+        x[0] = Complex::new(1.0, 0.0);
+        let spec = parallel_fft(&x, 4, PhaseSync::Pairwise);
+        for v in spec {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = parallel_fft(&vec![Complex::ZERO; 12], 2, PhaseSync::Pairwise);
+    }
+}

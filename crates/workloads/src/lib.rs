@@ -1,0 +1,31 @@
+//! Workloads for the data-synchronization reproduction.
+//!
+//! The paper's Section 5 applications, realized both on real threads
+//! (via `datasync-core`) and as simulator programs (via `datasync-sim`):
+//!
+//! * [`relaxation`] — Example 1's four-point relaxation: sequential,
+//!   wavefront-with-barrier, and asynchronously pipelined with group
+//!   size `G`, on real threads;
+//! * [`pipeline_sim`] — the same comparison as simulator workloads;
+//! * [`fft`] — Example 5's parallel FFT with pairwise or global-barrier
+//!   phase synchronization, over our own [`complex::Complex`];
+//! * [`pde`] — a 1-D diffusion solver with neighbour-only sweep
+//!   synchronization (the paper's second Example 5 application);
+//! * [`barrier_sim`] — Example 4's butterfly vs counter barrier on the
+//!   simulator (hot-spot measurement);
+//! * [`synthetic`] — random Doacross loops for property-based testing.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod barrier_sim;
+pub mod complex;
+pub mod fft;
+pub mod pde;
+pub mod pipeline_sim;
+pub mod relaxation;
+pub mod synthetic;
+
+pub use complex::Complex;
+pub use relaxation::Grid;
+pub use synthetic::{random_nest, SynthParams};

@@ -1,0 +1,196 @@
+//! Neighbor-synchronized PDE iteration — the paper's second Example 5
+//! application: "the discretization method for solving partial
+//! differential equations \[19\], in which a process only needs to
+//! synchronize with processes computing its neighboring regions."
+//!
+//! A 1-D heat (diffusion) equation is discretized over `n` points and
+//! iterated with an explicit Jacobi scheme. The domain is cut into one
+//! strip per worker; after each sweep a worker needs only its two
+//! neighbours' strips from the *previous* sweep. The process-oriented
+//! realization gives each worker a counter: `mark(sweep)` after the
+//! sweep, then wait for `left` and `right` to reach the same sweep — no
+//! global barrier. Double buffering needs the same WAR guard as the FFT
+//! (a neighbour may lag one sweep), which the neighbour wait already
+//! provides: waiting for both neighbours at sweep `s` implies neither
+//! still reads buffers from sweep `s-1`.
+
+use crossbeam_utils::CachePadded;
+use datasync_core::barrier::{DisseminationBarrier, PhaseBarrier};
+use datasync_core::wait::WaitStrategy;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How sweeps synchronize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PdeSync {
+    /// Wait only for the two neighbouring strips (process counters).
+    Neighbors,
+    /// A global dissemination barrier after every sweep.
+    GlobalBarrier,
+}
+
+impl PdeSync {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PdeSync::Neighbors => "neighbors",
+            PdeSync::GlobalBarrier => "global-barrier",
+        }
+    }
+}
+
+/// A shared `f64` field (bit-cast atomics; ordering comes from the sweep
+/// synchronization).
+#[derive(Debug)]
+struct Field {
+    cells: Vec<AtomicU64>,
+}
+
+impl Field {
+    fn new(n: usize) -> Self {
+        Self { cells: (0..n).map(|_| AtomicU64::new(0)).collect() }
+    }
+    fn get(&self, i: usize) -> f64 {
+        f64::from_bits(self.cells[i].load(Ordering::Relaxed))
+    }
+    fn set(&self, i: usize, v: f64) {
+        self.cells[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Initial condition: a hot spike in the middle, cold boundaries.
+fn init(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| if i == n / 2 { 100.0 } else { (i as f64 * 0.1).sin().abs() })
+        .collect()
+}
+
+/// One Jacobi update.
+fn step(prev_left: f64, prev_mid: f64, prev_right: f64, alpha: f64) -> f64 {
+    prev_mid + alpha * (prev_left - 2.0 * prev_mid + prev_right)
+}
+
+/// Sequential reference solver.
+pub fn solve_sequential(n: usize, sweeps: usize, alpha: f64) -> Vec<f64> {
+    let mut cur = init(n);
+    let mut next = vec![0.0; n];
+    for _ in 0..sweeps {
+        next[0] = cur[0];
+        next[n - 1] = cur[n - 1];
+        for i in 1..n - 1 {
+            next[i] = step(cur[i - 1], cur[i], cur[i + 1], alpha);
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// Parallel solver: `workers` strips, synchronized per [`PdeSync`].
+///
+/// Returns the final field; bit-identical to [`solve_sequential`] for
+/// every policy.
+///
+/// # Panics
+///
+/// Panics if `workers == 0` or `n < 2 * workers`.
+pub fn solve_parallel(n: usize, sweeps: usize, alpha: f64, workers: usize, sync: PdeSync) -> Vec<f64> {
+    assert!(workers >= 1, "need at least one worker");
+    assert!(n >= 2 * workers, "strips too small");
+    let bufs = [Field::new(n), Field::new(n)];
+    for (i, v) in init(n).into_iter().enumerate() {
+        bufs[0].set(i, v);
+    }
+    let counters: Vec<CachePadded<AtomicU64>> =
+        (0..workers).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+    let barrier = DisseminationBarrier::new(workers);
+    let strategy = WaitStrategy::default();
+
+    // Strip bounds (first/last point per worker).
+    let bounds: Vec<(usize, usize)> = (0..workers)
+        .map(|w| {
+            let lo = w * n / workers;
+            let hi = (w + 1) * n / workers;
+            (lo, hi)
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (bufs, counters, barrier, bounds) = (&bufs, &counters, &barrier, &bounds);
+            scope.spawn(move || {
+                let (lo, hi) = bounds[w];
+                for sweep in 0..sweeps {
+                    let src = &bufs[sweep % 2];
+                    let dst = &bufs[(sweep + 1) % 2];
+                    for i in lo..hi {
+                        let v = if i == 0 || i == n - 1 {
+                            src.get(i)
+                        } else {
+                            step(src.get(i - 1), src.get(i), src.get(i + 1), alpha)
+                        };
+                        dst.set(i, v);
+                    }
+                    match sync {
+                        PdeSync::GlobalBarrier => barrier.wait(w),
+                        PdeSync::Neighbors => {
+                            let done = sweep as u64 + 1;
+                            counters[w].store(done, Ordering::Release);
+                            // Wait for both neighbours: their sweep data
+                            // is what the next sweep reads at the strip
+                            // edges, and their progress guarantees they no
+                            // longer read the buffer we overwrite next.
+                            if w > 0 {
+                                let cell = &counters[w - 1];
+                                strategy.wait_until(|| cell.load(Ordering::Acquire) >= done);
+                            }
+                            if w + 1 < workers {
+                                let cell = &counters[w + 1];
+                                strategy.wait_until(|| cell.load(Ordering::Acquire) >= done);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let final_buf = &bufs[sweeps % 2];
+    (0..n).map(|i| final_buf.get(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let (n, sweeps, alpha) = (257, 40, 0.24);
+        let reference = solve_sequential(n, sweeps, alpha);
+        for workers in [1usize, 2, 3, 4, 7] {
+            for sync in [PdeSync::Neighbors, PdeSync::GlobalBarrier] {
+                let got = solve_parallel(n, sweeps, alpha, workers, sync);
+                assert_eq!(got, reference, "{} w={workers}", sync.name());
+            }
+        }
+    }
+
+    #[test]
+    fn diffusion_spreads_and_conserves_shape() {
+        let out = solve_sequential(101, 200, 0.25);
+        // The spike decays but stays the maximum.
+        let max = out.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max < 100.0);
+        assert!((out[50] - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sweeps_returns_initial_condition() {
+        let got = solve_parallel(64, 0, 0.2, 4, PdeSync::Neighbors);
+        assert_eq!(got, super::init(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "strips too small")]
+    fn tiny_domain_rejected() {
+        let _ = solve_parallel(4, 1, 0.2, 4, PdeSync::Neighbors);
+    }
+}

@@ -1,0 +1,275 @@
+//! Simulator workloads for Example 1: wavefront-with-barrier vs
+//! asynchronous pipelining (Fig 5.1.c vs Fig 5.1.d).
+//!
+//! Both run the same `(n-1) x (n-1)` relaxation cells with the same cell
+//! cost; only the synchronization structure differs. Cell `(i, j)` is
+//! traced as `Label { pid: i, stmt: j }`, so `(j, j, 1)` arcs validate the
+//! vertical dependence for either structure.
+
+use datasync_sim::{pack_pc, Instr, Label, MachineConfig, Pred, Program, Workload};
+
+/// The machine configuration the Example 1 experiments use: fast memory
+/// (cells are register/cache resident on the machines the paper targets)
+/// so the comparison isolates the synchronization *structure* instead of
+/// saturating the data bus.
+pub fn relaxation_config(procs: usize) -> MachineConfig {
+    MachineConfig {
+        processors: procs,
+        data_bus_latency: 1,
+        memory_latency: 1,
+        ..MachineConfig::default()
+    }
+}
+
+/// How many cycles one relaxation cell costs (excluding its three shared
+/// accesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellCost(pub u32);
+
+/// Emits one relaxation cell: two reads, compute, one write, wrapped in
+/// trace notes (`pid` = row index, `stmt` = column index).
+fn emit_cell(prog: &mut Program, row: u64, col: u32, cost: u32) {
+    prog.push(Instr::Note(Label { pid: row, stmt: col, start: true }));
+    prog.push(Instr::Access { addr: (row - 1) << 32 | u64::from(col), write: false });
+    prog.push(Instr::Access { addr: row << 32 | u64::from(col - 1), write: false });
+    prog.push(Instr::Compute(cost));
+    prog.push(Instr::Access { addr: row << 32 | u64::from(col), write: true });
+    prog.push(Instr::Note(Label { pid: row, stmt: col, start: false }));
+}
+
+/// The wavefront structure: one barrier episode per anti-diagonal,
+/// butterfly-style pairwise rounds over the dedicated sync bus (a
+/// generous baseline — cheaper than a centralized counter).
+///
+/// Rows and columns are numbered `1..=n-1` (cell `(i,j)` of the paper is
+/// `(i-1, j-1)` here); processors split each diagonal round-robin.
+///
+/// # Panics
+///
+/// Panics unless `procs` is a power of two.
+pub fn wavefront_workload(n: usize, cost: CellCost, procs: usize) -> Workload {
+    assert!(procs.is_power_of_two(), "butterfly barrier needs power-of-two processors");
+    let rounds = procs.trailing_zeros();
+    let m = n - 1; // cells per side
+    let mut programs = Vec::new();
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); procs];
+    let mut episode = 0u64;
+    // Diagonal d contains cells (i, j), i + j = d, 2 <= d <= 2m.
+    for d in 2..=2 * m {
+        let lo = 1.max(d.saturating_sub(m));
+        let hi = m.min(d - 1);
+        for p in 0..procs {
+            let mut prog = Program::new();
+            let mut k = 0usize;
+            for i in lo..=hi {
+                if k % procs == p {
+                    emit_cell(&mut prog, i as u64, (d - i) as u32, cost.0);
+                }
+                k += 1;
+            }
+            // Butterfly barrier rounds; counters are vars 0..procs.
+            for r in 0..rounds {
+                let round = episode * u64::from(rounds) + u64::from(r) + 1;
+                prog.push(Instr::SyncSet { var: p, val: round });
+                prog.push(Instr::SyncWait { var: p ^ (1 << r), pred: Pred::Geq(round) });
+            }
+            assignment[p].push(programs.len());
+            programs.push(prog);
+        }
+        episode += 1;
+    }
+    Workload::static_assigned(programs, assignment)
+}
+
+/// The asynchronous pipelined structure: rows as a Doacross over `x`
+/// process counters (basic primitives), `wait_PC(1, k)` / `set_PC(k)`
+/// around every group of `g` columns.
+///
+/// Process counters are vars `0..x`; the caller must preset
+/// `PC[i] = pack_pc(i, 0)` — use [`pipelined_presets`].
+///
+/// # Panics
+///
+/// Panics if `g == 0` or `x == 0`.
+pub fn pipelined_workload(n: usize, cost: CellCost, g: usize, x: usize) -> Workload {
+    assert!(g >= 1, "group size must be positive");
+    assert!(x >= 1, "need at least one process counter");
+    let m = n - 1;
+    let mut programs = Vec::with_capacity(m);
+    for row in 1..=m as u64 {
+        let pid = row - 1;
+        let own = (pid % x as u64) as usize;
+        let mut prog = Program::new();
+        // get_PC (basic primitives).
+        prog.push(Instr::SyncWait { var: own, pred: Pred::Geq(pack_pc(pid, 0)) });
+        let mut col = 1usize;
+        let mut step = 0u32;
+        while col <= m {
+            step += 1;
+            if pid > 0 {
+                let target = pid - 1;
+                prog.push(Instr::SyncWait {
+                    var: (target % x as u64) as usize,
+                    pred: Pred::Geq(pack_pc(target, step)),
+                });
+            }
+            let end = m.min(col + g - 1);
+            for c in col..=end {
+                emit_cell(&mut prog, row, c as u32, cost.0);
+            }
+            let last = end == m;
+            prog.push(Instr::SyncSet {
+                var: own,
+                val: if last { pack_pc(pid + x as u64, 0) } else { pack_pc(pid, step) },
+            });
+            col = end + 1;
+        }
+        programs.push(prog);
+    }
+    Workload::dynamic(programs)
+}
+
+/// The pipelined structure realized with the **statement-oriented**
+/// scheme and `l` statement counters (Example 1's criticism): the paper
+/// counts `N-1` synchronization points between consecutive rows, so
+/// `N-1` SCs are needed for maximum parallelism. With only `l` SCs,
+/// column `k` maps to `SC[k mod l]`, whose sequential `Advance` handoff
+/// orders all of its instances totally — small `l` strangles the
+/// pipeline.
+///
+/// # Panics
+///
+/// Panics if `l == 0` or `l` does not divide the number of columns.
+pub fn pipelined_sc_workload(n: usize, cost: CellCost, l: usize) -> Workload {
+    let m = n - 1;
+    assert!(l >= 1, "need at least one statement counter");
+    assert!(m % l == 0, "SC count must divide the column count for this model");
+    let per_sc = (m / l) as u64; // instances of each SC per row
+    let mut programs = Vec::with_capacity(m);
+    for row in 1..=m as u64 {
+        let i = row - 1; // 0-based row
+        let mut prog = Program::new();
+        for col in 1..=m {
+            let k = col - 1; // 0-based column
+            let sc = k % l;
+            let ordinal = i * per_sc + (k / l) as u64;
+            if i > 0 {
+                // Await: row i-1 advanced this column's SC instance.
+                prog.push(Instr::SyncWait {
+                    var: sc,
+                    pred: Pred::Geq((i - 1) * per_sc + (k / l) as u64 + 1),
+                });
+            }
+            emit_cell(&mut prog, row, col as u32, cost.0);
+            // Advance: strictly sequential handoff of this SC.
+            prog.push(Instr::SyncWait { var: sc, pred: Pred::Eq(ordinal) });
+            prog.push(Instr::SyncSet { var: sc, val: ordinal + 1 });
+        }
+        programs.push(prog);
+    }
+    Workload::dynamic(programs)
+}
+
+/// Initial PC values for [`pipelined_workload`].
+pub fn pipelined_presets(n: usize, x: usize) -> Vec<(usize, u64)> {
+    (0..x.min(n - 1)).map(|i| (i, pack_pc(i as u64, 0))).collect()
+}
+
+/// Validation arcs for either structure: each cell depends on the cell
+/// above (`(j, j, 1)` for every column `j`). The horizontal dependence is
+/// program order within a row.
+pub fn relaxation_arcs(n: usize) -> Vec<(u32, u32, i64)> {
+    (1..=(n - 1) as u32).map(|j| (j, j, 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasync_sim::{run, Machine};
+
+    fn check_wavefront(n: usize, procs: usize) -> datasync_sim::RunStats {
+        let w = wavefront_workload(n, CellCost(24), procs);
+        let out = run(&relaxation_config(procs), &w).expect("sim failed");
+        let v = out.trace.validate_order(&relaxation_arcs(n));
+        assert!(v.is_empty(), "violations: {v:?}");
+        // every cell executed exactly once
+        let starts = out.trace.events().iter().filter(|e| e.label.start).count();
+        assert_eq!(starts, (n - 1) * (n - 1));
+        out.stats
+    }
+
+    fn check_pipelined(n: usize, procs: usize, g: usize, x: usize) -> datasync_sim::RunStats {
+        let w = pipelined_workload(n, CellCost(24), g, x);
+        let mut m = Machine::new(relaxation_config(procs), w);
+        for (var, val) in pipelined_presets(n, x) {
+            m.preset_sync(var, val);
+        }
+        let out = m.run_to_completion().expect("sim failed");
+        let v = out.trace.validate_order(&relaxation_arcs(n));
+        assert!(v.is_empty(), "violations: {v:?}");
+        let starts = out.trace.events().iter().filter(|e| e.label.start).count();
+        assert_eq!(starts, (n - 1) * (n - 1));
+        out.stats
+    }
+
+    #[test]
+    fn wavefront_correct() {
+        check_wavefront(9, 4);
+        check_wavefront(5, 2);
+    }
+
+    #[test]
+    fn pipelined_correct() {
+        check_pipelined(9, 4, 1, 8);
+        check_pipelined(9, 4, 3, 8);
+        check_pipelined(5, 2, 2, 2);
+    }
+
+    fn check_pipelined_sc(n: usize, procs: usize, l: usize) -> datasync_sim::RunStats {
+        let w = pipelined_sc_workload(n, CellCost(24), l);
+        let out = run(&relaxation_config(procs), &w).expect("sim failed");
+        let v = out.trace.validate_order(&relaxation_arcs(n));
+        assert!(v.is_empty(), "violations: {v:?}");
+        out.stats
+    }
+
+    #[test]
+    fn sc_pipeline_needs_many_counters() {
+        // l = m (the paper's N-1) pipelines; l = 1 nearly serializes.
+        let full = check_pipelined_sc(17, 4, 16);
+        let one = check_pipelined_sc(17, 4, 1);
+        assert!(
+            one.makespan > full.makespan * 2,
+            "1 SC ({}) must be far slower than 16 SCs ({})",
+            one.makespan,
+            full.makespan
+        );
+    }
+
+    #[test]
+    fn pipelined_beats_wavefront_utilization() {
+        // The paper's Fig 5.1 claim: same parallel steps, better
+        // efficiency and utilization for the asynchronous pipeline.
+        let wf = check_wavefront(17, 4);
+        let pl = check_pipelined(17, 4, 1, 8);
+        assert!(
+            pl.utilization() > wf.utilization(),
+            "pipelined utilization {:.3} must beat wavefront {:.3}",
+            pl.utilization(),
+            wf.utilization()
+        );
+        assert!(pl.makespan < wf.makespan, "pipelined {} vs wavefront {}", pl.makespan, wf.makespan);
+    }
+
+    #[test]
+    fn grouping_trades_sync_for_delay() {
+        let g1 = check_pipelined(17, 4, 1, 8);
+        let g4 = check_pipelined(17, 4, 4, 8);
+        assert!(
+            g4.sync_broadcasts < g1.sync_broadcasts,
+            "G=4 broadcasts {} must be below G=1 {}",
+            g4.sync_broadcasts,
+            g1.sync_broadcasts
+        );
+    }
+}

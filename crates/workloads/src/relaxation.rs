@@ -1,0 +1,220 @@
+//! Example 1's four-point relaxation on real threads, three ways.
+//!
+//! `A[I,J] = A[I-1,J] + A[I,J-1]` for `I, J = 2..N` can run:
+//!
+//! * **sequentially** (the oracle);
+//! * as **wavefronts** — all cells on an anti-diagonal in parallel, a
+//!   global barrier between diagonals (Fig 5.1.c);
+//! * **asynchronously pipelined** — the outer loop as a Doacross, the
+//!   inner loop serial within each process, with `wait_PC(1, k)` /
+//!   `mark_PC(k)` every `G` inner iterations (Fig 5.1.b/d).
+//!
+//! All three produce bit-identical grids (every cell is a deterministic
+//! function of its two neighbours), which is the correctness check; the
+//! paper's claim is that the pipelined method has the same number of
+//! parallel steps but much better processor utilization.
+
+use datasync_core::barrier::{DisseminationBarrier, PhaseBarrier};
+use datasync_core::doacross::Doacross;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A shared `(n+1) x (n+1)` grid of `f64` cells (1-based indexing, row 1
+/// and column 1 hold boundary values). Cells are atomics so workers can
+/// share the grid in safe Rust; ordering is provided by the
+/// synchronization under test, not by the cell operations.
+#[derive(Debug)]
+pub struct Grid {
+    n: usize,
+    cells: Vec<AtomicU64>,
+}
+
+impl Grid {
+    /// Creates the grid with deterministic boundary values and zero
+    /// interior.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "grid needs n >= 2");
+        let g = Self { n, cells: (0..(n + 1) * (n + 1)).map(|_| AtomicU64::new(0)).collect() };
+        for k in 1..=n {
+            g.set(1, k, 1.0 / k as f64);
+            g.set(k, 1, 1.0 + k as f64 / n as f64);
+        }
+        g
+    }
+
+    /// Grid size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reads cell `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        f64::from_bits(self.cells[i * (self.n + 1) + j].load(Ordering::Relaxed))
+    }
+
+    /// Writes cell `(i, j)`.
+    pub fn set(&self, i: usize, j: usize, v: f64) {
+        self.cells[i * (self.n + 1) + j].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Snapshot of all cells (for equality checks).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// The relaxation step at one cell.
+fn relax(grid: &Grid, i: usize, j: usize) {
+    let v = grid.get(i - 1, j) + grid.get(i, j - 1);
+    grid.set(i, j, v);
+}
+
+/// Sequential reference execution.
+pub fn run_sequential(grid: &Grid) {
+    for i in 2..=grid.n() {
+        for j in 2..=grid.n() {
+            relax(grid, i, j);
+        }
+    }
+}
+
+/// Wavefront execution: anti-diagonal `w = i + j` cells in parallel,
+/// a dissemination barrier between consecutive wavefronts.
+///
+/// Returns the number of barrier episodes executed.
+pub fn run_wavefront(grid: &Grid, threads: usize) -> usize {
+    assert!(threads >= 1);
+    let n = grid.n();
+    let barrier = DisseminationBarrier::new(threads);
+    let episodes = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for pid in 0..threads {
+            let (grid, barrier, episodes) = (&*grid, &barrier, &episodes);
+            s.spawn(move || {
+                for w in 4..=2 * n {
+                    let lo = 2.max(w.saturating_sub(n));
+                    let hi = n.min(w - 2);
+                    let mut k = 0usize;
+                    for i in lo..=hi {
+                        if k % threads == pid {
+                            relax(grid, i, w - i);
+                        }
+                        k += 1;
+                    }
+                    barrier.wait(pid);
+                    if pid == 0 {
+                        episodes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    episodes.load(Ordering::Relaxed)
+}
+
+/// Statistics of a pipelined run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// `wait_PC` operations issued (including immediately satisfied ones).
+    pub waits: u64,
+    /// `mark_PC`/`transfer_PC` operations issued.
+    pub marks: u64,
+}
+
+/// Asynchronous pipelined execution: rows as a Doacross, `wait_PC(1, k)`
+/// / `mark_PC(k)` around every group of `g` inner iterations
+/// (Fig 5.1.b).
+///
+/// # Panics
+///
+/// Panics if `g == 0`.
+pub fn run_pipelined(grid: &Grid, threads: usize, x: usize, g: usize) -> PipelineStats {
+    assert!(g >= 1, "group size must be positive");
+    let n = grid.n();
+    let rows = (n - 1) as u64; // i = 2..=n, pid = i - 2
+    let waits = AtomicU64::new(0);
+    let marks = AtomicU64::new(0);
+    Doacross::new(rows).threads(threads).pcs(x).run(|pid, ctx| {
+        let i = pid as usize + 2;
+        let mut step = 0u32;
+        let mut j = 2usize;
+        while j <= n {
+            step += 1;
+            waits.fetch_add(1, Ordering::Relaxed);
+            ctx.wait(1, step);
+            let end = n.min(j + g - 1);
+            for jj in j..=end {
+                relax(grid, i, jj);
+            }
+            marks.fetch_add(1, Ordering::Relaxed);
+            ctx.mark(step);
+            j = end + 1;
+        }
+        ctx.transfer();
+    });
+    PipelineStats { waits: waits.load(Ordering::Relaxed), marks: marks.load(Ordering::Relaxed) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(n: usize) -> Vec<u64> {
+        let g = Grid::new(n);
+        run_sequential(&g);
+        g.snapshot()
+    }
+
+    #[test]
+    fn wavefront_matches_sequential() {
+        for n in [2, 3, 8, 33] {
+            let expect = reference(n);
+            let g = Grid::new(n);
+            let episodes = run_wavefront(&g, 4);
+            assert_eq!(g.snapshot(), expect, "n = {n}");
+            assert_eq!(episodes, 2 * n - 3, "one barrier per wavefront");
+        }
+    }
+
+    #[test]
+    fn pipelined_matches_sequential() {
+        for n in [2, 5, 32] {
+            for g_size in [1, 3, 8, 100] {
+                let expect = reference(n);
+                let g = Grid::new(n);
+                run_pipelined(&g, 4, 8, g_size);
+                assert_eq!(g.snapshot(), expect, "n = {n}, G = {g_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_reduces_sync_ops() {
+        let n = 64;
+        let g1 = {
+            let g = Grid::new(n);
+            run_pipelined(&g, 4, 8, 1)
+        };
+        let g8 = {
+            let g = Grid::new(n);
+            run_pipelined(&g, 4, 8, 8)
+        };
+        assert!(g8.waits * 7 < g1.waits, "G=8 must issue ~8x fewer waits: {g1:?} vs {g8:?}");
+    }
+
+    #[test]
+    fn pipelined_small_pool_correct() {
+        let n = 24;
+        let expect = reference(n);
+        let g = Grid::new(n);
+        run_pipelined(&g, 4, 2, 4);
+        assert_eq!(g.snapshot(), expect);
+    }
+
+    #[test]
+    fn grid_boundaries_initialized() {
+        let g = Grid::new(8);
+        assert!(g.get(1, 3) > 0.0);
+        assert!(g.get(5, 1) > 0.0);
+        assert_eq!(g.get(4, 4), 0.0);
+    }
+}

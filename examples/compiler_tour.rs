@@ -1,0 +1,91 @@
+//! A tour of the compiler substrate: dependence analysis, covering,
+//! profitability, the wavefront transformation, unrolling, and the
+//! generated Doacross listing — on three different loops.
+//!
+//! Run with: `cargo run --release --example compiler_tour`
+
+use datasync_loopir::analysis::analyze;
+use datasync_loopir::covering::reduce;
+use datasync_loopir::ir::{AccessKind, ArrayId, ArrayRef, LoopNestBuilder};
+use datasync_loopir::plan::SyncPlan;
+use datasync_loopir::profit::analyze_doacross;
+use datasync_loopir::render::{render_doacross, render_loop};
+use datasync_loopir::space::IterSpace;
+use datasync_loopir::transform::unroll;
+use datasync_loopir::wavefront::wavefront_schedule;
+use datasync_loopir::workpatterns::{example1_relaxation, fig21_loop};
+
+fn main() {
+    // 1. The running example: analysis -> covering -> plan -> listing.
+    let nest = fig21_loop(64);
+    println!("=== Fig 2.1 ===\n{}", render_loop(&nest));
+    let graph = analyze(&nest);
+    let reduced = reduce(&nest, &graph);
+    println!(
+        "{} dependences, {} after covering",
+        graph.deps().len(),
+        reduced.deps().len()
+    );
+    let space = IterSpace::of(&nest);
+    let linear = reduced.linearized(&space);
+    println!("\n{}", render_doacross(&nest, &SyncPlan::build(&nest, &linear)));
+
+    // 2. Profitability: compare against a tight recurrence.
+    let decision = analyze_doacross(&nest, &linear);
+    println!(
+        "Fig 2.1: delay {} / iteration {} cycles -> speedup {:.2} on 8 procs",
+        decision.delay,
+        decision.iteration_time,
+        decision.speedup(64, 8)
+    );
+    let a = ArrayId(0);
+    let chain = LoopNestBuilder::new(1, 64)
+        .stmt(
+            "S",
+            10,
+            vec![
+                ArrayRef::simple(a, AccessKind::Read, -1),
+                ArrayRef::simple(a, AccessKind::Write, 0),
+            ],
+        )
+        .build();
+    let chain_space = IterSpace::of(&chain);
+    let chain_graph = reduce(&chain, &analyze(&chain)).linearized(&chain_space);
+    let chain_decision = analyze_doacross(&chain, &chain_graph);
+    println!(
+        "A[I]=A[I-1]: delay {} -> speedup {:.2} on 8 procs — {}",
+        chain_decision.delay,
+        chain_decision.speedup(64, 8),
+        if chain_decision.profitable(64, 8, 1.5) {
+            "run as Doacross"
+        } else {
+            "leave serial (the Section 1 decision)"
+        }
+    );
+
+    // 3. Wavefront transformation of the relaxation loop.
+    let relax = example1_relaxation(12, 4);
+    let rgraph = analyze(&relax);
+    let rspace = IterSpace::of(&relax);
+    let ws = wavefront_schedule(&rgraph, &rspace).expect("relaxation is schedulable");
+    println!(
+        "\n=== Example 1 wavefront ===\nlambda = {:?}: {} wavefronts, widest {}",
+        ws.lambda,
+        ws.parallel_steps(),
+        ws.max_width()
+    );
+
+    // 4. Unrolling as compiler-side G-grouping.
+    println!("\n=== unrolling Fig 2.1 ===");
+    for factor in [1u32, 2, 4, 8] {
+        let un = unroll(&fig21_loop(64), factor);
+        let s = IterSpace::of(&un);
+        let plan = SyncPlan::build(&un, &reduce(&un, &analyze(&un)).linearized(&s));
+        println!(
+            "  factor {factor}: {} iterations x {} sync steps = {} total PC updates",
+            s.count(),
+            plan.n_steps(),
+            s.count() * u64::from(plan.n_steps())
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! The "new paradigm in parallel programming" the paper's Section 5
+//! closing remarks suggest: process counters as a general ordering
+//! primitive, outside loop compilation.
+//!
+//! Here: a parallel text processor. Worker threads grab lines in any
+//! order and do the expensive part (here: checksum + formatting)
+//! concurrently, but the *emission* of results is ordered by a
+//! distance-1 wait_PC chain — no collecting, no sorting, no channels;
+//! output streams in order as soon as it is ready.
+//!
+//! Run with: `cargo run --release --example ordered_pipeline`
+
+use datasync_core::doacross::Doacross;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+fn expensive_transform(line: usize, text: &str) -> String {
+    // Simulate real work: a toy checksum loop.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for _ in 0..2_000 {
+        for b in text.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    format!("{line:>5}  {h:016x}  {text}")
+}
+
+fn main() {
+    let lines: Vec<String> = (0..2_000)
+        .map(|i| format!("record {i}: {}", "lorem ipsum dolor sit amet ".repeat(1 + i % 3)))
+        .collect();
+
+    let out = Mutex::new(Vec::<u8>::new());
+    let t0 = Instant::now();
+    Doacross::new(lines.len() as u64).threads(8).pcs(16).run(|i, ctx| {
+        // Parallel phase: no synchronization at all.
+        let rendered = expensive_transform(i as usize, &lines[i as usize]);
+        // Ordered phase: wait for the previous line to have been emitted.
+        ctx.wait(1, 1);
+        {
+            let mut sink = out.lock().expect("sink");
+            writeln!(sink, "{rendered}").expect("write");
+        }
+        ctx.mark(1); // emission complete
+    });
+    let dt = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Verify the output really is in order.
+    let bytes = out.into_inner().expect("sink");
+    let text = String::from_utf8(bytes).expect("utf8");
+    let emitted: Vec<usize> = text
+        .lines()
+        .map(|l| l.split_whitespace().next().unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(emitted.len(), lines.len());
+    assert!(emitted.windows(2).all(|w| w[0] + 1 == w[1]), "output out of order!");
+
+    println!(
+        "processed {} lines in {dt:.1} ms on 8 threads — transforms ran in \
+         parallel, emission stayed strictly ordered via one wait_PC(1)/mark_PC \
+         pair per line (16 process counters total).",
+        lines.len()
+    );
+    println!("first line:  {}", text.lines().next().unwrap());
+    println!("last line:   {}", text.lines().last().unwrap());
+}

@@ -1,0 +1,54 @@
+//! Example 1 of the paper: the four-point relaxation three ways —
+//! sequential, wavefront-with-barrier, and asynchronously pipelined
+//! Doacross with a group-size sweep — timed on real threads.
+//!
+//! Run with: `cargo run --release --example relaxation`
+
+use datasync_workloads::relaxation::{run_pipelined, run_sequential, run_wavefront, Grid};
+use std::time::Instant;
+
+fn timed<R>(label: &str, f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("  {label:<34} {ms:>8.2} ms");
+    (r, ms)
+}
+
+fn main() {
+    let n = 1024;
+    let threads = 4;
+    println!("Four-point relaxation, {n}x{n} grid, {threads} threads\n");
+
+    let reference = {
+        let grid = Grid::new(n);
+        timed("sequential", || run_sequential(&grid));
+        grid.snapshot()
+    };
+
+    {
+        let grid = Grid::new(n);
+        let (episodes, _) = timed("wavefront + dissemination barrier", || {
+            run_wavefront(&grid, threads)
+        });
+        assert_eq!(grid.snapshot(), reference, "wavefront diverged");
+        println!("    ({episodes} barrier episodes — one per anti-diagonal)");
+    }
+
+    println!();
+    for g in [1usize, 4, 16, 64, 256] {
+        let grid = Grid::new(n);
+        let (stats, _) = timed(&format!("pipelined Doacross, G = {g}"), || {
+            run_pipelined(&grid, threads, 8, g)
+        });
+        assert_eq!(grid.snapshot(), reference, "pipelined diverged at G = {g}");
+        println!("    ({} wait_PC, {} mark/transfer ops)", stats.waits, stats.marks);
+    }
+
+    println!(
+        "\nAll methods agree bit-for-bit. The paper's Fig 5.1 claim: pipelining \
+         matches the wavefront's parallel steps without barrier idling, and \
+         grouping G inner iterations trades synchronization count against \
+         pipeline delay."
+    );
+}

@@ -1,0 +1,46 @@
+//! A tour of the paper's scheme taxonomy: run the Fig 2.1 loop on the
+//! simulated multiprocessor under all four scheme families and print the
+//! Section 3 comparison.
+//!
+//! Run with: `cargo run --release --example scheme_tour`
+
+use datasync_loopir::analysis::analyze;
+use datasync_loopir::space::IterSpace;
+use datasync_loopir::workpatterns::fig21_loop;
+use datasync_schemes::compare::compare_all;
+use datasync_sim::MachineConfig;
+
+fn main() {
+    let n = 96;
+    let procs = 4;
+    let x = 8;
+    let nest = fig21_loop(n);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let base = MachineConfig::with_processors(procs);
+
+    println!("Fig 2.1 loop, N = {n}, P = {procs}, X = {x}\n");
+    println!(
+        "{:<34} {:>9} {:>8} {:>9} {:>8} {:>7} {:>10}",
+        "scheme", "sync vars", "init", "makespan", "speedup", "util%", "violations"
+    );
+    for r in compare_all(&nest, &graph, &space, &base, x).expect("simulation failed") {
+        println!(
+            "{:<34} {:>9} {:>8} {:>9} {:>8.2} {:>7.1} {:>10}",
+            r.scheme,
+            r.sync_vars,
+            r.init_ops,
+            r.makespan,
+            r.speedup,
+            r.utilization * 100.0,
+            r.violations
+        );
+        assert_eq!(r.violations, 0, "{} violated a dependence", r.scheme);
+    }
+    println!(
+        "\nStorage is the story (Section 3): data-oriented schemes pay one key \
+         per element (and the instance-based scheme one cell per reader), the \
+         statement-oriented scheme one counter per source statement, the \
+         process-oriented scheme only X = {x} counters regardless of N."
+    );
+}

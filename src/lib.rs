@@ -1,0 +1,6 @@
+//! Umbrella crate for the reproduction; re-exports all member crates.
+pub use datasync_core as core;
+pub use datasync_loopir as loopir;
+pub use datasync_schemes as schemes;
+pub use datasync_sim as sim;
+pub use datasync_workloads as workloads;

@@ -1,0 +1,119 @@
+//! Integration tests of the Section 5 applications on real threads.
+
+use datasync_core::barrier::{ButterflyBarrier, CounterBarrier, DisseminationBarrier, PhaseBarrier};
+use datasync_core::phased::PhaseSync;
+use datasync_workloads::fft::{max_error, naive_dft, parallel_fft, sequential_fft};
+use datasync_workloads::relaxation::{run_pipelined, run_sequential, run_wavefront, Grid};
+use datasync_workloads::Complex;
+
+#[test]
+fn relaxation_three_ways_agree() {
+    let n = 48;
+    let reference = {
+        let g = Grid::new(n);
+        run_sequential(&g);
+        g.snapshot()
+    };
+    let wavefront = {
+        let g = Grid::new(n);
+        run_wavefront(&g, 4);
+        g.snapshot()
+    };
+    let pipelined = {
+        let g = Grid::new(n);
+        run_pipelined(&g, 4, 8, 4);
+        g.snapshot()
+    };
+    assert_eq!(wavefront, reference);
+    assert_eq!(pipelined, reference);
+}
+
+#[test]
+fn fft_all_sync_policies_agree_with_dft() {
+    let n = 128;
+    let x: Vec<Complex> = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            Complex::new((t * 0.37).sin() + 0.25 * (t * 1.1).cos(), (t * 0.77).sin() * 0.5)
+        })
+        .collect();
+    let dft = naive_dft(&x);
+    assert!(max_error(&sequential_fft(&x), &dft) < 1e-8);
+    for sync in [
+        PhaseSync::Pairwise,
+        PhaseSync::GlobalCounter,
+        PhaseSync::GlobalButterfly,
+        PhaseSync::GlobalDissemination,
+    ] {
+        let par = parallel_fft(&x, 8, sync);
+        assert!(
+            max_error(&par, &dft) < 1e-8,
+            "{} diverged from the DFT",
+            sync.name()
+        );
+    }
+}
+
+#[test]
+fn fft_roundtrip_via_conjugate() {
+    // IFFT(x) = conj(FFT(conj(x))) / n — a classic identity that
+    // exercises the FFT twice.
+    let n = 512;
+    let x: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64 * 0.01).cos(), 0.0)).collect();
+    let spec = parallel_fft(&x, 4, PhaseSync::Pairwise);
+    let conj: Vec<Complex> = spec.iter().map(|c| c.conj()).collect();
+    let back = parallel_fft(&conj, 4, PhaseSync::Pairwise);
+    let recovered: Vec<Complex> =
+        back.iter().map(|c| Complex::new(c.re / n as f64, -c.im / n as f64)).collect();
+    let err = max_error(&recovered, &x);
+    assert!(err < 1e-9, "roundtrip error {err}");
+}
+
+#[test]
+fn barriers_interchangeable_under_stress() {
+    // All three barrier types protect the same phased counter pattern.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let p = 8;
+    let episodes = 200;
+    let barriers: Vec<Box<dyn PhaseBarrier>> = vec![
+        Box::new(ButterflyBarrier::new(p)),
+        Box::new(DisseminationBarrier::new(p)),
+        Box::new(CounterBarrier::new(p)),
+    ];
+    for b in &barriers {
+        let counter = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for pid in 0..p {
+                let (b, counter) = (b, &counter);
+                s.spawn(move || {
+                    for e in 0..episodes {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        b.wait(pid);
+                        let v = counter.load(Ordering::SeqCst);
+                        assert!(
+                            v >= (e + 1) * p && v <= (e + 2) * p,
+                            "{}: counter {v} out of range at episode {e}",
+                            b.name()
+                        );
+                        b.wait(pid);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[test]
+fn pipelined_group_sweep_all_agree() {
+    let n = 31; // not a multiple of any G
+    let reference = {
+        let g = Grid::new(n);
+        run_sequential(&g);
+        g.snapshot()
+    };
+    for g_size in [1, 2, 5, 7, 30, 64] {
+        let g = Grid::new(n);
+        run_pipelined(&g, 3, 4, g_size);
+        assert_eq!(g.snapshot(), reference, "G = {g_size}");
+    }
+}

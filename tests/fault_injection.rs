@@ -1,0 +1,159 @@
+//! Fault injection: deliberately break synchronization and check that
+//! the detection machinery — trace validation, deadlock detection, the
+//! order-sensitive oracle — actually catches it. A validator that cannot
+//! fail is not evidence of correctness.
+
+use datasync_loopir::analysis::analyze;
+use datasync_loopir::ir::StmtId;
+use datasync_loopir::space::IterSpace;
+use datasync_loopir::workpatterns::fig21_loop;
+use datasync_schemes::scheme::{CostFn, Scheme};
+use datasync_schemes::ProcessOriented;
+use datasync_sim::{Instr, MachineConfig, SimError};
+
+/// A cost function that makes one iteration dramatically slow, so any
+/// missing synchronization lets later iterations race past it.
+fn skewed() -> impl Fn(StmtId, u64) -> u32 {
+    |_s, pid| if pid == 5 { 500 } else { 2 }
+}
+
+/// Strips every `SyncWait` from compiled programs (keeps everything else).
+fn drop_waits(compiled: &mut datasync_schemes::CompiledLoop) {
+    for prog in &mut compiled.workload.programs {
+        prog.instrs.retain(|i| !matches!(i, Instr::SyncWait { .. }));
+    }
+}
+
+/// Strips every sync write (marks/transfers) from compiled programs.
+fn drop_marks(compiled: &mut datasync_schemes::CompiledLoop) {
+    for prog in &mut compiled.workload.programs {
+        prog.instrs
+            .retain(|i| !matches!(i, Instr::SyncSet { .. } | Instr::SyncSetIfGeq { .. }));
+    }
+}
+
+#[test]
+fn removing_waits_is_detected_by_the_trace_validator() {
+    let nest = fig21_loop(40);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let cost = skewed();
+    let cost_ref: CostFn<'_> = &cost;
+    let mut compiled =
+        ProcessOriented::new(8).compile_with(&nest, &graph, &space, Some(cost_ref));
+    drop_waits(&mut compiled);
+    let out = compiled.run(&MachineConfig::with_processors(4)).expect("runs fine, just wrong");
+    let violations = compiled.validate(&out);
+    assert!(
+        !violations.is_empty(),
+        "a scheme with no waits must violate dependences around the slow iteration"
+    );
+}
+
+#[test]
+fn intact_scheme_passes_under_the_same_skew() {
+    // Control: with its waits intact, the same skewed workload validates.
+    let nest = fig21_loop(40);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let cost = skewed();
+    let cost_ref: CostFn<'_> = &cost;
+    let compiled = ProcessOriented::new(8).compile_with(&nest, &graph, &space, Some(cost_ref));
+    let out = compiled.run(&MachineConfig::with_processors(4)).expect("simulation failed");
+    assert!(compiled.validate(&out).is_empty());
+}
+
+#[test]
+fn removing_marks_deadlocks_and_is_reported() {
+    let nest = fig21_loop(40);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let mut compiled = ProcessOriented::new(8).compile(&nest, &graph, &space);
+    drop_marks(&mut compiled);
+    match compiled.run(&MachineConfig::with_processors(4)) {
+        Err(SimError::Deadlock { spinning, .. }) => {
+            assert!(!spinning.is_empty(), "deadlock must name the stuck processors");
+        }
+        Err(SimError::Timeout { .. }) => {} // also acceptable detection
+        other => panic!("waits without marks must hang, got {other:?}"),
+    }
+}
+
+#[test]
+fn weakened_wait_steps_are_detected() {
+    // Lower every wait threshold by two steps: sinks release too early
+    // around the slow iteration.
+    let nest = fig21_loop(48);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let cost = skewed();
+    let cost_ref: CostFn<'_> = &cost;
+    let mut compiled =
+        ProcessOriented::basic(8).compile_with(&nest, &graph, &space, Some(cost_ref));
+    for prog in &mut compiled.workload.programs {
+        for i in &mut prog.instrs {
+            if let Instr::SyncWait { pred: datasync_sim::Pred::Geq(v), .. } = i {
+                // Drop the step requirement entirely (keep the owner part).
+                *v &= !0xffff_ffff;
+            }
+        }
+    }
+    let out = compiled.run(&MachineConfig::with_processors(8)).expect("still terminates");
+    let violations = compiled.validate(&out);
+    assert!(!violations.is_empty(), "step-free waits must be caught");
+}
+
+#[test]
+fn oracle_catches_a_missing_wait_on_real_threads() {
+    // Run the Fig 2.1 loop on real threads with the dist-1 waits removed:
+    // the order-sensitive store comparison must (overwhelmingly) fail.
+    // One lucky schedule could still match, so try a few rounds.
+    use datasync_core::doacross::Doacross;
+    use datasync_core::planexec::SharedArrayStore;
+    use datasync_loopir::exec::{run_sequential, stmt_value};
+    use datasync_loopir::plan::{IterOp, PcOp, SyncPlan};
+
+    let nest = fig21_loop(300);
+    let space = IterSpace::of(&nest);
+    let graph = datasync_loopir::covering::reduce(&nest, &analyze(&nest)).linearized(&space);
+    let plan = SyncPlan::build(&nest, &graph);
+    let sequential = run_sequential(&nest);
+
+    let mut any_divergence = false;
+    for _round in 0..5 {
+        let store = SharedArrayStore::new();
+        let exec = Doacross::new(space.count()).threads(4).pcs(8);
+        exec.run(|pid, ctx| {
+            let indices = space.indices(pid);
+            for op in plan.iteration_ops(&nest, pid) {
+                match op {
+                    IterOp::Wait(w) if w.dist == 1 => {} // sabotage: skip
+                    IterOp::Wait(w) => ctx.wait(w.dist as u64, w.step),
+                    IterOp::Exec(s) => {
+                        // Make some iterations slow so the skipped waits
+                        // actually race (deterministic skew).
+                        if pid % 7 == 3 && s.0 == 0 {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                        let stmt = nest.stmt(s);
+                        let reads: Vec<u64> = stmt
+                            .reads()
+                            .map(|r| store.read(r.array, &r.element(&indices)))
+                            .collect();
+                        let v = stmt_value(stmt, &indices, &reads);
+                        for w in stmt.writes() {
+                            store.write(w.array, w.element(&indices), v);
+                        }
+                    }
+                    IterOp::Pc(PcOp::Mark(step)) => ctx.mark(step),
+                    IterOp::Pc(PcOp::Transfer) => ctx.transfer(),
+                }
+            }
+        });
+        if store.into_store() != sequential {
+            any_divergence = true;
+            break;
+        }
+    }
+    assert!(any_divergence, "skipping dist-1 waits should corrupt the result");
+}

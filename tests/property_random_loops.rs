@@ -1,0 +1,184 @@
+//! Property-based integration tests: random Doacross loops are compiled
+//! under every scheme and checked against the sequential oracle — on the
+//! simulator (trace order) and on real threads (bit-exact store
+//! equality).
+
+use datasync_core::doacross::Doacross;
+use datasync_core::planexec::run_nest;
+use datasync_loopir::analysis::analyze;
+use datasync_loopir::covering::reduce;
+use datasync_loopir::exec::run_sequential;
+use datasync_loopir::plan::SyncPlan;
+use datasync_loopir::space::IterSpace;
+use datasync_schemes::scheme::Scheme;
+use datasync_schemes::{InstanceBased, ProcessOriented, ReferenceBased, StatementOriented};
+use datasync_sim::MachineConfig;
+use datasync_workloads::synthetic::{random_nest, random_nest_2d, SynthParams};
+use proptest::prelude::*;
+
+fn params() -> SynthParams {
+    SynthParams { n_iters: 24, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The real-thread process-oriented executor reproduces sequential
+    /// semantics bit-for-bit on random loops.
+    #[test]
+    fn real_threads_match_oracle(seed in 0u64..10_000) {
+        let nest = random_nest(seed, &params());
+        let space = IterSpace::of(&nest);
+        let graph = reduce(&nest, &analyze(&nest)).linearized(&space);
+        let plan = SyncPlan::build(&nest, &graph);
+        let exec = Doacross::new(space.count()).threads(4).pcs(4);
+        let parallel = run_nest(&exec, &nest, &plan);
+        prop_assert_eq!(parallel, run_sequential(&nest));
+    }
+
+    /// Every scheme orders every dependence instance on random loops.
+    #[test]
+    fn sim_schemes_order_random_loops(seed in 0u64..10_000) {
+        let nest = random_nest(seed, &params());
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let schemes: Vec<Box<dyn Scheme>> = vec![
+            Box::new(ReferenceBased::new()),
+            Box::new(InstanceBased::new()),
+            Box::new(StatementOriented::new()),
+            Box::new(ProcessOriented::new(4)),
+        ];
+        for scheme in schemes {
+            let compiled = scheme.compile(&nest, &graph, &space);
+            let config = MachineConfig::with_processors(3)
+                .transport(scheme.natural_transport());
+            let out = compiled.run(&config)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", scheme.name())))?;
+            let violations = compiled.validate(&out);
+            prop_assert!(violations.is_empty(),
+                "{} on seed {}: {:?}", scheme.name(), seed, violations);
+        }
+    }
+
+    /// Covering elimination is sound: the reduced graph still orders every
+    /// original arc (checked through the process-oriented scheme, which
+    /// synchronizes only the reduced arcs but is validated against all).
+    #[test]
+    fn covering_preserves_all_arcs(seed in 0u64..10_000) {
+        let nest = random_nest(seed, &params());
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let removed = graph.deps().len() - reduce(&nest, &graph).deps().len();
+        // Compile (which applies covering internally) and validate against
+        // the FULL arc set.
+        let scheme = ProcessOriented::new(8);
+        let compiled = scheme.compile(&nest, &graph, &space);
+        let out = compiled.run(&MachineConfig::with_processors(4))
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let violations = compiled.validate(&out);
+        prop_assert!(violations.is_empty(),
+            "seed {} removed {} arcs but violated: {:?}", seed, removed, violations);
+    }
+
+    /// PC packing preserves the paper's lattice order.
+    #[test]
+    fn pc_order_law(w1 in 0u64..1000, s1 in 0u32..1000, w2 in 0u64..1000, s2 in 0u32..1000) {
+        use datasync_core::pc::PcValue;
+        let a = PcValue::new(w1, s1);
+        let b = PcValue::new(w2, s2);
+        let paper_geq = w1 > w2 || (w1 == w2 && s1 >= s2);
+        prop_assert_eq!(a.pack() >= b.pack(), paper_geq);
+    }
+
+    /// Depth-2 nests: linearized pids preserve the oracle on real threads
+    /// (Example 2 end-to-end, randomized).
+    #[test]
+    fn nested_real_threads_match_oracle(seed in 0u64..10_000) {
+        let nest = random_nest_2d(seed, 5, 6);
+        let space = IterSpace::of(&nest);
+        let graph = reduce(&nest, &analyze(&nest)).linearized(&space);
+        let plan = SyncPlan::build(&nest, &graph);
+        let exec = Doacross::new(space.count()).threads(4).pcs(8);
+        let parallel = run_nest(&exec, &nest, &plan);
+        prop_assert_eq!(parallel, run_sequential(&nest));
+    }
+
+    /// Depth-2 nests under every sim scheme.
+    #[test]
+    fn nested_sim_schemes_ordered(seed in 0u64..10_000) {
+        let nest = random_nest_2d(seed, 4, 5);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let schemes: Vec<Box<dyn Scheme>> = vec![
+            Box::new(ReferenceBased::new()),
+            Box::new(InstanceBased::new()),
+            Box::new(StatementOriented::new()),
+            Box::new(ProcessOriented::new(4)),
+        ];
+        for scheme in schemes {
+            let compiled = scheme.compile(&nest, &graph, &space);
+            let config = MachineConfig::with_processors(3)
+                .transport(scheme.natural_transport());
+            let out = compiled.run(&config)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", scheme.name())))?;
+            let violations = compiled.validate(&out);
+            prop_assert!(violations.is_empty(),
+                "{} on 2d seed {}: {:?}", scheme.name(), seed, violations);
+        }
+    }
+
+    /// The real-thread reference-based executor (per-element keys) also
+    /// reproduces sequential semantics on random loops.
+    #[test]
+    fn keyed_real_threads_match_oracle(seed in 0u64..10_000) {
+        let nest = random_nest(seed, &params());
+        let store = datasync_core::planexec::SharedArrayStore::new();
+        datasync_core::keys::run_nest_keyed(&nest, 4, &store);
+        prop_assert_eq!(store.into_store(), run_sequential(&nest));
+    }
+
+    /// The parser never panics on arbitrary input (errors only).
+    #[test]
+    fn parser_total_on_garbage(input in ".{0,200}") {
+        let _ = datasync_loopir::parse::parse_loop(&input);
+    }
+
+    /// The renderer and parser round-trip: any branch-free random loop
+    /// prints to the loop language and parses back to an IR with the same
+    /// dependence graph.
+    #[test]
+    fn render_parse_round_trip(seed in 0u64..10_000) {
+        let nest = random_nest(seed, &SynthParams { branch_pct: 0, ..params() });
+        let text = datasync_loopir::render::render_loop(&nest);
+        let parsed = datasync_loopir::parse::parse_loop(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        prop_assert_eq!(parsed.n_stmts(), nest.n_stmts());
+        prop_assert_eq!(parsed.iter_count(), nest.iter_count());
+        let costs = |n: &datasync_loopir::ir::LoopNest| -> Vec<u32> {
+            n.stmts().map(|s| s.cost).collect()
+        };
+        prop_assert_eq!(costs(&parsed), costs(&nest), "costs must round-trip");
+        // The parser normalizes reference order (reads before writes), so
+        // arcs can be discovered in a different order: compare as sets.
+        let key = |d: &datasync_loopir::graph::Dep| format!("{d}");
+        let mut a: Vec<String> = analyze(&parsed).deps().iter().map(key).collect();
+        let mut b: Vec<String> = analyze(&nest).deps().iter().map(key).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The simulator is deterministic: same workload, same everything.
+    #[test]
+    fn simulator_deterministic(seed in 0u64..10_000) {
+        let nest = random_nest(seed, &SynthParams { n_iters: 12, ..Default::default() });
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let compiled = ProcessOriented::new(4).compile(&nest, &graph, &space);
+        let config = MachineConfig::with_processors(3);
+        let a = compiled.run(&config).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let b = compiled.run(&config).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.trace, b.trace);
+    }
+}

@@ -1,0 +1,80 @@
+//! Cross-crate integration: every scheme, on every paper workload,
+//! must order every dependence instance on the simulator.
+
+use datasync_loopir::analysis::analyze;
+use datasync_loopir::ir::LoopNest;
+use datasync_loopir::space::IterSpace;
+use datasync_loopir::workpatterns::{depth3_nest, example2_nested, example3_branches, fig21_loop};
+use datasync_schemes::scheme::Scheme;
+use datasync_schemes::{InstanceBased, ProcessOriented, ReferenceBased, StatementOriented};
+use datasync_sim::MachineConfig;
+
+fn all_schemes(x: usize) -> Vec<Box<dyn Scheme>> {
+    vec![
+        Box::new(ReferenceBased::new()),
+        Box::new(InstanceBased::new()),
+        Box::new(StatementOriented::new()),
+        Box::new(ProcessOriented::basic(x)),
+        Box::new(ProcessOriented::new(x)),
+    ]
+}
+
+fn check_workload(nest: &LoopNest, procs: usize, x: usize) {
+    let graph = analyze(nest);
+    let space = IterSpace::of(nest);
+    for scheme in all_schemes(x) {
+        let compiled = scheme.compile(nest, &graph, &space);
+        let config = MachineConfig::with_processors(procs).transport(scheme.natural_transport());
+        let out = compiled
+            .run(&config)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", scheme.name()));
+        let violations = compiled.validate(&out);
+        assert!(
+            violations.is_empty(),
+            "{} violated dependences on {} iterations: {violations:?}",
+            scheme.name(),
+            space.count()
+        );
+    }
+}
+
+#[test]
+fn fig21_all_schemes() {
+    check_workload(&fig21_loop(48), 4, 8);
+}
+
+#[test]
+fn fig21_more_processors_than_useful() {
+    check_workload(&fig21_loop(20), 12, 4);
+}
+
+#[test]
+fn example2_all_schemes() {
+    check_workload(&example2_nested(7, 6, 3), 4, 8);
+}
+
+#[test]
+fn example3_all_schemes() {
+    check_workload(&example3_branches(40, 2), 4, 8);
+}
+
+#[test]
+fn depth3_all_schemes() {
+    check_workload(&depth3_nest(3, 3, 4, 2), 4, 8);
+}
+
+#[test]
+fn single_processor_degenerates_to_sequential() {
+    check_workload(&fig21_loop(16), 1, 4);
+}
+
+#[test]
+fn tight_pc_pool() {
+    check_workload(&fig21_loop(30), 4, 1);
+}
+
+#[test]
+fn unrolled_fig21_all_schemes() {
+    let un = datasync_loopir::transform::unroll(&fig21_loop(32), 4);
+    check_workload(&un, 4, 8);
+}

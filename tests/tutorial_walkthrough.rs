@@ -1,0 +1,93 @@
+//! Executes the tutorial (`docs/TUTORIAL.md`) end to end so the document
+//! can never rot.
+
+use datasync_core::doacross::Doacross;
+use datasync_core::planexec::run_nest;
+use datasync_loopir::analysis::analyze;
+use datasync_loopir::covering::reduce;
+use datasync_loopir::exec::run_sequential;
+use datasync_loopir::ir::{AccessKind::*, ArrayId, ArrayRef, LoopNest, LoopNestBuilder};
+use datasync_loopir::plan::SyncPlan;
+use datasync_loopir::profit::analyze_doacross;
+use datasync_loopir::render::render_doacross;
+use datasync_loopir::space::IterSpace;
+use datasync_schemes::scheme::Scheme;
+use datasync_schemes::ProcessOriented;
+use datasync_sim::MachineConfig;
+
+fn tutorial_nest(n: i64) -> LoopNest {
+    let (a, b, c) = (ArrayId(0), ArrayId(1), ArrayId(2));
+    LoopNestBuilder::new(1, n)
+        .stmt(
+            "S1",
+            8,
+            vec![
+                ArrayRef::simple(a, Read, -2),
+                ArrayRef::simple(b, Read, -3),
+                ArrayRef::simple(a, Write, 0),
+            ],
+        )
+        .stmt("S2", 5, vec![ArrayRef::simple(a, Read, 0), ArrayRef::simple(b, Write, 0)])
+        .stmt("S3", 3, vec![ArrayRef::simple(b, Read, -3), ArrayRef::simple(c, Write, 0)])
+        .build()
+}
+
+#[test]
+fn step2_analysis_finds_the_advertised_arcs() {
+    let nest = tutorial_nest(1000);
+    let graph = analyze(&nest);
+    let has = |s: usize, t: usize, d: i64| {
+        graph.deps().iter().any(|dep| {
+            dep.src.0 == s && dep.dst.0 == t && dep.linear_distance(&nest) == d
+        })
+    };
+    assert!(has(0, 0, 2), "S1 -> S1 (flow, 2)");
+    assert!(has(1, 0, 3), "S2 -> S1 (flow, 3)");
+    assert!(has(0, 1, 0), "S1 -> S2 (flow, 0)");
+    assert!(has(1, 2, 3), "S2 -> S3 (flow, 3)");
+    let reduced = reduce(&nest, &graph);
+    assert!(reduced.deps().len() <= graph.deps().len());
+}
+
+#[test]
+fn step3_profitability_says_yes() {
+    let nest = tutorial_nest(1000);
+    let space = IterSpace::of(&nest);
+    let linear = reduce(&nest, &analyze(&nest)).linearized(&space);
+    let decision = analyze_doacross(&nest, &linear);
+    assert!(decision.profitable(1000, 8, 1.5), "{decision:?}");
+}
+
+#[test]
+fn step4_listing_renders() {
+    let nest = tutorial_nest(1000);
+    let space = IterSpace::of(&nest);
+    let linear = reduce(&nest, &analyze(&nest)).linearized(&space);
+    let plan = SyncPlan::build(&nest, &linear);
+    let listing = render_doacross(&nest, &plan);
+    assert!(listing.contains("doacross"));
+    assert!(listing.contains("wait_PC"));
+    assert!(listing.contains("transfer_PC();"));
+}
+
+#[test]
+fn step5_simulator_validates() {
+    let nest = tutorial_nest(200);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let compiled = ProcessOriented::new(8).compile(&nest, &graph, &space);
+    let out = compiled.run(&MachineConfig::with_processors(4)).expect("simulation failed");
+    assert!(compiled.validate(&out).is_empty());
+    assert!(out.stats.makespan > 0);
+}
+
+#[test]
+fn step5_real_threads_match_oracle() {
+    let nest = tutorial_nest(300);
+    let space = IterSpace::of(&nest);
+    let linear = reduce(&nest, &analyze(&nest)).linearized(&space);
+    let plan = SyncPlan::build(&nest, &linear);
+    let exec = Doacross::new(space.count()).threads(4).pcs(8);
+    let parallel = run_nest(&exec, &nest, &plan);
+    assert_eq!(parallel, run_sequential(&nest));
+}
