@@ -1,61 +1,60 @@
-//! Criterion benchmarks of the Section 5 applications on real threads:
-//! relaxation strategies (Fig 5.1) and FFT phase synchronization (Ex 5).
+//! Benchmarks of the Section 5 applications on real threads: relaxation
+//! strategies (Fig 5.1) and FFT phase synchronization (Ex 5).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasync_bench::harness::{bench, bench_with_setup, group};
 use datasync_core::phased::PhaseSync;
 use datasync_workloads::fft::parallel_fft;
 use datasync_workloads::relaxation::{run_pipelined, run_sequential, run_wavefront, Grid};
 use datasync_workloads::Complex;
-use std::time::Duration;
 
-fn bench_relaxation(c: &mut Criterion) {
+fn bench_relaxation() {
     let n = 96;
     let threads = 4;
-    let mut g = c.benchmark_group(format!("relaxation_{n}x{n}_p{threads}"));
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
-    g.sample_size(10);
+    group(&format!("relaxation_{n}x{n}_p{threads}"));
 
-    g.bench_function("sequential", |b| {
-        b.iter_batched(|| Grid::new(n), |grid| run_sequential(&grid), criterion::BatchSize::SmallInput);
-    });
-    g.bench_function("wavefront+barrier", |b| {
-        b.iter_batched(
-            || Grid::new(n),
-            |grid| run_wavefront(&grid, threads),
-            criterion::BatchSize::SmallInput,
-        );
-    });
+    bench_with_setup(
+        "sequential",
+        || Grid::new(n),
+        |grid| {
+            run_sequential(&grid);
+        },
+    );
+    bench_with_setup(
+        "wavefront+barrier",
+        || Grid::new(n),
+        |grid| {
+            run_wavefront(&grid, threads);
+        },
+    );
     for g_size in [1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::new("pipelined", g_size), &g_size, |b, &gs| {
-            b.iter_batched(
-                || Grid::new(n),
-                |grid| run_pipelined(&grid, threads, 8, gs),
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        bench_with_setup(
+            &format!("pipelined/{g_size}"),
+            || Grid::new(n),
+            |grid| {
+                run_pipelined(&grid, threads, 8, g_size);
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_fft(c: &mut Criterion) {
+fn bench_fft() {
     let n = 1 << 13;
-    let x: Vec<Complex> =
-        (0..n).map(|i| Complex::new((i as f64 * 0.013).sin(), (i as f64 * 0.007).cos())).collect();
-    let mut g = c.benchmark_group(format!("fft_{n}pts"));
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
-    g.sample_size(10);
+    let x: Vec<Complex> = (0..n)
+        .map(|i| Complex::new((i as f64 * 0.013).sin(), (i as f64 * 0.007).cos()))
+        .collect();
+    group(&format!("fft_{n}pts"));
 
     for workers in [1usize, 4] {
-        for sync in [PhaseSync::Pairwise, PhaseSync::GlobalCounter, PhaseSync::GlobalDissemination] {
-            g.bench_with_input(
-                BenchmarkId::new(sync.name(), workers),
-                &workers,
-                |b, &w| b.iter(|| parallel_fft(&x, w, sync)),
-            );
+        for sync in [PhaseSync::Pairwise, PhaseSync::GlobalCounter, PhaseSync::GlobalDissemination]
+        {
+            bench(&format!("{}/{workers}", sync.name()), || {
+                std::hint::black_box(parallel_fft(&x, workers, sync));
+            });
         }
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_relaxation, bench_fft);
-criterion_main!(benches);
+fn main() {
+    bench_relaxation();
+    bench_fft();
+}

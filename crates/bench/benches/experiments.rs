@@ -1,40 +1,27 @@
-//! Criterion wrappers around the per-figure experiment harnesses, so
-//! `cargo bench` regenerates every table of the paper reproduction and
-//! prints it once per run.
+//! Wrapper around the per-figure experiment harnesses, so `cargo bench`
+//! regenerates every table of the paper reproduction and prints it once
+//! per run, then times the cheap harnesses.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::sync::Once;
-use std::time::Duration;
+use datasync_bench::harness::{bench, group};
 
-static PRINT_TABLES: Once = Once::new();
+fn main() {
+    println!("\n================ paper reproduction tables ================\n");
+    for table in datasync_bench::run_all(true) {
+        println!("{table}");
+    }
+    println!("============================================================\n");
 
-/// Prints all experiment tables once (the primary artifact of
-/// `cargo bench`), then times the cheap harnesses.
-fn bench_experiments(c: &mut Criterion) {
-    PRINT_TABLES.call_once(|| {
-        println!("\n================ paper reproduction tables ================\n");
-        for table in datasync_bench::run_all(true) {
-            println!("{table}");
-        }
-        println!("============================================================\n");
+    group("experiments");
+    bench("e1_dependence_analysis", || {
+        std::hint::black_box(datasync_bench::fig2::run());
     });
-
-    let mut g = c.benchmark_group("experiments");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
-    g.sample_size(10);
-
-    g.bench_function("e1_dependence_analysis", |b| b.iter(datasync_bench::fig2::run));
-    g.bench_function("e2_scheme_comparison_n24", |b| {
-        b.iter(|| datasync_bench::fig3::comparison(24, 4, 8))
+    bench("e2_scheme_comparison_n24", || {
+        std::hint::black_box(datasync_bench::fig3::comparison(24, 4, 8));
     });
-    g.bench_function("e6_pipeline_n17", |b| {
-        b.iter(|| datasync_bench::fig51::run_experiment(17, 4, 24, &[1, 4]))
+    bench("e6_pipeline_n17", || {
+        std::hint::black_box(datasync_bench::fig51::run_experiment(17, 4, 24, &[1, 4]));
     });
-    g.bench_function("e9_barriers_p8", |b| {
-        b.iter(|| datasync_bench::fig54::run_experiment(&[8], 6))
+    bench("e9_barriers_p8", || {
+        std::hint::black_box(datasync_bench::fig54::run_experiment(&[8], 6));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

@@ -1,96 +1,77 @@
-//! Criterion micro-benchmarks of the real-thread primitives:
-//! process-counter operations and barrier episodes.
+//! Micro-benchmarks of the real-thread primitives: process-counter
+//! operations and barrier episodes. Plain `main` on the in-tree harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use datasync_core::barrier::{ButterflyBarrier, CounterBarrier, DisseminationBarrier, PhaseBarrier};
+use datasync_bench::harness::{bench, bench_with_setup, group};
+use datasync_core::barrier::{
+    ButterflyBarrier, CounterBarrier, DisseminationBarrier, PhaseBarrier,
+};
 use datasync_core::handle::ProcessHandle;
 use datasync_core::pc::PcPool;
-use std::time::Duration;
 
-fn bench_pc_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pc_primitives");
-    g.measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+fn bench_pc_ops() {
+    group("pc_primitives");
 
-    g.bench_function("mark+transfer (uncontended)", |b| {
-        b.iter_batched(
-            || PcPool::new(16),
-            |pool| {
-                let mut h = ProcessHandle::load_index(&pool, 0);
+    bench_with_setup(
+        "mark+transfer (uncontended)",
+        || PcPool::new(16),
+        |pool| {
+            let mut h = ProcessHandle::load_index(&pool, 0);
+            h.mark_pc(1);
+            h.mark_pc(2);
+            h.transfer_pc();
+        },
+    );
+
+    let pool = PcPool::new(16);
+    pool.set_pc(3, 5);
+    bench("wait_pc satisfied", || pool.wait_pc(4, 1, 3));
+
+    bench_with_setup(
+        "handoff chain x1000",
+        || PcPool::new(8),
+        |pool| {
+            for pid in 0..1000u64 {
+                let mut h = ProcessHandle::load_index(&pool, pid);
                 h.mark_pc(1);
-                h.mark_pc(2);
                 h.transfer_pc();
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
-
-    g.bench_function("wait_pc satisfied", |b| {
-        let pool = PcPool::new(16);
-        pool.set_pc(3, 5);
-        b.iter(|| pool.wait_pc(4, 1, 3));
-    });
-
-    g.bench_function("handoff chain x1000", |b| {
-        b.iter_batched(
-            || PcPool::new(8),
-            |pool| {
-                for pid in 0..1000u64 {
-                    let mut h = ProcessHandle::load_index(&pool, pid);
-                    h.mark_pc(1);
-                    h.transfer_pc();
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
-    g.finish();
+            }
+        },
+    );
 }
 
-fn bench_barriers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("barrier_100_episodes");
-    g.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
-    g.sample_size(10);
+fn bench_barriers() {
+    group("barrier_100_episodes");
 
-    for p in [2usize, 4, 8] {
-        let run = |barrier: &dyn PhaseBarrier| {
-            std::thread::scope(|s| {
-                for pid in 0..p {
-                    s.spawn(move || {
-                        for _ in 0..100 {
-                            barrier.wait(pid);
-                        }
-                    });
-                }
-            });
-        };
-        g.bench_with_input(BenchmarkId::new("butterfly", p), &p, |b, &p| {
-            b.iter_batched(
-                || ButterflyBarrier::new(p),
-                |bar| run(&bar),
-                criterion::BatchSize::SmallInput,
-            );
-        });
-        g.bench_with_input(BenchmarkId::new("dissemination", p), &p, |b, &p| {
-            b.iter_batched(
-                || DisseminationBarrier::new(p),
-                |bar| run(&bar),
-                criterion::BatchSize::SmallInput,
-            );
-        });
-        g.bench_with_input(BenchmarkId::new("counter", p), &p, |b, &p| {
-            b.iter_batched(
-                || CounterBarrier::new(p),
-                |bar| run(&bar),
-                criterion::BatchSize::SmallInput,
-            );
+    fn run(barrier: &dyn PhaseBarrier, p: usize) {
+        std::thread::scope(|s| {
+            for pid in 0..p {
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        barrier.wait(pid);
+                    }
+                });
+            }
         });
     }
-    g.finish();
+
+    for p in [2usize, 4, 8] {
+        bench_with_setup(
+            &format!("butterfly/{p}"),
+            || ButterflyBarrier::new(p),
+            |bar| run(&bar, p),
+        );
+        bench_with_setup(
+            &format!("dissemination/{p}"),
+            || DisseminationBarrier::new(p),
+            |bar| run(&bar, p),
+        );
+        bench_with_setup(&format!("counter/{p}"), || CounterBarrier::new(p), |bar| run(&bar, p));
+    }
 }
 
 /// The E4 story on real threads: one slow iteration; statement counters
 /// serialize every later iteration's update, process counters do not.
-fn bench_sc_vs_pc_skew(c: &mut Criterion) {
+fn bench_sc_vs_pc_skew() {
     use datasync_core::sc::ScPool;
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -107,44 +88,41 @@ fn bench_sc_vs_pc_skew(c: &mut Criterion) {
         }
     };
 
-    let mut g = c.benchmark_group("skewed_chain_real_threads");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
-    g.sample_size(10);
+    group("skewed_chain_real_threads");
 
-    g.bench_function("statement-counters", |b| {
-        b.iter(|| {
-            let scs = ScPool::new(1);
-            let next = AtomicU64::new(0);
-            std::thread::scope(|s| {
-                for _ in 0..threads {
-                    let (scs, next) = (&scs, &next);
-                    s.spawn(move || loop {
-                        let pid = next.fetch_add(1, Ordering::Relaxed);
-                        if pid >= n {
-                            return;
-                        }
-                        scs.await_sc(0, pid, 4);
-                        slow(pid);
-                        scs.advance(0, pid); // serial handoff
-                    });
-                }
-            });
-        });
-    });
-
-    g.bench_function("process-counters", |b| {
-        b.iter(|| {
-            datasync_core::doacross::Doacross::new(n).threads(threads).pcs(16).run(
-                |pid, ctx| {
-                    ctx.wait(4, 1);
+    bench("statement-counters", || {
+        let scs = ScPool::new(1);
+        let next = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let (scs, next) = (&scs, &next);
+                s.spawn(move || loop {
+                    let pid = next.fetch_add(1, Ordering::Relaxed);
+                    if pid >= n {
+                        return;
+                    }
+                    scs.await_sc(0, pid, 4);
                     slow(pid);
-                    ctx.mark(1); // independent per-iteration mark
-                },
-            );
+                    scs.advance(0, pid); // serial handoff
+                });
+            }
         });
     });
-    g.finish();
+
+    bench("process-counters", || {
+        datasync_core::doacross::Doacross::new(n)
+            .threads(threads)
+            .pcs(16)
+            .run(|pid, ctx| {
+                ctx.wait(4, 1);
+                slow(pid);
+                ctx.mark(1); // independent per-iteration mark
+            });
+    });
 }
 
-criterion_group!(benches, bench_pc_ops, bench_barriers, bench_sc_vs_pc_skew);
-criterion_main!(benches);
+fn main() {
+    bench_pc_ops();
+    bench_barriers();
+    bench_sc_vs_pc_skew();
+}

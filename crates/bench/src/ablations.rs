@@ -24,10 +24,9 @@ pub fn banked_memory(n: i64, procs: usize, x: usize) -> Table {
         &format!("scheme comparison, bus-held vs 8-bank memory (N={n}, P={procs})"),
         &["memory", "scheme", "makespan", "speedup", "util %", "violations"],
     );
-    for (model, label) in [
-        (MemoryModel::BusHeld, "bus-held"),
-        (MemoryModel::Banked { banks: 8 }, "8 banks"),
-    ] {
+    for (model, label) in
+        [(MemoryModel::BusHeld, "bus-held"), (MemoryModel::Banked { banks: 8 }, "8 banks")]
+    {
         let base = MachineConfig { memory_model: model, ..MachineConfig::with_processors(procs) };
         for r in compare_all(&nest, &graph, &space, &base, x).expect("simulation failed") {
             t.row(vec![
@@ -97,9 +96,7 @@ pub fn x_to_p_grid(n: i64, ps: &[usize], ratios: &[usize]) -> Table {
         for &ratio in ratios {
             let x = (p * ratio).max(1);
             let compiled = ProcessOriented::new(x).compile(&nest, &graph, &space);
-            let out = compiled
-                .run(&MachineConfig::with_processors(p))
-                .expect("simulation failed");
+            let out = compiled.run(&MachineConfig::with_processors(p)).expect("simulation failed");
             assert!(compiled.validate(&out).is_empty());
             t.row(vec![
                 p.to_string(),
@@ -126,8 +123,7 @@ pub fn dispatch_cost(n: i64, procs: usize, costs: &[u32]) -> Table {
         &["dispatch latency (cy)", "makespan", "util %"],
     );
     for &c in costs {
-        let config =
-            MachineConfig { dispatch_latency: c, ..MachineConfig::with_processors(procs) };
+        let config = MachineConfig { dispatch_latency: c, ..MachineConfig::with_processors(procs) };
         let out = compiled.run(&config).expect("simulation failed");
         t.row(vec![
             c.to_string(),
@@ -193,9 +189,7 @@ pub fn unroll_sweep(n: i64, procs: usize, factors: &[u32]) -> Table {
         let graph = analyze(&nest);
         let space = IterSpace::of(&nest);
         let compiled = ProcessOriented::new(2 * procs).compile(&nest, &graph, &space);
-        let out = compiled
-            .run(&MachineConfig::with_processors(procs))
-            .expect("simulation failed");
+        let out = compiled.run(&MachineConfig::with_processors(procs)).expect("simulation failed");
         let plan_steps = datasync_loopir::plan::SyncPlan::build(
             &nest,
             &datasync_loopir::covering::reduce(&nest, &graph).linearized(&space),
@@ -237,10 +231,7 @@ mod tests {
     fn tighter_polling_costs_more_polls_for_a_single_waiter() {
         let t = super::spin_retry(6, &[1, 16]);
         let polls = |waiters: &str, retry: &str| -> u64 {
-            t.rows
-                .iter()
-                .find(|r| r[0].starts_with(waiters) && r[1] == retry)
-                .unwrap()[3]
+            t.rows.iter().find(|r| r[0].starts_with(waiters) && r[1] == retry).unwrap()[3]
                 .parse()
                 .unwrap()
         };

@@ -1,0 +1,4 @@
+//! R1: scheme degradation matrix under deterministic fault injection.
+fn main() {
+    println!("{}", datasync_bench::robustness::degradation(24, 4, &[0, 25, 50, 75], 1989));
+}

@@ -66,7 +66,8 @@ pub fn fft_experiment(n: usize, workers: &[usize]) -> Table {
         &["workers", "sync", "time (ms)", "max error vs sequential"],
     );
     for &w in workers {
-        for sync in [PhaseSync::Pairwise, PhaseSync::GlobalDissemination, PhaseSync::GlobalCounter] {
+        for sync in [PhaseSync::Pairwise, PhaseSync::GlobalDissemination, PhaseSync::GlobalCounter]
+        {
             // Warm-up + best-of-3 to de-noise.
             let mut best = f64::INFINITY;
             let mut err = 0.0;
@@ -77,7 +78,12 @@ pub fn fft_experiment(n: usize, workers: &[usize]) -> Table {
                 best = best.min(dt);
                 err = max_error(&out, &reference);
             }
-            t.row(vec![w.to_string(), sync.name().into(), format!("{best:.2}"), format!("{err:.1e}")]);
+            t.row(vec![
+                w.to_string(),
+                sync.name().into(),
+                format!("{best:.2}"),
+                format!("{err:.1e}"),
+            ]);
         }
     }
     t.note("All policies must agree bit-for-bit with the sequential FFT (error 0).");

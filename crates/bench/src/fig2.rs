@@ -36,8 +36,7 @@ mod tests {
     fn reproduces_paper_graph() {
         let t = super::run();
         assert_eq!(t.rows.len(), 7);
-        let covered: Vec<&Vec<String>> =
-            t.rows.iter().filter(|r| r[3] == "covered").collect();
+        let covered: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[3] == "covered").collect();
         assert_eq!(covered.len(), 2);
         assert!(t.rows.iter().any(|r| r[0] == "S1 -> S2" && r[2] == "2" && r[1] == "flow"));
     }

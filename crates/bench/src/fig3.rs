@@ -20,8 +20,17 @@ pub fn comparison(n: i64, procs: usize, x: usize) -> Table {
         "E2-E3 / Fig 3.1-3.2",
         &format!("all schemes on the Fig 2.1 loop (N={n}, P={procs}, X={x})"),
         &[
-            "scheme", "sync vars", "init ops", "extra cells", "makespan", "speedup",
-            "util %", "data tx", "polls", "broadcasts", "violations",
+            "scheme",
+            "sync vars",
+            "init ops",
+            "extra cells",
+            "makespan",
+            "speedup",
+            "util %",
+            "data tx",
+            "polls",
+            "broadcasts",
+            "violations",
         ],
     );
     for r in rows {
@@ -65,12 +74,7 @@ pub fn storage_scaling(ns: &[i64], procs: usize, x: usize) -> Table {
         }
     }
     for (scheme, vars) in per_scheme {
-        t.row(vec![
-            scheme,
-            vars[0].to_string(),
-            vars[1].to_string(),
-            vars[2].to_string(),
-        ]);
+        t.row(vec![scheme, vars[0].to_string(), vars[1].to_string(), vars[2].to_string()]);
     }
     t.note(format!("N values: {ns:?}. Keys grow linearly with N; SCs and PCs are constant."));
     t

@@ -77,7 +77,13 @@ pub fn p_sweep(n: usize, cell_cost: u32, procs: &[usize]) -> Table {
     let mut t = Table::new(
         "E6b / Fig 5.1 scaling",
         &format!("relaxation {n}x{n}: speedup vs processors (G=1)"),
-        &["P", "wavefront makespan", "pipelined makespan", "wavefront speedup", "pipelined speedup"],
+        &[
+            "P",
+            "wavefront makespan",
+            "pipelined makespan",
+            "wavefront speedup",
+            "pipelined speedup",
+        ],
     );
     let serial = {
         let x = 2;
@@ -126,7 +132,9 @@ mod tests {
     fn pipelined_wins_and_g_reduces_broadcasts() {
         let t = super::run_experiment(17, 4, 24, &[1, 4]);
         let get = |name_prefix: &str, col: usize| -> u64 {
-            t.rows.iter().find(|r| r[0].starts_with(name_prefix)).unwrap()[col].parse().unwrap()
+            t.rows.iter().find(|r| r[0].starts_with(name_prefix)).unwrap()[col]
+                .parse()
+                .unwrap()
         };
         assert!(get("pipelined Doacross, G=1", 1) < get("wavefront", 1));
         assert!(get("pipelined Doacross, G=4", 3) < get("pipelined Doacross, G=1", 3));
@@ -138,8 +146,7 @@ mod tests {
             "1 SC must be far slower than N-1 SCs"
         );
         assert!(
-            get("statement-oriented pipeline, 16 SCs", 1)
-                >= get("pipelined Doacross, G=1", 1) / 2,
+            get("statement-oriented pipeline, 16 SCs", 1) >= get("pipelined Doacross, G=1", 1) / 2,
             "N-1 SCs roughly matches the PC pipeline"
         );
         for r in &t.rows {

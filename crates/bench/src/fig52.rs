@@ -21,7 +21,9 @@ pub fn run_experiment(n: i64, m: i64, procs: usize) -> Table {
 
     let mut t = Table::new(
         "E7 / Fig 5.2",
-        &format!("doubly-nested Doacross (N={n}, M={m}, P={procs}): linearized pids vs boundary checks"),
+        &format!(
+            "doubly-nested Doacross (N={n}, M={m}, P={procs}): linearized pids vs boundary checks"
+        ),
         &["scheme", "boundary charge", "makespan", "sync vars", "util %", "violations"],
     );
     let mut add = |scheme: &dyn Scheme, charge: &str| {

@@ -26,7 +26,8 @@ pub fn run_experiment(n: i64, procs: usize) -> Table {
     let schemes: Vec<Box<dyn Scheme>> =
         vec![Box::new(ProcessOriented::new(2 * procs)), Box::new(StatementOriented::new())];
     for s in schemes {
-        let r = report_for(s.as_ref(), &nest, &graph, &space, &base, None).expect("simulation failed");
+        let r =
+            report_for(s.as_ref(), &nest, &graph, &space, &base, None).expect("simulation failed");
         t.row(vec![
             r.scheme,
             r.sync_vars.to_string(),

@@ -13,8 +13,8 @@ fn measure(
     transport: SyncTransport,
 ) -> (u64, u64, u64, usize) {
     let w = barrier_workload(procs, episodes, kind, |p, e| 20 + ((p * 7 + e * 3) % 8) as u32);
-    let out = run(&MachineConfig::with_processors(procs).transport(transport), &w)
-        .expect("sim failed");
+    let out =
+        run(&MachineConfig::with_processors(procs).transport(transport), &w).expect("sim failed");
     let violations = barrier_violations(&out.trace, procs, episodes);
     (out.stats.makespan, out.stats.spin_polls, out.stats.data_transactions, violations)
 }
@@ -67,10 +67,10 @@ mod tests {
         };
         assert!(find("16", "butterfly", "Dedicated") < find("16", "counter", "SharedMemory"));
         // The hot-spot grows faster than the butterfly with P.
-        let growth_counter =
-            find("16", "counter", "SharedMemory") as f64 / find("4", "counter", "SharedMemory") as f64;
-        let growth_butterfly =
-            find("16", "butterfly", "Dedicated") as f64 / find("4", "butterfly", "Dedicated") as f64;
+        let growth_counter = find("16", "counter", "SharedMemory") as f64
+            / find("4", "counter", "SharedMemory") as f64;
+        let growth_butterfly = find("16", "butterfly", "Dedicated") as f64
+            / find("4", "butterfly", "Dedicated") as f64;
         assert!(
             growth_counter > growth_butterfly,
             "counter growth {growth_counter:.2} should exceed butterfly {growth_butterfly:.2}"

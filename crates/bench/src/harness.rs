@@ -1,0 +1,84 @@
+//! A tiny timing harness so `cargo bench` needs no external crates.
+//!
+//! The `[[bench]]` targets in this crate are plain `fn main()` programs
+//! (`harness = false`): each calls [`bench`] (or [`bench_with_setup`])
+//! per case, which warms up, takes a fixed number of wall-clock samples,
+//! and prints the median with min/max spread. The point of these targets
+//! is shape (who wins, how things scale), not statistics, so a median
+//! over a handful of samples is enough; the experiment *tables* carry
+//! the reproducible numbers (simulated cycles, which are exact).
+
+use std::time::{Duration, Instant};
+
+/// Default samples per benchmark case.
+pub const SAMPLES: usize = 10;
+
+/// Times `f` (after two warm-up calls) and prints one result line.
+///
+/// Returns the median duration so callers can assert shapes.
+pub fn bench<F: FnMut()>(name: &str, mut f: F) -> Duration {
+    bench_with_setup(name, || (), |()| f())
+}
+
+/// Like [`bench`], but rebuilds the input with `setup` outside the timed
+/// region of every sample (the criterion `iter_batched` pattern).
+pub fn bench_with_setup<T, S, F>(name: &str, mut setup: S, mut f: F) -> Duration
+where
+    S: FnMut() -> T,
+    F: FnMut(T),
+{
+    for _ in 0..2 {
+        f(setup());
+    }
+    let mut samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let input = setup();
+            let start = Instant::now();
+            f(input);
+            start.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<44} median {:>12} (min {}, max {})",
+        fmt(median),
+        fmt(samples[0]),
+        fmt(samples[samples.len() - 1]),
+    );
+    median
+}
+
+/// Formats a duration with an adaptive unit.
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} us", ns as f64 / 1_000.0)
+    } else {
+        format!("{:.1} ms", ns as f64 / 1_000_000.0)
+    }
+}
+
+/// Prints a group header, mirroring criterion's group labels.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_positive_and_setup_untimed() {
+        let d = bench_with_setup(
+            "harness-self-test",
+            || std::hint::black_box(vec![0u8; 16]),
+            |v| {
+                std::hint::black_box(v.len());
+            },
+        );
+        assert!(d <= Duration::from_secs(1));
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`ex5`] | E10 — FFT phases: pairwise vs global barrier (sim + threads) |
 //! | [`sec6`] | E11 — sync-bus traffic and write coalescing |
 //! | [`ablations`] | A1-A4 — memory model, spin retry, X:P ratio, dispatch cost |
+//! | [`robustness`] | R1 — scheme degradation under deterministic fault injection |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -30,6 +31,8 @@ pub mod fig51;
 pub mod fig52;
 pub mod fig53;
 pub mod fig54;
+pub mod harness;
+pub mod robustness;
 pub mod sec6;
 pub mod table;
 
@@ -60,5 +63,6 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         ablations::dispatch_cost(n, 4, &[0, 2, 8, 16]),
         ablations::schedule_order(n, 4, 8),
         ablations::unroll_sweep(n, 4, &[1, 2, 4, 8]),
+        robustness::degradation(if quick { 10 } else { 24 }, 4, &[0, 25, 50, 75], 1989),
     ]
 }

@@ -23,8 +23,13 @@ pub fn run_experiment(n: i64, procs: usize) -> Table {
         "E11 / Sec 6",
         &format!("sync-bus traffic and write coalescing (Fig 2.1 loop, N={n}, P={procs})"),
         &[
-            "sync bus latency", "coalescing", "broadcasts", "saved", "data tx",
-            "sync/data ratio", "makespan",
+            "sync bus latency",
+            "coalescing",
+            "broadcasts",
+            "saved",
+            "data tx",
+            "sync/data ratio",
+            "makespan",
         ],
     );
     for bus_latency in [1u32, 24] {

@@ -52,7 +52,8 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
         let _ = writeln!(out, "| {} |", self.headers.join(" | "));
-        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ =
+            writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
         for r in &self.rows {
             let _ = writeln!(out, "| {} |", r.join(" | "));
         }

@@ -52,8 +52,13 @@ impl Parsed {
     ///
     /// # Errors
     ///
-    /// Rejects unparsable values.
+    /// Rejects unparsable values, and `--key` given with no value (a
+    /// trailing value-option parses as a bare switch otherwise, silently
+    /// falling back to the default).
     pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        if self.has(key) {
+            return Err(format!("--{key} requires a value"));
+        }
         match self.options.get(key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),

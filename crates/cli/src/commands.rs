@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Parsed;
+use crate::CliError;
 use datasync_loopir::analysis::analyze as analyze_deps;
 use datasync_loopir::covering::reduce;
 use datasync_loopir::ir::LoopNest;
@@ -19,8 +20,8 @@ use std::fmt::Write as _;
 /// Builds the selected example loop, or parses one from `--file`.
 fn build_loop(p: &Parsed) -> Result<LoopNest, String> {
     if let Some(path) = p.get("file") {
-        let source = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read '{path}': {e}"))?;
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
         return datasync_loopir::parse::parse_loop(&source).map_err(|e| e.to_string());
     }
     let n = p.get_u64("n", 48)? as i64;
@@ -36,6 +37,12 @@ fn build_loop(p: &Parsed) -> Result<LoopNest, String> {
 
 /// Builds the selected scheme.
 fn build_scheme(p: &Parsed, procs: usize, x: usize) -> Result<Box<dyn Scheme>, String> {
+    if procs == 0 {
+        return Err("--procs must be at least 1".into());
+    }
+    if x == 0 {
+        return Err("--x must be at least 1".into());
+    }
     Ok(match p.get("scheme").unwrap_or("process") {
         "process" => Box::new(ProcessOriented::new(x)),
         "process-basic" => Box::new(ProcessOriented::basic(x)),
@@ -55,7 +62,7 @@ fn build_scheme(p: &Parsed, procs: usize, x: usize) -> Result<Box<dyn Scheme>, S
 }
 
 /// `datasync analyze`.
-pub fn analyze(p: &Parsed) -> Result<String, String> {
+pub fn analyze(p: &Parsed) -> Result<String, CliError> {
     p.expect_only(&["loop", "file", "n", "m", "dot"])?;
     let nest = build_loop(p)?;
     let space = IterSpace::of(&nest);
@@ -98,7 +105,7 @@ pub fn analyze(p: &Parsed) -> Result<String, String> {
 }
 
 /// `datasync simulate`.
-pub fn simulate(p: &Parsed) -> Result<String, String> {
+pub fn simulate(p: &Parsed) -> Result<String, CliError> {
     p.expect_only(&["loop", "file", "n", "m", "scheme", "procs", "x", "banks", "timeline"])?;
     let nest = build_loop(p)?;
     let procs = p.get_u64("procs", 4)? as usize;
@@ -118,7 +125,7 @@ pub fn simulate(p: &Parsed) -> Result<String, String> {
         memory_model,
         ..MachineConfig::with_processors(procs)
     };
-    let out = compiled.run(&config).map_err(|e| e.to_string())?;
+    let out = compiled.run(&config)?;
     let violations = compiled.validate(&out);
 
     let mut text = String::new();
@@ -129,7 +136,12 @@ pub fn simulate(p: &Parsed) -> Result<String, String> {
         space.count(),
         compiled.storage.vars
     );
-    let _ = writeln!(text, "makespan: {} cycles   utilization: {:.1}%", out.stats.makespan, out.stats.utilization() * 100.0);
+    let _ = writeln!(
+        text,
+        "makespan: {} cycles   utilization: {:.1}%",
+        out.stats.makespan,
+        out.stats.utilization() * 100.0
+    );
     let _ = writeln!(
         text,
         "busy: {}   spin: {}   data tx: {}   broadcasts: {}   polls: {}",
@@ -150,16 +162,18 @@ pub fn simulate(p: &Parsed) -> Result<String, String> {
 }
 
 /// `datasync compare`.
-pub fn compare(p: &Parsed) -> Result<String, String> {
+pub fn compare(p: &Parsed) -> Result<String, CliError> {
     p.expect_only(&["loop", "file", "n", "m", "procs", "x"])?;
     let nest = build_loop(p)?;
     let procs = p.get_u64("procs", 4)? as usize;
     let x = p.get_u64("x", 2 * procs as u64)? as usize;
+    if procs == 0 || x == 0 {
+        return Err("--procs and --x must be at least 1".into());
+    }
     let graph = analyze_deps(&nest);
     let space = IterSpace::of(&nest);
     let base = MachineConfig::with_processors(procs);
-    let rows = datasync_schemes::compare::compare_all(&nest, &graph, &space, &base, x)
-        .map_err(|e| e.to_string())?;
+    let rows = datasync_schemes::compare::compare_all(&nest, &graph, &space, &base, x)?;
     let mut text = String::new();
     let _ = writeln!(
         text,
@@ -170,14 +184,58 @@ pub fn compare(p: &Parsed) -> Result<String, String> {
         let _ = writeln!(
             text,
             "{:<34} {:>9} {:>9} {:>8.2} {:>7.1} {:>10}",
-            r.scheme, r.sync_vars, r.makespan, r.speedup, r.utilization * 100.0, r.violations
+            r.scheme,
+            r.sync_vars,
+            r.makespan,
+            r.speedup,
+            r.utilization * 100.0,
+            r.violations
         );
     }
     Ok(text)
 }
 
+/// `datasync robustness`.
+pub fn robustness(p: &Parsed) -> Result<String, CliError> {
+    p.expect_only(&["n", "procs", "seed", "max-cycles"])?;
+    let n = p.get_u64("n", 16)? as i64;
+    let procs = p.get_u64("procs", 4)? as usize;
+    let seed = p.get_u64("seed", 1989)?;
+    let max_cycles = p.get_u64("max-cycles", 3_000_000)?;
+    if max_cycles == 0 {
+        return Err("--max-cycles must be at least 1".into());
+    }
+    let base = MachineConfig { max_cycles, ..MachineConfig::with_processors(procs) };
+    base.validate().map_err(datasync_sim::SimError::BadConfig)?;
+    let intensities = [0u8, 25, 50, 75];
+    let matrix = datasync_schemes::robustness::sweep(n, &base, &intensities, seed);
+    let tally = datasync_schemes::robustness::Tally::of(&matrix);
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "degradation matrix — {} iterations, {procs} processors, fault seed {seed}",
+        n
+    );
+    let _ = writeln!(
+        text,
+        "cells: ok = completed & validated (rN = worst recovery latency), \
+         DEADLOCK = detected, TIMEOUT = hit {max_cycles} cycles, VIOLATED = order broken\n"
+    );
+    text.push_str(&datasync_schemes::robustness::render(&matrix));
+    let _ = writeln!(
+        text,
+        "\n{} runs classified: {} ok, {} deadlocked, {} timed out, {} violated",
+        tally.total(),
+        tally.ok,
+        tally.deadlock,
+        tally.timeout,
+        tally.violated
+    );
+    Ok(text)
+}
+
 /// `datasync wavefront`.
-pub fn wavefront(p: &Parsed) -> Result<String, String> {
+pub fn wavefront(p: &Parsed) -> Result<String, CliError> {
     p.expect_only(&["loop", "file", "n", "m"])?;
     let nest = build_loop(p)?;
     if nest.depth() != 2 {
@@ -212,14 +270,15 @@ pub fn wavefront(p: &Parsed) -> Result<String, String> {
 }
 
 /// `datasync unroll`.
-pub fn unroll(p: &Parsed) -> Result<String, String> {
+pub fn unroll(p: &Parsed) -> Result<String, CliError> {
     p.expect_only(&["loop", "file", "n", "factor"])?;
     let nest = build_loop(p)?;
     let factor = p.get_u64("factor", 4)? as u32;
     if !datasync_loopir::transform::can_unroll(&nest, factor) {
         return Err(format!(
             "cannot unroll this loop by {factor} (needs a singly-nested, branch-free loop with a divisible iteration count)"
-        ));
+        )
+        .into());
     }
     let un = datasync_loopir::transform::unroll(&nest, factor);
     let graph = reduce(&un, &analyze_deps(&un));
@@ -239,7 +298,7 @@ pub fn unroll(p: &Parsed) -> Result<String, String> {
 }
 
 /// `datasync reproduce`.
-pub fn reproduce(p: &Parsed) -> Result<String, String> {
+pub fn reproduce(p: &Parsed) -> Result<String, CliError> {
     p.expect_only(&["quick", "markdown"])?;
     let mut text = String::new();
     for table in datasync_bench::run_all(p.has("quick")) {

@@ -1,6 +1,6 @@
 //! The `datasync` command-line tool: analyze loops, simulate them under
-//! every synchronization scheme, compare schemes, and regenerate the
-//! paper's experiment tables.
+//! every synchronization scheme, compare schemes, stress them with fault
+//! injection, and regenerate the paper's experiment tables.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -9,55 +9,117 @@ pub mod args;
 mod commands;
 
 use args::Parsed;
+use datasync_sim::SimError;
 
 /// Usage text printed on argument errors.
 pub const USAGE: &str = "\
 datasync — Su & Yew (ISCA 1989) data-synchronization toolkit
 
 USAGE:
-  datasync analyze   [--loop L] [--n N] [--m M] [--dot]
+  datasync analyze    [--loop L] [--n N] [--m M] [--dot]
       Dependence analysis, covering, the Doacross transformation listing,
       and the profitability decision for a loop.
-  datasync simulate  [--loop L] [--n N] [--m M] [--scheme S] [--procs P]
-                     [--x X] [--banks B] [--timeline]
+  datasync simulate   [--loop L] [--n N] [--m M] [--scheme S] [--procs P]
+                      [--x X] [--banks B] [--timeline]
       Run the loop on the simulated multiprocessor under one scheme.
-  datasync compare   [--loop L] [--n N] [--m M] [--procs P] [--x X]
+  datasync compare    [--loop L] [--n N] [--m M] [--procs P] [--x X]
       Run the loop under every scheme and print the comparison table.
-  datasync wavefront [--loop L] [--n N] [--m M]
+  datasync robustness [--n N] [--procs P] [--seed S] [--max-cycles C]
+      Sweep every scheme across every fault class and intensity; print
+      the degradation matrix (ok / DEADLOCK / TIMEOUT / VIOLATED).
+  datasync wavefront  [--loop L] [--n N] [--m M]
       Derive the wavefront (skewing) schedule of a depth-2 loop.
-  datasync unroll    [--loop L] [--n N] [--factor U]
+  datasync unroll     [--loop L] [--n N] [--factor U]
       Unroll a loop and show the re-synchronized Doacross listing.
-  datasync reproduce [--quick] [--markdown]
+  datasync reproduce  [--quick] [--markdown]
       Regenerate every experiment table of the paper reproduction.
 
 LOOPS (--loop): fig21 (default) | relaxation | nested | branches,
   or --file <path> with the loop language (see datasync_loopir::parse)
 SCHEMES (--scheme): process (default) | process-basic | statement |
                     reference | instance | barrier-phased
+
+EXIT CODES: 0 success | 2 bad arguments or config | 3 deadlock detected |
+            4 simulation timed out
 ";
+
+/// A CLI failure: a user-facing message plus the process exit code.
+///
+/// Exit codes are part of the tool's contract (scripts branch on them):
+/// `2` for argument/config errors, `3` for a detected deadlock or
+/// livelock, `4` for a simulation that hit its cycle cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable description (multi-line for deadlocks: one line per
+    /// stuck processor).
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { message, code: 2 }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError { message: message.to_string(), code: 2 }
+    }
+}
+
+impl From<SimError> for CliError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::Deadlock { cycle, spinning, detail } => {
+                let mut message = format!("deadlock detected at cycle {cycle}; stuck processors:");
+                for (p, d) in spinning.iter().zip(&detail) {
+                    message.push_str(&format!("\n  P{p}: {d}"));
+                }
+                if detail.is_empty() {
+                    for p in &spinning {
+                        message.push_str(&format!("\n  P{p}"));
+                    }
+                }
+                CliError { message, code: 3 }
+            }
+            SimError::Timeout { max_cycles } => {
+                CliError { message: format!("simulation exceeded {max_cycles} cycles"), code: 4 }
+            }
+            SimError::BadConfig(msg) => {
+                CliError { message: format!("invalid machine config: {msg}"), code: 2 }
+            }
+        }
+    }
+}
 
 /// Runs the CLI; returns the text to print.
 ///
 /// # Errors
 ///
-/// Returns a user-facing message for bad arguments.
-pub fn run(argv: &[String]) -> Result<String, String> {
+/// Returns a [`CliError`] carrying the message and the exit code the
+/// process should use.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
     let parsed = Parsed::parse(argv)?;
     match parsed.command.as_str() {
         "analyze" => commands::analyze(&parsed),
         "simulate" => commands::simulate(&parsed),
         "compare" => commands::compare(&parsed),
+        "robustness" => commands::robustness(&parsed),
         "wavefront" => commands::wavefront(&parsed),
         "unroll" => commands::unroll(&parsed),
         "reproduce" => commands::reproduce(&parsed),
         "help" | "--help" => Ok(USAGE.to_string()),
-        other => Err(format!("unknown subcommand '{other}'")),
+        other => Err(format!("unknown subcommand '{other}'").into()),
     }
 }
 
 #[cfg(test)]
 mod tests {
-    fn run(words: &[&str]) -> Result<String, String> {
+    use super::CliError;
+
+    fn run(words: &[&str]) -> Result<String, CliError> {
         super::run(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
@@ -81,7 +143,9 @@ mod tests {
 
     #[test]
     fn simulate_every_scheme() {
-        for s in ["process", "process-basic", "statement", "reference", "instance", "barrier-phased"] {
+        for s in
+            ["process", "process-basic", "statement", "reference", "instance", "barrier-phased"]
+        {
             let out =
                 run(&["simulate", "--n", "16", "--scheme", s, "--procs", "4", "--x", "8"]).unwrap();
             assert!(out.contains("makespan"), "{s}: {out}");
@@ -111,6 +175,22 @@ mod tests {
     }
 
     #[test]
+    fn robustness_prints_matrix() {
+        let out = run(&["robustness", "--n", "8", "--procs", "4", "--seed", "7"]).unwrap();
+        assert!(out.contains("scheme"), "{out}");
+        assert!(out.contains("chaos"), "{out}");
+        assert!(out.contains("process-oriented"), "{out}");
+        assert!(out.contains("classified"), "{out}");
+    }
+
+    #[test]
+    fn robustness_is_deterministic() {
+        let a = run(&["robustness", "--n", "8", "--seed", "42"]).unwrap();
+        let b = run(&["robustness", "--n", "8", "--seed", "42"]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn errors_are_helpful() {
         assert!(run(&["bogus"]).is_err());
         assert!(run(&["simulate", "--scheme", "nope"]).is_err());
@@ -119,8 +199,42 @@ mod tests {
     }
 
     #[test]
+    fn argument_errors_exit_2() {
+        assert_eq!(run(&["bogus"]).unwrap_err().code, 2);
+        assert_eq!(run(&["simulate", "--scheme", "nope"]).unwrap_err().code, 2);
+        assert_eq!(run(&["simulate", "--procs", "0"]).unwrap_err().code, 2);
+        assert_eq!(run(&["compare", "--procs", "0"]).unwrap_err().code, 2);
+        assert_eq!(run(&["robustness", "--procs", "0"]).unwrap_err().code, 2);
+        assert_eq!(run(&["robustness", "--max-cycles", "0"]).unwrap_err().code, 2);
+        let e = run(&["robustness", "--seed"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("--seed requires a value"), "{}", e.message);
+    }
+
+    #[test]
+    fn sim_errors_map_to_distinct_exit_codes() {
+        use datasync_sim::SimError;
+        let d = CliError::from(SimError::Deadlock {
+            cycle: 99,
+            spinning: vec![1, 3],
+            detail: vec!["waiting V0 >= 5".into(), "retrying poll".into()],
+        });
+        assert_eq!(d.code, 3);
+        assert!(d.message.contains("P1: waiting V0 >= 5"), "{}", d.message);
+        assert!(d.message.contains("P3: retrying poll"));
+        let t = CliError::from(SimError::Timeout { max_cycles: 1000 });
+        assert_eq!(t.code, 4);
+        assert!(t.message.contains("1000"));
+        let b = CliError::from(SimError::BadConfig("no processors".into()));
+        assert_eq!(b.code, 2);
+    }
+
+    #[test]
     fn help_shows_usage() {
-        assert!(run(&["help"]).unwrap().contains("USAGE"));
+        let out = run(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("robustness"));
+        assert!(out.contains("EXIT CODES"));
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! The `datasync` command-line tool.
+//!
+//! Exit codes: `0` success, `2` bad arguments or machine config (usage is
+//! printed), `3` deadlock/livelock detected (stuck processors are
+//! listed), `4` simulation timed out.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match datasync_cli::run(&args) {
         Ok(output) => print!("{output}"),
-        Err(msg) => {
-            eprintln!("error: {msg}\n");
-            eprint!("{}", datasync_cli::USAGE);
-            std::process::exit(2);
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            if e.code == 2 {
+                eprintln!();
+                eprint!("{}", datasync_cli::USAGE);
+            }
+            std::process::exit(e.code);
         }
     }
 }

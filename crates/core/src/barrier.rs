@@ -9,7 +9,7 @@
 //! any processor count, and [`CounterBarrier`] is the centralized
 //! (hot-spot prone) baseline the butterfly is compared against.
 
-use crossbeam_utils::CachePadded;
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::wait::WaitStrategy;
@@ -75,12 +75,75 @@ impl ButterflyBarrier {
     ///
     /// Panics unless `p` is a power of two and `p >= 1`.
     pub fn with_strategy(p: usize, strategy: WaitStrategy) -> Self {
-        assert!(p >= 1 && p.is_power_of_two(), "butterfly barrier needs a power-of-two processor count");
+        assert!(
+            p >= 1 && p.is_power_of_two(),
+            "butterfly barrier needs a power-of-two processor count"
+        );
         Self {
             counters: (0..p).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
             log_p: p.trailing_zeros(),
             strategy,
         }
+    }
+
+    /// [`PhaseBarrier::wait`] with a deadline: `true` once every partner
+    /// round completed, `false` if some partner failed to arrive within
+    /// `timeout` — the library-user equivalent of the simulator's
+    /// deadlock detector for barrier episodes.
+    ///
+    /// # Episode poisoning
+    ///
+    /// The butterfly has no atomic read-modify-write to retract an
+    /// arrival: each round *stores* this processor's monotone counter
+    /// before waiting for the partner (the paper's single-writer
+    /// hardware argument). A wait that returns `false` has therefore
+    /// already published arrivals for the rounds it got through, and the
+    /// episode is **poisoned**: partners may legitimately observe this
+    /// processor as arrived and sail through, while this processor's
+    /// counter is now out of phase for any future episode. After a
+    /// `false` return the barrier must be discarded (and the computation
+    /// it guarded treated as failed) — re-entering `wait`,
+    /// `wait_timeout` or `try_wait` on a poisoned barrier may wedge or
+    /// let an episode leak.
+    pub fn wait_timeout(&self, pid: usize, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let base = self.counters[pid].load(Ordering::Relaxed);
+        for i in 0..self.log_p {
+            let round = base + u64::from(i) + 1;
+            self.counters[pid].store(round, Ordering::Release);
+            let partner = pid ^ (1usize << i);
+            let cell = &self.counters[partner];
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if !self
+                .strategy
+                .wait_until_timeout(|| cell.load(Ordering::Acquire) >= round, remaining)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Non-blocking barrier attempt: completes the episode (returning
+    /// `true`) only if every partner round is immediately satisfied.
+    ///
+    /// Like [`ButterflyBarrier::wait_timeout`], a `false` return has
+    /// already published this processor's arrival for the rounds it got
+    /// through and **poisons** the episode — see the episode-poisoning
+    /// discussion there. `try_wait` is a last-check probe ("has everyone
+    /// else already arrived?"), not a polling primitive: calling it in a
+    /// retry loop republishes arrivals and corrupts the phase.
+    pub fn try_wait(&self, pid: usize) -> bool {
+        let base = self.counters[pid].load(Ordering::Relaxed);
+        for i in 0..self.log_p {
+            let round = base + u64::from(i) + 1;
+            self.counters[pid].store(round, Ordering::Release);
+            let partner = pid ^ (1usize << i);
+            if self.counters[partner].load(Ordering::Acquire) < round {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -242,11 +305,11 @@ mod tests {
             for pid in 0..p {
                 let slots = &slots;
                 s.spawn(move || {
-                    for e in 0..episodes {
-                        slots[e].fetch_add(1, Ordering::SeqCst);
+                    for (e, slot) in slots.iter().enumerate() {
+                        slot.fetch_add(1, Ordering::SeqCst);
                         barrier.wait(pid);
                         assert_eq!(
-                            slots[e].load(Ordering::SeqCst),
+                            slot.load(Ordering::SeqCst),
                             p,
                             "{} barrier episode {e} leaked (pid {pid})",
                             barrier.name()
@@ -300,5 +363,58 @@ mod tests {
         ButterflyBarrier::new(1).wait(0);
         DisseminationBarrier::new(1).wait(0);
         CounterBarrier::new(1).wait(0);
+    }
+
+    #[test]
+    fn butterfly_wait_timeout_completes_full_episodes() {
+        let b = ButterflyBarrier::new(4);
+        std::thread::scope(|s| {
+            for pid in 0..4 {
+                let b = &b;
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        assert!(b.wait_timeout(pid, std::time::Duration::from_secs(60)));
+                    }
+                });
+            }
+        });
+        // Zero rounds for p == 1: trivially true even with a zero deadline.
+        assert!(ButterflyBarrier::new(1).wait_timeout(0, std::time::Duration::ZERO));
+    }
+
+    #[test]
+    fn butterfly_wait_timeout_detects_missing_partner() {
+        let b = ButterflyBarrier::new(2);
+        let t0 = std::time::Instant::now();
+        assert!(
+            !b.wait_timeout(0, std::time::Duration::from_millis(5)),
+            "partner 1 never arrives: the episode must time out"
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+        // The timed-out wait already published pid 0's arrival (the
+        // poisoning documented on wait_timeout): the late partner is
+        // released by it, but the barrier must now be discarded.
+        b.wait(1);
+    }
+
+    #[test]
+    fn butterfly_try_wait_is_a_last_check_probe() {
+        // p == 1: no rounds, always true.
+        assert!(ButterflyBarrier::new(1).try_wait(0));
+        let b = ButterflyBarrier::new(2);
+        std::thread::scope(|s| {
+            let b = &b;
+            s.spawn(move || b.wait(1));
+            // Wait until the partner has published its arrival, then the
+            // probe both succeeds and releases the partner.
+            while b.counters[1].load(Ordering::Acquire) < 1 {
+                std::hint::spin_loop();
+            }
+            assert!(b.try_wait(0));
+        });
+        // A fresh episode with an absent partner: the probe fails (and
+        // per its contract this barrier is now poisoned).
+        let b = ButterflyBarrier::new(2);
+        assert!(!b.try_wait(0));
     }
 }

@@ -313,11 +313,15 @@ mod tests {
     fn basic_primitives_chain_ordered() {
         let n = 200u64;
         let log = Mutex::new(Vec::new());
-        Doacross::new(n).threads(4).pcs(4).primitives(Primitives::Basic).run(|pid, ctx| {
-            ctx.wait(1, 1);
-            log.lock().unwrap().push(pid);
-            ctx.mark(1);
-        });
+        Doacross::new(n)
+            .threads(4)
+            .pcs(4)
+            .primitives(Primitives::Basic)
+            .run(|pid, ctx| {
+                ctx.wait(1, 1);
+                log.lock().unwrap().push(pid);
+                ctx.mark(1);
+            });
         let log = log.into_inner().unwrap();
         assert_eq!(log.len(), n as usize);
         assert!(log.windows(2).all(|w| w[0] < w[1]));

@@ -7,8 +7,8 @@
 //! the storage: a [`KeyTable`] holds one atomic per touched element,
 //! versus the `X` counters of [`crate::pc::PcPool`].
 
+use crate::pad::CachePadded;
 use crate::wait::WaitStrategy;
-use crossbeam_utils::CachePadded;
 use datasync_loopir::ir::{ArrayId, LoopNest};
 use datasync_loopir::ranks::{ordered_accesses, AccessRanks};
 use datasync_loopir::space::IterSpace;
@@ -45,7 +45,14 @@ impl KeyTable {
     /// Waits for an access's turn; returns a guard-like token meaning the
     /// access may proceed (call [`KeyTable::done`] afterwards). `None`
     /// when the access needs no synchronization.
-    pub fn acquire(&self, pid: u64, stmt: datasync_loopir::ir::StmtId, pos: usize, array: ArrayId, element: &[i64]) -> Option<usize> {
+    pub fn acquire(
+        &self,
+        pid: u64,
+        stmt: datasync_loopir::ir::StmtId,
+        pos: usize,
+        array: ArrayId,
+        element: &[i64],
+    ) -> Option<usize> {
         let rank = self.ranks.rank(pid, stmt, pos)?;
         let key = self.ranks.key(array, element).expect("ranked access must have a key");
         let cell = &*self.keys[key];

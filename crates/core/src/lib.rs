@@ -51,18 +51,20 @@ pub mod barrier;
 pub mod doacross;
 pub mod handle;
 pub mod keys;
+pub mod pad;
 pub mod pc;
-pub mod sc;
 pub mod phased;
 pub mod planexec;
+pub mod sc;
 pub mod wait;
 
 pub use barrier::{ButterflyBarrier, CounterBarrier, DisseminationBarrier, PhaseBarrier};
 pub use doacross::{Doacross, Primitives, ProcessCtx};
 pub use handle::ProcessHandle;
 pub use keys::KeyTable;
+pub use pad::CachePadded;
 pub use pc::{PcPool, PcValue};
-pub use sc::ScPool;
 pub use phased::{PhaseSync, Phased};
 pub use planexec::{run_nest, run_plan, SharedArrayStore};
+pub use sc::ScPool;
 pub use wait::WaitStrategy;

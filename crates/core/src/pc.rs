@@ -15,8 +15,8 @@
 //! visible before its completion is signalled (requirement (1) of
 //! Section 2.2).
 
+use crate::pad::CachePadded;
 use crate::wait::WaitStrategy;
-use crossbeam_utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A process-counter value `<owner, step>`.
@@ -182,18 +182,21 @@ impl PcPool {
     /// `timeout` elapses. Returns `true` on success — a `false` usually
     /// means a missing `mark_PC`/`transfer_PC` upstream (the library-user
     /// equivalent of the simulator's deadlock detector).
-    pub fn wait_pc_timeout(&self, pid: u64, dist: u64, step: u32, timeout: std::time::Duration) -> bool {
-        if self.try_wait_pc(pid, dist, step) {
+    pub fn wait_pc_timeout(
+        &self,
+        pid: u64,
+        dist: u64,
+        step: u32,
+        timeout: std::time::Duration,
+    ) -> bool {
+        if dist > pid {
             return true;
         }
-        let deadline = std::time::Instant::now() + timeout;
-        while std::time::Instant::now() < deadline {
-            if self.try_wait_pc(pid, dist, step) {
-                return true;
-            }
-            std::hint::spin_loop();
-        }
-        false
+        let target = pid - dist;
+        let threshold = PcValue::new(target, step).pack();
+        let cell = &self.pcs[self.index_of(target)];
+        self.strategy
+            .wait_until_timeout(|| cell.load(Ordering::Acquire) >= threshold, timeout)
     }
 
     /// `true` if process `pid` currently owns its slot.
@@ -311,5 +314,20 @@ mod tests {
         assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
         pool.set_pc(2, 5);
         assert!(pool.wait_pc_timeout(3, 1, 5, std::time::Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn wait_timeout_honours_every_strategy() {
+        use crate::wait::WaitStrategy;
+        for s in
+            [WaitStrategy::Spin, WaitStrategy::SpinThenYield { spins: 4 }, WaitStrategy::Backoff]
+        {
+            let pool = PcPool::with_strategy(4, s);
+            // Boundary waits never consult the clock.
+            assert!(pool.wait_pc_timeout(1, 2, 9, std::time::Duration::ZERO));
+            assert!(!pool.wait_pc_timeout(2, 1, 3, std::time::Duration::from_millis(2)));
+            pool.set_pc(1, 3);
+            assert!(pool.wait_pc_timeout(2, 1, 3, std::time::Duration::ZERO));
+        }
     }
 }

@@ -11,8 +11,8 @@
 //! policy so the two can be compared on identical work.
 
 use crate::barrier::{ButterflyBarrier, CounterBarrier, DisseminationBarrier, PhaseBarrier};
+use crate::pad::CachePadded;
 use crate::wait::WaitStrategy;
-use crossbeam_utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Synchronization policy between phases.

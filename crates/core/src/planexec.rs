@@ -51,13 +51,16 @@ where
     }
 }
 
+/// One shard of [`SharedArrayStore`]: `(array, element)` → value.
+type Shard = Mutex<HashMap<(ArrayId, Vec<i64>), u64>>;
+
 /// A sharded concurrent array store with the same read/write semantics as
 /// [`ArrayStore`]. Reads of unwritten elements return the deterministic
 /// init value; correct synchronization (not the store's locks) is what
 /// makes each read see the right write.
 #[derive(Debug)]
 pub struct SharedArrayStore {
-    shards: Vec<Mutex<HashMap<(ArrayId, Vec<i64>), u64>>>,
+    shards: Vec<Shard>,
 }
 
 impl SharedArrayStore {
@@ -66,7 +69,7 @@ impl SharedArrayStore {
         Self { shards: (0..64).map(|_| Mutex::new(HashMap::new())).collect() }
     }
 
-    fn shard(&self, array: ArrayId, element: &[i64]) -> &Mutex<HashMap<(ArrayId, Vec<i64>), u64>> {
+    fn shard(&self, array: ArrayId, element: &[i64]) -> &Shard {
         let mut h = datasync_loopir::exec::mix2(array.0 as u64, element.len() as u64);
         for &e in element {
             h = datasync_loopir::exec::mix2(h, e as u64);
@@ -141,10 +144,8 @@ pub fn run_nest(exec: &Doacross, nest: &LoopNest, plan: &SyncPlan) -> ArrayStore
                 IterOp::Exec(s) => {
                     // Mirror of `execute_stmt` against the shared store.
                     let stmt = nest.stmt(s);
-                    let reads: Vec<u64> = stmt
-                        .reads()
-                        .map(|r| store.read(r.array, &r.element(&indices)))
-                        .collect();
+                    let reads: Vec<u64> =
+                        stmt.reads().map(|r| store.read(r.array, &r.element(&indices))).collect();
                     let v = datasync_loopir::exec::stmt_value(stmt, &indices, &reads);
                     for w in stmt.writes() {
                         store.write(w.array, w.element(&indices), v);

@@ -9,8 +9,8 @@
 //! "vertical" sharing avoids). Counters store `last_advanced + 1`
 //! (initially 0) so 0-based iteration ids need no signed values.
 
+use crate::pad::CachePadded;
 use crate::wait::WaitStrategy;
-use crossbeam_utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A pool of statement counters.
@@ -81,6 +81,61 @@ impl ScPool {
         let threshold = pid - dist + 1;
         let cell = &*self.scs[sc];
         self.strategy.wait_until(|| cell.load(Ordering::Acquire) >= threshold);
+    }
+
+    /// Non-blocking probe of [`ScPool::advance`]: records iteration
+    /// `pid`'s advance if every earlier iteration has already advanced,
+    /// returning `false` (without waiting) otherwise.
+    pub fn try_advance(&self, sc: usize, pid: u64) -> bool {
+        let cell = &*self.scs[sc];
+        if cell.load(Ordering::Acquire) != pid {
+            return false;
+        }
+        cell.store(pid + 1, Ordering::Release);
+        true
+    }
+
+    /// Non-blocking probe of [`ScPool::await_sc`]: `true` when the wait
+    /// would return immediately.
+    pub fn try_await_sc(&self, sc: usize, pid: u64, dist: u64) -> bool {
+        if dist > pid {
+            return true;
+        }
+        self.scs[sc].load(Ordering::Acquire) > pid - dist
+    }
+
+    /// [`ScPool::advance`] with a deadline. Returns `true` once the
+    /// advance is recorded; a `false` means some earlier iteration never
+    /// advanced this counter within `timeout` — the library-user
+    /// equivalent of the simulator's deadlock detector.
+    pub fn advance_timeout(&self, sc: usize, pid: u64, timeout: std::time::Duration) -> bool {
+        let cell = &*self.scs[sc];
+        if !self
+            .strategy
+            .wait_until_timeout(|| cell.load(Ordering::Acquire) == pid, timeout)
+        {
+            return false;
+        }
+        cell.store(pid + 1, Ordering::Release);
+        true
+    }
+
+    /// [`ScPool::await_sc`] with a deadline: `true` when the awaited
+    /// iteration advanced before `timeout` elapsed.
+    pub fn await_sc_timeout(
+        &self,
+        sc: usize,
+        pid: u64,
+        dist: u64,
+        timeout: std::time::Duration,
+    ) -> bool {
+        if dist > pid {
+            return true;
+        }
+        let threshold = pid - dist + 1;
+        let cell = &*self.scs[sc];
+        self.strategy
+            .wait_until_timeout(|| cell.load(Ordering::Acquire) >= threshold, timeout)
     }
 
     /// Current value (last advanced iteration + 1).
@@ -162,5 +217,37 @@ mod tests {
     #[should_panic(expected = "at least one statement counter")]
     fn empty_pool_panics() {
         let _ = ScPool::new(0);
+    }
+
+    #[test]
+    fn try_variants_probe_without_blocking() {
+        let scs = ScPool::new(1);
+        assert!(scs.try_await_sc(0, 0, 2), "boundary awaits are trivially satisfied");
+        assert!(!scs.try_await_sc(0, 1, 1), "iteration 0 has not advanced yet");
+        assert!(!scs.try_advance(0, 1), "iteration 1 may not advance before iteration 0");
+        assert!(scs.try_advance(0, 0));
+        assert!(scs.try_await_sc(0, 1, 1));
+        assert!(scs.try_advance(0, 1));
+        assert_eq!(scs.load(0), 2);
+    }
+
+    #[test]
+    fn timeout_variants_detect_missing_advances() {
+        let scs = ScPool::new(1);
+        let t0 = std::time::Instant::now();
+        assert!(
+            !scs.await_sc_timeout(0, 2, 1, std::time::Duration::from_millis(5)),
+            "iteration 1 never advances: the await must time out"
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+        assert!(
+            !scs.advance_timeout(0, 3, std::time::Duration::from_millis(5)),
+            "iterations 0..3 never advanced: the advance must time out"
+        );
+        // The failed advance must not have disturbed the counter.
+        assert_eq!(scs.load(0), 0);
+        assert!(scs.advance_timeout(0, 0, std::time::Duration::ZERO));
+        assert!(scs.await_sc_timeout(0, 1, 1, std::time::Duration::ZERO));
+        assert!(scs.await_sc_timeout(0, 0, 4, std::time::Duration::ZERO), "boundary: immediate");
     }
 }

@@ -32,6 +32,66 @@ impl Default for WaitStrategy {
 }
 
 impl WaitStrategy {
+    /// Busy-waits until `cond` returns `true` or `timeout` elapses.
+    ///
+    /// Returns `true` if the condition held before the deadline. The
+    /// deadline is checked between condition probes, so the same pacing
+    /// (spin / yield / backoff) applies as in [`WaitStrategy::wait_until`];
+    /// an already-true condition never consults the clock.
+    pub fn wait_until_timeout(self, cond: impl Fn() -> bool, timeout: std::time::Duration) -> bool {
+        if cond() {
+            return true;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        match self {
+            WaitStrategy::Spin => loop {
+                if cond() {
+                    return true;
+                }
+                if std::time::Instant::now() >= deadline {
+                    return false;
+                }
+                hint::spin_loop();
+            },
+            WaitStrategy::SpinThenYield { spins } => {
+                let mut n = 0u32;
+                loop {
+                    if cond() {
+                        return true;
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        return false;
+                    }
+                    if n < spins {
+                        hint::spin_loop();
+                        n += 1;
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+            }
+            WaitStrategy::Backoff => {
+                let mut shift = 0u32;
+                loop {
+                    if cond() {
+                        return true;
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        return false;
+                    }
+                    if shift < 10 {
+                        for _ in 0..(1u32 << shift) {
+                            hint::spin_loop();
+                        }
+                        shift += 1;
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
     /// Busy-waits until `cond` returns `true`.
     pub fn wait_until(self, cond: impl Fn() -> bool) {
         match self {
@@ -83,7 +143,8 @@ mod tests {
 
     #[test]
     fn waits_for_condition() {
-        for s in [WaitStrategy::Spin, WaitStrategy::SpinThenYield { spins: 4 }, WaitStrategy::Backoff]
+        for s in
+            [WaitStrategy::Spin, WaitStrategy::SpinThenYield { spins: 4 }, WaitStrategy::Backoff]
         {
             let flag = Arc::new(AtomicBool::new(false));
             let f2 = Arc::clone(&flag);
@@ -102,5 +163,44 @@ mod tests {
         let n = AtomicU32::new(0);
         WaitStrategy::Spin.wait_until(|| n.fetch_add(1, Ordering::Relaxed) >= 10);
         assert!(n.load(Ordering::Relaxed) >= 10);
+    }
+
+    #[test]
+    fn timeout_expires_on_never_true_condition() {
+        for s in
+            [WaitStrategy::Spin, WaitStrategy::SpinThenYield { spins: 4 }, WaitStrategy::Backoff]
+        {
+            let t0 = std::time::Instant::now();
+            let ok = s.wait_until_timeout(|| false, std::time::Duration::from_millis(5));
+            assert!(!ok, "{s:?}: a never-true condition must time out");
+            assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn timeout_returns_immediately_when_already_true() {
+        for s in [WaitStrategy::Spin, WaitStrategy::default(), WaitStrategy::Backoff] {
+            assert!(s.wait_until_timeout(|| true, std::time::Duration::ZERO));
+        }
+    }
+
+    #[test]
+    fn timeout_observes_late_satisfaction() {
+        for s in
+            [WaitStrategy::Spin, WaitStrategy::SpinThenYield { spins: 4 }, WaitStrategy::Backoff]
+        {
+            let flag = Arc::new(AtomicBool::new(false));
+            let f2 = Arc::clone(&flag);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                f2.store(true, Ordering::Release);
+            });
+            let ok = s.wait_until_timeout(
+                || flag.load(Ordering::Acquire),
+                std::time::Duration::from_secs(60),
+            );
+            assert!(ok, "{s:?}: condition satisfied well before the deadline");
+            t.join().unwrap();
+        }
     }
 }

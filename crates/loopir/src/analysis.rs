@@ -98,13 +98,11 @@ fn solve_system(depth: usize, rows: Vec<(Vec<i64>, i64)>) -> Solve {
         .collect();
     let mut pivot_of_col: Vec<Option<usize>> = vec![None; depth];
     let mut pivot_rows: Vec<usize> = Vec::new();
-    for col in 0..depth {
-        let Some(pr) = (0..m.len())
-            .find(|&r| !pivot_rows.contains(&r) && m[r].0[col] != 0)
-        else {
+    for (col, pivot_slot) in pivot_of_col.iter_mut().enumerate() {
+        let Some(pr) = (0..m.len()).find(|&r| !pivot_rows.contains(&r) && m[r].0[col] != 0) else {
             continue;
         };
-        pivot_of_col[col] = Some(pr);
+        *pivot_slot = Some(pr);
         pivot_rows.push(pr);
         let (pc, _) = (m[pr].0[col], m[pr].1);
         for r in 0..m.len() {
@@ -186,10 +184,8 @@ fn kind_of(first: AccessKind, second: AccessKind) -> Option<DepKind> {
 pub fn analyze(nest: &LoopNest) -> DepGraph {
     let depth = nest.depth();
     // Flatten (stmt, ref) instances in textual order.
-    let insts: Vec<(StmtId, &ArrayRef)> = nest
-        .stmts()
-        .flat_map(|s| s.refs.iter().map(move |r| (s.id, r)))
-        .collect();
+    let insts: Vec<(StmtId, &ArrayRef)> =
+        nest.stmts().flat_map(|s| s.refs.iter().map(move |r| (s.id, r))).collect();
 
     let mut deps: Vec<Dep> = Vec::new();
     let mut push = |d: Dep| {
@@ -350,7 +346,11 @@ mod tests {
         // A[2I] vs A[2I+1]: parity proves no conflict.
         let a = ArrayId(0);
         let nest = LoopNestBuilder::new(1, 100)
-            .stmt("S1", 1, vec![ArrayRef::new(a, AccessKind::Write, vec![LinExpr::new(vec![2], 0)])])
+            .stmt(
+                "S1",
+                1,
+                vec![ArrayRef::new(a, AccessKind::Write, vec![LinExpr::new(vec![2], 0)])],
+            )
             .stmt("S2", 1, vec![ArrayRef::new(a, AccessKind::Read, vec![LinExpr::new(vec![2], 1)])])
             .build();
         assert!(analyze(&nest).deps().is_empty());
@@ -374,7 +374,11 @@ mod tests {
         // A[2I] vs A[I]: conflicts at varying distances -> SerialChain arcs.
         let a = ArrayId(0);
         let nest = LoopNestBuilder::new(1, 100)
-            .stmt("S1", 1, vec![ArrayRef::new(a, AccessKind::Write, vec![LinExpr::new(vec![2], 0)])])
+            .stmt(
+                "S1",
+                1,
+                vec![ArrayRef::new(a, AccessKind::Write, vec![LinExpr::new(vec![2], 0)])],
+            )
             .stmt("S2", 1, vec![ArrayRef::new(a, AccessKind::Read, vec![LinExpr::new(vec![1], 0)])])
             .build();
         let g = analyze(&nest);
@@ -391,20 +395,36 @@ mod tests {
             .stmt(
                 "S1",
                 1,
-                vec![ArrayRef::new(a, AccessKind::Write, vec![LinExpr::index(0, 0), LinExpr::index(1, 0)])],
+                vec![ArrayRef::new(
+                    a,
+                    AccessKind::Write,
+                    vec![LinExpr::index(0, 0), LinExpr::index(1, 0)],
+                )],
             )
             .stmt(
                 "S2",
                 1,
                 vec![
-                    ArrayRef::new(b, AccessKind::Write, vec![LinExpr::index(0, 0), LinExpr::index(1, 0)]),
-                    ArrayRef::new(a, AccessKind::Read, vec![LinExpr::index(0, 0), LinExpr::index(1, -1)]),
+                    ArrayRef::new(
+                        b,
+                        AccessKind::Write,
+                        vec![LinExpr::index(0, 0), LinExpr::index(1, 0)],
+                    ),
+                    ArrayRef::new(
+                        a,
+                        AccessKind::Read,
+                        vec![LinExpr::index(0, 0), LinExpr::index(1, -1)],
+                    ),
                 ],
             )
             .stmt(
                 "S3",
                 1,
-                vec![ArrayRef::new(b, AccessKind::Read, vec![LinExpr::index(0, -1), LinExpr::index(1, -1)])],
+                vec![ArrayRef::new(
+                    b,
+                    AccessKind::Read,
+                    vec![LinExpr::index(0, -1), LinExpr::index(1, -1)],
+                )],
             )
             .build();
         let g = analyze(&nest);
@@ -481,7 +501,10 @@ mod tests {
         assert_eq!(s, Solve::NoConflict);
         assert_eq!(solve_system(1, vec![(vec![2], 4)]), Solve::Unique(vec![2]));
         assert_eq!(solve_system(2, vec![(vec![1, 0], 3)]), Solve::Family);
-        assert_eq!(solve_system(2, vec![(vec![1, 0], 3), (vec![0, 1], -1)]), Solve::Unique(vec![3, -1]));
+        assert_eq!(
+            solve_system(2, vec![(vec![1, 0], 3), (vec![0, 1], -1)]),
+            Solve::Unique(vec![3, -1])
+        );
         assert_eq!(solve_system(1, vec![(vec![0], 5)]), Solve::NoConflict);
     }
 }

@@ -79,7 +79,9 @@ pub fn reduce_with(nest: &LoopNest, graph: &DepGraph, limits: CoverLimits) -> De
     // Candidates: carried vector arcs, largest distances first (the larger
     // an arc, the more likely a multi-arc path covers it).
     let mut order: Vec<usize> = (0..remaining.len())
-        .filter(|&i| remaining[i].is_carried() && matches!(remaining[i].distance, Distance::Vector(_)))
+        .filter(|&i| {
+            remaining[i].is_carried() && matches!(remaining[i].distance, Distance::Vector(_))
+        })
         .collect();
     order.sort_by_key(|&i| {
         std::cmp::Reverse(match &remaining[i].distance {
@@ -267,7 +269,8 @@ mod tests {
             2,
             vec![dep(0, 0, DepKind::Output, vec![1]), dep(0, 1, DepKind::Flow, vec![5])],
         );
-        let r = reduce_with(&flat_nest(2), &g, CoverLimits { max_path_len: 8, max_expansions: 1000 });
+        let r =
+            reduce_with(&flat_nest(2), &g, CoverLimits { max_path_len: 8, max_expansions: 1000 });
         // No path u->...->v other than the arc itself: both kept.
         assert_eq!(r.deps().len(), 2);
     }
@@ -284,9 +287,10 @@ mod tests {
             ],
         );
         let r = reduce(&flat_nest(2), &g);
-        assert!(!r.deps().iter().any(
-            |d| d.src.0 == 0 && d.dst.0 == 1 && d.distance == Distance::Vector(vec![3])
-        ));
+        assert!(!r
+            .deps()
+            .iter()
+            .any(|d| d.src.0 == 0 && d.dst.0 == 1 && d.distance == Distance::Vector(vec![3])));
     }
 
     #[test]
@@ -294,7 +298,7 @@ mod tests {
         // u (top level) -> c (in a branch arm) -> v: the path through c
         // must NOT cover u -> v, because c may not execute in the middle
         // iteration.
-        use crate::ir::{LoopNestBuilder};
+        use crate::ir::LoopNestBuilder;
         let nest = LoopNestBuilder::new(1, 8)
             .stmt("u", 1, vec![])
             .branch(vec![vec![("c", 1, vec![])], vec![("c2", 1, vec![])]])

@@ -98,8 +98,7 @@ impl ArrayStore {
 
 /// Executes one statement instance against a store.
 pub fn execute_stmt(stmt: &Stmt, indices: &[i64], store: &mut ArrayStore) -> u64 {
-    let reads: Vec<u64> =
-        stmt.reads().map(|r| store.read(r.array, &r.element(indices))).collect();
+    let reads: Vec<u64> = stmt.reads().map(|r| store.read(r.array, &r.element(indices))).collect();
     let v = stmt_value(stmt, indices, &reads);
     for w in stmt.writes() {
         store.write(w.array, w.element(indices), v);

@@ -292,11 +292,8 @@ impl DepGraph {
                 Distance::Vector(v) => format!("{v:?}"),
                 Distance::SerialChain => "*".to_string(),
             };
-            let _ = writeln!(
-                out,
-                "  s{} -> s{} [label=\"{label}\", style={style}];",
-                d.src.0, d.dst.0
-            );
+            let _ =
+                writeln!(out, "  s{} -> s{} [label=\"{label}\", style={style}];", d.src.0, d.dst.0);
         }
         out.push_str("}\n");
         out

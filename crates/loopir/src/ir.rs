@@ -319,7 +319,8 @@ impl LoopNest {
 
     /// Distinct arrays referenced by the nest, ascending.
     pub fn arrays(&self) -> Vec<ArrayId> {
-        let mut ids: Vec<ArrayId> = self.stmts().flat_map(|s| s.refs.iter().map(|r| r.array)).collect();
+        let mut ids: Vec<ArrayId> =
+            self.stmts().flat_map(|s| s.refs.iter().map(|r| r.array)).collect();
         ids.sort_unstable();
         ids.dedup();
         ids
@@ -371,7 +372,8 @@ impl LoopNestBuilder {
     pub fn stmt(mut self, label: &str, cost: u32, refs: Vec<ArrayRef>) -> Self {
         let id = StmtId(self.next_stmt);
         self.next_stmt += 1;
-        self.body.push(BodyItem::Stmt(Stmt { id, label: label.to_string(), cost, refs }));
+        self.body
+            .push(BodyItem::Stmt(Stmt { id, label: label.to_string(), cost, refs }));
         self
     }
 

@@ -63,8 +63,10 @@ pub use analysis::analyze;
 pub use covering::reduce;
 pub use exec::{run_sequential, ArrayStore};
 pub use graph::{Dep, DepGraph, DepKind, Distance};
-pub use ir::{AccessKind, ArrayId, ArrayRef, LinExpr, LoopDim, LoopNest, LoopNestBuilder, Stmt, StmtId};
+pub use ir::{
+    AccessKind, ArrayId, ArrayRef, LinExpr, LoopDim, LoopNest, LoopNestBuilder, Stmt, StmtId,
+};
 pub use plan::{IterOp, PcOp, SyncPlan, WaitSpec};
 pub use profit::{analyze_doacross, DoacrossDecision};
-pub use wavefront::{wavefront_schedule, WavefrontSchedule};
 pub use space::IterSpace;
+pub use wavefront::{wavefront_schedule, WavefrontSchedule};

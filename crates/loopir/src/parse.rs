@@ -97,8 +97,6 @@ impl Ctx {
             }
             if !(ch == '+' && i > 0) {
                 cur.push(ch);
-            } else if i == 0 {
-                cur.push(ch);
             }
         }
         terms.push(cur);
@@ -112,16 +110,18 @@ impl Ctx {
             }
             let (coef, var) = match body.split_once('*') {
                 Some((c, v)) => {
-                    let c: i64 = c
-                        .parse()
-                        .map_err(|_| ParseError { line, message: format!("bad coefficient '{c}'") })?;
+                    let c: i64 = c.parse().map_err(|_| ParseError {
+                        line,
+                        message: format!("bad coefficient '{c}'"),
+                    })?;
                     (c, v.to_string())
                 }
                 None if body.chars().all(|c| c.is_ascii_digit()) => {
-                    offset += sign * body.parse::<i64>().map_err(|_| ParseError {
-                        line,
-                        message: format!("bad constant '{body}'"),
-                    })?;
+                    offset += sign
+                        * body.parse::<i64>().map_err(|_| ParseError {
+                            line,
+                            message: format!("bad constant '{body}'"),
+                        })?;
                     continue;
                 }
                 None => (1, body.to_string()),
@@ -135,7 +135,12 @@ impl Ctx {
     }
 
     /// Parses `name[expr, expr]` into a reference.
-    fn array_ref(&mut self, text: &str, kind: AccessKind, line: usize) -> Result<ArrayRef, ParseError> {
+    fn array_ref(
+        &mut self,
+        text: &str,
+        kind: AccessKind,
+        line: usize,
+    ) -> Result<ArrayRef, ParseError> {
         let text = text.trim();
         let Some(open) = text.find('[') else {
             return err(line, format!("expected 'name[subscripts]', got '{text}'"));
@@ -183,7 +188,11 @@ fn split_top(text: &str, sep: char) -> Vec<String> {
 }
 
 /// Parses a statement line `label: writes = reads [@cost]`.
-fn parse_stmt(ctx: &mut Ctx, text: &str, line: usize) -> Result<(String, u32, Vec<ArrayRef>), ParseError> {
+fn parse_stmt(
+    ctx: &mut Ctx,
+    text: &str,
+    line: usize,
+) -> Result<(String, u32, Vec<ArrayRef>), ParseError> {
     let Some((label, rest)) = text.split_once(':') else {
         return err(line, format!("expected 'label: ...', got '{text}'"));
     };
@@ -191,10 +200,10 @@ fn parse_stmt(ctx: &mut Ctx, text: &str, line: usize) -> Result<(String, u32, Ve
     let rest = rest.to_lowercase();
     let (body, cost) = match rest.rsplit_once('@') {
         Some((b, c)) => {
-            let cost: u32 = c.trim().parse().map_err(|_| ParseError {
-                line,
-                message: format!("bad cost '@{}'", c.trim()),
-            })?;
+            let cost: u32 = c
+                .trim()
+                .parse()
+                .map_err(|_| ParseError { line, message: format!("bad cost '@{}'", c.trim()) })?;
             (b, cost)
         }
         None => (rest.as_str(), 4),
@@ -321,9 +330,7 @@ pub fn parse_loop(source: &str) -> Result<LoopNest, ParseError> {
             Item::Branch(arms) => {
                 let arms_view: Vec<Vec<(&str, u32, Vec<ArrayRef>)>> = arms
                     .iter()
-                    .map(|arm| {
-                        arm.iter().map(|(l, c, r)| (l.as_str(), *c, r.clone())).collect()
-                    })
+                    .map(|arm| arm.iter().map(|(l, c, r)| (l.as_str(), *c, r.clone())).collect())
                     .collect();
                 b = b.branch(arms_view);
             }
@@ -331,10 +338,7 @@ pub fn parse_loop(source: &str) -> Result<LoopNest, ParseError> {
     }
     return Ok(b.build());
 
-    fn flush_stmts(
-        stmts: &mut Vec<(String, u32, Vec<ArrayRef>)>,
-        items: &mut Vec<Item>,
-    ) {
+    fn flush_stmts(stmts: &mut Vec<(String, u32, Vec<ArrayRef>)>, items: &mut Vec<Item>) {
         for (l, c, r) in stmts.drain(..) {
             items.push(Item::Stmt(l, c, r));
         }

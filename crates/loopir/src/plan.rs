@@ -136,9 +136,8 @@ impl SyncPlan {
                             .map(|s| steps[s.0].expect("source"))
                             .max()
                             .expect("non-empty");
-                        let transfers = last_source
-                            .map(|ls| branch_sources.contains(&ls))
-                            .unwrap_or(false);
+                        let transfers =
+                            last_source.map(|ls| branch_sources.contains(&ls)).unwrap_or(false);
                         let closing = if transfers { PcOp::Transfer } else { PcOp::Mark(m_max) };
                         for (arm_ix, arm) in b.arms.iter().enumerate() {
                             let arm_sources: Vec<StmtId> = arm
@@ -152,9 +151,7 @@ impl SyncPlan {
                                     // (early signaling); the arm's last
                                     // source closes with the escalated op.
                                     for &s in earlier {
-                                        post_ops[s.0].push(PcOp::Mark(
-                                            steps[s.0].expect("source"),
-                                        ));
+                                        post_ops[s.0].push(PcOp::Mark(steps[s.0].expect("source")));
                                     }
                                     post_ops[last_in_arm.0].push(closing);
                                 }
@@ -344,10 +341,7 @@ mod tests {
         let g = analyze(&nest);
         let plan = SyncPlan::build(&nest, &g);
         assert!(!plan.has_sync());
-        assert_eq!(
-            plan.iteration_ops(&nest, 3),
-            vec![IterOp::Exec(StmtId(0))]
-        );
+        assert_eq!(plan.iteration_ops(&nest, 3), vec![IterOp::Exec(StmtId(0))]);
     }
 
     #[test]

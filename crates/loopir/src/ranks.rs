@@ -19,6 +19,10 @@ pub fn ordered_accesses(stmt: &crate::ir::Stmt) -> Vec<&crate::ir::ArrayRef> {
     stmt.reads().chain(stmt.writes()).collect()
 }
 
+/// `(pid, stmt, access position)` → `(array, element, rank)` for every
+/// access, before filtering down to synchronized arrays.
+type RawRanks = HashMap<(u64, StmtId, usize), (ArrayId, Vec<i64>, u64)>;
+
 /// Ranks for one loop nest.
 #[derive(Debug, Clone)]
 pub struct AccessRanks {
@@ -60,7 +64,7 @@ impl AccessRanks {
     /// Computes ranks by walking the sequential access sequence.
     pub fn compute(nest: &LoopNest, space: &IterSpace) -> Self {
         let mut elems: HashMap<(ArrayId, Vec<i64>), ElementState> = HashMap::new();
-        let mut raw: HashMap<(u64, StmtId, usize), (ArrayId, Vec<i64>, u64)> = HashMap::new();
+        let mut raw: RawRanks = HashMap::new();
         for pid in 0..space.count() {
             let indices = space.indices(pid);
             for stmt in nest.executed_stmts(pid) {

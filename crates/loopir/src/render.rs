@@ -32,10 +32,18 @@ fn subscript(r: &ArrayRef, names: &[&str]) -> String {
 }
 
 fn stmt_line(s: &Stmt, names: &[&str]) -> String {
-    let writes: Vec<String> =
-        s.refs.iter().filter(|r| r.kind == AccessKind::Write).map(|r| subscript(r, names)).collect();
-    let reads: Vec<String> =
-        s.refs.iter().filter(|r| r.kind == AccessKind::Read).map(|r| subscript(r, names)).collect();
+    let writes: Vec<String> = s
+        .refs
+        .iter()
+        .filter(|r| r.kind == AccessKind::Write)
+        .map(|r| subscript(r, names))
+        .collect();
+    let reads: Vec<String> = s
+        .refs
+        .iter()
+        .filter(|r| r.kind == AccessKind::Read)
+        .map(|r| subscript(r, names))
+        .collect();
     let lhs = if writes.is_empty() { "...".to_string() } else { writes.join(", ") };
     let rhs = if reads.is_empty() { "...".to_string() } else { reads.join(" + ") };
     format!("{}: {lhs} = {rhs}  @{}", s.label, s.cost)

@@ -58,10 +58,7 @@ pub fn unroll(nest: &LoopNest, factor: u32) -> LoopNest {
                         .iter()
                         .map(|e| {
                             let a = e.coef(0);
-                            LinExpr::new(
-                                vec![a * f],
-                                e.offset + a * k + a * (1 - f) * dim.lower,
-                            )
+                            LinExpr::new(vec![a * f], e.offset + a * k + a * (1 - f) * dim.lower)
                         })
                         .collect(),
                 })
@@ -107,7 +104,7 @@ mod tests {
         let nest = fig21_loop(24);
         for factor in [1u32, 2, 3, 4, 6] {
             let un = unroll(&nest, factor);
-            assert_eq!(un.iter_count(), 24 / u64::from(factor) as u64);
+            assert_eq!(un.iter_count(), 24 / u64::from(factor));
             assert_eq!(un.n_stmts(), 5 * factor as usize);
             // Same set of elements is touched.
             let touched = |n: &LoopNest| {
@@ -156,23 +153,14 @@ mod tests {
     fn unrolling_cuts_sync_steps_per_original_iteration() {
         let nest = fig21_loop(48);
         let space = IterSpace::of(&nest);
-        let plan1 = SyncPlan::build(
-            &nest,
-            &reduce(&nest, &analyze(&nest)).linearized(&space),
-        );
+        let plan1 = SyncPlan::build(&nest, &reduce(&nest, &analyze(&nest)).linearized(&space));
         let un = unroll(&nest, 4);
         let space_u = IterSpace::of(&un);
-        let plan4 = SyncPlan::build(
-            &un,
-            &reduce(&un, &analyze(&un)).linearized(&space_u),
-        );
+        let plan4 = SyncPlan::build(&un, &reduce(&un, &analyze(&un)).linearized(&space_u));
         // Total PC updates across the whole loop: steps * iterations.
         let ops1 = u64::from(plan1.n_steps()) * space.count();
         let ops4 = u64::from(plan4.n_steps()) * space_u.count();
-        assert!(
-            ops4 < ops1,
-            "unrolling must cut total sync ops: {ops1} -> {ops4}"
-        );
+        assert!(ops4 < ops1, "unrolling must cut total sync ops: {ops1} -> {ops4}");
     }
 
     #[test]

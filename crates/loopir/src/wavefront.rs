@@ -59,12 +59,7 @@ pub fn wavefront_schedule(graph: &DepGraph, space: &IterSpace) -> Option<Wavefro
         }
     }
 
-    let bound = dists
-        .iter()
-        .map(|(a, b)| a.abs().max(b.abs()))
-        .max()
-        .unwrap_or(0)
-        .max(1)
+    let bound = dists.iter().map(|(a, b)| a.abs().max(b.abs())).max().unwrap_or(0).max(1)
         * (dists.len() as i64 + 1);
     let legal = |l1: i64, l2: i64| dists.iter().all(|&(d1, d2)| l1 * d1 + l2 * d2 >= 1);
 
@@ -152,8 +147,16 @@ mod tests {
                 "S",
                 1,
                 vec![
-                    ArrayRef::new(a, AccessKind::Write, vec![LinExpr::index(0, 0), LinExpr::index(1, 0)]),
-                    ArrayRef::new(a, AccessKind::Read, vec![LinExpr::index(0, -1), LinExpr::index(1, 1)]),
+                    ArrayRef::new(
+                        a,
+                        AccessKind::Write,
+                        vec![LinExpr::index(0, 0), LinExpr::index(1, 0)],
+                    ),
+                    ArrayRef::new(
+                        a,
+                        AccessKind::Read,
+                        vec![LinExpr::index(0, -1), LinExpr::index(1, 1)],
+                    ),
                 ],
             )
             .build();
@@ -202,10 +205,8 @@ mod tests {
                 distance: Distance::SerialChain,
             }],
         );
-        let space = IterSpace::new(vec![
-            crate::ir::LoopDim::new(1, 3),
-            crate::ir::LoopDim::new(1, 3),
-        ]);
+        let space =
+            IterSpace::new(vec![crate::ir::LoopDim::new(1, 3), crate::ir::LoopDim::new(1, 3)]);
         assert!(wavefront_schedule(&g, &space).is_none());
     }
 }

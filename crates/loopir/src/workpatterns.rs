@@ -149,7 +149,11 @@ pub fn example2_nested(n: i64, m: i64, cost: u32) -> LoopNest {
                     AccessKind::Read,
                     vec![LinExpr::index(0, -1), LinExpr::index(1, -1)],
                 ),
-                ArrayRef::new(R3, AccessKind::Write, vec![LinExpr::index(0, 0), LinExpr::index(1, 0)]),
+                ArrayRef::new(
+                    R3,
+                    AccessKind::Write,
+                    vec![LinExpr::index(0, 0), LinExpr::index(1, 0)],
+                ),
             ],
         )
         .build()
@@ -164,9 +168,7 @@ pub fn example3_branches(n: i64, cost: u32) -> LoopNest {
     LoopNestBuilder::new(1, n)
         .stmt("Sa", cost, vec![ArrayRef::simple(A, AccessKind::Write, 1)])
         .branch(vec![
-            vec![
-                ("Sb", cost, vec![ArrayRef::simple(R2, AccessKind::Write, 0)]),
-            ],
+            vec![("Sb", cost, vec![ArrayRef::simple(R2, AccessKind::Write, 0)])],
             vec![
                 ("Sc", cost, vec![ArrayRef::simple(R3, AccessKind::Write, 0)]),
                 ("Sd", cost, vec![ArrayRef::simple(B, AccessKind::Write, 2)]),
@@ -268,12 +270,8 @@ mod tests {
         let nest = example3_branches(30, 2);
         let g = analyze(&nest);
         // Sa (S1) writes A[I+1]; Se reads A[I-1]: flow distance 2.
-        assert!(g
-            .carried()
-            .any(|d| d.src.0 == 0 && d.linear_distance(&nest) == 2));
+        assert!(g.carried().any(|d| d.src.0 == 0 && d.linear_distance(&nest) == 2));
         // Sd writes B[I+2]; Se reads B[I]: flow distance 2 from inside arm.
-        assert!(g
-            .carried()
-            .any(|d| d.src.0 == 3 && d.linear_distance(&nest) == 2));
+        assert!(g.carried().any(|d| d.src.0 == 3 && d.linear_distance(&nest) == 2));
     }
 }

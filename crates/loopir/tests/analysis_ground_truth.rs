@@ -1,5 +1,5 @@
-//! Property test: the dependence analysis is checked against brute-force
-//! conflict enumeration over small loops.
+//! Property-style test: the dependence analysis is checked against
+//! brute-force conflict enumeration over small loops.
 //!
 //! Ground truth: two statement instances conflict when they touch the
 //! same array element and at least one writes it. The analysis is
@@ -7,12 +7,38 @@
 //! order implied by the dependence graph (arcs expanded over iterations,
 //! plus intra-iteration textual order) contains that pair in its
 //! transitive closure.
+//!
+//! Cases come from a seeded local splitmix64 stream (this crate sits
+//! below the simulator, so it carries its own copy of the three-line
+//! generator) — every run covers the same cases.
 
 use datasync_loopir::analysis::analyze;
 use datasync_loopir::graph::Distance;
 use datasync_loopir::ir::{AccessKind, ArrayId, ArrayRef, LinExpr, LoopNest, LoopNestBuilder};
 use datasync_loopir::space::IterSpace;
-use proptest::prelude::*;
+
+/// Minimal splitmix64 for seeded case generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo + 1) as u64) as i64
+    }
+}
+
+const CASES: usize = 120;
 
 /// A statement instance: (pid, stmt).
 type Inst = (u64, usize);
@@ -80,9 +106,12 @@ fn reaches(adj: &[Vec<Inst>], n_stmts: usize, from: Inst, to: Inst) -> bool {
 }
 
 /// Enumerates every conflicting ordered instance pair by brute force.
+/// One element touch: `(array, element, is_write)`.
+type Touch = (ArrayId, Vec<i64>, bool);
+
 fn brute_force_conflicts(nest: &LoopNest, space: &IterSpace) -> Vec<(Inst, Inst)> {
     // (sequential position, instance, element accesses)
-    let mut accesses: Vec<(Inst, Vec<(ArrayId, Vec<i64>, bool)>)> = Vec::new();
+    let mut accesses: Vec<(Inst, Vec<Touch>)> = Vec::new();
     for pid in 0..space.count() {
         let indices = space.indices(pid);
         for stmt in nest.executed_stmts(pid) {
@@ -113,90 +142,111 @@ fn brute_force_conflicts(nest: &LoopNest, space: &IterSpace) -> Vec<(Inst, Inst)
     pairs
 }
 
-/// Small random loops (depth 1 or 2) directly via proptest strategies.
-fn small_nest() -> impl Strategy<Value = LoopNest> {
-    let array_ref = (0..2usize, prop::bool::ANY, -2i64..=2)
-        .prop_map(|(a, w, off)| {
-            ArrayRef::simple(ArrayId(a), if w { AccessKind::Write } else { AccessKind::Read }, off)
-        });
-    let stmt_refs = prop::collection::vec(array_ref, 1..3);
-    (2i64..=7, prop::collection::vec(stmt_refs, 1..4)).prop_map(|(n, stmts)| {
-        let mut b = LoopNestBuilder::new(1, n);
-        for (i, refs) in stmts.into_iter().enumerate() {
-            b = b.stmt(&format!("S{i}"), 1, refs);
-        }
-        b.build()
-    })
+/// Small random loop (depth 1).
+fn small_nest(g: &mut Rng) -> LoopNest {
+    let n = g.range_i64(2, 7);
+    let n_stmts = g.below(3) as usize + 1;
+    let mut b = LoopNestBuilder::new(1, n);
+    for i in 0..n_stmts {
+        let n_refs = g.below(2) as usize + 1;
+        let refs = (0..n_refs)
+            .map(|_| {
+                ArrayRef::simple(
+                    ArrayId(g.below(2) as usize),
+                    if g.below(2) == 0 { AccessKind::Write } else { AccessKind::Read },
+                    g.range_i64(-2, 2),
+                )
+            })
+            .collect();
+        b = b.stmt(&format!("S{i}"), 1, refs);
+    }
+    b.build()
 }
 
-/// Depth-2 random loops with per-dimension offsets.
-fn small_nest_2d() -> impl Strategy<Value = LoopNest> {
-    let array_ref = (0..2usize, prop::bool::ANY, -1i64..=1, -1i64..=1).prop_map(|(a, w, o1, o2)| {
-        ArrayRef::new(
-            ArrayId(a),
-            if w { AccessKind::Write } else { AccessKind::Read },
-            vec![LinExpr::index(0, o1), LinExpr::index(1, o2)],
-        )
-    });
-    let stmt_refs = prop::collection::vec(array_ref, 1..3);
-    (2i64..=4, 2i64..=4, prop::collection::vec(stmt_refs, 1..3)).prop_map(|(n, m, stmts)| {
-        let mut b = LoopNestBuilder::new(1, n).inner(1, m);
-        for (i, refs) in stmts.into_iter().enumerate() {
-            b = b.stmt(&format!("S{i}"), 1, refs);
-        }
-        b.build()
-    })
+/// Depth-2 random loop with per-dimension offsets.
+fn small_nest_2d(g: &mut Rng) -> LoopNest {
+    let n = g.range_i64(2, 4);
+    let m = g.range_i64(2, 4);
+    let n_stmts = g.below(2) as usize + 1;
+    let mut b = LoopNestBuilder::new(1, n).inner(1, m);
+    for i in 0..n_stmts {
+        let n_refs = g.below(2) as usize + 1;
+        let refs = (0..n_refs)
+            .map(|_| {
+                ArrayRef::new(
+                    ArrayId(g.below(2) as usize),
+                    if g.below(2) == 0 { AccessKind::Write } else { AccessKind::Read },
+                    vec![
+                        LinExpr::index(0, g.range_i64(-1, 1)),
+                        LinExpr::index(1, g.range_i64(-1, 1)),
+                    ],
+                )
+            })
+            .collect();
+        b = b.stmt(&format!("S{i}"), 1, refs);
+    }
+    b.build()
 }
 
-fn check_soundness(nest: &LoopNest) -> Result<(), TestCaseError> {
+fn check_soundness(nest: &LoopNest) {
     let space = IterSpace::of(nest);
     let adj = implied_order(nest, &space);
     let n_stmts = nest.n_stmts();
     for (first, second) in brute_force_conflicts(nest, &space) {
-        prop_assert!(
+        assert!(
             reaches(&adj, n_stmts, first, second),
             "conflict {first:?} -> {second:?} not ordered by the analysis of {nest:?}"
         );
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 120, ..ProptestConfig::default() })]
-
-    /// Every brute-force conflict is ordered by the analysis (soundness).
-    #[test]
-    fn analysis_orders_every_conflict_1d(nest in small_nest()) {
-        check_soundness(&nest)?;
+/// Every brute-force conflict is ordered by the analysis (soundness).
+#[test]
+fn analysis_orders_every_conflict_1d() {
+    let mut g = Rng(0x6f_01);
+    for _ in 0..CASES {
+        check_soundness(&small_nest(&mut g));
     }
+}
 
-    /// Same for depth-2 nests with vector distances.
-    #[test]
-    fn analysis_orders_every_conflict_2d(nest in small_nest_2d()) {
-        check_soundness(&nest)?;
+/// Same for depth-2 nests with vector distances.
+#[test]
+fn analysis_orders_every_conflict_2d() {
+    let mut g = Rng(0x6f_02);
+    for _ in 0..CASES {
+        check_soundness(&small_nest_2d(&mut g));
     }
+}
 
-    /// Covering preserves the implied order (every original conflict is
-    /// still ordered when the order is rebuilt from the reduced graph via
-    /// the process-oriented realization — checked end-to-end elsewhere;
-    /// here: reduce() never removes arcs from an acyclic chain it cannot
-    /// recover).
-    #[test]
-    fn covering_is_idempotent(nest in small_nest()) {
-        let g = analyze(&nest);
-        let r1 = datasync_loopir::covering::reduce(&nest, &g);
+/// Covering preserves the implied order (every original conflict is
+/// still ordered when the order is rebuilt from the reduced graph via
+/// the process-oriented realization — checked end-to-end elsewhere;
+/// here: reduce() never removes arcs from an acyclic chain it cannot
+/// recover).
+#[test]
+fn covering_is_idempotent() {
+    let mut g = Rng(0x6f_03);
+    for _ in 0..CASES {
+        let nest = small_nest(&mut g);
+        let graph = analyze(&nest);
+        let r1 = datasync_loopir::covering::reduce(&nest, &graph);
         let r2 = datasync_loopir::covering::reduce(&nest, &r1);
-        prop_assert_eq!(&r1, &r2, "covering must be idempotent");
+        assert_eq!(&r1, &r2, "covering must be idempotent");
     }
+}
 
-    /// Precision guard: the analysis emits no dependence for loops whose
-    /// references never overlap.
-    #[test]
-    fn disjoint_arrays_no_deps(n in 2i64..20, off in 0i64..3) {
+/// Precision guard: the analysis emits no dependence for loops whose
+/// references never overlap.
+#[test]
+fn disjoint_arrays_no_deps() {
+    let mut g = Rng(0x6f_04);
+    for _ in 0..CASES {
+        let n = g.range_i64(2, 19);
+        let off = g.range_i64(0, 2);
         let nest = LoopNestBuilder::new(1, n)
             .stmt("S0", 1, vec![ArrayRef::simple(ArrayId(0), AccessKind::Write, off)])
             .stmt("S1", 1, vec![ArrayRef::simple(ArrayId(1), AccessKind::Write, off)])
             .build();
-        prop_assert!(analyze(&nest).deps().is_empty());
+        assert!(analyze(&nest).deps().is_empty());
     }
 }

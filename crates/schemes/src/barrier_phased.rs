@@ -35,7 +35,10 @@ impl BarrierPhased {
     /// Panics unless `procs` is a power of two (the inter-phase barrier
     /// is a butterfly).
     pub fn new(procs: usize) -> Self {
-        assert!(procs >= 1 && procs.is_power_of_two(), "barrier-phased needs power-of-two processors");
+        assert!(
+            procs >= 1 && procs.is_power_of_two(),
+            "barrier-phased needs power-of-two processors"
+        );
         Self { procs }
     }
 }
@@ -75,13 +78,12 @@ impl Scheme for BarrierPhased {
         let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); procs];
         let mut episode = 0u64;
         for (phase_ix, (comp, recurrent)) in phases.iter().enumerate() {
-            for p in 0..procs {
+            for (p, assigned) in assignment.iter_mut().enumerate() {
                 let mut prog = Program::new();
                 for pid in 0..n {
                     // A recurrent phase runs entirely on processor 0; a
                     // parallel phase splits iterations round-robin.
-                    let mine =
-                        if *recurrent { p == 0 } else { pid % procs as u64 == p as u64 };
+                    let mine = if *recurrent { p == 0 } else { pid % procs as u64 == p as u64 };
                     if !mine {
                         continue;
                     }
@@ -102,7 +104,7 @@ impl Scheme for BarrierPhased {
                         prog.push(Instr::SyncWait { var: p ^ (1 << r), pred: Pred::Geq(round) });
                     }
                 }
-                assignment[p].push(programs.len());
+                assigned.push(programs.len());
                 programs.push(prog);
             }
             episode += 1;
@@ -133,8 +135,7 @@ mod tests {
         let graph = analyze(nest);
         let space = IterSpace::of(nest);
         let compiled = BarrierPhased::new(procs).compile(nest, &graph, &space);
-        let out =
-            compiled.run(&MachineConfig::with_processors(procs)).expect("simulation failed");
+        let out = compiled.run(&MachineConfig::with_processors(procs)).expect("simulation failed");
         let violations = compiled.validate(&out);
         assert!(violations.is_empty(), "order violations: {violations:?}");
         out

@@ -11,10 +11,9 @@ use datasync_loopir::graph::DepGraph;
 use datasync_loopir::ir::LoopNest;
 use datasync_loopir::space::IterSpace;
 use datasync_sim::{MachineConfig, Program, SimError, Workload};
-use serde::Serialize;
 
 /// One row of a scheme-comparison table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SchemeReport {
     /// Scheme name.
     pub scheme: String,
@@ -52,7 +51,11 @@ pub struct SchemeReport {
 
 /// Compiles the nest with no synchronization at all (for the sequential
 /// baseline and for Doall-style upper bounds).
-pub fn plain_compiled(nest: &LoopNest, space: &IterSpace, cost: Option<CostFn<'_>>) -> CompiledLoop {
+pub fn plain_compiled(
+    nest: &LoopNest,
+    space: &IterSpace,
+    cost: Option<CostFn<'_>>,
+) -> CompiledLoop {
     let n = space.count();
     let mut programs = Vec::with_capacity(n as usize);
     for pid in 0..n {

@@ -123,46 +123,42 @@ impl Scheme for InstanceBased {
             for stmt in nest.executed_stmts(pid) {
                 let c = cost.map_or(stmt.cost, |f| f(stmt.id, pid));
                 let mut pos = 0usize;
-                let mut wrap = |prog: &mut Program,
-                                r: &datasync_loopir::ir::ArrayRef,
-                                element: &[i64]| {
-                    let my_pos = pos;
-                    pos += 1;
-                    if r.kind.is_write() {
-                        let w = write_of[&(pid, stmt.id, my_pos)];
-                        let copies = writes[w].readers.len().max(1);
-                        for copy in 0..copies {
-                            prog.push(Instr::Access {
-                                addr: copy_addr(w, copy),
-                                write: true,
-                            });
-                            if copy < writes[w].readers.len() {
-                                let key = key_base[w] + copy;
-                                prog.push(Instr::SyncSet { var: key, val: 1 });
-                                prog.push(Instr::Note(Label {
-                                    pid,
-                                    stmt: COPY_EVENT_BASE + key as u32,
-                                    start: false,
-                                }));
+                let mut wrap =
+                    |prog: &mut Program, r: &datasync_loopir::ir::ArrayRef, element: &[i64]| {
+                        let my_pos = pos;
+                        pos += 1;
+                        if r.kind.is_write() {
+                            let w = write_of[&(pid, stmt.id, my_pos)];
+                            let copies = writes[w].readers.len().max(1);
+                            for copy in 0..copies {
+                                prog.push(Instr::Access { addr: copy_addr(w, copy), write: true });
+                                if copy < writes[w].readers.len() {
+                                    let key = key_base[w] + copy;
+                                    prog.push(Instr::SyncSet { var: key, val: 1 });
+                                    prog.push(Instr::Note(Label {
+                                        pid,
+                                        stmt: COPY_EVENT_BASE + key as u32,
+                                        start: false,
+                                    }));
+                                }
                             }
+                        } else if let Some(&(w, copy)) = source_of.get(&(pid, stmt.id, my_pos)) {
+                            let key = key_base[w] + copy;
+                            prog.push(Instr::SyncWait { var: key, pred: Pred::Eq(1) });
+                            prog.push(Instr::Note(Label {
+                                pid,
+                                stmt: COPY_EVENT_BASE + key as u32,
+                                start: true,
+                            }));
+                            prog.push(Instr::Access { addr: copy_addr(w, copy), write: false });
+                        } else {
+                            // Initial data: full from the start.
+                            prog.push(Instr::Access {
+                                addr: element_addr(r.array, element),
+                                write: false,
+                            });
                         }
-                    } else if let Some(&(w, copy)) = source_of.get(&(pid, stmt.id, my_pos)) {
-                        let key = key_base[w] + copy;
-                        prog.push(Instr::SyncWait { var: key, pred: Pred::Eq(1) });
-                        prog.push(Instr::Note(Label {
-                            pid,
-                            stmt: COPY_EVENT_BASE + key as u32,
-                            start: true,
-                        }));
-                        prog.push(Instr::Access { addr: copy_addr(w, copy), write: false });
-                    } else {
-                        // Initial data: full from the start.
-                        prog.push(Instr::Access {
-                            addr: element_addr(r.array, element),
-                            write: false,
-                        });
-                    }
-                };
+                    };
                 emit_stmt(&mut prog, stmt, pid, &indices, c, Some(&mut wrap));
             }
             programs.push(prog);
@@ -233,7 +229,11 @@ mod tests {
         // R2, R3, R5 (no readers). Roughly 3 reader-copies per iteration
         // plus 5 cells; exact numbers depend on boundaries.
         assert!(c.storage.vars > 2 * 30 && c.storage.vars <= 4 * 30, "keys = {}", c.storage.vars);
-        assert!(c.storage.extra_data_cells >= 5 * 30 - 20, "cells = {}", c.storage.extra_data_cells);
+        assert!(
+            c.storage.extra_data_cells >= 5 * 30 - 20,
+            "cells = {}",
+            c.storage.extra_data_cells
+        );
         assert_eq!(c.storage.init_ops, c.storage.vars);
     }
 
@@ -277,7 +277,12 @@ mod tests {
             .workload
             .programs
             .iter()
-            .map(|p| p.instrs.iter().filter(|i| matches!(i, Instr::Access { write: true, .. })).count())
+            .map(|p| {
+                p.instrs
+                    .iter()
+                    .filter(|i| matches!(i, Instr::Access { write: true, .. }))
+                    .count()
+            })
             .collect();
         // Interior iterations write 2 copies of A[I+3] + 1 of A[I] +
         // 1 of each result array = at least 6 stores.

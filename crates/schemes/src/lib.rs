@@ -29,6 +29,7 @@ pub mod compare;
 pub mod instance_based;
 pub mod process_oriented;
 pub mod reference_based;
+pub mod robustness;
 pub mod scheme;
 pub mod statement_oriented;
 
@@ -37,5 +38,6 @@ pub use compare::{compare_all, SchemeReport};
 pub use instance_based::InstanceBased;
 pub use process_oriented::ProcessOriented;
 pub use reference_based::ReferenceBased;
+pub use robustness::{classify_run, render as render_matrix, sweep, Matrix, Outcome, Tally};
 pub use scheme::{CompiledLoop, CostFn, Scheme, SyncStorage};
 pub use statement_oriented::StatementOriented;

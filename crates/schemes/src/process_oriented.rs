@@ -128,9 +128,7 @@ impl Scheme for ProcessOriented {
             programs.push(prog);
         }
 
-        let presets = (0..self.x.min(n as usize))
-            .map(|i| (i, pack_pc(i as u64, 0)))
-            .collect();
+        let presets = (0..self.x.min(n as usize)).map(|i| (i, pack_pc(i as u64, 0))).collect();
         CompiledLoop {
             workload: Workload::dynamic(programs),
             storage: SyncStorage {
@@ -184,7 +182,7 @@ mod tests {
     }
 
     #[test]
-    fn nested_loop_linearized(){
+    fn nested_loop_linearized() {
         let nest = example2_nested(6, 5, 3);
         check(&nest, ProcessOriented::new(8), 4);
     }

@@ -183,34 +183,33 @@ impl Scheme for ReferenceBased {
             for stmt in nest.executed_stmts(pid) {
                 let c = cost.map_or(stmt.cost, |f| f(stmt.id, pid));
                 let mut pos = 0usize;
-                let mut wrap = |prog: &mut Program,
-                                r: &datasync_loopir::ir::ArrayRef,
-                                element: &[i64]| {
-                    let my_pos = pos;
-                    pos += 1;
-                    if let Some(&key) = key_of.get(&(r.array, element.to_vec())) {
-                        let (rank, seq) = ranks[&(pid, stmt.id, my_pos)];
-                        prog.push(Instr::KeyedAccess { var: key, geq: rank });
-                        // Completion event, both as a start and an end so
-                        // obligation pairs compare completion order.
-                        let ev = ACCESS_EVENT_BASE + seq as u32;
-                        prog.push(Instr::Note(Label { pid, stmt: ev, start: true }));
-                        prog.push(Instr::Note(Label { pid, stmt: ev, start: false }));
-                    } else {
-                        prog.push(Instr::Access {
-                            addr: element_addr(r.array, element),
-                            write: r.kind.is_write(),
-                        });
-                    }
-                };
+                let mut wrap =
+                    |prog: &mut Program, r: &datasync_loopir::ir::ArrayRef, element: &[i64]| {
+                        let my_pos = pos;
+                        pos += 1;
+                        if let Some(&key) = key_of.get(&(r.array, element.to_vec())) {
+                            let (rank, seq) = ranks[&(pid, stmt.id, my_pos)];
+                            prog.push(Instr::KeyedAccess { var: key, geq: rank });
+                            // Completion event, both as a start and an end so
+                            // obligation pairs compare completion order.
+                            let ev = ACCESS_EVENT_BASE + seq as u32;
+                            prog.push(Instr::Note(Label { pid, stmt: ev, start: true }));
+                            prog.push(Instr::Note(Label { pid, stmt: ev, start: false }));
+                        } else {
+                            prog.push(Instr::Access {
+                                addr: element_addr(r.array, element),
+                                write: r.kind.is_write(),
+                            });
+                        }
+                    };
                 emit_stmt(&mut prog, stmt, pid, &indices, c, Some(&mut wrap));
             }
             programs.push(prog);
         }
 
         let _ = graph; // ordering is derived per element, not from arcs
-        // Only keep obligations between accesses of *synchronized*
-        // elements (unsynchronized arrays have no ordering needs).
+                       // Only keep obligations between accesses of *synchronized*
+                       // elements (unsynchronized arrays have no ordering needs).
         let keys = key_of.len() as u64;
         CompiledLoop {
             workload: Workload::dynamic(programs),
@@ -265,8 +264,7 @@ mod tests {
         let graph = analyze(&nest);
         let space = IterSpace::of(&nest);
         let compiled = ReferenceBased::new().compile(&nest, &graph, &space);
-        let config = MachineConfig::with_processors(3)
-            .transport(SyncTransport::SharedMemory);
+        let config = MachineConfig::with_processors(3).transport(SyncTransport::SharedMemory);
         let out = compiled.run(&config).unwrap();
         // Every keyed access incremented exactly once: sum of final key
         // values == number of keyed accesses (5 per iteration).

@@ -1,0 +1,366 @@
+//! Scheme degradation under deterministic fault injection.
+//!
+//! The paper argues (Section 6) that its process-oriented scheme tolerates
+//! the realities of a broadcast synchronization bus. This module stresses
+//! that claim: it sweeps every scheme across every fault class at several
+//! intensities and classifies each run into exactly one of four outcomes —
+//! completes-and-validates, detected deadlock, timeout, or dependence-order
+//! violation. There is no silent fifth outcome: the simulator's progress
+//! watchdog plus the `max_cycles` cap guarantee every run terminates, and
+//! trace validation runs on every completion.
+
+use crate::barrier_phased::BarrierPhased;
+use crate::instance_based::InstanceBased;
+use crate::process_oriented::ProcessOriented;
+use crate::reference_based::ReferenceBased;
+use crate::scheme::{CompiledLoop, Scheme};
+use crate::statement_oriented::StatementOriented;
+use datasync_loopir::analysis::analyze;
+use datasync_loopir::space::IterSpace;
+use datasync_loopir::workpatterns::fig21_loop;
+use datasync_sim::{FaultClass, FaultPlan, MachineConfig, SimError};
+
+/// A matrix column: maps an intensity (0..=100) to a concrete fault plan.
+type PlanOfIntensity = Box<dyn Fn(u8) -> FaultPlan>;
+
+/// The exhaustive classification of one faulted run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The run finished and its trace satisfies every dependence
+    /// obligation.
+    Completed {
+        /// Total cycles.
+        makespan: u64,
+        /// Faults actually injected.
+        faults_injected: u64,
+        /// Worst single-broadcast recovery latency (cycles).
+        recovery_max: u64,
+    },
+    /// The machine proved no processor can ever progress again (includes
+    /// watchdog-detected livelock).
+    DeadlockDetected {
+        /// Detection cycle.
+        cycle: u64,
+        /// Stuck processors.
+        spinning: Vec<usize>,
+    },
+    /// The run hit the `max_cycles` safety cap without a deadlock proof.
+    TimedOut {
+        /// The cap that was hit.
+        max_cycles: u64,
+    },
+    /// The run finished but the trace violates dependence order.
+    OrderViolation {
+        /// Number of violated obligations.
+        violations: usize,
+        /// First violation, human-readable.
+        first: String,
+    },
+}
+
+impl Outcome {
+    /// Short cell label for the degradation matrix.
+    pub fn cell(&self) -> String {
+        match self {
+            Outcome::Completed { recovery_max, .. } => {
+                if *recovery_max > 0 {
+                    format!("ok(r{recovery_max})")
+                } else {
+                    "ok".into()
+                }
+            }
+            Outcome::DeadlockDetected { .. } => "DEADLOCK".into(),
+            Outcome::TimedOut { .. } => "TIMEOUT".into(),
+            Outcome::OrderViolation { violations, .. } => format!("VIOLATED({violations})"),
+        }
+    }
+
+    /// True for the only acceptable outcome.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Outcome::Completed { .. })
+    }
+}
+
+/// One row of the degradation matrix: a scheme under one fault class at
+/// each swept intensity.
+#[derive(Debug, Clone)]
+pub struct MatrixRow {
+    /// Scheme name.
+    pub scheme: String,
+    /// Fault class label (or "chaos" for all classes at once).
+    pub fault: String,
+    /// One outcome per swept intensity.
+    pub outcomes: Vec<Outcome>,
+}
+
+/// The full degradation matrix.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// Intensities swept (percent, column headers).
+    pub intensities: Vec<u8>,
+    /// Rows, grouped by scheme then fault class.
+    pub rows: Vec<MatrixRow>,
+}
+
+/// Runs one compiled loop on one config and classifies the result.
+///
+/// Total by construction: every [`SimError`] maps to a variant
+/// (`BadConfig` is a caller bug and panics loudly rather than being
+/// silently folded into a fault outcome), and every completion is
+/// validated.
+pub fn classify_run(compiled: &CompiledLoop, config: &MachineConfig) -> Outcome {
+    match compiled.run(config) {
+        Ok(out) => {
+            let problems = compiled.validate(&out);
+            if problems.is_empty() {
+                Outcome::Completed {
+                    makespan: out.stats.makespan,
+                    faults_injected: out.stats.faults.total(),
+                    recovery_max: out.stats.faults.recovery_max,
+                }
+            } else {
+                Outcome::OrderViolation {
+                    violations: problems.len(),
+                    first: problems.into_iter().next().unwrap_or_default(),
+                }
+            }
+        }
+        Err(SimError::Deadlock { cycle, spinning, .. }) => {
+            Outcome::DeadlockDetected { cycle, spinning }
+        }
+        Err(SimError::Timeout { max_cycles }) => Outcome::TimedOut { max_cycles },
+        Err(SimError::BadConfig(msg)) => {
+            panic!("robustness sweep built an invalid config: {msg}")
+        }
+    }
+}
+
+/// The scheme roster the sweep exercises (all four paper families; the
+/// process-oriented scheme in its improved variant).
+fn roster(processors: usize, x: usize) -> Vec<Box<dyn Scheme>> {
+    let mut v: Vec<Box<dyn Scheme>> = vec![
+        Box::new(ReferenceBased::new()),
+        Box::new(InstanceBased::new()),
+        Box::new(StatementOriented::new()),
+        Box::new(ProcessOriented::new(x)),
+    ];
+    if processors.is_power_of_two() {
+        v.push(Box::new(BarrierPhased::new(processors)));
+    }
+    v
+}
+
+/// Sweeps every scheme x every fault class (plus combined chaos) x every
+/// intensity on the paper's Fig 2.1 workload and classifies each run.
+///
+/// `seed` drives all fault randomness: the same seed reproduces the same
+/// matrix bit for bit. `max_cycles` bounds each run (keep it small enough
+/// that a wedged run times out quickly).
+pub fn sweep(iterations: i64, base: &MachineConfig, intensities: &[u8], seed: u64) -> Matrix {
+    let nest = fig21_loop(iterations);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let x = base.processors.max(2);
+    let mut rows = Vec::new();
+    for scheme in roster(base.processors, x) {
+        let compiled = scheme.compile(&nest, &graph, &space);
+        let config = MachineConfig { sync_transport: scheme.natural_transport(), ..base.clone() };
+        let mut classes: Vec<(String, PlanOfIntensity)> = FaultClass::ALL
+            .iter()
+            .map(|&class| {
+                let label = class.label().to_string();
+                let f: PlanOfIntensity = Box::new(move |i| FaultPlan::only(class, seed, i.into()));
+                (label, f)
+            })
+            .collect();
+        classes.push(("chaos".into(), Box::new(move |i| FaultPlan::chaos(seed, i.into()))));
+        for (label, plan_for) in classes {
+            let outcomes = intensities
+                .iter()
+                .map(|&i| {
+                    let config = config.clone().with_faults(plan_for(i));
+                    classify_run(&compiled, &config)
+                })
+                .collect();
+            rows.push(MatrixRow { scheme: scheme.name(), fault: label, outcomes });
+        }
+    }
+    Matrix { intensities: intensities.to_vec(), rows }
+}
+
+/// Renders the matrix as an aligned text table.
+pub fn render(matrix: &Matrix) -> String {
+    let mut header = vec!["scheme".to_string(), "fault".to_string()];
+    header.extend(matrix.intensities.iter().map(|i| format!("{i}%")));
+    let mut body: Vec<Vec<String>> = Vec::with_capacity(matrix.rows.len());
+    for row in &matrix.rows {
+        let mut cells = vec![row.scheme.clone(), row.fault.clone()];
+        cells.extend(row.outcomes.iter().map(Outcome::cell));
+        body.push(cells);
+    }
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in &body {
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut s = String::new();
+        for (c, cell) in cells.iter().enumerate() {
+            if c > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(cell);
+            if c + 1 < cols {
+                for _ in cell.len()..widths[c] {
+                    s.push(' ');
+                }
+            }
+        }
+        s
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(&header));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    let mut last_scheme = String::new();
+    for row in body {
+        if row[0] != last_scheme && !last_scheme.is_empty() {
+            out.push('\n');
+        }
+        last_scheme.clone_from(&row[0]);
+        out.push_str(&fmt_row(&row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Summary counts over a matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Runs that completed and validated.
+    pub ok: usize,
+    /// Detected deadlocks.
+    pub deadlock: usize,
+    /// Timeouts.
+    pub timeout: usize,
+    /// Order violations.
+    pub violated: usize,
+}
+
+impl Tally {
+    /// Counts outcomes across all rows.
+    pub fn of(matrix: &Matrix) -> Self {
+        let mut t = Tally::default();
+        for row in &matrix.rows {
+            for o in &row.outcomes {
+                match o {
+                    Outcome::Completed { .. } => t.ok += 1,
+                    Outcome::DeadlockDetected { .. } => t.deadlock += 1,
+                    Outcome::TimedOut { .. } => t.timeout += 1,
+                    Outcome::OrderViolation { .. } => t.violated += 1,
+                }
+            }
+        }
+        t
+    }
+
+    /// Total classified runs.
+    pub fn total(&self) -> usize {
+        self.ok + self.deadlock + self.timeout + self.violated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasync_sim::SyncTransport;
+
+    fn base() -> MachineConfig {
+        let mut c = MachineConfig::with_processors(4);
+        c.max_cycles = 3_000_000;
+        c
+    }
+
+    #[test]
+    fn sweep_classifies_every_run() {
+        let m = sweep(12, &base(), &[0, 40], 99);
+        // 5 schemes (4 procs = power of two, barrier included) x 7 fault
+        // rows (6 classes + chaos) x 2 intensities.
+        assert_eq!(m.rows.len(), 5 * 7);
+        let t = Tally::of(&m);
+        assert_eq!(t.total(), 5 * 7 * 2, "no run may go unclassified");
+    }
+
+    #[test]
+    fn zero_intensity_column_is_all_ok() {
+        let m = sweep(12, &base(), &[0], 7);
+        for row in &m.rows {
+            assert!(
+                row.outcomes[0].is_ok(),
+                "{} under {} failed fault-free",
+                row.scheme,
+                row.fault
+            );
+        }
+    }
+
+    #[test]
+    fn schemes_survive_moderate_chaos() {
+        // The paper's schemes are real synchronization: bounded delivery
+        // faults slow them down but cannot break them.
+        let m = sweep(10, &base(), &[50], 3);
+        let t = Tally::of(&m);
+        assert_eq!(t.violated, 0, "faults must never reorder dependences");
+        assert_eq!(t.deadlock + t.timeout, 0, "bounded faults must not wedge schemes");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = sweep(8, &base(), &[30, 70], 5);
+        let b = sweep(8, &base(), &[30, 70], 5);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.outcomes, rb.outcomes, "{}/{}", ra.scheme, ra.fault);
+        }
+        assert_eq!(render(&a), render(&b));
+    }
+
+    #[test]
+    fn classify_run_surfaces_deadlock() {
+        // Sabotage: compile normally, then strip every sync-setting
+        // instruction so waiters starve.
+        use datasync_sim::Instr;
+        let nest = fig21_loop(6);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let scheme = ProcessOriented::new(4);
+        let mut compiled = scheme.compile(&nest, &graph, &space);
+        for prog in &mut compiled.workload.programs {
+            prog.instrs
+                .retain(|i| !matches!(i, Instr::SyncSet { .. } | Instr::SyncSetIfGeq { .. }));
+        }
+        let config = MachineConfig {
+            sync_transport: SyncTransport::DedicatedBus,
+            max_cycles: 1_000_000,
+            ..MachineConfig::with_processors(4)
+        };
+        let o = classify_run(&compiled, &config);
+        assert!(
+            matches!(o, Outcome::DeadlockDetected { .. } | Outcome::TimedOut { .. }),
+            "sabotaged run must be caught, got {o:?}"
+        );
+    }
+
+    #[test]
+    fn render_shape() {
+        let m = sweep(6, &base(), &[0, 60], 1);
+        let text = render(&m);
+        assert!(text.contains("scheme"));
+        assert!(text.contains("chaos"));
+        assert!(text.contains("0%") && text.contains("60%"));
+        assert!(text.lines().count() > m.rows.len());
+    }
+}

@@ -9,7 +9,9 @@ use datasync_loopir::exec::mix2;
 use datasync_loopir::graph::{DepGraph, Distance};
 use datasync_loopir::ir::{ArrayRef, LoopNest, Stmt, StmtId};
 use datasync_loopir::space::IterSpace;
-use datasync_sim::{Instr, Label, MachineConfig, Program, RunOutcome, SimError, SyncTransport, Workload};
+use datasync_sim::{
+    Instr, Label, MachineConfig, Program, RunOutcome, SimError, SyncTransport, Workload,
+};
 
 /// Synchronization-variable accounting (the Section 3 / Section 6
 /// storage comparison, experiment E12).
@@ -71,20 +73,25 @@ impl CompiledLoop {
             .map(|v| {
                 format!(
                     "S{}@{} (ends {}) must precede S{}@{} (starts {})",
-                    v.src_stmt + 1, v.src_pid, v.src_end, v.dst_stmt + 1, v.dst_pid, v.dst_start
+                    v.src_stmt + 1,
+                    v.src_pid,
+                    v.src_end,
+                    v.dst_stmt + 1,
+                    v.dst_pid,
+                    v.dst_start
                 )
             })
             .collect();
         for &(ss, sp, ds, dp) in &self.instance_pairs {
-            let (Some(end), Some(start)) =
-                (out.trace.end_of(ss, sp), out.trace.start_of(ds, dp))
+            let (Some(end), Some(start)) = (out.trace.end_of(ss, sp), out.trace.start_of(ds, dp))
             else {
                 continue;
             };
             if start < end {
                 problems.push(format!(
                     "instance S{}@{sp} (ends {end}) must precede S{}@{dp} (starts {start})",
-                    ss + 1, ds + 1
+                    ss + 1,
+                    ds + 1
                 ));
             }
         }
@@ -139,6 +146,10 @@ pub fn ordered_accesses(stmt: &Stmt) -> Vec<&ArrayRef> {
     stmt.reads().chain(stmt.writes()).collect()
 }
 
+/// Per-access hook of [`emit_stmt`]: emits scheme-specific instructions
+/// for one array access instead of a plain `Access`.
+pub type AccessWrap<'a> = &'a mut dyn FnMut(&mut Program, &ArrayRef, &[i64]);
+
 /// Emits the body of a statement instance: start note, read accesses,
 /// compute, write accesses, end note. `wrap_access` lets a scheme insert
 /// per-access synchronization (reference-based keys); pass `None` for
@@ -150,7 +161,7 @@ pub fn emit_stmt(
     pid: u64,
     indices: &[i64],
     cost: u32,
-    mut wrap_access: Option<&mut dyn FnMut(&mut Program, &ArrayRef, &[i64])>,
+    mut wrap_access: Option<AccessWrap<'_>>,
 ) {
     prog.push(Instr::Note(Label { pid, stmt: stmt.id.0 as u32, start: true }));
     for r in stmt.reads() {

@@ -198,10 +198,8 @@ mod tests {
         let nest = fig21_loop(24);
         let graph = analyze(&nest);
         let space = IterSpace::of(&nest);
-        let slowdown: crate::scheme::CostFn<'_> =
-            &|_s, pid| if pid == 5 { 400 } else { 4 };
-        let compiled =
-            StatementOriented::new().compile_with(&nest, &graph, &space, Some(slowdown));
+        let slowdown: crate::scheme::CostFn<'_> = &|_s, pid| if pid == 5 { 400 } else { 4 };
+        let compiled = StatementOriented::new().compile_with(&nest, &graph, &space, Some(slowdown));
         let out = compiled.run(&MachineConfig::with_processors(8)).unwrap();
         // S2 at pid 8 awaits SC[S1] >= 7, i.e. iteration 6 advanced SC[S1];
         // the sequential Advance handoff forces that after iteration 5's

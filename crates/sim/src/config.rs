@@ -1,5 +1,7 @@
 //! Machine configuration.
 
+use crate::faults::FaultPlan;
+
 /// How shared memory is reached through the data bus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemoryModel {
@@ -62,6 +64,9 @@ pub struct MachineConfig {
     pub dispatch_latency: u32,
     /// Safety cap on simulated cycles.
     pub max_cycles: u64,
+    /// Deterministic fault-injection plan ([`FaultPlan::none`] by
+    /// default: no faults, no per-cycle cost).
+    pub faults: FaultPlan,
 }
 
 impl Default for MachineConfig {
@@ -77,6 +82,7 @@ impl Default for MachineConfig {
             spin_retry: 4,
             dispatch_latency: 2,
             max_cycles: 200_000_000,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -99,6 +105,12 @@ impl MachineConfig {
         self
     }
 
+    /// Installs a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -117,6 +129,21 @@ impl MachineConfig {
         }
         if let MemoryModel::Banked { banks: 0 } = self.memory_model {
             return Err("banked memory needs at least one bank".into());
+        }
+        if self.faults.broadcast_delay_pct > 0 && self.faults.broadcast_delay_max == 0 {
+            return Err("broadcast delay enabled with a zero-cycle cap".into());
+        }
+        if self.faults.broadcast_drop_pct > 0 && self.faults.max_redeliveries == 0 {
+            return Err("broadcast drops need max_redeliveries >= 1 (bounded delivery)".into());
+        }
+        if self.faults.stale_image_pct > 0 && self.faults.stale_window_max == 0 {
+            return Err("stale images enabled with a zero-cycle window".into());
+        }
+        if self.faults.stall_mean_interval > 0 && self.faults.stall_max == 0 {
+            return Err("stalls enabled with a zero-cycle cap".into());
+        }
+        if self.faults.data_jitter_pct > 0 && self.faults.data_jitter_max == 0 {
+            return Err("data jitter enabled with a zero-cycle cap".into());
         }
         Ok(())
     }
@@ -155,11 +182,19 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_fault_plans_rejected() {
+        let bad = FaultPlan { broadcast_drop_pct: 10, max_redeliveries: 0, ..FaultPlan::none() };
+        assert!(MachineConfig::default().with_faults(bad).validate().is_err());
+        let bad = FaultPlan { stale_image_pct: 10, stale_window_max: 0, ..FaultPlan::none() };
+        assert!(MachineConfig::default().with_faults(bad).validate().is_err());
+        let ok = crate::faults::FaultPlan::chaos(1, 30);
+        assert!(MachineConfig::default().with_faults(ok).validate().is_ok());
+    }
+
+    #[test]
     fn banked_model_valid() {
-        let c = MachineConfig {
-            memory_model: MemoryModel::Banked { banks: 8 },
-            ..Default::default()
-        };
+        let c =
+            MachineConfig { memory_model: MemoryModel::Banked { banks: 8 }, ..Default::default() };
         assert!(c.validate().is_ok());
     }
 }

@@ -46,15 +46,19 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod faults;
 pub mod machine;
 pub mod program;
+pub mod rng;
 pub mod stats;
 pub mod timeline;
 pub mod trace;
 
 pub use config::{MachineConfig, MemoryModel, SyncTransport};
+pub use faults::{FaultClass, FaultCounts, FaultPlan};
 pub use machine::{run, DispatchMode, Machine, RunOutcome, SimError, Workload};
 pub use program::{pack_pc, unpack_pc, Instr, Label, Pred, Program, SyncVar};
+pub use rng::SplitMix64;
 pub use stats::{ProcBreakdown, RunStats};
 pub use timeline::{render as render_timeline, spans as trace_spans, Span};
-pub use trace::{OrderViolation, Trace, TraceEvent};
+pub use trace::{FaultEvent, OrderViolation, Trace, TraceEvent};

@@ -10,9 +10,24 @@
 //!
 //! Determinism: processors are stepped in id order and bus queues are
 //! FIFO, so a run is a pure function of the configuration and workload.
+//! Fault injection ([`crate::faults::FaultPlan`]) preserves this: every
+//! fault decision comes from a splitmix64 stream seeded by the plan, so
+//! a faulted run is reproducible byte-for-byte from its configuration.
+//!
+//! Liveness under faults: on top of the precise [`Machine::deadlocked`]
+//! check, a **progress watchdog** tracks the last cycle on which the
+//! machine did anything observable (retired an instruction, performed a
+//! transaction, applied an image update, dispatched). If no progress is
+//! made for a bound derived from the configured latencies and fault
+//! magnitudes, the run fails with [`SimError::Deadlock`] describing the
+//! livelock — so even runs the precise checker cannot classify (e.g.
+//! processors spinning on images that faults keep stale) terminate
+//! detectably rather than burning cycles until `max_cycles`.
 
 use crate::config::{MachineConfig, MemoryModel, SyncTransport};
+use crate::faults::FaultClass;
 use crate::program::{Instr, Pred, Program, SyncVar};
+use crate::rng::SplitMix64;
 use crate::stats::{ProcBreakdown, RunStats};
 use crate::trace::Trace;
 use std::collections::VecDeque;
@@ -49,9 +64,7 @@ impl Workload {
     /// iteration order: processor `p` runs programs `p, p+P, p+2P, …` —
     /// the classic Doacross assignment.
     pub fn static_cyclic(programs: Vec<Program>, procs: usize) -> Self {
-        let assignment = (0..procs)
-            .map(|p| (p..programs.len()).step_by(procs).collect())
-            .collect();
+        let assignment = (0..procs).map(|p| (p..programs.len()).step_by(procs).collect()).collect();
         Self::static_assigned(programs, assignment)
     }
 
@@ -88,7 +101,11 @@ impl Workload {
 
     /// Number of synchronization variables required.
     pub fn n_sync_vars(&self) -> usize {
-        self.programs.iter().filter_map(Program::max_sync_var).max().map_or(0, |v| v + 1)
+        self.programs
+            .iter()
+            .filter_map(Program::max_sync_var)
+            .max()
+            .map_or(0, |v| v + 1)
     }
 }
 
@@ -164,27 +181,50 @@ enum SpinPhase {
 enum ProcState {
     Idle,
     Ready,
-    Computing { remaining: u32 },
+    Computing {
+        remaining: u32,
+    },
     BlockedData,
     BlockedSync,
-    SpinLocal { var: SyncVar, pred: Pred },
+    SpinLocal {
+        var: SyncVar,
+        pred: Pred,
+    },
     /// Busy-wait through shared memory: `retry` is re-issued after each
     /// backoff until it succeeds.
-    SpinMem { retry: DataReqKind, phase: SpinPhase },
+    SpinMem {
+        retry: DataReqKind,
+        phase: SpinPhase,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum DataReqKind {
     Access,
-    SyncWrite { var: SyncVar, val: u64 },
-    SyncRmw { var: SyncVar },
-    Poll { var: SyncVar, pred: Pred },
+    SyncWrite {
+        var: SyncVar,
+        val: u64,
+    },
+    SyncRmw {
+        var: SyncVar,
+    },
+    Poll {
+        var: SyncVar,
+        pred: Pred,
+    },
     /// Read for a conditional write: on completion, a write of `val` is
     /// issued only when the value read is `>= guard`.
-    ReadCheck { var: SyncVar, guard: u64, val: u64 },
+    ReadCheck {
+        var: SyncVar,
+        guard: u64,
+        val: u64,
+    },
     /// One attempt of a Cedar-style keyed access: test-and-(access +
     /// increment) in a single memory transaction; retries on failure.
-    KeyedAttempt { var: SyncVar, geq: u64 },
+    KeyedAttempt {
+        var: SyncVar,
+        geq: u64,
+    },
 }
 
 /// Interleaving address of a re-issued spin request.
@@ -221,6 +261,34 @@ enum SyncReq {
     Rmw { proc: usize, var: SyncVar },
 }
 
+/// A sync-bus message with its fault-injection bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct QueuedSync {
+    req: SyncReq,
+    /// Issue-order tag. Broadcast hardware stamps messages so a stale
+    /// redelivery or reordered grant of an *older* write can be
+    /// recognized and discarded instead of clobbering a newer value
+    /// (sync variables are monotonic counters in every scheme; a
+    /// regression would wedge every waiter past the lost value).
+    seq: u64,
+    /// Times this message was dropped and re-queued (capped by
+    /// `FaultPlan::max_redeliveries`, so delivery is eventual).
+    redeliveries: u32,
+    /// Cycle of the first grant — or, for a message overtaken by a
+    /// reordered grant, the cycle it *would* have been granted — used to
+    /// measure recovery latency.
+    first_grant: Option<u64>,
+    /// Whether any fault touched this message (only faulted messages
+    /// contribute to recovery-latency stats).
+    faulted: bool,
+}
+
+impl QueuedSync {
+    fn new(req: SyncReq, seq: u64) -> Self {
+        Self { req, seq, redeliveries: 0, first_grant: None, faulted: false }
+    }
+}
+
 #[derive(Debug)]
 struct Proc {
     state: ProcState,
@@ -242,11 +310,33 @@ pub struct Machine {
     data_queue: VecDeque<DataReq>,
     data_active: Option<(DataReq, u64)>,
     banks: Vec<Bank>,
-    sync_queue: VecDeque<SyncReq>,
-    sync_active: Option<(SyncReq, u64)>,
+    sync_queue: VecDeque<QueuedSync>,
+    sync_active: Option<(QueuedSync, u64)>,
     next_dynamic: usize,
     stats: RunStats,
     trace: Trace,
+    /// Fault-decision stream (seeded by `config.faults.seed`; untouched
+    /// on fault-free runs, so they remain bit-identical to a machine
+    /// without fault support).
+    rng: SplitMix64,
+    /// Deferred local-image updates per processor: `(apply_cycle, var,
+    /// val)` in FIFO order, so one image always sees writes in the order
+    /// they were performed globally, just late.
+    image_defer: Vec<VecDeque<(u64, SyncVar, u64)>>,
+    /// Next sync-message issue tag (see [`QueuedSync::seq`]).
+    sync_seq: u64,
+    /// Per-variable tag of the last applied sync write; an arriving
+    /// message with an older tag is a stale redelivery and is discarded.
+    applied_seq: Vec<u64>,
+    /// Per-processor injected-stall end cycle (0 = not stalled).
+    stall_until: Vec<u64>,
+    /// Per-processor cycle of the next stall onset (`u64::MAX` when
+    /// stalls are disabled).
+    next_stall: Vec<u64>,
+    /// Last cycle on which the machine observably progressed.
+    last_progress: u64,
+    /// Progress-watchdog bound (cycles of silence tolerated).
+    watchdog_limit: u64,
 }
 
 impl Machine {
@@ -278,6 +368,32 @@ impl Machine {
             MemoryModel::BusHeld => 0,
             MemoryModel::Banked { banks } => banks,
         };
+        let f = config.faults;
+        let mut rng = SplitMix64::new(f.seed);
+        let next_stall: Vec<u64> = (0..p)
+            .map(|_| {
+                if f.stall_mean_interval > 0 {
+                    1 + rng.below(2 * u64::from(f.stall_mean_interval))
+                } else {
+                    u64::MAX
+                }
+            })
+            .collect();
+        // Longest legitimate silent stretch: a held (possibly delayed /
+        // jittered) transaction, a spin backoff, a stall or a stale
+        // window. Generously padded — tripping it means livelock.
+        let watchdog_limit = 256
+            + 8 * u64::from(
+                config.spin_retry
+                    + config.dispatch_latency
+                    + config.data_bus_latency
+                    + config.memory_latency
+                    + config.sync_bus_latency
+                    + f.broadcast_delay_max
+                    + f.data_jitter_max
+                    + f.stall_max
+                    + f.stale_window_max,
+            );
         Self {
             sync_images: vec![vec![0; n_vars]; p],
             sync_global: vec![0; n_vars],
@@ -291,9 +407,22 @@ impl Machine {
             next_dynamic: 0,
             stats: RunStats { procs: vec![ProcBreakdown::default(); p], ..Default::default() },
             trace: Trace::new(),
+            rng,
+            sync_seq: 0,
+            applied_seq: vec![0; n_vars],
+            image_defer: vec![VecDeque::new(); p],
+            stall_until: vec![0; p],
+            next_stall,
+            last_progress: 0,
+            watchdog_limit,
             config,
             workload,
         }
+    }
+
+    /// Marks the current cycle as having made observable progress.
+    fn note_progress(&mut self) {
+        self.last_progress = self.cycle;
     }
 
     /// Overrides the initial value of a synchronization variable
@@ -339,27 +468,50 @@ impl Machine {
                 return Err(SimError::Timeout { max_cycles: self.config.max_cycles });
             }
             if let Some(dead) = self.deadlocked() {
-                let detail = dead
-                    .iter()
-                    .map(|&i| {
-                        let p = &self.procs[i];
-                        let at = match p.state {
-                            ProcState::SpinLocal { var, pred } => {
-                                format!("waiting {var} {pred} (image {})", self.sync_images[i][var])
-                            }
-                            ProcState::SpinMem { retry, .. } => format!("retrying {retry:?}"),
-                            _ => "?".to_string(),
-                        };
-                        format!(
-                            "proc {i}: program {:?} ip {} {at}",
-                            p.current, p.ip
-                        )
-                    })
-                    .collect();
+                let detail = self.stuck_detail(&dead);
                 return Err(SimError::Deadlock { cycle: self.cycle, spinning: dead, detail });
+            }
+            if self.cycle.saturating_sub(self.last_progress) > self.watchdog_limit {
+                // Livelock: cycles are being burned (spins, redeliveries,
+                // stalls) but nothing observable has happened for longer
+                // than any legitimate quiet period. Upgrade to a detected
+                // deadlock instead of burning until max_cycles.
+                let spinning: Vec<usize> = self
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| {
+                        matches!(p.state, ProcState::SpinLocal { .. } | ProcState::SpinMem { .. })
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                let mut detail = vec![format!(
+                    "livelock: no forward progress for {} cycles (watchdog limit)",
+                    self.cycle - self.last_progress
+                )];
+                detail.extend(self.stuck_detail(&spinning));
+                return Err(SimError::Deadlock { cycle: self.cycle, spinning, detail });
             }
             self.step();
         }
+    }
+
+    /// Human-readable description of each stuck processor.
+    fn stuck_detail(&self, stuck: &[usize]) -> Vec<String> {
+        stuck
+            .iter()
+            .map(|&i| {
+                let p = &self.procs[i];
+                let at = match p.state {
+                    ProcState::SpinLocal { var, pred } => {
+                        format!("waiting {var} {pred} (image {})", self.sync_images[i][var])
+                    }
+                    ProcState::SpinMem { retry, .. } => format!("retrying {retry:?}"),
+                    _ => "?".to_string(),
+                };
+                format!("proc {i}: program {:?} ip {} {at}", p.current, p.ip)
+            })
+            .collect()
     }
 
     fn finished(&self) -> bool {
@@ -379,14 +531,16 @@ impl Machine {
 
     /// If the machine can provably never progress, the spinning culprits.
     fn deadlocked(&self) -> Option<Vec<usize>> {
+        // A deferred image update still in flight can wake a local
+        // spinner: that is pending activity, not deadlock.
+        if self.image_defer.iter().any(|q| !q.is_empty()) {
+            return None;
+        }
         let any_active = self.data_active.is_some()
             || self.sync_active.is_some()
             || !self.sync_queue.is_empty()
             || self.banks.iter().any(|b| b.active.is_some() || !b.queue.is_empty())
-            || self
-                .data_queue
-                .iter()
-                .any(|r| !matches!(r.kind, DataReqKind::Poll { .. }));
+            || self.data_queue.iter().any(|r| !matches!(r.kind, DataReqKind::Poll { .. }));
         if any_active {
             return None;
         }
@@ -427,12 +581,27 @@ impl Machine {
     }
 
     fn step(&mut self) {
+        self.apply_deferred_images();
         self.complete_transactions();
         self.grant_transactions();
         for p in 0..self.procs.len() {
             self.step_proc(p);
         }
         self.cycle += 1;
+    }
+
+    /// Applies deferred (stale-window) local-image updates that are due.
+    fn apply_deferred_images(&mut self) {
+        for p in 0..self.image_defer.len() {
+            while let Some(&(when, var, val)) = self.image_defer[p].front() {
+                if when > self.cycle {
+                    break;
+                }
+                self.image_defer[p].pop_front();
+                self.sync_images[p][var] = val;
+                self.note_progress();
+            }
+        }
     }
 
     fn complete_transactions(&mut self) {
@@ -463,16 +632,55 @@ impl Machine {
                 }
             }
         }
-        if let Some((req, end)) = self.sync_active {
+        if let Some((entry, end)) = self.sync_active {
             if end == self.cycle {
                 self.sync_active = None;
-                match req {
-                    SyncReq::Post { var, val, .. } => self.write_sync(var, val),
-                    SyncReq::Rmw { proc, var } => {
-                        let v = self.sync_global[var] + 1;
-                        self.write_sync(var, v);
-                        self.unblock(proc);
+                let f = self.config.faults;
+                if f.broadcast_drop_pct > 0
+                    && entry.redeliveries < f.max_redeliveries
+                    && self.rng.chance_pct(f.broadcast_drop_pct)
+                {
+                    // Lost broadcast: re-queue for (bounded) redelivery.
+                    self.stats.faults.dropped_broadcasts += 1;
+                    self.trace.record_fault(self.cycle, None, FaultClass::BroadcastDrop, 0);
+                    self.sync_queue.push_back(QueuedSync {
+                        redeliveries: entry.redeliveries + 1,
+                        faulted: true,
+                        ..entry
+                    });
+                } else {
+                    if entry.faulted {
+                        if let Some(first) = entry.first_grant {
+                            let fault_free = first + u64::from(self.config.sync_bus_latency);
+                            let rec = self.cycle.saturating_sub(fault_free);
+                            self.stats.faults.recovery_cycles += rec;
+                            self.stats.faults.recovery_max =
+                                self.stats.faults.recovery_max.max(rec);
+                        }
                     }
+                    match entry.req {
+                        SyncReq::Post { var, val, .. } => {
+                            if entry.seq > self.applied_seq[var] {
+                                self.applied_seq[var] = entry.seq;
+                                self.write_sync(var, val);
+                            } else {
+                                // A drop or reorder let a newer write to
+                                // this variable perform first: this late
+                                // delivery is stale and must be discarded,
+                                // not applied (sync variables are
+                                // monotonic counters; regressing one would
+                                // wedge every waiter past the lost value).
+                                self.stats.faults.stale_deliveries_discarded += 1;
+                            }
+                        }
+                        SyncReq::Rmw { proc, var } => {
+                            self.applied_seq[var] = self.applied_seq[var].max(entry.seq);
+                            let v = self.sync_global[var] + 1;
+                            self.write_sync(var, v);
+                            self.unblock(proc);
+                        }
+                    }
+                    self.note_progress();
                 }
             }
         }
@@ -480,6 +688,7 @@ impl Machine {
 
     /// Applies the globally-performed effect of a data-path request.
     fn apply_data_effect(&mut self, req: DataReq) {
+        self.note_progress();
         match req.kind {
             DataReqKind::Access => self.unblock(req.proc),
             DataReqKind::SyncWrite { var, val } => {
@@ -534,8 +743,24 @@ impl Machine {
 
     fn write_sync(&mut self, var: SyncVar, val: u64) {
         self.sync_global[var] = val;
-        for img in &mut self.sync_images {
-            img[var] = val;
+        let f = self.config.faults;
+        for p in 0..self.sync_images.len() {
+            let pending = self.image_defer[p].back().map(|&(when, _, _)| when);
+            if f.stale_image_pct > 0 && self.rng.chance_pct(f.stale_image_pct) {
+                // This image lags the global write by a bounded window.
+                let window = u64::from(self.rng.range_u32(1, f.stale_window_max));
+                let when = (self.cycle + window).max(pending.unwrap_or(0));
+                self.stats.faults.stale_image_updates += 1;
+                self.trace.record_fault(self.cycle, Some(p), FaultClass::StaleImage, window);
+                self.image_defer[p].push_back((when, var, val));
+            } else if let Some(pending) = pending {
+                // A fresh update must not overtake an older deferred one:
+                // queue behind it so each image sees writes in global
+                // order, merely late.
+                self.image_defer[p].push_back((pending, var, val));
+            } else {
+                self.sync_images[p][var] = val;
+            }
         }
     }
 
@@ -544,6 +769,7 @@ impl Machine {
     }
 
     fn grant_transactions(&mut self) {
+        let f = self.config.faults;
         if self.data_active.is_none() {
             if let Some(req) = self.data_queue.pop_front() {
                 self.stats.data_transactions += 1;
@@ -552,40 +778,91 @@ impl Machine {
                     DataReqKind::SyncRmw { .. } => self.stats.rmw_ops += 1,
                     _ => {}
                 }
-                let dur = match self.config.memory_model {
+                let mut dur = match self.config.memory_model {
                     MemoryModel::BusHeld => {
                         u64::from(self.config.data_bus_latency + self.config.memory_latency)
                     }
                     MemoryModel::Banked { .. } => u64::from(self.config.data_bus_latency),
                 };
+                if f.data_jitter_pct > 0 && self.rng.chance_pct(f.data_jitter_pct) {
+                    let extra = u64::from(self.rng.range_u32(1, f.data_jitter_max));
+                    dur += extra;
+                    self.stats.faults.jittered_transactions += 1;
+                    self.stats.faults.jitter_cycles += extra;
+                    self.trace.record_fault(
+                        self.cycle,
+                        Some(req.proc),
+                        FaultClass::DataJitter,
+                        extra,
+                    );
+                }
                 self.data_active = Some((req, self.cycle + dur));
+                self.note_progress();
             }
         }
         if self.sync_active.is_none() {
-            if let Some(req) = self.sync_queue.pop_front() {
+            let picked = if f.broadcast_reorder_pct > 0
+                && self.sync_queue.len() >= 2
+                && self.rng.chance_pct(f.broadcast_reorder_pct)
+            {
+                // Faulty arbiter: grant a younger message. The overtaken
+                // head is marked faulted with its counterfactual grant
+                // cycle, so its recovery latency is measured end-to-end.
+                self.stats.faults.reordered_broadcasts += 1;
+                self.trace.record_fault(self.cycle, None, FaultClass::BroadcastReorder, 0);
+                if let Some(head) = self.sync_queue.front_mut() {
+                    head.faulted = true;
+                    head.first_grant.get_or_insert(self.cycle);
+                }
+                let ix = self.rng.range_usize(1, self.sync_queue.len() - 1);
+                self.sync_queue.remove(ix)
+            } else {
+                self.sync_queue.pop_front()
+            };
+            if let Some(mut entry) = picked {
                 self.stats.sync_broadcasts += 1;
-                if let SyncReq::Rmw { .. } = req {
+                if let SyncReq::Rmw { .. } = entry.req {
                     self.stats.rmw_ops += 1;
                 }
-                let dur = u64::from(self.config.sync_bus_latency);
-                self.sync_active = Some((req, self.cycle + dur));
+                entry.first_grant.get_or_insert(self.cycle);
+                let mut dur = u64::from(self.config.sync_bus_latency);
+                if f.broadcast_delay_pct > 0 && self.rng.chance_pct(f.broadcast_delay_pct) {
+                    let extra = u64::from(self.rng.range_u32(1, f.broadcast_delay_max));
+                    dur += extra;
+                    entry.faulted = true;
+                    self.stats.faults.delayed_broadcasts += 1;
+                    self.stats.faults.delay_cycles += extra;
+                    self.trace.record_fault(self.cycle, None, FaultClass::BroadcastDelay, extra);
+                }
+                self.sync_active = Some((entry, self.cycle + dur));
+                self.note_progress();
             }
         }
     }
 
+    fn next_sync_seq(&mut self) -> u64 {
+        self.sync_seq += 1;
+        self.sync_seq
+    }
+
     fn post_sync_write(&mut self, proc: usize, var: SyncVar, val: u64) {
+        let seq = self.next_sync_seq();
         if self.config.coalesce_sync_writes {
             for pending in self.sync_queue.iter_mut() {
-                if let SyncReq::Post { proc: p, var: v, val: pv } = pending {
+                if let SyncReq::Post { proc: p, var: v, val: pv } = &mut pending.req {
                     if *p == proc && *v == var {
                         *pv = val;
+                        // The coalesced message now carries the newest
+                        // write: retag it so it is not discarded as stale.
+                        pending.seq = seq;
                         self.stats.coalesced_writes += 1;
                         return;
                     }
                 }
             }
         }
-        self.sync_queue.push_back(SyncReq::Post { proc, var, val });
+        self.sync_queue
+            .push_back(QueuedSync::new(SyncReq::Post { proc, var, val }, seq));
     }
 
     /// Executes instructions for processor `p` in the current cycle.
@@ -593,6 +870,30 @@ impl Machine {
     /// zero-cost computes) retire in the same cycle; the first costly one
     /// decides how the cycle is accounted.
     fn step_proc(&mut self, p: usize) {
+        if self.config.faults.stall_mean_interval > 0 {
+            if self.cycle >= self.stall_until[p] && self.cycle >= self.next_stall[p] {
+                // Stall onset: freeze this processor for a bounded
+                // interval and schedule the next onset.
+                let len = u64::from(self.rng.range_u32(1, self.config.faults.stall_max));
+                self.stall_until[p] = self.cycle + len;
+                let mean = u64::from(self.config.faults.stall_mean_interval);
+                self.next_stall[p] = self.stall_until[p] + 1 + self.rng.below(2 * mean);
+                self.stats.faults.stalls += 1;
+                self.stats.faults.stall_cycles += len;
+                self.trace.record_fault(self.cycle, Some(p), FaultClass::ProcStall, len);
+            }
+            if self.cycle < self.stall_until[p] {
+                // A stall freezes real work, but trace notes are
+                // bookkeeping, not machine work: an instruction that
+                // already completed (e.g. a keyed access whose
+                // transaction performed this cycle) must still be
+                // witnessed now, or the trace would misreport the order
+                // the hardware actually enforced.
+                self.drain_notes(p);
+                self.procs[p].stats.stalled += 1;
+                return;
+            }
+        }
         loop {
             match self.procs[p].state {
                 ProcState::Idle => {
@@ -605,9 +906,13 @@ impl Machine {
                 }
                 ProcState::Computing { remaining } => {
                     self.procs[p].stats.busy += 1;
+                    self.note_progress();
                     let left = remaining - 1;
-                    self.procs[p].state =
-                        if left == 0 { ProcState::Ready } else { ProcState::Computing { remaining: left } };
+                    self.procs[p].state = if left == 0 {
+                        ProcState::Ready
+                    } else {
+                        ProcState::Computing { remaining: left }
+                    };
                     return;
                 }
                 ProcState::BlockedData | ProcState::BlockedSync => {
@@ -627,7 +932,11 @@ impl Machine {
                 ProcState::SpinMem { retry, phase } => {
                     if let SpinPhase::Backoff { until } = phase {
                         if self.cycle >= until {
-                            self.data_queue.push_back(DataReq { proc: p, kind: retry, addr: retry_addr(retry) });
+                            self.data_queue.push_back(DataReq {
+                                proc: p,
+                                kind: retry,
+                                addr: retry_addr(retry),
+                            });
                             self.procs[p].state =
                                 ProcState::SpinMem { retry, phase: SpinPhase::WaitingResult };
                         }
@@ -642,6 +951,24 @@ impl Machine {
                     self.execute_next_instr(p);
                 }
             }
+        }
+    }
+
+    /// Records any immediately-pending trace notes of a stalled (but
+    /// otherwise ready) processor. Notes retire for free in normal
+    /// stepping; draining them here keeps that invariant across stall
+    /// onsets so completion events are never reported late.
+    fn drain_notes(&mut self, p: usize) {
+        while matches!(self.procs[p].state, ProcState::Ready) {
+            let Some(prog_ix) = self.procs[p].current else { return };
+            let ip = self.procs[p].ip;
+            let program = &self.workload.programs[prog_ix];
+            if ip >= program.instrs.len() {
+                return;
+            }
+            let Instr::Note(label) = program.instrs[ip] else { return };
+            self.procs[p].ip += 1;
+            self.trace.record(self.cycle, p, label);
         }
     }
 
@@ -665,6 +992,7 @@ impl Machine {
         }
         let instr = program.instrs[ip];
         self.procs[p].ip += 1;
+        self.note_progress();
         match instr {
             Instr::Compute(0) => {}
             Instr::Compute(c) => {
@@ -692,7 +1020,8 @@ impl Machine {
             },
             Instr::SyncRmw { var } => match self.config.sync_transport {
                 SyncTransport::DedicatedBus => {
-                    self.sync_queue.push_back(SyncReq::Rmw { proc: p, var });
+                    let seq = self.next_sync_seq();
+                    self.sync_queue.push_back(QueuedSync::new(SyncReq::Rmw { proc: p, var }, seq));
                     self.procs[p].state = ProcState::BlockedSync;
                 }
                 SyncTransport::SharedMemory => {
@@ -735,14 +1064,15 @@ impl Machine {
             Instr::KeyedAccess { var, geq } => match self.config.sync_transport {
                 SyncTransport::DedicatedBus => {
                     if self.sync_images[p][var] >= geq {
-                        self.sync_queue.push_back(SyncReq::Rmw { proc: p, var });
+                        let seq = self.next_sync_seq();
+                        self.sync_queue
+                            .push_back(QueuedSync::new(SyncReq::Rmw { proc: p, var }, seq));
                         self.procs[p].state = ProcState::BlockedSync;
                     } else {
                         // Spin on the local image, then re-issue this
                         // instruction once the key advances.
                         self.procs[p].ip -= 1;
-                        self.procs[p].state =
-                            ProcState::SpinLocal { var, pred: Pred::Geq(geq) };
+                        self.procs[p].state = ProcState::SpinLocal { var, pred: Pred::Geq(geq) };
                     }
                 }
                 SyncTransport::SharedMemory => {
@@ -772,6 +1102,7 @@ impl Machine {
             },
         };
         self.stats.dispatched += 1;
+        self.note_progress();
         self.procs[p].current = Some(next);
         self.procs[p].ip = 0;
         let lat = self.config.dispatch_latency;
@@ -835,10 +1166,8 @@ mod tests {
     #[test]
     fn dedicated_bus_wait_satisfied_by_broadcast() {
         // Proc 0 computes then posts var0 = 1; proc 1 waits for it.
-        let producer = Program::from_instrs(vec![
-            Instr::Compute(20),
-            Instr::SyncSet { var: 0, val: 1 },
-        ]);
+        let producer =
+            Program::from_instrs(vec![Instr::Compute(20), Instr::SyncSet { var: 0, val: 1 }]);
         let consumer = Program::from_instrs(vec![
             Instr::SyncWait { var: 0, pred: Pred::Geq(1) },
             Instr::Compute(1),
@@ -853,10 +1182,8 @@ mod tests {
 
     #[test]
     fn shared_memory_wait_costs_polls() {
-        let producer = Program::from_instrs(vec![
-            Instr::Compute(60),
-            Instr::SyncSet { var: 0, val: 1 },
-        ]);
+        let producer =
+            Program::from_instrs(vec![Instr::Compute(60), Instr::SyncSet { var: 0, val: 1 }]);
         let consumer = Program::from_instrs(vec![Instr::SyncWait { var: 0, pred: Pred::Geq(1) }]);
         let w = Workload::static_assigned(vec![producer, consumer], vec![vec![0], vec![1]]);
         let c = cfg(2).transport(SyncTransport::SharedMemory);
@@ -890,10 +1217,7 @@ mod tests {
     #[test]
     fn rmw_increments_atomically() {
         let prog = Program::from_instrs(vec![Instr::SyncRmw { var: 0 }, Instr::SyncRmw { var: 0 }]);
-        let w = Workload::static_assigned(
-            vec![prog.clone(), prog],
-            vec![vec![0], vec![1]],
-        );
+        let w = Workload::static_assigned(vec![prog.clone(), prog], vec![vec![0], vec![1]]);
         for transport in [SyncTransport::DedicatedBus, SyncTransport::SharedMemory] {
             let out = run(&cfg(2).transport(transport), &w).unwrap();
             assert_eq!(out.sync_final[0], 4, "transport {transport:?}");
@@ -945,7 +1269,9 @@ mod tests {
 
     #[test]
     fn determinism_same_run_same_stats() {
-        let prog = |c| Program::from_instrs(vec![Instr::Compute(c), Instr::Access { addr: 1, write: true }]);
+        let prog = |c| {
+            Program::from_instrs(vec![Instr::Compute(c), Instr::Access { addr: 1, write: true }])
+        };
         let w = Workload::dynamic(vec![prog(3), prog(9), prog(1), prog(7), prog(5)]);
         let a = run(&cfg(3), &w).unwrap();
         let b = run(&cfg(3), &w).unwrap();
@@ -972,10 +1298,8 @@ mod tests {
 
     #[test]
     fn keyed_access_failed_attempts_cost_memory_traffic() {
-        let slow = Program::from_instrs(vec![
-            Instr::Compute(100),
-            Instr::KeyedAccess { var: 0, geq: 0 },
-        ]);
+        let slow =
+            Program::from_instrs(vec![Instr::Compute(100), Instr::KeyedAccess { var: 0, geq: 0 }]);
         let eager = Program::from_instrs(vec![Instr::KeyedAccess { var: 0, geq: 1 }]);
         let w = Workload::static_assigned(vec![slow, eager], vec![vec![0], vec![1]]);
         let out = run(&cfg(2).transport(SyncTransport::SharedMemory), &w).unwrap();
@@ -1036,17 +1360,14 @@ mod tests {
     #[test]
     fn banked_sync_ops_still_correct() {
         use crate::config::MemoryModel;
-        let producer = Program::from_instrs(vec![
-            Instr::Compute(30),
-            Instr::SyncSet { var: 3, val: 1 },
-        ]);
+        let producer =
+            Program::from_instrs(vec![Instr::Compute(30), Instr::SyncSet { var: 3, val: 1 }]);
         let consumer = Program::from_instrs(vec![
             Instr::SyncWait { var: 3, pred: Pred::Geq(1) },
             Instr::SyncRmw { var: 3 },
         ]);
         let w = Workload::static_assigned(vec![producer, consumer], vec![vec![0], vec![1]]);
-        let c = cfg(2)
-            .transport(SyncTransport::SharedMemory);
+        let c = cfg(2).transport(SyncTransport::SharedMemory);
         let mut c = c;
         c.memory_model = MemoryModel::Banked { banks: 4 };
         let out = run(&c, &w).unwrap();
@@ -1090,5 +1411,148 @@ mod tests {
         c.max_cycles = 5;
         let w = Workload::dynamic(vec![Program::from_instrs(vec![Instr::Compute(100)])]);
         assert!(matches!(run(&c, &w), Err(SimError::Timeout { .. })));
+    }
+
+    // ---- fault injection ----
+
+    use crate::faults::{FaultClass, FaultPlan};
+
+    /// A producer/consumer chain that exercises broadcasts, waits and
+    /// data accesses.
+    fn chain_workload(n: usize) -> Workload {
+        let progs = (0..n)
+            .map(|i| {
+                let mut instrs = Vec::new();
+                if i > 0 {
+                    instrs.push(Instr::SyncWait { var: 0, pred: Pred::Geq(i as u64) });
+                }
+                instrs.push(Instr::Compute(3));
+                instrs.push(Instr::Access { addr: i as u64, write: true });
+                instrs.push(Instr::SyncSet { var: 0, val: i as u64 + 1 });
+                Program::from_instrs(instrs)
+            })
+            .collect();
+        Workload::dynamic(progs)
+    }
+
+    #[test]
+    fn fault_free_run_unchanged_by_fault_support() {
+        // A zero plan injects nothing: all fault counters stay zero.
+        let out = run(&cfg(3), &chain_workload(8)).unwrap();
+        assert_eq!(out.stats.faults.total(), 0);
+        assert_eq!(out.stats.faults.recovery_cycles, 0);
+        assert!(out.trace.fault_events().is_empty());
+        assert!(out.stats.procs.iter().all(|p| p.stalled == 0));
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let c = cfg(3).with_faults(FaultPlan::chaos(42, 60));
+        let a = run(&c, &chain_workload(10)).unwrap();
+        let b = run(&c, &chain_workload(10)).unwrap();
+        assert_eq!(a.stats, b.stats, "same seed must give byte-identical stats");
+        assert_eq!(a.trace, b.trace);
+        assert!(a.stats.faults.total() > 0, "chaos at 60 must inject something");
+        // A different seed shakes the machine differently.
+        let c2 = cfg(3).with_faults(FaultPlan::chaos(43, 60));
+        let other = run(&c2, &chain_workload(10)).unwrap();
+        assert_ne!(a.stats.faults, other.stats.faults, "seeds 42/43 should differ");
+    }
+
+    #[test]
+    fn dropped_broadcasts_are_redelivered() {
+        let c = cfg(2).with_faults(FaultPlan::only(FaultClass::BroadcastDrop, 7, 80));
+        let out = run(&c, &chain_workload(8)).unwrap();
+        assert!(out.stats.faults.dropped_broadcasts > 0, "80% drop must fire");
+        assert_eq!(out.sync_final[0], 8, "every broadcast must eventually deliver");
+        assert!(out.stats.faults.recovery_cycles > 0, "drops have recovery latency");
+    }
+
+    #[test]
+    fn delayed_broadcasts_cost_recovery_latency() {
+        let c = cfg(2).with_faults(FaultPlan::only(FaultClass::BroadcastDelay, 3, 100));
+        let out = run(&c, &chain_workload(6)).unwrap();
+        assert!(out.stats.faults.delayed_broadcasts > 0);
+        assert!(out.stats.faults.delay_cycles > 0);
+        assert!(out.stats.faults.recovery_max >= 1);
+        assert_eq!(out.sync_final[0], 6);
+    }
+
+    #[test]
+    fn stale_images_preserve_per_image_write_order() {
+        // The consumer leaves only once its (lagging) image reaches the
+        // final value; order-preserving deferral means it never sees a
+        // newer value before an older one, and the run still completes.
+        let c = cfg(2).with_faults(FaultPlan::only(FaultClass::StaleImage, 11, 90));
+        let out = run(&c, &chain_workload(8)).unwrap();
+        assert!(out.stats.faults.stale_image_updates > 0);
+        assert_eq!(out.sync_final[0], 8);
+    }
+
+    #[test]
+    fn stalls_freeze_and_account() {
+        let c = cfg(2).with_faults(FaultPlan::only(FaultClass::ProcStall, 5, 80));
+        let out = run(&c, &chain_workload(8)).unwrap();
+        assert!(out.stats.faults.stalls > 0);
+        let stalled: u64 = out.stats.procs.iter().map(|p| p.stalled).sum();
+        // A stall that straddles the end of the run is charged in full to
+        // stall_cycles but only partially ticked.
+        assert!(stalled > 0 && stalled <= out.stats.faults.stall_cycles);
+        for (i, p) in out.stats.procs.iter().enumerate() {
+            assert_eq!(p.total(), out.stats.makespan, "proc {i} conservation with stalls");
+        }
+    }
+
+    #[test]
+    fn data_jitter_slows_the_data_path() {
+        let plain = run(&cfg(2), &chain_workload(8)).unwrap();
+        let c = cfg(2).with_faults(FaultPlan::only(FaultClass::DataJitter, 9, 100));
+        let out = run(&c, &chain_workload(8)).unwrap();
+        assert!(out.stats.faults.jittered_transactions > 0);
+        assert!(out.stats.faults.jitter_cycles > 0);
+        assert!(out.stats.makespan > plain.stats.makespan, "jitter must cost cycles");
+    }
+
+    #[test]
+    fn reorder_still_delivers_everything() {
+        // Six processors post simultaneously so the sync queue is deep at
+        // grant time; every variable must still reach its value.
+        let writers: Vec<Program> = (0..6)
+            .map(|v| Program::from_instrs(vec![Instr::SyncSet { var: v, val: 1 }]))
+            .collect();
+        let assign: Vec<Vec<usize>> = (0..6).map(|p| vec![p]).collect();
+        let w = Workload::static_assigned(writers, assign);
+        let mut c = cfg(6).with_faults(FaultPlan::only(FaultClass::BroadcastReorder, 13, 100));
+        c.coalesce_sync_writes = false;
+        let out = run(&c, &w).unwrap();
+        assert!(out.stats.faults.reordered_broadcasts > 0);
+        assert_eq!(out.sync_final, vec![1; 6]);
+    }
+
+    #[test]
+    fn deadlock_still_detected_under_chaos() {
+        // An unsatisfiable wait must be *detected* (deadlock), not burn
+        // until max_cycles, even while faults keep shaking the machine.
+        let stuck = Program::from_instrs(vec![Instr::SyncWait { var: 0, pred: Pred::Geq(9) }]);
+        let mut c = cfg(1).with_faults(FaultPlan::chaos(21, 50));
+        c.max_cycles = 2_000_000;
+        match run(&c, &Workload::dynamic(vec![stuck])) {
+            Err(SimError::Deadlock { cycle, .. }) => {
+                assert!(cycle < 100_000, "detection must be prompt, took {cycle}");
+            }
+            other => panic!("expected detected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_events_traced() {
+        let c = cfg(2).with_faults(FaultPlan::only(FaultClass::DataJitter, 2, 100));
+        let out = run(&c, &chain_workload(4)).unwrap();
+        assert!(!out.trace.fault_events().is_empty());
+        assert!(out
+            .trace
+            .fault_events()
+            .iter()
+            .all(|e| e.class == FaultClass::DataJitter && e.magnitude >= 1));
     }
 }

@@ -1,0 +1,170 @@
+//! A tiny deterministic PRNG (splitmix64).
+//!
+//! Fault injection must be a *pure function* of the configuration, so the
+//! simulator carries its own seeded generator instead of an external
+//! crate: splitmix64 (Steele, Lea & Flood's `SplittableRandom` finalizer)
+//! passes BigCrush, needs one u64 of state, and is trivially
+//! reproducible across platforms. The same generator drives the
+//! synthetic-workload generators and the seeded property tests.
+
+/// A splitmix64 pseudo-random generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`). Uses the widening-multiply
+    /// reduction, which is unbiased enough for simulation purposes and
+    /// branch-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform value in the inclusive range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `i64` in the inclusive range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo.wrapping_add(self.below((hi.wrapping_sub(lo) as u64) + 1) as i64)
+    }
+
+    /// Uniform `usize` in the inclusive range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `u32` in the inclusive range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// `true` with probability `pct / 100` (clamped at 100).
+    pub fn chance_pct(&mut self, pct: u32) -> bool {
+        pct >= 100 || self.below(100) < u64::from(pct)
+    }
+
+    /// `true` with probability `p` (0.0..=1.0).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 uniform mantissa bits, the standard [0, 1) construction.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Derives an independent generator (splitmix is splittable: one draw
+    /// seeds a new stream that does not overlap in practice).
+    pub fn split(&mut self) -> Self {
+        Self::new(self.next_u64() ^ 0x5851_f42d_4c95_7f2d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_vector() {
+        // Reference values for seed 1234567 (splitmix64 test vector).
+        let mut g = SplitMix64::new(1234567);
+        let first = g.next_u64();
+        assert_eq!(first, 0x599e_d017_fb08_fc85, "splitmix64 stream changed");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let v = g.range_u64(5, 9);
+            assert!((5..=9).contains(&v));
+            let i = g.range_i64(-3, 3);
+            assert!((-3..=3).contains(&i));
+            assert!(g.below(1) == 0);
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut g = SplitMix64::new(99);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[g.range_usize(0, 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "5-value range must cover all values");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut g = SplitMix64::new(3);
+        assert!(g.chance_pct(100));
+        assert!(!g.chance_pct(0));
+        assert!(g.chance(1.0));
+        assert!(!g.chance(0.0));
+        // 50% is roughly balanced.
+        let hits = (0..1000).filter(|_| g.chance_pct(50)).count();
+        assert!((350..=650).contains(&hits), "got {hits}/1000 at 50%");
+    }
+
+    #[test]
+    fn split_streams_diverge() {
+        let mut g = SplitMix64::new(11);
+        let mut a = g.split();
+        let mut b = g.split();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

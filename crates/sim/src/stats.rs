@@ -1,5 +1,7 @@
 //! Run statistics.
 
+use crate::faults::FaultCounts;
+
 /// Per-processor cycle breakdown.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcBreakdown {
@@ -12,12 +14,15 @@ pub struct ProcBreakdown {
     /// Cycles with no work assigned (before first dispatch or after the
     /// last program finished).
     pub idle: u64,
+    /// Cycles frozen by an injected processor stall (fault injection
+    /// only; always 0 on a fault-free run).
+    pub stalled: u64,
 }
 
 impl ProcBreakdown {
     /// Total accounted cycles.
     pub fn total(&self) -> u64 {
-        self.busy + self.spin + self.blocked + self.idle
+        self.busy + self.spin + self.blocked + self.idle + self.stalled
     }
 }
 
@@ -41,6 +46,9 @@ pub struct RunStats {
     pub rmw_ops: u64,
     /// Iterations dispatched.
     pub dispatched: u64,
+    /// Injected-fault counts and recovery latencies (all zero on a
+    /// fault-free run).
+    pub faults: FaultCounts,
 }
 
 impl RunStats {
@@ -80,8 +88,8 @@ mod tests {
         let stats = RunStats {
             makespan: 100,
             procs: vec![
-                ProcBreakdown { busy: 80, spin: 10, blocked: 5, idle: 5 },
-                ProcBreakdown { busy: 40, spin: 30, blocked: 20, idle: 10 },
+                ProcBreakdown { busy: 80, spin: 10, blocked: 5, idle: 5, stalled: 0 },
+                ProcBreakdown { busy: 40, spin: 30, blocked: 20, idle: 10, stalled: 0 },
             ],
             ..Default::default()
         };

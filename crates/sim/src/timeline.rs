@@ -40,7 +40,13 @@ pub fn spans(trace: &Trace) -> Vec<Span> {
         if e.label.start {
             open.insert(key, e.cycle);
         } else if let Some(start) = open.remove(&key) {
-            out.push(Span { proc: e.proc, stmt: e.label.stmt, pid: e.label.pid, start, end: e.cycle });
+            out.push(Span {
+                proc: e.proc,
+                stmt: e.label.stmt,
+                pid: e.label.pid,
+                start,
+                end: e.cycle,
+            });
         }
     }
     out.sort_by_key(|s| (s.proc, s.start));
@@ -73,9 +79,9 @@ pub fn render(trace: &Trace, procs: usize, width: usize) -> String {
         }
         let c0 = (s.start as f64 / scale) as usize;
         let c1 = ((s.end as f64 / scale) as usize).min(width - 1);
-        for c in c0..=c1 {
-            if rows[s.proc][c] == '.' {
-                rows[s.proc][c] = glyph(s.stmt);
+        for cell in &mut rows[s.proc][c0..=c1] {
+            if *cell == '.' {
+                *cell = glyph(s.stmt);
             }
         }
     }

@@ -8,6 +8,7 @@
 //!
 //! [`Instr::Note`]: crate::program::Instr::Note
 
+use crate::faults::FaultClass;
 use crate::program::Label;
 use std::collections::HashMap;
 
@@ -22,10 +23,26 @@ pub struct TraceEvent {
     pub label: Label,
 }
 
+/// One injected fault (recorded when fault injection is active).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle the fault was injected.
+    pub cycle: u64,
+    /// Processor it hit (`None` for bus-level faults).
+    pub proc: Option<usize>,
+    /// Fault class.
+    pub class: FaultClass,
+    /// Magnitude in cycles (delay length, stall length, deferral window;
+    /// 0 for reorders and drops, whose cost shows up as recovery
+    /// latency).
+    pub magnitude: u64,
+}
+
 /// The ordered list of note events of one run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    fault_events: Vec<FaultEvent>,
 }
 
 /// An ordering violation found by [`Trace::validate_order`].
@@ -59,6 +76,22 @@ impl Trace {
     /// All events in record order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Records an injected fault (called by the machine).
+    pub fn record_fault(
+        &mut self,
+        cycle: u64,
+        proc: Option<usize>,
+        class: FaultClass,
+        magnitude: u64,
+    ) {
+        self.fault_events.push(FaultEvent { cycle, proc, class, magnitude });
+    }
+
+    /// All injected faults in record order (empty on fault-free runs).
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.fault_events
     }
 
     /// Start cycle of statement instance `(stmt, pid)`, if recorded.

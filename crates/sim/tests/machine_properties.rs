@@ -1,105 +1,126 @@
-//! Property-based tests of the machine model's invariants over random
-//! (wait-free, hence always-terminating) programs.
+//! Property-style tests of the machine model's invariants over random
+//! (wait-free, hence always-terminating) programs, drawn from a seeded
+//! `SplitMix64` stream so every run covers the same cases.
 
 use datasync_sim::{
-    run, Instr, Label, MachineConfig, MemoryModel, Program, SyncTransport, Workload,
+    run, Instr, Label, MachineConfig, MemoryModel, Program, SplitMix64, SyncTransport, Workload,
 };
-use proptest::prelude::*;
 
-/// Strategy: a random wait-free instruction.
-fn instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (1u32..20).prop_map(Instr::Compute),
-        (0u64..64, prop::bool::ANY).prop_map(|(addr, write)| Instr::Access { addr, write }),
-        (0usize..8, 1u64..100).prop_map(|(var, val)| Instr::SyncSet { var, val }),
-        (0usize..8).prop_map(|var| Instr::SyncRmw { var }),
-        (0u64..32, 0u32..4, prop::bool::ANY)
-            .prop_map(|(pid, stmt, start)| Instr::Note(Label { pid, stmt, start })),
-    ]
+const CASES: usize = 64;
+
+/// A random wait-free instruction.
+fn instr(g: &mut SplitMix64) -> Instr {
+    match g.below(5) {
+        0 => Instr::Compute(g.range_u32(1, 19)),
+        1 => Instr::Access { addr: g.below(64), write: g.chance_pct(50) },
+        2 => Instr::SyncSet { var: g.range_usize(0, 7), val: g.range_u64(1, 99) },
+        3 => Instr::SyncRmw { var: g.range_usize(0, 7) },
+        _ => Instr::Note(Label {
+            pid: g.below(32),
+            stmt: g.range_u32(0, 3),
+            start: g.chance_pct(50),
+        }),
+    }
 }
 
-fn programs() -> impl Strategy<Value = Vec<Program>> {
-    prop::collection::vec(
-        prop::collection::vec(instr(), 0..12).prop_map(Program::from_instrs),
-        1..10,
-    )
-}
-
-fn configs() -> impl Strategy<Value = MachineConfig> {
-    (
-        1usize..6,
-        1u32..4,
-        0u32..6,
-        prop_oneof![
-            Just(MemoryModel::BusHeld),
-            (1usize..5).prop_map(|banks| MemoryModel::Banked { banks })
-        ],
-        prop_oneof![Just(SyncTransport::DedicatedBus), Just(SyncTransport::SharedMemory)],
-        prop::bool::ANY,
-    )
-        .prop_map(|(p, bus, mem, memory_model, transport, coalesce)| MachineConfig {
-            processors: p,
-            data_bus_latency: bus,
-            memory_latency: mem,
-            memory_model,
-            sync_transport: transport,
-            coalesce_sync_writes: coalesce,
-            ..MachineConfig::default()
+fn programs(g: &mut SplitMix64) -> Vec<Program> {
+    let n = g.range_usize(1, 9);
+    (0..n)
+        .map(|_| {
+            let len = g.range_usize(0, 11);
+            Program::from_instrs((0..len).map(|_| instr(g)).collect())
         })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+fn config(g: &mut SplitMix64) -> MachineConfig {
+    MachineConfig {
+        processors: g.range_usize(1, 5),
+        data_bus_latency: g.range_u32(1, 3),
+        memory_latency: g.range_u32(0, 5),
+        memory_model: if g.chance_pct(50) {
+            MemoryModel::BusHeld
+        } else {
+            MemoryModel::Banked { banks: g.range_usize(1, 4) }
+        },
+        sync_transport: if g.chance_pct(50) {
+            SyncTransport::DedicatedBus
+        } else {
+            SyncTransport::SharedMemory
+        },
+        coalesce_sync_writes: g.chance_pct(50),
+        ..MachineConfig::default()
+    }
+}
 
-    /// Wait-free workloads always terminate, every processor's cycle
-    /// breakdown sums to the makespan, and every program is dispatched.
-    #[test]
-    fn conservation_and_termination(progs in programs(), config in configs()) {
+/// Wait-free workloads always terminate, every processor's cycle
+/// breakdown sums to the makespan, and every program is dispatched.
+#[test]
+fn conservation_and_termination() {
+    let mut g = SplitMix64::new(0x0c01);
+    for case in 0..CASES {
+        let progs = programs(&mut g);
+        let cfg = config(&mut g);
         let n = progs.len() as u64;
         let w = Workload::dynamic(progs);
-        let out = run(&config, &w).expect("wait-free workloads terminate");
-        prop_assert_eq!(out.stats.dispatched, n);
+        let out = run(&cfg, &w).expect("wait-free workloads terminate");
+        assert_eq!(out.stats.dispatched, n, "case {case}");
         for (i, p) in out.stats.procs.iter().enumerate() {
-            prop_assert_eq!(p.total(), out.stats.makespan, "proc {} breakdown", i);
+            assert_eq!(p.total(), out.stats.makespan, "case {case} proc {i} breakdown");
         }
     }
+}
 
-    /// Determinism: two runs of the same configuration agree exactly.
-    #[test]
-    fn deterministic(progs in programs(), config in configs()) {
+/// Determinism: two runs of the same configuration agree exactly.
+#[test]
+fn deterministic() {
+    let mut g = SplitMix64::new(0x0c02);
+    for case in 0..CASES {
+        let progs = programs(&mut g);
+        let cfg = config(&mut g);
         let w = Workload::dynamic(progs);
-        let a = run(&config, &w).expect("terminates");
-        let b = run(&config, &w).expect("terminates");
-        prop_assert_eq!(a.stats, b.stats);
-        prop_assert_eq!(a.trace, b.trace);
-        prop_assert_eq!(a.sync_final, b.sync_final);
+        let a = run(&cfg, &w).expect("terminates");
+        let b = run(&cfg, &w).expect("terminates");
+        assert_eq!(a.stats, b.stats, "case {case}");
+        assert_eq!(a.trace, b.trace, "case {case}");
+        assert_eq!(a.sync_final, b.sync_final, "case {case}");
     }
+}
 
-    /// Final sync-variable values are transport- and policy-independent
-    /// for RMW-only traffic (increments commute), and the RMW count is
-    /// exact.
-    #[test]
-    fn rmw_counts_exact(increments in prop::collection::vec(0usize..4, 1..12),
-                        config in configs()) {
+/// Final sync-variable values are transport- and policy-independent
+/// for RMW-only traffic (increments commute), and the RMW count is
+/// exact.
+#[test]
+fn rmw_counts_exact() {
+    let mut g = SplitMix64::new(0x0c03);
+    for case in 0..CASES {
+        let n = g.range_usize(1, 11);
+        let increments: Vec<usize> = (0..n).map(|_| g.range_usize(0, 3)).collect();
+        let cfg = config(&mut g);
         let progs: Vec<Program> = increments
             .iter()
             .map(|&v| Program::from_instrs(vec![Instr::SyncRmw { var: v }]))
             .collect();
         let w = Workload::dynamic(progs);
-        let out = run(&config, &w).expect("terminates");
-        prop_assert_eq!(out.stats.rmw_ops, increments.len() as u64);
+        let out = run(&cfg, &w).expect("terminates");
+        assert_eq!(out.stats.rmw_ops, increments.len() as u64, "case {case}");
         for var in 0..4usize {
             let expect = increments.iter().filter(|&&v| v == var).count() as u64;
             let got = out.sync_final.get(var).copied().unwrap_or(0);
-            prop_assert_eq!(got, expect, "var {}", var);
+            assert_eq!(got, expect, "case {case} var {var}");
         }
     }
+}
 
-    /// Static cyclic and blocked assignments run the same programs to the
-    /// same final sync state as dynamic dispatch (order-insensitive ops).
-    #[test]
-    fn assignment_mode_equivalence(increments in prop::collection::vec(0usize..4, 1..12),
-                                   procs in 1usize..5) {
+/// Static cyclic and blocked assignments run the same programs to the
+/// same final sync state as dynamic dispatch (order-insensitive ops).
+#[test]
+fn assignment_mode_equivalence() {
+    let mut g = SplitMix64::new(0x0c04);
+    for case in 0..CASES {
+        let n = g.range_usize(1, 11);
+        let increments: Vec<usize> = (0..n).map(|_| g.range_usize(0, 3)).collect();
+        let procs = g.range_usize(1, 4);
         let progs: Vec<Program> = increments
             .iter()
             .map(|&v| Program::from_instrs(vec![Instr::SyncRmw { var: v }]))
@@ -108,7 +129,7 @@ proptest! {
         let dynamic = run(&config, &Workload::dynamic(progs.clone())).expect("ok");
         let cyclic = run(&config, &Workload::static_cyclic(progs.clone(), procs)).expect("ok");
         let blocked = run(&config, &Workload::static_blocked(progs, procs)).expect("ok");
-        prop_assert_eq!(&dynamic.sync_final, &cyclic.sync_final);
-        prop_assert_eq!(&dynamic.sync_final, &blocked.sync_final);
+        assert_eq!(&dynamic.sync_final, &cyclic.sync_final, "case {case}");
+        assert_eq!(&dynamic.sync_final, &blocked.sync_final, "case {case}");
     }
 }

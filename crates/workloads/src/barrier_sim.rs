@@ -74,10 +74,7 @@ pub fn barrier_workload(
                     for r in 0..rounds {
                         let round = (e as u64) * u64::from(rounds) + u64::from(r) + 1;
                         prog.push(Instr::SyncSet { var: p, val: round });
-                        prog.push(Instr::SyncWait {
-                            var: p ^ (1 << r),
-                            pred: Pred::Geq(round),
-                        });
+                        prog.push(Instr::SyncWait { var: p ^ (1 << r), pred: Pred::Geq(round) });
                     }
                     prog.push(Instr::Note(Label { pid: e as u64, stmt: p as u32, start: false }));
                 }

@@ -16,10 +16,12 @@
 //! in safe Rust.
 
 use crate::complex::Complex;
-use datasync_core::barrier::{ButterflyBarrier, CounterBarrier, DisseminationBarrier, PhaseBarrier};
+use datasync_core::barrier::{
+    ButterflyBarrier, CounterBarrier, DisseminationBarrier, PhaseBarrier,
+};
+use datasync_core::pad::CachePadded;
 use datasync_core::phased::PhaseSync;
 use datasync_core::wait::WaitStrategy;
-use crossbeam_utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A shared buffer of complex values readable and writable across
@@ -77,8 +79,8 @@ pub fn parallel_fft(input: &[Complex], workers: usize, sync: PhaseSync) -> Vec<C
     let bufs = [SharedBuf::new(n), SharedBuf::new(n)];
     // Bit-reversal permutation into buffer 0 (embarrassingly parallel;
     // done up front).
-    for i in 0..n {
-        bufs[0].store(bit_reverse(i, bits), input[i]);
+    for (i, &v) in input.iter().enumerate() {
+        bufs[0].store(bit_reverse(i, bits), v);
     }
 
     let stages = bits as usize;
@@ -87,7 +89,11 @@ pub fn parallel_fft(input: &[Complex], workers: usize, sync: PhaseSync) -> Vec<C
     // worker pid ^ (2^k / chunk).
     let cross_partner = |pid: usize, k: usize| -> Option<usize> {
         let half = 1usize << k;
-        if half >= chunk { Some(pid ^ (half / chunk)) } else { None }
+        if half >= chunk {
+            Some(pid ^ (half / chunk))
+        } else {
+            None
+        }
     };
 
     let barrier: Option<Box<dyn PhaseBarrier>> = match sync {
@@ -212,7 +218,8 @@ mod tests {
             .map(|i| {
                 let t = i as f64 / n as f64;
                 Complex::new(
-                    (2.0 * std::f64::consts::PI * 3.0 * t).sin() + 0.5 * (2.0 * std::f64::consts::PI * 7.0 * t).cos(),
+                    (2.0 * std::f64::consts::PI * 3.0 * t).sin()
+                        + 0.5 * (2.0 * std::f64::consts::PI * 7.0 * t).cos(),
                     0.1 * t,
                 )
             })
@@ -247,7 +254,9 @@ mod tests {
     fn parallel_global_barriers_match_too() {
         let x = test_signal(128);
         let seq = sequential_fft(&x);
-        for sync in [PhaseSync::GlobalCounter, PhaseSync::GlobalButterfly, PhaseSync::GlobalDissemination] {
+        for sync in
+            [PhaseSync::GlobalCounter, PhaseSync::GlobalButterfly, PhaseSync::GlobalDissemination]
+        {
             let par = parallel_fft(&x, 4, sync);
             assert_eq!(max_error(&par, &seq), 0.0, "{}", sync.name());
         }
@@ -266,6 +275,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
-        let _ = parallel_fft(&vec![Complex::ZERO; 12], 2, PhaseSync::Pairwise);
+        let _ = parallel_fft(&[Complex::ZERO; 12], 2, PhaseSync::Pairwise);
     }
 }

@@ -14,8 +14,8 @@
 //! provides: waiting for both neighbours at sweep `s` implies neither
 //! still reads buffers from sweep `s-1`.
 
-use crossbeam_utils::CachePadded;
 use datasync_core::barrier::{DisseminationBarrier, PhaseBarrier};
+use datasync_core::pad::CachePadded;
 use datasync_core::wait::WaitStrategy;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -92,7 +92,13 @@ pub fn solve_sequential(n: usize, sweeps: usize, alpha: f64) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if `workers == 0` or `n < 2 * workers`.
-pub fn solve_parallel(n: usize, sweeps: usize, alpha: f64, workers: usize, sync: PdeSync) -> Vec<f64> {
+pub fn solve_parallel(
+    n: usize,
+    sweeps: usize,
+    alpha: f64,
+    workers: usize,
+    sync: PdeSync,
+) -> Vec<f64> {
     assert!(workers >= 1, "need at least one worker");
     assert!(n >= 2 * workers, "strips too small");
     let bufs = [Field::new(n), Field::new(n)];

@@ -53,30 +53,26 @@ pub fn wavefront_workload(n: usize, cost: CellCost, procs: usize) -> Workload {
     let m = n - 1; // cells per side
     let mut programs = Vec::new();
     let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); procs];
-    let mut episode = 0u64;
     // Diagonal d contains cells (i, j), i + j = d, 2 <= d <= 2m.
-    for d in 2..=2 * m {
+    for (episode, d) in (2..=2 * m).enumerate() {
         let lo = 1.max(d.saturating_sub(m));
         let hi = m.min(d - 1);
-        for p in 0..procs {
+        for (p, assigned) in assignment.iter_mut().enumerate() {
             let mut prog = Program::new();
-            let mut k = 0usize;
-            for i in lo..=hi {
+            for (k, i) in (lo..=hi).enumerate() {
                 if k % procs == p {
                     emit_cell(&mut prog, i as u64, (d - i) as u32, cost.0);
                 }
-                k += 1;
             }
             // Butterfly barrier rounds; counters are vars 0..procs.
             for r in 0..rounds {
-                let round = episode * u64::from(rounds) + u64::from(r) + 1;
+                let round = episode as u64 * u64::from(rounds) + u64::from(r) + 1;
                 prog.push(Instr::SyncSet { var: p, val: round });
                 prog.push(Instr::SyncWait { var: p ^ (1 << r), pred: Pred::Geq(round) });
             }
-            assignment[p].push(programs.len());
+            assigned.push(programs.len());
             programs.push(prog);
         }
-        episode += 1;
     }
     Workload::static_assigned(programs, assignment)
 }
@@ -143,7 +139,7 @@ pub fn pipelined_workload(n: usize, cost: CellCost, g: usize, x: usize) -> Workl
 pub fn pipelined_sc_workload(n: usize, cost: CellCost, l: usize) -> Workload {
     let m = n - 1;
     assert!(l >= 1, "need at least one statement counter");
-    assert!(m % l == 0, "SC count must divide the column count for this model");
+    assert!(m.is_multiple_of(l), "SC count must divide the column count for this model");
     let per_sc = (m / l) as u64; // instances of each SC per row
     let mut programs = Vec::with_capacity(m);
     for row in 1..=m as u64 {
@@ -258,7 +254,12 @@ mod tests {
             pl.utilization(),
             wf.utilization()
         );
-        assert!(pl.makespan < wf.makespan, "pipelined {} vs wavefront {}", pl.makespan, wf.makespan);
+        assert!(
+            pl.makespan < wf.makespan,
+            "pipelined {} vs wavefront {}",
+            pl.makespan,
+            wf.makespan
+        );
     }
 
     #[test]

@@ -93,12 +93,10 @@ pub fn run_wavefront(grid: &Grid, threads: usize) -> usize {
                 for w in 4..=2 * n {
                     let lo = 2.max(w.saturating_sub(n));
                     let hi = n.min(w - 2);
-                    let mut k = 0usize;
-                    for i in lo..=hi {
+                    for (k, i) in (lo..=hi).enumerate() {
                         if k % threads == pid {
                             relax(grid, i, w - i);
                         }
-                        k += 1;
                     }
                     barrier.wait(pid);
                     if pid == 0 {

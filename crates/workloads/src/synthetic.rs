@@ -7,8 +7,7 @@
 //! dependences (and which) is up to the analysis.
 
 use datasync_loopir::ir::{AccessKind, ArrayId, ArrayRef, LinExpr, LoopNest, LoopNestBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use datasync_sim::rng::SplitMix64;
 
 /// Parameters for the generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,30 +28,23 @@ pub struct SynthParams {
 
 impl Default for SynthParams {
     fn default() -> Self {
-        Self {
-            n_iters: 40,
-            stmts: (2, 5),
-            arrays: 2,
-            max_offset: 3,
-            cost: (1, 6),
-            branch_pct: 30,
-        }
+        Self { n_iters: 40, stmts: (2, 5), arrays: 2, max_offset: 3, cost: (1, 6), branch_pct: 30 }
     }
 }
 
 /// Generates a random loop from a seed (deterministic per seed).
 pub fn random_nest(seed: u64, params: &SynthParams) -> LoopNest {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let n_stmts = rng.gen_range(params.stmts.0..=params.stmts.1);
-    let with_branch = n_stmts >= 3 && rng.gen_range(0..100) < params.branch_pct;
+    let mut rng = SplitMix64::new(seed);
+    let n_stmts = rng.range_usize(params.stmts.0, params.stmts.1);
+    let with_branch = n_stmts >= 3 && rng.chance_pct(params.branch_pct);
 
-    let make_refs = |rng: &mut StdRng, stmt_ix: usize| -> Vec<ArrayRef> {
+    let make_refs = |rng: &mut SplitMix64, stmt_ix: usize| -> Vec<ArrayRef> {
         let mut refs = Vec::new();
-        let n_refs = rng.gen_range(1..=3);
+        let n_refs = rng.range_usize(1, 3);
         for _ in 0..n_refs {
-            let array = ArrayId(rng.gen_range(0..params.arrays));
-            let kind = if rng.gen_bool(0.4) { AccessKind::Write } else { AccessKind::Read };
-            let offset = rng.gen_range(-params.max_offset..=params.max_offset);
+            let array = ArrayId(rng.range_usize(0, params.arrays - 1));
+            let kind = if rng.chance_pct(40) { AccessKind::Write } else { AccessKind::Read };
+            let offset = rng.range_i64(-params.max_offset, params.max_offset);
             refs.push(ArrayRef::simple(array, kind, offset));
         }
         // A private result array so the oracle observes read values.
@@ -61,12 +53,13 @@ pub fn random_nest(seed: u64, params: &SynthParams) -> LoopNest {
     };
 
     let mut b = LoopNestBuilder::new(1, params.n_iters);
-    let mut rng2 = StdRng::seed_from_u64(seed ^ 0x5eed);
-    let branch_at = if with_branch { rng.gen_range(0..n_stmts.saturating_sub(1)) } else { usize::MAX };
+    let mut rng2 = SplitMix64::new(seed ^ 0x5eed);
+    let branch_at =
+        if with_branch { rng.range_usize(0, n_stmts.saturating_sub(2)) } else { usize::MAX };
     let mut ix = 0usize;
     let mut remaining = n_stmts;
     while remaining > 0 {
-        let cost = rng.gen_range(params.cost.0..=params.cost.1);
+        let cost = rng.range_u32(params.cost.0, params.cost.1);
         if ix == branch_at && remaining >= 2 {
             let arm_a = vec![("Ba", cost, make_refs(&mut rng2, ix))];
             let arm_b = vec![
@@ -92,16 +85,16 @@ pub fn random_nest(seed: u64, params: &SynthParams) -> LoopNest {
 /// analysis produces constant distance *vectors* that linearize onto
 /// process ids.
 pub fn random_nest_2d(seed: u64, n: i64, m: i64) -> LoopNest {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x2d2d_2d2d);
-    let n_stmts = rng.gen_range(1..=3usize);
+    let mut rng = SplitMix64::new(seed ^ 0x2d2d_2d2d);
+    let n_stmts = rng.range_usize(1, 3);
     let mut b = LoopNestBuilder::new(1, n).inner(1, m);
     for ix in 0..n_stmts {
         let mut refs = Vec::new();
-        for _ in 0..rng.gen_range(1..=2usize) {
-            let array = ArrayId(rng.gen_range(0..2usize));
-            let kind = if rng.gen_bool(0.5) { AccessKind::Write } else { AccessKind::Read };
-            let o1 = rng.gen_range(-1i64..=1);
-            let o2 = rng.gen_range(-1i64..=1);
+        for _ in 0..rng.range_usize(1, 2) {
+            let array = ArrayId(rng.range_usize(0, 1));
+            let kind = if rng.chance_pct(50) { AccessKind::Write } else { AccessKind::Read };
+            let o1 = rng.range_i64(-1, 1);
+            let o2 = rng.range_i64(-1, 1);
             refs.push(ArrayRef::new(
                 array,
                 kind,
@@ -113,7 +106,7 @@ pub fn random_nest_2d(seed: u64, n: i64, m: i64) -> LoopNest {
             AccessKind::Write,
             vec![LinExpr::index(0, 0), LinExpr::index(1, 0)],
         ));
-        b = b.stmt(&format!("S{ix}"), rng.gen_range(1..=5), refs);
+        b = b.stmt(&format!("S{ix}"), rng.range_u32(1, 5), refs);
     }
     b.build()
 }

@@ -3,7 +3,9 @@
 //!
 //! Run with: `cargo run --release --example butterfly`
 
-use datasync_core::barrier::{ButterflyBarrier, CounterBarrier, DisseminationBarrier, PhaseBarrier};
+use datasync_core::barrier::{
+    ButterflyBarrier, CounterBarrier, DisseminationBarrier, PhaseBarrier,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 

@@ -21,11 +21,7 @@ fn main() {
     println!("=== Fig 2.1 ===\n{}", render_loop(&nest));
     let graph = analyze(&nest);
     let reduced = reduce(&nest, &graph);
-    println!(
-        "{} dependences, {} after covering",
-        graph.deps().len(),
-        reduced.deps().len()
-    );
+    println!("{} dependences, {} after covering", graph.deps().len(), reduced.deps().len());
     let space = IterSpace::of(&nest);
     let linear = reduced.linearized(&space);
     println!("\n{}", render_doacross(&nest, &SyncPlan::build(&nest, &linear)));

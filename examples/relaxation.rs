@@ -28,9 +28,8 @@ fn main() {
 
     {
         let grid = Grid::new(n);
-        let (episodes, _) = timed("wavefront + dissemination barrier", || {
-            run_wavefront(&grid, threads)
-        });
+        let (episodes, _) =
+            timed("wavefront + dissemination barrier", || run_wavefront(&grid, threads));
         assert_eq!(grid.snapshot(), reference, "wavefront diverged");
         println!("    ({episodes} barrier episodes — one per anti-diagonal)");
     }
@@ -38,9 +37,8 @@ fn main() {
     println!();
     for g in [1usize, 4, 16, 64, 256] {
         let grid = Grid::new(n);
-        let (stats, _) = timed(&format!("pipelined Doacross, G = {g}"), || {
-            run_pipelined(&grid, threads, 8, g)
-        });
+        let (stats, _) =
+            timed(&format!("pipelined Doacross, G = {g}"), || run_pipelined(&grid, threads, 8, g));
         assert_eq!(grid.snapshot(), reference, "pipelined diverged at G = {g}");
         println!("    ({} wait_PC, {} mark/transfer ops)", stats.waits, stats.marks);
     }

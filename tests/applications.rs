@@ -1,6 +1,8 @@
 //! Integration tests of the Section 5 applications on real threads.
 
-use datasync_core::barrier::{ButterflyBarrier, CounterBarrier, DisseminationBarrier, PhaseBarrier};
+use datasync_core::barrier::{
+    ButterflyBarrier, CounterBarrier, DisseminationBarrier, PhaseBarrier,
+};
 use datasync_core::phased::PhaseSync;
 use datasync_workloads::fft::{max_error, naive_dft, parallel_fft, sequential_fft};
 use datasync_workloads::relaxation::{run_pipelined, run_sequential, run_wavefront, Grid};
@@ -46,11 +48,7 @@ fn fft_all_sync_policies_agree_with_dft() {
         PhaseSync::GlobalDissemination,
     ] {
         let par = parallel_fft(&x, 8, sync);
-        assert!(
-            max_error(&par, &dft) < 1e-8,
-            "{} diverged from the DFT",
-            sync.name()
-        );
+        assert!(max_error(&par, &dft) < 1e-8, "{} diverged from the DFT", sync.name());
     }
 }
 

@@ -8,8 +8,8 @@ use datasync_loopir::ir::StmtId;
 use datasync_loopir::space::IterSpace;
 use datasync_loopir::workpatterns::fig21_loop;
 use datasync_schemes::scheme::{CostFn, Scheme};
-use datasync_schemes::ProcessOriented;
-use datasync_sim::{Instr, MachineConfig, SimError};
+use datasync_schemes::{InstanceBased, ProcessOriented, ReferenceBased, StatementOriented};
+use datasync_sim::{FaultPlan, Instr, MachineConfig, SimError};
 
 /// A cost function that makes one iteration dramatically slow, so any
 /// missing synchronization lets later iterations race past it.
@@ -17,18 +17,38 @@ fn skewed() -> impl Fn(StmtId, u64) -> u32 {
     |_s, pid| if pid == 5 { 500 } else { 2 }
 }
 
-/// Strips every `SyncWait` from compiled programs (keeps everything else).
+/// Every Section 3 scheme, boxed for uniform sabotage sweeps.
+fn all_schemes() -> Vec<Box<dyn Scheme>> {
+    vec![
+        Box::new(StatementOriented::new()),
+        Box::new(ProcessOriented::new(8)),
+        Box::new(InstanceBased::new()),
+        Box::new(ReferenceBased::new()),
+    ]
+}
+
+/// Strips every wait from compiled programs: removes `SyncWait` and
+/// neutralizes the test half of `KeyedAccess` (geq 0 is always
+/// satisfied), so reference-based programs also stop waiting while
+/// keeping their accesses and trace notes.
 fn drop_waits(compiled: &mut datasync_schemes::CompiledLoop) {
     for prog in &mut compiled.workload.programs {
         prog.instrs.retain(|i| !matches!(i, Instr::SyncWait { .. }));
+        for i in &mut prog.instrs {
+            if let Instr::KeyedAccess { geq, .. } = i {
+                *geq = 0;
+            }
+        }
     }
 }
 
-/// Strips every sync write (marks/transfers) from compiled programs.
+/// Strips every sync write (marks/transfers/increments) from compiled
+/// programs, leaving the waits to spin forever.
 fn drop_marks(compiled: &mut datasync_schemes::CompiledLoop) {
     for prog in &mut compiled.workload.programs {
-        prog.instrs
-            .retain(|i| !matches!(i, Instr::SyncSet { .. } | Instr::SyncSetIfGeq { .. }));
+        prog.instrs.retain(|i| {
+            !matches!(i, Instr::SyncSet { .. } | Instr::SyncSetIfGeq { .. } | Instr::SyncRmw { .. })
+        });
     }
 }
 
@@ -39,8 +59,7 @@ fn removing_waits_is_detected_by_the_trace_validator() {
     let space = IterSpace::of(&nest);
     let cost = skewed();
     let cost_ref: CostFn<'_> = &cost;
-    let mut compiled =
-        ProcessOriented::new(8).compile_with(&nest, &graph, &space, Some(cost_ref));
+    let mut compiled = ProcessOriented::new(8).compile_with(&nest, &graph, &space, Some(cost_ref));
     drop_waits(&mut compiled);
     let out = compiled.run(&MachineConfig::with_processors(4)).expect("runs fine, just wrong");
     let violations = compiled.validate(&out);
@@ -101,6 +120,107 @@ fn weakened_wait_steps_are_detected() {
     let out = compiled.run(&MachineConfig::with_processors(8)).expect("still terminates");
     let violations = compiled.validate(&out);
     assert!(!violations.is_empty(), "step-free waits must be caught");
+}
+
+#[test]
+fn removing_waits_is_detected_for_every_scheme() {
+    let nest = fig21_loop(40);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let cost = skewed();
+    let cost_ref: CostFn<'_> = &cost;
+    for scheme in all_schemes() {
+        let mut compiled = scheme.compile_with(&nest, &graph, &space, Some(cost_ref));
+        drop_waits(&mut compiled);
+        let out = compiled.run(&MachineConfig::with_processors(4)).unwrap_or_else(|e| {
+            panic!("{}: wait-free programs still run, got {e:?}", scheme.name())
+        });
+        assert!(
+            !compiled.validate(&out).is_empty(),
+            "{}: stripping every wait must violate dependences around the slow iteration",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn removing_marks_hangs_every_scheme_with_separable_marks() {
+    // The reference-based scheme fuses its mark (the key increment) into
+    // the access itself, so it has nothing separable to strip; it is
+    // covered by the wait-neutralizing test above.
+    let schemes: Vec<Box<dyn Scheme>> = vec![
+        Box::new(StatementOriented::new()),
+        Box::new(ProcessOriented::new(8)),
+        Box::new(InstanceBased::new()),
+    ];
+    let nest = fig21_loop(40);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    for scheme in schemes {
+        let mut compiled = scheme.compile(&nest, &graph, &space);
+        drop_marks(&mut compiled);
+        match compiled.run(&MachineConfig::with_processors(4)) {
+            Err(SimError::Deadlock { spinning, .. }) => {
+                assert!(
+                    !spinning.is_empty(),
+                    "{}: deadlock must name the stuck processors",
+                    scheme.name()
+                );
+            }
+            Err(SimError::Timeout { .. }) => {} // also acceptable detection
+            other => panic!("{}: waits without marks must hang, got {other:?}", scheme.name()),
+        }
+    }
+}
+
+#[test]
+fn same_fault_seed_reproduces_identical_stats_for_every_scheme() {
+    // A chaos-faulted run is still a pure function of (config, workload):
+    // re-running with the same seed must reproduce every statistic,
+    // including the injected-fault counts and recovery latencies.
+    let nest = fig21_loop(40);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let config = MachineConfig {
+        max_cycles: 3_000_000,
+        faults: FaultPlan::chaos(2024, 40),
+        ..MachineConfig::with_processors(4)
+    };
+    for scheme in all_schemes() {
+        let compiled = scheme.compile(&nest, &graph, &space);
+        let a = compiled.run(&config).unwrap_or_else(|e| {
+            panic!("{}: bounded chaos at 40% must still complete, got {e:?}", scheme.name())
+        });
+        let b = compiled.run(&config).expect("second run of the same pure function");
+        assert_eq!(a.stats, b.stats, "{}: same seed, same stats", scheme.name());
+        assert!(
+            a.stats.faults.total() > 0,
+            "{}: chaos at 40% must actually inject faults",
+            scheme.name()
+        );
+        assert!(
+            compiled.validate(&a).is_empty(),
+            "{}: bounded faults may cost cycles but never break order",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn different_fault_seeds_diverge() {
+    let nest = fig21_loop(40);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let compiled = ProcessOriented::new(8).compile(&nest, &graph, &space);
+    let run = |seed: u64| {
+        let config = MachineConfig {
+            max_cycles: 3_000_000,
+            faults: FaultPlan::chaos(seed, 40),
+            ..MachineConfig::with_processors(4)
+        };
+        compiled.run(&config).expect("bounded chaos completes").stats
+    };
+    assert_ne!(run(1), run(2), "different seeds must shake the machine differently");
 }
 
 #[test]

@@ -37,9 +37,10 @@ fn step2_analysis_finds_the_advertised_arcs() {
     let nest = tutorial_nest(1000);
     let graph = analyze(&nest);
     let has = |s: usize, t: usize, d: i64| {
-        graph.deps().iter().any(|dep| {
-            dep.src.0 == s && dep.dst.0 == t && dep.linear_distance(&nest) == d
-        })
+        graph
+            .deps()
+            .iter()
+            .any(|dep| dep.src.0 == s && dep.dst.0 == t && dep.linear_distance(&nest) == d)
     };
     assert!(has(0, 0, 2), "S1 -> S1 (flow, 2)");
     assert!(has(1, 0, 3), "S2 -> S1 (flow, 3)");
