@@ -32,7 +32,7 @@ pub fn run_experiment(n: usize, procs: usize, cell_cost: u32, gs: &[usize]) -> T
     for &g in gs {
         let x = 2 * procs;
         let w = pipelined_workload(n, CellCost(cell_cost), g, x);
-        let mut m = Machine::new(config.clone(), w);
+        let mut m = Machine::new(&config, &w);
         for (var, val) in pipelined_presets(n, x) {
             m.preset_sync(var, val);
         }
@@ -88,7 +88,8 @@ pub fn p_sweep(n: usize, cell_cost: u32, procs: &[usize]) -> Table {
     let serial = {
         let x = 2;
         let w = pipelined_workload(n, CellCost(cell_cost), 1, x);
-        let mut m = Machine::new(relaxation_config(1), w);
+        let config = relaxation_config(1);
+        let mut m = Machine::new(&config, &w);
         for (var, val) in pipelined_presets(n, x) {
             m.preset_sync(var, val);
         }
@@ -101,7 +102,8 @@ pub fn p_sweep(n: usize, cell_cost: u32, procs: &[usize]) -> Table {
             .makespan;
         let x = 2 * p;
         let w = pipelined_workload(n, CellCost(cell_cost), 1, x);
-        let mut m = Machine::new(relaxation_config(p), w);
+        let config = relaxation_config(p);
+        let mut m = Machine::new(&config, &w);
         for (var, val) in pipelined_presets(n, x) {
             m.preset_sync(var, val);
         }

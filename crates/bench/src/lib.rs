@@ -18,6 +18,11 @@
 //! | [`sec6`] | E11 — sync-bus traffic and write coalescing |
 //! | [`ablations`] | A1-A4 — memory model, spin retry, X:P ratio, dispatch cost |
 //! | [`robustness`] | R1 — scheme degradation under deterministic fault injection |
+//! | [`perf`] | Self-benchmark — fast-forward kernel and sweep-runner speedups |
+//!
+//! [`run_all`] fans the experiments across cores via [`sweep`]; every
+//! experiment is a pure function of its parameters, so the parallel run
+//! produces byte-identical tables in the same order as a serial one.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -32,10 +37,13 @@ pub mod fig52;
 pub mod fig53;
 pub mod fig54;
 pub mod harness;
+pub mod perf;
 pub mod robustness;
 pub mod sec6;
+pub mod sweep;
 pub mod table;
 
+use sweep::TableJob;
 use table::Table;
 
 /// Runs every experiment at its default (paper-shape) parameters.
@@ -43,26 +51,29 @@ use table::Table;
 /// `quick` shrinks problem sizes for smoke runs.
 pub fn run_all(quick: bool) -> Vec<Table> {
     let (n, relax_n, fft_n) = if quick { (24, 9, 1 << 10) } else { (64, 33, 1 << 14) };
-    vec![
-        fig2::run(),
-        fig3::comparison(n, 4, 8),
-        fig3::storage_scaling(&[n / 2, n, n * 2], 4, 8),
-        fig4::delay_injection(n, 8, n as u64 / 4, 400),
-        fig4::x_sweep(n, 4, &[1, 2, 4, 8, 16]),
-        fig51::run_experiment(relax_n, 4, 24, &[1, 2, 4, 8]),
-        fig51::p_sweep(relax_n, 24, &[1, 2, 4, 8]),
-        fig52::run_experiment(8, 10, 4),
-        fig53::run_experiment(n, 4),
-        fig54::run_experiment(&[2, 4, 8, 16, 32], 8),
-        ex5::sim_experiment(8, 12, 12),
-        ex5::fft_experiment(fft_n, &[1, 2, 4, 8]),
-        sec6::run_experiment(n, 4),
-        ablations::banked_memory(n, 4, 8),
-        ablations::spin_retry(8, &[1, 2, 4, 8, 16]),
-        ablations::x_to_p_grid(n, &[2, 4, 8], &[1, 2, 4]),
-        ablations::dispatch_cost(n, 4, &[0, 2, 8, 16]),
-        ablations::schedule_order(n, 4, 8),
-        ablations::unroll_sweep(n, 4, &[1, 2, 4, 8]),
-        robustness::degradation(if quick { 10 } else { 24 }, 4, &[0, 25, 50, 75], 1989),
-    ]
+    let jobs: Vec<TableJob> = vec![
+        Box::new(fig2::run),
+        Box::new(move || fig3::comparison(n, 4, 8)),
+        Box::new(move || fig3::storage_scaling(&[n / 2, n, n * 2], 4, 8)),
+        Box::new(move || fig4::delay_injection(n, 8, n as u64 / 4, 400)),
+        Box::new(move || fig4::x_sweep(n, 4, &[1, 2, 4, 8, 16])),
+        Box::new(move || fig51::run_experiment(relax_n, 4, 24, &[1, 2, 4, 8])),
+        Box::new(move || fig51::p_sweep(relax_n, 24, &[1, 2, 4, 8])),
+        Box::new(|| fig52::run_experiment(8, 10, 4)),
+        Box::new(move || fig53::run_experiment(n, 4)),
+        Box::new(|| fig54::run_experiment(&[2, 4, 8, 16, 32], 8)),
+        Box::new(|| ex5::sim_experiment(8, 12, 12)),
+        Box::new(move || ex5::fft_experiment(fft_n, &[1, 2, 4, 8])),
+        Box::new(move || sec6::run_experiment(n, 4)),
+        Box::new(move || ablations::banked_memory(n, 4, 8)),
+        Box::new(|| ablations::spin_retry(8, &[1, 2, 4, 8, 16])),
+        Box::new(move || ablations::x_to_p_grid(n, &[2, 4, 8], &[1, 2, 4])),
+        Box::new(move || ablations::dispatch_cost(n, 4, &[0, 2, 8, 16])),
+        Box::new(move || ablations::schedule_order(n, 4, 8)),
+        Box::new(move || ablations::unroll_sweep(n, 4, &[1, 2, 4, 8])),
+        Box::new(move || {
+            robustness::degradation(if quick { 10 } else { 24 }, 4, &[0, 25, 50, 75], 1989)
+        }),
+    ];
+    sweep::run_tables(jobs)
 }

@@ -1,0 +1,245 @@
+//! Self-benchmark behind `datasync perf`: measures what this repo's two
+//! performance mechanisms actually buy on this machine.
+//!
+//! * **Fast-forward kernel** — a spin-heavy Doacross (the Fig 2.1 loop
+//!   under the process-oriented scheme with inflated statement costs, so
+//!   consumers spin for thousands of cycles between events) is run in
+//!   both stepping modes. The modes are bit-identical by contract, so
+//!   the ratio of wall-clock times is a pure kernel speedup.
+//! * **Parallel sweep runner** — a batch of independent faulted runs is
+//!   classified serially and through [`crate::sweep::runs`]; on a
+//!   single-core host the two are expected to tie.
+//!
+//! The report serializes to JSON (hand-rolled — the workspace is
+//! dependency-free) for `BENCH_sim.json` and the CI smoke step.
+
+use crate::sweep;
+use datasync_loopir::analysis::analyze;
+use datasync_loopir::space::IterSpace;
+use datasync_loopir::workpatterns::fig21_loop;
+use datasync_schemes::scheme::Scheme;
+use datasync_schemes::{classify_run, ProcessOriented};
+use datasync_sim::{FaultPlan, MachineConfig, StepMode};
+use std::time::Instant;
+
+/// Results of one self-benchmark run.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// What was simulated.
+    pub workload: String,
+    /// Threads the parallel sweep used.
+    pub threads: usize,
+    /// Makespan of one benchmark run (simulated cycles).
+    pub simulated_cycles: u64,
+    /// Wall-clock seconds per fast-forward run.
+    pub fast_seconds: f64,
+    /// Wall-clock seconds per reference (per-cycle) run.
+    pub reference_seconds: f64,
+    /// Simulated cycles per wall-clock second, fast-forward kernel.
+    pub fast_cycles_per_sec: f64,
+    /// Simulated cycles per wall-clock second, reference stepper.
+    pub reference_cycles_per_sec: f64,
+    /// Fast-forward kernel speedup over per-cycle stepping.
+    pub fast_forward_speedup: f64,
+    /// Runs in the sweep batch.
+    pub sweep_runs: usize,
+    /// Sweep runs per second, one worker.
+    pub serial_runs_per_sec: f64,
+    /// Sweep runs per second, parallel sweep runner.
+    pub parallel_runs_per_sec: f64,
+    /// Parallel-over-serial sweep speedup (about 1.0 on one core).
+    pub sweep_speedup: f64,
+    /// Fast-forward x parallel-sweep: total speedup over the seed
+    /// behavior (per-cycle stepping, serial sweeps).
+    pub combined_speedup: f64,
+}
+
+impl PerfReport {
+    /// Hand-rolled JSON rendering for `BENCH_sim.json`.
+    pub fn to_json(&self) -> String {
+        let f = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.3}")
+            } else {
+                "null".into()
+            }
+        };
+        // Per-run wall times can be well under a millisecond.
+        let secs = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.6}")
+            } else {
+                "null".into()
+            }
+        };
+        format!(
+            concat!(
+                "{{\n",
+                "  \"workload\": \"{workload}\",\n",
+                "  \"threads\": {threads},\n",
+                "  \"simulated_cycles\": {cycles},\n",
+                "  \"fast_seconds\": {fast_s},\n",
+                "  \"reference_seconds\": {ref_s},\n",
+                "  \"fast_cycles_per_sec\": {fast_cps},\n",
+                "  \"reference_cycles_per_sec\": {ref_cps},\n",
+                "  \"fast_forward_speedup\": {ff},\n",
+                "  \"sweep_runs\": {runs},\n",
+                "  \"serial_runs_per_sec\": {srps},\n",
+                "  \"parallel_runs_per_sec\": {prps},\n",
+                "  \"sweep_speedup\": {ss},\n",
+                "  \"combined_speedup\": {combined}\n",
+                "}}\n",
+            ),
+            workload = self.workload,
+            threads = self.threads,
+            cycles = self.simulated_cycles,
+            fast_s = secs(self.fast_seconds),
+            ref_s = secs(self.reference_seconds),
+            fast_cps = f(self.fast_cycles_per_sec),
+            ref_cps = f(self.reference_cycles_per_sec),
+            ff = f(self.fast_forward_speedup),
+            runs = self.sweep_runs,
+            srps = f(self.serial_runs_per_sec),
+            prps = f(self.parallel_runs_per_sec),
+            ss = f(self.sweep_speedup),
+            combined = f(self.combined_speedup),
+        )
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "perf: {workload}\n\
+             fast-forward kernel: {fast_cps:.0} cycles/s vs reference {ref_cps:.0} cycles/s \
+             => {ff:.1}x speedup\n\
+             sweep runner ({threads} threads): {prps:.1} runs/s vs serial {srps:.1} runs/s \
+             => {ss:.2}x speedup\n\
+             combined speedup over per-cycle serial baseline: {combined:.1}x",
+            workload = self.workload,
+            fast_cps = self.fast_cycles_per_sec,
+            ref_cps = self.reference_cycles_per_sec,
+            ff = self.fast_forward_speedup,
+            threads = self.threads,
+            prps = self.parallel_runs_per_sec,
+            srps = self.serial_runs_per_sec,
+            ss = self.sweep_speedup,
+            combined = self.combined_speedup,
+        )
+    }
+}
+
+/// Median-of-three wall-clock timing of `f` (seconds).
+fn time_runs<F: FnMut()>(mut f: F) -> f64 {
+    let mut samples = [0.0f64; 3];
+    for s in &mut samples {
+        let t = Instant::now();
+        f();
+        *s = t.elapsed().as_secs_f64();
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[1]
+}
+
+/// Runs the fixed self-benchmark. `quick` shrinks the workload for smoke
+/// runs (CI, tests); the reported *ratios* are meaningful either way.
+///
+/// # Panics
+///
+/// Panics if the benchmark workload fails to simulate or the two
+/// stepping modes disagree (they are bit-identical by contract).
+pub fn run(quick: bool) -> PerfReport {
+    let (iters, cost) = if quick { (48i64, 2_000u32) } else { (160, 10_000) };
+    let nest = fig21_loop(iters);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let scheme = ProcessOriented::new(8);
+    let inflate = move |_id, _pid| cost;
+    let compiled = scheme.compile_with(&nest, &graph, &space, Some(&inflate));
+    let config = MachineConfig {
+        sync_transport: scheme.natural_transport(),
+        ..MachineConfig::with_processors(8)
+    };
+
+    let fast = compiled.run(&config).expect("perf workload must complete");
+    let reference = compiled
+        .run_with(&config, StepMode::Reference)
+        .expect("perf workload must complete");
+    assert_eq!(fast.stats, reference.stats, "stepping modes must be bit-identical");
+    let simulated_cycles = fast.stats.makespan;
+
+    let fast_seconds = time_runs(|| {
+        let _ = compiled.run(&config).expect("perf workload must complete");
+    });
+    let reference_seconds = time_runs(|| {
+        let _ = compiled
+            .run_with(&config, StepMode::Reference)
+            .expect("perf workload must complete");
+    });
+
+    // Sweep batch: the same loop classified under chaos faults at many
+    // seeds. Bound max_cycles so wedged faulted runs time out quickly.
+    let sweep_runs = if quick { 8 } else { 32 };
+    let sweep_config =
+        MachineConfig { max_cycles: simulated_cycles.saturating_mul(4), ..config.clone() };
+    let jobs = |n: usize| -> Vec<MachineConfig> {
+        (0..n as u64)
+            .map(|seed| sweep_config.clone().with_faults(FaultPlan::chaos(seed, 40)))
+            .collect()
+    };
+    let serial_seconds = time_runs(|| {
+        let _ = sweep::runs_serial(jobs(sweep_runs), |c| classify_run(&compiled, &c));
+    });
+    let parallel_seconds = time_runs(|| {
+        let _ = sweep::runs(jobs(sweep_runs), |c| classify_run(&compiled, &c));
+    });
+
+    let fast_cycles_per_sec = simulated_cycles as f64 / fast_seconds;
+    let reference_cycles_per_sec = simulated_cycles as f64 / reference_seconds;
+    let serial_runs_per_sec = sweep_runs as f64 / serial_seconds;
+    let parallel_runs_per_sec = sweep_runs as f64 / parallel_seconds;
+    let fast_forward_speedup = reference_seconds / fast_seconds;
+    let sweep_speedup = serial_seconds / parallel_seconds;
+    PerfReport {
+        workload: format!(
+            "fig 2.1 Doacross, process-oriented (X=8), {iters} iterations, \
+             {cost}cy statements, 8 processors"
+        ),
+        threads: datasync_core::par::default_threads(),
+        simulated_cycles,
+        fast_seconds,
+        reference_seconds,
+        fast_cycles_per_sec,
+        reference_cycles_per_sec,
+        fast_forward_speedup,
+        sweep_runs,
+        serial_runs_per_sec,
+        parallel_runs_per_sec,
+        sweep_speedup,
+        combined_speedup: fast_forward_speedup * sweep_speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_sane_and_serializes() {
+        let r = run(true);
+        assert!(r.simulated_cycles > 0);
+        assert!(r.fast_seconds > 0.0 && r.reference_seconds > 0.0);
+        // The acceptance bar is >= 5x on the full workload; the quick
+        // smoke workload still clears a lenient 2x even on loaded CI.
+        assert!(
+            r.fast_forward_speedup >= 2.0,
+            "fast-forward speedup {} must be >= 2x",
+            r.fast_forward_speedup
+        );
+        let json = r.to_json();
+        for key in ["fast_forward_speedup", "sweep_speedup", "combined_speedup", "simulated_cycles"]
+        {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key} in {json}");
+        }
+        assert!(r.summary().contains("speedup"));
+    }
+}

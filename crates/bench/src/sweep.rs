@@ -1,0 +1,75 @@
+//! The parallel sweep runner: fans independent experiments across cores.
+//!
+//! Every experiment in this crate is a pure function of its parameters
+//! (the simulator draws randomness only from seeds carried in the
+//! config), so whole tables — and the individual runs inside a sweep —
+//! can execute concurrently without changing a single byte of output.
+//! Both helpers delegate to [`datasync_core::par`], which hands results
+//! back in **input order** and degrades to serial execution on one core,
+//! under `DATASYNC_THREADS=1`, or when nested inside another parallel
+//! region.
+
+use crate::table::Table;
+use datasync_core::par;
+
+/// A deferred experiment: builds one table when called.
+pub type TableJob = Box<dyn FnOnce() -> Table + Send>;
+
+/// Runs a batch of independent table-producing jobs in parallel and
+/// returns the tables in input order (identical to calling each job in
+/// sequence).
+pub fn run_tables(jobs: Vec<TableJob>) -> Vec<Table> {
+    par::par_map(jobs, |job| job())
+}
+
+/// Maps `f` over sweep inputs in parallel with deterministic output
+/// order — the generic helper for per-point simulation sweeps.
+pub fn runs<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par::par_map(inputs, f)
+}
+
+/// [`runs`] pinned to one worker — the serial baseline the perf
+/// self-benchmark compares against.
+pub fn runs_serial<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par::par_map_threads(1, inputs, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_keep_input_order() {
+        let jobs: Vec<TableJob> = (0..6)
+            .map(|i| {
+                Box::new(move || {
+                    let mut t = Table::new(&format!("T{i}"), "order probe", &["v"]);
+                    t.row(vec![i.to_string()]);
+                    t
+                }) as TableJob
+            })
+            .collect();
+        let tables = run_tables(jobs);
+        for (i, t) in tables.iter().enumerate() {
+            assert_eq!(t.id, format!("T{i}"));
+            assert_eq!(t.rows[0][0], i.to_string());
+        }
+    }
+
+    #[test]
+    fn runs_match_serial() {
+        let inputs: Vec<u64> = (0..40).collect();
+        let f = |x: u64| x.wrapping_mul(0x9e37_79b9).rotate_left(7);
+        assert_eq!(runs(inputs.clone(), f), runs_serial(inputs, f));
+    }
+}

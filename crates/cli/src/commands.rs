@@ -297,6 +297,18 @@ pub fn unroll(p: &Parsed) -> Result<String, CliError> {
     Ok(text)
 }
 
+/// `datasync perf`.
+pub fn perf(p: &Parsed) -> Result<String, CliError> {
+    p.expect_only(&["out", "quick"])?;
+    let report = datasync_bench::perf::run(p.has("quick"));
+    let path = p.get("out").unwrap_or("BENCH_sim.json");
+    std::fs::write(path, report.to_json())
+        .map_err(|e| CliError::from(format!("cannot write '{path}': {e}")))?;
+    let mut text = report.summary();
+    let _ = writeln!(text, "\nwrote {path}");
+    Ok(text)
+}
+
 /// `datasync reproduce`.
 pub fn reproduce(p: &Parsed) -> Result<String, CliError> {
     p.expect_only(&["quick", "markdown"])?;

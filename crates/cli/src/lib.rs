@@ -33,6 +33,9 @@ USAGE:
       Unroll a loop and show the re-synchronized Doacross listing.
   datasync reproduce  [--quick] [--markdown]
       Regenerate every experiment table of the paper reproduction.
+  datasync perf       [--out PATH] [--quick]
+      Self-benchmark: fast-forward kernel vs per-cycle reference stepping
+      and parallel vs serial sweep throughput; writes BENCH_sim.json.
 
 LOOPS (--loop): fig21 (default) | relaxation | nested | branches,
   or --file <path> with the loop language (see datasync_loopir::parse)
@@ -110,6 +113,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "wavefront" => commands::wavefront(&parsed),
         "unroll" => commands::unroll(&parsed),
         "reproduce" => commands::reproduce(&parsed),
+        "perf" => commands::perf(&parsed),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand '{other}'").into()),
     }
@@ -234,7 +238,22 @@ mod tests {
         let out = run(&["help"]).unwrap();
         assert!(out.contains("USAGE"));
         assert!(out.contains("robustness"));
+        assert!(out.contains("perf"));
         assert!(out.contains("EXIT CODES"));
+    }
+
+    #[test]
+    fn perf_writes_json_report() {
+        let dir = std::env::temp_dir().join("datasync_cli_perf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sim.json");
+        let out = run(&["perf", "--quick", "--out", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("fast-forward kernel"), "{out}");
+        assert!(out.contains("wrote"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"fast_forward_speedup\""), "{json}");
+        assert!(json.contains("\"combined_speedup\""), "{json}");
+        assert!(run(&["perf", "--out", "/nonexistent/dir/x.json", "--quick"]).is_err());
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //! * [`wait`] — busy-wait strategies (Section 6 argues for busy-waiting
 //!   at this granularity);
 //! * [`sc`] and [`keys`] — the statement-oriented and reference-based
-//!   schemes on real threads, for taxonomy-complete comparisons.
+//!   schemes on real threads, for taxonomy-complete comparisons;
+//! * [`par`] — a std-only scoped-thread parallel map with deterministic
+//!   result ordering, used by the experiment sweep runners.
 //!
 //! # Examples
 //!
@@ -52,6 +54,7 @@ pub mod doacross;
 pub mod handle;
 pub mod keys;
 pub mod pad;
+pub mod par;
 pub mod pc;
 pub mod phased;
 pub mod planexec;
@@ -63,6 +66,7 @@ pub use doacross::{Doacross, Primitives, ProcessCtx};
 pub use handle::ProcessHandle;
 pub use keys::KeyTable;
 pub use pad::CachePadded;
+pub use par::{par_map, par_map_threads};
 pub use pc::{PcPool, PcValue};
 pub use phased::{PhaseSync, Phased};
 pub use planexec::{run_nest, run_plan, SharedArrayStore};

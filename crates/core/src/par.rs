@@ -1,0 +1,146 @@
+//! A minimal scoped-thread parallel map (std only — the workspace is
+//! deliberately dependency-free, so this is the in-tree stand-in for
+//! rayon's `par_iter().map().collect()`).
+//!
+//! Work is handed out through one atomic index, results land in their
+//! input slot, so the output order is **deterministic** — identical to
+//! the serial `items.into_iter().map(f).collect()` — regardless of
+//! thread count or scheduling. That property is what lets the bench
+//! sweep runner and the robustness matrix parallelize without changing
+//! a single byte of their output.
+//!
+//! Nested calls degrade to serial execution (a global in-flight counter)
+//! so fan-out over tasks that themselves fan out cannot explode the
+//! thread count. `DATASYNC_THREADS` caps or disables parallelism
+//! (`DATASYNC_THREADS=1` forces serial — useful for baselines and
+//! debugging).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of [`par_map`] calls currently executing (nested calls run
+/// serially instead of spawning threads-of-threads).
+static IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
+
+/// The default worker count: `DATASYNC_THREADS` if set, else the
+/// machine's available parallelism, else 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("DATASYNC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on up to [`default_threads`] scoped threads;
+/// results keep input order. See [`par_map_threads`].
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_threads(default_threads(), items, f)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped threads, returning
+/// results in input order (bit-identical to the serial map). Runs
+/// serially when `threads <= 1`, when there is at most one item, or when
+/// called from inside another `par_map` (nested-parallelism guard).
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins every worker first).
+pub fn par_map_threads<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.min(n);
+    if threads <= 1 || IN_FLIGHT.load(Ordering::Relaxed) > 0 {
+        return items.into_iter().map(f).collect();
+    }
+    IN_FLIGHT.fetch_add(1, Ordering::Relaxed);
+    // Each slot is locked exactly once by exactly one worker; the
+    // mutexes only exist to hand owned items across the scope safely.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().expect("slot lock").take().expect("slot taken once");
+                    let r = f(item);
+                    *results[i].lock().expect("result lock") = Some(r);
+                });
+            }
+        });
+    }));
+    IN_FLIGHT.fetch_sub(1, Ordering::Relaxed);
+    if let Err(p) = run {
+        std::panic::resume_unwind(p);
+    }
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("result lock").expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_results() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 4, 7] {
+            let got = par_map_threads(threads, items.clone(), |x| x * x + 1);
+            assert_eq!(got, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map_threads(4, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map_threads(4, vec![9], |x: u32| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn nested_calls_run_serially() {
+        let outer = par_map_threads(2, vec![1u64, 2, 3, 4], |x| {
+            let inner = par_map_threads(2, vec![10u64, 20], move |y| y + x);
+            inner.iter().sum::<u64>()
+        });
+        assert_eq!(outer, vec![32, 34, 36, 38]);
+    }
+
+    #[test]
+    fn moves_non_clone_items() {
+        let items: Vec<Box<u64>> = (0..16).map(Box::new).collect();
+        let got = par_map_threads(3, items, |b| *b * 2);
+        assert_eq!(got, (0..16).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            par_map_threads(2, vec![0u32, 1, 2, 3], |x| {
+                assert_ne!(x, 2, "boom");
+                x
+            })
+        });
+        assert!(r.is_err());
+        // The guard must be released despite the panic.
+        assert_eq!(IN_FLIGHT.load(Ordering::Relaxed), 0);
+        assert_eq!(par_map_threads(2, vec![1u32, 2], |x| x), vec![1, 2]);
+    }
+}

@@ -10,7 +10,7 @@ use crate::statement_oriented::StatementOriented;
 use datasync_loopir::graph::DepGraph;
 use datasync_loopir::ir::LoopNest;
 use datasync_loopir::space::IterSpace;
-use datasync_sim::{MachineConfig, Program, SimError, Workload};
+use datasync_sim::{MachineConfig, Program, RunOutcome, SimError, Workload};
 
 /// One row of a scheme-comparison table.
 #[derive(Debug, Clone)]
@@ -110,9 +110,19 @@ pub fn report_for(
     let config = MachineConfig { sync_transport: scheme.natural_transport(), ..base.clone() };
     let out = compiled.run(&config)?;
     let seq = sequential_cycles(nest, space, base, cost)?;
-    let violations = compiled.validate(&out).len();
-    Ok(SchemeReport {
-        scheme: scheme.name(),
+    Ok(build_report(scheme.name(), &compiled, &config, &out, seq))
+}
+
+/// Assembles one report row from a finished run.
+fn build_report(
+    name: String,
+    compiled: &CompiledLoop,
+    config: &MachineConfig,
+    out: &RunOutcome,
+    seq: u64,
+) -> SchemeReport {
+    SchemeReport {
+        scheme: name,
         transport: format!("{:?}", config.sync_transport),
         sync_vars: compiled.storage.vars,
         init_ops: compiled.storage.init_ops,
@@ -127,8 +137,8 @@ pub fn report_for(
         sync_broadcasts: out.stats.sync_broadcasts,
         coalesced: out.stats.coalesced_writes,
         speedup: out.stats.speedup_vs(seq),
-        violations,
-    })
+        violations: compiled.validate(out).len(),
+    }
 }
 
 /// Runs the four scheme families (process-oriented in both primitive
@@ -154,10 +164,26 @@ pub fn compare_all(
     if base.processors.is_power_of_two() {
         schemes.push(Box::new(BarrierPhased::new(base.processors)));
     }
-    schemes
+    // The sequential baseline is the same for every scheme — compute it
+    // once instead of once per row. Each scheme's run is an independent
+    // simulation, so the runs fan out across cores; `par_map` returns
+    // results in input order, keeping the table bit-identical to the
+    // serial version.
+    let seq = sequential_cycles(nest, space, base, None)?;
+    let prepared: Vec<(String, CompiledLoop, MachineConfig)> = schemes
         .iter()
-        .map(|s| report_for(s.as_ref(), nest, graph, space, base, None))
-        .collect()
+        .map(|s| {
+            let compiled = s.compile_with(nest, graph, space, None);
+            let config = MachineConfig { sync_transport: s.natural_transport(), ..base.clone() };
+            (s.name(), compiled, config)
+        })
+        .collect();
+    datasync_core::par::par_map(prepared, |(name, compiled, config)| {
+        let out = compiled.run(&config)?;
+        Ok(build_report(name, &compiled, &config, &out, seq))
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

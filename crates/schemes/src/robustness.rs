@@ -20,9 +20,6 @@ use datasync_loopir::space::IterSpace;
 use datasync_loopir::workpatterns::fig21_loop;
 use datasync_sim::{FaultClass, FaultPlan, MachineConfig, SimError};
 
-/// A matrix column: maps an intensity (0..=100) to a concrete fault plan.
-type PlanOfIntensity = Box<dyn Fn(u8) -> FaultPlan>;
-
 /// The exhaustive classification of one faulted run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Outcome {
@@ -156,33 +153,57 @@ fn roster(processors: usize, x: usize) -> Vec<Box<dyn Scheme>> {
 /// `seed` drives all fault randomness: the same seed reproduces the same
 /// matrix bit for bit. `max_cycles` bounds each run (keep it small enough
 /// that a wedged run times out quickly).
+///
+/// Each cell is an independent simulation (its own machine, its own
+/// fault stream), so they are classified in parallel via
+/// [`datasync_core::par::par_map`]; results come back in job order, so
+/// the matrix is bit-identical to a serial sweep.
 pub fn sweep(iterations: i64, base: &MachineConfig, intensities: &[u8], seed: u64) -> Matrix {
     let nest = fig21_loop(iterations);
     let graph = analyze(&nest);
     let space = IterSpace::of(&nest);
     let x = base.processors.max(2);
+    // Compile once per scheme; every cell borrows its compilation.
+    let compiled: Vec<(String, CompiledLoop, MachineConfig)> = roster(base.processors, x)
+        .into_iter()
+        .map(|scheme| {
+            let loop_ = scheme.compile(&nest, &graph, &space);
+            let config =
+                MachineConfig { sync_transport: scheme.natural_transport(), ..base.clone() };
+            (scheme.name(), loop_, config)
+        })
+        .collect();
+    let mut classes: Vec<(String, Option<FaultClass>)> = FaultClass::ALL
+        .iter()
+        .map(|&class| (class.label().to_string(), Some(class)))
+        .collect();
+    classes.push(("chaos".into(), None));
+    let mut jobs: Vec<(&CompiledLoop, MachineConfig)> = Vec::new();
+    for (_, loop_, config) in &compiled {
+        for (_, class) in &classes {
+            for &i in intensities {
+                let plan = match class {
+                    Some(c) => FaultPlan::only(*c, seed, i.into()),
+                    None => FaultPlan::chaos(seed, i.into()),
+                };
+                jobs.push((loop_, config.clone().with_faults(plan)));
+            }
+        }
+    }
+    let mut outcomes =
+        datasync_core::par::par_map(jobs, |(loop_, config)| classify_run(loop_, &config))
+            .into_iter();
     let mut rows = Vec::new();
-    for scheme in roster(base.processors, x) {
-        let compiled = scheme.compile(&nest, &graph, &space);
-        let config = MachineConfig { sync_transport: scheme.natural_transport(), ..base.clone() };
-        let mut classes: Vec<(String, PlanOfIntensity)> = FaultClass::ALL
-            .iter()
-            .map(|&class| {
-                let label = class.label().to_string();
-                let f: PlanOfIntensity = Box::new(move |i| FaultPlan::only(class, seed, i.into()));
-                (label, f)
-            })
-            .collect();
-        classes.push(("chaos".into(), Box::new(move |i| FaultPlan::chaos(seed, i.into()))));
-        for (label, plan_for) in classes {
-            let outcomes = intensities
-                .iter()
-                .map(|&i| {
-                    let config = config.clone().with_faults(plan_for(i));
-                    classify_run(&compiled, &config)
-                })
-                .collect();
-            rows.push(MatrixRow { scheme: scheme.name(), fault: label, outcomes });
+    for (name, _, _) in &compiled {
+        for (label, _) in &classes {
+            rows.push(MatrixRow {
+                scheme: name.clone(),
+                fault: label.clone(),
+                outcomes: intensities
+                    .iter()
+                    .map(|_| outcomes.next().expect("one per cell"))
+                    .collect(),
+            });
         }
     }
     Matrix { intensities: intensities.to_vec(), rows }

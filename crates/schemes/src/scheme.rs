@@ -49,14 +49,31 @@ pub struct CompiledLoop {
 }
 
 impl CompiledLoop {
-    /// Runs the compiled loop on a machine.
+    /// Runs the compiled loop on a machine (fast-forward kernel). The
+    /// machine borrows this compiled loop's workload, so sweeps re-running
+    /// one compilation under many configurations allocate nothing per run.
     ///
     /// # Errors
     ///
     /// Propagates any [`SimError`] from the simulator.
     pub fn run(&self, config: &MachineConfig) -> Result<RunOutcome, SimError> {
+        self.run_with(config, datasync_sim::StepMode::FastForward)
+    }
+
+    /// [`CompiledLoop::run`] with an explicit stepping mode (the
+    /// equivalence tests run both and compare bit for bit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the simulator.
+    pub fn run_with(
+        &self,
+        config: &MachineConfig,
+        mode: datasync_sim::StepMode,
+    ) -> Result<RunOutcome, SimError> {
         config.validate().map_err(SimError::BadConfig)?;
-        let mut m = datasync_sim::Machine::new(config.clone(), self.workload.clone());
+        let mut m = datasync_sim::Machine::new(config, &self.workload);
+        m.set_mode(mode);
         for &(var, val) in &self.presets {
             m.preset_sync(var, val);
         }

@@ -1,0 +1,122 @@
+//! Fast-forward/reference equivalence across every synchronization
+//! scheme: the event-driven kernel must produce **bit-identical**
+//! `RunStats`, `Trace`, and final sync-variable state to per-cycle
+//! stepping — on clean runs, under every fault class, under combined
+//! chaos, and on runs that fail (deadlock, timeout).
+
+use datasync_loopir::analysis::analyze;
+use datasync_loopir::space::IterSpace;
+use datasync_loopir::workpatterns::fig21_loop;
+use datasync_schemes::scheme::Scheme;
+use datasync_schemes::{
+    BarrierPhased, CompiledLoop, InstanceBased, ProcessOriented, ReferenceBased, StatementOriented,
+};
+use datasync_sim::{FaultClass, FaultPlan, MachineConfig, StepMode, SyncTransport};
+
+fn roster(procs: usize, x: usize) -> Vec<Box<dyn Scheme>> {
+    let mut v: Vec<Box<dyn Scheme>> = vec![
+        Box::new(ReferenceBased::new()),
+        Box::new(InstanceBased::new()),
+        Box::new(StatementOriented::new()),
+        Box::new(ProcessOriented::basic(x)),
+        Box::new(ProcessOriented::new(x)),
+    ];
+    if procs.is_power_of_two() {
+        v.push(Box::new(BarrierPhased::new(procs)));
+    }
+    v
+}
+
+fn assert_equivalent(compiled: &CompiledLoop, config: &MachineConfig, what: &str) {
+    let fast = compiled.run_with(config, StepMode::FastForward);
+    let reference = compiled.run_with(config, StepMode::Reference);
+    match (fast, reference) {
+        (Ok(f), Ok(r)) => {
+            assert_eq!(f.stats, r.stats, "{what}: stats diverged");
+            assert_eq!(f.trace, r.trace, "{what}: trace diverged");
+            assert_eq!(f.sync_final, r.sync_final, "{what}: sync state diverged");
+        }
+        (Err(f), Err(r)) => assert_eq!(f, r, "{what}: errors diverged"),
+        (f, r) => panic!(
+            "{what}: one mode failed and the other did not (fast ok = {}, reference ok = {})",
+            f.is_ok(),
+            r.is_ok()
+        ),
+    }
+}
+
+#[test]
+fn every_scheme_fault_free() {
+    let nest = fig21_loop(24);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    for procs in [1usize, 3, 4] {
+        for scheme in roster(procs, 8) {
+            let compiled = scheme.compile(&nest, &graph, &space);
+            let config = MachineConfig {
+                sync_transport: scheme.natural_transport(),
+                ..MachineConfig::with_processors(procs)
+            };
+            assert_equivalent(&compiled, &config, &format!("{} P={procs}", scheme.name()));
+        }
+    }
+}
+
+#[test]
+fn every_scheme_under_every_fault_class() {
+    let nest = fig21_loop(16);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let base = MachineConfig { max_cycles: 400_000, ..MachineConfig::with_processors(4) };
+    for scheme in roster(4, 8) {
+        let compiled = scheme.compile(&nest, &graph, &space);
+        let clean = MachineConfig { sync_transport: scheme.natural_transport(), ..base.clone() };
+        for class in FaultClass::ALL {
+            for seed in [1u64, 42] {
+                let config = clean.clone().with_faults(FaultPlan::only(class, seed, 65));
+                assert_equivalent(
+                    &compiled,
+                    &config,
+                    &format!("{} {class:?} seed={seed}", scheme.name()),
+                );
+            }
+        }
+        for seed in [3u64, 11] {
+            let config = clean.clone().with_faults(FaultPlan::chaos(seed, 55));
+            assert_equivalent(&compiled, &config, &format!("{} chaos seed={seed}", scheme.name()));
+        }
+    }
+}
+
+#[test]
+fn failure_outcomes_are_identical() {
+    let nest = fig21_loop(16);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let scheme = ProcessOriented::new(8);
+    let compiled = scheme.compile(&nest, &graph, &space);
+
+    // Timeout: the cap lands mid-run.
+    let config = MachineConfig {
+        sync_transport: scheme.natural_transport(),
+        max_cycles: 157,
+        ..MachineConfig::with_processors(4)
+    };
+    assert_equivalent(&compiled, &config, "timeout");
+
+    // Wedged runs (deadlock/livelock detection or timeout, whichever the
+    // fault stream produces): statement-oriented on shared memory with
+    // heavy broadcast drops, bounded by a small cycle cap.
+    let so = StatementOriented::new();
+    let compiled = so.compile(&nest, &graph, &space);
+    let config = MachineConfig {
+        sync_transport: SyncTransport::SharedMemory,
+        max_cycles: 300_000,
+        ..MachineConfig::with_processors(4)
+    };
+    for seed in 0..6u64 {
+        let faulted =
+            config.clone().with_faults(FaultPlan::only(FaultClass::BroadcastDrop, seed, 95));
+        assert_equivalent(&compiled, &faulted, &format!("wedged seed={seed}"));
+    }
+}

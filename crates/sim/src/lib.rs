@@ -56,7 +56,9 @@ pub mod trace;
 
 pub use config::{MachineConfig, MemoryModel, SyncTransport};
 pub use faults::{FaultClass, FaultCounts, FaultPlan};
-pub use machine::{run, DispatchMode, Machine, RunOutcome, SimError, Workload};
+pub use machine::{
+    run, run_reference, DispatchMode, Machine, RunOutcome, SimError, StepMode, Workload,
+};
 pub use program::{pack_pc, unpack_pc, Instr, Label, Pred, Program, SyncVar};
 pub use rng::SplitMix64;
 pub use stats::{ProcBreakdown, RunStats};

@@ -14,6 +14,19 @@
 //! fault decision comes from a splitmix64 stream seeded by the plan, so
 //! a faulted run is reproducible byte-for-byte from its configuration.
 //!
+//! Stepping: per-cycle stepping ([`StepMode::Reference`]) is the
+//! executable specification, but the default execution engine is an
+//! **event-driven fast-forward kernel** ([`StepMode::FastForward`]) that
+//! jumps over *quiet* cycles — cycles in which the machine provably does
+//! nothing but tick stat counters — directly to the next observable
+//! event (transaction completion, bank completion, deferred image due
+//! time, compute retirement, spin-backoff expiry, stall boundary), bulk
+//! charging the skipped cycles to the same per-processor stat buckets
+//! the reference stepper would have ticked. Every RNG draw and trace
+//! write happens only at non-quiet cycles, so the two modes produce
+//! **bit-for-bit identical** [`RunStats`], [`Trace`] and `sync_final`
+//! (enforced by the equivalence tests).
+//!
 //! Liveness under faults: on top of the precise [`Machine::deadlocked`]
 //! check, a **progress watchdog** tracks the last cycle on which the
 //! machine did anything observable (retired an instruction, performed a
@@ -168,7 +181,33 @@ pub struct RunOutcome {
 /// [`SimError::Timeout`] past `max_cycles`.
 pub fn run(config: &MachineConfig, workload: &Workload) -> Result<RunOutcome, SimError> {
     config.validate().map_err(SimError::BadConfig)?;
-    Machine::new(config.clone(), workload.clone()).run_to_completion()
+    Machine::new(config, workload).run_to_completion()
+}
+
+/// Runs a workload with the per-cycle reference stepper (the executable
+/// specification the fast-forward kernel must match bit for bit).
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_reference(config: &MachineConfig, workload: &Workload) -> Result<RunOutcome, SimError> {
+    config.validate().map_err(SimError::BadConfig)?;
+    let mut m = Machine::new(config, workload);
+    m.set_mode(StepMode::Reference);
+    m.run_to_completion()
+}
+
+/// How the run loop advances time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepMode {
+    /// Event-driven: jump over provably-quiet cycles directly to the
+    /// next observable event, bulk-charging the skipped cycles to the
+    /// correct stat buckets. Bit-identical to [`StepMode::Reference`].
+    #[default]
+    FastForward,
+    /// One cycle per step — the executable specification. Kept for the
+    /// equivalence tests and as the trusted baseline for `datasync perf`.
+    Reference,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -299,10 +338,15 @@ struct Proc {
 }
 
 /// The machine state (see [`run`] for the one-shot entry point).
+///
+/// Borrows its configuration and workload: sweeps running thousands of
+/// configurations share one `Workload` without re-allocating every
+/// `Program` vector per run.
 #[derive(Debug)]
-pub struct Machine {
-    config: MachineConfig,
-    workload: Workload,
+pub struct Machine<'a> {
+    config: &'a MachineConfig,
+    workload: &'a Workload,
+    mode: StepMode,
     cycle: u64,
     procs: Vec<Proc>,
     sync_global: Vec<u64>,
@@ -323,6 +367,10 @@ pub struct Machine {
     /// val)` in FIFO order, so one image always sees writes in the order
     /// they were performed globally, just late.
     image_defer: Vec<VecDeque<(u64, SyncVar, u64)>>,
+    /// Earliest due cycle across all `image_defer` queues (`u64::MAX`
+    /// when every queue is empty), so quiescent processors cost nothing
+    /// in [`Machine::apply_deferred_images`].
+    image_due_min: u64,
     /// Next sync-message issue tag (see [`QueuedSync::seq`]).
     sync_seq: u64,
     /// Per-variable tag of the last applied sync write; an arriving
@@ -339,9 +387,9 @@ pub struct Machine {
     watchdog_limit: u64,
 }
 
-impl Machine {
+impl<'a> Machine<'a> {
     /// Builds a machine with all processors idle.
-    pub fn new(config: MachineConfig, workload: Workload) -> Self {
+    pub fn new(config: &'a MachineConfig, workload: &'a Workload) -> Self {
         let p = config.processors;
         let n_vars = workload.n_sync_vars();
         let queues: Vec<VecDeque<usize>> = match &workload.dispatch {
@@ -411,13 +459,20 @@ impl Machine {
             sync_seq: 0,
             applied_seq: vec![0; n_vars],
             image_defer: vec![VecDeque::new(); p],
+            image_due_min: u64::MAX,
             stall_until: vec![0; p],
             next_stall,
             last_progress: 0,
             watchdog_limit,
+            mode: StepMode::FastForward,
             config,
             workload,
         }
+    }
+
+    /// Selects the stepping strategy (fast-forward by default).
+    pub fn set_mode(&mut self, mode: StepMode) {
+        self.mode = mode;
     }
 
     /// Marks the current cycle as having made observable progress.
@@ -492,7 +547,10 @@ impl Machine {
                 detail.extend(self.stuck_detail(&spinning));
                 return Err(SimError::Deadlock { cycle: self.cycle, spinning, detail });
             }
-            self.step();
+            match self.mode {
+                StepMode::Reference => self.step(),
+                StepMode::FastForward => self.fast_step(),
+            }
         }
     }
 
@@ -531,15 +589,18 @@ impl Machine {
 
     /// If the machine can provably never progress, the spinning culprits.
     fn deadlocked(&self) -> Option<Vec<usize>> {
-        // A deferred image update still in flight can wake a local
-        // spinner: that is pending activity, not deadlock.
-        if self.image_defer.iter().any(|q| !q.is_empty()) {
-            return None;
-        }
-        let any_active = self.data_active.is_some()
+        // O(1) early-outs first, so the O(P + banks) scans below only run
+        // at genuinely quiet points: a held transaction, a queued
+        // broadcast or a deferred image update still in flight is pending
+        // activity, not deadlock.
+        if self.data_active.is_some()
             || self.sync_active.is_some()
             || !self.sync_queue.is_empty()
-            || self.banks.iter().any(|b| b.active.is_some() || !b.queue.is_empty())
+            || self.image_due_min != u64::MAX
+        {
+            return None;
+        }
+        let any_active = self.banks.iter().any(|b| b.active.is_some() || !b.queue.is_empty())
             || self.data_queue.iter().any(|r| !matches!(r.kind, DataReqKind::Poll { .. }));
         if any_active {
             return None;
@@ -590,8 +651,168 @@ impl Machine {
         self.cycle += 1;
     }
 
+    /// If the current cycle is *quiet* — [`Machine::step`] would do
+    /// nothing but tick one stat counter per processor — returns the
+    /// earliest future cycle at which anything observable can happen
+    /// (`u64::MAX` if nothing is pending at all). Returns `None` for a
+    /// cycle that must be stepped normally.
+    ///
+    /// Every RNG draw (grants, sync completions, image deferral, stall
+    /// onsets) and every trace write happens only at non-quiet cycles,
+    /// so skipping quiet cycles cannot desynchronize the fault stream or
+    /// the trace from per-cycle stepping.
+    fn quiet_horizon(&self) -> Option<u64> {
+        let c = self.cycle;
+        let mut next = u64::MAX;
+        // Deferred image updates wake local spinners when due.
+        if self.image_due_min <= c {
+            return None;
+        }
+        next = next.min(self.image_due_min);
+        // Data bus: a completion is an event; an idle bus with a queued
+        // request grants this cycle.
+        if let Some((_, end)) = self.data_active {
+            if end <= c {
+                return None;
+            }
+            next = next.min(end);
+        } else if !self.data_queue.is_empty() {
+            return None;
+        }
+        // Memory banks, same shape.
+        for b in &self.banks {
+            if let Some((_, end)) = b.active {
+                if end <= c {
+                    return None;
+                }
+                next = next.min(end);
+            } else if !b.queue.is_empty() {
+                return None;
+            }
+        }
+        // Sync bus.
+        if let Some((_, end)) = self.sync_active {
+            if end <= c {
+                return None;
+            }
+            next = next.min(end);
+        } else if !self.sync_queue.is_empty() {
+            return None;
+        }
+        let stalls_on = self.config.faults.stall_mean_interval > 0;
+        let dynamic_left = matches!(self.workload.dispatch, DispatchMode::Dynamic)
+            && self.next_dynamic < self.workload.programs.len();
+        for (p, proc) in self.procs.iter().enumerate() {
+            if stalls_on {
+                if c >= self.stall_until[p] && c >= self.next_stall[p] {
+                    return None; // stall onset draws RNG this cycle
+                }
+                if c < self.stall_until[p] {
+                    // Frozen until the stall ends — except that a stalled
+                    // Ready processor drains trace notes every cycle.
+                    if matches!(proc.state, ProcState::Ready) {
+                        return None;
+                    }
+                    next = next.min(self.stall_until[p]);
+                    continue;
+                }
+                next = next.min(self.next_stall[p]);
+            }
+            match proc.state {
+                ProcState::Idle => {
+                    let can_dispatch = match self.workload.dispatch {
+                        DispatchMode::Dynamic => dynamic_left,
+                        DispatchMode::Static(_) => !proc.queue.is_empty(),
+                    };
+                    if can_dispatch {
+                        return None;
+                    }
+                }
+                ProcState::Ready => return None,
+                ProcState::Computing { remaining } => next = next.min(c + u64::from(remaining)),
+                ProcState::BlockedData | ProcState::BlockedSync => {}
+                ProcState::SpinLocal { var, pred } => {
+                    if pred.eval(self.sync_images[p][var]) {
+                        return None; // the spin succeeds this cycle
+                    }
+                }
+                ProcState::SpinMem { phase, .. } => {
+                    if let SpinPhase::Backoff { until } = phase {
+                        if c >= until {
+                            return None; // re-issues the poll this cycle
+                        }
+                        next = next.min(until);
+                    }
+                    // WaitingResult: the pending transaction bounds `next`.
+                }
+            }
+        }
+        Some(next)
+    }
+
+    /// One fast-forward advance: step normally through event cycles, and
+    /// jump a whole quiet span at once, bulk-charging the skipped cycles
+    /// to exactly the stat buckets the reference stepper would have
+    /// ticked one by one.
+    fn fast_step(&mut self) {
+        let Some(next_event) = self.quiet_horizon() else {
+            self.step();
+            return;
+        };
+        // Land exactly on `max_cycles` so the timeout check fires with
+        // the same cycle as per-cycle stepping.
+        let mut target = next_event.min(self.config.max_cycles);
+        // A computing processor notes progress every cycle; only when
+        // none is running can the watchdog's silence bound bind.
+        let progressing = (0..self.procs.len()).any(|p| {
+            self.cycle >= self.stall_until[p]
+                && matches!(self.procs[p].state, ProcState::Computing { .. })
+        });
+        if !progressing {
+            target = target.min(self.last_progress.saturating_add(self.watchdog_limit + 1));
+        }
+        debug_assert!(target > self.cycle, "quiet horizon must move time forward");
+        let delta = target - self.cycle;
+        for p in 0..self.procs.len() {
+            if self.cycle < self.stall_until[p] {
+                self.procs[p].stats.stalled += delta;
+                continue;
+            }
+            match self.procs[p].state {
+                ProcState::Idle => self.procs[p].stats.idle += delta,
+                ProcState::Computing { remaining } => {
+                    self.procs[p].stats.busy += delta;
+                    // delta <= remaining by the horizon bound.
+                    let left = remaining - delta as u32;
+                    self.procs[p].state = if left == 0 {
+                        ProcState::Ready
+                    } else {
+                        ProcState::Computing { remaining: left }
+                    };
+                }
+                ProcState::BlockedData | ProcState::BlockedSync => {
+                    self.procs[p].stats.blocked += delta;
+                }
+                ProcState::SpinLocal { .. } | ProcState::SpinMem { .. } => {
+                    self.procs[p].stats.spin += delta;
+                }
+                ProcState::Ready => unreachable!("a ready processor is never quiet"),
+            }
+        }
+        if progressing {
+            self.last_progress = target - 1;
+        }
+        self.cycle = target;
+    }
+
     /// Applies deferred (stale-window) local-image updates that are due.
+    /// `image_due_min` makes this O(1) whenever nothing is due (due times
+    /// are non-decreasing within each queue, so fronts are the minima).
     fn apply_deferred_images(&mut self) {
+        if self.image_due_min > self.cycle {
+            return;
+        }
+        let mut next_due = u64::MAX;
         for p in 0..self.image_defer.len() {
             while let Some(&(when, var, val)) = self.image_defer[p].front() {
                 if when > self.cycle {
@@ -601,7 +822,11 @@ impl Machine {
                 self.sync_images[p][var] = val;
                 self.note_progress();
             }
+            if let Some(&(when, _, _)) = self.image_defer[p].front() {
+                next_due = next_due.min(when);
+            }
         }
+        self.image_due_min = next_due;
     }
 
     fn complete_transactions(&mut self) {
@@ -753,11 +978,13 @@ impl Machine {
                 self.stats.faults.stale_image_updates += 1;
                 self.trace.record_fault(self.cycle, Some(p), FaultClass::StaleImage, window);
                 self.image_defer[p].push_back((when, var, val));
+                self.image_due_min = self.image_due_min.min(when);
             } else if let Some(pending) = pending {
                 // A fresh update must not overtake an older deferred one:
                 // queue behind it so each image sees writes in global
                 // order, merely late.
                 self.image_defer[p].push_back((pending, var, val));
+                self.image_due_min = self.image_due_min.min(pending);
             } else {
                 self.sync_images[p][var] = val;
             }
@@ -1261,7 +1488,8 @@ mod tests {
         let consumer =
             Program::from_instrs(vec![Instr::SyncWait { var: 0, pred: Pred::Geq(pack_pc(1, 0)) }]);
         let w = Workload::dynamic(vec![consumer]);
-        let mut m = Machine::new(cfg(1), w);
+        let c = cfg(1);
+        let mut m = Machine::new(&c, &w);
         m.preset_sync(0, pack_pc(1, 0));
         let out = m.run_to_completion().unwrap();
         assert_eq!(out.sync_final[0], pack_pc(1, 0));
@@ -1541,6 +1769,82 @@ mod tests {
                 assert!(cycle < 100_000, "detection must be prompt, took {cycle}");
             }
             other => panic!("expected detected deadlock, got {other:?}"),
+        }
+    }
+
+    // ---- fast-forward vs reference equivalence ----
+
+    /// Asserts the fast-forward kernel is bit-identical to per-cycle
+    /// stepping: stats, trace and final sync values.
+    fn assert_equivalent(config: &MachineConfig, w: &Workload) {
+        let fast = run(config, w);
+        let slow = run_reference(config, w);
+        match (fast, slow) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.stats, b.stats, "stats diverge");
+                assert_eq!(a.trace, b.trace, "trace diverges");
+                assert_eq!(a.sync_final, b.sync_final, "sync_final diverges");
+            }
+            (fast, slow) => assert_eq!(fast.err(), slow.err(), "outcomes diverge"),
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_reference_fault_free() {
+        for procs in [1, 2, 3] {
+            assert_equivalent(&cfg(procs), &chain_workload(10));
+        }
+        let mut banked = cfg(3);
+        banked.memory_model = crate::config::MemoryModel::Banked { banks: 4 };
+        assert_equivalent(&banked, &chain_workload(10));
+        assert_equivalent(&cfg(2).transport(SyncTransport::SharedMemory), &chain_workload(6));
+    }
+
+    #[test]
+    fn fast_forward_matches_reference_under_every_fault_class() {
+        for class in FaultClass::ALL {
+            for seed in [1u64, 7, 42] {
+                let c = cfg(3).with_faults(FaultPlan::only(class, seed, 70));
+                assert_equivalent(&c, &chain_workload(8));
+            }
+        }
+        for seed in [3u64, 11] {
+            assert_equivalent(&cfg(3).with_faults(FaultPlan::chaos(seed, 55)), &chain_workload(8));
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_reference_on_failures() {
+        // Deadlock: both modes must report the same detection cycle.
+        let stuck = Program::from_instrs(vec![Instr::SyncWait { var: 0, pred: Pred::Geq(1) }]);
+        assert_equivalent(&cfg(1), &Workload::dynamic(vec![stuck.clone()]));
+        // Livelock via the watchdog (shared-memory re-polling forever).
+        let c = cfg(1).transport(SyncTransport::SharedMemory);
+        assert_equivalent(&c, &Workload::dynamic(vec![stuck]));
+        // Timeout at an arbitrary cap.
+        let mut t = cfg(1);
+        t.max_cycles = 37;
+        assert_equivalent(
+            &t,
+            &Workload::dynamic(vec![Program::from_instrs(vec![Instr::Compute(500)])]),
+        );
+    }
+
+    #[test]
+    fn fast_forward_jumps_long_spins() {
+        // One producer computes 100k cycles while the consumer spins on
+        // its local image: the reference stepper burns a cycle per spin,
+        // the kernel jumps the whole span — results must match exactly.
+        let producer =
+            Program::from_instrs(vec![Instr::Compute(100_000), Instr::SyncSet { var: 0, val: 1 }]);
+        let consumer = Program::from_instrs(vec![Instr::SyncWait { var: 0, pred: Pred::Geq(1) }]);
+        let w = Workload::static_assigned(vec![producer, consumer], vec![vec![0], vec![1]]);
+        let config = cfg(2);
+        assert_equivalent(&config, &w);
+        let out = run(&config, &w).unwrap();
+        assert!(out.stats.procs[1].spin > 90_000, "consumer must spin through the compute");
+        for (i, p) in out.stats.procs.iter().enumerate() {
+            assert_eq!(p.total(), out.stats.makespan, "proc {i} conservation after jumps");
         }
     }
 

@@ -3,7 +3,8 @@
 //! `SplitMix64` stream so every run covers the same cases.
 
 use datasync_sim::{
-    run, Instr, Label, MachineConfig, MemoryModel, Program, SplitMix64, SyncTransport, Workload,
+    run, run_reference, FaultPlan, Instr, Label, MachineConfig, MemoryModel, Program, SplitMix64,
+    SyncTransport, Workload,
 };
 
 const CASES: usize = 64;
@@ -109,6 +110,27 @@ fn rmw_counts_exact() {
             let got = out.sync_final.get(var).copied().unwrap_or(0);
             assert_eq!(got, expect, "case {case} var {var}");
         }
+    }
+}
+
+/// The event-driven fast-forward kernel is bit-identical to per-cycle
+/// reference stepping over random workloads, configurations and fault
+/// plans: same stats, same trace, same final sync state.
+#[test]
+fn fast_forward_equivalent_to_reference() {
+    let mut g = SplitMix64::new(0x0c05);
+    for case in 0..CASES {
+        let progs = programs(&mut g);
+        let mut cfg = config(&mut g);
+        if g.chance_pct(50) {
+            cfg.faults = FaultPlan::chaos(g.below(1 << 20), g.range_u32(10, 80));
+        }
+        let w = Workload::dynamic(progs);
+        let fast = run(&cfg, &w).expect("wait-free workloads terminate");
+        let slow = run_reference(&cfg, &w).expect("wait-free workloads terminate");
+        assert_eq!(fast.stats, slow.stats, "case {case} stats");
+        assert_eq!(fast.trace, slow.trace, "case {case} trace");
+        assert_eq!(fast.sync_final, slow.sync_final, "case {case} sync_final");
     }
 }
 

@@ -196,7 +196,8 @@ mod tests {
 
     fn check_pipelined(n: usize, procs: usize, g: usize, x: usize) -> datasync_sim::RunStats {
         let w = pipelined_workload(n, CellCost(24), g, x);
-        let mut m = Machine::new(relaxation_config(procs), w);
+        let config = relaxation_config(procs);
+        let mut m = Machine::new(&config, &w);
         for (var, val) in pipelined_presets(n, x) {
             m.preset_sync(var, val);
         }
