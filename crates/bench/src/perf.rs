@@ -52,6 +52,10 @@ pub struct PerfReport {
     /// Fast-forward x parallel-sweep: total speedup over the seed
     /// behavior (per-cycle stepping, serial sweeps).
     pub combined_speedup: f64,
+    /// True when the host exposes a single worker thread: the parallel
+    /// sweep cannot win there, so `sweep_speedup` and `combined_speedup`
+    /// are reported as `null` instead of being passed off as results.
+    pub degraded: bool,
 }
 
 impl PerfReport {
@@ -87,7 +91,8 @@ impl PerfReport {
                 "  \"serial_runs_per_sec\": {srps},\n",
                 "  \"parallel_runs_per_sec\": {prps},\n",
                 "  \"sweep_speedup\": {ss},\n",
-                "  \"combined_speedup\": {combined}\n",
+                "  \"combined_speedup\": {combined},\n",
+                "  \"degraded\": {degraded}\n",
                 "}}\n",
             ),
             workload = self.workload,
@@ -103,28 +108,45 @@ impl PerfReport {
             prps = f(self.parallel_runs_per_sec),
             ss = f(self.sweep_speedup),
             combined = f(self.combined_speedup),
+            degraded = self.degraded,
         )
     }
 
-    /// One-paragraph human summary.
+    /// One-paragraph human summary. On a single-threaded host the sweep
+    /// and combined lines become warnings instead of fake wins.
     pub fn summary(&self) -> String {
-        format!(
+        let head = format!(
             "perf: {workload}\n\
              fast-forward kernel: {fast_cps:.0} cycles/s vs reference {ref_cps:.0} cycles/s \
-             => {ff:.1}x speedup\n\
-             sweep runner ({threads} threads): {prps:.1} runs/s vs serial {srps:.1} runs/s \
-             => {ss:.2}x speedup\n\
-             combined speedup over per-cycle serial baseline: {combined:.1}x",
+             => {ff:.1}x speedup",
             workload = self.workload,
             fast_cps = self.fast_cycles_per_sec,
             ref_cps = self.reference_cycles_per_sec,
             ff = self.fast_forward_speedup,
-            threads = self.threads,
-            prps = self.parallel_runs_per_sec,
-            srps = self.serial_runs_per_sec,
-            ss = self.sweep_speedup,
-            combined = self.combined_speedup,
-        )
+        );
+        if self.degraded {
+            format!(
+                "{head}\n\
+                 warning: only 1 worker thread available — the parallel sweep cannot \
+                 demonstrate a speedup on this host (serial {srps:.1} runs/s)\n\
+                 sweep and combined speedups not reported (degraded run); \
+                 fast-forward kernel speedup alone: {ff:.1}x",
+                srps = self.serial_runs_per_sec,
+                ff = self.fast_forward_speedup,
+            )
+        } else {
+            format!(
+                "{head}\n\
+                 sweep runner ({threads} threads): {prps:.1} runs/s vs serial {srps:.1} runs/s \
+                 => {ss:.2}x speedup\n\
+                 combined speedup over per-cycle serial baseline: {combined:.1}x",
+                threads = self.threads,
+                prps = self.parallel_runs_per_sec,
+                srps = self.serial_runs_per_sec,
+                ss = self.sweep_speedup,
+                combined = self.combined_speedup,
+            )
+        }
     }
 }
 
@@ -198,13 +220,17 @@ pub fn run(quick: bool) -> PerfReport {
     let serial_runs_per_sec = sweep_runs as f64 / serial_seconds;
     let parallel_runs_per_sec = sweep_runs as f64 / parallel_seconds;
     let fast_forward_speedup = reference_seconds / fast_seconds;
-    let sweep_speedup = serial_seconds / parallel_seconds;
+    let threads = datasync_core::par::default_threads();
+    let degraded = threads <= 1;
+    // A single worker cannot demonstrate a sweep speedup: the measured
+    // ratio is timer noise around 1.0. Report null rather than a win.
+    let sweep_speedup = if degraded { f64::NAN } else { serial_seconds / parallel_seconds };
     PerfReport {
         workload: format!(
             "fig 2.1 Doacross, process-oriented (X=8), {iters} iterations, \
              {cost}cy statements, 8 processors"
         ),
-        threads: datasync_core::par::default_threads(),
+        threads,
         simulated_cycles,
         fast_seconds,
         reference_seconds,
@@ -216,6 +242,7 @@ pub fn run(quick: bool) -> PerfReport {
         parallel_runs_per_sec,
         sweep_speedup,
         combined_speedup: fast_forward_speedup * sweep_speedup,
+        degraded,
     }
 }
 
@@ -236,10 +263,42 @@ mod tests {
             r.fast_forward_speedup
         );
         let json = r.to_json();
-        for key in ["fast_forward_speedup", "sweep_speedup", "combined_speedup", "simulated_cycles"]
-        {
+        for key in [
+            "fast_forward_speedup",
+            "sweep_speedup",
+            "combined_speedup",
+            "simulated_cycles",
+            "degraded",
+        ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key} in {json}");
         }
         assert!(r.summary().contains("speedup"));
+        if r.degraded {
+            // Single-threaded host: sweep/combined must not be sold as wins.
+            assert_eq!(r.threads, 1);
+            assert!(json.contains("\"sweep_speedup\": null"), "{json}");
+            assert!(json.contains("\"combined_speedup\": null"), "{json}");
+            assert!(json.contains("\"degraded\": true"), "{json}");
+            assert!(r.summary().contains("warning"), "{}", r.summary());
+        } else {
+            assert!(r.sweep_speedup.is_finite());
+            assert!(json.contains("\"degraded\": false"), "{json}");
+        }
+    }
+
+    #[test]
+    fn degraded_report_nullifies_sweep_claims() {
+        let mut r = run(true);
+        // Force the degraded rendering path regardless of host core count.
+        r.degraded = true;
+        r.sweep_speedup = f64::NAN;
+        r.combined_speedup = f64::NAN;
+        let json = r.to_json();
+        assert!(json.contains("\"sweep_speedup\": null"), "{json}");
+        assert!(json.contains("\"combined_speedup\": null"), "{json}");
+        assert!(json.contains("\"degraded\": true"), "{json}");
+        let s = r.summary();
+        assert!(s.contains("warning"), "{s}");
+        assert!(!s.contains("combined speedup over per-cycle"), "{s}");
     }
 }

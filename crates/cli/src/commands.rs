@@ -177,21 +177,103 @@ pub fn compare(p: &Parsed) -> Result<String, CliError> {
     let mut text = String::new();
     let _ = writeln!(
         text,
-        "{:<34} {:>9} {:>9} {:>8} {:>7} {:>10}",
-        "scheme", "sync vars", "makespan", "speedup", "util%", "violations"
+        "{:<34} {:>7} {:>9} {:>9} {:>8} {:>7} {:>6} {:>6} {:>9} {:>9} {:>10}",
+        "scheme",
+        "kind",
+        "sync vars",
+        "makespan",
+        "speedup",
+        "util%",
+        "dbus%",
+        "sbus%",
+        "sync ops",
+        "wait max",
+        "violations"
     );
     for r in rows {
         let _ = writeln!(
             text,
-            "{:<34} {:>9} {:>9} {:>8.2} {:>7.1} {:>10}",
+            "{:<34} {:>7} {:>9} {:>9} {:>8.2} {:>7.1} {:>6.1} {:>6.1} {:>9} {:>9} {:>10}",
             r.scheme,
+            r.var_kind,
             r.sync_vars,
             r.makespan,
             r.speedup,
             r.utilization * 100.0,
+            r.data_bus_occupancy * 100.0,
+            r.sync_bus_occupancy * 100.0,
+            r.sync_ops,
+            r.wait_max,
             r.violations
         );
     }
+    Ok(text)
+}
+
+/// Compiles the selected loop under the selected scheme and builds its
+/// natural-transport machine config (shared by `trace` and `metrics`).
+fn prepare_run(
+    p: &Parsed,
+) -> Result<(datasync_schemes::scheme::CompiledLoop, MachineConfig, usize), CliError> {
+    let nest = build_loop(p)?;
+    let procs = p.get_u64("procs", 4)? as usize;
+    let x = p.get_u64("x", 2 * procs as u64)? as usize;
+    let scheme = build_scheme(p, procs, x)?;
+    let graph = analyze_deps(&nest);
+    let space = IterSpace::of(&nest);
+    let compiled = scheme.compile(&nest, &graph, &space);
+    let banks = p.get_u64("banks", 0)? as usize;
+    let memory_model = if banks == 0 {
+        datasync_sim::MemoryModel::BusHeld
+    } else {
+        datasync_sim::MemoryModel::Banked { banks }
+    };
+    let config = MachineConfig {
+        sync_transport: scheme.natural_transport(),
+        memory_model,
+        ..MachineConfig::with_processors(procs)
+    };
+    Ok((compiled, config, procs))
+}
+
+/// `datasync trace`.
+pub fn trace(p: &Parsed) -> Result<String, CliError> {
+    p.expect_only(&["loop", "file", "n", "m", "scheme", "procs", "x", "banks", "out", "events"])?;
+    let (compiled, config, procs) = prepare_run(p)?;
+    let capacity = p.get_u64("events", 1 << 20)? as usize;
+    if capacity == 0 {
+        return Err("--events must be at least 1".into());
+    }
+    let out = compiled.run_traced(&config, capacity)?;
+    let json = datasync_sim::render_chrome_trace(&out.trace, &out.events, procs);
+    let path = p.get("out").unwrap_or("trace.json");
+    std::fs::write(path, &json)
+        .map_err(|e| CliError::from(format!("cannot write '{path}': {e}")))?;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "captured {} events over {} cycles ({} dropped by the ring)",
+        out.events.len(),
+        out.stats.makespan,
+        out.events.dropped()
+    );
+    let _ = writeln!(text, "wrote {path} — open in chrome://tracing or https://ui.perfetto.dev");
+    Ok(text)
+}
+
+/// `datasync metrics`.
+pub fn metrics(p: &Parsed) -> Result<String, CliError> {
+    p.expect_only(&["loop", "file", "n", "m", "scheme", "procs", "x", "banks"])?;
+    let (compiled, config, _) = prepare_run(p)?;
+    let out = compiled.run(&config)?;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "makespan: {} cycles   utilization: {:.1}%",
+        out.stats.makespan,
+        out.stats.utilization() * 100.0
+    );
+    text.push_str(&out.metrics.render_table(&out.stats));
     Ok(text)
 }
 

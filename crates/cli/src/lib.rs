@@ -36,6 +36,14 @@ USAGE:
   datasync perf       [--out PATH] [--quick]
       Self-benchmark: fast-forward kernel vs per-cycle reference stepping
       and parallel vs serial sweep throughput; writes BENCH_sim.json.
+  datasync trace      [--loop L] [--n N] [--m M] [--scheme S] [--procs P]
+                      [--x X] [--banks B] [--events E] [--out PATH]
+      Run one scheme with the event ring enabled and export a Chrome
+      trace_event JSON (open in chrome://tracing or ui.perfetto.dev).
+  datasync metrics    [--loop L] [--n N] [--m M] [--scheme S] [--procs P]
+                      [--x X] [--banks B]
+      Run one scheme and print the derived metrics table: bus occupancy,
+      bank conflicts, per-variable sync traffic, wait-time histograms.
 
 LOOPS (--loop): fig21 (default) | relaxation | nested | branches,
   or --file <path> with the loop language (see datasync_loopir::parse)
@@ -114,6 +122,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "unroll" => commands::unroll(&parsed),
         "reproduce" => commands::reproduce(&parsed),
         "perf" => commands::perf(&parsed),
+        "trace" => commands::trace(&parsed),
+        "metrics" => commands::metrics(&parsed),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand '{other}'").into()),
     }
@@ -254,6 +264,50 @@ mod tests {
         assert!(json.contains("\"fast_forward_speedup\""), "{json}");
         assert!(json.contains("\"combined_speedup\""), "{json}");
         assert!(run(&["perf", "--out", "/nonexistent/dir/x.json", "--quick"]).is_err());
+    }
+
+    #[test]
+    fn trace_writes_valid_chrome_json() {
+        let dir = std::env::temp_dir().join("datasync_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let out =
+            run(&["trace", "--n", "12", "--procs", "4", "--out", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("captured"), "{out}");
+        assert!(out.contains("wrote"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["), "{}", &json[..60.min(json.len())]);
+        assert!(json.contains("\"ph\":\"X\""), "no complete events");
+        assert!(json.contains("\"name\":\"process_name\""), "no metadata");
+        assert!(run(&["trace", "--out", "/nonexistent/dir/t.json"]).is_err());
+        assert!(run(&["trace", "--events", "0"]).is_err());
+    }
+
+    #[test]
+    fn metrics_prints_table() {
+        let out = run(&["metrics", "--n", "16", "--procs", "4"]).unwrap();
+        assert!(out.contains("makespan"), "{out}");
+        assert!(out.contains("occupancy"), "{out}");
+        assert!(out.contains("waits"), "{out}");
+    }
+
+    #[test]
+    fn metrics_every_scheme() {
+        for s in
+            ["process", "process-basic", "statement", "reference", "instance", "barrier-phased"]
+        {
+            let out = run(&["metrics", "--n", "12", "--scheme", s, "--procs", "4"]).unwrap();
+            assert!(out.contains("occupancy"), "{s}: {out}");
+        }
+    }
+
+    #[test]
+    fn compare_table_has_metrics_columns() {
+        let out = run(&["compare", "--n", "16", "--procs", "4"]).unwrap();
+        assert!(out.contains("dbus%"), "{out}");
+        assert!(out.contains("sync ops"), "{out}");
+        assert!(out.contains("PC"), "{out}");
+        assert!(out.contains("key"), "{out}");
     }
 
     #[test]

@@ -22,12 +22,39 @@ use std::sync::Mutex;
 /// serially instead of spawning threads-of-threads).
 static IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
 
-/// The default worker count: `DATASYNC_THREADS` if set, else the
-/// machine's available parallelism, else 1.
+/// Parses a `DATASYNC_THREADS` value. Errors on anything that is not a
+/// positive integer — including `0`, which used to be silently promoted
+/// to 1 and made "parallelism off" indistinguishable from a typo.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the bad value.
+pub fn threads_from_env(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "DATASYNC_THREADS={raw:?} is invalid: use 1 to force serial execution, \
+             or unset the variable for auto-detection"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "DATASYNC_THREADS={raw:?} is not a positive integer; \
+             unset it or set a thread count like DATASYNC_THREADS=4"
+        )),
+    }
+}
+
+/// The default worker count: `DATASYNC_THREADS` if set and valid, else
+/// the machine's available parallelism, else 1.
+///
+/// An invalid `DATASYNC_THREADS` (unparsable, or `0`) is **not**
+/// silently ignored: a warning naming the bad value is printed to
+/// stderr and auto-detection takes over, so a typo degrades loudly
+/// instead of quietly running on the wrong thread count.
 pub fn default_threads() -> usize {
     if let Ok(v) = std::env::var("DATASYNC_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+        match threads_from_env(&v) {
+            Ok(n) => return n,
+            Err(msg) => eprintln!("warning: {msg}; falling back to auto-detection"),
         }
     }
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -97,6 +124,19 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn thread_env_parsing_is_strict() {
+        assert_eq!(threads_from_env("1"), Ok(1));
+        assert_eq!(threads_from_env(" 8 "), Ok(8));
+        let zero = threads_from_env("0").unwrap_err();
+        assert!(zero.contains("DATASYNC_THREADS"), "{zero}");
+        assert!(zero.contains("serial"), "{zero}");
+        for bad in ["", "four", "2.5", "-1", "1 2"] {
+            let e = threads_from_env(bad).unwrap_err();
+            assert!(e.contains("positive integer"), "{bad:?}: {e}");
+        }
+    }
 
     #[test]
     fn preserves_order_and_results() {

@@ -52,6 +52,10 @@ impl Scheme for BarrierPhased {
         SyncTransport::DedicatedBus
     }
 
+    fn sync_var_kind(&self) -> &'static str {
+        "barrier"
+    }
+
     fn compile_with(
         &self,
         nest: &LoopNest,

@@ -47,6 +47,22 @@ pub struct SchemeReport {
     pub speedup: f64,
     /// Dependence-order violations found in the trace (must be 0).
     pub violations: usize,
+    /// Section 3 label of the scheme's sync variables (`key` / `SC` /
+    /// `PC` / `barrier`).
+    pub var_kind: String,
+    /// Fraction of the makespan the data bus was held.
+    pub data_bus_occupancy: f64,
+    /// Fraction of the makespan the sync bus was held.
+    pub sync_bus_occupancy: f64,
+    /// Completed wait episodes across all processors.
+    pub wait_episodes: u64,
+    /// Mean completed wait episode, in cycles.
+    pub wait_mean: f64,
+    /// Longest completed wait episode, in cycles.
+    pub wait_max: u64,
+    /// Total operations on the scheme's sync variables
+    /// (posts + rmws + waits + granted polls).
+    pub sync_ops: u64,
 }
 
 /// Compiles the nest with no synchronization at all (for the sequential
@@ -110,12 +126,13 @@ pub fn report_for(
     let config = MachineConfig { sync_transport: scheme.natural_transport(), ..base.clone() };
     let out = compiled.run(&config)?;
     let seq = sequential_cycles(nest, space, base, cost)?;
-    Ok(build_report(scheme.name(), &compiled, &config, &out, seq))
+    Ok(build_report(scheme.name(), scheme.sync_var_kind(), &compiled, &config, &out, seq))
 }
 
 /// Assembles one report row from a finished run.
 fn build_report(
     name: String,
+    var_kind: &str,
     compiled: &CompiledLoop,
     config: &MachineConfig,
     out: &RunOutcome,
@@ -138,6 +155,13 @@ fn build_report(
         coalesced: out.stats.coalesced_writes,
         speedup: out.stats.speedup_vs(seq),
         violations: compiled.validate(out).len(),
+        var_kind: var_kind.to_string(),
+        data_bus_occupancy: out.metrics.data_bus_occupancy(out.stats.makespan),
+        sync_bus_occupancy: out.metrics.sync_bus_occupancy(out.stats.makespan),
+        wait_episodes: out.metrics.wait_episodes(),
+        wait_mean: out.metrics.wait_mean(),
+        wait_max: out.metrics.wait_max(),
+        sync_ops: out.metrics.sync_traffic_total().total(),
     }
 }
 
@@ -170,17 +194,17 @@ pub fn compare_all(
     // results in input order, keeping the table bit-identical to the
     // serial version.
     let seq = sequential_cycles(nest, space, base, None)?;
-    let prepared: Vec<(String, CompiledLoop, MachineConfig)> = schemes
+    let prepared: Vec<(String, &'static str, CompiledLoop, MachineConfig)> = schemes
         .iter()
         .map(|s| {
             let compiled = s.compile_with(nest, graph, space, None);
             let config = MachineConfig { sync_transport: s.natural_transport(), ..base.clone() };
-            (s.name(), compiled, config)
+            (s.name(), s.sync_var_kind(), compiled, config)
         })
         .collect();
-    datasync_core::par::par_map(prepared, |(name, compiled, config)| {
+    datasync_core::par::par_map(prepared, |(name, var_kind, compiled, config)| {
         let out = compiled.run(&config)?;
-        Ok(build_report(name, &compiled, &config, &out, seq))
+        Ok(build_report(name, var_kind, &compiled, &config, &out, seq))
     })
     .into_iter()
     .collect()

@@ -63,6 +63,10 @@ impl Scheme for InstanceBased {
         SyncTransport::SharedMemory
     }
 
+    fn sync_var_kind(&self) -> &'static str {
+        "key"
+    }
+
     fn compile_with(
         &self,
         nest: &LoopNest,

@@ -55,6 +55,10 @@ impl Scheme for ProcessOriented {
         )
     }
 
+    fn sync_var_kind(&self) -> &'static str {
+        "PC"
+    }
+
     fn natural_transport(&self) -> SyncTransport {
         SyncTransport::DedicatedBus
     }

@@ -103,6 +103,10 @@ impl Scheme for ReferenceBased {
         SyncTransport::SharedMemory
     }
 
+    fn sync_var_kind(&self) -> &'static str {
+        "key"
+    }
+
     fn compile_with(
         &self,
         nest: &LoopNest,

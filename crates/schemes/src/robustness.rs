@@ -32,6 +32,12 @@ pub enum Outcome {
         faults_injected: u64,
         /// Worst single-broadcast recovery latency (cycles).
         recovery_max: u64,
+        /// Fraction of the makespan the data bus was held.
+        data_bus_occupancy: f64,
+        /// Fraction of the makespan the sync bus was held.
+        sync_bus_occupancy: f64,
+        /// Longest completed wait episode (cycles).
+        wait_max: u64,
     },
     /// The machine proved no processor can ever progress again (includes
     /// watchdog-detected livelock).
@@ -59,11 +65,18 @@ impl Outcome {
     /// Short cell label for the degradation matrix.
     pub fn cell(&self) -> String {
         match self {
-            Outcome::Completed { recovery_max, .. } => {
+            Outcome::Completed { recovery_max, wait_max, .. } => {
+                let mut tags = Vec::new();
                 if *recovery_max > 0 {
-                    format!("ok(r{recovery_max})")
-                } else {
+                    tags.push(format!("r{recovery_max}"));
+                }
+                if *wait_max > 0 {
+                    tags.push(format!("w{wait_max}"));
+                }
+                if tags.is_empty() {
                     "ok".into()
+                } else {
+                    format!("ok({})", tags.join(","))
                 }
             }
             Outcome::DeadlockDetected { .. } => "DEADLOCK".into(),
@@ -114,6 +127,9 @@ pub fn classify_run(compiled: &CompiledLoop, config: &MachineConfig) -> Outcome 
                     makespan: out.stats.makespan,
                     faults_injected: out.stats.faults.total(),
                     recovery_max: out.stats.faults.recovery_max,
+                    data_bus_occupancy: out.metrics.data_bus_occupancy(out.stats.makespan),
+                    sync_bus_occupancy: out.metrics.sync_bus_occupancy(out.stats.makespan),
+                    wait_max: out.metrics.wait_max(),
                 }
             } else {
                 Outcome::OrderViolation {

@@ -71,9 +71,52 @@ impl CompiledLoop {
         config: &MachineConfig,
         mode: datasync_sim::StepMode,
     ) -> Result<RunOutcome, SimError> {
+        self.run_inner(config, mode, 0)
+    }
+
+    /// [`CompiledLoop::run`] with structured event recording on: the
+    /// outcome's event ring keeps the most recent `capacity` events for
+    /// `datasync trace` / Chrome export. Stats, trace and metrics are
+    /// bit-identical to an untraced run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the simulator.
+    pub fn run_traced(
+        &self,
+        config: &MachineConfig,
+        capacity: usize,
+    ) -> Result<RunOutcome, SimError> {
+        self.run_inner(config, datasync_sim::StepMode::FastForward, capacity)
+    }
+
+    /// [`CompiledLoop::run_traced`] with an explicit stepping mode (the
+    /// equivalence tests prove the event streams match across modes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the simulator.
+    pub fn run_traced_with(
+        &self,
+        config: &MachineConfig,
+        mode: datasync_sim::StepMode,
+        capacity: usize,
+    ) -> Result<RunOutcome, SimError> {
+        self.run_inner(config, mode, capacity)
+    }
+
+    fn run_inner(
+        &self,
+        config: &MachineConfig,
+        mode: datasync_sim::StepMode,
+        event_capacity: usize,
+    ) -> Result<RunOutcome, SimError> {
         config.validate().map_err(SimError::BadConfig)?;
         let mut m = datasync_sim::Machine::new(config, &self.workload);
         m.set_mode(mode);
+        if event_capacity > 0 {
+            m.enable_events(event_capacity);
+        }
         for &(var, val) in &self.presets {
             m.preset_sync(var, val);
         }
@@ -125,6 +168,14 @@ pub trait Scheme {
     /// keep their keys in shared memory; statement- and process-oriented
     /// schemes use the dedicated synchronization bus.
     fn natural_transport(&self) -> SyncTransport;
+
+    /// Section 3 classification of the scheme's synchronization
+    /// variables, used to label its traffic counters: `"key"`
+    /// (data-oriented keys), `"SC"` (statement counters), `"PC"`
+    /// (process counters) or `"barrier"` (barrier phases).
+    fn sync_var_kind(&self) -> &'static str {
+        "sync"
+    }
 
     /// Compiles the nest (with its **raw, unreduced** dependence graph in
     /// vector-distance form) into simulator programs. `cost` optionally

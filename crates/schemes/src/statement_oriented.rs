@@ -47,6 +47,10 @@ impl Scheme for StatementOriented {
         SyncTransport::DedicatedBus
     }
 
+    fn sync_var_kind(&self) -> &'static str {
+        "SC"
+    }
+
     fn compile_with(
         &self,
         nest: &LoopNest,

@@ -35,6 +35,7 @@ fn assert_equivalent(compiled: &CompiledLoop, config: &MachineConfig, what: &str
             assert_eq!(f.stats, r.stats, "{what}: stats diverged");
             assert_eq!(f.trace, r.trace, "{what}: trace diverged");
             assert_eq!(f.sync_final, r.sync_final, "{what}: sync state diverged");
+            assert_eq!(f.metrics, r.metrics, "{what}: metrics diverged");
         }
         (Err(f), Err(r)) => assert_eq!(f, r, "{what}: errors diverged"),
         (f, r) => panic!(
@@ -118,5 +119,69 @@ fn failure_outcomes_are_identical() {
         let faulted =
             config.clone().with_faults(FaultPlan::only(FaultClass::BroadcastDrop, seed, 95));
         assert_equivalent(&compiled, &faulted, &format!("wedged seed={seed}"));
+    }
+}
+
+/// Event recording must be a pure observer: enabling the ring changes
+/// nothing about a run, and the captured event stream is itself
+/// bit-identical across stepping modes — for every scheme, clean and
+/// under chaos faults.
+#[test]
+fn event_streams_match_across_modes_and_recording_is_inert() {
+    let nest = fig21_loop(20);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let base = MachineConfig { max_cycles: 400_000, ..MachineConfig::with_processors(4) };
+    for scheme in roster(4, 8) {
+        let compiled = scheme.compile(&nest, &graph, &space);
+        let clean = MachineConfig { sync_transport: scheme.natural_transport(), ..base.clone() };
+        for (label, config) in [
+            ("clean", clean.clone()),
+            ("chaos", clean.clone().with_faults(FaultPlan::chaos(7, 50))),
+        ] {
+            let what = format!("{} {label}", scheme.name());
+            let plain = compiled.run(&config).expect("run");
+            let traced_fast = compiled
+                .run_traced_with(&config, StepMode::FastForward, 1 << 16)
+                .expect("traced fast");
+            let traced_ref = compiled
+                .run_traced_with(&config, StepMode::Reference, 1 << 16)
+                .expect("traced reference");
+            // Recording is inert.
+            assert_eq!(plain.stats, traced_fast.stats, "{what}: recording changed stats");
+            assert_eq!(plain.trace, traced_fast.trace, "{what}: recording changed the trace");
+            assert_eq!(plain.metrics, traced_fast.metrics, "{what}: recording changed metrics");
+            assert_eq!(plain.sync_final, traced_fast.sync_final, "{what}: sync state changed");
+            // The event stream itself is mode-independent.
+            assert_eq!(traced_fast.events, traced_ref.events, "{what}: event streams diverged");
+            assert!(!traced_fast.events.is_empty(), "{what}: no events captured");
+            assert_eq!(traced_fast.events.dropped(), 0, "{what}: ring too small for the test");
+        }
+    }
+}
+
+/// Tracing off, two runs of the same compiled loop under the same seed
+/// are byte-identical — for every scheme (satellite 4's determinism
+/// guarantee, the foundation under the robustness matrix).
+#[test]
+fn identical_seeds_give_identical_runs_for_every_scheme() {
+    let nest = fig21_loop(14);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let base = MachineConfig { max_cycles: 400_000, ..MachineConfig::with_processors(4) };
+    for scheme in roster(4, 8) {
+        let compiled = scheme.compile(&nest, &graph, &space);
+        let config = MachineConfig { sync_transport: scheme.natural_transport(), ..base.clone() }
+            .with_faults(FaultPlan::chaos(1989, 45));
+        let a = compiled.run(&config).expect("run a");
+        let b = compiled.run(&config).expect("run b");
+        assert_eq!(a.stats, b.stats, "{}: stats not deterministic", scheme.name());
+        assert_eq!(a.trace, b.trace, "{}: trace not deterministic", scheme.name());
+        assert_eq!(a.metrics, b.metrics, "{}: metrics not deterministic", scheme.name());
+        assert_eq!(a.sync_final, b.sync_final, "{}: sync state not deterministic", scheme.name());
+        // And the recorded event sequence reproduces too.
+        let ta = compiled.run_traced(&config, 1 << 16).expect("traced a");
+        let tb = compiled.run_traced(&config, 1 << 16).expect("traced b");
+        assert_eq!(ta.events, tb.events, "{}: event stream not deterministic", scheme.name());
     }
 }

@@ -1,0 +1,243 @@
+//! Ring-buffered structured trace events (the observability layer).
+//!
+//! The note trace ([`crate::trace::Trace`]) answers *did the right thing
+//! happen* (dependence-order validation); this module answers *where the
+//! cycles went*: every sync broadcast, wait episode, bus grant, bank
+//! conflict, fault injection and watchdog transition is recorded as a
+//! [`SimEvent`] with its cycle.
+//!
+//! Recording is **zero-cost when off**: an [`EventRing`] with capacity 0
+//! (the default) rejects events with one branch and allocates nothing.
+//! When enabled, the ring keeps the most recent `capacity` events and
+//! counts what it evicted, so tracing a pathological run is bounded in
+//! memory while still reporting that truncation happened.
+//!
+//! Equivalence discipline: the machine records events only at *stepped*
+//! (non-quiet) cycles — exactly the cycles at which the per-cycle
+//! reference stepper would have performed the same action — so the event
+//! stream is bit-identical between [`crate::machine::StepMode`]s, and a
+//! run with tracing enabled produces the same [`crate::stats::RunStats`]
+//! as one with it disabled.
+
+use crate::faults::FaultClass;
+use crate::program::SyncVar;
+use std::collections::VecDeque;
+
+/// What happened (see [`SimEvent`] for the when).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEventKind {
+    /// The data bus was granted to a processor's request for `dur` cycles
+    /// (`poll` marks busy-wait traffic — the hot-spot component).
+    DataGrant {
+        /// Requesting processor.
+        proc: usize,
+        /// Cycles the bus is held.
+        dur: u64,
+        /// True when the transaction is a busy-wait poll or keyed retry.
+        poll: bool,
+    },
+    /// A request arrived at a memory bank that was already busy or had a
+    /// queue — a bank conflict (Cedar-style interleaving contention).
+    BankConflict {
+        /// Bank index.
+        bank: usize,
+        /// Requests already waiting at the bank (including the active
+        /// one) when this request arrived.
+        depth: usize,
+    },
+    /// A memory bank began servicing a request for `dur` cycles.
+    BankService {
+        /// Bank index.
+        bank: usize,
+        /// Processor whose request is serviced.
+        proc: usize,
+        /// Service latency in cycles.
+        dur: u64,
+    },
+    /// The synchronization bus was granted to a broadcast for `dur`
+    /// cycles (includes any injected delay).
+    SyncGrant {
+        /// Target synchronization variable.
+        var: SyncVar,
+        /// True for an atomic read-modify-write, false for a posted
+        /// write.
+        rmw: bool,
+        /// Cycles the sync bus is held.
+        dur: u64,
+    },
+    /// A broadcast performed: `val` reached the global variable (or was
+    /// discarded as a stale redelivery when `stale`).
+    SyncDeliver {
+        /// Target synchronization variable.
+        var: SyncVar,
+        /// Value delivered.
+        val: u64,
+        /// True when the delivery was discarded as stale (an older write
+        /// overtaken by drop/reorder recovery).
+        stale: bool,
+    },
+    /// A processor began waiting on a synchronization condition.
+    WaitBegin {
+        /// Waiting processor.
+        proc: usize,
+        /// Variable waited on.
+        var: SyncVar,
+        /// True when the wait busy-polls through shared memory (costing
+        /// bus traffic), false when it spins on a local image.
+        through_memory: bool,
+    },
+    /// A processor's wait was satisfied after `waited` cycles.
+    WaitEnd {
+        /// Processor whose wait ended.
+        proc: usize,
+        /// Variable waited on.
+        var: SyncVar,
+        /// Cycles from wait begin to satisfaction.
+        waited: u64,
+    },
+    /// A program (loop iteration) was dispatched to a processor.
+    Dispatch {
+        /// Receiving processor.
+        proc: usize,
+        /// Program index dispatched.
+        program: usize,
+    },
+    /// A fault was injected.
+    Fault {
+        /// Fault class.
+        class: FaultClass,
+        /// Processor hit (`None` for bus-level faults).
+        proc: Option<usize>,
+        /// Magnitude in cycles (0 for drops/reorders).
+        magnitude: u64,
+    },
+    /// The progress watchdog armed at run start with its silence bound.
+    WatchdogArm {
+        /// Cycles of silence tolerated before the watchdog fires.
+        limit: u64,
+    },
+    /// The progress watchdog fired: the run is about to fail as a
+    /// livelock after `silent_for` cycles without observable progress.
+    WatchdogFire {
+        /// Cycles since the last observable progress.
+        silent_for: u64,
+    },
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimEvent {
+    /// Cycle at which the event happened.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: SimEventKind,
+}
+
+/// A bounded ring of [`SimEvent`]s. Capacity 0 (the [`Default`]) means
+/// tracing is off: [`EventRing::record`] is a single predictable branch
+/// and no memory is ever allocated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventRing {
+    capacity: usize,
+    events: VecDeque<SimEvent>,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A disabled ring (records nothing).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled ring keeping the most recent `capacity` events
+    /// (`capacity == 0` stays disabled).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { capacity, events: VecDeque::with_capacity(capacity.min(4096)), dropped: 0 }
+    }
+
+    /// True when recording is on.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an event; the oldest event is evicted (and counted in
+    /// [`EventRing::dropped`]) once the ring is full. A disabled ring
+    /// returns immediately: the check is force-inlined so every call
+    /// site compiles to a single test-and-skip, while the actual push
+    /// stays outlined to keep the simulator's hot loops compact.
+    #[inline(always)]
+    pub fn record(&mut self, cycle: u64, kind: SimEventKind) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.push(cycle, kind);
+    }
+
+    #[inline(never)]
+    fn push(&mut self, cycle: u64, kind: SimEventKind) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(SimEvent { cycle, kind });
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SimEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full (0 means the ring is a
+    /// complete record of the run).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut r = EventRing::disabled();
+        r.record(1, SimEventKind::Dispatch { proc: 0, program: 0 });
+        assert!(!r.enabled());
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let mut r = EventRing::with_capacity(2);
+        for p in 0..5 {
+            r.record(p as u64, SimEventKind::Dispatch { proc: p, program: p });
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![3, 4], "most recent events are retained");
+    }
+
+    #[test]
+    fn rings_compare_for_equivalence_tests() {
+        let mut a = EventRing::with_capacity(8);
+        let mut b = EventRing::with_capacity(8);
+        let k = SimEventKind::SyncGrant { var: 3, rmw: false, dur: 1 };
+        a.record(10, k);
+        b.record(10, k);
+        assert_eq!(a, b);
+        b.record(11, k);
+        assert_ne!(a, b);
+    }
+}

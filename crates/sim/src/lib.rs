@@ -45,20 +45,26 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chrome;
 pub mod config;
+pub mod events;
 pub mod faults;
 pub mod machine;
+pub mod metrics;
 pub mod program;
 pub mod rng;
 pub mod stats;
 pub mod timeline;
 pub mod trace;
 
+pub use chrome::render as render_chrome_trace;
 pub use config::{MachineConfig, MemoryModel, SyncTransport};
+pub use events::{EventRing, SimEvent, SimEventKind};
 pub use faults::{FaultClass, FaultCounts, FaultPlan};
 pub use machine::{
     run, run_reference, DispatchMode, Machine, RunOutcome, SimError, StepMode, Workload,
 };
+pub use metrics::{RunMetrics, VarTraffic, WaitHistogram};
 pub use program::{pack_pc, unpack_pc, Instr, Label, Pred, Program, SyncVar};
 pub use rng::SplitMix64;
 pub use stats::{ProcBreakdown, RunStats};

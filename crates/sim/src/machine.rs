@@ -38,7 +38,9 @@
 //! detectably rather than burning cycles until `max_cycles`.
 
 use crate::config::{MachineConfig, MemoryModel, SyncTransport};
+use crate::events::{EventRing, SimEventKind};
 use crate::faults::FaultClass;
+use crate::metrics::{RunMetrics, VarTraffic};
 use crate::program::{Instr, Pred, Program, SyncVar};
 use crate::rng::SplitMix64;
 use crate::stats::{ProcBreakdown, RunStats};
@@ -170,6 +172,11 @@ pub struct RunOutcome {
     pub trace: Trace,
     /// Final values of all synchronization variables.
     pub sync_final: Vec<u64>,
+    /// Derived metrics (always collected; see [`RunMetrics`]).
+    pub metrics: RunMetrics,
+    /// Structured events — empty unless recording was turned on with
+    /// [`Machine::enable_events`].
+    pub events: EventRing,
 }
 
 /// Runs a workload to completion on a machine.
@@ -385,6 +392,16 @@ pub struct Machine<'a> {
     last_progress: u64,
     /// Progress-watchdog bound (cycles of silence tolerated).
     watchdog_limit: u64,
+    /// Always-on derived metrics (cheap counters, no allocation per
+    /// event). Updated only at stepped cycles — part of the equivalence
+    /// contract.
+    metrics: RunMetrics,
+    /// Structured event ring; disabled (capacity 0) unless
+    /// [`Machine::enable_events`] was called.
+    events: EventRing,
+    /// Per-processor open wait episode: `(begin_cycle, var,
+    /// through_memory)` from spin entry until satisfaction.
+    wait_since: Vec<Option<(u64, SyncVar, bool)>>,
 }
 
 impl<'a> Machine<'a> {
@@ -455,6 +472,9 @@ impl<'a> Machine<'a> {
             next_dynamic: 0,
             stats: RunStats { procs: vec![ProcBreakdown::default(); p], ..Default::default() },
             trace: Trace::new(),
+            metrics: RunMetrics::new(p, n_vars),
+            events: EventRing::disabled(),
+            wait_since: vec![None; p],
             rng,
             sync_seq: 0,
             applied_seq: vec![0; n_vars],
@@ -475,6 +495,25 @@ impl<'a> Machine<'a> {
         self.mode = mode;
     }
 
+    /// Turns on structured event recording, keeping the most recent
+    /// `capacity` events (0 leaves it disabled). Recording changes
+    /// nothing observable: stats, trace, metrics and final sync values
+    /// are bit-identical with it on or off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine already ran.
+    pub fn enable_events(&mut self, capacity: usize) {
+        assert_eq!(self.cycle, 0, "enable_events must be called before running");
+        self.events = EventRing::with_capacity(capacity);
+    }
+
+    /// The progress watchdog's silence bound (cycles without observable
+    /// progress tolerated before the run fails as a livelock).
+    pub fn watchdog_limit(&self) -> u64 {
+        self.watchdog_limit
+    }
+
     /// Marks the current cycle as having made observable progress.
     fn note_progress(&mut self) {
         self.last_progress = self.cycle;
@@ -493,6 +532,8 @@ impl<'a> Machine<'a> {
             for img in &mut self.sync_images {
                 img.resize(var + 1, 0);
             }
+            self.applied_seq.resize(var + 1, 0);
+            self.metrics.sync_vars.resize(var + 1, VarTraffic::default());
         }
         self.sync_global[var] = val;
         for img in &mut self.sync_images {
@@ -506,6 +547,8 @@ impl<'a> Machine<'a> {
     ///
     /// See [`run`].
     pub fn run_to_completion(mut self) -> Result<RunOutcome, SimError> {
+        self.events
+            .record(self.cycle, SimEventKind::WatchdogArm { limit: self.watchdog_limit });
         loop {
             if self.finished() {
                 let mut stats = std::mem::take(&mut self.stats);
@@ -517,6 +560,8 @@ impl<'a> Machine<'a> {
                     stats,
                     trace: std::mem::take(&mut self.trace),
                     sync_final: std::mem::take(&mut self.sync_global),
+                    metrics: std::mem::take(&mut self.metrics),
+                    events: std::mem::take(&mut self.events),
                 });
             }
             if self.cycle >= self.config.max_cycles {
@@ -531,6 +576,10 @@ impl<'a> Machine<'a> {
                 // stalls) but nothing observable has happened for longer
                 // than any legitimate quiet period. Upgrade to a detected
                 // deadlock instead of burning until max_cycles.
+                self.events.record(
+                    self.cycle,
+                    SimEventKind::WatchdogFire { silent_for: self.cycle - self.last_progress },
+                );
                 let spinning: Vec<usize> = self
                     .procs
                     .iter()
@@ -838,6 +887,13 @@ impl<'a> Machine<'a> {
                     MemoryModel::Banked { banks } => {
                         // Bus phase done: hand the request to its bank.
                         let bank = (req.addr % banks as u64) as usize;
+                        let depth = self.banks[bank].queue.len()
+                            + usize::from(self.banks[bank].active.is_some());
+                        if depth > 0 {
+                            self.metrics.bank_conflicts += 1;
+                            self.events
+                                .record(self.cycle, SimEventKind::BankConflict { bank, depth });
+                        }
                         self.banks[bank].queue.push_back(req);
                     }
                 }
@@ -852,8 +908,13 @@ impl<'a> Machine<'a> {
             }
             if self.banks[b].active.is_none() {
                 if let Some(req) = self.banks[b].queue.pop_front() {
-                    let end = self.cycle + u64::from(self.config.memory_latency).max(1);
-                    self.banks[b].active = Some((req, end));
+                    let dur = u64::from(self.config.memory_latency).max(1);
+                    self.metrics.bank_busy += dur;
+                    self.events.record(
+                        self.cycle,
+                        SimEventKind::BankService { bank: b, proc: req.proc, dur },
+                    );
+                    self.banks[b].active = Some((req, self.cycle + dur));
                 }
             }
         }
@@ -867,7 +928,7 @@ impl<'a> Machine<'a> {
                 {
                     // Lost broadcast: re-queue for (bounded) redelivery.
                     self.stats.faults.dropped_broadcasts += 1;
-                    self.trace.record_fault(self.cycle, None, FaultClass::BroadcastDrop, 0);
+                    self.record_fault(None, FaultClass::BroadcastDrop, 0);
                     self.sync_queue.push_back(QueuedSync {
                         redeliveries: entry.redeliveries + 1,
                         faulted: true,
@@ -885,7 +946,10 @@ impl<'a> Machine<'a> {
                     }
                     match entry.req {
                         SyncReq::Post { var, val, .. } => {
-                            if entry.seq > self.applied_seq[var] {
+                            let stale = entry.seq <= self.applied_seq[var];
+                            self.events
+                                .record(self.cycle, SimEventKind::SyncDeliver { var, val, stale });
+                            if !stale {
                                 self.applied_seq[var] = entry.seq;
                                 self.write_sync(var, val);
                             } else {
@@ -901,6 +965,10 @@ impl<'a> Machine<'a> {
                         SyncReq::Rmw { proc, var } => {
                             self.applied_seq[var] = self.applied_seq[var].max(entry.seq);
                             let v = self.sync_global[var] + 1;
+                            self.events.record(
+                                self.cycle,
+                                SimEventKind::SyncDeliver { var, val: v, stale: false },
+                            );
                             self.write_sync(var, v);
                             self.unblock(proc);
                         }
@@ -939,6 +1007,7 @@ impl<'a> Machine<'a> {
             }
             DataReqKind::ReadCheck { var, guard, val } => {
                 if self.sync_global[var] >= guard {
+                    self.metrics.sync_vars[var].posts += 1;
                     self.data_queue.push_back(DataReq {
                         proc: req.proc,
                         kind: DataReqKind::SyncWrite { var, val },
@@ -953,6 +1022,7 @@ impl<'a> Machine<'a> {
                     let v = self.sync_global[var] + 1;
                     self.write_sync(var, v);
                     self.stats.rmw_ops += 1;
+                    self.metrics.sync_vars[var].rmws += 1;
                     self.unblock(req.proc);
                 } else {
                     self.procs[req.proc].state = ProcState::SpinMem {
@@ -976,7 +1046,7 @@ impl<'a> Machine<'a> {
                 let window = u64::from(self.rng.range_u32(1, f.stale_window_max));
                 let when = (self.cycle + window).max(pending.unwrap_or(0));
                 self.stats.faults.stale_image_updates += 1;
-                self.trace.record_fault(self.cycle, Some(p), FaultClass::StaleImage, window);
+                self.record_fault(Some(p), FaultClass::StaleImage, window);
                 self.image_defer[p].push_back((when, var, val));
                 self.image_due_min = self.image_due_min.min(when);
             } else if let Some(pending) = pending {
@@ -992,7 +1062,38 @@ impl<'a> Machine<'a> {
     }
 
     fn unblock(&mut self, proc: usize) {
+        self.close_wait(proc);
         self.procs[proc].state = ProcState::Ready;
+    }
+
+    /// Closes processor `p`'s open wait episode, if any, recording its
+    /// duration in the per-processor histogram and the event ring.
+    /// Never inlined: this runs once per episode, not per cycle, and
+    /// inlining it bloats `step_proc`'s per-cycle spin loop.
+    #[inline(never)]
+    fn close_wait(&mut self, p: usize) {
+        if let Some((start, var, _)) = self.wait_since[p].take() {
+            let waited = self.cycle - start;
+            self.metrics.wait[p].record(waited);
+            self.events.record(self.cycle, SimEventKind::WaitEnd { proc: p, var, waited });
+        }
+    }
+
+    /// Opens a wait episode for processor `p` on `var`.
+    #[inline(never)]
+    fn begin_wait(&mut self, p: usize, var: SyncVar, through_memory: bool) {
+        self.wait_since[p] = Some((self.cycle, var, through_memory));
+        self.events
+            .record(self.cycle, SimEventKind::WaitBegin { proc: p, var, through_memory });
+    }
+
+    /// Records an injected fault in both the note trace and the event
+    /// ring.
+    #[cold]
+    #[inline(never)]
+    fn record_fault(&mut self, proc: Option<usize>, class: FaultClass, magnitude: u64) {
+        self.trace.record_fault(self.cycle, proc, class, magnitude);
+        self.events.record(self.cycle, SimEventKind::Fault { class, proc, magnitude });
     }
 
     fn grant_transactions(&mut self) {
@@ -1016,13 +1117,18 @@ impl<'a> Machine<'a> {
                     dur += extra;
                     self.stats.faults.jittered_transactions += 1;
                     self.stats.faults.jitter_cycles += extra;
-                    self.trace.record_fault(
-                        self.cycle,
-                        Some(req.proc),
-                        FaultClass::DataJitter,
-                        extra,
-                    );
+                    self.record_fault(Some(req.proc), FaultClass::DataJitter, extra);
                 }
+                let poll =
+                    matches!(req.kind, DataReqKind::Poll { .. } | DataReqKind::KeyedAttempt { .. });
+                if let DataReqKind::Poll { var, .. } | DataReqKind::KeyedAttempt { var, .. } =
+                    req.kind
+                {
+                    self.metrics.sync_vars[var].polls += 1;
+                }
+                self.metrics.data_bus_busy += dur;
+                self.events
+                    .record(self.cycle, SimEventKind::DataGrant { proc: req.proc, dur, poll });
                 self.data_active = Some((req, self.cycle + dur));
                 self.note_progress();
             }
@@ -1036,7 +1142,7 @@ impl<'a> Machine<'a> {
                 // head is marked faulted with its counterfactual grant
                 // cycle, so its recovery latency is measured end-to-end.
                 self.stats.faults.reordered_broadcasts += 1;
-                self.trace.record_fault(self.cycle, None, FaultClass::BroadcastReorder, 0);
+                self.record_fault(None, FaultClass::BroadcastReorder, 0);
                 if let Some(head) = self.sync_queue.front_mut() {
                     head.faulted = true;
                     head.first_grant.get_or_insert(self.cycle);
@@ -1059,8 +1165,14 @@ impl<'a> Machine<'a> {
                     entry.faulted = true;
                     self.stats.faults.delayed_broadcasts += 1;
                     self.stats.faults.delay_cycles += extra;
-                    self.trace.record_fault(self.cycle, None, FaultClass::BroadcastDelay, extra);
+                    self.record_fault(None, FaultClass::BroadcastDelay, extra);
                 }
+                let (var, rmw) = match entry.req {
+                    SyncReq::Post { var, .. } => (var, false),
+                    SyncReq::Rmw { var, .. } => (var, true),
+                };
+                self.metrics.sync_bus_busy += dur;
+                self.events.record(self.cycle, SimEventKind::SyncGrant { var, rmw, dur });
                 self.sync_active = Some((entry, self.cycle + dur));
                 self.note_progress();
             }
@@ -1073,6 +1185,7 @@ impl<'a> Machine<'a> {
     }
 
     fn post_sync_write(&mut self, proc: usize, var: SyncVar, val: u64) {
+        self.metrics.sync_vars[var].posts += 1;
         let seq = self.next_sync_seq();
         if self.config.coalesce_sync_writes {
             for pending in self.sync_queue.iter_mut() {
@@ -1107,7 +1220,7 @@ impl<'a> Machine<'a> {
                 self.next_stall[p] = self.stall_until[p] + 1 + self.rng.below(2 * mean);
                 self.stats.faults.stalls += 1;
                 self.stats.faults.stall_cycles += len;
-                self.trace.record_fault(self.cycle, Some(p), FaultClass::ProcStall, len);
+                self.record_fault(Some(p), FaultClass::ProcStall, len);
             }
             if self.cycle < self.stall_until[p] {
                 // A stall freezes real work, but trace notes are
@@ -1148,6 +1261,7 @@ impl<'a> Machine<'a> {
                 }
                 ProcState::SpinLocal { var, pred } => {
                     if pred.eval(self.sync_images[p][var]) {
+                        self.close_wait(p);
                         self.procs[p].state = ProcState::Ready;
                         // The successful check still costs this cycle.
                         self.procs[p].stats.spin += 1;
@@ -1237,6 +1351,7 @@ impl<'a> Machine<'a> {
                     self.post_sync_write(p, var, val);
                 }
                 SyncTransport::SharedMemory => {
+                    self.metrics.sync_vars[var].posts += 1;
                     self.data_queue.push_back(DataReq {
                         proc: p,
                         kind: DataReqKind::SyncWrite { var, val },
@@ -1247,11 +1362,13 @@ impl<'a> Machine<'a> {
             },
             Instr::SyncRmw { var } => match self.config.sync_transport {
                 SyncTransport::DedicatedBus => {
+                    self.metrics.sync_vars[var].rmws += 1;
                     let seq = self.next_sync_seq();
                     self.sync_queue.push_back(QueuedSync::new(SyncReq::Rmw { proc: p, var }, seq));
                     self.procs[p].state = ProcState::BlockedSync;
                 }
                 SyncTransport::SharedMemory => {
+                    self.metrics.sync_vars[var].rmws += 1;
                     self.data_queue.push_back(DataReq {
                         proc: p,
                         kind: DataReqKind::SyncRmw { var },
@@ -1262,11 +1379,15 @@ impl<'a> Machine<'a> {
             },
             Instr::SyncWait { var, pred } => match self.config.sync_transport {
                 SyncTransport::DedicatedBus => {
+                    self.metrics.sync_vars[var].waits += 1;
                     if !pred.eval(self.sync_images[p][var]) {
+                        self.begin_wait(p, var, false);
                         self.procs[p].state = ProcState::SpinLocal { var, pred };
                     }
                 }
                 SyncTransport::SharedMemory => {
+                    self.metrics.sync_vars[var].waits += 1;
+                    self.begin_wait(p, var, true);
                     let kind = DataReqKind::Poll { var, pred };
                     self.data_queue.push_back(DataReq { proc: p, kind, addr: var as u64 });
                     self.procs[p].state =
@@ -1291,6 +1412,7 @@ impl<'a> Machine<'a> {
             Instr::KeyedAccess { var, geq } => match self.config.sync_transport {
                 SyncTransport::DedicatedBus => {
                     if self.sync_images[p][var] >= geq {
+                        self.metrics.sync_vars[var].rmws += 1;
                         let seq = self.next_sync_seq();
                         self.sync_queue
                             .push_back(QueuedSync::new(SyncReq::Rmw { proc: p, var }, seq));
@@ -1298,11 +1420,13 @@ impl<'a> Machine<'a> {
                     } else {
                         // Spin on the local image, then re-issue this
                         // instruction once the key advances.
+                        self.begin_wait(p, var, false);
                         self.procs[p].ip -= 1;
                         self.procs[p].state = ProcState::SpinLocal { var, pred: Pred::Geq(geq) };
                     }
                 }
                 SyncTransport::SharedMemory => {
+                    self.begin_wait(p, var, true);
                     let kind = DataReqKind::KeyedAttempt { var, geq };
                     self.data_queue.push_back(DataReq { proc: p, kind, addr: var as u64 });
                     self.procs[p].state =
@@ -1330,6 +1454,8 @@ impl<'a> Machine<'a> {
         };
         self.stats.dispatched += 1;
         self.note_progress();
+        self.events
+            .record(self.cycle, SimEventKind::Dispatch { proc: p, program: next });
         self.procs[p].current = Some(next);
         self.procs[p].ip = 0;
         let lat = self.config.dispatch_latency;
@@ -1774,8 +1900,24 @@ mod tests {
 
     // ---- fast-forward vs reference equivalence ----
 
+    /// Runs with an explicit step mode and event recording on.
+    fn run_mode(
+        config: &MachineConfig,
+        w: &Workload,
+        mode: StepMode,
+        capacity: usize,
+    ) -> Result<RunOutcome, SimError> {
+        config.validate().map_err(SimError::BadConfig)?;
+        let mut m = Machine::new(config, w);
+        m.set_mode(mode);
+        m.enable_events(capacity);
+        m.run_to_completion()
+    }
+
     /// Asserts the fast-forward kernel is bit-identical to per-cycle
-    /// stepping: stats, trace and final sync values.
+    /// stepping — stats, trace, metrics, final sync values — and that
+    /// turning event recording on changes nothing observable while
+    /// producing the same event sequence in both modes.
     fn assert_equivalent(config: &MachineConfig, w: &Workload) {
         let fast = run(config, w);
         let slow = run_reference(config, w);
@@ -1784,6 +1926,14 @@ mod tests {
                 assert_eq!(a.stats, b.stats, "stats diverge");
                 assert_eq!(a.trace, b.trace, "trace diverges");
                 assert_eq!(a.sync_final, b.sync_final, "sync_final diverges");
+                assert_eq!(a.metrics, b.metrics, "metrics diverge");
+                let ta = run_mode(config, w, StepMode::FastForward, 1 << 16).unwrap();
+                let tb = run_mode(config, w, StepMode::Reference, 1 << 16).unwrap();
+                assert_eq!(ta.events, tb.events, "event streams diverge");
+                assert_eq!(ta.stats, a.stats, "recording must not change stats");
+                assert_eq!(tb.stats, b.stats, "recording must not change stats");
+                assert_eq!(ta.metrics, a.metrics, "recording must not change metrics");
+                assert_eq!(ta.trace, a.trace, "recording must not change the trace");
             }
             (fast, slow) => assert_eq!(fast.err(), slow.err(), "outcomes diverge"),
         }
@@ -1846,6 +1996,140 @@ mod tests {
         for (i, p) in out.stats.procs.iter().enumerate() {
             assert_eq!(p.total(), out.stats.makespan, "proc {i} conservation after jumps");
         }
+    }
+
+    // ---- observability: events, metrics, watchdog boundary ----
+
+    #[test]
+    fn watchdog_fires_at_exactly_limit_plus_one_in_both_modes() {
+        // One processor spins on a local image whose update is deferred
+        // to `due`. due == limit is the last cycle the watchdog
+        // tolerates; due == limit + 1 loses the race by exactly one
+        // cycle — in BOTH step modes, at the same cycle.
+        let wait = Program::from_instrs(vec![Instr::SyncWait { var: 0, pred: Pred::Geq(1) }]);
+        let w = Workload::dynamic(vec![wait]);
+        let mut c = cfg(1);
+        c.dispatch_latency = 0;
+        let limit = Machine::new(&c, &w).watchdog_limit();
+        for mode in [StepMode::FastForward, StepMode::Reference] {
+            // due == limit: the image applies just in time.
+            let mut m = Machine::new(&c, &w);
+            m.set_mode(mode);
+            m.image_defer[0].push_back((limit, 0, 1));
+            m.image_due_min = limit;
+            let out = m.run_to_completion().unwrap_or_else(|e| panic!("{mode:?} at limit: {e}"));
+            assert!(out.stats.makespan > limit, "{mode:?}: spun through the quiet span");
+            // due == limit + 1: the watchdog fires first, at limit + 1.
+            let mut m = Machine::new(&c, &w);
+            m.set_mode(mode);
+            m.image_defer[0].push_back((limit + 1, 0, 1));
+            m.image_due_min = limit + 1;
+            match m.run_to_completion() {
+                Err(SimError::Deadlock { cycle, detail, .. }) => {
+                    assert_eq!(cycle, limit + 1, "{mode:?} watchdog fire cycle");
+                    assert!(detail[0].contains("livelock"), "{mode:?}: {detail:?}");
+                }
+                other => panic!("{mode:?}: expected watchdog deadlock, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn event_recording_does_not_perturb_stats() {
+        for transport in [SyncTransport::DedicatedBus, SyncTransport::SharedMemory] {
+            let c = cfg(3).transport(transport);
+            let w = chain_workload(8);
+            let plain = run(&c, &w).unwrap();
+            let traced = run_mode(&c, &w, StepMode::FastForward, 4096).unwrap();
+            assert_eq!(plain.stats, traced.stats, "{transport:?}");
+            assert_eq!(plain.metrics, traced.metrics, "{transport:?}");
+            assert_eq!(plain.sync_final, traced.sync_final, "{transport:?}");
+            assert!(plain.events.is_empty(), "recording is off by default");
+            assert!(!traced.events.is_empty());
+        }
+    }
+
+    #[test]
+    fn event_ring_captures_run_lifecycle() {
+        let c = cfg(2);
+        let w = chain_workload(4);
+        let out = run_mode(&c, &w, StepMode::FastForward, 1 << 12).unwrap();
+        assert_eq!(out.events.dropped(), 0, "ring large enough for the whole run");
+        let kinds: Vec<SimEventKind> = out.events.iter().map(|e| e.kind).collect();
+        assert!(matches!(kinds[0], SimEventKind::WatchdogArm { .. }), "arm comes first");
+        for probe in [
+            |k: &SimEventKind| matches!(k, SimEventKind::Dispatch { .. }),
+            |k: &SimEventKind| matches!(k, SimEventKind::DataGrant { .. }),
+            |k: &SimEventKind| matches!(k, SimEventKind::SyncGrant { .. }),
+            |k: &SimEventKind| matches!(k, SimEventKind::SyncDeliver { .. }),
+            |k: &SimEventKind| matches!(k, SimEventKind::WaitBegin { .. }),
+            |k: &SimEventKind| matches!(k, SimEventKind::WaitEnd { .. }),
+        ] {
+            assert!(kinds.iter().any(probe), "missing event kind in {kinds:?}");
+        }
+        let cycles: Vec<u64> = out.events.iter().map(|e| e.cycle).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "events are time-ordered");
+    }
+
+    #[test]
+    fn metrics_account_buses_and_waits() {
+        let out = run(&cfg(2), &chain_workload(6)).unwrap();
+        assert!(out.metrics.data_bus_busy > 0);
+        assert!(out.metrics.sync_bus_busy > 0);
+        assert!(out.metrics.data_bus_occupancy(out.stats.makespan) <= 1.0);
+        let t = out.metrics.sync_traffic_total();
+        assert_eq!(t.posts, 6, "each chain link posts once");
+        assert_eq!(t.waits, 5, "every link but the first waits");
+        assert_eq!(t.rmws, 0);
+        assert_eq!(t.polls, 0, "local-image spinning makes no poll traffic");
+        assert!(out.metrics.wait_episodes() >= 5, "consumers wait on the chain");
+        assert!(out.metrics.wait_max() >= out.metrics.wait_mean() as u64);
+    }
+
+    #[test]
+    fn shared_memory_polls_are_counted_per_var() {
+        let c = cfg(2).transport(SyncTransport::SharedMemory);
+        let out = run(&c, &chain_workload(4)).unwrap();
+        let t = out.metrics.sync_traffic_total();
+        assert_eq!(t.polls, out.stats.spin_polls, "poll traffic matches the global stat");
+        assert!(t.polls > 0);
+    }
+
+    #[test]
+    fn bank_conflicts_show_in_metrics() {
+        use crate::config::MemoryModel;
+        let progs: Vec<Program> = (0..2u64)
+            .map(|_| {
+                Program::from_instrs(
+                    (0..3).map(|k| Instr::Access { addr: k * 4, write: true }).collect(),
+                )
+            })
+            .collect();
+        let w = Workload::static_assigned(progs, vec![vec![0], vec![1]]);
+        let mut c = cfg(2);
+        c.dispatch_latency = 0;
+        c.memory_model = MemoryModel::Banked { banks: 4 };
+        let out = run(&c, &w).unwrap();
+        assert!(out.metrics.bank_conflicts > 0, "everything hits bank 0");
+        assert_eq!(out.metrics.bank_busy, 6 * 4, "six requests at memory_latency 4");
+    }
+
+    #[test]
+    fn event_streams_are_seed_deterministic() {
+        let c = cfg(3).with_faults(FaultPlan::chaos(42, 60));
+        let w = chain_workload(10);
+        let a = run_mode(&c, &w, StepMode::FastForward, 1 << 14).unwrap();
+        let b = run_mode(&c, &w, StepMode::FastForward, 1 << 14).unwrap();
+        assert_eq!(a.events, b.events, "same seed must give the same event sequence");
+        assert!(a.events.iter().any(|e| matches!(e.kind, SimEventKind::Fault { .. })));
+        let other = run_mode(
+            &cfg(3).with_faults(FaultPlan::chaos(43, 60)),
+            &w,
+            StepMode::FastForward,
+            1 << 14,
+        )
+        .unwrap();
+        assert_ne!(a.events, other.events, "different seeds shake differently");
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Derived per-run metrics: where the cycles actually went.
+//!
+//! The paper's figures are all occupancy/traffic arguments — wait-spin
+//! time (Fig 2), sync-bus load vs data-bus hot-spots (Section 6), keyed
+//! access conflicts (Section 3) — so the simulator keeps the counters
+//! needed to reproduce them on **every** run, not just traced ones:
+//!
+//! * **bus occupancy** — cycles each bus (and the banked memory modules)
+//!   were held, charged at grant time, so the counters cost nothing per
+//!   quiet cycle and are bit-identical between stepping modes;
+//! * **per-processor wait-time histograms** — log2-bucketed durations of
+//!   every completed wait episode (local-image spin or through-memory
+//!   poll loop);
+//! * **per-variable sync traffic** — posted writes, atomic RMWs, waits
+//!   and busy-wait polls per synchronization variable, which the scheme
+//!   layer aggregates into its key / SC / PC traffic counters.
+//!
+//! All counters are updated only at stepped (non-quiet) cycles, so
+//! [`RunMetrics`] is part of the fast-forward equivalence contract along
+//! with [`crate::stats::RunStats`] and [`crate::trace::Trace`].
+
+use crate::stats::RunStats;
+use std::fmt::Write as _;
+
+/// Number of log2 buckets in a [`WaitHistogram`] (covers every u64
+/// duration: bucket `i` holds durations in `[2^i, 2^(i+1))`).
+pub const WAIT_BUCKETS: usize = 64;
+
+/// A log2 histogram of wait-episode durations for one processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitHistogram {
+    /// `buckets[i]` counts episodes of `2^i ..= 2^(i+1)-1` cycles
+    /// (bucket 0 holds 0- and 1-cycle episodes).
+    pub buckets: [u64; WAIT_BUCKETS],
+    /// Completed episodes.
+    pub episodes: u64,
+    /// Total cycles spent across completed episodes.
+    pub total_cycles: u64,
+    /// Longest completed episode.
+    pub max_cycles: u64,
+}
+
+impl Default for WaitHistogram {
+    fn default() -> Self {
+        Self { buckets: [0; WAIT_BUCKETS], episodes: 0, total_cycles: 0, max_cycles: 0 }
+    }
+}
+
+impl WaitHistogram {
+    /// Records one completed wait episode of `cycles` duration.
+    pub fn record(&mut self, cycles: u64) {
+        let bucket = (u64::BITS - 1).saturating_sub(cycles.max(1).leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.episodes += 1;
+        self.total_cycles += cycles;
+        self.max_cycles = self.max_cycles.max(cycles);
+    }
+
+    /// Mean episode length (0.0 with no episodes).
+    pub fn mean(&self) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.episodes as f64
+        }
+    }
+
+    /// Highest non-empty bucket index, if any episode was recorded.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+}
+
+/// Traffic counters for one synchronization variable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VarTraffic {
+    /// Posted writes issued (`SyncSet` / conditional set).
+    pub posts: u64,
+    /// Atomic read-modify-writes issued (`SyncRmw` / keyed access).
+    pub rmws: u64,
+    /// Wait instructions issued against the variable.
+    pub waits: u64,
+    /// Busy-wait polls / keyed retries actually granted the data bus —
+    /// the variable's hot-spot traffic.
+    pub polls: u64,
+}
+
+impl VarTraffic {
+    /// Total operations touching the variable.
+    pub fn total(&self) -> u64 {
+        self.posts + self.rmws + self.waits + self.polls
+    }
+}
+
+/// Always-on derived metrics of one run (see module docs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Cycles the data bus was held by granted transactions.
+    pub data_bus_busy: u64,
+    /// Cycles the synchronization bus was held by granted broadcasts.
+    pub sync_bus_busy: u64,
+    /// Bank-service cycles summed over all memory banks (banked model
+    /// only; can exceed the makespan because banks overlap).
+    pub bank_busy: u64,
+    /// Requests that arrived at an already-busy memory bank.
+    pub bank_conflicts: u64,
+    /// Per-processor wait-episode histograms.
+    pub wait: Vec<WaitHistogram>,
+    /// Per-synchronization-variable traffic.
+    pub sync_vars: Vec<VarTraffic>,
+}
+
+impl RunMetrics {
+    /// Empty metrics for `procs` processors and `vars` sync variables.
+    pub fn new(procs: usize, vars: usize) -> Self {
+        Self {
+            wait: vec![WaitHistogram::default(); procs],
+            sync_vars: vec![VarTraffic::default(); vars],
+            ..Self::default()
+        }
+    }
+
+    /// Fraction of the makespan the data bus was held (0.0 for an empty
+    /// run).
+    pub fn data_bus_occupancy(&self, makespan: u64) -> f64 {
+        occupancy(self.data_bus_busy, makespan)
+    }
+
+    /// Fraction of the makespan the sync bus was held.
+    pub fn sync_bus_occupancy(&self, makespan: u64) -> f64 {
+        occupancy(self.sync_bus_busy, makespan)
+    }
+
+    /// Completed wait episodes across all processors.
+    pub fn wait_episodes(&self) -> u64 {
+        self.wait.iter().map(|h| h.episodes).sum()
+    }
+
+    /// Total cycles spent in completed wait episodes.
+    pub fn wait_cycles(&self) -> u64 {
+        self.wait.iter().map(|h| h.total_cycles).sum()
+    }
+
+    /// Longest completed wait episode on any processor.
+    pub fn wait_max(&self) -> u64 {
+        self.wait.iter().map(|h| h.max_cycles).max().unwrap_or(0)
+    }
+
+    /// Mean completed wait episode across all processors.
+    pub fn wait_mean(&self) -> f64 {
+        let n = self.wait_episodes();
+        if n == 0 {
+            0.0
+        } else {
+            self.wait_cycles() as f64 / n as f64
+        }
+    }
+
+    /// Sum of traffic over every synchronization variable (the scheme
+    /// layer labels this as key / SC / PC traffic).
+    pub fn sync_traffic_total(&self) -> VarTraffic {
+        let mut t = VarTraffic::default();
+        for v in &self.sync_vars {
+            t.posts += v.posts;
+            t.rmws += v.rmws;
+            t.waits += v.waits;
+            t.polls += v.polls;
+        }
+        t
+    }
+
+    /// Renders the human-readable metrics table shown by
+    /// `datasync metrics`.
+    pub fn render_table(&self, stats: &RunStats) -> String {
+        let mut out = String::new();
+        let mk = stats.makespan;
+        let _ = writeln!(
+            out,
+            "bus occupancy: data {:.1}%  sync {:.1}%  (makespan {mk} cycles)",
+            self.data_bus_occupancy(mk) * 100.0,
+            self.sync_bus_occupancy(mk) * 100.0,
+        );
+        if self.bank_busy > 0 || self.bank_conflicts > 0 {
+            let _ = writeln!(
+                out,
+                "banks: {} busy cycles, {} conflicts",
+                self.bank_busy, self.bank_conflicts
+            );
+        }
+        let t = self.sync_traffic_total();
+        let _ = writeln!(
+            out,
+            "sync traffic: {} posts  {} rmws  {} waits  {} polls over {} vars",
+            t.posts,
+            t.rmws,
+            t.waits,
+            t.polls,
+            self.sync_vars.len()
+        );
+        let _ = writeln!(
+            out,
+            "waits: {} episodes, mean {:.1} cycles, max {}",
+            self.wait_episodes(),
+            self.wait_mean(),
+            self.wait_max()
+        );
+        let top = self.wait.iter().filter_map(WaitHistogram::max_bucket).max();
+        if let Some(top) = top {
+            let _ = writeln!(out, "\nwait-time histogram (episodes per log2 bucket)");
+            let mut header = format!("{:<6}", "proc");
+            for b in 0..=top {
+                header.push_str(&format!(" {:>6}", format!("2^{b}")));
+            }
+            let _ = writeln!(out, "{header}");
+            for (p, h) in self.wait.iter().enumerate() {
+                let mut row = format!("P{p:<5}");
+                for b in 0..=top {
+                    if h.buckets[b] == 0 {
+                        row.push_str(&format!(" {:>6}", "."));
+                    } else {
+                        row.push_str(&format!(" {:>6}", h.buckets[b]));
+                    }
+                }
+                let _ = writeln!(out, "{row}");
+            }
+        }
+        out
+    }
+}
+
+fn occupancy(busy: u64, makespan: u64) -> f64 {
+    if makespan == 0 {
+        0.0
+    } else {
+        busy as f64 / makespan as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = WaitHistogram::default();
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(1024); // bucket 10
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.episodes, 4);
+        assert_eq!(h.total_cycles, 1030);
+        assert_eq!(h.max_cycles, 1024);
+        assert_eq!(h.max_bucket(), Some(10));
+        assert!((h.mean() - 257.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_length_episode_lands_in_bucket_zero() {
+        let mut h = WaitHistogram::default();
+        h.record(0);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.max_cycles, 0);
+    }
+
+    #[test]
+    fn occupancy_bounds() {
+        let mut m = RunMetrics::new(2, 1);
+        m.data_bus_busy = 50;
+        m.sync_bus_busy = 10;
+        assert!((m.data_bus_occupancy(100) - 0.5).abs() < 1e-12);
+        assert!((m.sync_bus_occupancy(100) - 0.1).abs() < 1e-12);
+        assert_eq!(m.data_bus_occupancy(0), 0.0);
+    }
+
+    #[test]
+    fn traffic_totals_sum() {
+        let mut m = RunMetrics::new(1, 2);
+        m.sync_vars[0] = VarTraffic { posts: 2, rmws: 1, waits: 3, polls: 4 };
+        m.sync_vars[1] = VarTraffic { posts: 1, rmws: 0, waits: 0, polls: 0 };
+        let t = m.sync_traffic_total();
+        assert_eq!((t.posts, t.rmws, t.waits, t.polls), (3, 1, 3, 4));
+        assert_eq!(t.total(), 11);
+    }
+
+    #[test]
+    fn render_table_mentions_everything() {
+        let mut m = RunMetrics::new(2, 1);
+        m.data_bus_busy = 5;
+        m.sync_bus_busy = 2;
+        m.wait[0].record(7);
+        m.wait[1].record(100);
+        m.sync_vars[0].posts = 1;
+        let stats = RunStats { makespan: 100, ..Default::default() };
+        let table = m.render_table(&stats);
+        assert!(table.contains("bus occupancy"), "{table}");
+        assert!(table.contains("sync traffic"), "{table}");
+        assert!(table.contains("histogram"), "{table}");
+        assert!(table.contains("2^6"), "100-cycle episode needs bucket 6: {table}");
+    }
+}
