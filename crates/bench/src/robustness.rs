@@ -1,23 +1,50 @@
 //! R1 — scheme degradation under deterministic fault injection.
 //!
 //! Sweeps every synchronization scheme across every fault class (plus
-//! combined chaos) at increasing intensity, and reports the four-way
+//! combined chaos) at increasing intensity, and reports the six-way
 //! outcome classification together with the slowdown faults impose on
 //! runs that still complete. The paper's schemes guard *ordering*, so
 //! bounded delivery faults may cost cycles but must never produce a
-//! dependence-order violation or a wedge.
+//! dependence-order violation — and the one unbounded class (broadcast
+//! loss), which wedges dedicated-bus schemes with recovery off, must be
+//! fully healed by the self-healing ladder with recovery on. The
+//! [`json_report`] captures that before/after pair machine-readably.
 
 use crate::table::Table;
-use datasync_schemes::robustness::{sweep, Outcome, Tally};
-use datasync_sim::MachineConfig;
+use datasync_schemes::robustness::{sweep, Matrix, Outcome, Tally};
+use datasync_sim::{MachineConfig, RecoveryPolicy};
 
-/// Runs the degradation sweep and formats it as a table: one row per
-/// scheme x fault class, one outcome column per intensity, plus the
-/// completed-run slowdown at the highest intensity relative to the
-/// fault-free column.
+fn run_matrix(
+    n: i64,
+    procs: usize,
+    intensities: &[u8],
+    seed: u64,
+    recovery: RecoveryPolicy,
+) -> Matrix {
+    let base =
+        MachineConfig { max_cycles: 3_000_000, recovery, ..MachineConfig::with_processors(procs) };
+    sweep(n, &base, intensities, seed)
+}
+
+/// Runs the degradation sweep with the full self-healing ladder armed
+/// (the CLI default) and formats it as a table; see
+/// [`degradation_with`].
 pub fn degradation(n: i64, procs: usize, intensities: &[u8], seed: u64) -> Table {
-    let base = MachineConfig { max_cycles: 3_000_000, ..MachineConfig::with_processors(procs) };
-    let matrix = sweep(n, &base, intensities, seed);
+    degradation_with(n, procs, intensities, seed, RecoveryPolicy::Full)
+}
+
+/// Runs the degradation sweep under `recovery` and formats it as a
+/// table: one row per scheme x fault class, one outcome column per
+/// intensity, plus the completed-run slowdown at the highest intensity
+/// relative to the fault-free column.
+pub fn degradation_with(
+    n: i64,
+    procs: usize,
+    intensities: &[u8],
+    seed: u64,
+    recovery: RecoveryPolicy,
+) -> Table {
+    let matrix = run_matrix(n, procs, intensities, seed, recovery);
     let mut headers: Vec<String> = vec!["scheme".into(), "fault".into()];
     headers.extend(matrix.intensities.iter().map(|i| format!("{i}%")));
     headers.push("slowdown".into());
@@ -25,7 +52,8 @@ pub fn degradation(n: i64, procs: usize, intensities: &[u8], seed: u64) -> Table
     let mut t = Table::new(
         "R1 / robustness",
         &format!(
-            "scheme degradation under fault injection (Fig 2.1 loop, N={n}, P={procs}, seed {seed})"
+            "scheme degradation under fault injection (Fig 2.1 loop, N={n}, P={procs}, \
+             seed {seed}, recovery {recovery})"
         ),
         &header_refs,
     );
@@ -44,18 +72,42 @@ pub fn degradation(n: i64, procs: usize, intensities: &[u8], seed: u64) -> Table
     }
     let tally = Tally::of(&matrix);
     t.note(format!(
-        "{} runs: {} ok, {} deadlocked, {} timed out, {} order violations",
+        "{} runs: {} ok, {} recovered, {} degraded, {} deadlocked, {} timed out, \
+         {} order violations",
         tally.total(),
         tally.ok,
+        tally.recovered,
+        tally.degraded,
         tally.deadlock,
         tally.timeout,
         tally.violated
     ));
     t.note(
         "claim: bounded faults (capped redeliveries, stale windows, stalls) cost cycles \
-         but never break dependence order — VIOLATED must not appear",
+         but never break dependence order — VIOLATED must not appear; unbounded broadcast \
+         loss wedges dedicated-bus schemes with recovery off and is fully healed (ok / \
+         recovered / DEGRADED, never DEADLOCK / TIMEOUT) with recovery on",
     );
     t
+}
+
+/// The before/after robustness report as a JSON document: the same sweep
+/// with the self-healing ladder disarmed (`recovery_off`) and fully
+/// armed (`recovery_on`), each as a complete matrix with per-cell labels
+/// and the outcome tally. This is the machine-readable artifact behind
+/// the claim that recovery shifts every DEADLOCK/TIMEOUT cell to
+/// ok/recovered/degraded; CI archives it as `BENCH_robustness.json`.
+pub fn json_report(n: i64, procs: usize, intensities: &[u8], seed: u64) -> String {
+    let off = run_matrix(n, procs, intensities, seed, RecoveryPolicy::Off);
+    let on = run_matrix(n, procs, intensities, seed, RecoveryPolicy::Full);
+    let indent = |doc: String| doc.trim_end().replace('\n', "\n  ");
+    format!(
+        "{{\n  \"experiment\": \"robustness degradation matrix\",\n  \
+         \"loop\": \"fig21\",\n  \"n\": {n},\n  \"procs\": {procs},\n  \
+         \"seed\": {seed},\n  \"recovery_off\": {},\n  \"recovery_on\": {}\n}}\n",
+        indent(off.to_json()),
+        indent(on.to_json())
+    )
 }
 
 #[cfg(test)]
@@ -65,10 +117,11 @@ mod tests {
     #[test]
     fn degradation_table_shape() {
         let t = degradation(10, 4, &[0, 50], 77);
-        // 5 schemes x 7 fault rows.
-        assert_eq!(t.rows.len(), 35);
+        // 5 schemes x 8 fault rows (7 classes + chaos).
+        assert_eq!(t.rows.len(), 40);
         assert_eq!(t.headers.len(), 5); // scheme, fault, 0%, 50%, slowdown
-                                        // Fault-free column all ok; no violations anywhere.
+                                        // Fault-free column all ok; with the ladder armed no
+                                        // cell may violate, deadlock, or time out.
         for row in &t.rows {
             assert!(
                 row[2].starts_with("ok"),
@@ -77,8 +130,32 @@ mod tests {
                 row[1],
                 row[2]
             );
-            assert!(!row[3].contains("VIOLATED"), "{}/{}: {}", row[0], row[1], row[3]);
+            let cell = &row[3];
+            assert!(
+                !cell.contains("VIOLATED")
+                    && !cell.contains("DEADLOCK")
+                    && !cell.contains("TIMEOUT"),
+                "{}/{}: {cell}",
+                row[0],
+                row[1]
+            );
         }
+    }
+
+    #[test]
+    fn recovery_off_table_shows_the_wedge() {
+        let t = degradation_with(10, 4, &[0, 50], 77, RecoveryPolicy::Off);
+        assert_eq!(t.rows.len(), 40);
+        let loss_cells: Vec<&String> =
+            t.rows.iter().filter(|r| r[1] == "bcast-loss").map(|r| &r[3]).collect();
+        assert!(
+            loss_cells.iter().any(|c| c.contains("DEADLOCK") || c.contains("TIMEOUT")),
+            "50% broadcast loss must wedge some scheme with recovery off: {loss_cells:?}"
+        );
+        assert!(
+            !t.rows.iter().any(|r| r[3].contains("recovered") || r[3].contains("DEGRADED")),
+            "no self-healing may occur with recovery off"
+        );
     }
 
     #[test]
@@ -88,5 +165,26 @@ mod tests {
             t.rows.iter().any(|r| r.last().map(|s| s.ends_with('x')).unwrap_or(false)),
             "at least some rows complete at 60% and report a slowdown"
         );
+    }
+
+    #[test]
+    fn json_report_carries_the_before_after_pair() {
+        let json = json_report(8, 4, &[0, 50], 7);
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"recovery_off\""));
+        assert!(json.contains("\"recovery_on\""));
+        // The pair tells the story: wedges before, none after.
+        let on_half = json.split("\"recovery_on\"").nth(1).unwrap();
+        assert!(on_half.contains("\"deadlock\": 0"), "{on_half}");
+        assert!(on_half.contains("\"timeout\": 0"), "{on_half}");
+        let off_half = json
+            .split("\"recovery_off\"")
+            .nth(1)
+            .unwrap()
+            .split("\"recovery_on\"")
+            .next()
+            .unwrap();
+        assert!(!off_half.contains("\"deadlock\": 0"), "{off_half}");
     }
 }

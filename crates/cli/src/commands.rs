@@ -277,9 +277,30 @@ pub fn metrics(p: &Parsed) -> Result<String, CliError> {
     Ok(text)
 }
 
+/// Worst outcome in a robustness tally, as the process exit code.
+///
+/// Precedence (worst first): violated `7`, deadlock `3`, timeout `4`,
+/// degraded `6`, recovered `5`, all-ok `0` — correctness failures
+/// dominate liveness failures dominate qualified successes.
+fn robustness_exit_code(t: &datasync_schemes::robustness::Tally) -> i32 {
+    if t.violated > 0 {
+        7
+    } else if t.deadlock > 0 {
+        3
+    } else if t.timeout > 0 {
+        4
+    } else if t.degraded > 0 {
+        6
+    } else if t.recovered > 0 {
+        5
+    } else {
+        0
+    }
+}
+
 /// `datasync robustness`.
-pub fn robustness(p: &Parsed) -> Result<String, CliError> {
-    p.expect_only(&["n", "procs", "seed", "max-cycles"])?;
+pub fn robustness(p: &Parsed) -> Result<crate::CliOutput, CliError> {
+    p.expect_only(&["n", "procs", "seed", "max-cycles", "recovery", "json"])?;
     let n = p.get_u64("n", 16)? as i64;
     let procs = p.get_u64("procs", 4)? as usize;
     let seed = p.get_u64("seed", 1989)?;
@@ -287,7 +308,10 @@ pub fn robustness(p: &Parsed) -> Result<String, CliError> {
     if max_cycles == 0 {
         return Err("--max-cycles must be at least 1".into());
     }
-    let base = MachineConfig { max_cycles, ..MachineConfig::with_processors(procs) };
+    let recovery_word = p.get("recovery").unwrap_or("on");
+    let recovery = datasync_sim::RecoveryPolicy::parse(recovery_word)
+        .ok_or_else(|| format!("unknown --recovery '{recovery_word}' (on | off | repair-only)"))?;
+    let base = MachineConfig { max_cycles, recovery, ..MachineConfig::with_processors(procs) };
     base.validate().map_err(datasync_sim::SimError::BadConfig)?;
     let intensities = [0u8, 25, 50, 75];
     let matrix = datasync_schemes::robustness::sweep(n, &base, &intensities, seed);
@@ -295,25 +319,36 @@ pub fn robustness(p: &Parsed) -> Result<String, CliError> {
     let mut text = String::new();
     let _ = writeln!(
         text,
-        "degradation matrix — {} iterations, {procs} processors, fault seed {seed}",
+        "degradation matrix — {} iterations, {procs} processors, fault seed {seed}, \
+         recovery {recovery}",
         n
     );
     let _ = writeln!(
         text,
-        "cells: ok = completed & validated (rN = worst recovery latency), \
-         DEADLOCK = detected, TIMEOUT = hit {max_cycles} cycles, VIOLATED = order broken\n"
+        "cells: ok = completed & validated (rN = worst recovery latency), recovered = \
+         self-healed (aN actions, hN heal latency), DEGRADED = fallback scheme carried \
+         the run, DEADLOCK = detected, TIMEOUT = hit {max_cycles} cycles, VIOLATED = \
+         order broken\n"
     );
     text.push_str(&datasync_schemes::robustness::render(&matrix));
     let _ = writeln!(
         text,
-        "\n{} runs classified: {} ok, {} deadlocked, {} timed out, {} violated",
+        "\n{} runs classified: {} ok, {} recovered, {} degraded, {} deadlocked, \
+         {} timed out, {} violated",
         tally.total(),
         tally.ok,
+        tally.recovered,
+        tally.degraded,
         tally.deadlock,
         tally.timeout,
         tally.violated
     );
-    Ok(text)
+    if let Some(path) = p.get("json") {
+        std::fs::write(path, matrix.to_json())
+            .map_err(|e| CliError::from(format!("cannot write '{path}': {e}")))?;
+        let _ = writeln!(text, "wrote {path}");
+    }
+    Ok(crate::CliOutput { text, code: robustness_exit_code(&tally) })
 }
 
 /// `datasync wavefront`.

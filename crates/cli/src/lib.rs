@@ -25,8 +25,12 @@ USAGE:
   datasync compare    [--loop L] [--n N] [--m M] [--procs P] [--x X]
       Run the loop under every scheme and print the comparison table.
   datasync robustness [--n N] [--procs P] [--seed S] [--max-cycles C]
+                      [--recovery on|off|repair-only] [--json PATH]
       Sweep every scheme across every fault class and intensity; print
-      the degradation matrix (ok / DEADLOCK / TIMEOUT / VIOLATED).
+      the degradation matrix (ok / recovered / DEGRADED / DEADLOCK /
+      TIMEOUT / VIOLATED). Recovery (the self-healing sync-bus ladder:
+      gap NACKs, retransmission, watchdog repair, fallback degradation)
+      defaults to on; --json also writes the matrix as JSON.
   datasync wavefront  [--loop L] [--n N] [--m M]
       Derive the wavefront (skewing) schedule of a depth-2 loop.
   datasync unroll     [--loop L] [--n N] [--factor U]
@@ -51,8 +55,24 @@ SCHEMES (--scheme): process (default) | process-basic | statement |
                     reference | instance | barrier-phased
 
 EXIT CODES: 0 success | 2 bad arguments or config | 3 deadlock detected |
-            4 simulation timed out
+            4 simulation timed out | 5 completed but only via recovery |
+            6 completed only on the degraded fallback scheme |
+            7 dependence order violated
 ";
+
+/// A successful CLI invocation: the text to print plus the process exit
+/// code. Code `0` is a clean success; the robustness sweep reports
+/// qualified successes (`5` recovered, `6` degraded) and detected
+/// failures (`3`/`4`/`7`) through the same channel so scripts can branch
+/// on the worst outcome in the matrix while still receiving the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOutput {
+    /// Text for stdout.
+    pub text: String,
+    /// Process exit code (`0` unless a subcommand reports a qualified
+    /// outcome).
+    pub code: i32,
+}
 
 /// A CLI failure: a user-facing message plus the process exit code.
 ///
@@ -105,36 +125,41 @@ impl From<SimError> for CliError {
     }
 }
 
-/// Runs the CLI; returns the text to print.
+/// Runs the CLI; returns the text to print plus the exit code.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] carrying the message and the exit code the
 /// process should use.
-pub fn run(argv: &[String]) -> Result<String, CliError> {
+pub fn run(argv: &[String]) -> Result<CliOutput, CliError> {
     let parsed = Parsed::parse(argv)?;
+    let ok = |text: String| CliOutput { text, code: 0 };
     match parsed.command.as_str() {
-        "analyze" => commands::analyze(&parsed),
-        "simulate" => commands::simulate(&parsed),
-        "compare" => commands::compare(&parsed),
+        "analyze" => commands::analyze(&parsed).map(ok),
+        "simulate" => commands::simulate(&parsed).map(ok),
+        "compare" => commands::compare(&parsed).map(ok),
         "robustness" => commands::robustness(&parsed),
-        "wavefront" => commands::wavefront(&parsed),
-        "unroll" => commands::unroll(&parsed),
-        "reproduce" => commands::reproduce(&parsed),
-        "perf" => commands::perf(&parsed),
-        "trace" => commands::trace(&parsed),
-        "metrics" => commands::metrics(&parsed),
-        "help" | "--help" => Ok(USAGE.to_string()),
+        "wavefront" => commands::wavefront(&parsed).map(ok),
+        "unroll" => commands::unroll(&parsed).map(ok),
+        "reproduce" => commands::reproduce(&parsed).map(ok),
+        "perf" => commands::perf(&parsed).map(ok),
+        "trace" => commands::trace(&parsed).map(ok),
+        "metrics" => commands::metrics(&parsed).map(ok),
+        "help" | "--help" => Ok(ok(USAGE.to_string())),
         other => Err(format!("unknown subcommand '{other}'").into()),
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::CliError;
+    use super::{CliError, CliOutput};
+
+    fn run_full(words: &[&str]) -> Result<CliOutput, CliError> {
+        super::run(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
 
     fn run(words: &[&str]) -> Result<String, CliError> {
-        super::run(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        run_full(words).map(|o| o.text)
     }
 
     #[test]
@@ -193,15 +218,82 @@ mod tests {
         let out = run(&["robustness", "--n", "8", "--procs", "4", "--seed", "7"]).unwrap();
         assert!(out.contains("scheme"), "{out}");
         assert!(out.contains("chaos"), "{out}");
+        assert!(out.contains("bcast-loss"), "{out}");
         assert!(out.contains("process-oriented"), "{out}");
         assert!(out.contains("classified"), "{out}");
+        assert!(out.contains("recovery on"), "{out}");
     }
 
     #[test]
     fn robustness_is_deterministic() {
-        let a = run(&["robustness", "--n", "8", "--seed", "42"]).unwrap();
-        let b = run(&["robustness", "--n", "8", "--seed", "42"]).unwrap();
+        let a = run_full(&["robustness", "--n", "8", "--seed", "42"]).unwrap();
+        let b = run_full(&["robustness", "--n", "8", "--seed", "42"]).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn robustness_recovery_on_leaves_no_wedge_and_exits_by_worst_cell() {
+        // Recovery defaults to on: the matrix must contain no
+        // DEADLOCK/TIMEOUT cells, and the exit code reports the worst
+        // surviving outcome (0 all-ok, 5 recovered, 6 degraded).
+        let on = run_full(&["robustness", "--n", "8", "--procs", "4", "--seed", "7"]).unwrap();
+        assert!(
+            on.text.contains("0 deadlocked, 0 timed out, 0 violated"),
+            "recovery-on matrix must have no wedged or violated cells: {}",
+            on.text
+        );
+        assert!(matches!(on.code, 0 | 5 | 6), "unexpected exit code {}", on.code);
+        assert!(on.text.contains("recovered("), "loss cells should heal: {}", on.text);
+
+        // Recovery off: broadcast loss wedges dedicated-bus schemes, and
+        // the deadlock exit code wins over the qualified-success codes.
+        let off = run_full(&[
+            "robustness",
+            "--n",
+            "8",
+            "--procs",
+            "4",
+            "--seed",
+            "7",
+            "--recovery",
+            "off",
+        ])
+        .unwrap();
+        assert!(
+            !off.text.contains("0 deadlocked"),
+            "loss must wedge without recovery: {}",
+            off.text
+        );
+        assert!(off.text.contains("recovery off"), "{}", off.text);
+        assert_eq!(off.code, 3, "{}", off.text);
+    }
+
+    #[test]
+    fn robustness_writes_json_matrix() {
+        let dir = std::env::temp_dir().join("datasync_cli_robustness_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("matrix.json");
+        let out = run(&["robustness", "--n", "6", "--seed", "3", "--json", path.to_str().unwrap()])
+            .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"tally\""), "{json}");
+        assert!(json.contains("\"intensities\": [0, 25, 50, 75]"), "{json}");
+        assert!(run(&["robustness", "--n", "6", "--json", "/nonexistent/dir/m.json"]).is_err());
+    }
+
+    #[test]
+    fn robustness_rejects_unknown_recovery_policy() {
+        let e = run(&["robustness", "--recovery", "maybe"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("repair-only"), "{}", e.message);
+    }
+
+    #[test]
+    fn non_robustness_commands_exit_zero() {
+        for words in [&["analyze", "--n", "8"][..], &["simulate", "--n", "8"], &["help"]] {
+            assert_eq!(run_full(words).unwrap().code, 0, "{words:?}");
+        }
     }
 
     #[test]
@@ -250,6 +342,8 @@ mod tests {
         assert!(out.contains("robustness"));
         assert!(out.contains("perf"));
         assert!(out.contains("EXIT CODES"));
+        assert!(out.contains("--recovery"));
+        assert!(out.contains("5 completed but only via recovery"));
     }
 
     #[test]

@@ -2,12 +2,19 @@
 //!
 //! Exit codes: `0` success, `2` bad arguments or machine config (usage is
 //! printed), `3` deadlock/livelock detected (stuck processors are
-//! listed), `4` simulation timed out.
+//! listed), `4` simulation timed out, `5` the robustness matrix completed
+//! but only via self-healing recovery, `6` it completed only on the
+//! degraded fallback scheme, `7` a run violated dependence order.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match datasync_cli::run(&args) {
-        Ok(output) => print!("{output}"),
+        Ok(output) => {
+            print!("{}", output.text);
+            if output.code != 0 {
+                std::process::exit(output.code);
+            }
+        }
         Err(e) => {
             eprintln!("error: {}", e.message);
             if e.code == 2 {

@@ -21,6 +21,48 @@ pub enum WaitStrategy {
     },
     /// Exponential backoff from spinning to yielding.
     Backoff,
+    /// Bounded exponential backoff with deterministic per-thread jitter:
+    /// spin bursts double up to `1 << max_shift` probes, each stretched
+    /// by a splitmix64-derived offset so symmetric waiters desynchronize
+    /// instead of re-colliding on the same probe cadence after every
+    /// wakeup (the retransmission-storm fix, applied to spinning); past
+    /// the bound, bursts stay at the cap with a yield between them. The
+    /// jitter stream is a pure function of the thread's id, so a given
+    /// thread's pacing is reproducible run to run.
+    JitteredBackoff {
+        /// log2 of the longest spin burst (bursts are capped at
+        /// `1 << max_shift` probes before jitter).
+        max_shift: u32,
+    },
+}
+
+/// splitmix64 finalizer: advances `state` by the golden-ratio increment
+/// and returns a well-mixed 64-bit value. Hand-rolled (the workspace is
+/// dependency-free by policy) and identical to the simulator's fault
+/// RNG, so backoff jitter and fault injection share one tested mixer.
+fn splitmix64_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeds a jitter stream from the current thread's id, so distinct
+/// threads back off on distinct (but individually reproducible) cadences.
+fn jitter_seed() -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    thread::current().id().hash(&mut h);
+    h.finish() | 1
+}
+
+/// One jittered burst length for the current backoff `shift`: the base
+/// burst `1 << shift` stretched to anywhere in `[base/2, 3*base/2]`.
+fn jittered_burst(state: &mut u64, shift: u32) -> u64 {
+    let base = 1u64 << shift;
+    (base / 2 + splitmix64_next(state) % (base + 1)).max(1)
 }
 
 impl Default for WaitStrategy {
@@ -89,6 +131,26 @@ impl WaitStrategy {
                     }
                 }
             }
+            WaitStrategy::JitteredBackoff { max_shift } => {
+                let mut state = jitter_seed();
+                let mut shift = 0u32;
+                loop {
+                    if cond() {
+                        return true;
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        return false;
+                    }
+                    for _ in 0..jittered_burst(&mut state, shift) {
+                        hint::spin_loop();
+                    }
+                    if shift < max_shift {
+                        shift += 1;
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+            }
         }
     }
 
@@ -124,6 +186,20 @@ impl WaitStrategy {
                     }
                 }
             }
+            WaitStrategy::JitteredBackoff { max_shift } => {
+                let mut state = jitter_seed();
+                let mut shift = 0u32;
+                while !cond() {
+                    for _ in 0..jittered_burst(&mut state, shift) {
+                        hint::spin_loop();
+                    }
+                    if shift < max_shift {
+                        shift += 1;
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+            }
         }
     }
 }
@@ -134,18 +210,23 @@ mod tests {
     use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
     use std::sync::Arc;
 
+    const JITTERED: WaitStrategy = WaitStrategy::JitteredBackoff { max_shift: 6 };
+
     #[test]
     fn already_true_returns_immediately() {
-        for s in [WaitStrategy::Spin, WaitStrategy::default(), WaitStrategy::Backoff] {
+        for s in [WaitStrategy::Spin, WaitStrategy::default(), WaitStrategy::Backoff, JITTERED] {
             s.wait_until(|| true);
         }
     }
 
     #[test]
     fn waits_for_condition() {
-        for s in
-            [WaitStrategy::Spin, WaitStrategy::SpinThenYield { spins: 4 }, WaitStrategy::Backoff]
-        {
+        for s in [
+            WaitStrategy::Spin,
+            WaitStrategy::SpinThenYield { spins: 4 },
+            WaitStrategy::Backoff,
+            JITTERED,
+        ] {
             let flag = Arc::new(AtomicBool::new(false));
             let f2 = Arc::clone(&flag);
             let t = std::thread::spawn(move || {
@@ -167,9 +248,12 @@ mod tests {
 
     #[test]
     fn timeout_expires_on_never_true_condition() {
-        for s in
-            [WaitStrategy::Spin, WaitStrategy::SpinThenYield { spins: 4 }, WaitStrategy::Backoff]
-        {
+        for s in [
+            WaitStrategy::Spin,
+            WaitStrategy::SpinThenYield { spins: 4 },
+            WaitStrategy::Backoff,
+            JITTERED,
+        ] {
             let t0 = std::time::Instant::now();
             let ok = s.wait_until_timeout(|| false, std::time::Duration::from_millis(5));
             assert!(!ok, "{s:?}: a never-true condition must time out");
@@ -179,16 +263,19 @@ mod tests {
 
     #[test]
     fn timeout_returns_immediately_when_already_true() {
-        for s in [WaitStrategy::Spin, WaitStrategy::default(), WaitStrategy::Backoff] {
+        for s in [WaitStrategy::Spin, WaitStrategy::default(), WaitStrategy::Backoff, JITTERED] {
             assert!(s.wait_until_timeout(|| true, std::time::Duration::ZERO));
         }
     }
 
     #[test]
     fn timeout_observes_late_satisfaction() {
-        for s in
-            [WaitStrategy::Spin, WaitStrategy::SpinThenYield { spins: 4 }, WaitStrategy::Backoff]
-        {
+        for s in [
+            WaitStrategy::Spin,
+            WaitStrategy::SpinThenYield { spins: 4 },
+            WaitStrategy::Backoff,
+            JITTERED,
+        ] {
             let flag = Arc::new(AtomicBool::new(false));
             let f2 = Arc::clone(&flag);
             let t = std::thread::spawn(move || {
@@ -202,5 +289,24 @@ mod tests {
             assert!(ok, "{s:?}: condition satisfied well before the deadline");
             t.join().unwrap();
         }
+    }
+
+    #[test]
+    fn jitter_stream_is_reproducible_and_bounded() {
+        // Same seed → same burst sequence; every burst stays within the
+        // documented [base/2, 3*base/2] envelope (and is never zero).
+        let (mut a, mut b) = (41u64, 41u64);
+        for shift in 0..12u32 {
+            let x = jittered_burst(&mut a, shift);
+            let y = jittered_burst(&mut b, shift);
+            assert_eq!(x, y, "same state must give the same burst");
+            let base = 1u64 << shift;
+            assert!(x >= (base / 2).max(1) && x <= base + base / 2, "shift {shift}: burst {x}");
+        }
+        // Different seeds desynchronize almost surely.
+        let (mut c, mut d) = (1u64, 2u64);
+        let cs: Vec<u64> = (0..8).map(|s| jittered_burst(&mut c, s + 4)).collect();
+        let ds: Vec<u64> = (0..8).map(|s| jittered_burst(&mut d, s + 4)).collect();
+        assert_ne!(cs, ds, "distinct seeds should give distinct cadences");
     }
 }

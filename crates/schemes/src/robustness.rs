@@ -3,11 +3,21 @@
 //! The paper argues (Section 6) that its process-oriented scheme tolerates
 //! the realities of a broadcast synchronization bus. This module stresses
 //! that claim: it sweeps every scheme across every fault class at several
-//! intensities and classifies each run into exactly one of four outcomes —
-//! completes-and-validates, detected deadlock, timeout, or dependence-order
-//! violation. There is no silent fifth outcome: the simulator's progress
-//! watchdog plus the `max_cycles` cap guarantee every run terminates, and
-//! trace validation runs on every completion.
+//! intensities and classifies each run into exactly one of six outcomes —
+//! completes-and-validates, completes-after-self-healing ([`Outcome::
+//! Recovered`]), completes-on-the-conservative-fallback ([`Outcome::
+//! Degraded`]), detected deadlock, timeout, or dependence-order violation.
+//! There is no silent seventh outcome: the simulator's progress watchdog
+//! plus the `max_cycles` cap guarantee every run terminates, and trace
+//! validation runs on every completion — including recovered and degraded
+//! ones, so a healed run that reordered dependences would still be caught.
+//!
+//! With [`RecoveryPolicy::Full`], a run the machine cannot heal (its
+//! wait-for proof shows an edge unsatisfied even globally — e.g. a
+//! conditional post whose guard read a lossy image) is re-run under a
+//! conservative barrier-phased fallback scheme: correctness is preserved
+//! at a performance cost, which is exactly what "graceful degradation"
+//! means here.
 
 use crate::barrier_phased::BarrierPhased;
 use crate::instance_based::InstanceBased;
@@ -38,6 +48,29 @@ pub enum Outcome {
         sync_bus_occupancy: f64,
         /// Longest completed wait episode (cycles).
         wait_max: u64,
+    },
+    /// The run finished and validated, but only because the self-healing
+    /// ladder intervened (gap NACKs and/or watchdog repairs fired).
+    Recovered {
+        /// Total cycles.
+        makespan: u64,
+        /// Recovery actions taken (gap NACKs + watchdog repairs).
+        actions: u64,
+        /// Watchdog repair rungs among those actions.
+        watchdog_repairs: u64,
+        /// Longest healed wait episode (cycles) — the recovery latency.
+        heal_latency_max: u64,
+    },
+    /// The primary scheme wedged beyond repair, but the conservative
+    /// fallback scheme completed and validated the same loop: correctness
+    /// was preserved at a performance cost.
+    Degraded {
+        /// Fallback scheme that carried the run.
+        fallback: String,
+        /// Fallback makespan (cycles).
+        makespan: u64,
+        /// What the primary scheme did (its matrix cell).
+        original: String,
     },
     /// The machine proved no processor can ever progress again (includes
     /// watchdog-detected livelock).
@@ -79,15 +112,33 @@ impl Outcome {
                     format!("ok({})", tags.join(","))
                 }
             }
+            Outcome::Recovered { actions, watchdog_repairs, heal_latency_max, .. } => {
+                if *watchdog_repairs > 0 {
+                    format!("recovered(a{actions},rep{watchdog_repairs},h{heal_latency_max})")
+                } else {
+                    format!("recovered(a{actions},h{heal_latency_max})")
+                }
+            }
+            Outcome::Degraded { fallback, .. } => format!("DEGRADED({fallback})"),
             Outcome::DeadlockDetected { .. } => "DEADLOCK".into(),
             Outcome::TimedOut { .. } => "TIMEOUT".into(),
             Outcome::OrderViolation { violations, .. } => format!("VIOLATED({violations})"),
         }
     }
 
-    /// True for the only acceptable outcome.
+    /// True only for a clean completion (no recovery intervention).
     pub fn is_ok(&self) -> bool {
         matches!(self, Outcome::Completed { .. })
+    }
+
+    /// True for every outcome that preserved correctness: a clean
+    /// completion, a self-healed one, or a fallback completion. These
+    /// never lose or reorder work; the others do (or never finish).
+    pub fn is_acceptable(&self) -> bool {
+        matches!(
+            self,
+            Outcome::Completed { .. } | Outcome::Recovered { .. } | Outcome::Degraded { .. }
+        )
     }
 }
 
@@ -121,21 +172,31 @@ pub struct Matrix {
 pub fn classify_run(compiled: &CompiledLoop, config: &MachineConfig) -> Outcome {
     match compiled.run(config) {
         Ok(out) => {
+            // Recovered runs re-validate dependence order like any other:
+            // a heal that broke ordering would surface as a violation, not
+            // be papered over.
             let problems = compiled.validate(&out);
-            if problems.is_empty() {
-                Outcome::Completed {
-                    makespan: out.stats.makespan,
-                    faults_injected: out.stats.faults.total(),
-                    recovery_max: out.stats.faults.recovery_max,
-                    data_bus_occupancy: out.metrics.data_bus_occupancy(out.stats.makespan),
-                    sync_bus_occupancy: out.metrics.sync_bus_occupancy(out.stats.makespan),
-                    wait_max: out.metrics.wait_max(),
-                }
-            } else {
-                Outcome::OrderViolation {
+            if !problems.is_empty() {
+                return Outcome::OrderViolation {
                     violations: problems.len(),
                     first: problems.into_iter().next().unwrap_or_default(),
-                }
+                };
+            }
+            if out.stats.recovery.actions() > 0 {
+                return Outcome::Recovered {
+                    makespan: out.stats.makespan,
+                    actions: out.stats.recovery.actions(),
+                    watchdog_repairs: out.stats.recovery.watchdog_repairs,
+                    heal_latency_max: out.stats.recovery.heal_latency_max,
+                };
+            }
+            Outcome::Completed {
+                makespan: out.stats.makespan,
+                faults_injected: out.stats.faults.total(),
+                recovery_max: out.stats.faults.recovery_max,
+                data_bus_occupancy: out.metrics.data_bus_occupancy(out.stats.makespan),
+                sync_bus_occupancy: out.metrics.sync_bus_occupancy(out.stats.makespan),
+                wait_max: out.metrics.wait_max(),
             }
         }
         Err(SimError::Deadlock { cycle, spinning, .. }) => {
@@ -145,6 +206,39 @@ pub fn classify_run(compiled: &CompiledLoop, config: &MachineConfig) -> Outcome 
         Err(SimError::BadConfig(msg)) => {
             panic!("robustness sweep built an invalid config: {msg}")
         }
+    }
+}
+
+/// [`classify_run`], plus the degradation rung: when the config's
+/// recovery policy allows degrading and the primary scheme wedged
+/// (deadlock or timeout), the same loop is re-run under the conservative
+/// `fallback` scheme — abort-and-restart semantics, matching a runtime
+/// that switches synchronization modes after a fatal sync-bus fault. A
+/// fallback completion (clean or self-healed) reports
+/// [`Outcome::Degraded`]; if the fallback fails too, the primary's
+/// failure stands.
+pub fn classify_with_fallback(
+    compiled: &CompiledLoop,
+    config: &MachineConfig,
+    fallback_name: &str,
+    fallback: &CompiledLoop,
+    fallback_config: &MachineConfig,
+) -> Outcome {
+    let first = classify_run(compiled, config);
+    if !config.recovery.degrades()
+        || !matches!(first, Outcome::DeadlockDetected { .. } | Outcome::TimedOut { .. })
+    {
+        return first;
+    }
+    match classify_run(fallback, fallback_config) {
+        Outcome::Completed { makespan, .. } | Outcome::Recovered { makespan, .. } => {
+            Outcome::Degraded {
+                fallback: fallback_name.to_string(),
+                makespan,
+                original: first.cell(),
+            }
+        }
+        _ => first,
     }
 }
 
@@ -189,12 +283,25 @@ pub fn sweep(iterations: i64, base: &MachineConfig, intensities: &[u8], seed: u6
             (scheme.name(), loop_, config)
         })
         .collect();
+    // The degradation target: the most conservative scheme available —
+    // barrier-phased where the processor count allows it, otherwise the
+    // statement-oriented baseline. Compiled once; only consulted when the
+    // policy allows degrading and a primary wedges beyond repair.
+    let fallback_scheme: Box<dyn Scheme> = if base.processors.is_power_of_two() {
+        Box::new(BarrierPhased::new(base.processors))
+    } else {
+        Box::new(StatementOriented::new())
+    };
+    let fallback_name = fallback_scheme.name();
+    let fallback_loop = fallback_scheme.compile(&nest, &graph, &space);
+    let fallback_base =
+        MachineConfig { sync_transport: fallback_scheme.natural_transport(), ..base.clone() };
     let mut classes: Vec<(String, Option<FaultClass>)> = FaultClass::ALL
         .iter()
         .map(|&class| (class.label().to_string(), Some(class)))
         .collect();
     classes.push(("chaos".into(), None));
-    let mut jobs: Vec<(&CompiledLoop, MachineConfig)> = Vec::new();
+    let mut jobs: Vec<(&CompiledLoop, MachineConfig, MachineConfig)> = Vec::new();
     for (_, loop_, config) in &compiled {
         for (_, class) in &classes {
             for &i in intensities {
@@ -202,13 +309,18 @@ pub fn sweep(iterations: i64, base: &MachineConfig, intensities: &[u8], seed: u6
                     Some(c) => FaultPlan::only(*c, seed, i.into()),
                     None => FaultPlan::chaos(seed, i.into()),
                 };
-                jobs.push((loop_, config.clone().with_faults(plan)));
+                jobs.push((
+                    loop_,
+                    config.clone().with_faults(plan),
+                    fallback_base.clone().with_faults(plan),
+                ));
             }
         }
     }
-    let mut outcomes =
-        datasync_core::par::par_map(jobs, |(loop_, config)| classify_run(loop_, &config))
-            .into_iter();
+    let mut outcomes = datasync_core::par::par_map(jobs, |(loop_, config, fb_config)| {
+        classify_with_fallback(loop_, &config, &fallback_name, &fallback_loop, &fb_config)
+    })
+    .into_iter();
     let mut rows = Vec::new();
     for (name, _, _) in &compiled {
         for (label, _) in &classes {
@@ -275,11 +387,64 @@ pub fn render(matrix: &Matrix) -> String {
     out
 }
 
+impl Matrix {
+    /// Renders the matrix as a machine-readable JSON document (hand-rolled
+    /// like every serializer in this workspace — the repo is
+    /// dependency-free by policy): intensities, one record per row with
+    /// its cell labels, and the outcome tally.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n  \"intensities\": [");
+        for (i, pct) in self.intensities.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{pct}");
+        }
+        out.push_str("],\n  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"scheme\": \"{}\", \"fault\": \"{}\", \"cells\": [",
+                esc(&row.scheme),
+                esc(&row.fault)
+            );
+            for (j, o) in row.outcomes.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\"", esc(&o.cell()));
+            }
+            out.push(']');
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        let t = Tally::of(self);
+        let _ = write!(
+            out,
+            "  ],\n  \"tally\": {{\"ok\": {}, \"recovered\": {}, \"degraded\": {}, \
+             \"deadlock\": {}, \"timeout\": {}, \"violated\": {}}}\n}}\n",
+            t.ok, t.recovered, t.degraded, t.deadlock, t.timeout, t.violated
+        );
+        out
+    }
+}
+
 /// Summary counts over a matrix.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Tally {
-    /// Runs that completed and validated.
+    /// Runs that completed and validated without recovery intervention.
     pub ok: usize,
+    /// Runs the self-healing ladder carried to completion.
+    pub recovered: usize,
+    /// Runs rescued by the conservative fallback scheme.
+    pub degraded: usize,
     /// Detected deadlocks.
     pub deadlock: usize,
     /// Timeouts.
@@ -296,6 +461,8 @@ impl Tally {
             for o in &row.outcomes {
                 match o {
                     Outcome::Completed { .. } => t.ok += 1,
+                    Outcome::Recovered { .. } => t.recovered += 1,
+                    Outcome::Degraded { .. } => t.degraded += 1,
                     Outcome::DeadlockDetected { .. } => t.deadlock += 1,
                     Outcome::TimedOut { .. } => t.timeout += 1,
                     Outcome::OrderViolation { .. } => t.violated += 1,
@@ -307,14 +474,19 @@ impl Tally {
 
     /// Total classified runs.
     pub fn total(&self) -> usize {
-        self.ok + self.deadlock + self.timeout + self.violated
+        self.ok + self.recovered + self.degraded + self.deadlock + self.timeout + self.violated
+    }
+
+    /// Runs that preserved correctness (ok + recovered + degraded).
+    pub fn acceptable(&self) -> usize {
+        self.ok + self.recovered + self.degraded
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use datasync_sim::SyncTransport;
+    use datasync_sim::{RecoveryPolicy, SyncTransport};
 
     fn base() -> MachineConfig {
         let mut c = MachineConfig::with_processors(4);
@@ -325,11 +497,11 @@ mod tests {
     #[test]
     fn sweep_classifies_every_run() {
         let m = sweep(12, &base(), &[0, 40], 99);
-        // 5 schemes (4 procs = power of two, barrier included) x 7 fault
-        // rows (6 classes + chaos) x 2 intensities.
-        assert_eq!(m.rows.len(), 5 * 7);
+        // 5 schemes (4 procs = power of two, barrier included) x 8 fault
+        // rows (7 classes + chaos) x 2 intensities.
+        assert_eq!(m.rows.len(), 5 * 8);
         let t = Tally::of(&m);
-        assert_eq!(t.total(), 5 * 7 * 2, "no run may go unclassified");
+        assert_eq!(t.total(), 5 * 8 * 2, "no run may go unclassified");
     }
 
     #[test]
@@ -347,12 +519,39 @@ mod tests {
 
     #[test]
     fn schemes_survive_moderate_chaos() {
-        // The paper's schemes are real synchronization: bounded delivery
-        // faults slow them down but cannot break them.
+        // The paper's schemes are real synchronization: *bounded* delivery
+        // faults slow them down but cannot break them. Broadcast loss is
+        // the deliberate exception — with recovery off (the default) it
+        // wedges the dedicated-bus schemes, and that wedge must be
+        // detected, not silent.
         let m = sweep(10, &base(), &[50], 3);
         let t = Tally::of(&m);
         assert_eq!(t.violated, 0, "faults must never reorder dependences");
-        assert_eq!(t.deadlock + t.timeout, 0, "bounded faults must not wedge schemes");
+        assert_eq!(t.recovered + t.degraded, 0, "recovery is off by default");
+        for row in &m.rows {
+            let wedged = row.outcomes.iter().filter(|o| !o.is_ok()).count();
+            if row.fault == FaultClass::BroadcastLoss.label() {
+                continue; // unbounded by design; split out below
+            }
+            assert_eq!(wedged, 0, "{} under bounded {} must survive", row.scheme, row.fault);
+        }
+        assert!(t.deadlock > 0, "50% broadcast loss must wedge at least one dedicated-bus scheme");
+    }
+
+    #[test]
+    fn recovery_clears_every_wedge_in_the_matrix() {
+        // The before/after story: the same sweep that deadlocks under
+        // broadcast loss with recovery off has zero DEADLOCK/TIMEOUT
+        // cells with the full ladder armed — every loss cell completes
+        // as ok, recovered, or (beyond repair) degraded.
+        let cfg = MachineConfig { recovery: RecoveryPolicy::Full, ..base() };
+        let m = sweep(10, &cfg, &[0, 50, 75], 3);
+        let t = Tally::of(&m);
+        assert_eq!(t.violated, 0, "healed runs must still validate dependence order");
+        assert_eq!(t.deadlock, 0, "full recovery must leave no deadlock cells");
+        assert_eq!(t.timeout, 0, "full recovery must leave no timeout cells");
+        assert!(t.recovered > 0, "loss cells must show healed runs");
+        assert_eq!(t.acceptable(), t.total());
     }
 
     #[test]
@@ -397,7 +596,61 @@ mod tests {
         let text = render(&m);
         assert!(text.contains("scheme"));
         assert!(text.contains("chaos"));
+        assert!(text.contains("bcast-loss"));
         assert!(text.contains("0%") && text.contains("60%"));
         assert!(text.lines().count() > m.rows.len());
+    }
+
+    #[test]
+    fn fallback_degrades_an_unhealable_wedge() {
+        // Sabotage the process-oriented scheme (strip its posts) so even
+        // the ladder cannot heal it, then let the classifier fall back.
+        use datasync_sim::Instr;
+        let nest = fig21_loop(6);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let scheme = ProcessOriented::new(4);
+        let mut compiled = scheme.compile(&nest, &graph, &space);
+        for prog in &mut compiled.workload.programs {
+            prog.instrs
+                .retain(|i| !matches!(i, Instr::SyncSet { .. } | Instr::SyncSetIfGeq { .. }));
+        }
+        let fb_scheme = BarrierPhased::new(4);
+        let fb = fb_scheme.compile(&nest, &graph, &space);
+        let config = MachineConfig {
+            sync_transport: SyncTransport::DedicatedBus,
+            max_cycles: 1_000_000,
+            recovery: RecoveryPolicy::Full,
+            ..MachineConfig::with_processors(4)
+        };
+        let fb_config =
+            MachineConfig { sync_transport: fb_scheme.natural_transport(), ..config.clone() };
+        let o = classify_with_fallback(&compiled, &config, &fb_scheme.name(), &fb, &fb_config);
+        match &o {
+            Outcome::Degraded { fallback, original, .. } => {
+                assert_eq!(fallback, &fb_scheme.name());
+                assert!(original.contains("DEADLOCK") || original.contains("TIMEOUT"));
+            }
+            other => panic!("expected degradation, got {other:?}"),
+        }
+        assert!(o.is_acceptable() && !o.is_ok());
+        // RepairOnly must NOT degrade: the primary's failure stands.
+        let ro = MachineConfig { recovery: RecoveryPolicy::RepairOnly, ..config };
+        let o2 = classify_with_fallback(&compiled, &ro, &fb_scheme.name(), &fb, &fb_config);
+        assert!(
+            matches!(o2, Outcome::DeadlockDetected { .. } | Outcome::TimedOut { .. }),
+            "repair-only must surface the wedge, got {o2:?}"
+        );
+    }
+
+    #[test]
+    fn matrix_json_is_balanced_and_complete() {
+        let m = sweep(6, &base(), &[0, 50], 1);
+        let json = m.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"intensities\": [0, 50]"));
+        assert!(json.contains("\"tally\""));
+        assert_eq!(json.matches("\"scheme\"").count(), m.rows.len());
     }
 }

@@ -11,7 +11,7 @@ use datasync_schemes::scheme::Scheme;
 use datasync_schemes::{
     BarrierPhased, CompiledLoop, InstanceBased, ProcessOriented, ReferenceBased, StatementOriented,
 };
-use datasync_sim::{FaultClass, FaultPlan, MachineConfig, StepMode, SyncTransport};
+use datasync_sim::{FaultClass, FaultPlan, MachineConfig, RecoveryPolicy, StepMode, SyncTransport};
 
 fn roster(procs: usize, x: usize) -> Vec<Box<dyn Scheme>> {
     let mut v: Vec<Box<dyn Scheme>> = vec![
@@ -119,6 +119,36 @@ fn failure_outcomes_are_identical() {
         let faulted =
             config.clone().with_faults(FaultPlan::only(FaultClass::BroadcastDrop, seed, 95));
         assert_equivalent(&compiled, &faulted, &format!("wedged seed={seed}"));
+    }
+}
+
+/// The self-healing ladder (gap NACKs, refresh retransmissions, watchdog
+/// repairs) must preserve bit-identical equivalence between the
+/// fast-forward and reference kernels — for every scheme, under every
+/// fault class, under chaos, and under the unbounded broadcast-loss
+/// class the ladder exists to heal.
+#[test]
+fn every_scheme_with_recovery_enabled() {
+    let nest = fig21_loop(16);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let base = MachineConfig {
+        max_cycles: 400_000,
+        recovery: RecoveryPolicy::RepairOnly,
+        ..MachineConfig::with_processors(4)
+    };
+    for scheme in roster(4, 8) {
+        let compiled = scheme.compile(&nest, &graph, &space);
+        let clean = MachineConfig { sync_transport: scheme.natural_transport(), ..base.clone() };
+        for class in FaultClass::ALL {
+            let config = clean.clone().with_faults(FaultPlan::only(class, 9, 65));
+            assert_equivalent(&compiled, &config, &format!("{} recovery {class:?}", scheme.name()));
+        }
+        // Total broadcast loss: NACKs go silent and the watchdog repairs.
+        let config = clean.clone().with_faults(FaultPlan::only(FaultClass::BroadcastLoss, 2, 100));
+        assert_equivalent(&compiled, &config, &format!("{} recovery total-loss", scheme.name()));
+        let config = clean.clone().with_faults(FaultPlan::chaos(13, 55));
+        assert_equivalent(&compiled, &config, &format!("{} recovery chaos", scheme.name()));
     }
 }
 

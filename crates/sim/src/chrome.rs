@@ -137,6 +137,33 @@ pub fn render(trace: &Trace, events: &EventRing, procs: usize) -> String {
                     c,
                 );
             }
+            SimEventKind::GapNack { proc, var, tries } => {
+                w.instant(
+                    &format!("NACK v{var} (try {tries})"),
+                    "recovery",
+                    PID_PROCS,
+                    proc as u32,
+                    c,
+                );
+            }
+            SimEventKind::Retransmit { var, val } => {
+                w.instant(
+                    &format!("retransmit v{var}={val}"),
+                    "recovery",
+                    PID_BUSES,
+                    TID_SYNC_BUS,
+                    c,
+                );
+            }
+            SimEventKind::WatchdogRepair { rung, healed } => {
+                w.instant(
+                    &format!("REPAIR #{rung} (healed {healed} images)"),
+                    "recovery",
+                    PID_BUSES,
+                    TID_WATCHDOG,
+                    c,
+                );
+            }
         }
     }
 
@@ -259,6 +286,9 @@ mod tests {
         r.record(6, SimEventKind::WaitEnd { proc: 1, var: 1, waited: 4 });
         r.record(7, SimEventKind::BankService { bank: 3, proc: 0, dur: 5 });
         r.record(8, SimEventKind::WatchdogFire { silent_for: 100 });
+        r.record(9, SimEventKind::GapNack { proc: 1, var: 1, tries: 1 });
+        r.record(10, SimEventKind::Retransmit { var: 1, val: 7 });
+        r.record(11, SimEventKind::WatchdogRepair { rung: 1, healed: 2 });
         let json = render(&t, &r, 2);
         assert!(json.contains("\"S1 it2\""), "{json}");
         assert!(json.contains("\"rmw v1\""), "{json}");
@@ -267,6 +297,9 @@ mod tests {
         assert!(json.contains("\"ts\":2,\"dur\":4"), "wait span backdated: {json}");
         assert!(json.contains("\"banks\""), "{json}");
         assert!(json.contains("FIRED"), "{json}");
+        assert!(json.contains("NACK v1 (try 1)"), "{json}");
+        assert!(json.contains("retransmit v1=7"), "{json}");
+        assert!(json.contains("REPAIR #1 (healed 2 images)"), "{json}");
     }
 
     #[test]

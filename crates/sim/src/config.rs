@@ -1,6 +1,7 @@
 //! Machine configuration.
 
 use crate::faults::FaultPlan;
+use crate::recovery::RecoveryPolicy;
 
 /// How shared memory is reached through the data bus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +68,9 @@ pub struct MachineConfig {
     /// Deterministic fault-injection plan ([`FaultPlan::none`] by
     /// default: no faults, no per-cycle cost).
     pub faults: FaultPlan,
+    /// Self-healing policy ([`RecoveryPolicy::Off`] by default: faults
+    /// wedge and are detected, never silently repaired).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for MachineConfig {
@@ -83,6 +87,7 @@ impl Default for MachineConfig {
             dispatch_latency: 2,
             max_cycles: 200_000_000,
             faults: FaultPlan::none(),
+            recovery: RecoveryPolicy::Off,
         }
     }
 }
@@ -108,6 +113,12 @@ impl MachineConfig {
     /// Installs a fault-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the self-healing policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -162,10 +173,13 @@ mod tests {
     fn builders_compose() {
         let c = MachineConfig::with_processors(4)
             .transport(SyncTransport::SharedMemory)
-            .coalescing(false);
+            .coalescing(false)
+            .with_recovery(RecoveryPolicy::Full);
         assert_eq!(c.processors, 4);
         assert_eq!(c.sync_transport, SyncTransport::SharedMemory);
         assert!(!c.coalesce_sync_writes);
+        assert_eq!(c.recovery, RecoveryPolicy::Full);
+        assert_eq!(MachineConfig::default().recovery, RecoveryPolicy::Off);
     }
 
     #[test]

@@ -122,6 +122,32 @@ pub enum SimEventKind {
         /// Cycles since the last observable progress.
         silent_for: u64,
     },
+    /// A local-image waiter detected a sequence gap (its predicate holds
+    /// on the global variable but not on its image) and NACKed.
+    GapNack {
+        /// The gapped processor.
+        proc: usize,
+        /// Variable whose image missed a broadcast.
+        var: SyncVar,
+        /// NACKs issued so far in this wait episode (1-based).
+        tries: u32,
+    },
+    /// The current global value was re-broadcast in response to a NACK
+    /// (a fresh sequence tag; subject to faults like any broadcast).
+    Retransmit {
+        /// Variable being refreshed.
+        var: SyncVar,
+        /// Global value re-broadcast.
+        val: u64,
+    },
+    /// The watchdog took a repair rung instead of firing: healable
+    /// local images were force-synced from the global state.
+    WatchdogRepair {
+        /// Repair rungs taken so far this run (1-based).
+        rung: u32,
+        /// Image cells brought up to the global value.
+        healed: u64,
+    },
 }
 
 /// One recorded event.

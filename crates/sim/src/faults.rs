@@ -26,13 +26,22 @@
 //! * **ProcStall** — a processor freezes for a bounded interval (models
 //!   an interrupt, a TLB walk, a slow micro-op drain).
 //! * **DataJitter** — a data-bus/bank transaction takes extra cycles.
+//! * **BroadcastLoss** — a performed broadcast updates the global
+//!   variable but a processor's local-image update is *permanently*
+//!   lost (a lossy sync-bus tap; the paper's §6 image coherence
+//!   silently broken for one listener).
 //!
-//! All faults are *bounded*: delivery, image freshness and stalls have
-//! hard caps, which is what makes the four-way outcome classification of
-//! `datasync_schemes::robustness` total — a faulted run completes, is
-//! detected as deadlocked/livelocked, times out at `max_cycles`, or
-//! produces an order violation that the trace validator reports. There
-//! is no silent fifth outcome.
+//! All classes except `BroadcastLoss` are *bounded*: delivery, image
+//! freshness and stalls have hard caps, which is what makes the outcome
+//! classification of `datasync_schemes::robustness` total — a faulted
+//! run completes, is detected as deadlocked/livelocked, times out at
+//! `max_cycles`, or produces an order violation that the trace validator
+//! reports. There is no silent fifth outcome. `BroadcastLoss` is the
+//! deliberately *unbounded* class: a lost image update never arrives on
+//! its own, so a local-image spinner wedges — promptly detected (and
+//! proven) with recovery off, and healed by the gap-detection / NACK /
+//! watchdog-repair ladder with [`crate::recovery::RecoveryPolicy`]
+//! enabled.
 
 /// The injectable fault classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,17 +58,22 @@ pub enum FaultClass {
     ProcStall,
     /// Extra data-bus cycles per transaction.
     DataJitter,
+    /// Permanent loss of one processor's local-image update (the global
+    /// write still performs). The only unbounded class: without recovery
+    /// a local-image waiter wedges and is detected as a deadlock.
+    BroadcastLoss,
 }
 
 impl FaultClass {
     /// All classes, in matrix-column order.
-    pub const ALL: [FaultClass; 6] = [
+    pub const ALL: [FaultClass; 7] = [
         FaultClass::BroadcastDelay,
         FaultClass::BroadcastReorder,
         FaultClass::BroadcastDrop,
         FaultClass::StaleImage,
         FaultClass::ProcStall,
         FaultClass::DataJitter,
+        FaultClass::BroadcastLoss,
     ];
 
     /// Short column label.
@@ -71,7 +85,15 @@ impl FaultClass {
             FaultClass::StaleImage => "stale-image",
             FaultClass::ProcStall => "proc-stall",
             FaultClass::DataJitter => "data-jitter",
+            FaultClass::BroadcastLoss => "bcast-loss",
         }
+    }
+
+    /// `true` when injected faults are guaranteed to resolve on their
+    /// own (capped redeliveries, bounded windows). `BroadcastLoss` is
+    /// the one class where they are not.
+    pub fn bounded(self) -> bool {
+        !matches!(self, FaultClass::BroadcastLoss)
     }
 }
 
@@ -112,6 +134,10 @@ pub struct FaultPlan {
     pub data_jitter_pct: u32,
     /// Max extra cycles per jittered transaction.
     pub data_jitter_max: u32,
+    /// Percent chance a performed broadcast's update to one processor's
+    /// local image is lost forever (drawn independently per processor;
+    /// the global variable still updates).
+    pub broadcast_loss_pct: u32,
 }
 
 impl Default for FaultPlan {
@@ -136,6 +162,7 @@ impl FaultPlan {
             stall_max: 0,
             data_jitter_pct: 0,
             data_jitter_max: 0,
+            broadcast_loss_pct: 0,
         }
     }
 
@@ -147,6 +174,7 @@ impl FaultPlan {
             || self.stale_image_pct > 0
             || self.stall_mean_interval > 0
             || self.data_jitter_pct > 0
+            || self.broadcast_loss_pct > 0
     }
 
     /// A plan that exercises exactly one class at the given intensity
@@ -182,15 +210,21 @@ impl FaultPlan {
                 plan.data_jitter_pct = pct;
                 plan.data_jitter_max = mag;
             }
+            FaultClass::BroadcastLoss => {
+                plan.broadcast_loss_pct = pct;
+            }
         }
         plan
     }
 
-    /// A plan with every class active at the same intensity — the
-    /// "chaos mode" used for worst-case shaking.
+    /// A plan with every *bounded* class active at the same intensity —
+    /// the "chaos mode" used for worst-case shaking. `BroadcastLoss` is
+    /// excluded: chaos keeps the eventual-delivery guarantee so that
+    /// chaos runs remain classifiable without recovery; permanent loss
+    /// is swept as its own matrix row.
     pub fn chaos(seed: u64, intensity: u32) -> Self {
         let mut plan = Self::only(FaultClass::BroadcastDelay, seed, intensity);
-        for class in &FaultClass::ALL[1..] {
+        for class in FaultClass::ALL[1..].iter().filter(|c| c.bounded()) {
             let single = Self::only(*class, seed, intensity);
             plan = Self {
                 seed,
@@ -205,6 +239,7 @@ impl FaultPlan {
                 stall_max: plan.stall_max.max(single.stall_max),
                 data_jitter_pct: plan.data_jitter_pct.max(single.data_jitter_pct),
                 data_jitter_max: plan.data_jitter_max.max(single.data_jitter_max),
+                broadcast_loss_pct: 0,
             };
         }
         plan
@@ -249,6 +284,9 @@ pub struct FaultCounts {
     /// reorders); recognized by their issue tag and discarded instead of
     /// regressing the variable.
     pub stale_deliveries_discarded: u64,
+    /// Local-image updates permanently lost (`BroadcastLoss`): the
+    /// global write performed but this processor's image never saw it.
+    pub lost_image_updates: u64,
 }
 
 impl FaultCounts {
@@ -260,6 +298,7 @@ impl FaultCounts {
             + self.stale_image_updates
             + self.stalls
             + self.jittered_transactions
+            + self.lost_image_updates
     }
 }
 
@@ -288,7 +327,7 @@ mod tests {
     }
 
     #[test]
-    fn chaos_covers_every_class() {
+    fn chaos_covers_every_bounded_class() {
         let p = FaultPlan::chaos(7, 40);
         assert!(p.broadcast_delay_pct > 0);
         assert!(p.broadcast_reorder_pct > 0);
@@ -296,8 +335,20 @@ mod tests {
         assert!(p.stale_image_pct > 0);
         assert!(p.stall_mean_interval > 0);
         assert!(p.data_jitter_pct > 0);
+        assert_eq!(p.broadcast_loss_pct, 0, "chaos keeps eventual delivery");
         assert_eq!(p.seed, 7);
         assert_eq!(p.with_seed(8).seed, 8);
+    }
+
+    #[test]
+    fn loss_is_the_only_unbounded_class() {
+        let unbounded: Vec<FaultClass> =
+            FaultClass::ALL.into_iter().filter(|c| !c.bounded()).collect();
+        assert_eq!(unbounded, vec![FaultClass::BroadcastLoss]);
+        let p = FaultPlan::only(FaultClass::BroadcastLoss, 3, 60);
+        assert_eq!(p.broadcast_loss_pct, 60);
+        assert!(p.is_active());
+        assert_eq!(p.broadcast_drop_pct, 0);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod faults;
 pub mod machine;
 pub mod metrics;
 pub mod program;
+pub mod recovery;
 pub mod rng;
 pub mod stats;
 pub mod timeline;
@@ -66,6 +67,7 @@ pub use machine::{
 };
 pub use metrics::{RunMetrics, VarTraffic, WaitHistogram};
 pub use program::{pack_pc, unpack_pc, Instr, Label, Pred, Program, SyncVar};
+pub use recovery::{RecoveryCounts, RecoveryPolicy, WaitEdge};
 pub use rng::SplitMix64;
 pub use stats::{ProcBreakdown, RunStats};
 pub use timeline::{render as render_timeline, spans as trace_spans, Span};

@@ -42,10 +42,15 @@ use crate::events::{EventRing, SimEventKind};
 use crate::faults::FaultClass;
 use crate::metrics::{RunMetrics, VarTraffic};
 use crate::program::{Instr, Pred, Program, SyncVar};
+use crate::recovery::WaitEdge;
 use crate::rng::SplitMix64;
 use crate::stats::{ProcBreakdown, RunStats};
 use crate::trace::Trace;
 use std::collections::VecDeque;
+
+/// Gap NACKs allowed per wait episode before the waiter falls silent
+/// and escalates to the watchdog repair rung.
+const NACK_TRIES_MAX: u32 = 4;
 
 /// How iteration programs are handed to processors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -327,11 +332,18 @@ struct QueuedSync {
     /// Whether any fault touched this message (only faulted messages
     /// contribute to recovery-latency stats).
     faulted: bool,
+    /// A NACK-triggered re-broadcast. A refresh carries no payload of
+    /// its own: it re-reads the *current* global value at delivery time
+    /// (a value captured at NACK time could be overtaken by an RMW
+    /// granted in between and would regress the variable), and it is
+    /// never a coalescing target (folding a real post into a refresh
+    /// would discard the post's value).
+    refresh: bool,
 }
 
 impl QueuedSync {
     fn new(req: SyncReq, seq: u64) -> Self {
-        Self { req, seq, redeliveries: 0, first_grant: None, faulted: false }
+        Self { req, seq, redeliveries: 0, first_grant: None, faulted: false, refresh: false }
     }
 }
 
@@ -402,6 +414,22 @@ pub struct Machine<'a> {
     /// Per-processor open wait episode: `(begin_cycle, var,
     /// through_memory)` from spin entry until satisfaction.
     wait_since: Vec<Option<(u64, SyncVar, bool)>>,
+    /// Whether the self-healing ladder (gap NACKs, retransmission,
+    /// watchdog repair) is armed. Derived from
+    /// [`MachineConfig::recovery`]; with it off the machine behaves
+    /// bit-identically to one without recovery support.
+    recovery_on: bool,
+    /// Cycles a local-image waiter tolerates before suspecting a
+    /// sequence gap (derived from the configured latencies and fault
+    /// magnitudes; always well below `watchdog_limit`).
+    nack_delay: u64,
+    /// Per-processor cycle of the next gap check (`u64::MAX` when the
+    /// processor is not in a local spin or has spent its NACK budget).
+    nack_due: Vec<u64>,
+    /// Per-processor NACKs issued in the current wait episode.
+    nack_tries: Vec<u32>,
+    /// Watchdog repair rungs taken this run (event numbering).
+    repairs_done: u32,
 }
 
 impl<'a> Machine<'a> {
@@ -459,6 +487,12 @@ impl<'a> Machine<'a> {
                     + f.stall_max
                     + f.stale_window_max,
             );
+        // A waiter suspects a gap only after the longest legitimate
+        // delivery path (bus grant + injected delay + stale window) has
+        // comfortably elapsed; by construction this is well under the
+        // watchdog limit, so all NACK tries fit before escalation.
+        let nack_delay = 32
+            + 4 * u64::from(config.sync_bus_latency + f.broadcast_delay_max + f.stale_window_max);
         Self {
             sync_images: vec![vec![0; n_vars]; p],
             sync_global: vec![0; n_vars],
@@ -484,6 +518,11 @@ impl<'a> Machine<'a> {
             next_stall,
             last_progress: 0,
             watchdog_limit,
+            recovery_on: config.recovery.repairs(),
+            nack_delay,
+            nack_due: vec![u64::MAX; p],
+            nack_tries: vec![0; p],
+            repairs_done: 0,
             mode: StepMode::FastForward,
             config,
             workload,
@@ -568,10 +607,22 @@ impl<'a> Machine<'a> {
                 return Err(SimError::Timeout { max_cycles: self.config.max_cycles });
             }
             if let Some(dead) = self.deadlocked() {
-                let detail = self.stuck_detail(&dead);
+                let mut detail = self.stuck_detail(&dead);
+                if self.recovery_on {
+                    // Unhealable by construction (deadlocked() treats
+                    // globally-satisfied spins as healable): attach the
+                    // wait-for proof so the caller can justify degrading.
+                    detail.extend(self.wait_diagnosis().iter().map(ToString::to_string));
+                }
                 return Err(SimError::Deadlock { cycle: self.cycle, spinning: dead, detail });
             }
             if self.cycle.saturating_sub(self.last_progress) > self.watchdog_limit {
+                // The escalation point: with recovery armed, try the
+                // repair rung first — force-sync healable images from the
+                // global state and keep running instead of failing.
+                if self.recovery_on && self.watchdog_repair() {
+                    continue;
+                }
                 // Livelock: cycles are being burned (spins, redeliveries,
                 // stalls) but nothing observable has happened for longer
                 // than any legitimate quiet period. Upgrade to a detected
@@ -593,6 +644,9 @@ impl<'a> Machine<'a> {
                     "livelock: no forward progress for {} cycles (watchdog limit)",
                     self.cycle - self.last_progress
                 )];
+                if self.recovery_on {
+                    detail.extend(self.wait_diagnosis().iter().map(ToString::to_string));
+                }
                 detail.extend(self.stuck_detail(&spinning));
                 return Err(SimError::Deadlock { cycle: self.cycle, spinning, detail });
             }
@@ -611,7 +665,10 @@ impl<'a> Machine<'a> {
                 let p = &self.procs[i];
                 let at = match p.state {
                     ProcState::SpinLocal { var, pred } => {
-                        format!("waiting {var} {pred} (image {})", self.sync_images[i][var])
+                        format!(
+                            "waiting {var} {pred} (image {}, global {})",
+                            self.sync_images[i][var], self.sync_global[var]
+                        )
                     }
                     ProcState::SpinMem { retry, .. } => format!("retrying {retry:?}"),
                     _ => "?".to_string(),
@@ -663,6 +720,12 @@ impl<'a> Machine<'a> {
                 // next check — that is progress, not deadlock.
                 ProcState::SpinLocal { var, pred } => {
                     if pred.eval(self.sync_images[i][var]) {
+                        return None;
+                    }
+                    // With recovery armed, a spin satisfied *globally* is
+                    // a healable sequence gap, not a deadlock: the NACK /
+                    // watchdog-repair ladder will refresh the image.
+                    if self.recovery_on && pred.eval(self.sync_global[var]) {
                         return None;
                     }
                     spinning.push(i);
@@ -784,6 +847,10 @@ impl<'a> Machine<'a> {
                     if pred.eval(self.sync_images[p][var]) {
                         return None; // the spin succeeds this cycle
                     }
+                    if self.nack_due[p] <= c {
+                        return None; // the gap check runs this cycle
+                    }
+                    next = next.min(self.nack_due[p]);
                 }
                 ProcState::SpinMem { phase, .. } => {
                     if let SpinPhase::Backoff { until } = phase {
@@ -947,6 +1014,11 @@ impl<'a> Machine<'a> {
                     match entry.req {
                         SyncReq::Post { var, val, .. } => {
                             let stale = entry.seq <= self.applied_seq[var];
+                            // A refresh re-broadcasts the *current* global
+                            // value: a payload captured at NACK time could
+                            // have been overtaken by an RMW granted since,
+                            // and re-applying it would regress the counter.
+                            let val = if entry.refresh { self.sync_global[var] } else { val };
                             self.events
                                 .record(self.cycle, SimEventKind::SyncDeliver { var, val, stale });
                             if !stale {
@@ -1040,6 +1112,15 @@ impl<'a> Machine<'a> {
         self.sync_global[var] = val;
         let f = self.config.faults;
         for p in 0..self.sync_images.len() {
+            if f.broadcast_loss_pct > 0 && self.rng.chance_pct(f.broadcast_loss_pct) {
+                // The write performed globally but this processor's image
+                // tap missed it *permanently* — the one unbounded fault.
+                // Only the recovery ladder (NACK refresh or watchdog
+                // repair) can re-deliver the value to this image.
+                self.stats.faults.lost_image_updates += 1;
+                self.record_fault(Some(p), FaultClass::BroadcastLoss, 0);
+                continue;
+            }
             let pending = self.image_defer[p].back().map(|&(when, _, _)| when);
             if f.stale_image_pct > 0 && self.rng.chance_pct(f.stale_image_pct) {
                 // This image lags the global write by a bounded window.
@@ -1076,13 +1157,29 @@ impl<'a> Machine<'a> {
             let waited = self.cycle - start;
             self.metrics.wait[p].record(waited);
             self.events.record(self.cycle, SimEventKind::WaitEnd { proc: p, var, waited });
+            if self.nack_tries[p] > 0 {
+                // The episode needed recovery intervention: its full
+                // duration is the heal latency.
+                self.stats.recovery.healed_waits += 1;
+                self.stats.recovery.heal_latency_total += waited;
+                self.stats.recovery.heal_latency_max =
+                    self.stats.recovery.heal_latency_max.max(waited);
+            }
         }
+        self.nack_due[p] = u64::MAX;
+        self.nack_tries[p] = 0;
     }
 
     /// Opens a wait episode for processor `p` on `var`.
     #[inline(never)]
     fn begin_wait(&mut self, p: usize, var: SyncVar, through_memory: bool) {
         self.wait_since[p] = Some((self.cycle, var, through_memory));
+        if self.recovery_on && !through_memory {
+            // Local-image spins arm the gap detector; memory polls read
+            // the global variable directly and cannot gap.
+            self.nack_due[p] = self.cycle + self.nack_delay;
+            self.nack_tries[p] = 0;
+        }
         self.events
             .record(self.cycle, SimEventKind::WaitBegin { proc: p, var, through_memory });
     }
@@ -1094,6 +1191,103 @@ impl<'a> Machine<'a> {
     fn record_fault(&mut self, proc: Option<usize>, class: FaultClass, magnitude: u64) {
         self.trace.record_fault(self.cycle, proc, class, magnitude);
         self.events.record(self.cycle, SimEventKind::Fault { class, proc, magnitude });
+    }
+
+    /// Rung 1–2 of the recovery ladder: a local-image waiter whose
+    /// deadline passed checks for a sequence gap (its predicate holds on
+    /// the global variable but not on its image) and, if proven, NACKs —
+    /// queueing a refresh broadcast of the global value. After
+    /// [`NACK_TRIES_MAX`] NACKs the waiter falls silent so a persistently
+    /// lossy tap escalates to the watchdog repair rung instead of
+    /// re-NACKing forever (each refresh grant is bus progress, so
+    /// unbounded NACKing would disarm the watchdog while healing
+    /// nothing). Draws no RNG; runs only at stepped cycles.
+    #[inline(never)]
+    fn check_gap(&mut self, p: usize, var: SyncVar, pred: Pred) {
+        if !pred.eval(self.sync_global[var]) {
+            // No gap: the awaited value has not performed globally yet.
+            // Keep watching — the producer may still be on its way.
+            self.nack_due[p] = self.cycle + self.nack_delay;
+            return;
+        }
+        self.nack_tries[p] += 1;
+        let tries = self.nack_tries[p];
+        self.stats.recovery.gap_nacks += 1;
+        self.events.record(self.cycle, SimEventKind::GapNack { proc: p, var, tries });
+        let val = self.sync_global[var];
+        let seq = self.next_sync_seq();
+        self.stats.recovery.retransmits += 1;
+        self.events.record(self.cycle, SimEventKind::Retransmit { var, val });
+        // Pushed directly (never coalesced into) and subject to the same
+        // faults as any broadcast — a retransmission can itself be lost.
+        let mut msg = QueuedSync::new(SyncReq::Post { proc: p, var, val }, seq);
+        msg.refresh = true;
+        self.sync_queue.push_back(msg);
+        self.nack_due[p] = if tries >= NACK_TRIES_MAX {
+            u64::MAX // budget spent: silence lets the watchdog escalate
+        } else {
+            self.cycle + self.nack_delay
+        };
+    }
+
+    /// The wait-for state of every local-image spinner, with the
+    /// controller's verdict on whether re-broadcasting the global state
+    /// would wake it. This is both the repair-rung trigger and the proof
+    /// attached to unrecoverable failures.
+    fn wait_diagnosis(&self) -> Vec<WaitEdge> {
+        let mut edges = Vec::new();
+        for (i, p) in self.procs.iter().enumerate() {
+            if let ProcState::SpinLocal { var, pred } = p.state {
+                let image = self.sync_images[i][var];
+                let global = self.sync_global[var];
+                edges.push(WaitEdge {
+                    proc: i,
+                    var,
+                    need: pred.to_string(),
+                    image,
+                    global,
+                    healable: pred.eval(global) && !pred.eval(image),
+                });
+            }
+        }
+        edges
+    }
+
+    /// Rung 3: the watchdog's repair action. If any spinner is healable
+    /// (satisfied globally, gapped locally), flush every deferred image
+    /// update in order and force-sync all images from the global state —
+    /// the controller re-broadcasting its state wholesale. Sound because
+    /// sync variables are monotone counters and the global variable is
+    /// the authoritative newest value. Returns `false` when nothing is
+    /// healable, letting the caller fire the watchdog for real.
+    #[cold]
+    #[inline(never)]
+    fn watchdog_repair(&mut self) -> bool {
+        if !self.wait_diagnosis().iter().any(|e| e.healable) {
+            return false;
+        }
+        let mut healed = 0u64;
+        for p in 0..self.sync_images.len() {
+            // Apply what was already in flight in its original order…
+            while let Some((_, var, val)) = self.image_defer[p].pop_front() {
+                self.sync_images[p][var] = val;
+            }
+            // …then bring every cell up to the authoritative value.
+            for v in 0..self.sync_global.len() {
+                if self.sync_images[p][v] != self.sync_global[v] {
+                    self.sync_images[p][v] = self.sync_global[v];
+                    healed += 1;
+                }
+            }
+        }
+        self.image_due_min = u64::MAX;
+        self.repairs_done += 1;
+        self.stats.recovery.watchdog_repairs += 1;
+        self.stats.recovery.images_repaired += healed;
+        self.events
+            .record(self.cycle, SimEventKind::WatchdogRepair { rung: self.repairs_done, healed });
+        self.note_progress();
+        true
     }
 
     fn grant_transactions(&mut self) {
@@ -1189,6 +1383,11 @@ impl<'a> Machine<'a> {
         let seq = self.next_sync_seq();
         if self.config.coalesce_sync_writes {
             for pending in self.sync_queue.iter_mut() {
+                if pending.refresh {
+                    // Never fold a real post into a refresh: the refresh
+                    // re-reads global at delivery and would drop `val`.
+                    continue;
+                }
                 if let SyncReq::Post { proc: p, var: v, val: pv } = &mut pending.req {
                     if *p == proc && *v == var {
                         *pv = val;
@@ -1266,6 +1465,9 @@ impl<'a> Machine<'a> {
                         // The successful check still costs this cycle.
                         self.procs[p].stats.spin += 1;
                         return;
+                    }
+                    if self.cycle >= self.nack_due[p] {
+                        self.check_gap(p, var, pred);
                     }
                     self.procs[p].stats.spin += 1;
                     return;
@@ -2142,5 +2344,157 @@ mod tests {
             .fault_events()
             .iter()
             .all(|e| e.class == FaultClass::DataJitter && e.magnitude >= 1));
+    }
+
+    // ---- self-healing: gap NACKs, retransmission, watchdog repair ----
+
+    use crate::recovery::RecoveryPolicy;
+
+    #[test]
+    fn lost_broadcasts_wedge_without_recovery() {
+        // Total image loss with the ladder disarmed: the first waiter's
+        // image never sees the posted value and the machine must *detect*
+        // the wedge (promptly, with the gap visible in the detail), not
+        // burn to the timeout.
+        let c = cfg(2).with_faults(FaultPlan::only(FaultClass::BroadcastLoss, 5, 100));
+        match run(&c, &chain_workload(6)) {
+            Err(SimError::Deadlock { cycle, detail, .. }) => {
+                assert!(cycle < 100_000, "detection must be prompt, took {cycle}");
+                assert!(
+                    detail.iter().any(|d| d.contains("image") && d.contains("global")),
+                    "detail must expose the image/global gap: {detail:?}"
+                );
+            }
+            other => panic!("expected wedge without recovery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nack_retransmission_heals_moderate_loss() {
+        // At 60% loss most refreshes get through: the run completes on
+        // NACK retransmissions alone or with occasional watchdog help,
+        // and the healed episodes are accounted.
+        let c = cfg(2)
+            .with_faults(FaultPlan::only(FaultClass::BroadcastLoss, 5, 60))
+            .with_recovery(RecoveryPolicy::RepairOnly);
+        let out = run(&c, &chain_workload(8)).unwrap();
+        assert_eq!(out.sync_final[0], 8, "the chain must complete");
+        assert!(out.stats.faults.lost_image_updates > 0, "60% loss must fire");
+        assert!(out.stats.recovery.gap_nacks > 0, "gaps must be NACKed");
+        assert!(out.stats.recovery.retransmits >= out.stats.recovery.gap_nacks);
+        assert!(out.stats.recovery.healed_waits > 0);
+        assert!(out.stats.recovery.heal_latency_max >= 1);
+    }
+
+    #[test]
+    fn watchdog_repair_rescues_total_loss() {
+        // 100% loss kills every broadcast *including the retransmissions*:
+        // each waiter exhausts its NACK budget, falls silent, and the
+        // watchdog's repair rung force-syncs the images. The full ladder
+        // must be visible: NACKs, then repairs, then completion.
+        let c = cfg(2)
+            .with_faults(FaultPlan::only(FaultClass::BroadcastLoss, 5, 100))
+            .with_recovery(RecoveryPolicy::RepairOnly);
+        let out = run(&c, &chain_workload(6)).unwrap();
+        assert_eq!(out.sync_final[0], 6);
+        assert!(out.stats.recovery.gap_nacks > 0);
+        assert!(out.stats.recovery.watchdog_repairs > 0, "silence must escalate to repair");
+        assert!(out.stats.recovery.images_repaired > 0);
+        assert!(out.stats.recovery.healed_waits > 0);
+    }
+
+    #[test]
+    fn recovery_actions_emit_trace_events() {
+        let c = cfg(2)
+            .with_faults(FaultPlan::only(FaultClass::BroadcastLoss, 5, 100))
+            .with_recovery(RecoveryPolicy::RepairOnly);
+        let out = run_mode(&c, &chain_workload(4), StepMode::FastForward, 1 << 14).unwrap();
+        let kinds: Vec<SimEventKind> = out.events.iter().map(|e| e.kind).collect();
+        assert!(kinds.iter().any(|k| matches!(k, SimEventKind::GapNack { .. })), "{kinds:?}");
+        assert!(kinds.iter().any(|k| matches!(k, SimEventKind::Retransmit { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, SimEventKind::WatchdogRepair { .. })));
+    }
+
+    #[test]
+    fn recovery_is_inert_on_fault_free_runs() {
+        // Arming the ladder without faults must change nothing observable:
+        // gap checks never prove a gap (images track the global exactly),
+        // so stats, trace and metrics stay bit-identical to recovery off.
+        let w = chain_workload(10);
+        let off = run(&cfg(3), &w).unwrap();
+        let on = run(&cfg(3).with_recovery(RecoveryPolicy::Full), &w).unwrap();
+        assert_eq!(off.stats, on.stats);
+        assert_eq!(off.trace, on.trace);
+        assert_eq!(off.metrics, on.metrics);
+        assert_eq!(on.stats.recovery.actions(), 0);
+    }
+
+    #[test]
+    fn fast_forward_matches_reference_with_recovery_enabled() {
+        // The ladder draws no RNG and acts only at stepped cycles, so the
+        // equivalence contract must hold under every fault class with
+        // recovery armed — including total loss where repairs fire.
+        for class in FaultClass::ALL {
+            for seed in [1u64, 7] {
+                let c = cfg(3)
+                    .with_faults(FaultPlan::only(class, seed, 70))
+                    .with_recovery(RecoveryPolicy::RepairOnly);
+                assert_equivalent(&c, &chain_workload(8));
+            }
+        }
+        let total = cfg(2)
+            .with_faults(FaultPlan::only(FaultClass::BroadcastLoss, 5, 100))
+            .with_recovery(RecoveryPolicy::RepairOnly);
+        assert_equivalent(&total, &chain_workload(6));
+        for seed in [3u64, 11] {
+            let c = cfg(3)
+                .with_faults(FaultPlan::chaos(seed, 55))
+                .with_recovery(RecoveryPolicy::RepairOnly);
+            assert_equivalent(&c, &chain_workload(8));
+        }
+    }
+
+    #[test]
+    fn unhealable_wedge_still_detected_with_recovery_on() {
+        // A wait that is unsatisfied even *globally* is beyond the
+        // ladder: it must still be detected promptly, and the failure
+        // must carry the unhealable wait-for proof.
+        let stuck = Program::from_instrs(vec![Instr::SyncWait { var: 0, pred: Pred::Geq(9) }]);
+        let c = cfg(1).with_recovery(RecoveryPolicy::Full);
+        match run(&c, &Workload::dynamic(vec![stuck])) {
+            Err(SimError::Deadlock { cycle, detail, .. }) => {
+                assert!(cycle < 100_000, "took {cycle}");
+                assert!(
+                    detail.iter().any(|d| d.contains("unhealable")),
+                    "proof must mark the edge unhealable: {detail:?}"
+                );
+            }
+            other => panic!("expected detected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refresh_never_regresses_a_counter() {
+        // Waiters NACK while other processors keep advancing the counter
+        // through RMWs: because a refresh re-reads the global value at
+        // delivery time, no late retransmission can regress it. Heavy
+        // loss + a barrier-style RMW workload exercises exactly the
+        // overtaking window.
+        let n = 4usize;
+        let progs: Vec<Program> = (0..n)
+            .map(|i| {
+                Program::from_instrs(vec![
+                    Instr::Compute(3 * (i as u32 + 1)),
+                    Instr::SyncRmw { var: 0 },
+                    Instr::SyncWait { var: 0, pred: Pred::Geq(n as u64) },
+                ])
+            })
+            .collect();
+        let w = Workload::static_assigned(progs, (0..n).map(|p| vec![p]).collect());
+        let c = cfg(n)
+            .with_faults(FaultPlan::only(FaultClass::BroadcastLoss, 17, 70))
+            .with_recovery(RecoveryPolicy::RepairOnly);
+        let out = run(&c, &w).unwrap();
+        assert_eq!(out.sync_final[0], n as u64, "every increment must survive recovery");
     }
 }

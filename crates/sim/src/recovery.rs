@@ -1,0 +1,202 @@
+//! Self-healing machinery for the sync bus: policy, accounting, and
+//! wait-for diagnosis.
+//!
+//! The paper's §6 hardware keeps per-processor local PC images coherent
+//! via sync-bus broadcasts. A broadcast whose image update is lost
+//! (see [`crate::faults::FaultClass::BroadcastLoss`]) silently wedges
+//! every local-image waiter on that processor: the *global* variable
+//! advanced, the *image* never will. This module gives the machine a
+//! recovery ladder modeled on what a real sync-bus controller could do
+//! with the state it already holds:
+//!
+//! 1. **Gap detection** — a processor that has spun on its local image
+//!    past a deadline checks whether its wait predicate already holds on
+//!    the global variable. If it does, the image provably missed a
+//!    broadcast (sync variables are monotone counters, so
+//!    `image < global` is a sequence gap, never a reordering artifact).
+//! 2. **NACK-driven retransmission** — the gapped processor NACKs: the
+//!    current global value is re-broadcast through the normal sync-bus
+//!    path with a fresh sequence tag (subject to faults like any other
+//!    broadcast). Bounded retries per wait episode.
+//! 3. **Watchdog repair** — if NACKs did not heal (the retransmissions
+//!    themselves were lost), the progress watchdog's firing is
+//!    intercepted: the wait-for state is extracted and every *healable*
+//!    image (one whose waiter's predicate holds globally) is force-synced
+//!    from the global state, modeling a controller-driven full image
+//!    refresh. Bounded rungs.
+//! 4. **Degrade** — if the wait-for diagnosis proves no repair can help
+//!    (the predicate fails even on the global state — a lost *conditional*
+//!    post, so the value genuinely never performed), the run fails with
+//!    the proof attached; the scheme harness
+//!    (`datasync_schemes::robustness`) then degrades to a conservative
+//!    barrier-phased fallback and reports `Degraded`.
+//!
+//! Every rung is deterministic (no RNG draws) and acts only at stepped
+//! cycles, so FastForward/Reference equivalence holds with recovery
+//! enabled. Repairs only ever copy the global value into an image —
+//! sync variables are monotone, so a repair can wake a waiter early
+//! relative to a lossless run but can never un-satisfy a predicate or
+//! break dependence order; recovered runs still pass trace validation.
+
+use crate::program::SyncVar;
+
+/// How much self-healing the machine may do.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// No recovery: faults wedge and are detected (the PR-1 behaviour).
+    #[default]
+    Off,
+    /// In-machine repair only (gap NACKs + watchdog image refresh); a
+    /// run the ladder cannot heal still fails as deadlock/timeout.
+    RepairOnly,
+    /// Repair, and additionally allow the scheme harness to degrade an
+    /// unhealable run to a conservative barrier-phased fallback.
+    Full,
+}
+
+impl RecoveryPolicy {
+    /// `true` when the in-machine ladder (gap NACK + watchdog repair)
+    /// is armed. `Full` only adds harness-level degradation on top.
+    pub fn repairs(self) -> bool {
+        !matches!(self, RecoveryPolicy::Off)
+    }
+
+    /// `true` when the scheme harness may fall back to a conservative
+    /// scheme after an unhealable failure.
+    pub fn degrades(self) -> bool {
+        matches!(self, RecoveryPolicy::Full)
+    }
+
+    /// Parses the CLI spelling (`on`, `off`, `repair-only`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "on" | "full" => Some(RecoveryPolicy::Full),
+            "off" => Some(RecoveryPolicy::Off),
+            "repair-only" | "repair" => Some(RecoveryPolicy::RepairOnly),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RecoveryPolicy::Off => "off",
+            RecoveryPolicy::RepairOnly => "repair-only",
+            RecoveryPolicy::Full => "on",
+        })
+    }
+}
+
+/// Recovery-action accounting for one run, recorded in
+/// [`crate::stats::RunStats::recovery`]. All zero when the policy is
+/// [`RecoveryPolicy::Off`] or no fault needed healing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounts {
+    /// Sequence gaps detected and NACKed by local-image waiters.
+    pub gap_nacks: u64,
+    /// Refresh broadcasts enqueued in response to NACKs (re-broadcast of
+    /// the current global value with a fresh sequence tag).
+    pub retransmits: u64,
+    /// Watchdog repair rungs taken (controller-driven image refreshes).
+    pub watchdog_repairs: u64,
+    /// Image cells force-synced to the global value by watchdog repairs.
+    pub images_repaired: u64,
+    /// Wait episodes that closed after at least one recovery action.
+    pub healed_waits: u64,
+    /// Total cycles spent in waits that needed recovery.
+    pub heal_latency_total: u64,
+    /// Longest single wait that needed recovery (the worst-case
+    /// recovery latency a waiter observed).
+    pub heal_latency_max: u64,
+}
+
+impl RecoveryCounts {
+    /// Total recovery interventions (NACKs plus watchdog rungs); `> 0`
+    /// marks a run as *recovered* rather than merely completed.
+    pub fn actions(&self) -> u64 {
+        self.gap_nacks + self.watchdog_repairs
+    }
+}
+
+/// One edge of the wait-for state extracted from a live machine: who
+/// waits, on what, and whether the sync-bus controller could heal it
+/// from the global state it holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// The waiting processor.
+    pub proc: usize,
+    /// The synchronization variable waited on.
+    pub var: SyncVar,
+    /// The wait predicate, rendered (`">= 5"`).
+    pub need: String,
+    /// The processor's local-image value.
+    pub image: u64,
+    /// The globally-performed value.
+    pub global: u64,
+    /// `true` when the predicate holds on `global` but not on `image`:
+    /// re-broadcasting the global value wakes the waiter. `false` is the
+    /// proof that repair cannot help — the awaited value never performed.
+    pub healable: bool,
+}
+
+impl std::fmt::Display for WaitEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P{} waits v{} {} (image {}, global {}) — {}",
+            self.proc,
+            self.var,
+            self.need,
+            self.image,
+            self.global,
+            if self.healable {
+                "healable: global satisfies, image gapped"
+            } else {
+                "unhealable: unsatisfied even globally"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in [RecoveryPolicy::Off, RecoveryPolicy::RepairOnly, RecoveryPolicy::Full] {
+            assert_eq!(RecoveryPolicy::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(RecoveryPolicy::parse("repair"), Some(RecoveryPolicy::RepairOnly));
+        assert_eq!(RecoveryPolicy::parse("maybe"), None);
+    }
+
+    #[test]
+    fn policy_ladder_gates() {
+        assert!(!RecoveryPolicy::Off.repairs());
+        assert!(RecoveryPolicy::RepairOnly.repairs());
+        assert!(!RecoveryPolicy::RepairOnly.degrades());
+        assert!(RecoveryPolicy::Full.repairs());
+        assert!(RecoveryPolicy::Full.degrades());
+        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::Off);
+    }
+
+    #[test]
+    fn counts_mark_recovered_runs() {
+        let mut c = RecoveryCounts::default();
+        assert_eq!(c.actions(), 0);
+        c.gap_nacks = 2;
+        c.watchdog_repairs = 1;
+        assert_eq!(c.actions(), 3);
+    }
+
+    #[test]
+    fn wait_edge_renders_the_proof() {
+        let e =
+            WaitEdge { proc: 3, var: 1, need: ">= 5".into(), image: 2, global: 2, healable: false };
+        let s = e.to_string();
+        assert!(s.contains("P3"), "{s}");
+        assert!(s.contains("unhealable"), "{s}");
+    }
+}

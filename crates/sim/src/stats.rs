@@ -1,6 +1,7 @@
 //! Run statistics.
 
 use crate::faults::FaultCounts;
+use crate::recovery::RecoveryCounts;
 
 /// Per-processor cycle breakdown.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -49,6 +50,9 @@ pub struct RunStats {
     /// Injected-fault counts and recovery latencies (all zero on a
     /// fault-free run).
     pub faults: FaultCounts,
+    /// Self-healing actions taken (all zero with recovery off or when
+    /// nothing needed healing).
+    pub recovery: RecoveryCounts,
 }
 
 impl RunStats {

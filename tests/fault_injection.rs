@@ -9,7 +9,9 @@ use datasync_loopir::space::IterSpace;
 use datasync_loopir::workpatterns::fig21_loop;
 use datasync_schemes::scheme::{CostFn, Scheme};
 use datasync_schemes::{InstanceBased, ProcessOriented, ReferenceBased, StatementOriented};
-use datasync_sim::{FaultPlan, Instr, MachineConfig, SimError};
+use datasync_sim::{
+    FaultClass, FaultPlan, Instr, MachineConfig, Pred, Program, RecoveryPolicy, SimError, Workload,
+};
 
 /// A cost function that makes one iteration dramatically slow, so any
 /// missing synchronization lets later iterations race past it.
@@ -221,6 +223,100 @@ fn different_fault_seeds_diverge() {
         compiled.run(&config).expect("bounded chaos completes").stats
     };
     assert_ne!(run(1), run(2), "different seeds must shake the machine differently");
+}
+
+#[test]
+fn dropping_the_final_broadcast_still_delivers_within_the_cap() {
+    // The nastiest drop is the *last* broadcast a waiter needs: nothing
+    // later will ever touch the variable, so eventual delivery must come
+    // from the redelivery bound alone. At 100% drop probability the
+    // message is dropped on every grant until the cap, then forced
+    // through — exactly `max_redeliveries` drops, never a wedge.
+    let producer = Program::from_instrs(vec![Instr::Compute(5), Instr::SyncSet { var: 0, val: 1 }]);
+    let consumer = Program::from_instrs(vec![Instr::SyncWait { var: 0, pred: Pred::Geq(1) }]);
+    let workload = Workload::static_assigned(vec![producer, consumer], vec![vec![0], vec![1]]);
+    let plan = FaultPlan::only(FaultClass::BroadcastDrop, 11, 100);
+    let config = MachineConfig::with_processors(2).with_faults(plan);
+    let out = datasync_sim::run(&config, &workload).expect("bounded drops must complete");
+    assert_eq!(out.sync_final[0], 1, "the final broadcast must eventually deliver");
+    assert_eq!(
+        out.stats.faults.dropped_broadcasts,
+        u64::from(plan.max_redeliveries),
+        "a certain drop fires exactly once per allowed redelivery"
+    );
+    assert!(out.stats.faults.recovery_cycles > 0, "the waiter paid for the redeliveries");
+}
+
+#[test]
+fn back_to_back_drops_never_regress_an_overtaken_counter() {
+    // Two posts to the same monotonic counter from different processors:
+    // when drops hold the older value back long enough for the newer one
+    // to perform first, the late redelivery must be discarded as stale —
+    // applying it would regress the counter below what the waiter
+    // already observed. Sweep seeds so both interleavings occur.
+    let run_seed = |seed: u64| {
+        let p0 = Program::from_instrs(vec![Instr::SyncSet { var: 0, val: 1 }]);
+        let p1 = Program::from_instrs(vec![Instr::Compute(2), Instr::SyncSet { var: 0, val: 2 }]);
+        let waiter = Program::from_instrs(vec![Instr::SyncWait { var: 0, pred: Pred::Geq(2) }]);
+        let workload =
+            Workload::static_assigned(vec![p0, p1, waiter], vec![vec![0], vec![1], vec![2]]);
+        let config = MachineConfig::with_processors(3).with_faults(FaultPlan::only(
+            FaultClass::BroadcastDrop,
+            seed,
+            70,
+        ));
+        datasync_sim::run(&config, &workload).expect("bounded drops must complete")
+    };
+    let mut saw_stale_discard = false;
+    let mut saw_back_to_back = false;
+    for seed in 0..40u64 {
+        let out = run_seed(seed);
+        assert_eq!(
+            out.sync_final[0], 2,
+            "seed {seed}: a stale redelivery must never regress the counter"
+        );
+        saw_stale_discard |= out.stats.faults.stale_deliveries_discarded > 0;
+        // Two messages, three redeliveries each: > 3 drops means at
+        // least one message was dropped on consecutive grants.
+        saw_back_to_back |= out.stats.faults.dropped_broadcasts > 3;
+    }
+    assert!(saw_stale_discard, "some seed must overtake a dropped post");
+    assert!(saw_back_to_back, "some seed must drop the same message repeatedly");
+}
+
+#[test]
+fn drops_during_the_fallback_run_still_degrade_cleanly() {
+    // Degradation re-runs the loop on the conservative scheme *with the
+    // same fault plan*: the fallback machine also suffers broadcast
+    // drops. A bounded class must not stop the fallback from carrying
+    // the run, so the classifier still reports Degraded.
+    use datasync_schemes::robustness::{classify_with_fallback, Outcome};
+    use datasync_schemes::BarrierPhased;
+    let nest = fig21_loop(12);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let mut sabotaged = ProcessOriented::new(8).compile(&nest, &graph, &space);
+    drop_marks(&mut sabotaged);
+    let fb_scheme = BarrierPhased::new(4);
+    let fallback = fb_scheme.compile(&nest, &graph, &space);
+    let plan = FaultPlan::only(FaultClass::BroadcastDrop, 5, 85);
+    let config = MachineConfig {
+        max_cycles: 1_000_000,
+        recovery: RecoveryPolicy::Full,
+        ..MachineConfig::with_processors(4)
+    }
+    .with_faults(plan);
+    let fb_config =
+        MachineConfig { sync_transport: fb_scheme.natural_transport(), ..config.clone() };
+    let outcome =
+        classify_with_fallback(&sabotaged, &config, &fb_scheme.name(), &fallback, &fb_config);
+    match outcome {
+        Outcome::Degraded { fallback, makespan, .. } => {
+            assert_eq!(fallback, fb_scheme.name());
+            assert!(makespan > 0);
+        }
+        other => panic!("fallback under bounded drops must still carry the run, got {other:?}"),
+    }
 }
 
 #[test]
