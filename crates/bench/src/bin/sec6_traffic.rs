@@ -1,4 +1,11 @@
-//! E11: sync-bus traffic and write coalescing.
+//! E11: sync-bus traffic, write coalescing, and the fabric ablation —
+//! plus the machine-readable `BENCH_fabric.json` artifact.
 fn main() {
     println!("{}", datasync_bench::sec6::run_experiment(64, 4));
+    println!("{}", datasync_bench::sec6::fabric_ablation(64, 4));
+    let json = datasync_bench::sec6::fabric_json(64, 4);
+    match std::fs::write("BENCH_fabric.json", &json) {
+        Ok(()) => println!("wrote BENCH_fabric.json"),
+        Err(e) => eprintln!("cannot write BENCH_fabric.json: {e}"),
+    }
 }

@@ -6,8 +6,8 @@ use datasync_loopir::analysis::analyze;
 use datasync_loopir::space::IterSpace;
 use datasync_loopir::workpatterns::fig21_loop;
 use datasync_schemes::scheme::Scheme;
-use datasync_schemes::ProcessOriented;
-use datasync_sim::MachineConfig;
+use datasync_schemes::{BarrierPhased, ProcessOriented, StatementOriented};
+use datasync_sim::{FabricKind, MachineConfig};
 
 /// Measures the process-oriented scheme's bus traffic with and without
 /// posted-write coalescing, at two sync-bus speeds (a slow bus queues
@@ -58,6 +58,87 @@ pub fn run_experiment(n: i64, procs: usize) -> Table {
     t
 }
 
+/// The dedicated-transport schemes, the only ones whose sync traffic
+/// rides the fabric under ablation (reference/instance schemes sync
+/// through shared memory and never touch the sync bus).
+fn fabric_roster(procs: usize) -> Vec<Box<dyn Scheme>> {
+    let mut v: Vec<Box<dyn Scheme>> =
+        vec![Box::new(StatementOriented::new()), Box::new(ProcessOriented::new(2 * procs))];
+    if procs.is_power_of_two() {
+        v.push(Box::new(BarrierPhased::new(procs)));
+    }
+    v
+}
+
+/// E11b / Section 6 ablation — what the dedicated sync bus buys.
+///
+/// Every dedicated-transport scheme runs on three fabrics: the paper's
+/// dedicated bus, a shared fabric where broadcasts arbitrate against
+/// data traffic on the one physical bus (the §6 design the dedicated
+/// bus avoids), and a zero-latency oracle bounding what any fabric
+/// could achieve. Per scheme, makespan must order
+/// ideal ≤ dedicated ≤ shared.
+pub fn fabric_ablation(n: i64, procs: usize) -> Table {
+    let nest = fig21_loop(n);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let mut t = Table::new(
+        "E11b / Sec 6",
+        &format!("sync-fabric ablation (Fig 2.1 loop, N={n}, P={procs})"),
+        &["scheme", "fabric", "makespan", "broadcasts", "sync occ", "data occ", "vs dedicated"],
+    );
+    for scheme in fabric_roster(procs) {
+        let compiled = scheme.compile(&nest, &graph, &space);
+        let mut dedicated_makespan = 0u64;
+        for kind in FabricKind::ALL {
+            let config = MachineConfig {
+                sync_transport: scheme.natural_transport(),
+                ..MachineConfig::with_processors(procs)
+            }
+            .fabric(kind);
+            let out = compiled.run(&config).expect("simulation failed");
+            assert!(compiled.validate(&out).is_empty(), "order violated");
+            if kind == FabricKind::Dedicated {
+                dedicated_makespan = out.stats.makespan;
+            }
+            t.row(vec![
+                scheme.name(),
+                kind.to_string(),
+                out.stats.makespan.to_string(),
+                out.stats.sync_broadcasts.to_string(),
+                f(out.metrics.sync_bus_occupancy(out.stats.makespan)),
+                f(out.metrics.data_bus_occupancy(out.stats.makespan)),
+                f(out.stats.makespan as f64 / dedicated_makespan as f64),
+            ]);
+        }
+    }
+    t.note("Paper (Section 6): a dedicated synchronization bus keeps PC/SC broadcasts off the main data bus; sharing one bus makes every broadcast steal a data-transfer slot.");
+    t.note("The ideal fabric delivers broadcasts instantly and bounds the improvement any bus design could still buy.");
+    t
+}
+
+/// The fabric ablation as a JSON document (the `BENCH_fabric.json`
+/// artifact): one record per scheme × fabric with the raw counters the
+/// table formats, so CI diffs can catch regressions numerically.
+pub fn fabric_json(n: i64, procs: usize) -> String {
+    let t = fabric_ablation(n, procs);
+    let mut rows = String::new();
+    for (i, r) in t.rows.iter().enumerate() {
+        let sep = if i + 1 < t.rows.len() { "," } else { "" };
+        rows.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"fabric\": \"{}\", \"makespan\": {}, \
+             \"broadcasts\": {}, \"sync_occupancy\": {}, \"data_occupancy\": {}, \
+             \"vs_dedicated\": {}}}{sep}\n",
+            r[0], r[1], r[2], r[3], r[4], r[5], r[6]
+        ));
+    }
+    format!(
+        "{{\n  \"experiment\": \"sec6 sync-fabric ablation\",\n  \"loop\": \"fig21\",\n  \
+         \"n\": {n},\n  \"procs\": {procs},\n  \
+         \"fabrics\": [\"dedicated\", \"shared\", \"ideal\"],\n  \"rows\": [\n{rows}  ]\n}}\n"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -79,5 +160,48 @@ mod tests {
         let m_on: u64 = slow_on[6].parse().unwrap();
         let m_off: u64 = slow_off[6].parse().unwrap();
         assert!(m_on < m_off, "coalescing must improve makespan ({m_on} vs {m_off})");
+    }
+
+    #[test]
+    fn fabric_ablation_orders_ideal_dedicated_shared() {
+        let t = super::fabric_ablation(32, 4);
+        // 3 dedicated-transport schemes x 3 fabrics.
+        assert_eq!(t.rows.len(), 9);
+        for chunk in t.rows.chunks(3) {
+            let makespan = |fabric: &str| -> u64 {
+                chunk.iter().find(|r| r[1] == fabric).unwrap()[2].parse().unwrap()
+            };
+            let (ded, shr, idl) = (makespan("dedicated"), makespan("shared"), makespan("ideal"));
+            let scheme = &chunk[0][0];
+            assert!(idl <= ded, "{scheme}: ideal {idl} beat by dedicated {ded}");
+            assert!(ded <= shr, "{scheme}: dedicated {ded} beat by shared {shr}");
+            // The oracle never touches a bus; the shared fabric must pay
+            // for its broadcasts in data-bus time.
+            let ideal_row = chunk.iter().find(|r| r[1] == "ideal").unwrap();
+            assert_eq!(ideal_row[4], "0.00", "{scheme}: ideal fabric held the sync bus");
+        }
+        // At least one scheme must actually show the §6 gap, or the
+        // ablation says nothing.
+        let gap = t.rows.chunks(3).any(|c| {
+            c.iter().find(|r| r[1] == "shared").unwrap()[2]
+                != c.iter().find(|r| r[1] == "dedicated").unwrap()[2]
+        });
+        assert!(gap, "no scheme separated shared from dedicated");
+    }
+
+    #[test]
+    fn fabric_json_is_complete() {
+        let json = super::fabric_json(16, 4);
+        for key in [
+            "\"experiment\"",
+            "\"rows\"",
+            "\"dedicated\"",
+            "\"shared\"",
+            "\"ideal\"",
+            "\"vs_dedicated\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches("{\"scheme\"").count(), 9);
     }
 }

@@ -14,8 +14,15 @@ use datasync_schemes::scheme::Scheme;
 use datasync_schemes::{
     BarrierPhased, InstanceBased, ProcessOriented, ReferenceBased, StatementOriented,
 };
-use datasync_sim::MachineConfig;
+use datasync_sim::{FabricKind, MachineConfig};
 use std::fmt::Write as _;
+
+/// Parses `--fabric` (defaulting to the paper's dedicated sync bus).
+fn parse_fabric(p: &Parsed) -> Result<FabricKind, String> {
+    let word = p.get("fabric").unwrap_or("dedicated");
+    FabricKind::parse(word)
+        .ok_or_else(|| format!("unknown --fabric '{word}' (dedicated | shared | ideal)"))
+}
 
 /// Builds the selected example loop, or parses one from `--file`.
 fn build_loop(p: &Parsed) -> Result<LoopNest, String> {
@@ -106,7 +113,9 @@ pub fn analyze(p: &Parsed) -> Result<String, CliError> {
 
 /// `datasync simulate`.
 pub fn simulate(p: &Parsed) -> Result<String, CliError> {
-    p.expect_only(&["loop", "file", "n", "m", "scheme", "procs", "x", "banks", "timeline"])?;
+    p.expect_only(&[
+        "loop", "file", "n", "m", "scheme", "procs", "x", "banks", "fabric", "timeline",
+    ])?;
     let nest = build_loop(p)?;
     let procs = p.get_u64("procs", 4)? as usize;
     let x = p.get_u64("x", 2 * procs as u64)? as usize;
@@ -122,6 +131,7 @@ pub fn simulate(p: &Parsed) -> Result<String, CliError> {
     };
     let config = MachineConfig {
         sync_transport: scheme.natural_transport(),
+        sync_fabric: parse_fabric(p)?,
         memory_model,
         ..MachineConfig::with_processors(procs)
     };
@@ -129,7 +139,13 @@ pub fn simulate(p: &Parsed) -> Result<String, CliError> {
     let violations = compiled.validate(&out);
 
     let mut text = String::new();
-    let _ = writeln!(text, "scheme: {}   transport: {:?}", scheme.name(), config.sync_transport);
+    let _ = writeln!(
+        text,
+        "scheme: {}   transport: {:?}   fabric: {}",
+        scheme.name(),
+        config.sync_transport,
+        config.sync_fabric
+    );
     let _ = writeln!(
         text,
         "iterations: {}   processors: {procs}   sync vars: {}",
@@ -163,7 +179,7 @@ pub fn simulate(p: &Parsed) -> Result<String, CliError> {
 
 /// `datasync compare`.
 pub fn compare(p: &Parsed) -> Result<String, CliError> {
-    p.expect_only(&["loop", "file", "n", "m", "procs", "x"])?;
+    p.expect_only(&["loop", "file", "n", "m", "procs", "x", "fabric"])?;
     let nest = build_loop(p)?;
     let procs = p.get_u64("procs", 4)? as usize;
     let x = p.get_u64("x", 2 * procs as u64)? as usize;
@@ -172,14 +188,15 @@ pub fn compare(p: &Parsed) -> Result<String, CliError> {
     }
     let graph = analyze_deps(&nest);
     let space = IterSpace::of(&nest);
-    let base = MachineConfig::with_processors(procs);
+    let base = MachineConfig::with_processors(procs).fabric(parse_fabric(p)?);
     let rows = datasync_schemes::compare::compare_all(&nest, &graph, &space, &base, x)?;
     let mut text = String::new();
     let _ = writeln!(
         text,
-        "{:<34} {:>7} {:>9} {:>9} {:>8} {:>7} {:>6} {:>6} {:>9} {:>9} {:>10}",
+        "{:<34} {:>7} {:>9} {:>9} {:>9} {:>8} {:>7} {:>6} {:>6} {:>9} {:>9} {:>10}",
         "scheme",
         "kind",
+        "fabric",
         "sync vars",
         "makespan",
         "speedup",
@@ -193,9 +210,10 @@ pub fn compare(p: &Parsed) -> Result<String, CliError> {
     for r in rows {
         let _ = writeln!(
             text,
-            "{:<34} {:>7} {:>9} {:>9} {:>8.2} {:>7.1} {:>6.1} {:>6.1} {:>9} {:>9} {:>10}",
+            "{:<34} {:>7} {:>9} {:>9} {:>9} {:>8.2} {:>7.1} {:>6.1} {:>6.1} {:>9} {:>9} {:>10}",
             r.scheme,
             r.var_kind,
+            r.fabric,
             r.sync_vars,
             r.makespan,
             r.speedup,
@@ -230,6 +248,7 @@ fn prepare_run(
     };
     let config = MachineConfig {
         sync_transport: scheme.natural_transport(),
+        sync_fabric: parse_fabric(p)?,
         memory_model,
         ..MachineConfig::with_processors(procs)
     };
@@ -238,7 +257,9 @@ fn prepare_run(
 
 /// `datasync trace`.
 pub fn trace(p: &Parsed) -> Result<String, CliError> {
-    p.expect_only(&["loop", "file", "n", "m", "scheme", "procs", "x", "banks", "out", "events"])?;
+    p.expect_only(&[
+        "loop", "file", "n", "m", "scheme", "procs", "x", "banks", "fabric", "out", "events",
+    ])?;
     let (compiled, config, procs) = prepare_run(p)?;
     let capacity = p.get_u64("events", 1 << 20)? as usize;
     if capacity == 0 {
@@ -263,7 +284,7 @@ pub fn trace(p: &Parsed) -> Result<String, CliError> {
 
 /// `datasync metrics`.
 pub fn metrics(p: &Parsed) -> Result<String, CliError> {
-    p.expect_only(&["loop", "file", "n", "m", "scheme", "procs", "x", "banks"])?;
+    p.expect_only(&["loop", "file", "n", "m", "scheme", "procs", "x", "banks", "fabric"])?;
     let (compiled, config, _) = prepare_run(p)?;
     let out = compiled.run(&config)?;
     let mut text = String::new();
@@ -277,30 +298,28 @@ pub fn metrics(p: &Parsed) -> Result<String, CliError> {
     Ok(text)
 }
 
-/// Worst outcome in a robustness tally, as the process exit code.
-///
-/// Precedence (worst first): violated `7`, deadlock `3`, timeout `4`,
-/// degraded `6`, recovered `5`, all-ok `0` — correctness failures
-/// dominate liveness failures dominate qualified successes.
+/// Worst outcome in a robustness tally, as the process exit code:
+/// [`crate::ExitCode::worst`] folded over the tally's populated classes.
 fn robustness_exit_code(t: &datasync_schemes::robustness::Tally) -> i32 {
-    if t.violated > 0 {
-        7
-    } else if t.deadlock > 0 {
-        3
-    } else if t.timeout > 0 {
-        4
-    } else if t.degraded > 0 {
-        6
-    } else if t.recovered > 0 {
-        5
-    } else {
-        0
+    use crate::ExitCode;
+    let mut worst = ExitCode::Success;
+    for (count, code) in [
+        (t.recovered, ExitCode::Recovered),
+        (t.degraded, ExitCode::Degraded),
+        (t.timeout, ExitCode::Timeout),
+        (t.deadlock, ExitCode::Deadlock),
+        (t.violated, ExitCode::Violated),
+    ] {
+        if count > 0 {
+            worst = worst.worst(code);
+        }
     }
+    worst.code()
 }
 
 /// `datasync robustness`.
 pub fn robustness(p: &Parsed) -> Result<crate::CliOutput, CliError> {
-    p.expect_only(&["n", "procs", "seed", "max-cycles", "recovery", "json"])?;
+    p.expect_only(&["n", "procs", "seed", "max-cycles", "recovery", "fabric", "json"])?;
     let n = p.get_u64("n", 16)? as i64;
     let procs = p.get_u64("procs", 4)? as usize;
     let seed = p.get_u64("seed", 1989)?;
@@ -311,16 +330,21 @@ pub fn robustness(p: &Parsed) -> Result<crate::CliOutput, CliError> {
     let recovery_word = p.get("recovery").unwrap_or("on");
     let recovery = datasync_sim::RecoveryPolicy::parse(recovery_word)
         .ok_or_else(|| format!("unknown --recovery '{recovery_word}' (on | off | repair-only)"))?;
+    let fabric_word = p.get("fabric").unwrap_or("dedicated");
+    let fabrics: Vec<FabricKind> =
+        if fabric_word == "all" { FabricKind::ALL.to_vec() } else { vec![parse_fabric(p)?] };
     let base = MachineConfig { max_cycles, recovery, ..MachineConfig::with_processors(procs) };
     base.validate().map_err(datasync_sim::SimError::BadConfig)?;
     let intensities = [0u8, 25, 50, 75];
-    let matrix = datasync_schemes::robustness::sweep(n, &base, &intensities, seed);
+    let matrix =
+        datasync_schemes::robustness::sweep_fabrics(n, &base, &intensities, seed, &fabrics);
     let tally = datasync_schemes::robustness::Tally::of(&matrix);
     let mut text = String::new();
+    let fabric_label = fabrics.iter().map(ToString::to_string).collect::<Vec<_>>().join("+");
     let _ = writeln!(
         text,
         "degradation matrix — {} iterations, {procs} processors, fault seed {seed}, \
-         recovery {recovery}",
+         recovery {recovery}, fabric {fabric_label}",
         n
     );
     let _ = writeln!(

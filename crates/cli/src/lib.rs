@@ -20,17 +20,20 @@ USAGE:
       Dependence analysis, covering, the Doacross transformation listing,
       and the profitability decision for a loop.
   datasync simulate   [--loop L] [--n N] [--m M] [--scheme S] [--procs P]
-                      [--x X] [--banks B] [--timeline]
+                      [--x X] [--banks B] [--fabric F] [--timeline]
       Run the loop on the simulated multiprocessor under one scheme.
   datasync compare    [--loop L] [--n N] [--m M] [--procs P] [--x X]
+                      [--fabric F]
       Run the loop under every scheme and print the comparison table.
   datasync robustness [--n N] [--procs P] [--seed S] [--max-cycles C]
-                      [--recovery on|off|repair-only] [--json PATH]
+                      [--recovery on|off|repair-only] [--fabric F|all]
+                      [--json PATH]
       Sweep every scheme across every fault class and intensity; print
       the degradation matrix (ok / recovered / DEGRADED / DEADLOCK /
       TIMEOUT / VIOLATED). Recovery (the self-healing sync-bus ladder:
       gap NACKs, retransmission, watchdog repair, fallback degradation)
-      defaults to on; --json also writes the matrix as JSON.
+      defaults to on; --fabric all repeats the grid on every fabric;
+      --json also writes the matrix as JSON.
   datasync wavefront  [--loop L] [--n N] [--m M]
       Derive the wavefront (skewing) schedule of a depth-2 loop.
   datasync unroll     [--loop L] [--n N] [--factor U]
@@ -41,11 +44,12 @@ USAGE:
       Self-benchmark: fast-forward kernel vs per-cycle reference stepping
       and parallel vs serial sweep throughput; writes BENCH_sim.json.
   datasync trace      [--loop L] [--n N] [--m M] [--scheme S] [--procs P]
-                      [--x X] [--banks B] [--events E] [--out PATH]
+                      [--x X] [--banks B] [--fabric F] [--events E]
+                      [--out PATH]
       Run one scheme with the event ring enabled and export a Chrome
       trace_event JSON (open in chrome://tracing or ui.perfetto.dev).
   datasync metrics    [--loop L] [--n N] [--m M] [--scheme S] [--procs P]
-                      [--x X] [--banks B]
+                      [--x X] [--banks B] [--fabric F]
       Run one scheme and print the derived metrics table: bus occupancy,
       bank conflicts, per-variable sync traffic, wait-time histograms.
 
@@ -53,12 +57,95 @@ LOOPS (--loop): fig21 (default) | relaxation | nested | branches,
   or --file <path> with the loop language (see datasync_loopir::parse)
 SCHEMES (--scheme): process (default) | process-basic | statement |
                     reference | instance | barrier-phased
+FABRICS (--fabric): dedicated (default, the paper's §6 sync bus) |
+                    shared (sync arbitrates against data traffic on one
+                    bus) | ideal (zero-latency oracle upper bound)
 
 EXIT CODES: 0 success | 2 bad arguments or config | 3 deadlock detected |
             4 simulation timed out | 5 completed but only via recovery |
             6 completed only on the degraded fallback scheme |
             7 dependence order violated
 ";
+
+/// The `datasync` process exit codes — the tool's scripting contract,
+/// documented in the README and [`USAGE`]. This enum is the single
+/// source of truth: every `CliError`/`CliOutput` code is produced from
+/// it, and [`ExitCode::worst`] is how multi-run commands (the
+/// robustness sweep) fold many outcomes into one process code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitCode {
+    /// `0` — clean success.
+    Success,
+    /// `2` — bad arguments or machine config.
+    Usage,
+    /// `3` — deadlock/livelock detected.
+    Deadlock,
+    /// `4` — simulation hit its cycle cap.
+    Timeout,
+    /// `5` — completed, but only via self-healing recovery.
+    Recovered,
+    /// `6` — completed, but only on the degraded fallback scheme.
+    Degraded,
+    /// `7` — dependence order violated.
+    Violated,
+}
+
+impl ExitCode {
+    /// Every documented exit code.
+    pub const ALL: [ExitCode; 7] = [
+        ExitCode::Success,
+        ExitCode::Usage,
+        ExitCode::Deadlock,
+        ExitCode::Timeout,
+        ExitCode::Recovered,
+        ExitCode::Degraded,
+        ExitCode::Violated,
+    ];
+
+    /// The numeric process exit code.
+    pub fn code(self) -> i32 {
+        match self {
+            ExitCode::Success => 0,
+            ExitCode::Usage => 2,
+            ExitCode::Deadlock => 3,
+            ExitCode::Timeout => 4,
+            ExitCode::Recovered => 5,
+            ExitCode::Degraded => 6,
+            ExitCode::Violated => 7,
+        }
+    }
+
+    /// Inverse of [`ExitCode::code`] (`None` for undocumented numbers).
+    pub fn from_code(code: i32) -> Option<ExitCode> {
+        ExitCode::ALL.into_iter().find(|e| e.code() == code)
+    }
+
+    /// Severity rank for [`ExitCode::worst`]: correctness failures
+    /// dominate liveness failures dominate usage errors dominate
+    /// qualified successes dominate clean success.
+    fn severity(self) -> u8 {
+        match self {
+            ExitCode::Success => 0,
+            ExitCode::Recovered => 1,
+            ExitCode::Degraded => 2,
+            ExitCode::Usage => 3,
+            ExitCode::Timeout => 4,
+            ExitCode::Deadlock => 5,
+            ExitCode::Violated => 6,
+        }
+    }
+
+    /// The more severe of two outcomes — the combinator multi-run
+    /// commands fold with, so scripts branching on the process code see
+    /// the worst thing that happened.
+    pub fn worst(self, other: ExitCode) -> ExitCode {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
+}
 
 /// A successful CLI invocation: the text to print plus the process exit
 /// code. Code `0` is a clean success; the robustness sweep reports
@@ -90,13 +177,13 @@ pub struct CliError {
 
 impl From<String> for CliError {
     fn from(message: String) -> Self {
-        CliError { message, code: 2 }
+        CliError { message, code: ExitCode::Usage.code() }
     }
 }
 
 impl From<&str> for CliError {
     fn from(message: &str) -> Self {
-        CliError { message: message.to_string(), code: 2 }
+        CliError { message: message.to_string(), code: ExitCode::Usage.code() }
     }
 }
 
@@ -113,14 +200,16 @@ impl From<SimError> for CliError {
                         message.push_str(&format!("\n  P{p}"));
                     }
                 }
-                CliError { message, code: 3 }
+                CliError { message, code: ExitCode::Deadlock.code() }
             }
-            SimError::Timeout { max_cycles } => {
-                CliError { message: format!("simulation exceeded {max_cycles} cycles"), code: 4 }
-            }
-            SimError::BadConfig(msg) => {
-                CliError { message: format!("invalid machine config: {msg}"), code: 2 }
-            }
+            SimError::Timeout { max_cycles } => CliError {
+                message: format!("simulation exceeded {max_cycles} cycles"),
+                code: ExitCode::Timeout.code(),
+            },
+            SimError::BadConfig(msg) => CliError {
+                message: format!("invalid machine config: {msg}"),
+                code: ExitCode::Usage.code(),
+            },
         }
     }
 }
@@ -152,7 +241,7 @@ pub fn run(argv: &[String]) -> Result<CliOutput, CliError> {
 
 #[cfg(test)]
 mod tests {
-    use super::{CliError, CliOutput};
+    use super::{CliError, CliOutput, ExitCode};
 
     fn run_full(words: &[&str]) -> Result<CliOutput, CliError> {
         super::run(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
@@ -333,6 +422,99 @@ mod tests {
         assert!(t.message.contains("1000"));
         let b = CliError::from(SimError::BadConfig("no processors".into()));
         assert_eq!(b.code, 2);
+    }
+
+    #[test]
+    fn exit_codes_round_trip_and_match_the_readme() {
+        // The enum is total over its own codes…
+        for e in ExitCode::ALL {
+            assert_eq!(ExitCode::from_code(e.code()), Some(e), "{e:?}");
+        }
+        assert_eq!(ExitCode::from_code(1), None, "1 is deliberately unused");
+        assert_eq!(ExitCode::from_code(8), None);
+        // …and exactly matches the codes documented in the README table
+        // (`| \`N\` | meaning |` rows) and the USAGE text.
+        let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+        let readme = std::fs::read_to_string(readme_path).expect("README.md readable");
+        let documented: Vec<i32> = readme
+            .lines()
+            .filter_map(|l| {
+                let cell = l.strip_prefix("| `")?;
+                cell.split('`').next()?.parse().ok()
+            })
+            .collect();
+        let mut ours: Vec<i32> = ExitCode::ALL.iter().map(|e| e.code()).collect();
+        ours.sort_unstable();
+        let mut docs = documented;
+        docs.sort_unstable();
+        assert_eq!(docs, ours, "README exit-code table out of sync with ExitCode");
+        for e in ExitCode::ALL {
+            assert!(
+                super::USAGE.contains(&e.code().to_string()),
+                "USAGE does not mention exit code {}",
+                e.code()
+            );
+        }
+    }
+
+    #[test]
+    fn worst_combinator_orders_outcomes() {
+        use ExitCode::*;
+        // Documented precedence: 7 > 3 > 4 > 6 > 5 > 0.
+        for (a, b, expect) in [
+            (Success, Recovered, Recovered),
+            (Recovered, Degraded, Degraded),
+            (Degraded, Timeout, Timeout),
+            (Timeout, Deadlock, Deadlock),
+            (Deadlock, Violated, Violated),
+            (Violated, Success, Violated),
+        ] {
+            assert_eq!(a.worst(b), expect, "{a:?} vs {b:?}");
+            assert_eq!(b.worst(a), expect, "worst must be symmetric");
+        }
+        assert_eq!(Success.worst(Success), Success);
+        // Folding a mixed tally lands on the worst member.
+        let folded = [Recovered, Deadlock, Degraded].into_iter().fold(Success, ExitCode::worst);
+        assert_eq!(folded, Deadlock);
+    }
+
+    #[test]
+    fn fabric_flag_threads_through_simulate_and_compare() {
+        let ded = run(&["simulate", "--n", "16", "--procs", "4"]).unwrap();
+        assert!(ded.contains("fabric: dedicated"), "{ded}");
+        for fabric in ["dedicated", "shared", "ideal"] {
+            let out = run(&["simulate", "--n", "16", "--procs", "4", "--fabric", fabric]).unwrap();
+            assert!(out.contains(&format!("fabric: {fabric}")), "{out}");
+            assert!(out.contains("violations: 0"), "{fabric}: {out}");
+        }
+        // The §6 delta end-to-end: shared must not beat dedicated, and
+        // the comparison table carries the fabric column.
+        let grab = |text: &str| -> u64 {
+            text.lines()
+                .find(|l| l.starts_with("makespan:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|w| w.parse().ok())
+                .expect("makespan line")
+        };
+        let shared = run(&["simulate", "--n", "16", "--procs", "4", "--fabric", "shared"]).unwrap();
+        assert!(grab(&shared) >= grab(&ded), "shared {shared} vs dedicated {ded}");
+        let table = run(&["compare", "--n", "16", "--procs", "4", "--fabric", "shared"]).unwrap();
+        assert!(table.contains("fabric"), "{table}");
+        assert!(table.contains("shared"), "{table}");
+        let e = run(&["simulate", "--fabric", "warp"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("ideal"), "{}", e.message);
+    }
+
+    #[test]
+    fn robustness_fabric_axis() {
+        let out =
+            run(&["robustness", "--n", "6", "--procs", "4", "--seed", "3", "--fabric", "all"])
+                .unwrap();
+        assert!(out.contains("fabric dedicated+shared+ideal"), "{out}");
+        assert!(out.contains("ideal"), "{out}");
+        // 3x the single-fabric matrix: 5 schemes x 8 faults x 3 fabrics.
+        assert!(out.contains("480 runs classified"), "{out}");
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub struct SchemeReport {
     pub scheme: String,
     /// Transport the run used.
     pub transport: String,
+    /// Sync-fabric backend the run used (`dedicated` / `shared` /
+    /// `ideal`; only meaningful for dedicated-transport schemes).
+    pub fabric: String,
     /// Synchronization variables allocated.
     pub sync_vars: u64,
     /// Initialization writes.
@@ -141,6 +144,7 @@ fn build_report(
     SchemeReport {
         scheme: name,
         transport: format!("{:?}", config.sync_transport),
+        fabric: config.sync_fabric.to_string(),
         sync_vars: compiled.storage.vars,
         init_ops: compiled.storage.init_ops,
         extra_cells: compiled.storage.extra_data_cells,

@@ -28,7 +28,7 @@ use crate::statement_oriented::StatementOriented;
 use datasync_loopir::analysis::analyze;
 use datasync_loopir::space::IterSpace;
 use datasync_loopir::workpatterns::fig21_loop;
-use datasync_sim::{FaultClass, FaultPlan, MachineConfig, SimError};
+use datasync_sim::{FabricKind, FaultClass, FaultPlan, MachineConfig, SimError};
 
 /// The exhaustive classification of one faulted run.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,6 +148,9 @@ impl Outcome {
 pub struct MatrixRow {
     /// Scheme name.
     pub scheme: String,
+    /// Sync-fabric backend the row's runs used (`dedicated` / `shared` /
+    /// `ideal`).
+    pub fabric: String,
     /// Fault class label (or "chaos" for all classes at once).
     pub fault: String,
     /// One outcome per swept intensity.
@@ -269,18 +272,37 @@ fn roster(processors: usize, x: usize) -> Vec<Box<dyn Scheme>> {
 /// [`datasync_core::par::par_map`]; results come back in job order, so
 /// the matrix is bit-identical to a serial sweep.
 pub fn sweep(iterations: i64, base: &MachineConfig, intensities: &[u8], seed: u64) -> Matrix {
+    sweep_fabrics(iterations, base, intensities, seed, &[base.sync_fabric])
+}
+
+/// [`sweep`] with an explicit fabric axis: the whole scheme x fault x
+/// intensity grid is repeated once per [`FabricKind`] in `fabrics`,
+/// quantifying how the §6 transport choice changes fault tolerance (the
+/// ideal fabric has no lossy bus to fault; the shared fabric exposes
+/// sync traffic to data-bus contention on top of the injected faults).
+pub fn sweep_fabrics(
+    iterations: i64,
+    base: &MachineConfig,
+    intensities: &[u8],
+    seed: u64,
+    fabrics: &[FabricKind],
+) -> Matrix {
     let nest = fig21_loop(iterations);
     let graph = analyze(&nest);
     let space = IterSpace::of(&nest);
     let x = base.processors.max(2);
     // Compile once per scheme; every cell borrows its compilation.
-    let compiled: Vec<(String, CompiledLoop, MachineConfig)> = roster(base.processors, x)
-        .into_iter()
-        .map(|scheme| {
+    let compiled: Vec<(String, FabricKind, CompiledLoop, MachineConfig)> = fabrics
+        .iter()
+        .flat_map(|&kind| roster(base.processors, x).into_iter().map(move |scheme| (kind, scheme)))
+        .map(|(kind, scheme)| {
             let loop_ = scheme.compile(&nest, &graph, &space);
-            let config =
-                MachineConfig { sync_transport: scheme.natural_transport(), ..base.clone() };
-            (scheme.name(), loop_, config)
+            let config = MachineConfig {
+                sync_transport: scheme.natural_transport(),
+                sync_fabric: kind,
+                ..base.clone()
+            };
+            (scheme.name(), kind, loop_, config)
         })
         .collect();
     // The degradation target: the most conservative scheme available —
@@ -302,18 +324,17 @@ pub fn sweep(iterations: i64, base: &MachineConfig, intensities: &[u8], seed: u6
         .collect();
     classes.push(("chaos".into(), None));
     let mut jobs: Vec<(&CompiledLoop, MachineConfig, MachineConfig)> = Vec::new();
-    for (_, loop_, config) in &compiled {
+    for (_, kind, loop_, config) in &compiled {
         for (_, class) in &classes {
             for &i in intensities {
                 let plan = match class {
                     Some(c) => FaultPlan::only(*c, seed, i.into()),
                     None => FaultPlan::chaos(seed, i.into()),
                 };
-                jobs.push((
-                    loop_,
-                    config.clone().with_faults(plan),
-                    fallback_base.clone().with_faults(plan),
-                ));
+                // The fallback runs on the same fabric as the primary:
+                // degradation swaps the scheme, not the hardware.
+                let fb = MachineConfig { sync_fabric: *kind, ..fallback_base.clone() };
+                jobs.push((loop_, config.clone().with_faults(plan), fb.with_faults(plan)));
             }
         }
     }
@@ -322,10 +343,11 @@ pub fn sweep(iterations: i64, base: &MachineConfig, intensities: &[u8], seed: u6
     })
     .into_iter();
     let mut rows = Vec::new();
-    for (name, _, _) in &compiled {
+    for (name, kind, _, _) in &compiled {
         for (label, _) in &classes {
             rows.push(MatrixRow {
                 scheme: name.clone(),
+                fabric: kind.to_string(),
                 fault: label.clone(),
                 outcomes: intensities
                     .iter()
@@ -337,13 +359,24 @@ pub fn sweep(iterations: i64, base: &MachineConfig, intensities: &[u8], seed: u6
     Matrix { intensities: intensities.to_vec(), rows }
 }
 
-/// Renders the matrix as an aligned text table.
+/// Renders the matrix as an aligned text table. The fabric column only
+/// appears when the matrix actually swept more than one fabric, keeping
+/// single-fabric output (the common case) unchanged in shape.
 pub fn render(matrix: &Matrix) -> String {
-    let mut header = vec!["scheme".to_string(), "fault".to_string()];
+    let multi_fabric = matrix.rows.windows(2).any(|w| w[0].fabric != w[1].fabric);
+    let mut header = vec!["scheme".to_string()];
+    if multi_fabric {
+        header.push("fabric".to_string());
+    }
+    header.push("fault".to_string());
     header.extend(matrix.intensities.iter().map(|i| format!("{i}%")));
     let mut body: Vec<Vec<String>> = Vec::with_capacity(matrix.rows.len());
     for row in &matrix.rows {
-        let mut cells = vec![row.scheme.clone(), row.fault.clone()];
+        let mut cells = vec![row.scheme.clone()];
+        if multi_fabric {
+            cells.push(row.fabric.clone());
+        }
+        cells.push(row.fault.clone());
         cells.extend(row.outcomes.iter().map(Outcome::cell));
         body.push(cells);
     }
@@ -408,8 +441,9 @@ impl Matrix {
         for (i, row) in self.rows.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"scheme\": \"{}\", \"fault\": \"{}\", \"cells\": [",
+                "    {{\"scheme\": \"{}\", \"fabric\": \"{}\", \"fault\": \"{}\", \"cells\": [",
                 esc(&row.scheme),
+                esc(&row.fabric),
                 esc(&row.fault)
             );
             for (j, o) in row.outcomes.iter().enumerate() {
@@ -552,6 +586,42 @@ mod tests {
         assert_eq!(t.timeout, 0, "full recovery must leave no timeout cells");
         assert!(t.recovered > 0, "loss cells must show healed runs");
         assert_eq!(t.acceptable(), t.total());
+    }
+
+    #[test]
+    fn fabric_axis_repeats_the_grid_and_shields_the_ideal_backend() {
+        use datasync_sim::FabricKind;
+        let m = sweep_fabrics(8, &base(), &[0, 50], 3, &FabricKind::ALL);
+        // 3 fabrics x 5 schemes x 8 fault rows.
+        assert_eq!(m.rows.len(), 3 * 5 * 8);
+        let text = render(&m);
+        assert!(text.contains("fabric"), "multi-fabric render must show the axis:\n{text}");
+        for kind in FabricKind::ALL {
+            assert!(m.rows.iter().any(|r| r.fabric == kind.to_string()), "{kind} missing");
+        }
+        // Fault-free column is all ok on every fabric.
+        for row in &m.rows {
+            assert!(row.outcomes[0].is_ok(), "{}/{}/{}", row.scheme, row.fabric, row.fault);
+        }
+        // The ideal fabric has no queue or image tap: broadcast loss
+        // cannot wedge dedicated-transport schemes there, while it does
+        // wedge at least one of them on the real buses (recovery off).
+        let loss_wedged = |fabric: &str| {
+            m.rows
+                .iter()
+                .filter(|r| r.fabric == fabric && r.fault == FaultClass::BroadcastLoss.label())
+                .any(|r| r.outcomes.iter().any(|o| !o.is_acceptable()))
+        };
+        assert!(loss_wedged("dedicated"), "loss must wedge some scheme on the dedicated bus");
+        assert!(!loss_wedged("ideal"), "the oracle fabric has no broadcasts to lose");
+        // Single-fabric sweeps keep the default matrix bit-identical in
+        // classification to the dedicated slice of the full axis.
+        let single = sweep(8, &base(), &[0, 50], 3);
+        let dedicated: Vec<_> = m.rows.iter().filter(|r| r.fabric == "dedicated").collect();
+        assert_eq!(single.rows.len(), dedicated.len());
+        for (s, d) in single.rows.iter().zip(dedicated) {
+            assert_eq!(s.outcomes, d.outcomes, "{}/{}", s.scheme, s.fault);
+        }
     }
 
     #[test]

@@ -11,7 +11,9 @@ use datasync_schemes::scheme::Scheme;
 use datasync_schemes::{
     BarrierPhased, CompiledLoop, InstanceBased, ProcessOriented, ReferenceBased, StatementOriented,
 };
-use datasync_sim::{FaultClass, FaultPlan, MachineConfig, RecoveryPolicy, StepMode, SyncTransport};
+use datasync_sim::{
+    FabricKind, FaultClass, FaultPlan, MachineConfig, RecoveryPolicy, StepMode, SyncTransport,
+};
 
 fn roster(procs: usize, x: usize) -> Vec<Box<dyn Scheme>> {
     let mut v: Vec<Box<dyn Scheme>> = vec![
@@ -85,6 +87,34 @@ fn every_scheme_under_every_fault_class() {
         for seed in [3u64, 11] {
             let config = clean.clone().with_faults(FaultPlan::chaos(seed, 55));
             assert_equivalent(&compiled, &config, &format!("{} chaos seed={seed}", scheme.name()));
+        }
+    }
+}
+
+/// The fabric axis: the fast-forward kernel must stay bit-identical to
+/// per-cycle stepping under every [`FabricKind`] — the shared fabric's
+/// cross-bus blocking and the ideal fabric's instant delivery both have
+/// to survive quiet-span jumping, clean and under chaos faults.
+#[test]
+fn every_scheme_on_every_fabric() {
+    let nest = fig21_loop(16);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let base = MachineConfig { max_cycles: 400_000, ..MachineConfig::with_processors(4) };
+    for kind in FabricKind::ALL {
+        for scheme in roster(4, 8) {
+            let compiled = scheme.compile(&nest, &graph, &space);
+            let clean = MachineConfig {
+                sync_transport: scheme.natural_transport(),
+                sync_fabric: kind,
+                ..base.clone()
+            };
+            assert_equivalent(&compiled, &clean, &format!("{} {kind}", scheme.name()));
+            let chaotic = clean.clone().with_faults(FaultPlan::chaos(7, 55));
+            assert_equivalent(&compiled, &chaotic, &format!("{} {kind} chaos", scheme.name()));
+            let recovering = MachineConfig { recovery: RecoveryPolicy::RepairOnly, ..clean }
+                .with_faults(FaultPlan::only(FaultClass::BroadcastLoss, 2, 80));
+            assert_equivalent(&compiled, &recovering, &format!("{} {kind} loss", scheme.name()));
         }
     }
 }

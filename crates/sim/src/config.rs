@@ -35,6 +35,53 @@ pub enum SyncTransport {
     SharedMemory,
 }
 
+/// Which backend carries dedicated-transport synchronization traffic
+/// (see `datasync_sim::machine::fabric`). Orthogonal to
+/// [`SyncTransport`]: schemes whose natural transport is
+/// [`SyncTransport::SharedMemory`] route sync operations over the data
+/// bus and are unaffected by this choice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FabricKind {
+    /// A dedicated synchronization bus, physically separate from the
+    /// data bus (the paper's §6 hardware). The default, and the
+    /// behaviour every pre-fabric version of this simulator had.
+    #[default]
+    Dedicated,
+    /// No dedicated hardware: sync broadcasts arbitrate against data
+    /// traffic for the one physical bus (data traffic has priority).
+    /// Quantifies §6's argument for dedicated sync hardware.
+    Shared,
+    /// A zero-latency oracle: posts and RMWs perform globally and in
+    /// every local image the instant they issue. Upper bound on what
+    /// any sync interconnect could achieve.
+    Ideal,
+}
+
+impl FabricKind {
+    /// All fabric kinds, in ablation order.
+    pub const ALL: [FabricKind; 3] = [FabricKind::Dedicated, FabricKind::Shared, FabricKind::Ideal];
+
+    /// Parses the CLI spelling (`dedicated`, `shared`, `ideal`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "dedicated" => Some(FabricKind::Dedicated),
+            "shared" => Some(FabricKind::Shared),
+            "ideal" => Some(FabricKind::Ideal),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FabricKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FabricKind::Dedicated => "dedicated",
+            FabricKind::Shared => "shared",
+            FabricKind::Ideal => "ideal",
+        })
+    }
+}
+
 /// Parameters of the simulated multiprocessor.
 ///
 /// All latencies are in cycles. The defaults model a small bus-based
@@ -54,6 +101,8 @@ pub struct MachineConfig {
     pub sync_bus_latency: u32,
     /// Where synchronization variables live.
     pub sync_transport: SyncTransport,
+    /// Which fabric backend carries dedicated-transport sync traffic.
+    pub sync_fabric: FabricKind,
     /// Coalesce posted sync-bus writes to the same variable from the same
     /// processor while still queued (Section 6 optimization).
     pub coalesce_sync_writes: bool,
@@ -82,6 +131,7 @@ impl Default for MachineConfig {
             memory_model: MemoryModel::BusHeld,
             sync_bus_latency: 1,
             sync_transport: SyncTransport::DedicatedBus,
+            sync_fabric: FabricKind::Dedicated,
             coalesce_sync_writes: true,
             spin_retry: 4,
             dispatch_latency: 2,
@@ -101,6 +151,12 @@ impl MachineConfig {
     /// Switches the sync transport.
     pub fn transport(mut self, t: SyncTransport) -> Self {
         self.sync_transport = t;
+        self
+    }
+
+    /// Switches the synchronization-fabric backend.
+    pub fn fabric(mut self, kind: FabricKind) -> Self {
+        self.sync_fabric = kind;
         self
     }
 
@@ -203,6 +259,17 @@ mod tests {
         assert!(MachineConfig::default().with_faults(bad).validate().is_err());
         let ok = crate::faults::FaultPlan::chaos(1, 30);
         assert!(MachineConfig::default().with_faults(ok).validate().is_ok());
+    }
+
+    #[test]
+    fn fabric_parse_round_trips() {
+        for k in FabricKind::ALL {
+            assert_eq!(FabricKind::parse(&k.to_string()), Some(k));
+        }
+        assert_eq!(FabricKind::parse("warp"), None);
+        assert_eq!(MachineConfig::default().sync_fabric, FabricKind::Dedicated);
+        let c = MachineConfig::default().fabric(FabricKind::Shared);
+        assert_eq!(c.sync_fabric, FabricKind::Shared);
     }
 
     #[test]

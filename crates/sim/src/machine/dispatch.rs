@@ -1,0 +1,133 @@
+//! The dispatch subsystem: hands loop-iteration programs to free
+//! processors, either by self-scheduling (the paper's assumed policy)
+//! or from a fixed per-processor assignment.
+
+use super::workload::{DispatchMode, Workload};
+use super::{Machine, ProcState};
+use crate::events::SimEventKind;
+use std::collections::VecDeque;
+
+/// Iteration dispatch state: the self-scheduling cursor plus the static
+/// per-processor work queues.
+#[derive(Debug)]
+pub(crate) struct Dispatcher {
+    /// Next unclaimed program under [`DispatchMode::Dynamic`].
+    pub(crate) next_dynamic: usize,
+    /// Per-processor pending program queues under
+    /// [`DispatchMode::Static`] (empty under dynamic dispatch).
+    pub(crate) queues: Vec<VecDeque<usize>>,
+}
+
+impl Dispatcher {
+    /// Builds the dispatch state for `p` processors of `workload`.
+    pub(crate) fn new(workload: &Workload, p: usize) -> Self {
+        let queues = match &workload.dispatch {
+            DispatchMode::Dynamic => vec![VecDeque::new(); p],
+            DispatchMode::Static(assign) => {
+                let mut qs = vec![VecDeque::new(); p];
+                for (i, q) in assign.iter().enumerate().take(p) {
+                    qs[i] = q.iter().copied().collect();
+                }
+                qs
+            }
+        };
+        Self { next_dynamic: 0, queues }
+    }
+
+    /// Whether the self-scheduling cursor still has unclaimed programs.
+    pub(crate) fn dynamic_left(&self, workload: &Workload) -> bool {
+        matches!(workload.dispatch, DispatchMode::Dynamic)
+            && self.next_dynamic < workload.programs.len()
+    }
+
+    /// Whether processor `p` could claim a program right now.
+    pub(crate) fn can_claim(&self, p: usize, workload: &Workload) -> bool {
+        match workload.dispatch {
+            DispatchMode::Dynamic => self.dynamic_left(workload),
+            DispatchMode::Static(_) => !self.queues[p].is_empty(),
+        }
+    }
+
+    /// Claims the next program for processor `p`, if any.
+    pub(crate) fn claim(&mut self, p: usize, workload: &Workload) -> Option<usize> {
+        match workload.dispatch {
+            DispatchMode::Dynamic => {
+                if self.next_dynamic >= workload.programs.len() {
+                    return None;
+                }
+                let ix = self.next_dynamic;
+                self.next_dynamic += 1;
+                Some(ix)
+            }
+            DispatchMode::Static(_) => self.queues[p].pop_front(),
+        }
+    }
+
+    /// Whether every static queue is empty.
+    pub(crate) fn all_drained(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+}
+
+impl<'a> Machine<'a> {
+    /// Returns `true` if a program was assigned to processor `p`.
+    pub(crate) fn try_dispatch(&mut self, p: usize) -> bool {
+        let Some(next) = self.disp.claim(p, self.workload) else {
+            return false;
+        };
+        self.stats.dispatched += 1;
+        self.note_progress();
+        self.events
+            .record(self.cycle, SimEventKind::Dispatch { proc: p, program: next });
+        self.procs[p].current = Some(next);
+        self.procs[p].ip = 0;
+        let lat = self.config.dispatch_latency;
+        self.procs[p].state =
+            if lat == 0 { ProcState::Ready } else { ProcState::Computing { remaining: lat } };
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Instr, Program};
+
+    fn programs(n: usize) -> Vec<Program> {
+        (0..n).map(|_| Program::from_instrs(vec![Instr::Compute(1)])).collect()
+    }
+
+    #[test]
+    fn dynamic_claims_lowest_first_from_any_processor() {
+        let w = Workload::dynamic(programs(3));
+        let mut d = Dispatcher::new(&w, 2);
+        assert!(d.dynamic_left(&w));
+        assert_eq!(d.claim(1, &w), Some(0));
+        assert_eq!(d.claim(0, &w), Some(1));
+        assert_eq!(d.claim(0, &w), Some(2));
+        assert_eq!(d.claim(1, &w), None);
+        assert!(!d.dynamic_left(&w));
+    }
+
+    #[test]
+    fn static_cyclic_interleaves_claims() {
+        let w = Workload::static_cyclic(programs(5), 2);
+        let mut d = Dispatcher::new(&w, 2);
+        assert_eq!(d.claim(0, &w), Some(0));
+        assert_eq!(d.claim(1, &w), Some(1));
+        assert_eq!(d.claim(0, &w), Some(2));
+        assert_eq!(d.claim(1, &w), Some(3));
+        assert_eq!(d.claim(0, &w), Some(4));
+        assert!(d.all_drained());
+    }
+
+    #[test]
+    fn static_blocked_gives_contiguous_chunks() {
+        let w = Workload::static_blocked(programs(6), 2);
+        let mut d = Dispatcher::new(&w, 2);
+        assert!(d.can_claim(0, &w) && d.can_claim(1, &w));
+        assert_eq!((d.claim(0, &w), d.claim(0, &w), d.claim(0, &w)), (Some(0), Some(1), Some(2)));
+        assert_eq!((d.claim(1, &w), d.claim(1, &w), d.claim(1, &w)), (Some(3), Some(4), Some(5)));
+        assert!(!d.can_claim(0, &w));
+    }
+}

@@ -1,0 +1,247 @@
+//! Per-processor execution: the per-cycle processor step and the
+//! instruction-issue path that drives the dispatch, memory, fabric and
+//! recovery subsystems.
+
+use super::memory::{retry_addr, DataReq, DataReqKind};
+use super::{Machine, ProcState, SpinPhase};
+use crate::config::SyncTransport;
+use crate::faults::FaultClass;
+use crate::program::{Instr, Pred};
+
+impl<'a> Machine<'a> {
+    /// Executes instructions for processor `p` in the current cycle.
+    /// "Free" instructions (notes, posted writes, satisfied waits,
+    /// zero-cost computes) retire in the same cycle; the first costly one
+    /// decides how the cycle is accounted.
+    pub(crate) fn step_proc(&mut self, p: usize) {
+        if self.config.faults.stall_mean_interval > 0 {
+            if self.cycle >= self.stall_until[p] && self.cycle >= self.next_stall[p] {
+                // Stall onset: freeze this processor for a bounded
+                // interval and schedule the next onset.
+                let len = u64::from(self.rng.range_u32(1, self.config.faults.stall_max));
+                self.stall_until[p] = self.cycle + len;
+                let mean = u64::from(self.config.faults.stall_mean_interval);
+                self.next_stall[p] = self.stall_until[p] + 1 + self.rng.below(2 * mean);
+                self.stats.faults.stalls += 1;
+                self.stats.faults.stall_cycles += len;
+                self.record_fault(Some(p), FaultClass::ProcStall, len);
+            }
+            if self.cycle < self.stall_until[p] {
+                // A stall freezes real work, but trace notes are
+                // bookkeeping, not machine work: an instruction that
+                // already completed (e.g. a keyed access whose
+                // transaction performed this cycle) must still be
+                // witnessed now, or the trace would misreport the order
+                // the hardware actually enforced.
+                self.drain_notes(p);
+                self.procs[p].stats.stalled += 1;
+                return;
+            }
+        }
+        loop {
+            match self.procs[p].state {
+                ProcState::Idle => {
+                    if !self.try_dispatch(p) {
+                        self.procs[p].stats.idle += 1;
+                        return;
+                    }
+                    // Dispatch may impose latency (state becomes Computing)
+                    // or leave the proc Ready; loop to handle either.
+                }
+                ProcState::Computing { remaining } => {
+                    self.procs[p].stats.busy += 1;
+                    self.note_progress();
+                    let left = remaining - 1;
+                    self.procs[p].state = if left == 0 {
+                        ProcState::Ready
+                    } else {
+                        ProcState::Computing { remaining: left }
+                    };
+                    return;
+                }
+                ProcState::BlockedData | ProcState::BlockedSync => {
+                    self.procs[p].stats.blocked += 1;
+                    return;
+                }
+                ProcState::SpinLocal { var, pred } => {
+                    if pred.eval(self.sync.images[p][var]) {
+                        self.close_wait(p);
+                        self.procs[p].state = ProcState::Ready;
+                        // The successful check still costs this cycle.
+                        self.procs[p].stats.spin += 1;
+                        return;
+                    }
+                    if self.cycle >= self.rec.nack_due[p] {
+                        self.check_gap(p, var, pred);
+                    }
+                    self.procs[p].stats.spin += 1;
+                    return;
+                }
+                ProcState::SpinMem { retry, phase } => {
+                    if let SpinPhase::Backoff { until } = phase {
+                        if self.cycle >= until {
+                            self.mem.queue.push_back(DataReq {
+                                proc: p,
+                                kind: retry,
+                                addr: retry_addr(retry),
+                            });
+                            self.procs[p].state =
+                                ProcState::SpinMem { retry, phase: SpinPhase::WaitingResult };
+                        }
+                    }
+                    self.procs[p].stats.spin += 1;
+                    return;
+                }
+                ProcState::Ready => {
+                    // Issue the next instruction; cost (if any) is applied
+                    // by the state branch on the next loop pass, so issuing
+                    // does not add a cycle of its own.
+                    self.execute_next_instr(p);
+                }
+            }
+        }
+    }
+
+    /// Records any immediately-pending trace notes of a stalled (but
+    /// otherwise ready) processor. Notes retire for free in normal
+    /// stepping; draining them here keeps that invariant across stall
+    /// onsets so completion events are never reported late.
+    pub(crate) fn drain_notes(&mut self, p: usize) {
+        while matches!(self.procs[p].state, ProcState::Ready) {
+            let Some(prog_ix) = self.procs[p].current else { return };
+            let ip = self.procs[p].ip;
+            let program = &self.workload.programs[prog_ix];
+            if ip >= program.instrs.len() {
+                return;
+            }
+            let Instr::Note(label) = program.instrs[ip] else { return };
+            self.procs[p].ip += 1;
+            self.trace.record(self.cycle, p, label);
+        }
+    }
+
+    /// Issues the next instruction; any cost shows up as a state change
+    /// handled by [`Machine::step_proc`] in the same cycle. Sync
+    /// operations on the dedicated transport go through the configured
+    /// [`super::SyncFabric`] backend.
+    pub(crate) fn execute_next_instr(&mut self, p: usize) {
+        let prog_ix = match self.procs[p].current {
+            Some(ix) => ix,
+            None => {
+                self.procs[p].state = ProcState::Idle;
+                return;
+            }
+        };
+        let ip = self.procs[p].ip;
+        let program = &self.workload.programs[prog_ix];
+        if ip >= program.instrs.len() {
+            self.procs[p].current = None;
+            self.procs[p].ip = 0;
+            self.procs[p].state = ProcState::Idle;
+            return;
+        }
+        let instr = program.instrs[ip];
+        self.procs[p].ip += 1;
+        self.note_progress();
+        let fabric = self.fabric;
+        match instr {
+            Instr::Compute(0) => {}
+            Instr::Compute(c) => {
+                self.procs[p].state = ProcState::Computing { remaining: c };
+            }
+            Instr::Note(label) => {
+                self.trace.record(self.cycle, p, label);
+            }
+            Instr::Access { addr, write: _ } => {
+                self.mem.queue.push_back(DataReq { proc: p, kind: DataReqKind::Access, addr });
+                self.procs[p].state = ProcState::BlockedData;
+            }
+            Instr::SyncSet { var, val } => match self.config.sync_transport {
+                SyncTransport::DedicatedBus => {
+                    fabric.post(self, p, var, val);
+                }
+                SyncTransport::SharedMemory => {
+                    self.metrics.sync_vars[var].posts += 1;
+                    self.mem.queue.push_back(DataReq {
+                        proc: p,
+                        kind: DataReqKind::SyncWrite { var, val },
+                        addr: var as u64,
+                    });
+                    self.procs[p].state = ProcState::BlockedData;
+                }
+            },
+            Instr::SyncRmw { var } => match self.config.sync_transport {
+                SyncTransport::DedicatedBus => {
+                    self.metrics.sync_vars[var].rmws += 1;
+                    if !fabric.rmw(self, p, var) {
+                        self.procs[p].state = ProcState::BlockedSync;
+                    }
+                }
+                SyncTransport::SharedMemory => {
+                    self.metrics.sync_vars[var].rmws += 1;
+                    self.mem.queue.push_back(DataReq {
+                        proc: p,
+                        kind: DataReqKind::SyncRmw { var },
+                        addr: var as u64,
+                    });
+                    self.procs[p].state = ProcState::BlockedData;
+                }
+            },
+            Instr::SyncWait { var, pred } => match self.config.sync_transport {
+                SyncTransport::DedicatedBus => {
+                    self.metrics.sync_vars[var].waits += 1;
+                    if !pred.eval(self.sync.images[p][var]) {
+                        self.begin_wait(p, var, false);
+                        self.procs[p].state = ProcState::SpinLocal { var, pred };
+                    }
+                }
+                SyncTransport::SharedMemory => {
+                    self.metrics.sync_vars[var].waits += 1;
+                    self.begin_wait(p, var, true);
+                    let kind = DataReqKind::Poll { var, pred };
+                    self.mem.queue.push_back(DataReq { proc: p, kind, addr: var as u64 });
+                    self.procs[p].state =
+                        ProcState::SpinMem { retry: kind, phase: SpinPhase::WaitingResult };
+                }
+            },
+            Instr::SyncSetIfGeq { var, guard, val } => match self.config.sync_transport {
+                SyncTransport::DedicatedBus => {
+                    if self.sync.images[p][var] >= guard {
+                        fabric.post(self, p, var, val);
+                    }
+                }
+                SyncTransport::SharedMemory => {
+                    self.mem.queue.push_back(DataReq {
+                        proc: p,
+                        kind: DataReqKind::ReadCheck { var, guard, val },
+                        addr: var as u64,
+                    });
+                    self.procs[p].state = ProcState::BlockedData;
+                }
+            },
+            Instr::KeyedAccess { var, geq } => match self.config.sync_transport {
+                SyncTransport::DedicatedBus => {
+                    if self.sync.images[p][var] >= geq {
+                        self.metrics.sync_vars[var].rmws += 1;
+                        if !fabric.rmw(self, p, var) {
+                            self.procs[p].state = ProcState::BlockedSync;
+                        }
+                    } else {
+                        // Spin on the local image, then re-issue this
+                        // instruction once the key advances.
+                        self.begin_wait(p, var, false);
+                        self.procs[p].ip -= 1;
+                        self.procs[p].state = ProcState::SpinLocal { var, pred: Pred::Geq(geq) };
+                    }
+                }
+                SyncTransport::SharedMemory => {
+                    self.begin_wait(p, var, true);
+                    let kind = DataReqKind::KeyedAttempt { var, geq };
+                    self.mem.queue.push_back(DataReq { proc: p, kind, addr: var as u64 });
+                    self.procs[p].state =
+                        ProcState::SpinMem { retry: kind, phase: SpinPhase::WaitingResult };
+                }
+            },
+        }
+    }
+}

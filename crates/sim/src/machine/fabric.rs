@@ -1,0 +1,541 @@
+//! The synchronization fabric: how sync-variable writes reach the
+//! global state and every processor's local image.
+//!
+//! The paper's §6 argues for a **dedicated** synchronization bus with
+//! per-processor local images. This module makes that interconnect a
+//! swappable backend behind the [`SyncFabric`] trait:
+//!
+//! * [`DedicatedBus`] — the paper's hardware and the default: a
+//!   separate bus, posted broadcasts, local-image spinning at zero
+//!   traffic. Bit-identical to the pre-fabric simulator.
+//! * [`SharedDataBus`] — no dedicated hardware: broadcasts arbitrate
+//!   against data traffic for the one physical bus (data has priority,
+//!   and a broadcast in flight blocks data grants). Quantifies what §6's
+//!   dedicated bus actually buys.
+//! * [`IdealFabric`] — a zero-latency oracle: posts and RMWs perform
+//!   globally and in every image the instant they issue, at zero
+//!   occupancy and immune to sync-path faults. The upper bound any
+//!   interconnect could approach.
+//!
+//! Backends are stateless: all transport state (global values, images,
+//! the broadcast queue, deferred image updates, sequence tags) lives in
+//! [`SyncState`], owned by the machine, so the fast-forward and
+//! reference steppers dispatch through one interface and the
+//! equivalence suite proves them bit-identical per fabric. Sync-path
+//! fault injection (drops, delays, reorders, stale/lost images) and the
+//! NACK/retransmit recovery path operate on the queued-broadcast
+//! machinery and therefore apply to the bus backends only; the oracle
+//! has no queue to fault.
+
+use super::Machine;
+use crate::config::FabricKind;
+use crate::events::SimEventKind;
+use crate::faults::FaultClass;
+use crate::program::SyncVar;
+use std::collections::VecDeque;
+
+/// A queued synchronization operation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SyncReq {
+    Post { proc: usize, var: SyncVar, val: u64 },
+    Rmw { proc: usize, var: SyncVar },
+}
+
+/// A sync-bus message with its fault-injection bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueuedSync {
+    pub(crate) req: SyncReq,
+    /// Issue-order tag. Broadcast hardware stamps messages so a stale
+    /// redelivery or reordered grant of an *older* write can be
+    /// recognized and discarded instead of clobbering a newer value
+    /// (sync variables are monotonic counters in every scheme; a
+    /// regression would wedge every waiter past the lost value).
+    pub(crate) seq: u64,
+    /// Times this message was dropped and re-queued (capped by
+    /// `FaultPlan::max_redeliveries`, so delivery is eventual).
+    pub(crate) redeliveries: u32,
+    /// Cycle of the first grant — or, for a message overtaken by a
+    /// reordered grant, the cycle it *would* have been granted — used to
+    /// measure recovery latency.
+    pub(crate) first_grant: Option<u64>,
+    /// Whether any fault touched this message (only faulted messages
+    /// contribute to recovery-latency stats).
+    pub(crate) faulted: bool,
+    /// A NACK-triggered re-broadcast. A refresh carries no payload of
+    /// its own: it re-reads the *current* global value at delivery time
+    /// (a value captured at NACK time could be overtaken by an RMW
+    /// granted in between and would regress the variable), and it is
+    /// never a coalescing target (folding a real post into a refresh
+    /// would discard the post's value).
+    pub(crate) refresh: bool,
+}
+
+impl QueuedSync {
+    pub(crate) fn new(req: SyncReq, seq: u64) -> Self {
+        Self { req, seq, redeliveries: 0, first_grant: None, faulted: false, refresh: false }
+    }
+}
+
+/// All synchronization-transport state: the authoritative global
+/// values, per-processor local images, the broadcast queue, and the
+/// deferred-image and sequence-tag machinery faults and recovery hang
+/// off. Owned by the machine; backends are stateless.
+#[derive(Debug)]
+pub(crate) struct SyncState {
+    /// Globally-performed value of each synchronization variable.
+    pub(crate) global: Vec<u64>,
+    /// Per-processor local images (`images[p][var]`).
+    pub(crate) images: Vec<Vec<u64>>,
+    /// Broadcasts waiting for the sync bus.
+    pub(crate) queue: VecDeque<QueuedSync>,
+    /// The broadcast currently holding the bus, with its end cycle.
+    pub(crate) active: Option<(QueuedSync, u64)>,
+    /// Next sync-message issue tag (see [`QueuedSync::seq`]).
+    pub(crate) seq: u64,
+    /// Per-variable tag of the last applied sync write; an arriving
+    /// message with an older tag is a stale redelivery and is discarded.
+    pub(crate) applied_seq: Vec<u64>,
+    /// Deferred local-image updates per processor: `(apply_cycle, var,
+    /// val)` in FIFO order, so one image always sees writes in the order
+    /// they were performed globally, just late.
+    pub(crate) defer: Vec<VecDeque<(u64, SyncVar, u64)>>,
+    /// Earliest due cycle across all `defer` queues (`u64::MAX` when
+    /// every queue is empty), so quiescent processors cost nothing in
+    /// [`Machine::apply_deferred_images`].
+    pub(crate) due_min: u64,
+}
+
+impl SyncState {
+    /// Fresh transport state for `p` processors and `n_vars` variables.
+    pub(crate) fn new(p: usize, n_vars: usize) -> Self {
+        Self {
+            global: vec![0; n_vars],
+            images: vec![vec![0; n_vars]; p],
+            queue: VecDeque::new(),
+            active: None,
+            seq: 0,
+            applied_seq: vec![0; n_vars],
+            defer: vec![VecDeque::new(); p],
+            due_min: u64::MAX,
+        }
+    }
+}
+
+/// A synchronization-fabric backend: the transport that carries
+/// dedicated-transport sync operations (posted writes and atomic
+/// fetch-increments) to the global state and the local images.
+///
+/// Backends are stateless unit structs ([`FabricKind::backend`] hands
+/// out `&'static` instances); all mutable transport state lives in the
+/// machine's [`SyncState`]. Every method runs only at stepped
+/// (non-quiet) cycles, which is what keeps the fast-forward and
+/// reference steppers bit-identical per fabric.
+pub trait SyncFabric: std::fmt::Debug + Sync {
+    /// The configuration tag this backend implements.
+    fn kind(&self) -> FabricKind;
+
+    /// Whether sync grants contend with data traffic for one physical
+    /// bus (no dedicated sync hardware).
+    fn shares_data_bus(&self) -> bool {
+        false
+    }
+
+    /// Issues a posted write of `val` to `var` from `proc`. Posted
+    /// writes never block the issuing processor.
+    fn post(&self, m: &mut Machine<'_>, proc: usize, var: SyncVar, val: u64);
+
+    /// Issues an atomic fetch-increment on `var` from `proc`. Returns
+    /// `true` when the operation completed instantly (the processor
+    /// does not block on the sync bus).
+    fn rmw(&self, m: &mut Machine<'_>, proc: usize, var: SyncVar) -> bool;
+
+    /// Arbitrates pending broadcasts for this cycle, granting at most
+    /// one.
+    fn grant(&self, m: &mut Machine<'_>);
+
+    /// Completes a broadcast whose bus tenure ends this cycle,
+    /// delivering it (or re-queueing it under an injected drop).
+    fn complete(&self, m: &mut Machine<'_>) {
+        m.complete_sync();
+    }
+}
+
+/// The paper's §6 hardware: a dedicated synchronization bus, physically
+/// separate from the data bus, broadcasting posted writes to
+/// per-processor local images.
+#[derive(Debug)]
+pub struct DedicatedBus;
+
+impl SyncFabric for DedicatedBus {
+    fn kind(&self) -> FabricKind {
+        FabricKind::Dedicated
+    }
+
+    fn post(&self, m: &mut Machine<'_>, proc: usize, var: SyncVar, val: u64) {
+        m.post_sync_write(proc, var, val);
+    }
+
+    fn rmw(&self, m: &mut Machine<'_>, proc: usize, var: SyncVar) -> bool {
+        m.enqueue_rmw(proc, var);
+        false
+    }
+
+    fn grant(&self, m: &mut Machine<'_>) {
+        m.grant_sync_queue(false);
+    }
+}
+
+/// No dedicated hardware: broadcasts ride the one physical bus and
+/// arbitrate against data traffic (data has priority; an in-flight
+/// broadcast blocks data grants and vice versa). A granted broadcast's
+/// tenure is charged to both bus-occupancy counters — there is only one
+/// bus, and those cycles are unavailable to data traffic.
+#[derive(Debug)]
+pub struct SharedDataBus;
+
+impl SyncFabric for SharedDataBus {
+    fn kind(&self) -> FabricKind {
+        FabricKind::Shared
+    }
+
+    fn shares_data_bus(&self) -> bool {
+        true
+    }
+
+    fn post(&self, m: &mut Machine<'_>, proc: usize, var: SyncVar, val: u64) {
+        m.post_sync_write(proc, var, val);
+    }
+
+    fn rmw(&self, m: &mut Machine<'_>, proc: usize, var: SyncVar) -> bool {
+        m.enqueue_rmw(proc, var);
+        false
+    }
+
+    fn grant(&self, m: &mut Machine<'_>) {
+        // Data traffic was granted first this cycle (priority); the
+        // bus must be entirely free for a broadcast to start.
+        if m.mem.active.is_some() {
+            return;
+        }
+        m.grant_sync_queue(true);
+    }
+}
+
+/// A zero-latency oracle: posts and RMWs perform globally and in every
+/// local image the instant they issue. No queue, no occupancy, no RNG
+/// draws, immune to sync-path faults — the upper bound on what any sync
+/// interconnect could achieve.
+#[derive(Debug)]
+pub struct IdealFabric;
+
+impl SyncFabric for IdealFabric {
+    fn kind(&self) -> FabricKind {
+        FabricKind::Ideal
+    }
+
+    fn post(&self, m: &mut Machine<'_>, _proc: usize, var: SyncVar, val: u64) {
+        m.metrics.sync_vars[var].posts += 1;
+        m.apply_instantly(var, val);
+    }
+
+    fn rmw(&self, m: &mut Machine<'_>, _proc: usize, var: SyncVar) -> bool {
+        let val = m.sync.global[var] + 1;
+        m.stats.rmw_ops += 1;
+        m.apply_instantly(var, val);
+        true
+    }
+
+    fn grant(&self, m: &mut Machine<'_>) {
+        debug_assert!(m.sync.queue.is_empty(), "the oracle never queues broadcasts");
+    }
+
+    fn complete(&self, m: &mut Machine<'_>) {
+        debug_assert!(m.sync.active.is_none(), "the oracle never holds a bus");
+    }
+}
+
+static DEDICATED: DedicatedBus = DedicatedBus;
+static SHARED: SharedDataBus = SharedDataBus;
+static IDEAL: IdealFabric = IdealFabric;
+
+impl FabricKind {
+    /// The stateless backend instance implementing this kind.
+    pub(crate) fn backend(self) -> &'static dyn SyncFabric {
+        match self {
+            FabricKind::Dedicated => &DEDICATED,
+            FabricKind::Shared => &SHARED,
+            FabricKind::Ideal => &IDEAL,
+        }
+    }
+}
+
+impl<'a> Machine<'a> {
+    pub(crate) fn next_sync_seq(&mut self) -> u64 {
+        self.sync.seq += 1;
+        self.sync.seq
+    }
+
+    /// Queues a posted sync write, coalescing into an already-queued
+    /// post to the same variable from the same processor when enabled
+    /// (Section 6 optimization).
+    pub(crate) fn post_sync_write(&mut self, proc: usize, var: SyncVar, val: u64) {
+        self.metrics.sync_vars[var].posts += 1;
+        let seq = self.next_sync_seq();
+        if self.config.coalesce_sync_writes {
+            for pending in self.sync.queue.iter_mut() {
+                if pending.refresh {
+                    // Never fold a real post into a refresh: the refresh
+                    // re-reads global at delivery and would drop `val`.
+                    continue;
+                }
+                if let SyncReq::Post { proc: p, var: v, val: pv } = &mut pending.req {
+                    if *p == proc && *v == var {
+                        *pv = val;
+                        // The coalesced message now carries the newest
+                        // write: retag it so it is not discarded as stale.
+                        pending.seq = seq;
+                        self.stats.coalesced_writes += 1;
+                        return;
+                    }
+                }
+            }
+        }
+        self.sync
+            .queue
+            .push_back(QueuedSync::new(SyncReq::Post { proc, var, val }, seq));
+    }
+
+    /// Queues an atomic fetch-increment broadcast from `proc`.
+    pub(crate) fn enqueue_rmw(&mut self, proc: usize, var: SyncVar) {
+        let seq = self.next_sync_seq();
+        self.sync.queue.push_back(QueuedSync::new(SyncReq::Rmw { proc, var }, seq));
+    }
+
+    /// Performs a sync write instantly — globally and in every image —
+    /// for the [`IdealFabric`] oracle. Bypasses the queue, the faults
+    /// and the deferral machinery entirely (the oracle cannot lose or
+    /// lag an update), but still counts the delivery so traffic columns
+    /// stay comparable across fabrics.
+    pub(crate) fn apply_instantly(&mut self, var: SyncVar, val: u64) {
+        self.stats.sync_broadcasts += 1;
+        self.sync.global[var] = val;
+        for img in &mut self.sync.images {
+            img[var] = val;
+        }
+        self.events
+            .record(self.cycle, SimEventKind::SyncDeliver { var, val, stale: false });
+        self.note_progress();
+    }
+
+    /// Grants the sync bus to the next queued broadcast, modelling the
+    /// faulty-arbiter reordering and injected grant delays. With
+    /// `shared_bus`, the grant's tenure is also charged to the data-bus
+    /// occupancy counter — it is the same physical bus.
+    pub(crate) fn grant_sync_queue(&mut self, shared_bus: bool) {
+        if self.sync.active.is_some() {
+            return;
+        }
+        let f = self.config.faults;
+        let picked = if f.broadcast_reorder_pct > 0
+            && self.sync.queue.len() >= 2
+            && self.rng.chance_pct(f.broadcast_reorder_pct)
+        {
+            // Faulty arbiter: grant a younger message. The overtaken
+            // head is marked faulted with its counterfactual grant
+            // cycle, so its recovery latency is measured end-to-end.
+            self.stats.faults.reordered_broadcasts += 1;
+            self.record_fault(None, FaultClass::BroadcastReorder, 0);
+            if let Some(head) = self.sync.queue.front_mut() {
+                head.faulted = true;
+                head.first_grant.get_or_insert(self.cycle);
+            }
+            let ix = self.rng.range_usize(1, self.sync.queue.len() - 1);
+            self.sync.queue.remove(ix)
+        } else {
+            self.sync.queue.pop_front()
+        };
+        if let Some(mut entry) = picked {
+            self.stats.sync_broadcasts += 1;
+            if let SyncReq::Rmw { .. } = entry.req {
+                self.stats.rmw_ops += 1;
+            }
+            entry.first_grant.get_or_insert(self.cycle);
+            let mut dur = u64::from(self.config.sync_bus_latency);
+            if f.broadcast_delay_pct > 0 && self.rng.chance_pct(f.broadcast_delay_pct) {
+                let extra = u64::from(self.rng.range_u32(1, f.broadcast_delay_max));
+                dur += extra;
+                entry.faulted = true;
+                self.stats.faults.delayed_broadcasts += 1;
+                self.stats.faults.delay_cycles += extra;
+                self.record_fault(None, FaultClass::BroadcastDelay, extra);
+            }
+            let (var, rmw) = match entry.req {
+                SyncReq::Post { var, .. } => (var, false),
+                SyncReq::Rmw { var, .. } => (var, true),
+            };
+            self.metrics.sync_bus_busy += dur;
+            if shared_bus {
+                // One physical bus: these cycles are lost to data
+                // traffic too.
+                self.metrics.data_bus_busy += dur;
+            }
+            self.events.record(self.cycle, SimEventKind::SyncGrant { var, rmw, dur });
+            self.sync.active = Some((entry, self.cycle + dur));
+            self.note_progress();
+        }
+    }
+
+    /// Completes the broadcast whose bus tenure ends this cycle:
+    /// re-queues it under an injected drop, discards it as stale if a
+    /// newer write already performed, or delivers it (a refresh
+    /// re-reading the current global value).
+    pub(crate) fn complete_sync(&mut self) {
+        let Some((entry, end)) = self.sync.active else { return };
+        if end != self.cycle {
+            return;
+        }
+        self.sync.active = None;
+        let f = self.config.faults;
+        if f.broadcast_drop_pct > 0
+            && entry.redeliveries < f.max_redeliveries
+            && self.rng.chance_pct(f.broadcast_drop_pct)
+        {
+            // Lost broadcast: re-queue for (bounded) redelivery.
+            self.stats.faults.dropped_broadcasts += 1;
+            self.record_fault(None, FaultClass::BroadcastDrop, 0);
+            self.sync.queue.push_back(QueuedSync {
+                redeliveries: entry.redeliveries + 1,
+                faulted: true,
+                ..entry
+            });
+        } else {
+            if entry.faulted {
+                if let Some(first) = entry.first_grant {
+                    let fault_free = first + u64::from(self.config.sync_bus_latency);
+                    let rec = self.cycle.saturating_sub(fault_free);
+                    self.stats.faults.recovery_cycles += rec;
+                    self.stats.faults.recovery_max = self.stats.faults.recovery_max.max(rec);
+                }
+            }
+            match entry.req {
+                SyncReq::Post { var, val, .. } => {
+                    let stale = entry.seq <= self.sync.applied_seq[var];
+                    // A refresh re-broadcasts the *current* global
+                    // value: a payload captured at NACK time could
+                    // have been overtaken by an RMW granted since,
+                    // and re-applying it would regress the counter.
+                    let val = if entry.refresh { self.sync.global[var] } else { val };
+                    self.events.record(self.cycle, SimEventKind::SyncDeliver { var, val, stale });
+                    if !stale {
+                        self.sync.applied_seq[var] = entry.seq;
+                        self.write_sync(var, val);
+                    } else {
+                        // A drop or reorder let a newer write to
+                        // this variable perform first: this late
+                        // delivery is stale and must be discarded,
+                        // not applied (sync variables are
+                        // monotonic counters; regressing one would
+                        // wedge every waiter past the lost value).
+                        self.stats.faults.stale_deliveries_discarded += 1;
+                    }
+                }
+                SyncReq::Rmw { proc, var } => {
+                    self.sync.applied_seq[var] = self.sync.applied_seq[var].max(entry.seq);
+                    let v = self.sync.global[var] + 1;
+                    self.events.record(
+                        self.cycle,
+                        SimEventKind::SyncDeliver { var, val: v, stale: false },
+                    );
+                    self.write_sync(var, v);
+                    self.unblock(proc);
+                }
+            }
+            self.note_progress();
+        }
+    }
+
+    /// Performs a sync write globally and broadcasts it to every local
+    /// image, subject to the per-image loss and staleness faults.
+    pub(crate) fn write_sync(&mut self, var: SyncVar, val: u64) {
+        self.sync.global[var] = val;
+        let f = self.config.faults;
+        for p in 0..self.sync.images.len() {
+            if f.broadcast_loss_pct > 0 && self.rng.chance_pct(f.broadcast_loss_pct) {
+                // The write performed globally but this processor's image
+                // tap missed it *permanently* — the one unbounded fault.
+                // Only the recovery ladder (NACK refresh or watchdog
+                // repair) can re-deliver the value to this image.
+                self.stats.faults.lost_image_updates += 1;
+                self.record_fault(Some(p), FaultClass::BroadcastLoss, 0);
+                continue;
+            }
+            let pending = self.sync.defer[p].back().map(|&(when, _, _)| when);
+            if f.stale_image_pct > 0 && self.rng.chance_pct(f.stale_image_pct) {
+                // This image lags the global write by a bounded window.
+                let window = u64::from(self.rng.range_u32(1, f.stale_window_max));
+                let when = (self.cycle + window).max(pending.unwrap_or(0));
+                self.stats.faults.stale_image_updates += 1;
+                self.record_fault(Some(p), FaultClass::StaleImage, window);
+                self.sync.defer[p].push_back((when, var, val));
+                self.sync.due_min = self.sync.due_min.min(when);
+            } else if let Some(pending) = pending {
+                // A fresh update must not overtake an older deferred one:
+                // queue behind it so each image sees writes in global
+                // order, merely late.
+                self.sync.defer[p].push_back((pending, var, val));
+                self.sync.due_min = self.sync.due_min.min(pending);
+            } else {
+                self.sync.images[p][var] = val;
+            }
+        }
+    }
+
+    /// Applies deferred (stale-window) local-image updates that are due.
+    /// `due_min` makes this O(1) whenever nothing is due (due times are
+    /// non-decreasing within each queue, so fronts are the minima).
+    pub(crate) fn apply_deferred_images(&mut self) {
+        if self.sync.due_min > self.cycle {
+            return;
+        }
+        let mut next_due = u64::MAX;
+        for p in 0..self.sync.defer.len() {
+            while let Some(&(when, var, val)) = self.sync.defer[p].front() {
+                if when > self.cycle {
+                    break;
+                }
+                self.sync.defer[p].pop_front();
+                self.sync.images[p][var] = val;
+                self.note_progress();
+            }
+            if let Some(&(when, _, _)) = self.sync.defer[p].front() {
+                next_due = next_due.min(when);
+            }
+        }
+        self.sync.due_min = next_due;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_resolves_to_its_backend() {
+        for kind in FabricKind::ALL {
+            assert_eq!(kind.backend().kind(), kind);
+        }
+        assert!(!FabricKind::Dedicated.backend().shares_data_bus());
+        assert!(FabricKind::Shared.backend().shares_data_bus());
+        assert!(!FabricKind::Ideal.backend().shares_data_bus());
+    }
+
+    #[test]
+    fn sync_state_starts_quiescent() {
+        let s = SyncState::new(3, 2);
+        assert_eq!(s.global, vec![0, 0]);
+        assert_eq!(s.images.len(), 3);
+        assert!(s.queue.is_empty() && s.active.is_none());
+        assert_eq!(s.due_min, u64::MAX);
+        assert_eq!(s.applied_seq, vec![0, 0]);
+    }
+}

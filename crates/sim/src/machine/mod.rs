@@ -1,0 +1,746 @@
+//! The cycle-driven machine model, decomposed into layered subsystems.
+//!
+//! A [`Machine`] simulates `P` processors sharing a **data bus** (to the
+//! memory modules) and, optionally, a **dedicated synchronization bus**
+//! with a local image of every synchronization variable in each processor
+//! (Section 6 of the paper). The model is deliberately simple — a single
+//! arbitrated transaction at a time per bus — because that is exactly the
+//! regime in which the paper's claims about traffic, hot-spots and
+//! busy-waiting live.
+//!
+//! The machine is a thin conductor over four subsystems, each in its own
+//! module and separately testable:
+//!
+//! * [`fabric`] — the **synchronization fabric**: global sync values,
+//!   per-processor local images, the broadcast queue, and the pluggable
+//!   [`SyncFabric`] transport backend (dedicated bus / shared bus /
+//!   ideal oracle) that carries them;
+//! * `memory` — the **memory system**: data-bus arbitration, interleaved
+//!   banks and the globally-performed effects of data-path requests;
+//! * `dispatch` — the **dispatcher**: self-scheduling or static
+//!   iteration hand-out;
+//! * `recovery_engine` — the **recovery engine**: the self-healing
+//!   ladder (gap NACKs, refresh retransmission, watchdog repair) and the
+//!   per-processor wait-episode bookkeeping it hangs off;
+//! * `exec` — the per-processor execution step that drives all of the
+//!   above through one instruction at a time.
+//!
+//! Determinism: processors are stepped in id order and bus queues are
+//! FIFO, so a run is a pure function of the configuration and workload.
+//! Fault injection ([`crate::faults::FaultPlan`]) preserves this: every
+//! fault decision comes from a splitmix64 stream seeded by the plan, so
+//! a faulted run is reproducible byte-for-byte from its configuration.
+//!
+//! Stepping: per-cycle stepping ([`StepMode::Reference`]) is the
+//! executable specification, but the default execution engine is an
+//! **event-driven fast-forward kernel** ([`StepMode::FastForward`]) that
+//! jumps over *quiet* cycles — cycles in which the machine provably does
+//! nothing but tick stat counters — directly to the next observable
+//! event (transaction completion, bank completion, deferred image due
+//! time, compute retirement, spin-backoff expiry, stall boundary), bulk
+//! charging the skipped cycles to the same per-processor stat buckets
+//! the reference stepper would have ticked. Every RNG draw and trace
+//! write happens only at non-quiet cycles, so the two modes produce
+//! **bit-for-bit identical** [`RunStats`], [`Trace`] and `sync_final`
+//! (enforced by the equivalence tests) — under every fabric backend,
+//! because both modes drive the same subsystem interfaces.
+//!
+//! Liveness under faults: on top of the precise [`Machine::deadlocked`]
+//! check, a **progress watchdog** tracks the last cycle on which the
+//! machine did anything observable (retired an instruction, performed a
+//! transaction, applied an image update, dispatched). If no progress is
+//! made for a bound derived from the configured latencies and fault
+//! magnitudes, the run fails with [`SimError::Deadlock`] describing the
+//! livelock — so even runs the precise checker cannot classify (e.g.
+//! processors spinning on images that faults keep stale) terminate
+//! detectably rather than burning cycles until `max_cycles`.
+
+mod dispatch;
+mod exec;
+pub mod fabric;
+mod memory;
+mod recovery_engine;
+mod workload;
+
+pub use fabric::{DedicatedBus, IdealFabric, SharedDataBus, SyncFabric};
+pub use workload::{DispatchMode, Workload};
+
+use crate::config::{MachineConfig, MemoryModel};
+use crate::events::{EventRing, SimEventKind};
+use crate::faults::FaultClass;
+use crate::metrics::{RunMetrics, VarTraffic};
+use crate::program::{Pred, SyncVar};
+use crate::rng::SplitMix64;
+use crate::stats::{ProcBreakdown, RunStats};
+use crate::trace::Trace;
+use dispatch::Dispatcher;
+use fabric::SyncState;
+use memory::{DataReqKind, MemorySystem};
+use recovery_engine::RecoveryEngine;
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No processor can ever make progress again.
+    Deadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
+        /// Processors stuck spinning.
+        spinning: Vec<usize>,
+        /// Human-readable description of each stuck processor.
+        detail: Vec<String>,
+    },
+    /// `max_cycles` exceeded.
+    Timeout {
+        /// The configured cap.
+        max_cycles: u64,
+    },
+    /// Invalid configuration.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, spinning, detail } => {
+                write!(
+                    f,
+                    "deadlock at cycle {cycle}: processors {spinning:?} spin forever ({})",
+                    detail.join("; ")
+                )
+            }
+            SimError::Timeout { max_cycles } => write!(f, "exceeded {max_cycles} cycles"),
+            SimError::BadConfig(msg) => write!(f, "invalid machine config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    /// The note trace.
+    pub trace: Trace,
+    /// Final values of all synchronization variables.
+    pub sync_final: Vec<u64>,
+    /// Derived metrics (always collected; see [`RunMetrics`]).
+    pub metrics: RunMetrics,
+    /// Structured events — empty unless recording was turned on with
+    /// [`Machine::enable_events`].
+    pub events: EventRing,
+}
+
+/// Runs a workload to completion on a machine.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadConfig`] for invalid configurations,
+/// [`SimError::Deadlock`] when synchronization can never be satisfied and
+/// [`SimError::Timeout`] past `max_cycles`.
+pub fn run(config: &MachineConfig, workload: &Workload) -> Result<RunOutcome, SimError> {
+    config.validate().map_err(SimError::BadConfig)?;
+    Machine::new(config, workload).run_to_completion()
+}
+
+/// Runs a workload with the per-cycle reference stepper (the executable
+/// specification the fast-forward kernel must match bit for bit).
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_reference(config: &MachineConfig, workload: &Workload) -> Result<RunOutcome, SimError> {
+    config.validate().map_err(SimError::BadConfig)?;
+    let mut m = Machine::new(config, workload);
+    m.set_mode(StepMode::Reference);
+    m.run_to_completion()
+}
+
+/// How the run loop advances time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepMode {
+    /// Event-driven: jump over provably-quiet cycles directly to the
+    /// next observable event, bulk-charging the skipped cycles to the
+    /// correct stat buckets. Bit-identical to [`StepMode::Reference`].
+    #[default]
+    FastForward,
+    /// One cycle per step — the executable specification. Kept for the
+    /// equivalence tests and as the trusted baseline for `datasync perf`.
+    Reference,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SpinPhase {
+    WaitingResult,
+    Backoff { until: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProcState {
+    Idle,
+    Ready,
+    Computing {
+        remaining: u32,
+    },
+    BlockedData,
+    BlockedSync,
+    SpinLocal {
+        var: SyncVar,
+        pred: Pred,
+    },
+    /// Busy-wait through shared memory: `retry` is re-issued after each
+    /// backoff until it succeeds.
+    SpinMem {
+        retry: DataReqKind,
+        phase: SpinPhase,
+    },
+}
+
+#[derive(Debug)]
+pub(crate) struct Proc {
+    pub(crate) state: ProcState,
+    pub(crate) current: Option<usize>,
+    pub(crate) ip: usize,
+    pub(crate) stats: ProcBreakdown,
+}
+
+/// The machine state (see [`run`] for the one-shot entry point).
+///
+/// Borrows its configuration and workload: sweeps running thousands of
+/// configurations share one `Workload` without re-allocating every
+/// `Program` vector per run.
+#[derive(Debug)]
+pub struct Machine<'a> {
+    pub(crate) config: &'a MachineConfig,
+    pub(crate) workload: &'a Workload,
+    mode: StepMode,
+    pub(crate) cycle: u64,
+    pub(crate) procs: Vec<Proc>,
+    /// The synchronization-fabric backend (stateless; selected by
+    /// `config.sync_fabric`).
+    pub(crate) fabric: &'static dyn SyncFabric,
+    /// Synchronization-transport state (global values, images, queue).
+    pub(crate) sync: SyncState,
+    /// Data-bus arbitration state and the memory banks behind it.
+    pub(crate) mem: MemorySystem,
+    /// Iteration dispatch state.
+    pub(crate) disp: Dispatcher,
+    /// Self-healing ladder state and wait-episode bookkeeping.
+    pub(crate) rec: RecoveryEngine,
+    pub(crate) stats: RunStats,
+    pub(crate) trace: Trace,
+    /// Fault-decision stream (seeded by `config.faults.seed`; untouched
+    /// on fault-free runs, so they remain bit-identical to a machine
+    /// without fault support).
+    pub(crate) rng: SplitMix64,
+    /// Per-processor injected-stall end cycle (0 = not stalled).
+    pub(crate) stall_until: Vec<u64>,
+    /// Per-processor cycle of the next stall onset (`u64::MAX` when
+    /// stalls are disabled).
+    pub(crate) next_stall: Vec<u64>,
+    /// Last cycle on which the machine observably progressed.
+    last_progress: u64,
+    /// Progress-watchdog bound (cycles of silence tolerated).
+    watchdog_limit: u64,
+    /// Always-on derived metrics (cheap counters, no allocation per
+    /// event). Updated only at stepped cycles — part of the equivalence
+    /// contract.
+    pub(crate) metrics: RunMetrics,
+    /// Structured event ring; disabled (capacity 0) unless
+    /// [`Machine::enable_events`] was called.
+    pub(crate) events: EventRing,
+}
+
+impl<'a> Machine<'a> {
+    /// Builds a machine with all processors idle.
+    pub fn new(config: &'a MachineConfig, workload: &'a Workload) -> Self {
+        let p = config.processors;
+        let n_vars = workload.n_sync_vars();
+        let procs = (0..p)
+            .map(|_| Proc {
+                state: ProcState::Idle,
+                current: None,
+                ip: 0,
+                stats: ProcBreakdown::default(),
+            })
+            .collect();
+        let n_banks = match config.memory_model {
+            MemoryModel::BusHeld => 0,
+            MemoryModel::Banked { banks } => banks,
+        };
+        let f = config.faults;
+        let mut rng = SplitMix64::new(f.seed);
+        let next_stall: Vec<u64> = (0..p)
+            .map(|_| {
+                if f.stall_mean_interval > 0 {
+                    1 + rng.below(2 * u64::from(f.stall_mean_interval))
+                } else {
+                    u64::MAX
+                }
+            })
+            .collect();
+        // Longest legitimate silent stretch: a held (possibly delayed /
+        // jittered) transaction, a spin backoff, a stall or a stale
+        // window. Generously padded — tripping it means livelock.
+        let watchdog_limit = 256
+            + 8 * u64::from(
+                config.spin_retry
+                    + config.dispatch_latency
+                    + config.data_bus_latency
+                    + config.memory_latency
+                    + config.sync_bus_latency
+                    + f.broadcast_delay_max
+                    + f.data_jitter_max
+                    + f.stall_max
+                    + f.stale_window_max,
+            );
+        // A waiter suspects a gap only after the longest legitimate
+        // delivery path (bus grant + injected delay + stale window) has
+        // comfortably elapsed; by construction this is well under the
+        // watchdog limit, so all NACK tries fit before escalation.
+        let nack_delay = 32
+            + 4 * u64::from(config.sync_bus_latency + f.broadcast_delay_max + f.stale_window_max);
+        Self {
+            procs,
+            cycle: 0,
+            fabric: config.sync_fabric.backend(),
+            sync: SyncState::new(p, n_vars),
+            mem: MemorySystem::new(n_banks),
+            disp: Dispatcher::new(workload, p),
+            rec: RecoveryEngine::new(p, nack_delay, config.recovery.repairs()),
+            stats: RunStats { procs: vec![ProcBreakdown::default(); p], ..Default::default() },
+            trace: Trace::new(),
+            metrics: RunMetrics::new(p, n_vars),
+            events: EventRing::disabled(),
+            rng,
+            stall_until: vec![0; p],
+            next_stall,
+            last_progress: 0,
+            watchdog_limit,
+            mode: StepMode::FastForward,
+            config,
+            workload,
+        }
+    }
+
+    /// Selects the stepping strategy (fast-forward by default).
+    pub fn set_mode(&mut self, mode: StepMode) {
+        self.mode = mode;
+    }
+
+    /// Turns on structured event recording, keeping the most recent
+    /// `capacity` events (0 leaves it disabled). Recording changes
+    /// nothing observable: stats, trace, metrics and final sync values
+    /// are bit-identical with it on or off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine already ran.
+    pub fn enable_events(&mut self, capacity: usize) {
+        assert_eq!(self.cycle, 0, "enable_events must be called before running");
+        self.events = EventRing::with_capacity(capacity);
+    }
+
+    /// The progress watchdog's silence bound (cycles without observable
+    /// progress tolerated before the run fails as a livelock).
+    pub fn watchdog_limit(&self) -> u64 {
+        self.watchdog_limit
+    }
+
+    /// Marks the current cycle as having made observable progress.
+    pub(crate) fn note_progress(&mut self) {
+        self.last_progress = self.cycle;
+    }
+
+    /// Overrides the initial value of a synchronization variable
+    /// (before the run starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range or the machine already ran.
+    pub fn preset_sync(&mut self, var: SyncVar, val: u64) {
+        assert_eq!(self.cycle, 0, "preset_sync must be called before running");
+        if var >= self.sync.global.len() {
+            self.sync.global.resize(var + 1, 0);
+            for img in &mut self.sync.images {
+                img.resize(var + 1, 0);
+            }
+            self.sync.applied_seq.resize(var + 1, 0);
+            self.metrics.sync_vars.resize(var + 1, VarTraffic::default());
+        }
+        self.sync.global[var] = val;
+        for img in &mut self.sync.images {
+            img[var] = val;
+        }
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`].
+    pub fn run_to_completion(mut self) -> Result<RunOutcome, SimError> {
+        self.events
+            .record(self.cycle, SimEventKind::WatchdogArm { limit: self.watchdog_limit });
+        loop {
+            if self.finished() {
+                let mut stats = std::mem::take(&mut self.stats);
+                stats.makespan = self.cycle;
+                for (i, p) in self.procs.iter().enumerate() {
+                    stats.procs[i] = p.stats;
+                }
+                return Ok(RunOutcome {
+                    stats,
+                    trace: std::mem::take(&mut self.trace),
+                    sync_final: std::mem::take(&mut self.sync.global),
+                    metrics: std::mem::take(&mut self.metrics),
+                    events: std::mem::take(&mut self.events),
+                });
+            }
+            if self.cycle >= self.config.max_cycles {
+                return Err(SimError::Timeout { max_cycles: self.config.max_cycles });
+            }
+            if let Some(dead) = self.deadlocked() {
+                let mut detail = self.stuck_detail(&dead);
+                if self.rec.on {
+                    // Unhealable by construction (deadlocked() treats
+                    // globally-satisfied spins as healable): attach the
+                    // wait-for proof so the caller can justify degrading.
+                    detail.extend(self.wait_diagnosis().iter().map(ToString::to_string));
+                }
+                return Err(SimError::Deadlock { cycle: self.cycle, spinning: dead, detail });
+            }
+            if self.cycle.saturating_sub(self.last_progress) > self.watchdog_limit {
+                // The escalation point: with recovery armed, try the
+                // repair rung first — force-sync healable images from the
+                // global state and keep running instead of failing.
+                if self.rec.on && self.watchdog_repair() {
+                    continue;
+                }
+                // Livelock: cycles are being burned (spins, redeliveries,
+                // stalls) but nothing observable has happened for longer
+                // than any legitimate quiet period. Upgrade to a detected
+                // deadlock instead of burning until max_cycles.
+                self.events.record(
+                    self.cycle,
+                    SimEventKind::WatchdogFire { silent_for: self.cycle - self.last_progress },
+                );
+                let spinning: Vec<usize> = self
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| {
+                        matches!(p.state, ProcState::SpinLocal { .. } | ProcState::SpinMem { .. })
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                let mut detail = vec![format!(
+                    "livelock: no forward progress for {} cycles (watchdog limit)",
+                    self.cycle - self.last_progress
+                )];
+                if self.rec.on {
+                    detail.extend(self.wait_diagnosis().iter().map(ToString::to_string));
+                }
+                detail.extend(self.stuck_detail(&spinning));
+                return Err(SimError::Deadlock { cycle: self.cycle, spinning, detail });
+            }
+            match self.mode {
+                StepMode::Reference => self.step(),
+                StepMode::FastForward => self.fast_step(),
+            }
+        }
+    }
+
+    /// Human-readable description of each stuck processor.
+    fn stuck_detail(&self, stuck: &[usize]) -> Vec<String> {
+        stuck
+            .iter()
+            .map(|&i| {
+                let p = &self.procs[i];
+                let at = match p.state {
+                    ProcState::SpinLocal { var, pred } => {
+                        format!(
+                            "waiting {var} {pred} (image {}, global {})",
+                            self.sync.images[i][var], self.sync.global[var]
+                        )
+                    }
+                    ProcState::SpinMem { retry, .. } => format!("retrying {retry:?}"),
+                    _ => "?".to_string(),
+                };
+                format!("proc {i}: program {:?} ip {} {at}", p.current, p.ip)
+            })
+            .collect()
+    }
+
+    fn finished(&self) -> bool {
+        let no_pending = self.mem.active.is_none()
+            && self.sync.active.is_none()
+            && self.mem.queue.is_empty()
+            && self.sync.queue.is_empty()
+            && !self.mem.banks_pending();
+        no_pending
+            && !self.disp.dynamic_left(self.workload)
+            && self.disp.all_drained()
+            && self
+                .procs
+                .iter()
+                .all(|p| matches!(p.state, ProcState::Idle) && p.current.is_none())
+    }
+
+    /// If the machine can provably never progress, the spinning culprits.
+    fn deadlocked(&self) -> Option<Vec<usize>> {
+        // O(1) early-outs first, so the O(P + banks) scans below only run
+        // at genuinely quiet points: a held transaction, a queued
+        // broadcast or a deferred image update still in flight is pending
+        // activity, not deadlock.
+        if self.mem.active.is_some()
+            || self.sync.active.is_some()
+            || !self.sync.queue.is_empty()
+            || self.sync.due_min != u64::MAX
+        {
+            return None;
+        }
+        let any_active = self.mem.banks_pending()
+            || self.mem.queue.iter().any(|r| !matches!(r.kind, DataReqKind::Poll { .. }));
+        if any_active {
+            return None;
+        }
+        let mut spinning = Vec::new();
+        for (i, p) in self.procs.iter().enumerate() {
+            match p.state {
+                // A spin whose condition already holds will succeed on its
+                // next check — that is progress, not deadlock.
+                ProcState::SpinLocal { var, pred } => {
+                    if pred.eval(self.sync.images[i][var]) {
+                        return None;
+                    }
+                    // With recovery armed, a spin satisfied *globally* is
+                    // a healable sequence gap, not a deadlock: the NACK /
+                    // watchdog-repair ladder will refresh the image.
+                    if self.rec.on && pred.eval(self.sync.global[var]) {
+                        return None;
+                    }
+                    spinning.push(i);
+                }
+                ProcState::SpinMem { retry, .. } => {
+                    let satisfiable = match retry {
+                        DataReqKind::Poll { var, pred } => pred.eval(self.sync.global[var]),
+                        DataReqKind::KeyedAttempt { var, geq } => self.sync.global[var] >= geq,
+                        _ => true,
+                    };
+                    if satisfiable {
+                        return None;
+                    }
+                    spinning.push(i);
+                }
+                ProcState::Idle if !self.disp.can_claim(i, self.workload) => {}
+                _ => return None,
+            }
+        }
+        // Pending polls only re-read values no one will write again.
+        if spinning.is_empty() {
+            None
+        } else {
+            Some(spinning)
+        }
+    }
+
+    fn step(&mut self) {
+        self.apply_deferred_images();
+        self.complete_transactions();
+        self.grant_transactions();
+        for p in 0..self.procs.len() {
+            self.step_proc(p);
+        }
+        self.cycle += 1;
+    }
+
+    /// Data-path completions first, then the fabric's broadcast
+    /// completion — the same per-cycle order the monolithic stepper had.
+    fn complete_transactions(&mut self) {
+        self.complete_data();
+        let fabric = self.fabric;
+        fabric.complete(self);
+    }
+
+    /// Data grant first (data traffic has priority on a shared bus),
+    /// then the fabric's broadcast grant.
+    fn grant_transactions(&mut self) {
+        self.grant_data();
+        let fabric = self.fabric;
+        fabric.grant(self);
+    }
+
+    /// If the current cycle is *quiet* — [`Machine::step`] would do
+    /// nothing but tick one stat counter per processor — returns the
+    /// earliest future cycle at which anything observable can happen
+    /// (`u64::MAX` if nothing is pending at all). Returns `None` for a
+    /// cycle that must be stepped normally.
+    ///
+    /// Every RNG draw (grants, sync completions, image deferral, stall
+    /// onsets) and every trace write happens only at non-quiet cycles,
+    /// so skipping quiet cycles cannot desynchronize the fault stream or
+    /// the trace from per-cycle stepping. Deliberately conservative
+    /// under the shared fabric: a cycle in which one bus blocks the
+    /// other is simply stepped.
+    fn quiet_horizon(&self) -> Option<u64> {
+        let c = self.cycle;
+        let mut next = u64::MAX;
+        // Deferred image updates wake local spinners when due.
+        if self.sync.due_min <= c {
+            return None;
+        }
+        next = next.min(self.sync.due_min);
+        // Data bus: a completion is an event; an idle bus with a queued
+        // request grants this cycle.
+        if let Some((_, end)) = self.mem.active {
+            if end <= c {
+                return None;
+            }
+            next = next.min(end);
+        } else if !self.mem.queue.is_empty() {
+            return None;
+        }
+        // Memory banks, same shape.
+        for b in &self.mem.banks {
+            if let Some((_, end)) = b.active {
+                if end <= c {
+                    return None;
+                }
+                next = next.min(end);
+            } else if !b.queue.is_empty() {
+                return None;
+            }
+        }
+        // Sync bus.
+        if let Some((_, end)) = self.sync.active {
+            if end <= c {
+                return None;
+            }
+            next = next.min(end);
+        } else if !self.sync.queue.is_empty() {
+            return None;
+        }
+        let stalls_on = self.config.faults.stall_mean_interval > 0;
+        for (p, proc) in self.procs.iter().enumerate() {
+            if stalls_on {
+                if c >= self.stall_until[p] && c >= self.next_stall[p] {
+                    return None; // stall onset draws RNG this cycle
+                }
+                if c < self.stall_until[p] {
+                    // Frozen until the stall ends — except that a stalled
+                    // Ready processor drains trace notes every cycle.
+                    if matches!(proc.state, ProcState::Ready) {
+                        return None;
+                    }
+                    next = next.min(self.stall_until[p]);
+                    continue;
+                }
+                next = next.min(self.next_stall[p]);
+            }
+            match proc.state {
+                ProcState::Idle => {
+                    if self.disp.can_claim(p, self.workload) {
+                        return None;
+                    }
+                }
+                ProcState::Ready => return None,
+                ProcState::Computing { remaining } => next = next.min(c + u64::from(remaining)),
+                ProcState::BlockedData | ProcState::BlockedSync => {}
+                ProcState::SpinLocal { var, pred } => {
+                    if pred.eval(self.sync.images[p][var]) {
+                        return None; // the spin succeeds this cycle
+                    }
+                    if self.rec.nack_due[p] <= c {
+                        return None; // the gap check runs this cycle
+                    }
+                    next = next.min(self.rec.nack_due[p]);
+                }
+                ProcState::SpinMem { phase, .. } => {
+                    if let SpinPhase::Backoff { until } = phase {
+                        if c >= until {
+                            return None; // re-issues the poll this cycle
+                        }
+                        next = next.min(until);
+                    }
+                    // WaitingResult: the pending transaction bounds `next`.
+                }
+            }
+        }
+        Some(next)
+    }
+
+    /// One fast-forward advance: step normally through event cycles, and
+    /// jump a whole quiet span at once, bulk-charging the skipped cycles
+    /// to exactly the stat buckets the reference stepper would have
+    /// ticked one by one.
+    fn fast_step(&mut self) {
+        let Some(next_event) = self.quiet_horizon() else {
+            self.step();
+            return;
+        };
+        // Land exactly on `max_cycles` so the timeout check fires with
+        // the same cycle as per-cycle stepping.
+        let mut target = next_event.min(self.config.max_cycles);
+        // A computing processor notes progress every cycle; only when
+        // none is running can the watchdog's silence bound bind.
+        let progressing = (0..self.procs.len()).any(|p| {
+            self.cycle >= self.stall_until[p]
+                && matches!(self.procs[p].state, ProcState::Computing { .. })
+        });
+        if !progressing {
+            target = target.min(self.last_progress.saturating_add(self.watchdog_limit + 1));
+        }
+        debug_assert!(target > self.cycle, "quiet horizon must move time forward");
+        let delta = target - self.cycle;
+        for p in 0..self.procs.len() {
+            if self.cycle < self.stall_until[p] {
+                self.procs[p].stats.stalled += delta;
+                continue;
+            }
+            match self.procs[p].state {
+                ProcState::Idle => self.procs[p].stats.idle += delta,
+                ProcState::Computing { remaining } => {
+                    self.procs[p].stats.busy += delta;
+                    // delta <= remaining by the horizon bound.
+                    let left = remaining - delta as u32;
+                    self.procs[p].state = if left == 0 {
+                        ProcState::Ready
+                    } else {
+                        ProcState::Computing { remaining: left }
+                    };
+                }
+                ProcState::BlockedData | ProcState::BlockedSync => {
+                    self.procs[p].stats.blocked += delta;
+                }
+                ProcState::SpinLocal { .. } | ProcState::SpinMem { .. } => {
+                    self.procs[p].stats.spin += delta;
+                }
+                ProcState::Ready => unreachable!("a ready processor is never quiet"),
+            }
+        }
+        if progressing {
+            self.last_progress = target - 1;
+        }
+        self.cycle = target;
+    }
+
+    pub(crate) fn unblock(&mut self, proc: usize) {
+        self.close_wait(proc);
+        self.procs[proc].state = ProcState::Ready;
+    }
+
+    /// Records an injected fault in both the note trace and the event
+    /// ring.
+    #[cold]
+    #[inline(never)]
+    pub(crate) fn record_fault(&mut self, proc: Option<usize>, class: FaultClass, magnitude: u64) {
+        self.trace.record_fault(self.cycle, proc, class, magnitude);
+        self.events.record(self.cycle, SimEventKind::Fault { class, proc, magnitude });
+    }
+}
+
+#[cfg(test)]
+mod tests;

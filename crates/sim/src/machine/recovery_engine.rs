@@ -1,0 +1,198 @@
+//! The recovery engine: the self-healing ladder behind the sync fabric
+//! (gap NACKs → refresh retransmission → watchdog repair) plus the
+//! per-processor wait-episode bookkeeping the ladder hangs off.
+//!
+//! The ladder operates on the fabric's queued-broadcast machinery: a
+//! local-image waiter that can prove a sequence gap (its predicate holds
+//! on the global variable but not on its image) NACKs, queueing a
+//! refresh broadcast; a persistently lossy image tap escalates to the
+//! watchdog's force-sync repair rung. It draws no RNG and acts only at
+//! stepped cycles, so arming it preserves fast-forward/reference
+//! equivalence; with [`crate::recovery::RecoveryPolicy::Off`] it is
+//! bit-inert.
+
+use super::fabric::{QueuedSync, SyncReq};
+use super::{Machine, ProcState};
+use crate::events::SimEventKind;
+use crate::program::{Pred, SyncVar};
+use crate::recovery::WaitEdge;
+
+/// Gap NACKs allowed per wait episode before the waiter falls silent
+/// and escalates to the watchdog repair rung.
+const NACK_TRIES_MAX: u32 = 4;
+
+/// Self-healing ladder state plus wait-episode bookkeeping.
+#[derive(Debug)]
+pub(crate) struct RecoveryEngine {
+    /// Whether the ladder (gap NACKs, retransmission, watchdog repair)
+    /// is armed. Derived from [`crate::config::MachineConfig::recovery`];
+    /// with it off the machine behaves bit-identically to one without
+    /// recovery support.
+    pub(crate) on: bool,
+    /// Cycles a local-image waiter tolerates before suspecting a
+    /// sequence gap (derived from the configured latencies and fault
+    /// magnitudes; always well below the watchdog limit).
+    pub(crate) nack_delay: u64,
+    /// Per-processor cycle of the next gap check (`u64::MAX` when the
+    /// processor is not in a local spin or has spent its NACK budget).
+    pub(crate) nack_due: Vec<u64>,
+    /// Per-processor NACKs issued in the current wait episode.
+    pub(crate) nack_tries: Vec<u32>,
+    /// Watchdog repair rungs taken this run (event numbering).
+    pub(crate) repairs_done: u32,
+    /// Per-processor open wait episode: `(begin_cycle, var,
+    /// through_memory)` from spin entry until satisfaction.
+    pub(crate) wait_since: Vec<Option<(u64, SyncVar, bool)>>,
+}
+
+impl RecoveryEngine {
+    /// Fresh ladder state for `p` processors.
+    pub(crate) fn new(p: usize, nack_delay: u64, on: bool) -> Self {
+        Self {
+            on,
+            nack_delay,
+            nack_due: vec![u64::MAX; p],
+            nack_tries: vec![0; p],
+            repairs_done: 0,
+            wait_since: vec![None; p],
+        }
+    }
+}
+
+impl<'a> Machine<'a> {
+    /// Closes processor `p`'s open wait episode, if any, recording its
+    /// duration in the per-processor histogram and the event ring.
+    /// Never inlined: this runs once per episode, not per cycle, and
+    /// inlining it bloats `step_proc`'s per-cycle spin loop.
+    #[inline(never)]
+    pub(crate) fn close_wait(&mut self, p: usize) {
+        if let Some((start, var, _)) = self.rec.wait_since[p].take() {
+            let waited = self.cycle - start;
+            self.metrics.wait[p].record(waited);
+            self.events.record(self.cycle, SimEventKind::WaitEnd { proc: p, var, waited });
+            if self.rec.nack_tries[p] > 0 {
+                // The episode needed recovery intervention: its full
+                // duration is the heal latency.
+                self.stats.recovery.healed_waits += 1;
+                self.stats.recovery.heal_latency_total += waited;
+                self.stats.recovery.heal_latency_max =
+                    self.stats.recovery.heal_latency_max.max(waited);
+            }
+        }
+        self.rec.nack_due[p] = u64::MAX;
+        self.rec.nack_tries[p] = 0;
+    }
+
+    /// Opens a wait episode for processor `p` on `var`.
+    #[inline(never)]
+    pub(crate) fn begin_wait(&mut self, p: usize, var: SyncVar, through_memory: bool) {
+        self.rec.wait_since[p] = Some((self.cycle, var, through_memory));
+        if self.rec.on && !through_memory {
+            // Local-image spins arm the gap detector; memory polls read
+            // the global variable directly and cannot gap.
+            self.rec.nack_due[p] = self.cycle + self.rec.nack_delay;
+            self.rec.nack_tries[p] = 0;
+        }
+        self.events
+            .record(self.cycle, SimEventKind::WaitBegin { proc: p, var, through_memory });
+    }
+
+    /// Rung 1–2 of the recovery ladder: a local-image waiter whose
+    /// deadline passed checks for a sequence gap (its predicate holds on
+    /// the global variable but not on its image) and, if proven, NACKs —
+    /// queueing a refresh broadcast of the global value. After
+    /// [`NACK_TRIES_MAX`] NACKs the waiter falls silent so a persistently
+    /// lossy tap escalates to the watchdog repair rung instead of
+    /// re-NACKing forever (each refresh grant is bus progress, so
+    /// unbounded NACKing would disarm the watchdog while healing
+    /// nothing). Draws no RNG; runs only at stepped cycles.
+    #[inline(never)]
+    pub(crate) fn check_gap(&mut self, p: usize, var: SyncVar, pred: Pred) {
+        if !pred.eval(self.sync.global[var]) {
+            // No gap: the awaited value has not performed globally yet.
+            // Keep watching — the producer may still be on its way.
+            self.rec.nack_due[p] = self.cycle + self.rec.nack_delay;
+            return;
+        }
+        self.rec.nack_tries[p] += 1;
+        let tries = self.rec.nack_tries[p];
+        self.stats.recovery.gap_nacks += 1;
+        self.events.record(self.cycle, SimEventKind::GapNack { proc: p, var, tries });
+        let val = self.sync.global[var];
+        let seq = self.next_sync_seq();
+        self.stats.recovery.retransmits += 1;
+        self.events.record(self.cycle, SimEventKind::Retransmit { var, val });
+        // Pushed directly (never coalesced into) and subject to the same
+        // faults as any broadcast — a retransmission can itself be lost.
+        let mut msg = QueuedSync::new(SyncReq::Post { proc: p, var, val }, seq);
+        msg.refresh = true;
+        self.sync.queue.push_back(msg);
+        self.rec.nack_due[p] = if tries >= NACK_TRIES_MAX {
+            u64::MAX // budget spent: silence lets the watchdog escalate
+        } else {
+            self.cycle + self.rec.nack_delay
+        };
+    }
+
+    /// The wait-for state of every local-image spinner, with the
+    /// controller's verdict on whether re-broadcasting the global state
+    /// would wake it. This is both the repair-rung trigger and the proof
+    /// attached to unrecoverable failures.
+    pub(crate) fn wait_diagnosis(&self) -> Vec<WaitEdge> {
+        let mut edges = Vec::new();
+        for (i, p) in self.procs.iter().enumerate() {
+            if let ProcState::SpinLocal { var, pred } = p.state {
+                let image = self.sync.images[i][var];
+                let global = self.sync.global[var];
+                edges.push(WaitEdge {
+                    proc: i,
+                    var,
+                    need: pred.to_string(),
+                    image,
+                    global,
+                    healable: pred.eval(global) && !pred.eval(image),
+                });
+            }
+        }
+        edges
+    }
+
+    /// Rung 3: the watchdog's repair action. If any spinner is healable
+    /// (satisfied globally, gapped locally), flush every deferred image
+    /// update in order and force-sync all images from the global state —
+    /// the controller re-broadcasting its state wholesale. Sound because
+    /// sync variables are monotone counters and the global variable is
+    /// the authoritative newest value. Returns `false` when nothing is
+    /// healable, letting the caller fire the watchdog for real.
+    #[cold]
+    #[inline(never)]
+    pub(crate) fn watchdog_repair(&mut self) -> bool {
+        if !self.wait_diagnosis().iter().any(|e| e.healable) {
+            return false;
+        }
+        let mut healed = 0u64;
+        for p in 0..self.sync.images.len() {
+            // Apply what was already in flight in its original order…
+            while let Some((_, var, val)) = self.sync.defer[p].pop_front() {
+                self.sync.images[p][var] = val;
+            }
+            // …then bring every cell up to the authoritative value.
+            for v in 0..self.sync.global.len() {
+                if self.sync.images[p][v] != self.sync.global[v] {
+                    self.sync.images[p][v] = self.sync.global[v];
+                    healed += 1;
+                }
+            }
+        }
+        self.sync.due_min = u64::MAX;
+        self.rec.repairs_done += 1;
+        self.stats.recovery.watchdog_repairs += 1;
+        self.stats.recovery.images_repaired += healed;
+        self.events.record(
+            self.cycle,
+            SimEventKind::WatchdogRepair { rung: self.rec.repairs_done, healed },
+        );
+        self.note_progress();
+        true
+    }
+}

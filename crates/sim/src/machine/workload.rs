@@ -1,0 +1,80 @@
+//! Workloads: the programs a machine runs and how they are handed out.
+
+use crate::program::Program;
+
+/// How iteration programs are handed to processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Processor self-scheduling (the paper's assumed policy): free
+    /// processors claim the lowest unclaimed program, paying
+    /// `dispatch_latency` cycles per claim.
+    Dynamic,
+    /// A fixed assignment: `assignment[p]` is the ordered list of program
+    /// indices processor `p` runs. Used for phase-structured workloads
+    /// (barriers, wavefronts).
+    Static(Vec<Vec<usize>>),
+}
+
+/// A set of programs plus the dispatch policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// The programs (for Doacross loops: one per iteration, in order).
+    pub programs: Vec<Program>,
+    /// Dispatch policy.
+    pub dispatch: DispatchMode,
+}
+
+impl Workload {
+    /// A dynamic (self-scheduled) workload.
+    pub fn dynamic(programs: Vec<Program>) -> Self {
+        Self { programs, dispatch: DispatchMode::Dynamic }
+    }
+
+    /// A statically assigned workload with **cyclic** (interleaved)
+    /// iteration order: processor `p` runs programs `p, p+P, p+2P, …` —
+    /// the classic Doacross assignment.
+    pub fn static_cyclic(programs: Vec<Program>, procs: usize) -> Self {
+        let assignment = (0..procs).map(|p| (p..programs.len()).step_by(procs).collect()).collect();
+        Self::static_assigned(programs, assignment)
+    }
+
+    /// A statically assigned workload with **blocked** iteration order:
+    /// processor `p` runs a contiguous chunk. For Doacross loops with
+    /// backward dependences this serializes the processors — the
+    /// scheduling-order effect of the paper's reference [23].
+    pub fn static_blocked(programs: Vec<Program>, procs: usize) -> Self {
+        let n = programs.len();
+        let chunk = n.div_ceil(procs.max(1));
+        let assignment = (0..procs)
+            .map(|p| {
+                let lo = (p * chunk).min(n);
+                let hi = ((p + 1) * chunk).min(n);
+                (lo..hi).collect()
+            })
+            .collect();
+        Self::static_assigned(programs, assignment)
+    }
+
+    /// A statically assigned workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment references a missing program.
+    pub fn static_assigned(programs: Vec<Program>, assignment: Vec<Vec<usize>>) -> Self {
+        for q in &assignment {
+            for &ix in q {
+                assert!(ix < programs.len(), "assignment references program {ix}");
+            }
+        }
+        Self { programs, dispatch: DispatchMode::Static(assignment) }
+    }
+
+    /// Number of synchronization variables required.
+    pub fn n_sync_vars(&self) -> usize {
+        self.programs
+            .iter()
+            .filter_map(Program::max_sync_var)
+            .max()
+            .map_or(0, |v| v + 1)
+    }
+}

@@ -1,0 +1,367 @@
+//! Golden-stat regression pins: one fault-free and one chaos-seeded run
+//! per scheme, captured on the pre-refactor monolithic `Machine` and
+//! asserted bit-identical ever since. These numbers are the contract the
+//! `machine/` decomposition (and the `DedicatedBus` fabric default) must
+//! reproduce exactly — any drift here means the refactor changed
+//! simulated behaviour, not just code layout.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//! `cargo test --test golden_stats -- --ignored --nocapture` and paste
+//! the printed table over `GOLDEN`.
+
+use datasync_loopir::analysis::analyze;
+use datasync_loopir::space::IterSpace;
+use datasync_loopir::workpatterns::fig21_loop;
+use datasync_schemes::scheme::{CompiledLoop, Scheme};
+use datasync_schemes::{
+    BarrierPhased, InstanceBased, ProcessOriented, ReferenceBased, StatementOriented,
+};
+use datasync_sim::{FabricKind, FaultPlan, MachineConfig};
+
+const PROCS: usize = 4;
+const CHAOS_SEED: u64 = 1989;
+const CHAOS_INTENSITY: u32 = 45;
+
+/// Everything a run exposes, flattened to a comparable tuple-of-scalars
+/// (plus the final sync-variable state verbatim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fingerprint {
+    makespan: u64,
+    busy: u64,
+    spin: u64,
+    blocked: u64,
+    idle: u64,
+    stalled: u64,
+    data_transactions: u64,
+    spin_polls: u64,
+    sync_broadcasts: u64,
+    coalesced_writes: u64,
+    rmw_ops: u64,
+    dispatched: u64,
+    trace_events: u64,
+    data_bus_busy: u64,
+    sync_bus_busy: u64,
+    bank_busy: u64,
+    bank_conflicts: u64,
+    wait_episodes: u64,
+    wait_cycles: u64,
+    wait_max: u64,
+    sync_posts: u64,
+    sync_rmws: u64,
+    sync_waits: u64,
+    sync_polls: u64,
+    sync_final: Vec<u64>,
+}
+
+fn roster() -> Vec<Box<dyn Scheme>> {
+    vec![
+        Box::new(ReferenceBased::new()),
+        Box::new(InstanceBased::new()),
+        Box::new(StatementOriented::new()),
+        Box::new(ProcessOriented::basic(8)),
+        Box::new(ProcessOriented::new(8)),
+        Box::new(BarrierPhased::new(PROCS)),
+    ]
+}
+
+fn fingerprint(compiled: &CompiledLoop, config: &MachineConfig) -> Fingerprint {
+    let out = compiled.run(config).expect("golden run must complete");
+    let s = &out.stats;
+    let m = &out.metrics;
+    let t = m.sync_traffic_total();
+    Fingerprint {
+        makespan: s.makespan,
+        busy: s.total_busy(),
+        spin: s.total_spin(),
+        blocked: s.procs.iter().map(|p| p.blocked).sum(),
+        idle: s.procs.iter().map(|p| p.idle).sum(),
+        stalled: s.procs.iter().map(|p| p.stalled).sum(),
+        data_transactions: s.data_transactions,
+        spin_polls: s.spin_polls,
+        sync_broadcasts: s.sync_broadcasts,
+        coalesced_writes: s.coalesced_writes,
+        rmw_ops: s.rmw_ops,
+        dispatched: s.dispatched,
+        trace_events: out.trace.events().len() as u64,
+        data_bus_busy: m.data_bus_busy,
+        sync_bus_busy: m.sync_bus_busy,
+        bank_busy: m.bank_busy,
+        bank_conflicts: m.bank_conflicts,
+        wait_episodes: m.wait_episodes(),
+        wait_cycles: m.wait_cycles(),
+        wait_max: m.wait_max(),
+        sync_posts: t.posts,
+        sync_rmws: t.rmws,
+        sync_waits: t.waits,
+        sync_polls: t.polls,
+        sync_final: out.sync_final.clone(),
+    }
+}
+
+fn capture(scheme: &dyn Scheme) -> (Fingerprint, Fingerprint) {
+    let nest = fig21_loop(24);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let compiled = scheme.compile(&nest, &graph, &space);
+    // The pins were captured before the fabric axis existed; assert the
+    // default still names the pre-refactor hardware — the dedicated bus
+    // — and pin it explicitly so a future default flip cannot silently
+    // repoint this contract at another backend.
+    let clean = MachineConfig {
+        sync_transport: scheme.natural_transport(),
+        max_cycles: 400_000,
+        ..MachineConfig::with_processors(PROCS)
+    };
+    assert_eq!(clean.sync_fabric, FabricKind::Dedicated, "golden pins assume the dedicated bus");
+    let clean = clean.fabric(FabricKind::Dedicated);
+    let chaos = clean.clone().with_faults(FaultPlan::chaos(CHAOS_SEED, CHAOS_INTENSITY));
+    (fingerprint(&compiled, &clean), fingerprint(&compiled, &chaos))
+}
+
+/// `(scheme name, clean fingerprint, chaos fingerprint)` captured on the
+/// pre-refactor monolith (fig21_loop(24), P=4, chaos seed 1989 @ 45%).
+fn golden() -> Vec<(&'static str, Fingerprint, Fingerprint)> {
+    fn fp(v: [u64; 24], sync_final: Vec<u64>) -> Fingerprint {
+        Fingerprint {
+            makespan: v[0],
+            busy: v[1],
+            spin: v[2],
+            blocked: v[3],
+            idle: v[4],
+            stalled: v[5],
+            data_transactions: v[6],
+            spin_polls: v[7],
+            sync_broadcasts: v[8],
+            coalesced_writes: v[9],
+            rmw_ops: v[10],
+            dispatched: v[11],
+            trace_events: v[12],
+            data_bus_busy: v[13],
+            sync_bus_busy: v[14],
+            bank_busy: v[15],
+            bank_conflicts: v[16],
+            wait_episodes: v[17],
+            wait_cycles: v[18],
+            wait_max: v[19],
+            sync_posts: v[20],
+            sync_rmws: v[21],
+            sync_waits: v[22],
+            sync_polls: v[23],
+            sync_final,
+        }
+    }
+    // GOLDEN-BEGIN (regenerate with the ignored printer test below)
+    vec![
+        (
+            "reference-based",
+            fp(
+                [
+                    1160, 528, 2632, 1416, 64, 0, 192, 0, 0, 0, 120, 24, 480, 1152, 0, 0, 0, 120,
+                    2632, 25, 0, 120, 0, 120,
+                ],
+                vec![
+                    1, 2, 3, 4, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 4, 3,
+                    2, 1,
+                ],
+            ),
+            fp(
+                [
+                    3596, 528, 5382, 2778, 577, 5119, 197, 0, 0, 0, 120, 24, 480, 3455, 0, 0, 0,
+                    120, 7107, 325, 0, 120, 0, 125,
+                ],
+                vec![
+                    1, 2, 3, 4, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 4, 3,
+                    2, 1,
+                ],
+            ),
+        ),
+        (
+            "instance-based",
+            fp(
+                [
+                    2114, 528, 1638, 6202, 88, 0, 351, 69, 0, 0, 0, 24, 376, 2106, 0, 0, 0, 68,
+                    1638, 48, 68, 0, 68, 69,
+                ],
+                vec![
+                    1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+                    1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+                    1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+                ],
+            ),
+            fp(
+                [
+                    6338, 528, 3102, 12288, 367, 9067, 354, 72, 0, 0, 0, 24, 376, 6242, 0, 0, 0,
+                    68, 4013, 284, 68, 0, 68, 72,
+                ],
+                vec![
+                    1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+                    1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+                    1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+                ],
+            ),
+        ),
+        (
+            "statement-oriented",
+            fp(
+                [
+                    1160, 528, 0, 4048, 64, 0, 192, 0, 96, 0, 0, 24, 240, 1152, 96, 0, 0, 0, 0, 0,
+                    96, 0, 209, 0,
+                ],
+                vec![24, 24, 24, 24],
+            ),
+            fp(
+                [
+                    3660, 528, 1767, 6744, 568, 5033, 192, 0, 165, 0, 0, 24, 240, 3357, 2241, 0, 0,
+                    35, 2686, 241, 96, 0, 209, 0,
+                ],
+                vec![24, 24, 24, 24],
+            ),
+        ),
+        (
+            "process-oriented (X=8, basic)",
+            fp(
+                [
+                    1160, 528, 0, 4048, 64, 0, 192, 0, 96, 0, 0, 24, 240, 1152, 96, 0, 0, 0, 0, 0,
+                    96, 0, 137, 0,
+                ],
+                vec![
+                    103079215104,
+                    107374182400,
+                    111669149696,
+                    115964116992,
+                    120259084288,
+                    124554051584,
+                    128849018880,
+                    133143986176,
+                ],
+            ),
+            fp(
+                [
+                    3330, 528, 904, 7196, 378, 4314, 192, 0, 165, 4, 0, 24, 240, 3232, 1970, 0, 0,
+                    18, 1064, 116, 96, 0, 137, 0,
+                ],
+                vec![
+                    103079215104,
+                    107374182400,
+                    111669149696,
+                    115964116992,
+                    120259084288,
+                    124554051584,
+                    128849018880,
+                    133143986176,
+                ],
+            ),
+        ),
+        (
+            "process-oriented (X=8, improved)",
+            fp(
+                [
+                    1160, 528, 0, 4048, 64, 0, 192, 0, 96, 0, 0, 24, 240, 1152, 96, 0, 0, 0, 0, 0,
+                    96, 0, 137, 0,
+                ],
+                vec![
+                    103079215104,
+                    107374182400,
+                    111669149696,
+                    115964116992,
+                    120259084288,
+                    124554051584,
+                    128849018880,
+                    133143986176,
+                ],
+            ),
+            fp(
+                [
+                    3330, 528, 904, 7196, 378, 4314, 192, 0, 165, 4, 0, 24, 240, 3232, 1970, 0, 0,
+                    18, 1064, 116, 96, 0, 137, 0,
+                ],
+                vec![
+                    103079215104,
+                    107374182400,
+                    111669149696,
+                    115964116992,
+                    120259084288,
+                    124554051584,
+                    128849018880,
+                    133143986176,
+                ],
+            ),
+        ),
+        (
+            "barrier-phased (P=4)",
+            fp(
+                [
+                    1176, 520, 192, 3952, 40, 0, 192, 0, 24, 8, 0, 20, 240, 1152, 24, 0, 0, 16,
+                    176, 14, 32, 0, 32, 0,
+                ],
+                vec![8, 8, 8, 8],
+            ),
+            fp(
+                [
+                    3980, 520, 1875, 7572, 192, 5761, 192, 0, 40, 7, 0, 20, 240, 3614, 403, 0, 0,
+                    19, 2785, 554, 32, 0, 32, 0,
+                ],
+                vec![8, 8, 8, 8],
+            ),
+        ),
+    ]
+    // GOLDEN-END
+}
+
+#[test]
+fn dedicated_bus_reproduces_pre_refactor_stats() {
+    let pins = golden();
+    assert_eq!(pins.len(), roster().len(), "golden table missing schemes");
+    for (scheme, (name, clean, chaos)) in roster().iter().zip(pins) {
+        assert_eq!(scheme.name(), name, "roster order changed");
+        let (got_clean, got_chaos) = capture(scheme.as_ref());
+        assert_eq!(got_clean, clean, "{name}: clean run drifted from pre-refactor golden");
+        assert_eq!(got_chaos, chaos, "{name}: chaos run drifted from pre-refactor golden");
+    }
+}
+
+/// Prints the `golden()` body for the current code. Run with
+/// `cargo test --test golden_stats -- --ignored --nocapture`.
+#[test]
+#[ignore]
+fn print_golden_table() {
+    fn row(f: &Fingerprint) -> String {
+        format!(
+            "fp([{}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}, {}], vec!{:?})",
+            f.makespan,
+            f.busy,
+            f.spin,
+            f.blocked,
+            f.idle,
+            f.stalled,
+            f.data_transactions,
+            f.spin_polls,
+            f.sync_broadcasts,
+            f.coalesced_writes,
+            f.rmw_ops,
+            f.dispatched,
+            f.trace_events,
+            f.data_bus_busy,
+            f.sync_bus_busy,
+            f.bank_busy,
+            f.bank_conflicts,
+            f.wait_episodes,
+            f.wait_cycles,
+            f.wait_max,
+            f.sync_posts,
+            f.sync_rmws,
+            f.sync_waits,
+            f.sync_polls,
+            f.sync_final,
+        )
+    }
+    println!("vec![");
+    for scheme in roster() {
+        let (clean, chaos) = capture(scheme.as_ref());
+        println!("        (\n            \"{}\",", scheme.name());
+        println!("            {},", row(&clean));
+        println!("            {},", row(&chaos));
+        println!("        ),");
+    }
+    println!("    ]");
+}
