@@ -18,6 +18,7 @@
 //! | [`sec6`] | E11 — sync-bus traffic and write coalescing |
 //! | [`ablations`] | A1-A4 — memory model, spin retry, X:P ratio, dispatch cost |
 //! | [`robustness`] | R1 — scheme degradation under deterministic fault injection |
+//! | [`chaos`] | R2 — seeded chaos fuzzing with shrinking reproducers |
 //! | [`perf`] | Self-benchmark — fast-forward kernel and sweep-runner speedups |
 //!
 //! [`run_all`] fans the experiments across cores via [`sweep`]; every
@@ -28,6 +29,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod ex5;
 pub mod fig2;
 pub mod fig3;

@@ -1,13 +1,16 @@
 //! R1 — scheme degradation under deterministic fault injection.
 //!
 //! Sweeps every synchronization scheme across every fault class (plus
-//! combined chaos) at increasing intensity, and reports the six-way
+//! combined chaos) at increasing intensity, and reports the seven-way
 //! outcome classification together with the slowdown faults impose on
 //! runs that still complete. The paper's schemes guard *ordering*, so
 //! bounded delivery faults may cost cycles but must never produce a
-//! dependence-order violation — and the one unbounded class (broadcast
-//! loss), which wedges dedicated-bus schemes with recovery off, must be
-//! fully healed by the self-healing ladder with recovery on. The
+//! dependence-order violation — and the two unbounded classes
+//! (broadcast loss, which drops wakeups forever, and processor
+//! fail-stop, which removes a participant), both of which wedge schemes
+//! with recovery off, must be fully healed by the self-healing ladder
+//! with recovery on: repaired in place, reconfigured onto the survivor
+//! quorum, or degraded to the conservative fallback. The
 //! [`json_report`] captures that before/after pair machine-readably.
 
 use crate::table::Table;
@@ -72,11 +75,12 @@ pub fn degradation_with(
     }
     let tally = Tally::of(&matrix);
     t.note(format!(
-        "{} runs: {} ok, {} recovered, {} degraded, {} deadlocked, {} timed out, \
-         {} order violations",
+        "{} runs: {} ok, {} recovered, {} reconfigured, {} degraded, {} deadlocked, \
+         {} timed out, {} order violations",
         tally.total(),
         tally.ok,
         tally.recovered,
+        tally.reconfigured,
         tally.degraded,
         tally.deadlock,
         tally.timeout,
@@ -84,9 +88,10 @@ pub fn degradation_with(
     ));
     t.note(
         "claim: bounded faults (capped redeliveries, stale windows, stalls) cost cycles \
-         but never break dependence order — VIOLATED must not appear; unbounded broadcast \
-         loss wedges dedicated-bus schemes with recovery off and is fully healed (ok / \
-         recovered / DEGRADED, never DEADLOCK / TIMEOUT) with recovery on",
+         but never break dependence order — VIOLATED must not appear; the unbounded \
+         classes (broadcast loss, processor fail-stop) wedge schemes with recovery off \
+         and are fully healed (ok / recovered / RECONF / DEGRADED, never DEADLOCK / \
+         TIMEOUT) with recovery on",
     );
     t
 }
@@ -117,8 +122,8 @@ mod tests {
     #[test]
     fn degradation_table_shape() {
         let t = degradation(10, 4, &[0, 50], 77);
-        // 5 schemes x 8 fault rows (7 classes + chaos).
-        assert_eq!(t.rows.len(), 40);
+        // 5 schemes x 9 fault rows (8 classes + chaos).
+        assert_eq!(t.rows.len(), 45);
         assert_eq!(t.headers.len(), 5); // scheme, fault, 0%, 50%, slowdown
                                         // Fault-free column all ok; with the ladder armed no
                                         // cell may violate, deadlock, or time out.
@@ -145,7 +150,7 @@ mod tests {
     #[test]
     fn recovery_off_table_shows_the_wedge() {
         let t = degradation_with(10, 4, &[0, 50], 77, RecoveryPolicy::Off);
-        assert_eq!(t.rows.len(), 40);
+        assert_eq!(t.rows.len(), 45);
         let loss_cells: Vec<&String> =
             t.rows.iter().filter(|r| r[1] == "bcast-loss").map(|r| &r[3]).collect();
         assert!(

@@ -305,6 +305,7 @@ fn robustness_exit_code(t: &datasync_schemes::robustness::Tally) -> i32 {
     let mut worst = ExitCode::Success;
     for (count, code) in [
         (t.recovered, ExitCode::Recovered),
+        (t.reconfigured, ExitCode::Reconfigured),
         (t.degraded, ExitCode::Degraded),
         (t.timeout, ExitCode::Timeout),
         (t.deadlock, ExitCode::Deadlock),
@@ -350,18 +351,20 @@ pub fn robustness(p: &Parsed) -> Result<crate::CliOutput, CliError> {
     let _ = writeln!(
         text,
         "cells: ok = completed & validated (rN = worst recovery latency), recovered = \
-         self-healed (aN actions, hN heal latency), DEGRADED = fallback scheme carried \
-         the run, DEADLOCK = detected, TIMEOUT = hit {max_cycles} cycles, VIOLATED = \
-         order broken\n"
+         self-healed (aN actions, hN heal latency), reconfigured = survived a dead \
+         processor (xN rescues, pN programs reissued, dN fail-stops), DEGRADED = \
+         fallback scheme carried the run, DEADLOCK = detected, TIMEOUT = hit \
+         {max_cycles} cycles, VIOLATED = order broken\n"
     );
     text.push_str(&datasync_schemes::robustness::render(&matrix));
     let _ = writeln!(
         text,
-        "\n{} runs classified: {} ok, {} recovered, {} degraded, {} deadlocked, \
-         {} timed out, {} violated",
+        "\n{} runs classified: {} ok, {} recovered, {} reconfigured, {} degraded, \
+         {} deadlocked, {} timed out, {} violated",
         tally.total(),
         tally.ok,
         tally.recovered,
+        tally.reconfigured,
         tally.degraded,
         tally.deadlock,
         tally.timeout,
@@ -373,6 +376,68 @@ pub fn robustness(p: &Parsed) -> Result<crate::CliOutput, CliError> {
         let _ = writeln!(text, "wrote {path}");
     }
     Ok(crate::CliOutput { text, code: robustness_exit_code(&tally) })
+}
+
+/// `datasync chaos`.
+pub fn chaos(p: &Parsed) -> Result<crate::CliOutput, CliError> {
+    use datasync_bench::chaos::{run_case, ChaosCase};
+    p.expect_only(&["cases", "seed", "out-dir", "replay"])?;
+    if let Some(path) = p.get("replay") {
+        let doc = std::fs::read_to_string(path)
+            .map_err(|e| CliError::from(format!("cannot read '{path}': {e}")))?;
+        let case = ChaosCase::from_json(&doc)?;
+        let mut text = String::new();
+        let _ = writeln!(
+            text,
+            "replaying {path}: scheme {}, fabric {}, N={}, P={}, plan seed {}",
+            case.scheme, case.fabric, case.iterations, case.processors, case.plan.seed
+        );
+        return match run_case(&case) {
+            Ok(()) => {
+                let _ = writeln!(text, "all machine invariants hold");
+                Ok(crate::CliOutput { text, code: 0 })
+            }
+            Err(what) => Err(CliError {
+                message: format!("{text}invariant violated: {what}"),
+                code: crate::ExitCode::Violated.code(),
+            }),
+        };
+    }
+    let cases = p.get_u64("cases", 100)? as usize;
+    if cases == 0 {
+        return Err("--cases must be at least 1".into());
+    }
+    let seed = p.get_u64("seed", 1989)?;
+    let report = datasync_bench::chaos::soak(cases, seed);
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "chaos soak: {} cells from seed {seed} — {} invariant violations",
+        report.cases,
+        report.failures.len()
+    );
+    if report.failures.is_empty() {
+        let _ = writeln!(
+            text,
+            "every cell holds: mode bit-identity, dependence order, trace \
+             monotonicity, stat conservation"
+        );
+        return Ok(crate::CliOutput { text, code: 0 });
+    }
+    let dir = std::path::PathBuf::from(p.get("out-dir").unwrap_or("."));
+    for f in &report.failures {
+        let path = dir.join(format!("chaos_repro_{}_{}.json", report.seed, f.index));
+        std::fs::write(&path, f.minimal.to_json())
+            .map_err(|e| CliError::from(format!("cannot write '{}': {e}", path.display())))?;
+        let _ = writeln!(
+            text,
+            "cell {}: {}\n  minimal reproducer -> {} (datasync chaos --replay)",
+            f.index,
+            f.what,
+            path.display()
+        );
+    }
+    Ok(crate::CliOutput { text, code: crate::ExitCode::Violated.code() })
 }
 
 /// `datasync wavefront`.

@@ -29,11 +29,20 @@ USAGE:
                       [--recovery on|off|repair-only] [--fabric F|all]
                       [--json PATH]
       Sweep every scheme across every fault class and intensity; print
-      the degradation matrix (ok / recovered / DEGRADED / DEADLOCK /
-      TIMEOUT / VIOLATED). Recovery (the self-healing sync-bus ladder:
-      gap NACKs, retransmission, watchdog repair, fallback degradation)
-      defaults to on; --fabric all repeats the grid on every fabric;
-      --json also writes the matrix as JSON.
+      the degradation matrix (ok / recovered / reconfigured / DEGRADED /
+      DEADLOCK / TIMEOUT / VIOLATED). Recovery (the self-healing
+      sync-bus ladder: gap NACKs, retransmission, watchdog repair,
+      fail-stop reconfiguration, fallback degradation) defaults to on;
+      --fabric all repeats the grid on every fabric; --json also writes
+      the matrix as JSON.
+  datasync chaos      [--cases N] [--seed S] [--out-dir DIR]
+                      [--replay FILE]
+      Fuzz the machine with N seeded random fault plans across random
+      schemes, fabrics and sizes; check mode bit-identity, the
+      dependence oracle, trace monotonicity and stat conservation on
+      every cell. A violated cell is shrunk to a minimal reproducer and
+      written to DIR as replayable JSON; --replay re-runs one such file
+      byte-exact.
   datasync wavefront  [--loop L] [--n N] [--m M]
       Derive the wavefront (skewing) schedule of a depth-2 loop.
   datasync unroll     [--loop L] [--n N] [--factor U]
@@ -64,7 +73,8 @@ FABRICS (--fabric): dedicated (default, the paper's §6 sync bus) |
 EXIT CODES: 0 success | 2 bad arguments or config | 3 deadlock detected |
             4 simulation timed out | 5 completed but only via recovery |
             6 completed only on the degraded fallback scheme |
-            7 dependence order violated
+            7 dependence order violated |
+            8 completed but only by reconfiguring around a dead processor
 ";
 
 /// The `datasync` process exit codes — the tool's scripting contract,
@@ -88,11 +98,14 @@ pub enum ExitCode {
     Degraded,
     /// `7` — dependence order violated.
     Violated,
+    /// `8` — completed, but only by reconfiguring work off a
+    /// fail-stopped processor onto the survivor quorum.
+    Reconfigured,
 }
 
 impl ExitCode {
     /// Every documented exit code.
-    pub const ALL: [ExitCode; 7] = [
+    pub const ALL: [ExitCode; 8] = [
         ExitCode::Success,
         ExitCode::Usage,
         ExitCode::Deadlock,
@@ -100,6 +113,7 @@ impl ExitCode {
         ExitCode::Recovered,
         ExitCode::Degraded,
         ExitCode::Violated,
+        ExitCode::Reconfigured,
     ];
 
     /// The numeric process exit code.
@@ -112,6 +126,7 @@ impl ExitCode {
             ExitCode::Recovered => 5,
             ExitCode::Degraded => 6,
             ExitCode::Violated => 7,
+            ExitCode::Reconfigured => 8,
         }
     }
 
@@ -127,11 +142,12 @@ impl ExitCode {
         match self {
             ExitCode::Success => 0,
             ExitCode::Recovered => 1,
-            ExitCode::Degraded => 2,
-            ExitCode::Usage => 3,
-            ExitCode::Timeout => 4,
-            ExitCode::Deadlock => 5,
-            ExitCode::Violated => 6,
+            ExitCode::Reconfigured => 2,
+            ExitCode::Degraded => 3,
+            ExitCode::Usage => 4,
+            ExitCode::Timeout => 5,
+            ExitCode::Deadlock => 6,
+            ExitCode::Violated => 7,
         }
     }
 
@@ -228,6 +244,7 @@ pub fn run(argv: &[String]) -> Result<CliOutput, CliError> {
         "simulate" => commands::simulate(&parsed).map(ok),
         "compare" => commands::compare(&parsed).map(ok),
         "robustness" => commands::robustness(&parsed),
+        "chaos" => commands::chaos(&parsed),
         "wavefront" => commands::wavefront(&parsed).map(ok),
         "unroll" => commands::unroll(&parsed).map(ok),
         "reproduce" => commands::reproduce(&parsed).map(ok),
@@ -308,6 +325,7 @@ mod tests {
         assert!(out.contains("scheme"), "{out}");
         assert!(out.contains("chaos"), "{out}");
         assert!(out.contains("bcast-loss"), "{out}");
+        assert!(out.contains("proc-failstop"), "{out}");
         assert!(out.contains("process-oriented"), "{out}");
         assert!(out.contains("classified"), "{out}");
         assert!(out.contains("recovery on"), "{out}");
@@ -331,7 +349,7 @@ mod tests {
             "recovery-on matrix must have no wedged or violated cells: {}",
             on.text
         );
-        assert!(matches!(on.code, 0 | 5 | 6), "unexpected exit code {}", on.code);
+        assert!(matches!(on.code, 0 | 5 | 6 | 8), "unexpected exit code {}", on.code);
         assert!(on.text.contains("recovered("), "loss cells should heal: {}", on.text);
 
         // Recovery off: broadcast loss wedges dedicated-bus schemes, and
@@ -431,7 +449,7 @@ mod tests {
             assert_eq!(ExitCode::from_code(e.code()), Some(e), "{e:?}");
         }
         assert_eq!(ExitCode::from_code(1), None, "1 is deliberately unused");
-        assert_eq!(ExitCode::from_code(8), None);
+        assert_eq!(ExitCode::from_code(9), None);
         // …and exactly matches the codes documented in the README table
         // (`| \`N\` | meaning |` rows) and the USAGE text.
         let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
@@ -460,10 +478,11 @@ mod tests {
     #[test]
     fn worst_combinator_orders_outcomes() {
         use ExitCode::*;
-        // Documented precedence: 7 > 3 > 4 > 6 > 5 > 0.
+        // Documented precedence: 7 > 3 > 4 > 6 > 8 > 5 > 0.
         for (a, b, expect) in [
             (Success, Recovered, Recovered),
-            (Recovered, Degraded, Degraded),
+            (Recovered, Reconfigured, Reconfigured),
+            (Reconfigured, Degraded, Degraded),
             (Degraded, Timeout, Timeout),
             (Timeout, Deadlock, Deadlock),
             (Deadlock, Violated, Violated),
@@ -513,8 +532,9 @@ mod tests {
                 .unwrap();
         assert!(out.contains("fabric dedicated+shared+ideal"), "{out}");
         assert!(out.contains("ideal"), "{out}");
-        // 3x the single-fabric matrix: 5 schemes x 8 faults x 3 fabrics.
-        assert!(out.contains("480 runs classified"), "{out}");
+        // 3x the single-fabric matrix: 5 schemes x 9 fault rows x 4
+        // intensities x 3 fabrics.
+        assert!(out.contains("540 runs classified"), "{out}");
     }
 
     #[test]
@@ -523,9 +543,49 @@ mod tests {
         assert!(out.contains("USAGE"));
         assert!(out.contains("robustness"));
         assert!(out.contains("perf"));
+        assert!(out.contains("chaos"));
+        assert!(out.contains("--replay"));
         assert!(out.contains("EXIT CODES"));
         assert!(out.contains("--recovery"));
         assert!(out.contains("5 completed but only via recovery"));
+        assert!(out.contains("8 completed but only by reconfiguring"));
+    }
+
+    #[test]
+    fn chaos_soak_exits_clean() {
+        let out = run_full(&["chaos", "--cases", "10", "--seed", "1989"]).unwrap();
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.text.contains("10 cells"), "{}", out.text);
+        assert!(out.text.contains("0 invariant violations"), "{}", out.text);
+        assert!(out.text.contains("every cell holds"), "{}", out.text);
+    }
+
+    #[test]
+    fn chaos_is_deterministic() {
+        let a = run_full(&["chaos", "--cases", "8", "--seed", "3"]).unwrap();
+        let b = run_full(&["chaos", "--cases", "8", "--seed", "3"]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chaos_replays_a_reproducer_file() {
+        use datasync_bench::chaos::ChaosCase;
+        let dir = std::env::temp_dir().join("datasync_cli_chaos_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("case.json");
+        std::fs::write(&path, ChaosCase::generate(7, 4).to_json()).unwrap();
+        let out = run_full(&["chaos", "--replay", path.to_str().unwrap()]).unwrap();
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.text.contains("all machine invariants hold"), "{}", out.text);
+        assert!(run(&["chaos", "--replay", "/nonexistent/x.json"]).is_err());
+        std::fs::write(&path, "{}").unwrap();
+        assert_eq!(run(&["chaos", "--replay", path.to_str().unwrap()]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn chaos_rejects_bad_arguments() {
+        assert_eq!(run(&["chaos", "--cases", "0"]).unwrap_err().code, 2);
+        assert!(run(&["chaos", "--typo", "1"]).is_err());
     }
 
     #[test]

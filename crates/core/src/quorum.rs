@@ -1,0 +1,314 @@
+//! Survivor-quorum membership and fail-stop-tolerant barrier episodes.
+//!
+//! The simulator's rescue rung (see `datasync-sim`'s recovery ladder)
+//! models a machine that survives a fail-stopped processor by
+//! reconfiguring to the survivor quorum. This module is the real-thread
+//! counterpart: a [`Quorum`] tracks which processors are still live, and
+//! a [`QuorumBarrier`] completes episodes over the *live* members only —
+//! a retirement mid-episode releases waiters that would otherwise spin
+//! on a dead participant forever.
+//!
+//! The hot path (the per-episode spin) stays lock-free exactly as the
+//! paper's busy-wait argument requires: waiters spin on one monotone
+//! episode counter. Only arrival/retirement *bookkeeping* — a
+//! once-per-episode event, not a per-spin one — takes a mutex, which is
+//! what makes a concurrent retirement race-free against the last
+//! arrival.
+//!
+//! For the fixed-topology barriers ([`crate::ButterflyBarrier`],
+//! [`crate::DisseminationBarrier`]) and the counter pools
+//! ([`crate::ScPool`], [`crate::PcPool`]), reconfiguration is instead a
+//! *stand-in* operation: a rescue controller arrives or advances on
+//! behalf of the dead processor (`arrive_for`, `advance_for`,
+//! `release_for`) after re-running its work on a survivor.
+
+use crate::pad::CachePadded;
+use crate::wait::WaitStrategy;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Live-membership mask for up to `p` processors.
+///
+/// Retirement is one-way (fail-stop is permanent) and the quorum never
+/// empties: the last live member cannot be retired.
+#[derive(Debug)]
+pub struct Quorum {
+    words: Box<[AtomicU64]>,
+    p: usize,
+    /// Guarded by the same lock callers use for episode bookkeeping in
+    /// [`QuorumBarrier`]; standalone uses update it under `lock`.
+    lock: Mutex<usize>,
+}
+
+impl Quorum {
+    /// A quorum of `p` live processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "a quorum needs at least one processor");
+        let words = (0..p.div_ceil(64))
+            .map(|w| {
+                let bits = p - w * 64;
+                AtomicU64::new(if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 })
+            })
+            .collect();
+        Self { words, p, lock: Mutex::new(p) }
+    }
+
+    /// Configured processor count (live and retired).
+    pub fn processors(&self) -> usize {
+        self.p
+    }
+
+    /// Live member count.
+    pub fn live(&self) -> usize {
+        *self.lock.lock().unwrap()
+    }
+
+    /// `true` when `pid` has not been retired.
+    pub fn is_live(&self, pid: usize) -> bool {
+        assert!(pid < self.p, "pid {pid} out of range");
+        self.words[pid / 64].load(Ordering::Acquire) & (1 << (pid % 64)) != 0
+    }
+
+    /// Retires `pid` from the quorum. Returns `true` on the live→dead
+    /// transition, `false` if `pid` was already retired (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range or retiring it would empty the
+    /// quorum — a machine with no survivors has nothing to reconfigure
+    /// *to*, and the caller's run has simply failed.
+    pub fn retire(&self, pid: usize) -> bool {
+        assert!(pid < self.p, "pid {pid} out of range");
+        let mut live = self.lock.lock().unwrap();
+        let word = &self.words[pid / 64];
+        let bit = 1u64 << (pid % 64);
+        if word.load(Ordering::Acquire) & bit == 0 {
+            return false;
+        }
+        assert!(*live > 1, "cannot retire the last live processor");
+        word.fetch_and(!bit, Ordering::AcqRel);
+        *live -= 1;
+        true
+    }
+}
+
+/// A reusable barrier over the live members of a [`Quorum`].
+///
+/// Behaves like a centralized sense-reversing barrier while all members
+/// are live; [`QuorumBarrier::retire`] removes a fail-stopped member and
+/// — if every *survivor* had already arrived — completes the episode on
+/// its behalf, so survivors never wedge on a dead participant.
+///
+/// # Examples
+///
+/// ```
+/// use datasync_core::quorum::QuorumBarrier;
+///
+/// let b = QuorumBarrier::new(2);
+/// b.retire(1); // processor 1 fail-stopped before the episode
+/// b.wait(0); // completes over the survivor quorum {0}
+/// ```
+#[derive(Debug)]
+pub struct QuorumBarrier {
+    quorum: Quorum,
+    /// Arrivals in the current episode; guarded by `quorum.lock` so a
+    /// retirement and the final arrival cannot race past each other.
+    arrivals: Mutex<usize>,
+    /// Completed-episode count; the lock-free spin target.
+    sense: CachePadded<AtomicU64>,
+    /// Per-processor completed-episode counts (each written only by its
+    /// own thread).
+    episodes: Box<[CachePadded<AtomicU64>]>,
+    strategy: WaitStrategy,
+}
+
+impl QuorumBarrier {
+    /// A barrier for `p` processors, all initially live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn new(p: usize) -> Self {
+        Self::with_strategy(p, WaitStrategy::default())
+    }
+
+    /// [`QuorumBarrier::new`] with an explicit wait strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn with_strategy(p: usize, strategy: WaitStrategy) -> Self {
+        Self {
+            quorum: Quorum::new(p),
+            arrivals: Mutex::new(0),
+            sense: CachePadded::new(AtomicU64::new(0)),
+            episodes: (0..p).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            strategy,
+        }
+    }
+
+    /// The underlying membership mask.
+    pub fn quorum(&self) -> &Quorum {
+        &self.quorum
+    }
+
+    /// Blocks until every *live* member has arrived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` has been retired — a fail-stopped processor has
+    /// no business arriving at a barrier.
+    pub fn wait(&self, pid: usize) {
+        assert!(self.quorum.is_live(pid), "retired processor {pid} cannot arrive");
+        let episode = self.episodes[pid].load(Ordering::Relaxed) + 1;
+        self.episodes[pid].store(episode, Ordering::Relaxed);
+        let complete = {
+            let live = self.quorum.lock.lock().unwrap();
+            let mut arrivals = self.arrivals.lock().unwrap();
+            *arrivals += 1;
+            if *arrivals >= *live {
+                *arrivals = 0;
+                true
+            } else {
+                false
+            }
+        };
+        if complete {
+            self.sense.fetch_add(1, Ordering::AcqRel);
+        } else {
+            let sense = &*self.sense;
+            self.strategy.wait_until(|| sense.load(Ordering::Acquire) >= episode);
+        }
+    }
+
+    /// Retires a fail-stopped member and, if the survivors were all
+    /// already waiting on it, completes the episode they were wedged in.
+    /// Returns `true` on the live→dead transition (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range or is the last live member.
+    pub fn retire(&self, pid: usize) -> bool {
+        if !self.quorum.retire(pid) {
+            return false;
+        }
+        let complete = {
+            let live = self.quorum.lock.lock().unwrap();
+            let mut arrivals = self.arrivals.lock().unwrap();
+            if *arrivals > 0 && *arrivals >= *live {
+                *arrivals = 0;
+                true
+            } else {
+                false
+            }
+        };
+        if complete {
+            self.sense.fetch_add(1, Ordering::AcqRel);
+        }
+        true
+    }
+
+    /// Configured processor count (live and retired).
+    pub fn processors(&self) -> usize {
+        self.quorum.processors()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn quorum_tracks_membership() {
+        let q = Quorum::new(70); // spans two mask words
+        assert_eq!(q.processors(), 70);
+        assert_eq!(q.live(), 70);
+        assert!(q.is_live(0) && q.is_live(69));
+        assert!(q.retire(69));
+        assert!(!q.retire(69), "retirement is idempotent");
+        assert!(!q.is_live(69));
+        assert!(q.is_live(68));
+        assert_eq!(q.live(), 69);
+    }
+
+    #[test]
+    #[should_panic(expected = "last live processor")]
+    fn quorum_never_empties() {
+        let q = Quorum::new(2);
+        q.retire(0);
+        q.retire(1);
+    }
+
+    #[test]
+    fn quorum_barrier_full_membership_episodes() {
+        let b = QuorumBarrier::new(4);
+        let slots: Vec<AtomicUsize> = (0..30).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for pid in 0..4 {
+                let (b, slots) = (&b, &slots);
+                s.spawn(move || {
+                    for (e, slot) in slots.iter().enumerate() {
+                        slot.fetch_add(1, Ordering::SeqCst);
+                        b.wait(pid);
+                        assert_eq!(slot.load(Ordering::SeqCst), 4, "episode {e} leaked");
+                        b.wait(pid);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn quorum_barrier_runs_on_survivors_after_retirement() {
+        // Processor 3 fail-stops before any episode; the survivor
+        // quorum {0, 1, 2} must complete every episode without it.
+        let b = QuorumBarrier::new(4);
+        assert!(b.retire(3));
+        let slots: Vec<AtomicUsize> = (0..20).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for pid in 0..3 {
+                let (b, slots) = (&b, &slots);
+                s.spawn(move || {
+                    for (e, slot) in slots.iter().enumerate() {
+                        slot.fetch_add(1, Ordering::SeqCst);
+                        b.wait(pid);
+                        assert_eq!(slot.load(Ordering::SeqCst), 3, "episode {e} leaked");
+                        b.wait(pid);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn mid_episode_retirement_releases_wedged_survivors() {
+        // The survivor arrives, the other member dies without arriving:
+        // retire() must complete the episode on its behalf.
+        let b = QuorumBarrier::new(2);
+        std::thread::scope(|s| {
+            let b = &b;
+            s.spawn(move || b.wait(0));
+            // Let the survivor publish its arrival, then retire the
+            // dead member; the survivor must come back on its own.
+            while *b.arrivals.lock().unwrap() == 0 {
+                std::hint::spin_loop();
+            }
+            assert!(b.retire(1));
+        });
+        // The quorum is now {0}: further episodes are immediate.
+        b.wait(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot arrive")]
+    fn retired_member_cannot_arrive() {
+        let b = QuorumBarrier::new(2);
+        b.retire(1);
+        b.wait(1);
+    }
+}

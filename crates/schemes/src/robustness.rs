@@ -3,11 +3,12 @@
 //! The paper argues (Section 6) that its process-oriented scheme tolerates
 //! the realities of a broadcast synchronization bus. This module stresses
 //! that claim: it sweeps every scheme across every fault class at several
-//! intensities and classifies each run into exactly one of six outcomes —
+//! intensities and classifies each run into exactly one of seven outcomes —
 //! completes-and-validates, completes-after-self-healing ([`Outcome::
-//! Recovered`]), completes-on-the-conservative-fallback ([`Outcome::
+//! Recovered`]), completes-after-fail-stop-reconfiguration ([`Outcome::
+//! Reconfigured`]), completes-on-the-conservative-fallback ([`Outcome::
 //! Degraded`]), detected deadlock, timeout, or dependence-order violation.
-//! There is no silent seventh outcome: the simulator's progress watchdog
+//! There is no silent eighth outcome: the simulator's progress watchdog
 //! plus the `max_cycles` cap guarantee every run terminates, and trace
 //! validation runs on every completion — including recovered and degraded
 //! ones, so a healed run that reordered dependences would still be caught.
@@ -60,6 +61,21 @@ pub enum Outcome {
         watchdog_repairs: u64,
         /// Longest healed wait episode (cycles) — the recovery latency.
         heal_latency_max: u64,
+    },
+    /// The run finished and validated, but only because the machine
+    /// reconfigured around a fail-stopped processor: the rescue rung
+    /// reclaimed the dead processor's unretired work and reissued it to
+    /// the survivor quorum. One rung below [`Outcome::Recovered`] on the
+    /// ladder — the machine lost a participant, not just messages.
+    Reconfigured {
+        /// Total cycles.
+        makespan: u64,
+        /// Fail-stop rescue rungs that fired.
+        rescues: u64,
+        /// Unretired programs reclaimed from dead processors.
+        reclaimed: u64,
+        /// Processors that fail-stopped.
+        fail_stops: u64,
     },
     /// The primary scheme wedged beyond repair, but the conservative
     /// fallback scheme completed and validated the same loop: correctness
@@ -119,6 +135,9 @@ impl Outcome {
                     format!("recovered(a{actions},h{heal_latency_max})")
                 }
             }
+            Outcome::Reconfigured { rescues, reclaimed, fail_stops, .. } => {
+                format!("reconfigured(x{rescues},p{reclaimed},d{fail_stops})")
+            }
             Outcome::Degraded { fallback, .. } => format!("DEGRADED({fallback})"),
             Outcome::DeadlockDetected { .. } => "DEADLOCK".into(),
             Outcome::TimedOut { .. } => "TIMEOUT".into(),
@@ -132,12 +151,16 @@ impl Outcome {
     }
 
     /// True for every outcome that preserved correctness: a clean
-    /// completion, a self-healed one, or a fallback completion. These
-    /// never lose or reorder work; the others do (or never finish).
+    /// completion, a self-healed one, a survivor-quorum reconfiguration,
+    /// or a fallback completion. These never lose or reorder work; the
+    /// others do (or never finish).
     pub fn is_acceptable(&self) -> bool {
         matches!(
             self,
-            Outcome::Completed { .. } | Outcome::Recovered { .. } | Outcome::Degraded { .. }
+            Outcome::Completed { .. }
+                | Outcome::Recovered { .. }
+                | Outcome::Reconfigured { .. }
+                | Outcome::Degraded { .. }
         )
     }
 }
@@ -164,6 +187,14 @@ pub struct Matrix {
     pub intensities: Vec<u8>,
     /// Rows, grouped by scheme then fault class.
     pub rows: Vec<MatrixRow>,
+    /// The fault seed every cell's plan was built from.
+    pub seed: u64,
+    /// Loop iteration count the sweep ran.
+    pub iterations: i64,
+    /// Processor count of every machine in the sweep.
+    pub processors: usize,
+    /// Recovery policy label (`off` / `repair-only` / `full`).
+    pub recovery: String,
 }
 
 /// Runs one compiled loop on one config and classifies the result.
@@ -183,6 +214,17 @@ pub fn classify_run(compiled: &CompiledLoop, config: &MachineConfig) -> Outcome 
                 return Outcome::OrderViolation {
                     violations: problems.len(),
                     first: problems.into_iter().next().unwrap_or_default(),
+                };
+            }
+            // Participant loss outranks message loss: a run that needed a
+            // fail-stop rescue is Reconfigured even if gap NACKs or
+            // watchdog repairs also fired along the way.
+            if out.stats.recovery.reconfigured() {
+                return Outcome::Reconfigured {
+                    makespan: out.stats.makespan,
+                    rescues: out.stats.recovery.fail_stop_rescues,
+                    reclaimed: out.stats.recovery.programs_reclaimed,
+                    fail_stops: out.stats.faults.fail_stops,
                 };
             }
             if out.stats.recovery.actions() > 0 {
@@ -234,13 +276,13 @@ pub fn classify_with_fallback(
         return first;
     }
     match classify_run(fallback, fallback_config) {
-        Outcome::Completed { makespan, .. } | Outcome::Recovered { makespan, .. } => {
-            Outcome::Degraded {
-                fallback: fallback_name.to_string(),
-                makespan,
-                original: first.cell(),
-            }
-        }
+        Outcome::Completed { makespan, .. }
+        | Outcome::Recovered { makespan, .. }
+        | Outcome::Reconfigured { makespan, .. } => Outcome::Degraded {
+            fallback: fallback_name.to_string(),
+            makespan,
+            original: first.cell(),
+        },
         _ => first,
     }
 }
@@ -334,7 +376,16 @@ pub fn sweep_fabrics(
                 // The fallback runs on the same fabric as the primary:
                 // degradation swaps the scheme, not the hardware.
                 let fb = MachineConfig { sync_fabric: *kind, ..fallback_base.clone() };
-                jobs.push((loop_, config.clone().with_faults(plan), fb.with_faults(plan)));
+                // Raise (never lower) each cell's cycle cap to what its
+                // machine and fault magnitudes can legitimately need: a
+                // flat cap misreports big or heavily-faulted cells as
+                // TIMEOUT when they are merely slow.
+                let mut cell_cfg = config.clone().with_faults(plan);
+                let n_progs = loop_.workload.programs.len();
+                cell_cfg.max_cycles = cell_cfg.max_cycles.max(cell_cfg.scaled_max_cycles(n_progs));
+                let mut fb_cfg = fb.with_faults(plan);
+                fb_cfg.max_cycles = fb_cfg.max_cycles.max(fb_cfg.scaled_max_cycles(n_progs));
+                jobs.push((loop_, cell_cfg, fb_cfg));
             }
         }
     }
@@ -356,7 +407,14 @@ pub fn sweep_fabrics(
             });
         }
     }
-    Matrix { intensities: intensities.to_vec(), rows }
+    Matrix {
+        intensities: intensities.to_vec(),
+        rows,
+        seed,
+        iterations,
+        processors: base.processors,
+        recovery: base.recovery.to_string(),
+    }
 }
 
 /// Renders the matrix as an aligned text table. The fabric column only
@@ -423,14 +481,31 @@ pub fn render(matrix: &Matrix) -> String {
 impl Matrix {
     /// Renders the matrix as a machine-readable JSON document (hand-rolled
     /// like every serializer in this workspace — the repo is
-    /// dependency-free by policy): intensities, one record per row with
-    /// its cell labels, and the outcome tally.
+    /// dependency-free by policy).
+    ///
+    /// Schema version 2: the document carries everything needed to replay
+    /// any cell byte-exact from the JSON alone — the sweep parameters
+    /// (`seed`, `iterations`, `processors`, `recovery`, `intensities`)
+    /// plus, per row, the fault seed its plans were built from. A cell is
+    /// replayed as `FaultPlan::only(class_of(row.fault), row.seed,
+    /// intensity)` (or `FaultPlan::chaos` for the `chaos` row) on a
+    /// machine with the documented processor count and recovery policy.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
-        let mut out = String::from("{\n  \"intensities\": [");
+        let mut out = String::from("{\n  \"schema_version\": 2,\n");
+        let _ = write!(
+            out,
+            "  \"seed\": {},\n  \"iterations\": {},\n  \"processors\": {},\n  \
+             \"recovery\": \"{}\",\n",
+            self.seed,
+            self.iterations,
+            self.processors,
+            esc(&self.recovery)
+        );
+        out.push_str("  \"intensities\": [");
         for (i, pct) in self.intensities.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -441,10 +516,12 @@ impl Matrix {
         for (i, row) in self.rows.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"scheme\": \"{}\", \"fabric\": \"{}\", \"fault\": \"{}\", \"cells\": [",
+                "    {{\"scheme\": \"{}\", \"fabric\": \"{}\", \"fault\": \"{}\", \
+                 \"seed\": {}, \"cells\": [",
                 esc(&row.scheme),
                 esc(&row.fabric),
-                esc(&row.fault)
+                esc(&row.fault),
+                self.seed
             );
             for (j, o) in row.outcomes.iter().enumerate() {
                 if j > 0 {
@@ -462,9 +539,9 @@ impl Matrix {
         let t = Tally::of(self);
         let _ = write!(
             out,
-            "  ],\n  \"tally\": {{\"ok\": {}, \"recovered\": {}, \"degraded\": {}, \
-             \"deadlock\": {}, \"timeout\": {}, \"violated\": {}}}\n}}\n",
-            t.ok, t.recovered, t.degraded, t.deadlock, t.timeout, t.violated
+            "  ],\n  \"tally\": {{\"ok\": {}, \"recovered\": {}, \"reconfigured\": {}, \
+             \"degraded\": {}, \"deadlock\": {}, \"timeout\": {}, \"violated\": {}}}\n}}\n",
+            t.ok, t.recovered, t.reconfigured, t.degraded, t.deadlock, t.timeout, t.violated
         );
         out
     }
@@ -477,6 +554,9 @@ pub struct Tally {
     pub ok: usize,
     /// Runs the self-healing ladder carried to completion.
     pub recovered: usize,
+    /// Runs that survived a fail-stopped processor by reconfiguring to
+    /// the survivor quorum.
+    pub reconfigured: usize,
     /// Runs rescued by the conservative fallback scheme.
     pub degraded: usize,
     /// Detected deadlocks.
@@ -496,6 +576,7 @@ impl Tally {
                 match o {
                     Outcome::Completed { .. } => t.ok += 1,
                     Outcome::Recovered { .. } => t.recovered += 1,
+                    Outcome::Reconfigured { .. } => t.reconfigured += 1,
                     Outcome::Degraded { .. } => t.degraded += 1,
                     Outcome::DeadlockDetected { .. } => t.deadlock += 1,
                     Outcome::TimedOut { .. } => t.timeout += 1,
@@ -508,12 +589,19 @@ impl Tally {
 
     /// Total classified runs.
     pub fn total(&self) -> usize {
-        self.ok + self.recovered + self.degraded + self.deadlock + self.timeout + self.violated
+        self.ok
+            + self.recovered
+            + self.reconfigured
+            + self.degraded
+            + self.deadlock
+            + self.timeout
+            + self.violated
     }
 
-    /// Runs that preserved correctness (ok + recovered + degraded).
+    /// Runs that preserved correctness (ok + recovered + reconfigured +
+    /// degraded).
     pub fn acceptable(&self) -> usize {
-        self.ok + self.recovered + self.degraded
+        self.ok + self.recovered + self.reconfigured + self.degraded
     }
 }
 
@@ -531,11 +619,11 @@ mod tests {
     #[test]
     fn sweep_classifies_every_run() {
         let m = sweep(12, &base(), &[0, 40], 99);
-        // 5 schemes (4 procs = power of two, barrier included) x 8 fault
-        // rows (7 classes + chaos) x 2 intensities.
-        assert_eq!(m.rows.len(), 5 * 8);
+        // 5 schemes (4 procs = power of two, barrier included) x 9 fault
+        // rows (8 classes + chaos) x 2 intensities.
+        assert_eq!(m.rows.len(), 5 * 9);
         let t = Tally::of(&m);
-        assert_eq!(t.total(), 5 * 8 * 2, "no run may go unclassified");
+        assert_eq!(t.total(), 5 * 9 * 2, "no run may go unclassified");
     }
 
     #[test]
@@ -561,15 +649,23 @@ mod tests {
         let m = sweep(10, &base(), &[50], 3);
         let t = Tally::of(&m);
         assert_eq!(t.violated, 0, "faults must never reorder dependences");
-        assert_eq!(t.recovered + t.degraded, 0, "recovery is off by default");
+        assert_eq!(t.recovered + t.reconfigured + t.degraded, 0, "recovery is off by default");
+        let unbounded: Vec<&str> =
+            FaultClass::ALL.iter().filter(|c| !c.bounded()).map(|c| c.label()).collect();
         for row in &m.rows {
             let wedged = row.outcomes.iter().filter(|o| !o.is_ok()).count();
-            if row.fault == FaultClass::BroadcastLoss.label() {
-                continue; // unbounded by design; split out below
+            if unbounded.contains(&row.fault.as_str()) {
+                continue; // loss and fail-stop are unbounded by design; split out below
             }
             assert_eq!(wedged, 0, "{} under bounded {} must survive", row.scheme, row.fault);
         }
         assert!(t.deadlock > 0, "50% broadcast loss must wedge at least one dedicated-bus scheme");
+        let failstop_wedged = m
+            .rows
+            .iter()
+            .filter(|r| r.fault == FaultClass::ProcFailStop.label())
+            .any(|r| r.outcomes.iter().any(|o| !o.is_acceptable()));
+        assert!(failstop_wedged, "a fail-stopped processor must wedge with recovery off");
     }
 
     #[test]
@@ -585,15 +681,48 @@ mod tests {
         assert_eq!(t.deadlock, 0, "full recovery must leave no deadlock cells");
         assert_eq!(t.timeout, 0, "full recovery must leave no timeout cells");
         assert!(t.recovered > 0, "loss cells must show healed runs");
+        assert!(t.reconfigured > 0, "fail-stop cells must show survivor-quorum reconfigurations");
         assert_eq!(t.acceptable(), t.total());
+    }
+
+    #[test]
+    fn failstop_cells_reconfigure_under_full_recovery() {
+        // The before/after story for participant loss: every fail-stop
+        // cell that wedges with recovery off finishes with the full
+        // ladder armed — and the rescued completions re-validated their
+        // dependence obligations inside classify_run like any other.
+        let off = sweep(10, &base(), &[50, 100], 3);
+        let wedged_off = off
+            .rows
+            .iter()
+            .filter(|r| r.fault == FaultClass::ProcFailStop.label())
+            .flat_map(|r| &r.outcomes)
+            .filter(|o| !o.is_acceptable())
+            .count();
+        assert!(wedged_off > 0, "fail-stop at 50/100% must wedge some scheme with recovery off");
+        let cfg = MachineConfig { recovery: RecoveryPolicy::Full, ..base() };
+        let on = sweep(10, &cfg, &[50, 100], 3);
+        for row in on.rows.iter().filter(|r| r.fault == FaultClass::ProcFailStop.label()) {
+            for o in &row.outcomes {
+                assert!(
+                    o.is_acceptable(),
+                    "{} fail-stop cell must survive under full recovery, got {}",
+                    row.scheme,
+                    o.cell()
+                );
+            }
+        }
+        let t = Tally::of(&on);
+        assert!(t.reconfigured > 0, "rescued cells must classify as reconfigured");
+        assert_eq!(t.violated, 0, "reconfigured runs must validate dependence order");
     }
 
     #[test]
     fn fabric_axis_repeats_the_grid_and_shields_the_ideal_backend() {
         use datasync_sim::FabricKind;
         let m = sweep_fabrics(8, &base(), &[0, 50], 3, &FabricKind::ALL);
-        // 3 fabrics x 5 schemes x 8 fault rows.
-        assert_eq!(m.rows.len(), 3 * 5 * 8);
+        // 3 fabrics x 5 schemes x 9 fault rows.
+        assert_eq!(m.rows.len(), 3 * 5 * 9);
         let text = render(&m);
         assert!(text.contains("fabric"), "multi-fabric render must show the axis:\n{text}");
         for kind in FabricKind::ALL {
@@ -719,8 +848,63 @@ mod tests {
         let json = m.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"intensities\": [0, 50]"));
         assert!(json.contains("\"tally\""));
+        assert!(json.contains("\"reconfigured\""));
         assert_eq!(json.matches("\"scheme\"").count(), m.rows.len());
+        // Every row carries its fault seed for standalone replay.
+        assert_eq!(json.matches("\"seed\": 1").count(), m.rows.len() + 1);
+    }
+
+    /// Pulls `"key": value` (unquoted) out of a flat JSON document.
+    fn json_u64(json: &str, key: &str) -> u64 {
+        let pat = format!("\"{key}\": ");
+        let at = json.find(&pat).unwrap_or_else(|| panic!("{key} missing")) + pat.len();
+        json[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn matrix_json_round_trips_byte_exact() {
+        // Satellite contract: the JSON alone carries enough to replay the
+        // whole sweep — re-running from nothing but fields extracted out
+        // of the document reproduces the document bit for bit.
+        let cfg = MachineConfig { recovery: RecoveryPolicy::Full, ..base() };
+        let m = sweep(8, &cfg, &[0, 75], 42);
+        let json = m.to_json();
+        let seed = json_u64(&json, "seed");
+        let iterations = json_u64(&json, "iterations") as i64;
+        let processors = json_u64(&json, "processors") as usize;
+        let rec_at = json.find("\"recovery\": \"").unwrap() + "\"recovery\": \"".len();
+        let recovery = &json[rec_at..rec_at + json[rec_at..].find('"').unwrap()];
+        let ints_at = json.find("\"intensities\": [").unwrap() + "\"intensities\": [".len();
+        let intensities: Vec<u8> = json[ints_at..ints_at + json[ints_at..].find(']').unwrap()]
+            .split(", ")
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let mut replay_base = MachineConfig::with_processors(processors);
+        replay_base.recovery = RecoveryPolicy::parse(recovery).expect("recovery label");
+        let replayed = sweep(iterations, &replay_base, &intensities, seed);
+        assert_eq!(replayed.to_json(), json, "replay from JSON fields must be byte-exact");
+    }
+
+    #[test]
+    fn scaled_cap_prevents_flat_cap_timeout_false_positives() {
+        // Regression at the old false-positive boundary: an explicit cap
+        // far below any legitimate makespan used to misreport slow
+        // bounded-fault cells as TIMEOUT. The sweep now raises each
+        // cell's cap to what its machine and fault magnitudes need, so
+        // the only failures left are genuine (detected) wedges.
+        let mut c = MachineConfig::with_processors(4);
+        c.max_cycles = 10_000;
+        let m = sweep(24, &c, &[75], 11);
+        let t = Tally::of(&m);
+        assert_eq!(t.timeout, 0, "a live cell must never be misclassified as TIMEOUT");
+        assert_eq!(t.violated, 0);
     }
 }

@@ -220,6 +220,45 @@ fn event_streams_match_across_modes_and_recording_is_inert() {
     }
 }
 
+/// Fail-stop reconfiguration — the rescue rung reclaiming a dead
+/// processor's unretired work and reissuing it to the survivor quorum —
+/// must preserve bit-identical equivalence between the fast-forward and
+/// reference kernels, for every scheme on every fabric, at both the
+/// one-victim and two-victim intensities.
+#[test]
+fn failstop_reconfiguration_is_identical_across_modes() {
+    let nest = fig21_loop(12);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let base = MachineConfig {
+        max_cycles: 3_000_000,
+        recovery: RecoveryPolicy::Full,
+        ..MachineConfig::with_processors(4)
+    };
+    for kind in FabricKind::ALL {
+        for scheme in roster(4, 8) {
+            let compiled = scheme.compile(&nest, &graph, &space);
+            let clean = MachineConfig {
+                sync_transport: scheme.natural_transport(),
+                sync_fabric: kind,
+                ..base.clone()
+            };
+            for pct in [50u32, 100] {
+                let mut config =
+                    clean.clone().with_faults(FaultPlan::only(FaultClass::ProcFailStop, 3, pct));
+                config.max_cycles = config
+                    .max_cycles
+                    .max(config.scaled_max_cycles(compiled.workload.programs.len()));
+                assert_equivalent(
+                    &compiled,
+                    &config,
+                    &format!("{} {kind} fail-stop {pct}%", scheme.name()),
+                );
+            }
+        }
+    }
+}
+
 /// Tracing off, two runs of the same compiled loop under the same seed
 /// are byte-identical — for every scheme (satellite 4's determinism
 /// guarantee, the foundation under the robustness matrix).

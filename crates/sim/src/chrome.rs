@@ -164,6 +164,33 @@ pub fn render(trace: &Trace, events: &EventRing, procs: usize) -> String {
                     c,
                 );
             }
+            SimEventKind::WorkReclaimed { from, program, resume } => {
+                w.instant(
+                    &format!("reclaim #{program} (resume ip {resume})"),
+                    "recovery",
+                    PID_PROCS,
+                    from as u32,
+                    c,
+                );
+            }
+            SimEventKind::WorkReissued { to, program, resume } => {
+                w.instant(
+                    &format!("reissue #{program} (resume ip {resume})"),
+                    "recovery",
+                    PID_PROCS,
+                    to as u32,
+                    c,
+                );
+            }
+            SimEventKind::WatchdogRescue { rung, reclaimed } => {
+                w.instant(
+                    &format!("RESCUE #{rung} (reclaimed {reclaimed} programs)"),
+                    "recovery",
+                    PID_BUSES,
+                    TID_WATCHDOG,
+                    c,
+                );
+            }
         }
     }
 

@@ -212,7 +212,42 @@ impl MachineConfig {
         if self.faults.data_jitter_pct > 0 && self.faults.data_jitter_max == 0 {
             return Err("data jitter enabled with a zero-cycle cap".into());
         }
+        if self.faults.fail_stop_procs > 0 && self.faults.fail_stop_window == 0 {
+            return Err("fail-stop enabled with a zero-cycle kill window".into());
+        }
         Ok(())
+    }
+
+    /// A cycle budget scaled to the machine and workload at hand, for
+    /// harnesses that would otherwise use one flat `max_cycles` across
+    /// every cell of a sweep. A flat cap misreports big or
+    /// heavily-faulted configurations as TIMEOUT when they are merely
+    /// slow: the worst legitimate makespan grows with the iteration
+    /// count (a fully serialized Doacross runs its iterations back to
+    /// back), with every latency on the critical path, and with the
+    /// fault magnitudes stretching each of those latencies. Callers
+    /// should take `max_cycles.max(scaled_max_cycles(n))` so an explicit
+    /// user cap is never *lowered*, only raised to stay achievable.
+    pub fn scaled_max_cycles(&self, n_programs: usize) -> u64 {
+        let f = &self.faults;
+        let latency_sum = u64::from(
+            self.data_bus_latency
+                + self.memory_latency
+                + self.sync_bus_latency
+                + self.spin_retry
+                + self.dispatch_latency
+                + f.broadcast_delay_max
+                + f.data_jitter_max
+                + f.stall_max
+                + f.stale_window_max,
+        );
+        // Worst-case serialized iteration cost: a handful of
+        // instructions each eating the full latency path, plus slack for
+        // recovery rungs; the per-machine term covers dispatch and
+        // quiescence overheads that grow with P.
+        let per_iter = 512 + 32 * latency_sum;
+        let p = self.processors as u64;
+        1_000_000 + (n_programs as u64 + p) * per_iter
     }
 }
 
@@ -259,6 +294,20 @@ mod tests {
         assert!(MachineConfig::default().with_faults(bad).validate().is_err());
         let ok = crate::faults::FaultPlan::chaos(1, 30);
         assert!(MachineConfig::default().with_faults(ok).validate().is_ok());
+        let bad = FaultPlan { fail_stop_procs: 1, fail_stop_window: 0, ..FaultPlan::none() };
+        assert!(MachineConfig::default().with_faults(bad).validate().is_err());
+        let ok = crate::faults::FaultPlan::only(crate::faults::FaultClass::ProcFailStop, 1, 50);
+        assert!(MachineConfig::default().with_faults(ok).validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_budget_grows_with_workload_machine_and_fault_magnitudes() {
+        let base = MachineConfig::default();
+        assert!(base.scaled_max_cycles(100) > base.scaled_max_cycles(10));
+        let big = MachineConfig::with_processors(64);
+        assert!(big.scaled_max_cycles(10) > base.scaled_max_cycles(10));
+        let shaken = base.clone().with_faults(crate::faults::FaultPlan::chaos(1, 100));
+        assert!(shaken.scaled_max_cycles(10) > base.scaled_max_cycles(10));
     }
 
     #[test]

@@ -148,6 +148,37 @@ pub enum SimEventKind {
         /// Image cells brought up to the global value.
         healed: u64,
     },
+    /// An unretired program was reclaimed from a fail-stopped processor
+    /// into the rescue pool.
+    WorkReclaimed {
+        /// The dead processor the work was pulled off.
+        from: usize,
+        /// Program index reclaimed.
+        program: usize,
+        /// Instruction index the survivor will resume from (nothing
+        /// before it re-executes; nothing at or after it has retired).
+        resume: usize,
+    },
+    /// Rescued work was handed directly to a preempted survivor (the
+    /// swap path: no survivor was idle, so a spinning one suspended its
+    /// own program to run the lowest rescued iteration).
+    WorkReissued {
+        /// The survivor now running the rescued program.
+        to: usize,
+        /// Program index reissued.
+        program: usize,
+        /// Instruction index execution resumes from.
+        resume: usize,
+    },
+    /// The watchdog took a rescue rung instead of firing: dead
+    /// processors' unretired work was reclaimed and the machine
+    /// reconfigured to the survivor quorum.
+    WatchdogRescue {
+        /// Rescue rungs taken so far this run (1-based).
+        rung: u32,
+        /// Programs reclaimed on this rung.
+        reclaimed: u64,
+    },
 }
 
 /// One recorded event.

@@ -30,18 +30,26 @@
 //!   variable but a processor's local-image update is *permanently*
 //!   lost (a lossy sync-bus tap; the paper's §6 image coherence
 //!   silently broken for one listener).
+//! * **ProcFailStop** — at a planned cycle a processor permanently
+//!   stops: it never dispatches, retires or answers the sync bus again.
+//!   Its unretired iterations are stranded until the recovery ladder's
+//!   rescue rung reclaims and reissues them to survivors.
 //!
-//! All classes except `BroadcastLoss` are *bounded*: delivery, image
-//! freshness and stalls have hard caps, which is what makes the outcome
-//! classification of `datasync_schemes::robustness` total — a faulted
-//! run completes, is detected as deadlocked/livelocked, times out at
-//! `max_cycles`, or produces an order violation that the trace validator
-//! reports. There is no silent fifth outcome. `BroadcastLoss` is the
-//! deliberately *unbounded* class: a lost image update never arrives on
-//! its own, so a local-image spinner wedges — promptly detected (and
-//! proven) with recovery off, and healed by the gap-detection / NACK /
+//! All classes except `BroadcastLoss` and `ProcFailStop` are *bounded*:
+//! delivery, image freshness and stalls have hard caps, which is what
+//! makes the outcome classification of `datasync_schemes::robustness`
+//! total — a faulted run completes, is detected as
+//! deadlocked/livelocked, times out at `max_cycles`, or produces an
+//! order violation that the trace validator reports. There is no silent
+//! fifth outcome. The *unbounded* classes never resolve on their own:
+//! a lost image update (`BroadcastLoss`) never arrives, so a
+//! local-image spinner wedges — promptly detected (and proven) with
+//! recovery off, and healed by the gap-detection / NACK /
 //! watchdog-repair ladder with [`crate::recovery::RecoveryPolicy`]
-//! enabled.
+//! enabled; a fail-stopped processor (`ProcFailStop`) never retires its
+//! claimed work, wedging every consumer of its values — detected with
+//! recovery off, survived via work reclamation (the rescue rung) with
+//! recovery on.
 
 /// The injectable fault classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,14 +67,20 @@ pub enum FaultClass {
     /// Extra data-bus cycles per transaction.
     DataJitter,
     /// Permanent loss of one processor's local-image update (the global
-    /// write still performs). The only unbounded class: without recovery
-    /// a local-image waiter wedges and is detected as a deadlock.
+    /// write still performs). Unbounded: without recovery a local-image
+    /// waiter wedges and is detected as a deadlock.
     BroadcastLoss,
+    /// Permanent processor death at a planned cycle: the victim stops
+    /// dispatching, retiring and answering the sync bus forever.
+    /// Unbounded: without recovery its unretired work strands every
+    /// consumer, detected as a deadlock; with recovery the rescue rung
+    /// reclaims the work and reissues it to survivors.
+    ProcFailStop,
 }
 
 impl FaultClass {
     /// All classes, in matrix-column order.
-    pub const ALL: [FaultClass; 7] = [
+    pub const ALL: [FaultClass; 8] = [
         FaultClass::BroadcastDelay,
         FaultClass::BroadcastReorder,
         FaultClass::BroadcastDrop,
@@ -74,6 +88,7 @@ impl FaultClass {
         FaultClass::ProcStall,
         FaultClass::DataJitter,
         FaultClass::BroadcastLoss,
+        FaultClass::ProcFailStop,
     ];
 
     /// Short column label.
@@ -86,14 +101,16 @@ impl FaultClass {
             FaultClass::ProcStall => "proc-stall",
             FaultClass::DataJitter => "data-jitter",
             FaultClass::BroadcastLoss => "bcast-loss",
+            FaultClass::ProcFailStop => "proc-failstop",
         }
     }
 
     /// `true` when injected faults are guaranteed to resolve on their
-    /// own (capped redeliveries, bounded windows). `BroadcastLoss` is
-    /// the one class where they are not.
+    /// own (capped redeliveries, bounded windows). `BroadcastLoss`
+    /// (a wakeup lost forever) and `ProcFailStop` (a participant lost
+    /// forever) are the classes where they are not.
     pub fn bounded(self) -> bool {
-        !matches!(self, FaultClass::BroadcastLoss)
+        !matches!(self, FaultClass::BroadcastLoss | FaultClass::ProcFailStop)
     }
 }
 
@@ -138,6 +155,15 @@ pub struct FaultPlan {
     /// local image is lost forever (drawn independently per processor;
     /// the global variable still updates).
     pub broadcast_loss_pct: u32,
+    /// Processors that permanently fail-stop during the run (0 = none).
+    /// Victims and their planned kill cycles are drawn from the fault
+    /// stream at machine construction; at least one processor always
+    /// survives (the count is clamped to `P - 1`).
+    pub fail_stop_procs: u32,
+    /// Upper bound on the planned kill cycle of each fail-stop victim
+    /// (kills land in `1..=fail_stop_window`; must be >= 1 when
+    /// `fail_stop_procs > 0`).
+    pub fail_stop_window: u32,
 }
 
 impl Default for FaultPlan {
@@ -163,6 +189,8 @@ impl FaultPlan {
             data_jitter_pct: 0,
             data_jitter_max: 0,
             broadcast_loss_pct: 0,
+            fail_stop_procs: 0,
+            fail_stop_window: 0,
         }
     }
 
@@ -175,6 +203,7 @@ impl FaultPlan {
             || self.stall_mean_interval > 0
             || self.data_jitter_pct > 0
             || self.broadcast_loss_pct > 0
+            || self.fail_stop_procs > 0
     }
 
     /// A plan that exercises exactly one class at the given intensity
@@ -213,15 +242,25 @@ impl FaultPlan {
             FaultClass::BroadcastLoss => {
                 plan.broadcast_loss_pct = pct;
             }
+            FaultClass::ProcFailStop => {
+                if pct > 0 {
+                    // One victim; a second at high intensity. Kills land
+                    // early (more intensity = tighter window) so the dead
+                    // processor strands as much unretired work as possible.
+                    plan.fail_stop_procs = if pct >= 75 { 2 } else { 1 };
+                    plan.fail_stop_window = 64 + 16 * (100 - pct);
+                }
+            }
         }
         plan
     }
 
     /// A plan with every *bounded* class active at the same intensity —
-    /// the "chaos mode" used for worst-case shaking. `BroadcastLoss` is
-    /// excluded: chaos keeps the eventual-delivery guarantee so that
+    /// the "chaos mode" used for worst-case shaking. The unbounded
+    /// classes (`BroadcastLoss`, `ProcFailStop`) are excluded: chaos
+    /// keeps the eventual-delivery and full-quorum guarantees so that
     /// chaos runs remain classifiable without recovery; permanent loss
-    /// is swept as its own matrix row.
+    /// and fail-stop are swept as their own matrix rows.
     pub fn chaos(seed: u64, intensity: u32) -> Self {
         let mut plan = Self::only(FaultClass::BroadcastDelay, seed, intensity);
         for class in FaultClass::ALL[1..].iter().filter(|c| c.bounded()) {
@@ -240,6 +279,8 @@ impl FaultPlan {
                 data_jitter_pct: plan.data_jitter_pct.max(single.data_jitter_pct),
                 data_jitter_max: plan.data_jitter_max.max(single.data_jitter_max),
                 broadcast_loss_pct: 0,
+                fail_stop_procs: 0,
+                fail_stop_window: 0,
             };
         }
         plan
@@ -287,6 +328,8 @@ pub struct FaultCounts {
     /// Local-image updates permanently lost (`BroadcastLoss`): the
     /// global write performed but this processor's image never saw it.
     pub lost_image_updates: u64,
+    /// Processors that permanently fail-stopped (`ProcFailStop`).
+    pub fail_stops: u64,
 }
 
 impl FaultCounts {
@@ -299,6 +342,7 @@ impl FaultCounts {
             + self.stalls
             + self.jittered_transactions
             + self.lost_image_updates
+            + self.fail_stops
     }
 }
 
@@ -341,14 +385,30 @@ mod tests {
     }
 
     #[test]
-    fn loss_is_the_only_unbounded_class() {
+    fn loss_and_failstop_are_the_unbounded_classes() {
         let unbounded: Vec<FaultClass> =
             FaultClass::ALL.into_iter().filter(|c| !c.bounded()).collect();
-        assert_eq!(unbounded, vec![FaultClass::BroadcastLoss]);
+        assert_eq!(unbounded, vec![FaultClass::BroadcastLoss, FaultClass::ProcFailStop]);
         let p = FaultPlan::only(FaultClass::BroadcastLoss, 3, 60);
         assert_eq!(p.broadcast_loss_pct, 60);
         assert!(p.is_active());
         assert_eq!(p.broadcast_drop_pct, 0);
+    }
+
+    #[test]
+    fn failstop_plans_are_windowed_and_leave_a_survivor_count() {
+        let p = FaultPlan::only(FaultClass::ProcFailStop, 5, 50);
+        assert_eq!(p.fail_stop_procs, 1);
+        assert!(p.fail_stop_window >= 1, "kills need a nonempty window");
+        assert!(p.is_active());
+        let hard = FaultPlan::only(FaultClass::ProcFailStop, 5, 100);
+        assert_eq!(hard.fail_stop_procs, 2, "high intensity kills two");
+        assert!(
+            hard.fail_stop_window <= p.fail_stop_window,
+            "harder plans kill earlier, stranding more work"
+        );
+        let chaos = FaultPlan::chaos(5, 80);
+        assert_eq!(chaos.fail_stop_procs, 0, "chaos keeps a full quorum");
     }
 
     #[test]

@@ -8,7 +8,8 @@ use crate::events::SimEventKind;
 use std::collections::VecDeque;
 
 /// Iteration dispatch state: the self-scheduling cursor plus the static
-/// per-processor work queues.
+/// per-processor work queues, plus the rescue pool of work reclaimed
+/// from fail-stopped processors.
 #[derive(Debug)]
 pub(crate) struct Dispatcher {
     /// Next unclaimed program under [`DispatchMode::Dynamic`].
@@ -16,6 +17,22 @@ pub(crate) struct Dispatcher {
     /// Per-processor pending program queues under
     /// [`DispatchMode::Static`] (empty under dynamic dispatch).
     pub(crate) queues: Vec<VecDeque<usize>>,
+    /// Work reclaimed from dead processors: `(program, resume_ip)`
+    /// pairs awaiting reissue. Claimed by any live processor with
+    /// priority over fresh work (lowest program index first — the
+    /// lowest unfinished iteration's producers have all finished, so
+    /// reissuing it lowest-first guarantees forward progress).
+    pub(crate) rescue: VecDeque<(usize, usize)>,
+    /// Static-chain predecessor of each program. Under static dispatch
+    /// a queue's programs run in order on their home processor, and
+    /// compilers lean on that order as an implicit dependence: a
+    /// phase-`k+1` program carries no leading wait — its legality rests
+    /// on its queue predecessor, which *ends* with the phase barrier,
+    /// having completed. Any path that issues work out of queue order
+    /// (rescue reissue, preemptive swaps) must honor the same chain.
+    pub(crate) chain_pred: Vec<Option<usize>>,
+    /// Programs that have run to completion.
+    pub(crate) done: Vec<bool>,
 }
 
 impl Dispatcher {
@@ -31,7 +48,28 @@ impl Dispatcher {
                 qs
             }
         };
-        Self { next_dynamic: 0, queues }
+        let mut chain_pred = vec![None; workload.programs.len()];
+        for q in &queues {
+            for pair in q.iter().collect::<Vec<_>>().windows(2) {
+                chain_pred[*pair[1]] = Some(*pair[0]);
+            }
+        }
+        let done = vec![false; workload.programs.len()];
+        Self { next_dynamic: 0, queues, rescue: VecDeque::new(), chain_pred, done }
+    }
+
+    /// Whether a never-started program may be issued now: its static
+    /// chain predecessor (if any) must have completed.
+    pub(crate) fn startable(&self, prog: usize) -> bool {
+        self.chain_pred[prog].is_none_or(|pred| self.done[pred])
+    }
+
+    /// Whether a rescue-pool entry may be (re)issued right now.
+    /// Suspended work (`resume > 0`) was already legally started and
+    /// resumes freely; never-started work waits for its chain
+    /// predecessor like any other fresh issue.
+    pub(crate) fn claimable(&self, prog: usize, resume: usize) -> bool {
+        resume > 0 || self.startable(prog)
     }
 
     /// Whether the self-scheduling cursor still has unclaimed programs.
@@ -42,14 +80,35 @@ impl Dispatcher {
 
     /// Whether processor `p` could claim a program right now.
     pub(crate) fn can_claim(&self, p: usize, workload: &Workload) -> bool {
+        if self.rescue.iter().any(|&(prog, resume)| self.claimable(prog, resume)) {
+            return true;
+        }
         match workload.dispatch {
             DispatchMode::Dynamic => self.dynamic_left(workload),
-            DispatchMode::Static(_) => !self.queues[p].is_empty(),
+            DispatchMode::Static(_) => self.queues[p].front().is_some_and(|&h| self.startable(h)),
         }
     }
 
-    /// Claims the next program for processor `p`, if any.
-    pub(crate) fn claim(&mut self, p: usize, workload: &Workload) -> Option<usize> {
+    /// Pops the claimable rescued `(program, resume_ip)` with the
+    /// lowest program index — the reissue order that guarantees
+    /// forward progress.
+    pub(crate) fn claim_rescue(&mut self) -> Option<(usize, usize)> {
+        let pos = self
+            .rescue
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(prog, resume))| self.claimable(prog, resume))
+            .min_by_key(|(_, (prog, _))| *prog)
+            .map(|(i, _)| i)?;
+        self.rescue.remove(pos)
+    }
+
+    /// Claims the next `(program, resume_ip)` for processor `p`, if any.
+    /// Rescued work is reissued before fresh work is handed out.
+    pub(crate) fn claim(&mut self, p: usize, workload: &Workload) -> Option<(usize, usize)> {
+        if let Some(rescued) = self.claim_rescue() {
+            return Some(rescued);
+        }
         match workload.dispatch {
             DispatchMode::Dynamic => {
                 if self.next_dynamic >= workload.programs.len() {
@@ -57,22 +116,28 @@ impl Dispatcher {
                 }
                 let ix = self.next_dynamic;
                 self.next_dynamic += 1;
-                Some(ix)
+                Some((ix, 0))
             }
-            DispatchMode::Static(_) => self.queues[p].pop_front(),
+            DispatchMode::Static(_) => {
+                let head = *self.queues[p].front()?;
+                if !self.startable(head) {
+                    return None;
+                }
+                self.queues[p].pop_front().map(|ix| (ix, 0))
+            }
         }
     }
 
-    /// Whether every static queue is empty.
+    /// Whether every static queue and the rescue pool are empty.
     pub(crate) fn all_drained(&self) -> bool {
-        self.queues.iter().all(VecDeque::is_empty)
+        self.rescue.is_empty() && self.queues.iter().all(VecDeque::is_empty)
     }
 }
 
 impl<'a> Machine<'a> {
     /// Returns `true` if a program was assigned to processor `p`.
     pub(crate) fn try_dispatch(&mut self, p: usize) -> bool {
-        let Some(next) = self.disp.claim(p, self.workload) else {
+        let Some((next, resume)) = self.disp.claim(p, self.workload) else {
             return false;
         };
         self.stats.dispatched += 1;
@@ -80,7 +145,8 @@ impl<'a> Machine<'a> {
         self.events
             .record(self.cycle, SimEventKind::Dispatch { proc: p, program: next });
         self.procs[p].current = Some(next);
-        self.procs[p].ip = 0;
+        self.procs[p].ip = resume;
+        self.procs[p].resume_ip = resume;
         let lat = self.config.dispatch_latency;
         self.procs[p].state =
             if lat == 0 { ProcState::Ready } else { ProcState::Computing { remaining: lat } };
@@ -102,22 +168,32 @@ mod tests {
         let w = Workload::dynamic(programs(3));
         let mut d = Dispatcher::new(&w, 2);
         assert!(d.dynamic_left(&w));
-        assert_eq!(d.claim(1, &w), Some(0));
-        assert_eq!(d.claim(0, &w), Some(1));
-        assert_eq!(d.claim(0, &w), Some(2));
+        assert_eq!(d.claim(1, &w), Some((0, 0)));
+        assert_eq!(d.claim(0, &w), Some((1, 0)));
+        assert_eq!(d.claim(0, &w), Some((2, 0)));
         assert_eq!(d.claim(1, &w), None);
         assert!(!d.dynamic_left(&w));
+    }
+
+    /// Pops a claim and marks the program retired, the way the machine
+    /// does between successive claims by the same processor.
+    fn claim_done(d: &mut Dispatcher, p: usize, w: &Workload) -> Option<(usize, usize)> {
+        let got = d.claim(p, w);
+        if let Some((prog, _)) = got {
+            d.done[prog] = true;
+        }
+        got
     }
 
     #[test]
     fn static_cyclic_interleaves_claims() {
         let w = Workload::static_cyclic(programs(5), 2);
         let mut d = Dispatcher::new(&w, 2);
-        assert_eq!(d.claim(0, &w), Some(0));
-        assert_eq!(d.claim(1, &w), Some(1));
-        assert_eq!(d.claim(0, &w), Some(2));
-        assert_eq!(d.claim(1, &w), Some(3));
-        assert_eq!(d.claim(0, &w), Some(4));
+        assert_eq!(claim_done(&mut d, 0, &w), Some((0, 0)));
+        assert_eq!(claim_done(&mut d, 1, &w), Some((1, 0)));
+        assert_eq!(claim_done(&mut d, 0, &w), Some((2, 0)));
+        assert_eq!(claim_done(&mut d, 1, &w), Some((3, 0)));
+        assert_eq!(claim_done(&mut d, 0, &w), Some((4, 0)));
         assert!(d.all_drained());
     }
 
@@ -126,8 +202,49 @@ mod tests {
         let w = Workload::static_blocked(programs(6), 2);
         let mut d = Dispatcher::new(&w, 2);
         assert!(d.can_claim(0, &w) && d.can_claim(1, &w));
-        assert_eq!((d.claim(0, &w), d.claim(0, &w), d.claim(0, &w)), (Some(0), Some(1), Some(2)));
-        assert_eq!((d.claim(1, &w), d.claim(1, &w), d.claim(1, &w)), (Some(3), Some(4), Some(5)));
+        assert_eq!(
+            (claim_done(&mut d, 0, &w), claim_done(&mut d, 0, &w), claim_done(&mut d, 0, &w)),
+            (Some((0, 0)), Some((1, 0)), Some((2, 0)))
+        );
+        assert_eq!(
+            (claim_done(&mut d, 1, &w), claim_done(&mut d, 1, &w), claim_done(&mut d, 1, &w)),
+            (Some((3, 0)), Some((4, 0)), Some((5, 0)))
+        );
         assert!(!d.can_claim(0, &w));
+    }
+
+    #[test]
+    fn static_chain_order_gates_out_of_order_issue() {
+        let w = Workload::static_cyclic(programs(4), 2);
+        let mut d = Dispatcher::new(&w, 2);
+        // Proc 0's chain is [0, 2]; claiming 0 without completing it
+        // must park program 2 (and any rescue reissue of it).
+        assert_eq!(d.claim(0, &w), Some((0, 0)));
+        assert!(!d.startable(2), "program 2's chain predecessor has not completed");
+        assert_eq!(d.claim(0, &w), None, "queue head gated on chain predecessor");
+        assert!(!d.can_claim(0, &w));
+        // A reclaimed, never-started copy of program 2 is equally gated;
+        // the suspended (mid-run) program 0 itself is not.
+        d.rescue.push_back((2, 0));
+        d.rescue.push_back((0, 5));
+        assert_eq!(d.claim_rescue(), Some((0, 5)), "suspended work resumes freely");
+        assert_eq!(d.claim_rescue(), None, "never-started work honors the chain");
+        d.done[0] = true;
+        assert_eq!(d.claim_rescue(), Some((2, 0)), "chain satisfied, reissue allowed");
+    }
+
+    #[test]
+    fn rescued_work_outranks_fresh_work_and_reissues_lowest_first() {
+        let w = Workload::dynamic(programs(6));
+        let mut d = Dispatcher::new(&w, 2);
+        assert_eq!(d.claim(0, &w), Some((0, 0)));
+        d.rescue.push_back((4, 3));
+        d.rescue.push_back((2, 1));
+        assert!(d.can_claim(1, &w));
+        assert!(!d.all_drained(), "a pending rescue pool is undrained work");
+        assert_eq!(d.claim(1, &w), Some((2, 1)), "lowest rescued program first");
+        assert_eq!(d.claim(1, &w), Some((4, 3)));
+        assert_eq!(d.claim(1, &w), Some((1, 0)), "then back to fresh work");
+        assert!(d.all_drained());
     }
 }

@@ -14,6 +14,29 @@ impl<'a> Machine<'a> {
     /// zero-cost computes) retire in the same cycle; the first costly one
     /// decides how the cycle is accounted.
     pub(crate) fn step_proc(&mut self, p: usize) {
+        if self.dead[p] {
+            self.procs[p].stats.dead += 1;
+            return;
+        }
+        if self.cycle >= self.fail_at[p] {
+            // Fail-stop onset: this processor permanently stops
+            // dispatching, retiring and answering the sync bus. Its
+            // gap detector is disarmed (a dead processor NACKs nothing);
+            // its unretired work stays claimed until the watchdog's
+            // rescue rung reclaims it. Trace notes witnessing work that
+            // already completed (a keyed access whose transaction
+            // performed last cycle, say) retire for free on a live
+            // processor; record them before the stop so the order the
+            // hardware actually enforced is not re-stamped late by the
+            // rescue path.
+            self.drain_notes(p);
+            self.dead[p] = true;
+            self.rec.nack_due[p] = u64::MAX;
+            self.stats.faults.fail_stops += 1;
+            self.record_fault(Some(p), FaultClass::ProcFailStop, 0);
+            self.procs[p].stats.dead += 1;
+            return;
+        }
         if self.config.faults.stall_mean_interval > 0 {
             if self.cycle >= self.stall_until[p] && self.cycle >= self.next_stall[p] {
                 // Stall onset: freeze this processor for a bounded
@@ -135,12 +158,18 @@ impl<'a> Machine<'a> {
         let ip = self.procs[p].ip;
         let program = &self.workload.programs[prog_ix];
         if ip >= program.instrs.len() {
+            self.disp.done[prog_ix] = true;
             self.procs[p].current = None;
             self.procs[p].ip = 0;
             self.procs[p].state = ProcState::Idle;
             return;
         }
         let instr = program.instrs[ip];
+        // Everything before `ip` has retired; `instr` has not (a wait
+        // that parks the processor re-executes from here, and KeyedAccess
+        // rewinds `ip` itself). This is the provably-safe resume point
+        // the rescue rung reads if this processor fail-stops mid-flight.
+        self.procs[p].resume_ip = ip;
         self.procs[p].ip += 1;
         self.note_progress();
         let fabric = self.fabric;

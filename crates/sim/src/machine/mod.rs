@@ -203,6 +203,13 @@ pub(crate) struct Proc {
     pub(crate) state: ProcState,
     pub(crate) current: Option<usize>,
     pub(crate) ip: usize,
+    /// Index of the instruction execution would resume from if this
+    /// program had to move to another processor right now: everything
+    /// before it has fully retired (re-running it would duplicate side
+    /// effects), nothing at or after it has (skipping it would lose
+    /// work). Maintained at dispatch and at every instruction issue;
+    /// the fail-stop rescue rung reads it when reclaiming work.
+    pub(crate) resume_ip: usize,
     pub(crate) stats: ProcBreakdown,
 }
 
@@ -240,6 +247,15 @@ pub struct Machine<'a> {
     /// Per-processor cycle of the next stall onset (`u64::MAX` when
     /// stalls are disabled).
     pub(crate) next_stall: Vec<u64>,
+    /// Per-processor planned fail-stop cycle (`u64::MAX` = never).
+    /// Drawn at construction from the fault stream, so runs without
+    /// fail-stop injection are bit-identical to a machine without
+    /// fail-stop support.
+    pub(crate) fail_at: Vec<u64>,
+    /// Per-processor fail-stop flag: a dead processor never steps,
+    /// dispatches or answers the sync bus again; its cycles accrue to
+    /// the `dead` stat bucket.
+    pub(crate) dead: Vec<bool>,
     /// Last cycle on which the machine observably progressed.
     last_progress: u64,
     /// Progress-watchdog bound (cycles of silence tolerated).
@@ -263,6 +279,7 @@ impl<'a> Machine<'a> {
                 state: ProcState::Idle,
                 current: None,
                 ip: 0,
+                resume_ip: 0,
                 stats: ProcBreakdown::default(),
             })
             .collect();
@@ -281,9 +298,30 @@ impl<'a> Machine<'a> {
                 }
             })
             .collect();
+        // Fail-stop victims and kill cycles, drawn only when the class
+        // is armed (plans without it leave the fault stream untouched).
+        // The victim count is clamped to P - 1 so at least one processor
+        // always survives to run the rescued work.
+        let mut fail_at = vec![u64::MAX; p];
+        if f.fail_stop_procs > 0 && p > 1 {
+            let victims = (f.fail_stop_procs as usize).min(p - 1);
+            let window = u64::from(f.fail_stop_window.max(1));
+            let mut chosen = 0;
+            while chosen < victims {
+                let v = rng.below(p as u64) as usize;
+                if fail_at[v] == u64::MAX {
+                    fail_at[v] = 1 + rng.below(window);
+                    chosen += 1;
+                }
+            }
+        }
         // Longest legitimate silent stretch: a held (possibly delayed /
         // jittered) transaction, a spin backoff, a stall or a stale
-        // window. Generously padded — tripping it means livelock.
+        // window. Generously padded — tripping it means livelock. The
+        // P-scaled term covers queue-drain at scale: with P processors
+        // contending, a single waiter can legitimately sit behind P
+        // whole bus transactions, so the silence bound must grow with
+        // the machine, not stay flat.
         let watchdog_limit = 256
             + 8 * u64::from(
                 config.spin_retry
@@ -295,7 +333,11 @@ impl<'a> Machine<'a> {
                     + f.data_jitter_max
                     + f.stall_max
                     + f.stale_window_max,
-            );
+            )
+            + 2 * (p as u64)
+                * u64::from(
+                    config.sync_bus_latency + config.data_bus_latency + config.memory_latency,
+                );
         // A waiter suspects a gap only after the longest legitimate
         // delivery path (bus grant + injected delay + stale window) has
         // comfortably elapsed; by construction this is well under the
@@ -317,6 +359,8 @@ impl<'a> Machine<'a> {
             rng,
             stall_until: vec![0; p],
             next_stall,
+            fail_at,
+            dead: vec![false; p],
             last_progress: 0,
             watchdog_limit,
             mode: StepMode::FastForward,
@@ -403,6 +447,30 @@ impl<'a> Machine<'a> {
                 return Err(SimError::Timeout { max_cycles: self.config.max_cycles });
             }
             if let Some(dead) = self.deadlocked() {
+                // Before declaring the wedge fatal, try the rescue rung:
+                // unretired work stranded on fail-stopped processors (or
+                // already sitting in the rescue pool) can be reclaimed
+                // and reissued to the survivor quorum. This hangs off the
+                // precise detector, not just watchdog silence, because
+                // memory-polling survivors keep the bus busy — their
+                // polls count as progress — so a dead producer under the
+                // shared-memory transport never trips the watchdog.
+                if self.rec.on && self.watchdog_rescue() {
+                    continue;
+                }
+                if self.rec.on && self.rescue_settling() {
+                    // Rescued work is pending but every would-be swap
+                    // victim still has a busy-wait poll queued or in
+                    // flight (unsafe to preempt: the late completion
+                    // would clobber its new state). Step until the polls
+                    // settle into backoff — bounded by the bus service
+                    // latency — then the rescue is retried.
+                    match self.mode {
+                        StepMode::Reference => self.step(),
+                        StepMode::FastForward => self.fast_step(),
+                    }
+                    continue;
+                }
                 let mut detail = self.stuck_detail(&dead);
                 if self.rec.on {
                     // Unhealable by construction (deadlocked() treats
@@ -417,6 +485,14 @@ impl<'a> Machine<'a> {
                 // repair rung first — force-sync healable images from the
                 // global state and keep running instead of failing.
                 if self.rec.on && self.watchdog_repair() {
+                    continue;
+                }
+                // Repair can't help (no gapped-but-satisfied image). If
+                // the diagnosis says the producer is *dead* rather than
+                // the value lost in flight, take the rescue rung:
+                // reclaim the fail-stopped processors' unretired work
+                // and reissue it to the survivor quorum.
+                if self.rec.on && self.watchdog_rescue() {
                     continue;
                 }
                 // Livelock: cycles are being burned (spins, redeliveries,
@@ -459,15 +535,19 @@ impl<'a> Machine<'a> {
             .iter()
             .map(|&i| {
                 let p = &self.procs[i];
-                let at = match p.state {
-                    ProcState::SpinLocal { var, pred } => {
-                        format!(
-                            "waiting {var} {pred} (image {}, global {})",
-                            self.sync.images[i][var], self.sync.global[var]
-                        )
+                let at = if self.dead[i] {
+                    "fail-stopped (unretired work stranded)".to_string()
+                } else {
+                    match p.state {
+                        ProcState::SpinLocal { var, pred } => {
+                            format!(
+                                "waiting {var} {pred} (image {}, global {})",
+                                self.sync.images[i][var], self.sync.global[var]
+                            )
+                        }
+                        ProcState::SpinMem { retry, .. } => format!("retrying {retry:?}"),
+                        _ => "?".to_string(),
                     }
-                    ProcState::SpinMem { retry, .. } => format!("retrying {retry:?}"),
-                    _ => "?".to_string(),
                 };
                 format!("proc {i}: program {:?} ip {} {at}", p.current, p.ip)
             })
@@ -494,21 +574,42 @@ impl<'a> Machine<'a> {
         // O(1) early-outs first, so the O(P + banks) scans below only run
         // at genuinely quiet points: a held transaction, a queued
         // broadcast or a deferred image update still in flight is pending
-        // activity, not deadlock.
-        if self.mem.active.is_some()
-            || self.sync.active.is_some()
+        // activity, not deadlock. The exception is a *futile* spin
+        // re-issue — a poll or keyed attempt whose condition fails even
+        // on the authoritative global state. Memory-transport waiters
+        // whose producer fail-stopped re-poll forever, keeping the bus
+        // busy; treating those as activity would hide the wedge until
+        // the cycle cap. A satisfiable poll still suppresses the verdict
+        // via the per-processor scan below.
+        let futile_spin = |kind: DataReqKind| match kind {
+            DataReqKind::Poll { var, pred } => !pred.eval(self.sync.global[var]),
+            DataReqKind::KeyedAttempt { var, geq } => self.sync.global[var] < geq,
+            _ => false,
+        };
+        if self.sync.active.is_some()
             || !self.sync.queue.is_empty()
             || self.sync.due_min != u64::MAX
         {
             return None;
         }
-        let any_active = self.mem.banks_pending()
-            || self.mem.queue.iter().any(|r| !matches!(r.kind, DataReqKind::Poll { .. }));
+        if self.mem.active.is_some_and(|(req, _)| !futile_spin(req.kind)) {
+            return None;
+        }
+        let any_active = self.mem.queue.iter().any(|r| !futile_spin(r.kind))
+            || self.mem.banks.iter().any(|b| {
+                b.active.is_some_and(|(req, _)| !futile_spin(req.kind))
+                    || b.queue.iter().any(|r| !futile_spin(r.kind))
+            });
         if any_active {
             return None;
         }
         let mut spinning = Vec::new();
         for (i, p) in self.procs.iter().enumerate() {
+            // A dead processor neither progresses nor blocks others from
+            // being diagnosed; skip it (stranded work is handled below).
+            if self.dead[i] {
+                continue;
+            }
             match p.state {
                 // A spin whose condition already holds will succeed on its
                 // next check — that is progress, not deadlock.
@@ -540,11 +641,37 @@ impl<'a> Machine<'a> {
             }
         }
         // Pending polls only re-read values no one will write again.
-        if spinning.is_empty() {
+        // Unretired work stranded on dead processors wedges the run
+        // even with every survivor idle; dead holders are reported as
+        // culprits alongside any spinning survivors. (With recovery on,
+        // the caller's rescue rung reclaims the stranded work instead
+        // of failing.)
+        let mut stranded: Vec<usize> = (0..self.procs.len())
+            .filter(|&i| {
+                self.dead[i] && (self.procs[i].current.is_some() || !self.disp.queues[i].is_empty())
+            })
+            .collect();
+        if spinning.is_empty() && stranded.is_empty() {
             None
         } else {
+            spinning.append(&mut stranded);
             Some(spinning)
         }
+    }
+
+    /// `true` when a rescue is pending (work in the pool) but some live
+    /// survivor is mid-poll: the deadlock verdict should wait for the
+    /// poll to settle into backoff so the rescue rung gets a safe swap
+    /// victim. Once the rescue rung has exhausted its futility budget it
+    /// can never act again, so settling would defer the verdict until
+    /// the cycle cap — report unsettled and let the wedge surface.
+    fn rescue_settling(&self) -> bool {
+        !self.disp.rescue.is_empty()
+            && self.rec.rescue_futile < self.rescue_cap()
+            && self.procs.iter().enumerate().any(|(i, p)| {
+                !self.dead[i]
+                    && matches!(p.state, ProcState::SpinMem { phase: SpinPhase::WaitingResult, .. })
+            })
     }
 
     fn step(&mut self) {
@@ -625,6 +752,17 @@ impl<'a> Machine<'a> {
         }
         let stalls_on = self.config.faults.stall_mean_interval > 0;
         for (p, proc) in self.procs.iter().enumerate() {
+            // Dead processors contribute no events: their stalls, spins
+            // and compute remainders can never perform. A *pending* kill
+            // is an event — it must land at a stepped cycle so both step
+            // modes record it identically.
+            if self.dead[p] {
+                continue;
+            }
+            if self.fail_at[p] <= c {
+                return None; // the fail-stop lands this cycle
+            }
+            next = next.min(self.fail_at[p]);
             if stalls_on {
                 if c >= self.stall_until[p] && c >= self.next_stall[p] {
                     return None; // stall onset draws RNG this cycle
@@ -685,9 +823,11 @@ impl<'a> Machine<'a> {
         // the same cycle as per-cycle stepping.
         let mut target = next_event.min(self.config.max_cycles);
         // A computing processor notes progress every cycle; only when
-        // none is running can the watchdog's silence bound bind.
+        // none is running can the watchdog's silence bound bind. A dead
+        // processor's frozen Computing state is not progress.
         let progressing = (0..self.procs.len()).any(|p| {
-            self.cycle >= self.stall_until[p]
+            !self.dead[p]
+                && self.cycle >= self.stall_until[p]
                 && matches!(self.procs[p].state, ProcState::Computing { .. })
         });
         if !progressing {
@@ -696,6 +836,10 @@ impl<'a> Machine<'a> {
         debug_assert!(target > self.cycle, "quiet horizon must move time forward");
         let delta = target - self.cycle;
         for p in 0..self.procs.len() {
+            if self.dead[p] {
+                self.procs[p].stats.dead += delta;
+                continue;
+            }
             if self.cycle < self.stall_until[p] {
                 self.procs[p].stats.stalled += delta;
                 continue;
@@ -730,6 +874,14 @@ impl<'a> Machine<'a> {
     pub(crate) fn unblock(&mut self, proc: usize) {
         self.close_wait(proc);
         self.procs[proc].state = ProcState::Ready;
+        if self.dead[proc] {
+            // An in-flight transaction still performs after its issuer
+            // fail-stops (it was already in the interconnect), but the
+            // dead processor never steps again to witness it: record
+            // its trailing trace notes at the completion cycle, exactly
+            // when a live processor would have retired them.
+            self.drain_notes(proc);
+        }
     }
 
     /// Records an injected fault in both the note trace and the event

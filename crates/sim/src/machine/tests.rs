@@ -827,6 +827,128 @@ fn refresh_never_regresses_a_counter() {
     assert_eq!(out.sync_final[0], n as u64, "every increment must survive recovery");
 }
 
+// ---- fail-stop survival: reclamation, reissue, reconfiguration ----
+
+#[test]
+fn fail_stop_wedges_without_recovery() {
+    // A processor dies holding unretired chain links: with the ladder
+    // disarmed the machine must *detect* the wedge promptly and name
+    // the dead processor, not burn to the timeout.
+    let c = cfg(2).with_faults(FaultPlan::only(FaultClass::ProcFailStop, 5, 100));
+    match run(&c, &chain_workload(8)) {
+        Err(SimError::Deadlock { cycle, detail, .. }) => {
+            assert!(cycle < 100_000, "detection must be prompt, took {cycle}");
+            assert!(
+                detail.iter().any(|d| d.contains("fail-stopped")),
+                "detail must name the dead processor: {detail:?}"
+            );
+        }
+        other => panic!("expected wedge without recovery, got {other:?}"),
+    }
+}
+
+#[test]
+fn fail_stop_rescue_completes_the_chain() {
+    // Same kill, ladder armed: the rescue rung reclaims the dead
+    // processor's unretired work, survivors finish the chain, and the
+    // run is marked reconfigured. Cycle accounting must conserve
+    // through the participant loss (the dead bucket).
+    let c = cfg(2)
+        .with_faults(FaultPlan::only(FaultClass::ProcFailStop, 5, 100))
+        .with_recovery(RecoveryPolicy::RepairOnly);
+    let out = run(&c, &chain_workload(8)).unwrap();
+    assert_eq!(out.sync_final[0], 8, "the chain must complete on the survivor");
+    assert_eq!(out.stats.faults.fail_stops, 1);
+    assert!(out.stats.recovery.fail_stop_rescues > 0, "the rescue rung must fire");
+    assert!(out.stats.recovery.programs_reclaimed > 0);
+    assert!(out.stats.recovery.reconfigured());
+    assert!(out.stats.procs.iter().any(|p| p.dead > 0), "dead cycles must be charged");
+    for (i, p) in out.stats.procs.iter().enumerate() {
+        assert_eq!(p.total(), out.stats.makespan, "proc {i} conservation with a dead proc");
+    }
+}
+
+#[test]
+fn fail_stop_rescue_reclaims_static_queues() {
+    // Under static dispatch the dead processor also strands its
+    // never-started queue entries; the rescue pool must pick those up
+    // and survivors must run them to completion.
+    // Long computes keep the run well past the kill window, so the
+    // victim dies holding most of its queue.
+    let prog =
+        |c: u32| Program::from_instrs(vec![Instr::Compute(40 * c), Instr::SyncRmw { var: 0 }]);
+    let w = Workload::static_cyclic((1..=8).map(prog).collect(), 2);
+    let c = cfg(2)
+        .with_faults(FaultPlan::only(FaultClass::ProcFailStop, 5, 100))
+        .with_recovery(RecoveryPolicy::RepairOnly);
+    let out = run(&c, &w).unwrap();
+    assert_eq!(out.stats.faults.fail_stops, 1, "the kill must land mid-run");
+    assert_eq!(out.sync_final[0], 8, "every iteration must still increment");
+    assert!(
+        out.stats.recovery.programs_reclaimed >= 2,
+        "the in-flight program plus queued assignments must be reclaimed, got {}",
+        out.stats.recovery.programs_reclaimed
+    );
+}
+
+#[test]
+fn fail_stop_rescue_works_through_shared_memory() {
+    // Memory-polling survivors keep the bus busy, so the watchdog never
+    // sees silence: the rescue must hang off the precise deadlock
+    // detector instead. The swap path (preempting a polling survivor in
+    // backoff) is exercised when no survivor is idle.
+    let c = cfg(2)
+        .transport(SyncTransport::SharedMemory)
+        .with_faults(FaultPlan::only(FaultClass::ProcFailStop, 5, 100))
+        .with_recovery(RecoveryPolicy::RepairOnly);
+    let out = run(&c, &chain_workload(8)).unwrap();
+    assert_eq!(out.sync_final[0], 8);
+    assert!(out.stats.recovery.fail_stop_rescues > 0);
+}
+
+#[test]
+fn fail_stop_rescue_emits_trace_events() {
+    let c = cfg(2)
+        .with_faults(FaultPlan::only(FaultClass::ProcFailStop, 5, 100))
+        .with_recovery(RecoveryPolicy::RepairOnly);
+    let out = run_mode(&c, &chain_workload(8), StepMode::FastForward, 1 << 14).unwrap();
+    let kinds: Vec<SimEventKind> = out.events.iter().map(|e| e.kind).collect();
+    assert!(
+        kinds
+            .iter()
+            .any(|k| matches!(k, SimEventKind::Fault { class: FaultClass::ProcFailStop, .. })),
+        "{kinds:?}"
+    );
+    assert!(kinds.iter().any(|k| matches!(k, SimEventKind::WorkReclaimed { .. })));
+    assert!(kinds.iter().any(|k| matches!(k, SimEventKind::WatchdogRescue { .. })));
+}
+
+#[test]
+fn fail_stop_rescue_is_seed_deterministic() {
+    let c = cfg(3)
+        .with_faults(FaultPlan::only(FaultClass::ProcFailStop, 9, 80))
+        .with_recovery(RecoveryPolicy::RepairOnly);
+    let a = run(&c, &chain_workload(10)).unwrap();
+    let b = run(&c, &chain_workload(10)).unwrap();
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.sync_final, b.sync_final);
+}
+
+#[test]
+fn fail_stop_combined_with_loss_survives() {
+    // The hardest mix the ladder supports: broadcasts are lost *and* a
+    // producer dies. Repair heals the gapped images, rescue reissues
+    // the dead processor's work, and the chain still completes.
+    let mut f = FaultPlan::only(FaultClass::BroadcastLoss, 5, 60);
+    f.fail_stop_procs = 1;
+    f.fail_stop_window = 200;
+    let c = cfg(3).with_faults(f).with_recovery(RecoveryPolicy::RepairOnly);
+    let out = run(&c, &chain_workload(8)).unwrap();
+    assert_eq!(out.sync_final[0], 8);
+    assert!(out.stats.faults.fail_stops > 0);
+}
+
 // ---- fabric backends ----
 
 #[test]

@@ -24,7 +24,15 @@
 //!    image (one whose waiter's predicate holds globally) is force-synced
 //!    from the global state, modeling a controller-driven full image
 //!    refresh. Bounded rungs.
-//! 4. **Degrade** — if the wait-for diagnosis proves no repair can help
+//! 4. **Rescue (reconfigure)** — if repair cannot help because the
+//!    *producer is dead* (a fail-stopped processor holds unretired
+//!    iterations; see [`crate::faults::FaultClass::ProcFailStop`]), the
+//!    watchdog reclaims the dead processors' unretired programs at their
+//!    provably-safe resume points and reissues them to the survivor
+//!    quorum through the self-scheduling dispatcher — preempting a
+//!    spinning survivor when none is idle. A run that completed only via
+//!    this rung is classified `Reconfigured`, one rung below `Recovered`.
+//! 5. **Degrade** — if the wait-for diagnosis proves no repair can help
 //!    (the predicate fails even on the global state — a lost *conditional*
 //!    post, so the value genuinely never performed), the run fails with
 //!    the proof attached; the scheme harness
@@ -109,6 +117,14 @@ pub struct RecoveryCounts {
     /// Longest single wait that needed recovery (the worst-case
     /// recovery latency a waiter observed).
     pub heal_latency_max: u64,
+    /// Watchdog rescue rungs taken (fail-stop reconfigurations: dead
+    /// processors' work reclaimed and reissued to survivors).
+    pub fail_stop_rescues: u64,
+    /// Unretired programs reclaimed from fail-stopped processors.
+    pub programs_reclaimed: u64,
+    /// Spinning survivors preempted to run rescued work because no
+    /// survivor was idle when a rescue rung fired.
+    pub rescue_swaps: u64,
 }
 
 impl RecoveryCounts {
@@ -116,6 +132,13 @@ impl RecoveryCounts {
     /// marks a run as *recovered* rather than merely completed.
     pub fn actions(&self) -> u64 {
         self.gap_nacks + self.watchdog_repairs
+    }
+
+    /// `true` when the run survived participant loss by reconfiguring
+    /// to a survivor quorum — one rung below plain recovery on the
+    /// outcome ladder (`Reconfigured` rather than `Recovered`).
+    pub fn reconfigured(&self) -> bool {
+        self.fail_stop_rescues > 0
     }
 }
 
@@ -138,6 +161,12 @@ pub struct WaitEdge {
     /// re-broadcasting the global value wakes the waiter. `false` is the
     /// proof that repair cannot help — the awaited value never performed.
     pub healable: bool,
+    /// `true` when the wait is unhealable *because the producer is
+    /// dead*: a fail-stopped processor still holds unretired work, so
+    /// the awaited value was lost with its producer rather than in
+    /// flight. This is the verdict that routes the watchdog to the
+    /// rescue rung (work reclamation) instead of image repair.
+    pub producer_dead: bool,
 }
 
 impl std::fmt::Display for WaitEdge {
@@ -152,6 +181,8 @@ impl std::fmt::Display for WaitEdge {
             self.global,
             if self.healable {
                 "healable: global satisfies, image gapped"
+            } else if self.producer_dead {
+                "unhealable by repair: producer fail-stopped holding unretired work"
             } else {
                 "unhealable: unsatisfied even globally"
             }
@@ -186,17 +217,30 @@ mod tests {
     fn counts_mark_recovered_runs() {
         let mut c = RecoveryCounts::default();
         assert_eq!(c.actions(), 0);
+        assert!(!c.reconfigured());
         c.gap_nacks = 2;
         c.watchdog_repairs = 1;
         assert_eq!(c.actions(), 3);
+        c.fail_stop_rescues = 1;
+        assert!(c.reconfigured());
     }
 
     #[test]
     fn wait_edge_renders_the_proof() {
-        let e =
-            WaitEdge { proc: 3, var: 1, need: ">= 5".into(), image: 2, global: 2, healable: false };
+        let e = WaitEdge {
+            proc: 3,
+            var: 1,
+            need: ">= 5".into(),
+            image: 2,
+            global: 2,
+            healable: false,
+            producer_dead: false,
+        };
         let s = e.to_string();
         assert!(s.contains("P3"), "{s}");
         assert!(s.contains("unhealable"), "{s}");
+        let dead = WaitEdge { producer_dead: true, ..e };
+        let s = dead.to_string();
+        assert!(s.contains("producer fail-stopped"), "{s}");
     }
 }

@@ -18,12 +18,17 @@ pub struct ProcBreakdown {
     /// Cycles frozen by an injected processor stall (fault injection
     /// only; always 0 on a fault-free run).
     pub stalled: u64,
+    /// Cycles spent permanently fail-stopped (`ProcFailStop` injection
+    /// only; always 0 on a fault-free run). Kept as its own bucket so
+    /// stat conservation — every processor accounts for every cycle of
+    /// the makespan — holds through participant loss.
+    pub dead: u64,
 }
 
 impl ProcBreakdown {
     /// Total accounted cycles.
     pub fn total(&self) -> u64 {
-        self.busy + self.spin + self.blocked + self.idle + self.stalled
+        self.busy + self.spin + self.blocked + self.idle + self.stalled + self.dead
     }
 }
 
@@ -92,8 +97,8 @@ mod tests {
         let stats = RunStats {
             makespan: 100,
             procs: vec![
-                ProcBreakdown { busy: 80, spin: 10, blocked: 5, idle: 5, stalled: 0 },
-                ProcBreakdown { busy: 40, spin: 30, blocked: 20, idle: 10, stalled: 0 },
+                ProcBreakdown { busy: 80, spin: 10, blocked: 5, idle: 5, stalled: 0, dead: 0 },
+                ProcBreakdown { busy: 40, spin: 30, blocked: 20, idle: 10, stalled: 0, dead: 0 },
             ],
             ..Default::default()
         };
