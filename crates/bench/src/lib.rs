@@ -20,6 +20,7 @@
 //! | [`robustness`] | R1 — scheme degradation under deterministic fault injection |
 //! | [`chaos`] | R2 — seeded chaos fuzzing with shrinking reproducers |
 //! | [`perf`] | Self-benchmark — fast-forward kernel and sweep-runner speedups |
+//! | [`scale`] | P-scaling curve — kernel throughput at P = 8 → 1024 |
 //!
 //! [`run_all`] fans the experiments across cores via [`sweep`]; every
 //! experiment is a pure function of its parameters, so the parallel run
@@ -41,6 +42,7 @@ pub mod fig54;
 pub mod harness;
 pub mod perf;
 pub mod robustness;
+pub mod scale;
 pub mod sec6;
 pub mod sweep;
 pub mod table;

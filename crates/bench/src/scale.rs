@@ -1,0 +1,228 @@
+//! P-scaling curve behind `datasync perf --scale`: how the fast-forward
+//! kernel's throughput holds up as the simulated machine grows.
+//!
+//! Every scheme is run on its natural transport at P = 8 → 1024
+//! processors (powers of two) on a spin-heavy Doacross sized to the
+//! machine (2·P iterations, inflated statement costs). The struct-of-
+//! arrays machine state and the calendar event queue are exactly the
+//! mechanisms this curve exercises: per-advance work is bounded by
+//! *events*, not processors, so simulated cycles/second should stay
+//! flat-ish while the machine grows 128-fold.
+//!
+//! The report serializes to `BENCH_scale.json` (hand-rolled JSON — the
+//! workspace is dependency-free).
+
+use crate::perf::time_runs;
+use datasync_loopir::analysis::analyze;
+use datasync_loopir::space::IterSpace;
+use datasync_loopir::workpatterns::fig21_loop;
+use datasync_schemes::scheme::Scheme;
+use datasync_schemes::{
+    BarrierPhased, InstanceBased, ProcessOriented, ReferenceBased, StatementOriented,
+};
+use datasync_sim::MachineConfig;
+
+/// One (scheme, P) measurement on the scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Processors simulated.
+    pub procs: usize,
+    /// Makespan of the run (simulated cycles).
+    pub makespan: u64,
+    /// Wall-clock seconds per run (median of three).
+    pub wall_seconds: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+}
+
+/// The scaling curve of one scheme across the P axis.
+#[derive(Debug, Clone)]
+pub struct SchemeCurve {
+    /// Scheme family label (stable across P).
+    pub scheme: String,
+    /// One point per processor count, in ascending P order.
+    pub points: Vec<ScalePoint>,
+}
+
+/// Results of one `perf --scale` run.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// What was simulated.
+    pub workload: String,
+    /// The P axis, ascending.
+    pub procs: Vec<usize>,
+    /// One curve per scheme.
+    pub curves: Vec<SchemeCurve>,
+}
+
+impl ScaleReport {
+    /// Hand-rolled JSON rendering for `BENCH_scale.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"workload\": \"{}\",\n", self.workload));
+        let axis: Vec<String> = self.procs.iter().map(ToString::to_string).collect();
+        out.push_str(&format!("  \"procs\": [{}],\n", axis.join(", ")));
+        out.push_str("  \"schemes\": [\n");
+        for (i, curve) in self.curves.iter().enumerate() {
+            out.push_str(&format!("    {{\"scheme\": \"{}\", \"points\": [\n", curve.scheme));
+            for (j, pt) in curve.points.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"procs\": {}, \"makespan\": {}, \"wall_seconds\": {:.6}, \
+                     \"cycles_per_sec\": {:.0}}}{}\n",
+                    pt.procs,
+                    pt.makespan,
+                    pt.wall_seconds,
+                    pt.cycles_per_sec,
+                    if j + 1 < curve.points.len() { "," } else { "" }
+                ));
+            }
+            out.push_str(&format!("    ]}}{}\n", if i + 1 < self.curves.len() { "," } else { "" }));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable curve table: one row per scheme, one column per P.
+    pub fn summary(&self) -> String {
+        let mut out = format!("perf --scale: {}\n", self.workload);
+        out.push_str("cycles/sec by processor count (fast-forward kernel)\n");
+        out.push_str(&format!("{:<16}", "scheme"));
+        for p in &self.procs {
+            out.push_str(&format!(" {:>10}", format!("P={p}")));
+        }
+        out.push('\n');
+        for curve in &self.curves {
+            out.push_str(&format!("{:<16}", curve.scheme));
+            for pt in &curve.points {
+                out.push_str(&format!(" {:>10}", human_rate(pt.cycles_per_sec)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// `3.1G`-style rendering of a cycles/sec rate.
+fn human_rate(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.1}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else {
+        format!("{:.0}", v)
+    }
+}
+
+/// Builds the scheme under test for one processor count.
+fn build_scheme(label: &str, procs: usize) -> Box<dyn Scheme> {
+    match label {
+        "process" => Box::new(ProcessOriented::new(2 * procs)),
+        "statement" => Box::new(StatementOriented::new()),
+        "barrier-phased" => Box::new(BarrierPhased::new(procs)),
+        "reference" => Box::new(ReferenceBased::new()),
+        "instance" => Box::new(InstanceBased::new()),
+        other => unreachable!("unknown scale scheme {other}"),
+    }
+}
+
+/// Scheme families on the curve (each on its natural transport).
+pub const SCHEMES: [&str; 5] = ["process", "statement", "barrier-phased", "reference", "instance"];
+
+/// Runs the scaling sweep. `quick` caps the P axis and shrinks costs for
+/// smoke runs; the full axis is P = 8 → 1024.
+///
+/// # Panics
+///
+/// Panics if a fault-free scaling run fails to complete (they are
+/// deterministic and deadlock-free by construction).
+pub fn run(quick: bool) -> ScaleReport {
+    let procs: Vec<usize> =
+        if quick { vec![8, 16, 32] } else { vec![8, 16, 32, 64, 128, 256, 512, 1024] };
+    let cost: u32 = if quick { 500 } else { 2_000 };
+    let inflate = move |_id, _pid| cost;
+    let mut curves: Vec<SchemeCurve> = SCHEMES
+        .iter()
+        .map(|s| SchemeCurve { scheme: (*s).to_string(), points: Vec::new() })
+        .collect();
+    for &p in &procs {
+        // Size the loop to the machine so every processor has work.
+        let iters = 2 * p as i64;
+        let nest = fig21_loop(iters);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        for curve in &mut curves {
+            let scheme = build_scheme(&curve.scheme, p);
+            let compiled = scheme.compile_with(&nest, &graph, &space, Some(&inflate));
+            let config = MachineConfig {
+                sync_transport: scheme.natural_transport(),
+                ..MachineConfig::with_processors(p)
+            };
+            let out = compiled.run(&config).expect("scale workload must complete");
+            let makespan = out.stats.makespan;
+            let wall_seconds = time_runs(|| {
+                let _ = compiled.run(&config).expect("scale workload must complete");
+            });
+            curve.points.push(ScalePoint {
+                procs: p,
+                makespan,
+                wall_seconds,
+                cycles_per_sec: makespan as f64 / wall_seconds,
+            });
+        }
+    }
+    ScaleReport {
+        workload: format!(
+            "fig 2.1 Doacross, 2P iterations, {cost}cy statements, \
+             every scheme on its natural transport"
+        ),
+        procs,
+        curves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_curve_covers_every_scheme_and_serializes() {
+        let r = run(true);
+        assert_eq!(r.procs, vec![8, 16, 32]);
+        assert_eq!(r.curves.len(), SCHEMES.len());
+        for curve in &r.curves {
+            assert_eq!(curve.points.len(), r.procs.len(), "{}", curve.scheme);
+            for (pt, p) in curve.points.iter().zip(&r.procs) {
+                assert_eq!(pt.procs, *p);
+                assert!(pt.makespan > 0, "{}", curve.scheme);
+                assert!(pt.cycles_per_sec > 0.0, "{}", curve.scheme);
+            }
+        }
+        let json = r.to_json();
+        for key in ["\"workload\"", "\"procs\"", "\"schemes\"", "\"cycles_per_sec\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"scheme\": \"barrier-phased\""), "{json}");
+        let s = r.summary();
+        assert!(s.contains("P=32"), "{s}");
+        assert!(s.contains("instance"), "{s}");
+    }
+
+    #[test]
+    fn bigger_machines_simulate_more_cycles_of_work() {
+        // The workload grows with P, so makespans must not collapse:
+        // each scheme's P=32 run covers at least as many iterations'
+        // worth of cycles as its P=8 run issued per processor.
+        let r = run(true);
+        for curve in &r.curves {
+            let first = curve.points.first().expect("points");
+            let last = curve.points.last().expect("points");
+            assert!(
+                last.makespan >= first.makespan / 4,
+                "{}: makespan collapsed from {} to {}",
+                curve.scheme,
+                first.makespan,
+                last.makespan
+            );
+        }
+    }
+}

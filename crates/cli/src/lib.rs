@@ -49,9 +49,15 @@ USAGE:
       Unroll a loop and show the re-synchronized Doacross listing.
   datasync reproduce  [--quick] [--markdown]
       Regenerate every experiment table of the paper reproduction.
-  datasync perf       [--out PATH] [--quick]
+  datasync perf       [--out PATH] [--quick] [--scale]
+                      [--check] [--baseline PATH]
       Self-benchmark: fast-forward kernel vs per-cycle reference stepping
       and parallel vs serial sweep throughput; writes BENCH_sim.json.
+      --scale instead sweeps every scheme across P = 8 → 1024 processors
+      and writes the throughput curve to BENCH_scale.json. --check
+      re-measures the kernel (warm-up, median of five) against the
+      committed baseline (--baseline, default BENCH_sim.json) and exits 9
+      on a >15% throughput regression — the CI perf gate.
   datasync trace      [--loop L] [--n N] [--m M] [--scheme S] [--procs P]
                       [--x X] [--banks B] [--fabric F] [--events E]
                       [--out PATH]
@@ -74,7 +80,8 @@ EXIT CODES: 0 success | 2 bad arguments or config | 3 deadlock detected |
             4 simulation timed out | 5 completed but only via recovery |
             6 completed only on the degraded fallback scheme |
             7 dependence order violated |
-            8 completed but only by reconfiguring around a dead processor
+            8 completed but only by reconfiguring around a dead processor |
+            9 perf check found a throughput regression
 ";
 
 /// The `datasync` process exit codes — the tool's scripting contract,
@@ -101,11 +108,14 @@ pub enum ExitCode {
     /// `8` — completed, but only by reconfiguring work off a
     /// fail-stopped processor onto the survivor quorum.
     Reconfigured,
+    /// `9` — the gating perf check measured a throughput regression
+    /// beyond its tolerance.
+    PerfRegression,
 }
 
 impl ExitCode {
     /// Every documented exit code.
-    pub const ALL: [ExitCode; 8] = [
+    pub const ALL: [ExitCode; 9] = [
         ExitCode::Success,
         ExitCode::Usage,
         ExitCode::Deadlock,
@@ -114,6 +124,7 @@ impl ExitCode {
         ExitCode::Degraded,
         ExitCode::Violated,
         ExitCode::Reconfigured,
+        ExitCode::PerfRegression,
     ];
 
     /// The numeric process exit code.
@@ -127,6 +138,7 @@ impl ExitCode {
             ExitCode::Degraded => 6,
             ExitCode::Violated => 7,
             ExitCode::Reconfigured => 8,
+            ExitCode::PerfRegression => 9,
         }
     }
 
@@ -145,9 +157,10 @@ impl ExitCode {
             ExitCode::Reconfigured => 2,
             ExitCode::Degraded => 3,
             ExitCode::Usage => 4,
-            ExitCode::Timeout => 5,
-            ExitCode::Deadlock => 6,
-            ExitCode::Violated => 7,
+            ExitCode::PerfRegression => 5,
+            ExitCode::Timeout => 6,
+            ExitCode::Deadlock => 7,
+            ExitCode::Violated => 8,
         }
     }
 
@@ -449,7 +462,7 @@ mod tests {
             assert_eq!(ExitCode::from_code(e.code()), Some(e), "{e:?}");
         }
         assert_eq!(ExitCode::from_code(1), None, "1 is deliberately unused");
-        assert_eq!(ExitCode::from_code(9), None);
+        assert_eq!(ExitCode::from_code(10), None);
         // …and exactly matches the codes documented in the README table
         // (`| \`N\` | meaning |` rows) and the USAGE text.
         let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
@@ -600,6 +613,52 @@ mod tests {
         assert!(json.contains("\"fast_forward_speedup\""), "{json}");
         assert!(json.contains("\"combined_speedup\""), "{json}");
         assert!(run(&["perf", "--out", "/nonexistent/dir/x.json", "--quick"]).is_err());
+    }
+
+    #[test]
+    fn perf_check_gates_against_a_baseline_file() {
+        let dir = std::env::temp_dir().join("datasync_cli_perf_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        let path_s = path.to_str().unwrap();
+        // Any honest measurement clears a floor baseline (a fresh
+        // baseline's own re-measurement would be flaky on a loaded
+        // host: the report's min-of-N deliberately reads above the
+        // check's pessimistic median)…
+        std::fs::write(&path, "{\"fast_cycles_per_sec\": 1000.0}\n").unwrap();
+        let out = run(&["perf", "--quick", "--check", "--baseline", path_s]).unwrap();
+        assert!(out.contains("perf check"), "{out}");
+        assert!(out.contains("=> ok"), "{out}");
+        // …an impossible baseline fails with the dedicated exit code…
+        std::fs::write(&path, "{\"fast_cycles_per_sec\": 1e15}\n").unwrap();
+        let e = run(&["perf", "--quick", "--check", "--baseline", path_s]).unwrap_err();
+        assert_eq!(e.code, ExitCode::PerfRegression.code());
+        assert!(e.message.contains("REGRESSION"), "{}", e.message);
+        // …and unusable baselines are argument errors, not regressions.
+        std::fs::write(&path, "{\"fast_cycles_per_sec\": null}\n").unwrap();
+        assert_eq!(run(&["perf", "--quick", "--check", "--baseline", path_s]).unwrap_err().code, 2);
+        assert_eq!(
+            run(&["perf", "--quick", "--check", "--baseline", "/nonexistent/b.json"])
+                .unwrap_err()
+                .code,
+            2
+        );
+        assert_eq!(run(&["perf", "--quick", "--baseline", path_s]).unwrap_err().code, 2);
+        assert_eq!(run(&["perf", "--quick", "--scale", "--check"]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn perf_scale_writes_the_curve() {
+        let dir = std::env::temp_dir().join("datasync_cli_perf_scale_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_scale.json");
+        let out = run(&["perf", "--quick", "--scale", "--out", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("cycles/sec by processor count"), "{out}");
+        assert!(out.contains("barrier-phased"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"procs\": [8, 16, 32]"), "{json}");
+        assert!(json.contains("\"cycles_per_sec\""), "{json}");
+        assert!(run(&["perf", "--scale", "--quick", "--out", "/nonexistent/dir/s.json"]).is_err());
     }
 
     #[test]

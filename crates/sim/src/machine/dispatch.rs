@@ -33,29 +33,34 @@ pub(crate) struct Dispatcher {
     pub(crate) chain_pred: Vec<Option<usize>>,
     /// Programs that have run to completion.
     pub(crate) done: Vec<bool>,
+    /// Set when a program completes mid-cycle: parked work may have
+    /// become claimable, so cached idle-processor wakes must be
+    /// re-armed at the end of the step. Cleared by the stepper.
+    pub(crate) dirty: bool,
 }
 
 impl Dispatcher {
     /// Builds the dispatch state for `p` processors of `workload`.
     pub(crate) fn new(workload: &Workload, p: usize) -> Self {
         let queues = match &workload.dispatch {
-            DispatchMode::Dynamic => vec![VecDeque::new(); p],
+            DispatchMode::Dynamic => vec![VecDeque::new(); p], // alloc-ok: setup
             DispatchMode::Static(assign) => {
-                let mut qs = vec![VecDeque::new(); p];
+                let mut qs = vec![VecDeque::new(); p]; // alloc-ok: setup
                 for (i, q) in assign.iter().enumerate().take(p) {
-                    qs[i] = q.iter().copied().collect();
+                    qs[i] = q.iter().copied().collect(); // alloc-ok: setup
                 }
                 qs
             }
         };
-        let mut chain_pred = vec![None; workload.programs.len()];
+        let mut chain_pred = vec![None; workload.programs.len()]; // alloc-ok: setup
         for q in &queues {
             for pair in q.iter().collect::<Vec<_>>().windows(2) {
+                // alloc-ok: setup
                 chain_pred[*pair[1]] = Some(*pair[0]);
             }
         }
-        let done = vec![false; workload.programs.len()];
-        Self { next_dynamic: 0, queues, rescue: VecDeque::new(), chain_pred, done }
+        let done = vec![false; workload.programs.len()]; // alloc-ok: setup
+        Self { next_dynamic: 0, queues, rescue: VecDeque::new(), chain_pred, done, dirty: false }
     }
 
     /// Whether a never-started program may be issued now: its static
@@ -144,12 +149,14 @@ impl<'a> Machine<'a> {
         self.note_progress();
         self.events
             .record(self.cycle, SimEventKind::Dispatch { proc: p, program: next });
-        self.procs[p].current = Some(next);
-        self.procs[p].ip = resume;
-        self.procs[p].resume_ip = resume;
+        self.procs.set_current(p, Some(next));
+        self.procs.ip[p] = resume;
+        self.procs.resume_ip[p] = resume;
         let lat = self.config.dispatch_latency;
-        self.procs[p].state =
-            if lat == 0 { ProcState::Ready } else { ProcState::Computing { remaining: lat } };
+        self.procs.set_state(
+            p,
+            if lat == 0 { ProcState::Ready } else { ProcState::Computing { remaining: lat } },
+        );
         true
     }
 }

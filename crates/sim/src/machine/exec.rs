@@ -14,11 +14,11 @@ impl<'a> Machine<'a> {
     /// zero-cost computes) retire in the same cycle; the first costly one
     /// decides how the cycle is accounted.
     pub(crate) fn step_proc(&mut self, p: usize) {
-        if self.dead[p] {
-            self.procs[p].stats.dead += 1;
+        if self.procs.is_dead(p) {
+            self.procs.stats[p].dead += 1;
             return;
         }
-        if self.cycle >= self.fail_at[p] {
+        if self.cycle >= self.procs.fail_at[p] {
             // Fail-stop onset: this processor permanently stops
             // dispatching, retiring and answering the sync bus. Its
             // gap detector is disarmed (a dead processor NACKs nothing);
@@ -30,26 +30,27 @@ impl<'a> Machine<'a> {
             // hardware actually enforced is not re-stamped late by the
             // rescue path.
             self.drain_notes(p);
-            self.dead[p] = true;
+            self.procs.kill(p);
             self.rec.nack_due[p] = u64::MAX;
             self.stats.faults.fail_stops += 1;
             self.record_fault(Some(p), FaultClass::ProcFailStop, 0);
-            self.procs[p].stats.dead += 1;
+            self.procs.stats[p].dead += 1;
             return;
         }
         if self.config.faults.stall_mean_interval > 0 {
-            if self.cycle >= self.stall_until[p] && self.cycle >= self.next_stall[p] {
+            if self.cycle >= self.procs.stall_until[p] && self.cycle >= self.procs.next_stall[p] {
                 // Stall onset: freeze this processor for a bounded
                 // interval and schedule the next onset.
                 let len = u64::from(self.rng.range_u32(1, self.config.faults.stall_max));
-                self.stall_until[p] = self.cycle + len;
+                self.procs.stall_until[p] = self.cycle + len;
                 let mean = u64::from(self.config.faults.stall_mean_interval);
-                self.next_stall[p] = self.stall_until[p] + 1 + self.rng.below(2 * mean);
+                self.procs.next_stall[p] = self.procs.stall_until[p] + 1 + self.rng.below(2 * mean);
+                self.procs.mark_wake(p);
                 self.stats.faults.stalls += 1;
                 self.stats.faults.stall_cycles += len;
                 self.record_fault(Some(p), FaultClass::ProcStall, len);
             }
-            if self.cycle < self.stall_until[p] {
+            if self.cycle < self.procs.stall_until[p] {
                 // A stall freezes real work, but trace notes are
                 // bookkeeping, not machine work: an instruction that
                 // already completed (e.g. a keyed access whose
@@ -57,47 +58,56 @@ impl<'a> Machine<'a> {
                 // witnessed now, or the trace would misreport the order
                 // the hardware actually enforced.
                 self.drain_notes(p);
-                self.procs[p].stats.stalled += 1;
+                self.procs.stats[p].stalled += 1;
+                // A frozen `Ready` processor drains notes every stalled
+                // cycle (its wake is "next cycle" until the freeze ends),
+                // so its deadline must be re-armed each cycle.
+                self.procs.mark_wake(p);
                 return;
+            }
+            if self.cycle == self.procs.stall_until[p] {
+                // Thaw cycle: the wake cached during the freeze (the
+                // freeze's own end) expires now, and the processor may
+                // step on without any lane write — re-arm against its
+                // real deadlines (next stall onset, NACK due, ...).
+                self.procs.mark_wake(p);
             }
         }
         loop {
-            match self.procs[p].state {
+            match self.procs.state(p) {
                 ProcState::Idle => {
                     if !self.try_dispatch(p) {
-                        self.procs[p].stats.idle += 1;
+                        self.procs.stats[p].idle += 1;
                         return;
                     }
                     // Dispatch may impose latency (state becomes Computing)
                     // or leave the proc Ready; loop to handle either.
                 }
                 ProcState::Computing { remaining } => {
-                    self.procs[p].stats.busy += 1;
+                    self.procs.stats[p].busy += 1;
                     self.note_progress();
-                    let left = remaining - 1;
-                    self.procs[p].state = if left == 0 {
-                        ProcState::Ready
-                    } else {
-                        ProcState::Computing { remaining: left }
-                    };
+                    self.procs.tick_computing(p, remaining - 1);
                     return;
                 }
                 ProcState::BlockedData | ProcState::BlockedSync => {
-                    self.procs[p].stats.blocked += 1;
+                    self.procs.stats[p].blocked += 1;
                     return;
                 }
                 ProcState::SpinLocal { var, pred } => {
-                    if pred.eval(self.sync.images[p][var]) {
+                    if pred.eval(self.sync.image(p, var)) {
                         self.close_wait(p);
-                        self.procs[p].state = ProcState::Ready;
+                        self.procs.set_state(p, ProcState::Ready);
                         // The successful check still costs this cycle.
-                        self.procs[p].stats.spin += 1;
+                        self.procs.stats[p].spin += 1;
                         return;
                     }
                     if self.cycle >= self.rec.nack_due[p] {
+                        // `check_gap` re-arms (or parks) the NACK
+                        // deadline this wake is keyed on.
+                        self.procs.mark_wake(p);
                         self.check_gap(p, var, pred);
                     }
-                    self.procs[p].stats.spin += 1;
+                    self.procs.stats[p].spin += 1;
                     return;
                 }
                 ProcState::SpinMem { retry, phase } => {
@@ -108,11 +118,13 @@ impl<'a> Machine<'a> {
                                 kind: retry,
                                 addr: retry_addr(retry),
                             });
-                            self.procs[p].state =
-                                ProcState::SpinMem { retry, phase: SpinPhase::WaitingResult };
+                            self.procs.set_state(
+                                p,
+                                ProcState::SpinMem { retry, phase: SpinPhase::WaitingResult },
+                            );
                         }
                     }
-                    self.procs[p].stats.spin += 1;
+                    self.procs.stats[p].spin += 1;
                     return;
                 }
                 ProcState::Ready => {
@@ -130,15 +142,15 @@ impl<'a> Machine<'a> {
     /// stepping; draining them here keeps that invariant across stall
     /// onsets so completion events are never reported late.
     pub(crate) fn drain_notes(&mut self, p: usize) {
-        while matches!(self.procs[p].state, ProcState::Ready) {
-            let Some(prog_ix) = self.procs[p].current else { return };
-            let ip = self.procs[p].ip;
+        while matches!(self.procs.state(p), ProcState::Ready) {
+            let Some(prog_ix) = self.procs.current(p) else { return };
+            let ip = self.procs.ip[p];
             let program = &self.workload.programs[prog_ix];
             if ip >= program.instrs.len() {
                 return;
             }
             let Instr::Note(label) = program.instrs[ip] else { return };
-            self.procs[p].ip += 1;
+            self.procs.ip[p] += 1;
             self.trace.record(self.cycle, p, label);
         }
     }
@@ -148,20 +160,21 @@ impl<'a> Machine<'a> {
     /// operations on the dedicated transport go through the configured
     /// [`super::SyncFabric`] backend.
     pub(crate) fn execute_next_instr(&mut self, p: usize) {
-        let prog_ix = match self.procs[p].current {
+        let prog_ix = match self.procs.current(p) {
             Some(ix) => ix,
             None => {
-                self.procs[p].state = ProcState::Idle;
+                self.procs.set_state(p, ProcState::Idle);
                 return;
             }
         };
-        let ip = self.procs[p].ip;
+        let ip = self.procs.ip[p];
         let program = &self.workload.programs[prog_ix];
         if ip >= program.instrs.len() {
             self.disp.done[prog_ix] = true;
-            self.procs[p].current = None;
-            self.procs[p].ip = 0;
-            self.procs[p].state = ProcState::Idle;
+            self.disp.dirty = true;
+            self.procs.set_current(p, None);
+            self.procs.ip[p] = 0;
+            self.procs.set_state(p, ProcState::Idle);
             return;
         }
         let instr = program.instrs[ip];
@@ -169,21 +182,21 @@ impl<'a> Machine<'a> {
         // that parks the processor re-executes from here, and KeyedAccess
         // rewinds `ip` itself). This is the provably-safe resume point
         // the rescue rung reads if this processor fail-stops mid-flight.
-        self.procs[p].resume_ip = ip;
-        self.procs[p].ip += 1;
+        self.procs.resume_ip[p] = ip;
+        self.procs.ip[p] += 1;
         self.note_progress();
         let fabric = self.fabric;
         match instr {
             Instr::Compute(0) => {}
             Instr::Compute(c) => {
-                self.procs[p].state = ProcState::Computing { remaining: c };
+                self.procs.set_state(p, ProcState::Computing { remaining: c });
             }
             Instr::Note(label) => {
                 self.trace.record(self.cycle, p, label);
             }
             Instr::Access { addr, write: _ } => {
                 self.mem.queue.push_back(DataReq { proc: p, kind: DataReqKind::Access, addr });
-                self.procs[p].state = ProcState::BlockedData;
+                self.procs.set_state(p, ProcState::BlockedData);
             }
             Instr::SyncSet { var, val } => match self.config.sync_transport {
                 SyncTransport::DedicatedBus => {
@@ -196,14 +209,14 @@ impl<'a> Machine<'a> {
                         kind: DataReqKind::SyncWrite { var, val },
                         addr: var as u64,
                     });
-                    self.procs[p].state = ProcState::BlockedData;
+                    self.procs.set_state(p, ProcState::BlockedData);
                 }
             },
             Instr::SyncRmw { var } => match self.config.sync_transport {
                 SyncTransport::DedicatedBus => {
                     self.metrics.sync_vars[var].rmws += 1;
                     if !fabric.rmw(self, p, var) {
-                        self.procs[p].state = ProcState::BlockedSync;
+                        self.procs.set_state(p, ProcState::BlockedSync);
                     }
                 }
                 SyncTransport::SharedMemory => {
@@ -213,15 +226,15 @@ impl<'a> Machine<'a> {
                         kind: DataReqKind::SyncRmw { var },
                         addr: var as u64,
                     });
-                    self.procs[p].state = ProcState::BlockedData;
+                    self.procs.set_state(p, ProcState::BlockedData);
                 }
             },
             Instr::SyncWait { var, pred } => match self.config.sync_transport {
                 SyncTransport::DedicatedBus => {
                     self.metrics.sync_vars[var].waits += 1;
-                    if !pred.eval(self.sync.images[p][var]) {
+                    if !pred.eval(self.sync.image(p, var)) {
                         self.begin_wait(p, var, false);
-                        self.procs[p].state = ProcState::SpinLocal { var, pred };
+                        self.procs.set_state(p, ProcState::SpinLocal { var, pred });
                     }
                 }
                 SyncTransport::SharedMemory => {
@@ -229,13 +242,15 @@ impl<'a> Machine<'a> {
                     self.begin_wait(p, var, true);
                     let kind = DataReqKind::Poll { var, pred };
                     self.mem.queue.push_back(DataReq { proc: p, kind, addr: var as u64 });
-                    self.procs[p].state =
-                        ProcState::SpinMem { retry: kind, phase: SpinPhase::WaitingResult };
+                    self.procs.set_state(
+                        p,
+                        ProcState::SpinMem { retry: kind, phase: SpinPhase::WaitingResult },
+                    );
                 }
             },
             Instr::SyncSetIfGeq { var, guard, val } => match self.config.sync_transport {
                 SyncTransport::DedicatedBus => {
-                    if self.sync.images[p][var] >= guard {
+                    if self.sync.image(p, var) >= guard {
                         fabric.post(self, p, var, val);
                     }
                 }
@@ -245,30 +260,32 @@ impl<'a> Machine<'a> {
                         kind: DataReqKind::ReadCheck { var, guard, val },
                         addr: var as u64,
                     });
-                    self.procs[p].state = ProcState::BlockedData;
+                    self.procs.set_state(p, ProcState::BlockedData);
                 }
             },
             Instr::KeyedAccess { var, geq } => match self.config.sync_transport {
                 SyncTransport::DedicatedBus => {
-                    if self.sync.images[p][var] >= geq {
+                    if self.sync.image(p, var) >= geq {
                         self.metrics.sync_vars[var].rmws += 1;
                         if !fabric.rmw(self, p, var) {
-                            self.procs[p].state = ProcState::BlockedSync;
+                            self.procs.set_state(p, ProcState::BlockedSync);
                         }
                     } else {
                         // Spin on the local image, then re-issue this
                         // instruction once the key advances.
                         self.begin_wait(p, var, false);
-                        self.procs[p].ip -= 1;
-                        self.procs[p].state = ProcState::SpinLocal { var, pred: Pred::Geq(geq) };
+                        self.procs.ip[p] -= 1;
+                        self.procs.set_state(p, ProcState::SpinLocal { var, pred: Pred::Geq(geq) });
                     }
                 }
                 SyncTransport::SharedMemory => {
                     self.begin_wait(p, var, true);
                     let kind = DataReqKind::KeyedAttempt { var, geq };
                     self.mem.queue.push_back(DataReq { proc: p, kind, addr: var as u64 });
-                    self.procs[p].state =
-                        ProcState::SpinMem { retry: kind, phase: SpinPhase::WaitingResult };
+                    self.procs.set_state(
+                        p,
+                        ProcState::SpinMem { retry: kind, phase: SpinPhase::WaitingResult },
+                    );
                 }
             },
         }

@@ -76,48 +76,122 @@ impl QueuedSync {
     }
 }
 
+/// Per-variable synchronization state in struct-of-arrays layout: one
+/// lane per field, indexed by [`SyncVar`].
+#[derive(Debug)]
+pub(crate) struct VarLanes {
+    /// Globally-performed value of each synchronization variable.
+    pub(crate) global: Vec<u64>,
+    /// Per-variable tag of the last applied sync write; an arriving
+    /// message with an older tag is a stale redelivery and is discarded.
+    pub(crate) applied_seq: Vec<u64>,
+}
+
 /// All synchronization-transport state: the authoritative global
 /// values, per-processor local images, the broadcast queue, and the
 /// deferred-image and sequence-tag machinery faults and recovery hang
 /// off. Owned by the machine; backends are stateless.
+///
+/// Local images live in one flat **var-major** block
+/// (`images[var * procs + p]`), so a broadcast delivery to all P
+/// consumers is one contiguous lane fill instead of P strided stores —
+/// see [`Machine::write_sync`].
 #[derive(Debug)]
 pub(crate) struct SyncState {
-    /// Globally-performed value of each synchronization variable.
-    pub(crate) global: Vec<u64>,
-    /// Per-processor local images (`images[p][var]`).
-    pub(crate) images: Vec<Vec<u64>>,
+    /// Per-variable lanes (global values, applied sequence tags).
+    pub(crate) vars: VarLanes,
+    /// Flat var-major per-processor local images.
+    images: Vec<u64>,
+    /// Processor count (the images' minor stride).
+    procs: usize,
     /// Broadcasts waiting for the sync bus.
     pub(crate) queue: VecDeque<QueuedSync>,
     /// The broadcast currently holding the bus, with its end cycle.
     pub(crate) active: Option<(QueuedSync, u64)>,
     /// Next sync-message issue tag (see [`QueuedSync::seq`]).
     pub(crate) seq: u64,
-    /// Per-variable tag of the last applied sync write; an arriving
-    /// message with an older tag is a stale redelivery and is discarded.
-    pub(crate) applied_seq: Vec<u64>,
     /// Deferred local-image updates per processor: `(apply_cycle, var,
     /// val)` in FIFO order, so one image always sees writes in the order
     /// they were performed globally, just late.
     pub(crate) defer: Vec<VecDeque<(u64, SyncVar, u64)>>,
+    /// Total entries across all `defer` queues; 0 lets
+    /// [`Machine::write_sync`] take the batched lane-fill path.
+    defer_len: usize,
     /// Earliest due cycle across all `defer` queues (`u64::MAX` when
     /// every queue is empty), so quiescent processors cost nothing in
     /// [`Machine::apply_deferred_images`].
     pub(crate) due_min: u64,
+    /// Set when the [`IdealFabric`] oracle rewrites every image
+    /// mid-cycle (during the processor loop): wakes cached by
+    /// already-stepped spinners may now be too late, so the stepper must
+    /// re-arm them. Cleared by the stepper each cycle.
+    pub(crate) images_touched: bool,
 }
 
 impl SyncState {
     /// Fresh transport state for `p` processors and `n_vars` variables.
     pub(crate) fn new(p: usize, n_vars: usize) -> Self {
         Self {
-            global: vec![0; n_vars],
-            images: vec![vec![0; n_vars]; p],
+            vars: VarLanes { global: vec![0; n_vars], applied_seq: vec![0; n_vars] }, // alloc-ok: setup
+            images: vec![0; n_vars * p], // alloc-ok: setup
+            procs: p,
             queue: VecDeque::new(),
             active: None,
             seq: 0,
-            applied_seq: vec![0; n_vars],
-            defer: vec![VecDeque::new(); p],
+            defer: vec![VecDeque::new(); p], // alloc-ok: setup
+            defer_len: 0,
             due_min: u64::MAX,
+            images_touched: false,
         }
+    }
+
+    /// Number of synchronization variables.
+    pub(crate) fn n_vars(&self) -> usize {
+        self.vars.global.len()
+    }
+
+    /// Processor `p`'s local image of `var`.
+    #[inline]
+    pub(crate) fn image(&self, p: usize, var: SyncVar) -> u64 {
+        self.images[var * self.procs + p]
+    }
+
+    #[inline]
+    pub(crate) fn set_image(&mut self, p: usize, var: SyncVar, val: u64) {
+        self.images[var * self.procs + p] = val;
+    }
+
+    /// All P images of `var` as one contiguous lane.
+    #[inline]
+    pub(crate) fn var_images_mut(&mut self, var: SyncVar) -> &mut [u64] {
+        let p = self.procs;
+        &mut self.images[var * p..(var + 1) * p]
+    }
+
+    /// Grows the per-variable lanes (and the image block) to `n` vars.
+    pub(crate) fn resize_vars(&mut self, n: usize) {
+        self.vars.global.resize(n, 0); // alloc-ok: setup
+        self.vars.applied_seq.resize(n, 0); // alloc-ok: setup
+        self.images.resize(n * self.procs, 0); // alloc-ok: setup
+    }
+
+    /// Queues a deferred image update, maintaining the count and the
+    /// due-time minimum. All deferral paths must go through here so the
+    /// batched-broadcast guard (`defer_len == 0`) stays truthful.
+    pub(crate) fn push_defer(&mut self, p: usize, when: u64, var: SyncVar, val: u64) {
+        self.defer[p].push_back((when, var, val));
+        self.defer_len += 1;
+        self.due_min = self.due_min.min(when);
+    }
+
+    /// Pops processor `p`'s oldest deferred update, if any (callers
+    /// recompute `due_min` when they stop popping).
+    pub(crate) fn pop_defer(&mut self, p: usize) -> Option<(u64, SyncVar, u64)> {
+        let e = self.defer[p].pop_front();
+        if e.is_some() {
+            self.defer_len -= 1;
+        }
+        e
     }
 }
 
@@ -239,7 +313,7 @@ impl SyncFabric for IdealFabric {
     }
 
     fn rmw(&self, m: &mut Machine<'_>, _proc: usize, var: SyncVar) -> bool {
-        let val = m.sync.global[var] + 1;
+        let val = m.sync.vars.global[var] + 1;
         m.stats.rmw_ops += 1;
         m.apply_instantly(var, val);
         true
@@ -318,10 +392,9 @@ impl<'a> Machine<'a> {
     /// stay comparable across fabrics.
     pub(crate) fn apply_instantly(&mut self, var: SyncVar, val: u64) {
         self.stats.sync_broadcasts += 1;
-        self.sync.global[var] = val;
-        for img in &mut self.sync.images {
-            img[var] = val;
-        }
+        self.sync.vars.global[var] = val;
+        self.sync.var_images_mut(var).fill(val);
+        self.sync.images_touched = true;
         self.events
             .record(self.cycle, SimEventKind::SyncDeliver { var, val, stale: false });
         self.note_progress();
@@ -419,15 +492,15 @@ impl<'a> Machine<'a> {
             }
             match entry.req {
                 SyncReq::Post { var, val, .. } => {
-                    let stale = entry.seq <= self.sync.applied_seq[var];
+                    let stale = entry.seq <= self.sync.vars.applied_seq[var];
                     // A refresh re-broadcasts the *current* global
                     // value: a payload captured at NACK time could
                     // have been overtaken by an RMW granted since,
                     // and re-applying it would regress the counter.
-                    let val = if entry.refresh { self.sync.global[var] } else { val };
+                    let val = if entry.refresh { self.sync.vars.global[var] } else { val };
                     self.events.record(self.cycle, SimEventKind::SyncDeliver { var, val, stale });
                     if !stale {
-                        self.sync.applied_seq[var] = entry.seq;
+                        self.sync.vars.applied_seq[var] = entry.seq;
                         self.write_sync(var, val);
                     } else {
                         // A drop or reorder let a newer write to
@@ -440,8 +513,9 @@ impl<'a> Machine<'a> {
                     }
                 }
                 SyncReq::Rmw { proc, var } => {
-                    self.sync.applied_seq[var] = self.sync.applied_seq[var].max(entry.seq);
-                    let v = self.sync.global[var] + 1;
+                    self.sync.vars.applied_seq[var] =
+                        self.sync.vars.applied_seq[var].max(entry.seq);
+                    let v = self.sync.vars.global[var] + 1;
                     self.events.record(
                         self.cycle,
                         SimEventKind::SyncDeliver { var, val: v, stale: false },
@@ -456,10 +530,28 @@ impl<'a> Machine<'a> {
 
     /// Performs a sync write globally and broadcasts it to every local
     /// image, subject to the per-image loss and staleness faults.
+    ///
+    /// With no image faults armed and no deferred update pending
+    /// anywhere, every image takes the value unconditionally: the
+    /// delivery is one batched fill of the variable's contiguous image
+    /// lane, and the fault stream is untouched (the faulted path draws
+    /// zero RNG under the same conditions, so the two are bit-identical).
     pub(crate) fn write_sync(&mut self, var: SyncVar, val: u64) {
-        self.sync.global[var] = val;
+        self.sync.vars.global[var] = val;
         let f = self.config.faults;
-        for p in 0..self.sync.images.len() {
+        if f.broadcast_loss_pct == 0 && f.stale_image_pct == 0 && self.sync.defer_len == 0 {
+            self.sync.var_images_mut(var).fill(val);
+            return;
+        }
+        self.write_sync_faulted(var, val);
+    }
+
+    /// The per-processor delivery walk for runs with image faults armed
+    /// or deferred updates in flight. Not `#[cold]`: chaos sweeps live
+    /// here.
+    fn write_sync_faulted(&mut self, var: SyncVar, val: u64) {
+        let f = self.config.faults;
+        for p in 0..self.sync.procs {
             if f.broadcast_loss_pct > 0 && self.rng.chance_pct(f.broadcast_loss_pct) {
                 // The write performed globally but this processor's image
                 // tap missed it *permanently* — the one unbounded fault.
@@ -476,16 +568,14 @@ impl<'a> Machine<'a> {
                 let when = (self.cycle + window).max(pending.unwrap_or(0));
                 self.stats.faults.stale_image_updates += 1;
                 self.record_fault(Some(p), FaultClass::StaleImage, window);
-                self.sync.defer[p].push_back((when, var, val));
-                self.sync.due_min = self.sync.due_min.min(when);
+                self.sync.push_defer(p, when, var, val);
             } else if let Some(pending) = pending {
                 // A fresh update must not overtake an older deferred one:
                 // queue behind it so each image sees writes in global
                 // order, merely late.
-                self.sync.defer[p].push_back((pending, var, val));
-                self.sync.due_min = self.sync.due_min.min(pending);
+                self.sync.push_defer(p, pending, var, val);
             } else {
-                self.sync.images[p][var] = val;
+                self.sync.set_image(p, var, val);
             }
         }
     }
@@ -503,8 +593,8 @@ impl<'a> Machine<'a> {
                 if when > self.cycle {
                     break;
                 }
-                self.sync.defer[p].pop_front();
-                self.sync.images[p][var] = val;
+                self.sync.pop_defer(p);
+                self.sync.set_image(p, var, val);
                 self.note_progress();
             }
             if let Some(&(when, _, _)) = self.sync.defer[p].front() {
@@ -532,10 +622,29 @@ mod tests {
     #[test]
     fn sync_state_starts_quiescent() {
         let s = SyncState::new(3, 2);
-        assert_eq!(s.global, vec![0, 0]);
-        assert_eq!(s.images.len(), 3);
+        assert_eq!(s.vars.global, vec![0, 0]);
+        assert_eq!(s.n_vars(), 2);
+        for p in 0..3 {
+            for var in 0..2 {
+                assert_eq!(s.image(p, var), 0);
+            }
+        }
         assert!(s.queue.is_empty() && s.active.is_none());
         assert_eq!(s.due_min, u64::MAX);
-        assert_eq!(s.applied_seq, vec![0, 0]);
+        assert_eq!(s.vars.applied_seq, vec![0, 0]);
+    }
+
+    #[test]
+    fn image_lanes_are_var_major_and_resizable() {
+        let mut s = SyncState::new(2, 1);
+        s.set_image(1, 0, 7);
+        assert_eq!((s.image(0, 0), s.image(1, 0)), (0, 7));
+        s.resize_vars(3);
+        assert_eq!(s.n_vars(), 3);
+        // Existing images survive the resize; new vars start zeroed.
+        assert_eq!((s.image(0, 0), s.image(1, 0)), (0, 7));
+        s.var_images_mut(2).fill(9);
+        assert_eq!((s.image(0, 2), s.image(1, 2)), (9, 9));
+        assert_eq!((s.image(0, 1), s.image(1, 1)), (0, 0));
     }
 }

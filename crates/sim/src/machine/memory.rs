@@ -196,24 +196,27 @@ impl<'a> Machine<'a> {
                 self.unblock(req.proc);
             }
             DataReqKind::SyncRmw { var } => {
-                let v = self.sync.global[var] + 1;
+                let v = self.sync.vars.global[var] + 1;
                 self.write_sync(var, v);
                 self.unblock(req.proc);
             }
             DataReqKind::Poll { var, pred } => {
-                if pred.eval(self.sync.global[var]) {
+                if pred.eval(self.sync.vars.global[var]) {
                     self.unblock(req.proc);
                 } else {
-                    self.procs[req.proc].state = ProcState::SpinMem {
-                        retry: req.kind,
-                        phase: SpinPhase::Backoff {
-                            until: self.cycle + u64::from(self.config.spin_retry),
+                    self.procs.set_state(
+                        req.proc,
+                        ProcState::SpinMem {
+                            retry: req.kind,
+                            phase: SpinPhase::Backoff {
+                                until: self.cycle + u64::from(self.config.spin_retry),
+                            },
                         },
-                    };
+                    );
                 }
             }
             DataReqKind::ReadCheck { var, guard, val } => {
-                if self.sync.global[var] >= guard {
+                if self.sync.vars.global[var] >= guard {
                     self.metrics.sync_vars[var].posts += 1;
                     self.mem.queue.push_back(DataReq {
                         proc: req.proc,
@@ -225,19 +228,22 @@ impl<'a> Machine<'a> {
                 }
             }
             DataReqKind::KeyedAttempt { var, geq } => {
-                if self.sync.global[var] >= geq {
-                    let v = self.sync.global[var] + 1;
+                if self.sync.vars.global[var] >= geq {
+                    let v = self.sync.vars.global[var] + 1;
                     self.write_sync(var, v);
                     self.stats.rmw_ops += 1;
                     self.metrics.sync_vars[var].rmws += 1;
                     self.unblock(req.proc);
                 } else {
-                    self.procs[req.proc].state = ProcState::SpinMem {
-                        retry: req.kind,
-                        phase: SpinPhase::Backoff {
-                            until: self.cycle + u64::from(self.config.spin_retry),
+                    self.procs.set_state(
+                        req.proc,
+                        ProcState::SpinMem {
+                            retry: req.kind,
+                            phase: SpinPhase::Backoff {
+                                until: self.cycle + u64::from(self.config.spin_retry),
+                            },
                         },
-                    };
+                    );
                 }
             }
         }

@@ -23,7 +23,16 @@
 //!   ladder (gap NACKs, refresh retransmission, watchdog repair) and the
 //!   per-processor wait-episode bookkeeping it hangs off;
 //! * `exec` — the per-processor execution step that drives all of the
-//!   above through one instruction at a time.
+//!   above through one instruction at a time;
+//! * `schedule` — the **event schedule**: a calendar (bucket) queue over
+//!   per-processor wake deadlines, so the fast-forward kernel finds its
+//!   next event in O(occupied-buckets) instead of an O(P) scan.
+//!
+//! Data layout is struct-of-arrays: per-processor state lives in
+//! [`ProcLanes`] (one lane per field, not a `Vec` of processor structs)
+//! and per-variable sync state in [`fabric::VarLanes`] plus one flat
+//! var-major image block, so the hot loops walk contiguous memory and a
+//! broadcast delivery to P consumers is one batched lane fill.
 //!
 //! Determinism: processors are stepped in id order and bus queues are
 //! FIFO, so a run is a pure function of the configuration and workload.
@@ -45,6 +54,18 @@
 //! (enforced by the equivalence tests) — under every fabric backend,
 //! because both modes drive the same subsystem interfaces.
 //!
+//! The next observable event comes from two sources: the O(banks)
+//! [`Machine::channel_horizon`] over the buses, banks and deferred-image
+//! due time, and the [`schedule::Calendar`] over per-processor wake
+//! deadlines, each refreshed in O(1) as its processor steps. A cached
+//! wake is always a **lower bound** on the processor's true next event:
+//! waking too early merely steps a quiet cycle (bit-identical by the
+//! quiet-cycle invariant), while waking late would miss an event — so
+//! every mutation that can pull an event earlier (a program completing,
+//! an oracle broadcast touching every image, a recovery rung) re-arms
+//! the affected wakes. Debug builds cross-check every jump against the
+//! retained linear-scan oracle ([`Machine::scan_horizon`]).
+//!
 //! Liveness under faults: on top of the precise [`Machine::deadlocked`]
 //! check, a **progress watchdog** tracks the last cycle on which the
 //! machine did anything observable (retired an instruction, performed a
@@ -60,6 +81,7 @@ mod exec;
 pub mod fabric;
 mod memory;
 mod recovery_engine;
+mod schedule;
 mod workload;
 
 pub use fabric::{DedicatedBus, IdealFabric, SharedDataBus, SyncFabric};
@@ -68,7 +90,7 @@ pub use workload::{DispatchMode, Workload};
 use crate::config::{MachineConfig, MemoryModel};
 use crate::events::{EventRing, SimEventKind};
 use crate::faults::FaultClass;
-use crate::metrics::{RunMetrics, VarTraffic};
+use crate::metrics::RunMetrics;
 use crate::program::{Pred, SyncVar};
 use crate::rng::SplitMix64;
 use crate::stats::{ProcBreakdown, RunStats};
@@ -77,6 +99,7 @@ use dispatch::Dispatcher;
 use fabric::SyncState;
 use memory::{DataReqKind, MemorySystem};
 use recovery_engine::RecoveryEngine;
+use schedule::Calendar;
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -198,19 +221,185 @@ pub(crate) enum ProcState {
     },
 }
 
+/// Per-processor state in struct-of-arrays layout: one lane per field,
+/// so the per-cycle loops and the fast-forward bulk-charge walk
+/// contiguous memory instead of striding over a `Vec` of processor
+/// structs.
+///
+/// The `state` and `dead` lanes are private: every transition must go
+/// through [`ProcLanes::set_state`] / [`ProcLanes::set_current`] /
+/// [`ProcLanes::kill`], which maintain the cached population counters
+/// (`engaged`, `active`, `computing`) that make [`Machine::finished`],
+/// [`Machine::deadlocked`] and the watchdog's progressing test O(1) on
+/// the fast path.
 #[derive(Debug)]
-pub(crate) struct Proc {
-    pub(crate) state: ProcState,
-    pub(crate) current: Option<usize>,
-    pub(crate) ip: usize,
+pub(crate) struct ProcLanes {
+    state: Vec<ProcState>,
+    current: Vec<Option<usize>>,
+    pub(crate) ip: Vec<usize>,
     /// Index of the instruction execution would resume from if this
     /// program had to move to another processor right now: everything
     /// before it has fully retired (re-running it would duplicate side
     /// effects), nothing at or after it has (skipping it would lose
     /// work). Maintained at dispatch and at every instruction issue;
     /// the fail-stop rescue rung reads it when reclaiming work.
-    pub(crate) resume_ip: usize,
-    pub(crate) stats: ProcBreakdown,
+    pub(crate) resume_ip: Vec<usize>,
+    pub(crate) stats: Vec<ProcBreakdown>,
+    /// Per-processor injected-stall end cycle (0 = not stalled).
+    pub(crate) stall_until: Vec<u64>,
+    /// Per-processor cycle of the next stall onset (`u64::MAX` when
+    /// stalls are disabled).
+    pub(crate) next_stall: Vec<u64>,
+    /// Per-processor planned fail-stop cycle (`u64::MAX` = never).
+    pub(crate) fail_at: Vec<u64>,
+    /// Fail-stop flag: a dead processor never steps, dispatches or
+    /// answers the sync bus again; its cycles accrue to `dead`.
+    dead: Vec<bool>,
+    /// One bit per processor: set when a lane write may have moved the
+    /// processor's wake deadline, cleared when the fast-forward stepper
+    /// re-arms it. Wakes are *absolute* cycles (a computing processor's
+    /// retire cycle, a spinner's NACK deadline), so a processor whose
+    /// bit is clear still has a live, correct calendar entry — the
+    /// stepper only recomputes wakes for dirtied processors instead of
+    /// all P every cycle.
+    wake_dirty: Vec<u64>,
+    /// Processors (dead or alive) that are not (`Idle` with no program):
+    /// 0 is the processor side of [`Machine::finished`].
+    engaged: usize,
+    /// Live processors in `Ready`/`Computing`/`Blocked*` — states that
+    /// by themselves rule out a deadlock verdict.
+    active: usize,
+    /// Live processors in `Computing` — each notes progress every
+    /// cycle, which is what the watchdog's progressing test wants.
+    computing: usize,
+}
+
+impl ProcLanes {
+    fn new(p: usize, next_stall: Vec<u64>, fail_at: Vec<u64>) -> Self {
+        // Every bit starts dirty so the first stepped cycle arms every
+        // wake (processors that never transition — idle with no work —
+        // would otherwise keep their initial cycle-0 deadline forever).
+        let mut wake_dirty = vec![u64::MAX; p.div_ceil(64)];
+        if !p.is_multiple_of(64) {
+            *wake_dirty.last_mut().expect("at least one word") = (1u64 << (p % 64)) - 1;
+        }
+        Self {
+            state: vec![ProcState::Idle; p],
+            current: vec![None; p],
+            ip: vec![0; p],
+            resume_ip: vec![0; p],
+            stats: vec![ProcBreakdown::default(); p],
+            stall_until: vec![0; p],
+            next_stall,
+            fail_at,
+            dead: vec![false; p],
+            wake_dirty,
+            engaged: 0,
+            active: 0,
+            computing: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    #[inline]
+    pub(crate) fn state(&self, p: usize) -> ProcState {
+        self.state[p]
+    }
+
+    #[inline]
+    pub(crate) fn current(&self, p: usize) -> Option<usize> {
+        self.current[p]
+    }
+
+    #[inline]
+    pub(crate) fn is_dead(&self, p: usize) -> bool {
+        self.dead[p]
+    }
+
+    /// This processor's contribution to the cached counters under its
+    /// current lanes.
+    #[inline]
+    fn contrib(&self, p: usize) -> (usize, usize, usize) {
+        let engaged =
+            usize::from(!(matches!(self.state[p], ProcState::Idle) && self.current[p].is_none()));
+        if self.dead[p] {
+            return (engaged, 0, 0);
+        }
+        match self.state[p] {
+            ProcState::Ready | ProcState::BlockedData | ProcState::BlockedSync => (engaged, 1, 0),
+            ProcState::Computing { .. } => (engaged, 1, 1),
+            _ => (engaged, 0, 0),
+        }
+    }
+
+    #[inline]
+    fn retract(&mut self, p: usize) {
+        let (e, a, c) = self.contrib(p);
+        self.engaged -= e;
+        self.active -= a;
+        self.computing -= c;
+    }
+
+    #[inline]
+    fn restore(&mut self, p: usize) {
+        let (e, a, c) = self.contrib(p);
+        self.engaged += e;
+        self.active += a;
+        self.computing += c;
+    }
+
+    /// Flags `p`'s wake deadline as needing recomputation at the end of
+    /// the current stepped cycle.
+    #[inline]
+    pub(crate) fn mark_wake(&mut self, p: usize) {
+        self.wake_dirty[p / 64] |= 1 << (p % 64);
+    }
+
+    #[inline]
+    pub(crate) fn set_state(&mut self, p: usize, s: ProcState) {
+        self.mark_wake(p);
+        self.retract(p);
+        self.state[p] = s;
+        self.restore(p);
+    }
+
+    /// Advances a `Computing` processor to `left` remaining cycles
+    /// (reaching `Ready` at zero). Both transitions keep the processor
+    /// engaged and active, so only the `computing` counter can change —
+    /// this is the hottest state write in both stepping modes, and it
+    /// skips the full retract/restore recount of [`Self::set_state`].
+    /// It also leaves the wake bit clean: the processor's wake is the
+    /// absolute cycle it issues again (retire + 1 while computing, the
+    /// same cycle once `Ready`), which ticking never moves.
+    #[inline]
+    pub(crate) fn tick_computing(&mut self, p: usize, left: u32) {
+        debug_assert!(matches!(self.state[p], ProcState::Computing { .. }));
+        if left == 0 {
+            self.state[p] = ProcState::Ready;
+            self.computing -= usize::from(!self.dead[p]);
+        } else {
+            self.state[p] = ProcState::Computing { remaining: left };
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set_current(&mut self, p: usize, cur: Option<usize>) {
+        self.mark_wake(p);
+        self.retract(p);
+        self.current[p] = cur;
+        self.restore(p);
+    }
+
+    /// Marks processor `p` fail-stopped (never un-killed).
+    pub(crate) fn kill(&mut self, p: usize) {
+        self.mark_wake(p);
+        self.retract(p);
+        self.dead[p] = true;
+        self.restore(p);
+    }
 }
 
 /// The machine state (see [`run`] for the one-shot entry point).
@@ -224,7 +413,8 @@ pub struct Machine<'a> {
     pub(crate) workload: &'a Workload,
     mode: StepMode,
     pub(crate) cycle: u64,
-    pub(crate) procs: Vec<Proc>,
+    /// Per-processor state, one lane per field (see [`ProcLanes`]).
+    pub(crate) procs: ProcLanes,
     /// The synchronization-fabric backend (stateless; selected by
     /// `config.sync_fabric`).
     pub(crate) fabric: &'static dyn SyncFabric,
@@ -236,26 +426,16 @@ pub struct Machine<'a> {
     pub(crate) disp: Dispatcher,
     /// Self-healing ladder state and wait-episode bookkeeping.
     pub(crate) rec: RecoveryEngine,
+    /// Calendar queue over per-processor wake deadlines — the
+    /// fast-forward kernel's next-event index (unused by the reference
+    /// stepper).
+    sched: Calendar,
     pub(crate) stats: RunStats,
     pub(crate) trace: Trace,
     /// Fault-decision stream (seeded by `config.faults.seed`; untouched
     /// on fault-free runs, so they remain bit-identical to a machine
     /// without fault support).
     pub(crate) rng: SplitMix64,
-    /// Per-processor injected-stall end cycle (0 = not stalled).
-    pub(crate) stall_until: Vec<u64>,
-    /// Per-processor cycle of the next stall onset (`u64::MAX` when
-    /// stalls are disabled).
-    pub(crate) next_stall: Vec<u64>,
-    /// Per-processor planned fail-stop cycle (`u64::MAX` = never).
-    /// Drawn at construction from the fault stream, so runs without
-    /// fail-stop injection are bit-identical to a machine without
-    /// fail-stop support.
-    pub(crate) fail_at: Vec<u64>,
-    /// Per-processor fail-stop flag: a dead processor never steps,
-    /// dispatches or answers the sync bus again; its cycles accrue to
-    /// the `dead` stat bucket.
-    pub(crate) dead: Vec<bool>,
     /// Last cycle on which the machine observably progressed.
     last_progress: u64,
     /// Progress-watchdog bound (cycles of silence tolerated).
@@ -274,15 +454,6 @@ impl<'a> Machine<'a> {
     pub fn new(config: &'a MachineConfig, workload: &'a Workload) -> Self {
         let p = config.processors;
         let n_vars = workload.n_sync_vars();
-        let procs = (0..p)
-            .map(|_| Proc {
-                state: ProcState::Idle,
-                current: None,
-                ip: 0,
-                resume_ip: 0,
-                stats: ProcBreakdown::default(),
-            })
-            .collect();
         let n_banks = match config.memory_model {
             MemoryModel::BusHeld => 0,
             MemoryModel::Banked { banks } => banks,
@@ -345,22 +516,19 @@ impl<'a> Machine<'a> {
         let nack_delay = 32
             + 4 * u64::from(config.sync_bus_latency + f.broadcast_delay_max + f.stale_window_max);
         Self {
-            procs,
+            procs: ProcLanes::new(p, next_stall, fail_at),
             cycle: 0,
             fabric: config.sync_fabric.backend(),
             sync: SyncState::new(p, n_vars),
             mem: MemorySystem::new(n_banks),
             disp: Dispatcher::new(workload, p),
             rec: RecoveryEngine::new(p, nack_delay, config.recovery.repairs()),
+            sched: Calendar::new(p),
             stats: RunStats { procs: vec![ProcBreakdown::default(); p], ..Default::default() },
             trace: Trace::new(),
             metrics: RunMetrics::new(p, n_vars),
             events: EventRing::disabled(),
             rng,
-            stall_until: vec![0; p],
-            next_stall,
-            fail_at,
-            dead: vec![false; p],
             last_progress: 0,
             watchdog_limit,
             mode: StepMode::FastForward,
@@ -406,18 +574,12 @@ impl<'a> Machine<'a> {
     /// Panics if `var` is out of range or the machine already ran.
     pub fn preset_sync(&mut self, var: SyncVar, val: u64) {
         assert_eq!(self.cycle, 0, "preset_sync must be called before running");
-        if var >= self.sync.global.len() {
-            self.sync.global.resize(var + 1, 0);
-            for img in &mut self.sync.images {
-                img.resize(var + 1, 0);
-            }
-            self.sync.applied_seq.resize(var + 1, 0);
-            self.metrics.sync_vars.resize(var + 1, VarTraffic::default());
+        if var >= self.sync.n_vars() {
+            self.sync.resize_vars(var + 1);
+            self.metrics.sync_vars.resize(var + 1, Default::default());
         }
-        self.sync.global[var] = val;
-        for img in &mut self.sync.images {
-            img[var] = val;
-        }
+        self.sync.vars.global[var] = val;
+        self.sync.var_images_mut(var).fill(val);
     }
 
     /// Runs to completion.
@@ -432,13 +594,11 @@ impl<'a> Machine<'a> {
             if self.finished() {
                 let mut stats = std::mem::take(&mut self.stats);
                 stats.makespan = self.cycle;
-                for (i, p) in self.procs.iter().enumerate() {
-                    stats.procs[i] = p.stats;
-                }
+                stats.procs.copy_from_slice(&self.procs.stats);
                 return Ok(RunOutcome {
                     stats,
                     trace: std::mem::take(&mut self.trace),
-                    sync_final: std::mem::take(&mut self.sync.global),
+                    sync_final: std::mem::take(&mut self.sync.vars.global),
                     metrics: std::mem::take(&mut self.metrics),
                     events: std::mem::take(&mut self.events),
                 });
@@ -456,6 +616,7 @@ impl<'a> Machine<'a> {
                 // polls count as progress — so a dead producer under the
                 // shared-memory transport never trips the watchdog.
                 if self.rec.on && self.watchdog_rescue() {
+                    self.refresh_all_wakes_now();
                     continue;
                 }
                 if self.rec.on && self.rescue_settling() {
@@ -485,6 +646,7 @@ impl<'a> Machine<'a> {
                 // repair rung first — force-sync healable images from the
                 // global state and keep running instead of failing.
                 if self.rec.on && self.watchdog_repair() {
+                    self.refresh_all_wakes_now();
                     continue;
                 }
                 // Repair can't help (no gapped-but-satisfied image). If
@@ -493,6 +655,7 @@ impl<'a> Machine<'a> {
                 // reclaim the fail-stopped processors' unretired work
                 // and reissue it to the survivor quorum.
                 if self.rec.on && self.watchdog_rescue() {
+                    self.refresh_all_wakes_now();
                     continue;
                 }
                 // Livelock: cycles are being burned (spins, redeliveries,
@@ -503,14 +666,13 @@ impl<'a> Machine<'a> {
                     self.cycle,
                     SimEventKind::WatchdogFire { silent_for: self.cycle - self.last_progress },
                 );
-                let spinning: Vec<usize> = self
-                    .procs
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, p)| {
-                        matches!(p.state, ProcState::SpinLocal { .. } | ProcState::SpinMem { .. })
+                let spinning: Vec<usize> = (0..self.procs.len())
+                    .filter(|&i| {
+                        matches!(
+                            self.procs.state(i),
+                            ProcState::SpinLocal { .. } | ProcState::SpinMem { .. }
+                        )
                     })
-                    .map(|(i, _)| i)
                     .collect();
                 let mut detail = vec![format!(
                     "livelock: no forward progress for {} cycles (watchdog limit)",
@@ -534,39 +696,41 @@ impl<'a> Machine<'a> {
         stuck
             .iter()
             .map(|&i| {
-                let p = &self.procs[i];
-                let at = if self.dead[i] {
+                let at = if self.procs.is_dead(i) {
                     "fail-stopped (unretired work stranded)".to_string()
                 } else {
-                    match p.state {
+                    match self.procs.state(i) {
                         ProcState::SpinLocal { var, pred } => {
                             format!(
                                 "waiting {var} {pred} (image {}, global {})",
-                                self.sync.images[i][var], self.sync.global[var]
+                                self.sync.image(i, var),
+                                self.sync.vars.global[var]
                             )
                         }
                         ProcState::SpinMem { retry, .. } => format!("retrying {retry:?}"),
                         _ => "?".to_string(),
                     }
                 };
-                format!("proc {i}: program {:?} ip {} {at}", p.current, p.ip)
+                format!(
+                    "proc {i}: program {:?} ip {} {at}",
+                    self.procs.current(i),
+                    self.procs.ip[i]
+                )
             })
             .collect()
     }
 
     fn finished(&self) -> bool {
-        let no_pending = self.mem.active.is_none()
+        // `engaged == 0` is the cached form of "every processor is Idle
+        // with no program" — O(1) instead of an O(P) scan per loop turn.
+        self.procs.engaged == 0
+            && self.mem.active.is_none()
             && self.sync.active.is_none()
             && self.mem.queue.is_empty()
             && self.sync.queue.is_empty()
-            && !self.mem.banks_pending();
-        no_pending
+            && !self.mem.banks_pending()
             && !self.disp.dynamic_left(self.workload)
             && self.disp.all_drained()
-            && self
-                .procs
-                .iter()
-                .all(|p| matches!(p.state, ProcState::Idle) && p.current.is_none())
     }
 
     /// If the machine can provably never progress, the spinning culprits.
@@ -582,14 +746,20 @@ impl<'a> Machine<'a> {
         // the cycle cap. A satisfiable poll still suppresses the verdict
         // via the per-processor scan below.
         let futile_spin = |kind: DataReqKind| match kind {
-            DataReqKind::Poll { var, pred } => !pred.eval(self.sync.global[var]),
-            DataReqKind::KeyedAttempt { var, geq } => self.sync.global[var] < geq,
+            DataReqKind::Poll { var, pred } => !pred.eval(self.sync.vars.global[var]),
+            DataReqKind::KeyedAttempt { var, geq } => self.sync.vars.global[var] < geq,
             _ => false,
         };
         if self.sync.active.is_some()
             || !self.sync.queue.is_empty()
             || self.sync.due_min != u64::MAX
         {
+            return None;
+        }
+        // A live Ready/Computing/Blocked processor rules the verdict out
+        // before any per-processor walk — the cached counter keeps the
+        // no-fault fast path O(1) here.
+        if self.procs.active > 0 {
             return None;
         }
         if self.mem.active.is_some_and(|(req, _)| !futile_spin(req.kind)) {
@@ -604,31 +774,31 @@ impl<'a> Machine<'a> {
             return None;
         }
         let mut spinning = Vec::new();
-        for (i, p) in self.procs.iter().enumerate() {
+        for i in 0..self.procs.len() {
             // A dead processor neither progresses nor blocks others from
             // being diagnosed; skip it (stranded work is handled below).
-            if self.dead[i] {
+            if self.procs.is_dead(i) {
                 continue;
             }
-            match p.state {
+            match self.procs.state(i) {
                 // A spin whose condition already holds will succeed on its
                 // next check — that is progress, not deadlock.
                 ProcState::SpinLocal { var, pred } => {
-                    if pred.eval(self.sync.images[i][var]) {
+                    if pred.eval(self.sync.image(i, var)) {
                         return None;
                     }
                     // With recovery armed, a spin satisfied *globally* is
                     // a healable sequence gap, not a deadlock: the NACK /
                     // watchdog-repair ladder will refresh the image.
-                    if self.rec.on && pred.eval(self.sync.global[var]) {
+                    if self.rec.on && pred.eval(self.sync.vars.global[var]) {
                         return None;
                     }
                     spinning.push(i);
                 }
                 ProcState::SpinMem { retry, .. } => {
                     let satisfiable = match retry {
-                        DataReqKind::Poll { var, pred } => pred.eval(self.sync.global[var]),
-                        DataReqKind::KeyedAttempt { var, geq } => self.sync.global[var] >= geq,
+                        DataReqKind::Poll { var, pred } => pred.eval(self.sync.vars.global[var]),
+                        DataReqKind::KeyedAttempt { var, geq } => self.sync.vars.global[var] >= geq,
                         _ => true,
                     };
                     if satisfiable {
@@ -637,6 +807,8 @@ impl<'a> Machine<'a> {
                     spinning.push(i);
                 }
                 ProcState::Idle if !self.disp.can_claim(i, self.workload) => {}
+                // `active == 0` above rules out Ready/Computing/Blocked;
+                // only a claimable Idle reaches here.
                 _ => return None,
             }
         }
@@ -648,7 +820,8 @@ impl<'a> Machine<'a> {
         // of failing.)
         let mut stranded: Vec<usize> = (0..self.procs.len())
             .filter(|&i| {
-                self.dead[i] && (self.procs[i].current.is_some() || !self.disp.queues[i].is_empty())
+                self.procs.is_dead(i)
+                    && (self.procs.current(i).is_some() || !self.disp.queues[i].is_empty())
             })
             .collect();
         if spinning.is_empty() && stranded.is_empty() {
@@ -668,9 +841,12 @@ impl<'a> Machine<'a> {
     fn rescue_settling(&self) -> bool {
         !self.disp.rescue.is_empty()
             && self.rec.rescue_futile < self.rescue_cap()
-            && self.procs.iter().enumerate().any(|(i, p)| {
-                !self.dead[i]
-                    && matches!(p.state, ProcState::SpinMem { phase: SpinPhase::WaitingResult, .. })
+            && (0..self.procs.len()).any(|i| {
+                !self.procs.is_dead(i)
+                    && matches!(
+                        self.procs.state(i),
+                        ProcState::SpinMem { phase: SpinPhase::WaitingResult, .. }
+                    )
             })
     }
 
@@ -678,8 +854,24 @@ impl<'a> Machine<'a> {
         self.apply_deferred_images();
         self.complete_transactions();
         self.grant_transactions();
+        let ff = matches!(self.mode, StepMode::FastForward);
+        self.disp.dirty = false;
+        self.sync.images_touched = false;
         for p in 0..self.procs.len() {
             self.step_proc(p);
+        }
+        if ff {
+            if self.disp.dirty || self.sync.images_touched {
+                // A program completed (making parked work claimable) or an
+                // oracle broadcast rewrote every image mid-loop: wakes
+                // cached before the change could now be too late — re-arm
+                // them all.
+                self.refresh_all_wakes();
+            } else {
+                // Only processors whose lanes were written this cycle can
+                // have moved their (absolute) wake deadline.
+                self.drain_dirty_wakes();
+            }
         }
         self.cycle += 1;
     }
@@ -700,19 +892,11 @@ impl<'a> Machine<'a> {
         fabric.grant(self);
     }
 
-    /// If the current cycle is *quiet* — [`Machine::step`] would do
-    /// nothing but tick one stat counter per processor — returns the
-    /// earliest future cycle at which anything observable can happen
-    /// (`u64::MAX` if nothing is pending at all). Returns `None` for a
-    /// cycle that must be stepped normally.
-    ///
-    /// Every RNG draw (grants, sync completions, image deferral, stall
-    /// onsets) and every trace write happens only at non-quiet cycles,
-    /// so skipping quiet cycles cannot desynchronize the fault stream or
-    /// the trace from per-cycle stepping. Deliberately conservative
-    /// under the shared fabric: a cycle in which one bus blocks the
-    /// other is simply stepped.
-    fn quiet_horizon(&self) -> Option<u64> {
+    /// The channel half of the quiet test: `None` when a bus, bank or
+    /// deferred-image update acts this cycle, else the earliest future
+    /// cycle one will (`u64::MAX` if all idle). O(banks), no per-proc
+    /// walk — processor wakes live in the calendar.
+    fn channel_horizon(&self) -> Option<u64> {
         let c = self.cycle;
         let mut next = u64::MAX;
         // Deferred image updates wake local spinners when due.
@@ -750,35 +934,162 @@ impl<'a> Machine<'a> {
         } else if !self.sync.queue.is_empty() {
             return None;
         }
+        Some(next)
+    }
+
+    /// The earliest cycle at or after `c1` at which processor `p` can do
+    /// anything observable — `u64::MAX` if it never will on its own.
+    /// `c1` is the first cycle the wake could land on: `cycle + 1` when
+    /// evaluated at the end of a stepped cycle (the per-step refresh),
+    /// `cycle` itself when the current cycle has not been stepped yet (a
+    /// recovery rung healed state mid-loop). It mirrors
+    /// [`Machine::scan_horizon`]'s per-processor clauses; every quantity
+    /// it reads is either owned by `p`'s own step or re-armed by the
+    /// dirty-flag refreshes in [`Machine::step`].
+    fn proc_wake(&self, p: usize, c1: u64) -> u64 {
+        if self.procs.is_dead(p) {
+            return u64::MAX;
+        }
+        let mut wake = self.procs.fail_at[p];
+        if self.config.faults.stall_mean_interval > 0 {
+            let until = self.procs.stall_until[p];
+            if c1 < until {
+                // Frozen mid-stall; only a Ready processor (which drains
+                // trace notes every stalled cycle) steps sooner.
+                if matches!(self.procs.state(p), ProcState::Ready) {
+                    return wake.min(c1);
+                }
+                return wake.min(until);
+            }
+            wake = wake.min(self.procs.next_stall[p]);
+        }
+        match self.procs.state(p) {
+            ProcState::Idle => {
+                if self.disp.can_claim(p, self.workload) {
+                    wake.min(c1)
+                } else {
+                    wake
+                }
+            }
+            ProcState::Ready => wake.min(c1),
+            ProcState::Computing { remaining } => wake.min(c1 + u64::from(remaining)),
+            ProcState::BlockedData | ProcState::BlockedSync => wake,
+            ProcState::SpinLocal { var, pred } => {
+                if pred.eval(self.sync.image(p, var)) {
+                    wake.min(c1)
+                } else {
+                    // The gap check may have come due while this
+                    // processor was frozen in a stall: it runs at the
+                    // first unfrozen cycle, never in the past.
+                    wake.min(self.rec.nack_due[p].max(c1))
+                }
+            }
+            ProcState::SpinMem { phase, .. } => match phase {
+                // A backoff that expired during a stall freeze re-issues
+                // at the first unfrozen cycle (same clamp as above).
+                SpinPhase::Backoff { until } => wake.min(until.max(c1)),
+                // The pending transaction bounds the next event; the
+                // channel horizon carries it.
+                SpinPhase::WaitingResult => wake,
+            },
+        }
+    }
+
+    #[inline]
+    fn refresh_wake(&mut self, p: usize) {
+        let wake = self.proc_wake(p, self.cycle + 1);
+        self.sched.schedule(p, wake);
+    }
+
+    /// Re-arms the wake deadline of every processor whose lanes were
+    /// written this cycle (and only those): a clean bit means the
+    /// processor's wake is an absolute deadline (retire cycle, NACK due
+    /// cycle, stall end) that the cycle did not move, so its calendar
+    /// entry is still live and exact.
+    fn drain_dirty_wakes(&mut self) {
+        for w in 0..self.procs.wake_dirty.len() {
+            let mut word = std::mem::take(&mut self.procs.wake_dirty[w]);
+            while word != 0 {
+                let p = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                self.refresh_wake(p);
+            }
+        }
+    }
+
+    /// Clears every wake-dirty bit — called by the refresh-all paths,
+    /// which recompute every processor's wake unconditionally.
+    fn clear_wake_dirty(&mut self) {
+        self.procs.wake_dirty.fill(0);
+    }
+
+    /// Re-arms every processor's wake deadline at the end of a stepped
+    /// cycle — the companion to the dirty-bit refresh for mid-loop
+    /// dirtying events (a program completing, an oracle broadcast) that
+    /// mutate state for processors that already stepped this cycle.
+    fn refresh_all_wakes(&mut self) {
+        if !matches!(self.mode, StepMode::FastForward) {
+            return;
+        }
+        self.clear_wake_dirty();
+        for p in 0..self.procs.len() {
+            self.refresh_wake(p);
+        }
+    }
+
+    /// Re-arms every wake from *outside* a step — after a recovery rung
+    /// (watchdog repair / rescue) healed state at a cycle that has not
+    /// been stepped yet, so a satisfied spinner must wake this very
+    /// cycle, not the next.
+    fn refresh_all_wakes_now(&mut self) {
+        if !matches!(self.mode, StepMode::FastForward) {
+            return;
+        }
+        self.clear_wake_dirty();
+        for p in 0..self.procs.len() {
+            let wake = self.proc_wake(p, self.cycle);
+            self.sched.schedule(p, wake);
+        }
+    }
+
+    /// The retained linear-scan oracle: recomputes the quiet horizon the
+    /// way the pre-calendar kernel did, in O(P). `None` means the cycle
+    /// must be stepped; `Some(next)` that nothing observable happens
+    /// before `next`. Debug builds cross-check every fast-forward jump
+    /// against it.
+    #[cfg(debug_assertions)]
+    fn scan_horizon(&self) -> Option<u64> {
+        let c = self.cycle;
+        let mut next = self.channel_horizon()?;
         let stalls_on = self.config.faults.stall_mean_interval > 0;
-        for (p, proc) in self.procs.iter().enumerate() {
+        for p in 0..self.procs.len() {
             // Dead processors contribute no events: their stalls, spins
             // and compute remainders can never perform. A *pending* kill
             // is an event — it must land at a stepped cycle so both step
             // modes record it identically.
-            if self.dead[p] {
+            if self.procs.is_dead(p) {
                 continue;
             }
-            if self.fail_at[p] <= c {
+            if self.procs.fail_at[p] <= c {
                 return None; // the fail-stop lands this cycle
             }
-            next = next.min(self.fail_at[p]);
+            next = next.min(self.procs.fail_at[p]);
             if stalls_on {
-                if c >= self.stall_until[p] && c >= self.next_stall[p] {
+                if c >= self.procs.stall_until[p] && c >= self.procs.next_stall[p] {
                     return None; // stall onset draws RNG this cycle
                 }
-                if c < self.stall_until[p] {
+                if c < self.procs.stall_until[p] {
                     // Frozen until the stall ends — except that a stalled
                     // Ready processor drains trace notes every cycle.
-                    if matches!(proc.state, ProcState::Ready) {
+                    if matches!(self.procs.state(p), ProcState::Ready) {
                         return None;
                     }
-                    next = next.min(self.stall_until[p]);
+                    next = next.min(self.procs.stall_until[p]);
                     continue;
                 }
-                next = next.min(self.next_stall[p]);
+                next = next.min(self.procs.next_stall[p]);
             }
-            match proc.state {
+            match self.procs.state(p) {
                 ProcState::Idle => {
                     if self.disp.can_claim(p, self.workload) {
                         return None;
@@ -788,7 +1099,7 @@ impl<'a> Machine<'a> {
                 ProcState::Computing { remaining } => next = next.min(c + u64::from(remaining)),
                 ProcState::BlockedData | ProcState::BlockedSync => {}
                 ProcState::SpinLocal { var, pred } => {
-                    if pred.eval(self.sync.images[p][var]) {
+                    if pred.eval(self.sync.image(p, var)) {
                         return None; // the spin succeeds this cycle
                     }
                     if self.rec.nack_due[p] <= c {
@@ -813,54 +1124,85 @@ impl<'a> Machine<'a> {
     /// One fast-forward advance: step normally through event cycles, and
     /// jump a whole quiet span at once, bulk-charging the skipped cycles
     /// to exactly the stat buckets the reference stepper would have
-    /// ticked one by one.
+    /// ticked one by one. The next event is the minimum of the channel
+    /// horizon and the calendar's earliest processor wake — no O(P)
+    /// scan.
     fn fast_step(&mut self) {
-        let Some(next_event) = self.quiet_horizon() else {
-            self.step();
-            return;
+        let cal_next = self.sched.earliest(self.cycle);
+        let channels = self.channel_horizon();
+        #[cfg(debug_assertions)]
+        {
+            let fast = match channels {
+                _ if cal_next <= self.cycle => None,
+                None => None,
+                Some(h) => Some(cal_next.min(h)),
+            };
+            match (fast, self.scan_horizon()) {
+                (Some(_), None) => {
+                    unreachable!("fast-forward would skip an event at cycle {}", self.cycle)
+                }
+                (Some(t), Some(h)) => {
+                    debug_assert!(t <= h, "fast-forward overshoots the horizon: {t} > {h}");
+                }
+                (None, _) => {}
+            }
+        }
+        let next_event = match channels {
+            _ if cal_next <= self.cycle => {
+                // A processor wake is due now: step the cycle for real.
+                self.step();
+                return;
+            }
+            None => {
+                self.step();
+                return;
+            }
+            Some(h) => cal_next.min(h),
         };
         // Land exactly on `max_cycles` so the timeout check fires with
         // the same cycle as per-cycle stepping.
         let mut target = next_event.min(self.config.max_cycles);
         // A computing processor notes progress every cycle; only when
         // none is running can the watchdog's silence bound bind. A dead
-        // processor's frozen Computing state is not progress.
-        let progressing = (0..self.procs.len()).any(|p| {
-            !self.dead[p]
-                && self.cycle >= self.stall_until[p]
-                && matches!(self.procs[p].state, ProcState::Computing { .. })
-        });
+        // processor's frozen Computing state is not progress. Without
+        // stall injection the cached counter answers in O(1); with it,
+        // stalled computing processors must be excluded the slow way.
+        let stalls_on = self.config.faults.stall_mean_interval > 0;
+        let progressing = if stalls_on {
+            (0..self.procs.len()).any(|p| {
+                !self.procs.is_dead(p)
+                    && self.cycle >= self.procs.stall_until[p]
+                    && matches!(self.procs.state(p), ProcState::Computing { .. })
+            })
+        } else {
+            self.procs.computing > 0
+        };
         if !progressing {
             target = target.min(self.last_progress.saturating_add(self.watchdog_limit + 1));
         }
         debug_assert!(target > self.cycle, "quiet horizon must move time forward");
         let delta = target - self.cycle;
         for p in 0..self.procs.len() {
-            if self.dead[p] {
-                self.procs[p].stats.dead += delta;
+            if self.procs.is_dead(p) {
+                self.procs.stats[p].dead += delta;
                 continue;
             }
-            if self.cycle < self.stall_until[p] {
-                self.procs[p].stats.stalled += delta;
+            if self.cycle < self.procs.stall_until[p] {
+                self.procs.stats[p].stalled += delta;
                 continue;
             }
-            match self.procs[p].state {
-                ProcState::Idle => self.procs[p].stats.idle += delta,
+            match self.procs.state(p) {
+                ProcState::Idle => self.procs.stats[p].idle += delta,
                 ProcState::Computing { remaining } => {
-                    self.procs[p].stats.busy += delta;
+                    self.procs.stats[p].busy += delta;
                     // delta <= remaining by the horizon bound.
-                    let left = remaining - delta as u32;
-                    self.procs[p].state = if left == 0 {
-                        ProcState::Ready
-                    } else {
-                        ProcState::Computing { remaining: left }
-                    };
+                    self.procs.tick_computing(p, remaining - delta as u32);
                 }
                 ProcState::BlockedData | ProcState::BlockedSync => {
-                    self.procs[p].stats.blocked += delta;
+                    self.procs.stats[p].blocked += delta;
                 }
                 ProcState::SpinLocal { .. } | ProcState::SpinMem { .. } => {
-                    self.procs[p].stats.spin += delta;
+                    self.procs.stats[p].spin += delta;
                 }
                 ProcState::Ready => unreachable!("a ready processor is never quiet"),
             }
@@ -873,8 +1215,8 @@ impl<'a> Machine<'a> {
 
     pub(crate) fn unblock(&mut self, proc: usize) {
         self.close_wait(proc);
-        self.procs[proc].state = ProcState::Ready;
-        if self.dead[proc] {
+        self.procs.set_state(proc, ProcState::Ready);
+        if self.procs.is_dead(proc) {
             // An in-flight transaction still performs after its issuer
             // fail-stops (it was already in the interconnect), but the
             // dead processor never steps again to witness it: record

@@ -124,7 +124,7 @@ impl<'a> Machine<'a> {
     /// nothing). Draws no RNG; runs only at stepped cycles.
     #[inline(never)]
     pub(crate) fn check_gap(&mut self, p: usize, var: SyncVar, pred: Pred) {
-        if !pred.eval(self.sync.global[var]) {
+        if !pred.eval(self.sync.vars.global[var]) {
             // No gap: the awaited value has not performed globally yet.
             // Keep watching — the producer may still be on its way.
             self.rec.nack_due[p] = self.cycle + self.rec.nack_delay;
@@ -134,7 +134,7 @@ impl<'a> Machine<'a> {
         let tries = self.rec.nack_tries[p];
         self.stats.recovery.gap_nacks += 1;
         self.events.record(self.cycle, SimEventKind::GapNack { proc: p, var, tries });
-        let val = self.sync.global[var];
+        let val = self.sync.vars.global[var];
         let seq = self.next_sync_seq();
         self.stats.recovery.retransmits += 1;
         self.events.record(self.cycle, SimEventKind::Retransmit { var, val });
@@ -161,18 +161,19 @@ impl<'a> Machine<'a> {
         // than a value lost in flight.
         let producer_lost = !self.disp.rescue.is_empty()
             || (0..self.procs.len()).any(|i| {
-                self.dead[i] && (self.procs[i].current.is_some() || !self.disp.queues[i].is_empty())
+                self.procs.is_dead(i)
+                    && (self.procs.current(i).is_some() || !self.disp.queues[i].is_empty())
             });
         let mut edges = Vec::new();
-        for (i, p) in self.procs.iter().enumerate() {
+        for i in 0..self.procs.len() {
             // A dead processor's own parked spin waits on nothing any
             // more — it neither needs repair nor proves a wedge.
-            if self.dead[i] {
+            if self.procs.is_dead(i) {
                 continue;
             }
-            if let ProcState::SpinLocal { var, pred } = p.state {
-                let image = self.sync.images[i][var];
-                let global = self.sync.global[var];
+            if let ProcState::SpinLocal { var, pred } = self.procs.state(i) {
+                let image = self.sync.image(i, var);
+                let global = self.sync.vars.global[var];
                 let healable = pred.eval(global) && !pred.eval(image);
                 edges.push(WaitEdge {
                     proc: i,
@@ -202,15 +203,19 @@ impl<'a> Machine<'a> {
             return false;
         }
         let mut healed = 0u64;
-        for p in 0..self.sync.images.len() {
-            // Apply what was already in flight in its original order…
-            while let Some((_, var, val)) = self.sync.defer[p].pop_front() {
-                self.sync.images[p][var] = val;
+        // Apply what was already in flight in its original order…
+        for p in 0..self.procs.len() {
+            while let Some((_, var, val)) = self.sync.pop_defer(p) {
+                self.sync.set_image(p, var, val);
             }
-            // …then bring every cell up to the authoritative value.
-            for v in 0..self.sync.global.len() {
-                if self.sync.images[p][v] != self.sync.global[v] {
-                    self.sync.images[p][v] = self.sync.global[v];
+        }
+        // …then bring every cell up to the authoritative value, one
+        // contiguous image lane per variable.
+        for v in 0..self.sync.n_vars() {
+            let g = self.sync.vars.global[v];
+            for cell in self.sync.var_images_mut(v) {
+                if *cell != g {
+                    *cell = g;
                     healed += 1;
                 }
             }
@@ -247,7 +252,7 @@ impl<'a> Machine<'a> {
             + self.stats.rmw_ops
             + self.stats.sync_broadcasts
             + self.stats.coalesced_writes
-            + self.procs.iter().map(|p| p.stats.busy).sum::<u64>()
+            + self.procs.stats.iter().map(|s| s.busy).sum::<u64>()
     }
 
     /// Rung 4: the rescue (reconfigure) action for fail-stopped
@@ -286,24 +291,25 @@ impl<'a> Machine<'a> {
         // Reclaim stranded work off every dead processor.
         let mut reclaimed = 0u64;
         for d in 0..self.procs.len() {
-            if !self.dead[d] {
+            if !self.procs.is_dead(d) {
                 continue;
             }
-            if let Some(prog) = self.procs[d].current.take() {
+            if let Some(prog) = self.procs.current(d) {
+                self.procs.set_current(d, None);
                 debug_assert!(
-                    !matches!(self.procs[d].state, ProcState::BlockedData | ProcState::BlockedSync),
+                    !matches!(self.procs.state(d), ProcState::BlockedData | ProcState::BlockedSync),
                     "dead processor holds an in-flight transaction at rescue time"
                 );
-                let resume = match self.procs[d].state {
+                let resume = match self.procs.state(d) {
                     // Ready: the instruction at `ip` has not issued yet.
-                    ProcState::Ready => self.procs[d].ip,
+                    ProcState::Ready => self.procs.ip[d],
                     // Every other parked state re-executes the
                     // interrupted (unretired) instruction.
-                    _ => self.procs[d].resume_ip,
+                    _ => self.procs.resume_ip[d],
                 };
-                self.procs[d].ip = 0;
-                self.procs[d].resume_ip = 0;
-                self.procs[d].state = ProcState::Idle;
+                self.procs.ip[d] = 0;
+                self.procs.resume_ip[d] = 0;
+                self.procs.set_state(d, ProcState::Idle);
                 self.disp.rescue.push_back((prog, resume));
                 self.events.record(
                     self.cycle,
@@ -339,33 +345,37 @@ impl<'a> Machine<'a> {
         // is judged by satisfiability, not program order. Highest
         // program first (furthest from runnable), ties to the lowest id.
         let any_idle = (0..self.procs.len())
-            .any(|i| !self.dead[i] && matches!(self.procs[i].state, ProcState::Idle));
+            .any(|i| !self.procs.is_dead(i) && matches!(self.procs.state(i), ProcState::Idle));
         if !any_idle {
             let victim = (0..self.procs.len())
-                .filter(|&i| !self.dead[i])
-                .filter(|&i| match self.procs[i].state {
-                    ProcState::SpinLocal { var, pred } => !pred.eval(self.sync.global[var]),
+                .filter(|&i| !self.procs.is_dead(i))
+                .filter(|&i| match self.procs.state(i) {
+                    ProcState::SpinLocal { var, pred } => !pred.eval(self.sync.vars.global[var]),
                     ProcState::SpinMem { phase: super::SpinPhase::Backoff { .. }, retry } => {
                         match retry {
-                            DataReqKind::Poll { var, pred } => !pred.eval(self.sync.global[var]),
-                            DataReqKind::KeyedAttempt { var, geq } => self.sync.global[var] < geq,
+                            DataReqKind::Poll { var, pred } => {
+                                !pred.eval(self.sync.vars.global[var])
+                            }
+                            DataReqKind::KeyedAttempt { var, geq } => {
+                                self.sync.vars.global[var] < geq
+                            }
                             _ => false,
                         }
                     }
                     _ => false,
                 })
-                .max_by_key(|&i| (self.procs[i].current, std::cmp::Reverse(i)));
+                .max_by_key(|&i| (self.procs.current(i), std::cmp::Reverse(i)));
             if let Some((v, (prog, resume))) =
                 victim.and_then(|v| self.claim_runnable_rescue().map(|work| (v, work)))
             {
-                let own = self.procs[v].current.expect("victim runs a program");
+                let own = self.procs.current(v).expect("victim runs a program");
                 // Spin states resume at the interrupted wait, so the
                 // suspended program picks up exactly where it parked.
-                self.disp.rescue.push_back((own, self.procs[v].resume_ip));
-                self.procs[v].current = Some(prog);
-                self.procs[v].ip = resume;
-                self.procs[v].resume_ip = resume;
-                self.procs[v].state = ProcState::Ready;
+                self.disp.rescue.push_back((own, self.procs.resume_ip[v]));
+                self.procs.set_current(v, Some(prog));
+                self.procs.ip[v] = resume;
+                self.procs.resume_ip[v] = resume;
+                self.procs.set_state(v, ProcState::Ready);
                 // The preempted wait episode is abandoned, not
                 // satisfied: clear it without recording a WaitEnd.
                 self.rec.wait_since[v] = None;
@@ -412,8 +422,8 @@ impl<'a> Machine<'a> {
     fn claim_runnable_rescue(&mut self) -> Option<(usize, usize)> {
         let runnable = |prog: usize, resume: usize| -> bool {
             match self.workload.programs[prog].instrs.get(resume) {
-                Some(Instr::SyncWait { var, pred }) => pred.eval(self.sync.global[*var]),
-                Some(Instr::KeyedAccess { var, geq }) => self.sync.global[*var] >= *geq,
+                Some(Instr::SyncWait { var, pred }) => pred.eval(self.sync.vars.global[*var]),
+                Some(Instr::KeyedAccess { var, geq }) => self.sync.vars.global[*var] >= *geq,
                 _ => true,
             }
         };
@@ -434,7 +444,7 @@ impl<'a> Machine<'a> {
             }
         }
         for q in 0..self.disp.queues.len() {
-            if self.dead[q] {
+            if self.procs.is_dead(q) {
                 continue; // dead queues were reclaimed into the pool
             }
             if let Some(&prog) = self.disp.queues[q].front() {

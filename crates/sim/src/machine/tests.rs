@@ -550,15 +550,13 @@ fn watchdog_fires_at_exactly_limit_plus_one_in_both_modes() {
         // due == limit: the image applies just in time.
         let mut m = Machine::new(&c, &w);
         m.set_mode(mode);
-        m.sync.defer[0].push_back((limit, 0, 1));
-        m.sync.due_min = limit;
+        m.sync.push_defer(0, limit, 0, 1);
         let out = m.run_to_completion().unwrap_or_else(|e| panic!("{mode:?} at limit: {e}"));
         assert!(out.stats.makespan > limit, "{mode:?}: spun through the quiet span");
         // due == limit + 1: the watchdog fires first, at limit + 1.
         let mut m = Machine::new(&c, &w);
         m.set_mode(mode);
-        m.sync.defer[0].push_back((limit + 1, 0, 1));
-        m.sync.due_min = limit + 1;
+        m.sync.push_defer(0, limit + 1, 0, 1);
         match m.run_to_completion() {
             Err(SimError::Deadlock { cycle, detail, .. }) => {
                 assert_eq!(cycle, limit + 1, "{mode:?} watchdog fire cycle");
