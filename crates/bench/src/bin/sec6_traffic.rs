@@ -1,8 +1,11 @@
-//! E11: sync-bus traffic, write coalescing, and the fabric ablation —
-//! plus the machine-readable `BENCH_fabric.json` artifact.
+//! E11: sync-bus traffic, write coalescing, the fabric ablation and the
+//! cache-coherence ablations — plus the machine-readable
+//! `BENCH_fabric.json` artifact.
 fn main() {
     println!("{}", datasync_bench::sec6::run_experiment(64, 4));
     println!("{}", datasync_bench::sec6::fabric_ablation(64, 4));
+    println!("{}", datasync_bench::sec6::cache_ablation(64, 4));
+    println!("{}", datasync_bench::sec6::cache_sweep(64, 4));
     let json = datasync_bench::sec6::fabric_json(64, 4);
     match std::fs::write("BENCH_fabric.json", &json) {
         Ok(()) => println!("wrote BENCH_fabric.json"),

@@ -35,7 +35,8 @@ use datasync_schemes::{
     BarrierPhased, InstanceBased, ProcessOriented, ReferenceBased, StatementOriented,
 };
 use datasync_sim::{
-    FabricKind, FaultClass, FaultPlan, MachineConfig, RecoveryPolicy, SplitMix64, StepMode,
+    CacheModel, CoherenceProtocol, FabricKind, FaultClass, FaultPlan, MachineConfig,
+    RecoveryPolicy, SplitMix64, StepMode,
 };
 
 /// Stable scheme keys a case is generated from and replayed by (the
@@ -54,6 +55,10 @@ pub struct ChaosCase {
     pub iterations: i64,
     /// Processor count.
     pub processors: usize,
+    /// Private-cache model under the data bus (most cells run cacheless,
+    /// matching the paper's machine; the rest draw a protocol, a
+    /// geometry and the sync-cacheability bit).
+    pub cache: CacheModel,
     /// The fault plan, seed included.
     pub plan: FaultPlan,
 }
@@ -74,6 +79,22 @@ impl ChaosCase {
         }
         let fabric = FabricKind::ALL[rng.range_usize(0, FabricKind::ALL.len() - 1)];
         let iterations = rng.range_i64(4, 14);
+        // Two cells in five run with private caches, split across the
+        // protocols, geometries and the sync-cacheability bit.
+        let cache = if rng.chance_pct(40) {
+            let protocol = CoherenceProtocol::ALL[rng.range_usize(0, 1)];
+            let sets = [4u32, 16, 64][rng.range_usize(0, 2)];
+            let assoc = [1u32, 2][rng.range_usize(0, 1)];
+            let line = [2u32, 4][rng.range_usize(0, 1)];
+            let model = CacheModel::private(protocol).geometry(sets, assoc, line);
+            if rng.chance_pct(25) {
+                model.sync_uncached()
+            } else {
+                model
+            }
+        } else {
+            CacheModel::None
+        };
         let mut plan = FaultPlan { seed: rng.next_u64(), ..FaultPlan::none() };
         // One cell in ten is a fault-free control; the rest mix classes
         // independently, each with its own intensity draw, so cells are
@@ -85,7 +106,7 @@ impl ChaosCase {
                 }
             }
         }
-        ChaosCase { scheme, fabric, iterations, processors, plan }
+        ChaosCase { scheme, fabric, iterations, processors, cache, plan }
     }
 
     /// Compiles this case's loop under its scheme.
@@ -109,6 +130,7 @@ impl ChaosCase {
             sync_transport: scheme.natural_transport(),
             sync_fabric: self.fabric,
             recovery: RecoveryPolicy::Full,
+            cache: self.cache,
             faults: self.plan,
             ..MachineConfig::with_processors(self.processors)
         };
@@ -131,7 +153,18 @@ impl ChaosCase {
              \"iterations\": {},\n  \"processors\": {},\n  \"seed\": {},\n",
             self.scheme, self.fabric, self.iterations, self.processors, p.seed
         );
+        let (cache_word, sets, assoc, line, sync_bit) = match self.cache {
+            CacheModel::None => ("none".to_string(), 0, 0, 0, 0),
+            CacheModel::Private { protocol, sets, assoc, line_words, cache_sync, .. } => {
+                (protocol.to_string(), sets, assoc, line_words, u32::from(cache_sync))
+            }
+        };
+        let _ = writeln!(out, "  \"cache\": \"{cache_word}\",");
         for (key, val) in [
+            ("cache_sets", sets),
+            ("cache_assoc", assoc),
+            ("cache_line", line),
+            ("cache_sync", sync_bit),
             ("broadcast_delay_pct", p.broadcast_delay_pct),
             ("broadcast_delay_max", p.broadcast_delay_max),
             ("broadcast_reorder_pct", p.broadcast_reorder_pct),
@@ -190,11 +223,30 @@ impl ChaosCase {
         let fabric_name = text(doc, "fabric")?;
         let fabric = FabricKind::parse(&fabric_name)
             .ok_or_else(|| format!("unknown fabric `{fabric_name}`"))?;
+        // Pre-cache reproducer files carry no cache fields: cacheless.
+        let cache = match text(doc, "cache").ok().as_deref() {
+            None | Some("none") => CacheModel::None,
+            Some(word) => {
+                let protocol = CoherenceProtocol::parse(word)
+                    .ok_or_else(|| format!("unknown cache protocol `{word}`"))?;
+                let model = CacheModel::private(protocol).geometry(
+                    n32("cache_sets")?,
+                    n32("cache_assoc")?,
+                    n32("cache_line")?,
+                );
+                if num(doc, "cache_sync")? == 0 {
+                    model.sync_uncached()
+                } else {
+                    model
+                }
+            }
+        };
         Ok(ChaosCase {
             scheme: text(doc, "scheme")?,
             fabric,
             iterations: num(doc, "iterations")? as i64,
             processors: num(doc, "processors")? as usize,
+            cache,
             plan: FaultPlan {
                 seed: num(doc, "seed")?,
                 broadcast_delay_pct: n32("broadcast_delay_pct")?,
@@ -397,6 +449,15 @@ pub fn shrink_with(case: &ChaosCase, fails: impl Fn(&ChaosCase) -> bool) -> Chao
             current = cand;
             improved = true;
         }
+        // Drop the cache layer: a reproducer that still fails on the
+        // cacheless machine is simpler to reason about.
+        if current.cache.enabled() {
+            let cand = ChaosCase { cache: CacheModel::None, ..current.clone() };
+            if fails(&cand) {
+                current = cand;
+                improved = true;
+            }
+        }
         // Shrink the workload, then the machine.
         if current.iterations > 2 {
             let cand = ChaosCase { iterations: current.iterations / 2, ..current.clone() };
@@ -487,6 +548,14 @@ mod tests {
             cells.iter().any(|c| !c.plan.is_active()),
             "some cells should be fault-free controls"
         );
+        assert!(cells.iter().any(|c| c.cache.enabled()), "the cache axis must appear in the mix");
+        assert!(cells.iter().any(|c| !c.cache.enabled()), "most cells should stay cacheless");
+        assert!(
+            cells
+                .iter()
+                .any(|c| matches!(c.cache, CacheModel::Private { cache_sync: false, .. })),
+            "the sync-uncached bit should appear in the mix"
+        );
     }
 
     #[test]
@@ -498,6 +567,19 @@ mod tests {
             assert_eq!(case, back, "round trip changed the case:\n{doc}");
         }
         assert!(ChaosCase::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn pre_cache_reproducer_files_still_parse_as_cacheless() {
+        let case = ChaosCase::generate(42, 1);
+        let doc = case.to_json();
+        // A PR-7-era reproducer has no cache fields at all.
+        let stripped: String =
+            doc.lines().filter(|l| !l.contains("cache")).collect::<Vec<_>>().join("\n");
+        let back = ChaosCase::from_json(&stripped).expect("parse stripped doc");
+        assert_eq!(back.cache, CacheModel::None);
+        assert_eq!(back.plan, case.plan);
+        assert_eq!(back.scheme, case.scheme);
     }
 
     #[test]
@@ -541,11 +623,13 @@ mod tests {
         assert_eq!(minimal.plan.broadcast_loss_pct, 0);
         assert_eq!(minimal.plan.fail_stop_procs, 0);
         assert_eq!(minimal.plan.stall_mean_interval, 0);
-        // ...the guilty one is minimized but present, on a tiny machine.
+        // ...the guilty one is minimized but present, on a tiny machine
+        // stripped of innocent hardware (the cache layer included).
         assert!(minimal.plan.stale_image_pct > 0);
         assert!(minimal.plan.stale_image_pct <= 2, "halving should bottom out near zero");
         assert_eq!(minimal.processors, 2);
         assert!(minimal.iterations <= 3);
+        assert_eq!(minimal.cache, CacheModel::None, "the cache drop move should fire");
         // And the reproducer serializes for replay.
         let doc = minimal.to_json();
         assert_eq!(ChaosCase::from_json(&doc).expect("parse"), minimal);

@@ -70,6 +70,8 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         Box::new(move || ex5::fft_experiment(fft_n, &[1, 2, 4, 8])),
         Box::new(move || sec6::run_experiment(n, 4)),
         Box::new(move || sec6::fabric_ablation(n, 4)),
+        Box::new(move || sec6::cache_ablation(n, 4)),
+        Box::new(move || sec6::cache_sweep(n, 4)),
         Box::new(move || ablations::banked_memory(n, 4, 8)),
         Box::new(|| ablations::spin_retry(8, &[1, 2, 4, 8, 16])),
         Box::new(move || ablations::x_to_p_grid(n, &[2, 4, 8], &[1, 2, 4])),

@@ -27,8 +27,15 @@ use std::time::Instant;
 pub struct PerfReport {
     /// What was simulated.
     pub workload: String,
-    /// Threads the parallel sweep used.
+    /// Threads the parallel sweep actually used (requested, capped at
+    /// the hardware parallelism).
     pub threads: usize,
+    /// Threads requested via `DATASYNC_THREADS` (or auto-detected when
+    /// unset). A historical report claimed `threads: 4` on a one-core
+    /// host because the requested count was published as the used one.
+    pub threads_requested: usize,
+    /// Hardware threads the host actually exposes.
+    pub threads_available: usize,
     /// Makespan of one benchmark run (simulated cycles).
     pub simulated_cycles: u64,
     /// Wall-clock seconds per fast-forward run.
@@ -81,6 +88,8 @@ impl PerfReport {
                 "{{\n",
                 "  \"workload\": \"{workload}\",\n",
                 "  \"threads\": {threads},\n",
+                "  \"threads_requested\": {threads_requested},\n",
+                "  \"threads_available\": {threads_available},\n",
                 "  \"simulated_cycles\": {cycles},\n",
                 "  \"fast_seconds\": {fast_s},\n",
                 "  \"reference_seconds\": {ref_s},\n",
@@ -97,6 +106,8 @@ impl PerfReport {
             ),
             workload = self.workload,
             threads = self.threads,
+            threads_requested = self.threads_requested,
+            threads_available = self.threads_available,
             cycles = self.simulated_cycles,
             fast_s = secs(self.fast_seconds),
             ref_s = secs(self.reference_seconds),
@@ -125,10 +136,20 @@ impl PerfReport {
             ff = self.fast_forward_speedup,
         );
         if self.degraded {
+            let requested = if self.threads_requested > self.threads {
+                format!(
+                    " ({req} requested, {avail} available — oversubscribed workers \
+                     would only have slowed the sweep down)",
+                    req = self.threads_requested,
+                    avail = self.threads_available,
+                )
+            } else {
+                String::new()
+            };
             format!(
                 "{head}\n\
-                 warning: only 1 worker thread available — the parallel sweep cannot \
-                 demonstrate a speedup on this host (serial {srps:.1} runs/s)\n\
+                 warning: only 1 worker thread usable{requested} — the parallel sweep \
+                 cannot demonstrate a speedup on this host (serial {srps:.1} runs/s)\n\
                  sweep and combined speedups not reported (degraded run); \
                  fast-forward kernel speedup alone: {ff:.1}x",
                 srps = self.serial_runs_per_sec,
@@ -250,19 +271,42 @@ pub fn run(quick: bool) -> PerfReport {
             .map(|seed| sweep_config.clone().with_faults(FaultPlan::chaos(seed, 40)))
             .collect()
     };
-    let serial_seconds = time_runs(|| {
-        let _ = sweep::runs_serial(jobs(sweep_runs), |c| classify_run(&compiled, &c));
-    });
-    let parallel_seconds = time_runs(|| {
-        let _ = sweep::runs(jobs(sweep_runs), |c| classify_run(&compiled, &c));
-    });
+    // Shared hosts drift between speed phases that last whole seconds;
+    // timing all serial samples and then all parallel samples can land
+    // the two sides in different phases and manufacture (or hide) a
+    // speedup. Interleave the samples A/B and keep each side's minimum,
+    // so both estimates come from the host's best observed phase.
+    warm_up(
+        || {
+            let _ = sweep::runs_serial(jobs(sweep_runs), |c| classify_run(&compiled, &c));
+        },
+        0.5,
+    );
+    let mut serial_seconds = f64::INFINITY;
+    let mut parallel_seconds = f64::INFINITY;
+    for _ in 0..3 {
+        serial_seconds = serial_seconds.min(min_of(1, || {
+            let _ = sweep::runs_serial(jobs(sweep_runs), |c| classify_run(&compiled, &c));
+        }));
+        parallel_seconds = parallel_seconds.min(min_of(1, || {
+            let _ = sweep::runs(jobs(sweep_runs), |c| classify_run(&compiled, &c));
+        }));
+    }
 
     let fast_cycles_per_sec = simulated_cycles as f64 / fast_seconds;
     let reference_cycles_per_sec = simulated_cycles as f64 / reference_seconds;
     let serial_runs_per_sec = sweep_runs as f64 / serial_seconds;
     let parallel_runs_per_sec = sweep_runs as f64 / parallel_seconds;
     let fast_forward_speedup = reference_seconds / fast_seconds;
+    let threads_available = datasync_core::par::available_threads();
     let threads = datasync_core::par::default_threads();
+    // What the environment *asked for*, before the hardware cap — so a
+    // clamped run is visible in the report instead of silently looking
+    // like a deliberate `threads: 1` configuration.
+    let threads_requested = std::env::var("DATASYNC_THREADS")
+        .ok()
+        .and_then(|v| datasync_core::par::threads_from_env(&v).ok())
+        .unwrap_or(threads_available);
     let degraded = threads <= 1;
     // A single worker cannot demonstrate a sweep speedup: the measured
     // ratio is timer noise around 1.0. Report null rather than a win.
@@ -273,6 +317,8 @@ pub fn run(quick: bool) -> PerfReport {
              {cost}cy statements, 8 processors"
         ),
         threads,
+        threads_requested,
+        threads_available,
         simulated_cycles,
         fast_seconds,
         reference_seconds,
@@ -300,6 +346,11 @@ pub struct PerfCheck {
     pub ratio: f64,
     /// Allowed fraction below baseline before the check fails.
     pub tolerance: f64,
+    /// A warning (not a gate failure) when the baseline claims multiple
+    /// sweep threads yet its parallel sweep did not beat serial: that
+    /// baseline was measured on an oversubscribed or contended host and
+    /// its sweep numbers advertise a parallel win that never happened.
+    pub sweep_warning: Option<String>,
 }
 
 impl PerfCheck {
@@ -308,9 +359,9 @@ impl PerfCheck {
         self.ratio >= 1.0 - self.tolerance
     }
 
-    /// One-line verdict for the CLI.
+    /// One-line verdict for the CLI (plus the sweep warning, if any).
     pub fn summary(&self) -> String {
-        format!(
+        let line = format!(
             "perf check: fast-forward {measured:.0} cycles/s vs baseline {base:.0} cycles/s \
              ({pct:+.1}%, tolerance -{tol:.0}%) => {verdict}",
             measured = self.measured_cycles_per_sec,
@@ -318,7 +369,11 @@ impl PerfCheck {
             pct = (self.ratio - 1.0) * 100.0,
             tol = self.tolerance * 100.0,
             verdict = if self.pass() { "ok" } else { "REGRESSION" },
-        )
+        );
+        match &self.sweep_warning {
+            Some(w) => format!("{line}\n{w}"),
+            None => line,
+        }
     }
 }
 
@@ -347,6 +402,37 @@ pub fn baseline_cycles_per_sec(json: &str) -> Result<f64, String> {
         Ok(value)
     } else {
         Err(format!("baseline {KEY} = {value} cannot gate a check"))
+    }
+}
+
+/// Extracts `"<key>": <number>` from a baseline report, returning `None`
+/// when the key is absent or its value is `null` (degraded reports write
+/// `null` for speedups they cannot honestly claim).
+fn baseline_number(json: &str, key: &str) -> Option<f64> {
+    let quoted = format!("\"{key}\"");
+    let at = json.find(&quoted)?;
+    let rest = json[at + quoted.len()..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok().filter(|v: &f64| v.is_finite())
+}
+
+/// Builds the sweep-consistency warning for a baseline report: a claim
+/// of `threads > 1` together with `sweep_speedup <= 1` means the
+/// "parallel" sweep lost to the serial one — an oversubscribed or
+/// contended measurement host, not a real configuration.
+fn sweep_warning_for(baseline_json: &str) -> Option<String> {
+    let threads = baseline_number(baseline_json, "threads")?;
+    let speedup = baseline_number(baseline_json, "sweep_speedup")?;
+    if threads > 1.0 && speedup <= 1.0 {
+        Some(format!(
+            "warning: baseline claims {threads:.0} sweep threads but sweep_speedup is \
+             {speedup:.3} — its parallel sweep did not beat serial, so it was measured \
+             on an oversubscribed or contended host; regenerate the baseline"
+        ))
+    } else {
+        None
     }
 }
 
@@ -391,6 +477,7 @@ pub fn check(baseline_json: &str, quick: bool) -> Result<PerfCheck, String> {
         measured_cycles_per_sec: measured,
         ratio: measured / baseline,
         tolerance: 0.15,
+        sweep_warning: sweep_warning_for(baseline_json),
     })
 }
 
@@ -416,10 +503,16 @@ mod tests {
             "sweep_speedup",
             "combined_speedup",
             "simulated_cycles",
+            "threads_requested",
+            "threads_available",
             "degraded",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key} in {json}");
         }
+        // The used count can never exceed the hardware: oversubscribing
+        // CPU-bound workers is what produced a published sweep_speedup
+        // of 0.969 at a claimed 4 threads.
+        assert!(r.threads <= r.threads_available, "{} > {}", r.threads, r.threads_available);
         assert!(r.summary().contains("speedup"));
         if r.degraded {
             // Single-threaded host: sweep/combined must not be sold as wins.
@@ -466,6 +559,28 @@ mod tests {
         assert!(!fail.pass(), "{}", fail.summary());
         assert!(fail.summary().contains("REGRESSION"), "{}", fail.summary());
         assert!(check("not json at all", true).is_err());
+    }
+
+    #[test]
+    fn check_warns_when_a_multithread_baseline_lost_its_sweep() {
+        // The shipped-bug shape: 4 claimed threads, parallel slower than
+        // serial. The gate still passes on kernel throughput, but the
+        // verdict must carry the inconsistency warning.
+        let bad = "{\"fast_cycles_per_sec\": 1000.0, \"threads\": 4, \"sweep_speedup\": 0.969}";
+        let c = check(bad, true).unwrap();
+        assert!(c.pass(), "{}", c.summary());
+        assert!(c.sweep_warning.is_some(), "{}", c.summary());
+        assert!(c.summary().contains("0.969"), "{}", c.summary());
+        assert!(c.summary().contains("warning"), "{}", c.summary());
+
+        // A healthy multi-thread baseline: no warning.
+        let warning = |json: &str| sweep_warning_for(json);
+        assert!(warning("{\"threads\": 4, \"sweep_speedup\": 1.8}").is_none());
+        // An honest degraded baseline (1 thread, null sweep): no warning.
+        assert!(warning("{\"threads\": 1, \"sweep_speedup\": null}").is_none());
+        assert!(warning("{\"threads\": 1, \"sweep_speedup\": 0.97}").is_none());
+        // Pre-fix reports without the keys at all: no warning.
+        assert!(warning("{\"fast_cycles_per_sec\": 1000.0}").is_none());
     }
 
     #[test]

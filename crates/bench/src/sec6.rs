@@ -6,8 +6,10 @@ use datasync_loopir::analysis::analyze;
 use datasync_loopir::space::IterSpace;
 use datasync_loopir::workpatterns::fig21_loop;
 use datasync_schemes::scheme::Scheme;
-use datasync_schemes::{BarrierPhased, ProcessOriented, StatementOriented};
-use datasync_sim::{FabricKind, MachineConfig};
+use datasync_schemes::{
+    BarrierPhased, InstanceBased, ProcessOriented, ReferenceBased, StatementOriented,
+};
+use datasync_sim::{CacheModel, CoherenceProtocol, FabricKind, MachineConfig};
 
 /// Measures the process-oriented scheme's bus traffic with and without
 /// posted-write coalescing, at two sync-bus speeds (a slow bus queues
@@ -85,7 +87,17 @@ pub fn fabric_ablation(n: i64, procs: usize) -> Table {
     let mut t = Table::new(
         "E11b / Sec 6",
         &format!("sync-fabric ablation (Fig 2.1 loop, N={n}, P={procs})"),
-        &["scheme", "fabric", "makespan", "broadcasts", "sync occ", "data occ", "vs dedicated"],
+        &[
+            "scheme",
+            "fabric",
+            "makespan",
+            "issued",
+            "broadcasts",
+            "coalesced",
+            "sync occ",
+            "data occ",
+            "vs dedicated",
+        ],
     );
     for scheme in fabric_roster(procs) {
         let compiled = scheme.compile(&nest, &graph, &space);
@@ -98,6 +110,16 @@ pub fn fabric_ablation(n: i64, procs: usize) -> Table {
             .fabric(kind);
             let out = compiled.run(&config).expect("simulation failed");
             assert!(compiled.validate(&out).is_empty(), "order violated");
+            // Conservation: on a fault-free run every issued sync op is
+            // either granted as a broadcast or folded into a queued one.
+            // Fewer broadcasts on a slower fabric is coalescing under
+            // arbitration latency, not loss.
+            assert_eq!(
+                out.stats.sync_ops_issued,
+                out.stats.sync_broadcasts + out.stats.coalesced_writes,
+                "{} {kind}: sync ops leaked",
+                scheme.name()
+            );
             if kind == FabricKind::Dedicated {
                 dedicated_makespan = out.stats.makespan;
             }
@@ -105,7 +127,9 @@ pub fn fabric_ablation(n: i64, procs: usize) -> Table {
                 scheme.name(),
                 kind.to_string(),
                 out.stats.makespan.to_string(),
+                out.stats.sync_ops_issued.to_string(),
                 out.stats.sync_broadcasts.to_string(),
+                out.stats.coalesced_writes.to_string(),
                 f(out.metrics.sync_bus_occupancy(out.stats.makespan)),
                 f(out.metrics.data_bus_occupancy(out.stats.makespan)),
                 f(out.stats.makespan as f64 / dedicated_makespan as f64),
@@ -114,12 +138,126 @@ pub fn fabric_ablation(n: i64, procs: usize) -> Table {
     }
     t.note("Paper (Section 6): a dedicated synchronization bus keeps PC/SC broadcasts off the main data bus; sharing one bus makes every broadcast steal a data-transfer slot.");
     t.note("The ideal fabric delivers broadcasts instantly and bounds the improvement any bus design could still buy.");
+    t.note("issued = broadcasts + coalesced on every fabric: fabrics that queue writes long enough to cover them broadcast fewer times, not fewer writes.");
     t
 }
 
-/// The fabric ablation as a JSON document (the `BENCH_fabric.json`
-/// artifact): one record per scheme × fabric with the raw counters the
-/// table formats, so CI diffs can catch regressions numerically.
+/// E11c / Section 6 — caching synchronization variables.
+///
+/// The through-memory schemes (keys and full/empty bits living next to
+/// their data) run cacheless, then under each coherence protocol with
+/// sync variables cacheable and uncacheable. Cached sync lines turn
+/// every poll into a (usually) local hit — at the price of invalidation
+/// ping-pong (MESI) or an update per write (Dragon); uncached sync
+/// lines pay full memory latency on every poll but keep coherence
+/// traffic at zero for them.
+pub fn cache_ablation(n: i64, procs: usize) -> Table {
+    let nest = fig21_loop(n);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let schemes: Vec<Box<dyn Scheme>> =
+        vec![Box::new(ReferenceBased::new()), Box::new(InstanceBased::new())];
+    let mut t = Table::new(
+        "E11c / Sec 6",
+        &format!(
+            "caching sync variables vs leaving them uncached (Fig 2.1 loop, N={n}, P={procs})"
+        ),
+        &[
+            "scheme",
+            "cache",
+            "sync cached",
+            "makespan",
+            "hit rate",
+            "invals",
+            "updates",
+            "writebacks",
+            "vs no cache",
+        ],
+    );
+    for scheme in schemes {
+        let compiled = scheme.compile(&nest, &graph, &space);
+        let mut cacheless_makespan = 0u64;
+        let cells: [(String, &str, CacheModel); 5] = [
+            ("none".into(), "-", CacheModel::None),
+            ("mesi".into(), "yes", CacheModel::private(CoherenceProtocol::Mesi)),
+            ("mesi".into(), "no", CacheModel::private(CoherenceProtocol::Mesi).sync_uncached()),
+            ("dragon".into(), "yes", CacheModel::private(CoherenceProtocol::Dragon)),
+            ("dragon".into(), "no", CacheModel::private(CoherenceProtocol::Dragon).sync_uncached()),
+        ];
+        for (label, sync_cached, cache) in cells {
+            let config = MachineConfig {
+                sync_transport: scheme.natural_transport(),
+                cache,
+                ..MachineConfig::with_processors(procs)
+            };
+            let out = compiled.run(&config).expect("simulation failed");
+            assert!(compiled.validate(&out).is_empty(), "order violated");
+            if !cache.enabled() {
+                cacheless_makespan = out.stats.makespan;
+            }
+            let c = out.metrics.cache;
+            t.row(vec![
+                scheme.name(),
+                label,
+                sync_cached.into(),
+                out.stats.makespan.to_string(),
+                f(c.hit_rate()),
+                c.invalidations.to_string(),
+                c.updates.to_string(),
+                c.writebacks.to_string(),
+                f(out.stats.makespan as f64 / cacheless_makespan as f64),
+            ]);
+        }
+    }
+    t.note("Paper (Section 6): whether synchronization variables should be cacheable is a design axis — spinning on a cached line costs no bus traffic until the value changes, but the change then pays coherence traffic on the hot line.");
+    t.note("MESI invalidates the spinners (they miss and refetch); Dragon updates them in place (they keep hitting).");
+    t
+}
+
+/// Cache-geometry and protocol sweep: one through-memory scheme across
+/// set count, associativity and line size under both protocols.
+pub fn cache_sweep(n: i64, procs: usize) -> Table {
+    let nest = fig21_loop(n);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let scheme = ReferenceBased::new();
+    let compiled = scheme.compile(&nest, &graph, &space);
+    let mut t = Table::new(
+        "E11d / Sec 6",
+        &format!("cache geometry sweep, reference-based scheme (Fig 2.1 loop, N={n}, P={procs})"),
+        &["protocol", "sets", "assoc", "line", "makespan", "hit rate", "coh tx", "writebacks"],
+    );
+    for protocol in CoherenceProtocol::ALL {
+        for (sets, assoc, line_words) in
+            [(4u32, 1u32, 4u32), (16, 2, 4), (64, 2, 4), (64, 4, 4), (64, 2, 1), (64, 2, 8)]
+        {
+            let config = MachineConfig {
+                sync_transport: scheme.natural_transport(),
+                cache: CacheModel::private(protocol).geometry(sets, assoc, line_words),
+                ..MachineConfig::with_processors(procs)
+            };
+            let out = compiled.run(&config).expect("simulation failed");
+            assert!(compiled.validate(&out).is_empty(), "order violated");
+            let c = out.metrics.cache;
+            t.row(vec![
+                protocol.to_string(),
+                sets.to_string(),
+                assoc.to_string(),
+                line_words.to_string(),
+                out.stats.makespan.to_string(),
+                f(c.hit_rate()),
+                c.coherence_traffic().to_string(),
+                c.writebacks.to_string(),
+            ]);
+        }
+    }
+    t.note("Tiny caches thrash (capacity misses and writebacks); longer lines prefetch neighbours but widen false sharing on the hot sync lines.");
+    t
+}
+
+/// The fabric ablation plus the cache ablation and geometry sweep as one
+/// JSON document (the `BENCH_fabric.json` artifact): raw counters per
+/// cell, so CI diffs can catch regressions numerically.
 pub fn fabric_json(n: i64, procs: usize) -> String {
     let t = fabric_ablation(n, procs);
     let mut rows = String::new();
@@ -127,15 +265,38 @@ pub fn fabric_json(n: i64, procs: usize) -> String {
         let sep = if i + 1 < t.rows.len() { "," } else { "" };
         rows.push_str(&format!(
             "    {{\"scheme\": \"{}\", \"fabric\": \"{}\", \"makespan\": {}, \
-             \"broadcasts\": {}, \"sync_occupancy\": {}, \"data_occupancy\": {}, \
-             \"vs_dedicated\": {}}}{sep}\n",
-            r[0], r[1], r[2], r[3], r[4], r[5], r[6]
+             \"sync_ops_issued\": {}, \"broadcasts\": {}, \"coalesced\": {}, \
+             \"sync_occupancy\": {}, \"data_occupancy\": {}, \"vs_dedicated\": {}}}{sep}\n",
+            r[0], r[1], r[2], r[3], r[4], r[5], r[6], r[7], r[8]
+        ));
+    }
+    let ca = cache_ablation(n, procs);
+    let mut cache_rows = String::new();
+    for (i, r) in ca.rows.iter().enumerate() {
+        let sep = if i + 1 < ca.rows.len() { "," } else { "" };
+        cache_rows.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"cache\": \"{}\", \"sync_cached\": \"{}\", \
+             \"makespan\": {}, \"hit_rate\": {}, \"invalidations\": {}, \"updates\": {}, \
+             \"writebacks\": {}, \"vs_no_cache\": {}}}{sep}\n",
+            r[0], r[1], r[2], r[3], r[4], r[5], r[6], r[7], r[8]
+        ));
+    }
+    let cs = cache_sweep(n, procs);
+    let mut sweep_rows = String::new();
+    for (i, r) in cs.rows.iter().enumerate() {
+        let sep = if i + 1 < cs.rows.len() { "," } else { "" };
+        sweep_rows.push_str(&format!(
+            "    {{\"protocol\": \"{}\", \"sets\": {}, \"assoc\": {}, \"line_words\": {}, \
+             \"makespan\": {}, \"hit_rate\": {}, \"coherence_tx\": {}, \"writebacks\": {}}}{sep}\n",
+            r[0], r[1], r[2], r[3], r[4], r[5], r[6], r[7]
         ));
     }
     format!(
         "{{\n  \"experiment\": \"sec6 sync-fabric ablation\",\n  \"loop\": \"fig21\",\n  \
          \"n\": {n},\n  \"procs\": {procs},\n  \
-         \"fabrics\": [\"dedicated\", \"shared\", \"ideal\"],\n  \"rows\": [\n{rows}  ]\n}}\n"
+         \"fabrics\": [\"dedicated\", \"shared\", \"ideal\"],\n  \"rows\": [\n{rows}  ],\n  \
+         \"cache_ablation\": [\n{cache_rows}  ],\n  \
+         \"cache_sweep\": [\n{sweep_rows}  ]\n}}\n"
     )
 }
 
@@ -178,7 +339,14 @@ mod tests {
             // The oracle never touches a bus; the shared fabric must pay
             // for its broadcasts in data-bus time.
             let ideal_row = chunk.iter().find(|r| r[1] == "ideal").unwrap();
-            assert_eq!(ideal_row[4], "0.00", "{scheme}: ideal fabric held the sync bus");
+            assert_eq!(ideal_row[6], "0.00", "{scheme}: ideal fabric held the sync bus");
+            // Conservation: the issued count is fabric-invariant even
+            // when the broadcast counts differ (coalescing).
+            let issued: Vec<&String> = chunk.iter().map(|r| &r[3]).collect();
+            assert!(
+                issued.windows(2).all(|w| w[0] == w[1]),
+                "{scheme}: issued ops differ across fabrics: {issued:?}"
+            );
         }
         // At least one scheme must actually show the §6 gap, or the
         // ablation says nothing.
@@ -199,9 +367,71 @@ mod tests {
             "\"shared\"",
             "\"ideal\"",
             "\"vs_dedicated\"",
+            "\"sync_ops_issued\"",
+            "\"coalesced\"",
+            "\"cache_ablation\"",
+            "\"sync_cached\"",
+            "\"cache_sweep\"",
+            "\"coherence_tx\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
-        assert_eq!(json.matches("{\"scheme\"").count(), 9);
+        // 3 schemes x 3 fabrics, plus 2 schemes x 5 cache cells.
+        assert_eq!(json.matches("{\"scheme\"").count(), 9 + 10);
+        // 2 protocols x 6 geometries.
+        assert_eq!(json.matches("{\"protocol\"").count(), 12);
+    }
+
+    #[test]
+    fn cache_ablation_shows_the_protocol_tradeoff() {
+        let t = super::cache_ablation(32, 4);
+        // 2 through-memory schemes x 5 cells.
+        assert_eq!(t.rows.len(), 10);
+        for chunk in t.rows.chunks(5) {
+            let scheme = &chunk[0][0];
+            let cell = |cache: &str, sync_cached: &str| -> &Vec<String> {
+                chunk.iter().find(|r| r[1] == cache && r[2] == sync_cached).unwrap()
+            };
+            // Cached sync lines ping-pong under MESI (invalidations) and
+            // flood updates under Dragon — and only when actually cached.
+            let mesi: u64 = cell("mesi", "yes")[5].parse().unwrap();
+            assert!(mesi > 0, "{scheme}: cached sync under MESI produced no invalidations");
+            let dragon: u64 = cell("dragon", "yes")[6].parse().unwrap();
+            assert!(dragon > 0, "{scheme}: cached sync under Dragon produced no updates");
+            // The cacheless baseline reports no cache traffic at all.
+            let none = cell("none", "-");
+            assert_eq!(none[5], "0", "{scheme}: phantom invalidations without caches");
+            assert_eq!(none[7], "0", "{scheme}: phantom writebacks without caches");
+        }
+    }
+
+    #[test]
+    fn cache_sweep_shows_tiny_caches_thrashing() {
+        let t = super::cache_sweep(32, 4);
+        assert_eq!(t.rows.len(), 12);
+        for protocol in ["mesi", "dragon"] {
+            let row = |sets: &str, assoc: &str, line: &str| -> &Vec<String> {
+                t.rows
+                    .iter()
+                    .find(|r| r[0] == protocol && r[1] == sets && r[2] == assoc && r[3] == line)
+                    .unwrap()
+            };
+            let (tiny, big) = (row("4", "1", "4"), row("64", "2", "4"));
+            let wb = |r: &Vec<String>| -> u64 { r[7].parse().unwrap() };
+            let makespan = |r: &Vec<String>| -> u64 { r[4].parse().unwrap() };
+            assert!(
+                wb(tiny) > wb(big),
+                "{protocol}: the thrashing cache should evict more dirty lines \
+                 ({} vs {})",
+                wb(tiny),
+                wb(big)
+            );
+            assert!(
+                makespan(tiny) > makespan(big),
+                "{protocol}: capacity misses should cost makespan ({} vs {})",
+                makespan(tiny),
+                makespan(big)
+            );
+        }
     }
 }

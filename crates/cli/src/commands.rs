@@ -14,7 +14,7 @@ use datasync_schemes::scheme::Scheme;
 use datasync_schemes::{
     BarrierPhased, InstanceBased, ProcessOriented, ReferenceBased, StatementOriented,
 };
-use datasync_sim::{FabricKind, MachineConfig};
+use datasync_sim::{CacheModel, CoherenceProtocol, FabricKind, MachineConfig};
 use std::fmt::Write as _;
 
 /// Parses `--fabric` (defaulting to the paper's dedicated sync bus).
@@ -22,6 +22,28 @@ fn parse_fabric(p: &Parsed) -> Result<FabricKind, String> {
     let word = p.get("fabric").unwrap_or("dedicated");
     FabricKind::parse(word)
         .ok_or_else(|| format!("unknown --fabric '{word}' (dedicated | shared | ideal)"))
+}
+
+/// Parses the private-cache knobs: `--cache none|mesi|dragon` selects
+/// the coherence protocol (default none — the cacheless machine of the
+/// paper), with `--cache-sets`, `--cache-assoc`, `--cache-line`
+/// overriding the geometry and `--sync-uncached` keeping sync variables
+/// out of the caches.
+fn parse_cache(p: &Parsed) -> Result<CacheModel, String> {
+    let word = p.get("cache").unwrap_or("none");
+    if word == "none" {
+        return Ok(CacheModel::None);
+    }
+    let protocol = CoherenceProtocol::parse(word)
+        .ok_or_else(|| format!("unknown --cache '{word}' (none | mesi | dragon)"))?;
+    let mut model = CacheModel::private(protocol);
+    if let CacheModel::Private { sets, assoc, line_words, cache_sync, .. } = &mut model {
+        *sets = p.get_u64("cache-sets", u64::from(*sets))? as u32;
+        *assoc = p.get_u64("cache-assoc", u64::from(*assoc))? as u32;
+        *line_words = p.get_u64("cache-line", u64::from(*line_words))? as u32;
+        *cache_sync = !p.has("sync-uncached");
+    }
+    Ok(model)
 }
 
 /// Builds the selected example loop, or parses one from `--file`.
@@ -114,7 +136,21 @@ pub fn analyze(p: &Parsed) -> Result<String, CliError> {
 /// `datasync simulate`.
 pub fn simulate(p: &Parsed) -> Result<String, CliError> {
     p.expect_only(&[
-        "loop", "file", "n", "m", "scheme", "procs", "x", "banks", "fabric", "timeline",
+        "loop",
+        "file",
+        "n",
+        "m",
+        "scheme",
+        "procs",
+        "x",
+        "banks",
+        "fabric",
+        "timeline",
+        "cache",
+        "cache-sets",
+        "cache-assoc",
+        "cache-line",
+        "sync-uncached",
     ])?;
     let nest = build_loop(p)?;
     let procs = p.get_u64("procs", 4)? as usize;
@@ -133,8 +169,10 @@ pub fn simulate(p: &Parsed) -> Result<String, CliError> {
         sync_transport: scheme.natural_transport(),
         sync_fabric: parse_fabric(p)?,
         memory_model,
+        cache: parse_cache(p)?,
         ..MachineConfig::with_processors(procs)
     };
+    config.validate().map_err(datasync_sim::SimError::BadConfig)?;
     let out = compiled.run(&config)?;
     let violations = compiled.validate(&out);
 
@@ -167,6 +205,18 @@ pub fn simulate(p: &Parsed) -> Result<String, CliError> {
         out.stats.sync_broadcasts,
         out.stats.spin_polls
     );
+    if out.metrics.cache.active() {
+        let c = out.metrics.cache;
+        let _ = writeln!(
+            text,
+            "cache: {:.1}% hits   invalidations: {}   updates: {}   writebacks: {}   c2c: {}",
+            c.hit_rate() * 100.0,
+            c.invalidations,
+            c.updates,
+            c.writebacks,
+            c.c2c_transfers
+        );
+    }
     let _ = writeln!(text, "violations: {}", violations.len());
     for v in violations.iter().take(5) {
         let _ = writeln!(text, "  {v}");
@@ -179,7 +229,20 @@ pub fn simulate(p: &Parsed) -> Result<String, CliError> {
 
 /// `datasync compare`.
 pub fn compare(p: &Parsed) -> Result<String, CliError> {
-    p.expect_only(&["loop", "file", "n", "m", "procs", "x", "fabric"])?;
+    p.expect_only(&[
+        "loop",
+        "file",
+        "n",
+        "m",
+        "procs",
+        "x",
+        "fabric",
+        "cache",
+        "cache-sets",
+        "cache-assoc",
+        "cache-line",
+        "sync-uncached",
+    ])?;
     let nest = build_loop(p)?;
     let procs = p.get_u64("procs", 4)? as usize;
     let x = p.get_u64("x", 2 * procs as u64)? as usize;
@@ -188,10 +251,15 @@ pub fn compare(p: &Parsed) -> Result<String, CliError> {
     }
     let graph = analyze_deps(&nest);
     let space = IterSpace::of(&nest);
-    let base = MachineConfig::with_processors(procs).fabric(parse_fabric(p)?);
+    let base = MachineConfig {
+        cache: parse_cache(p)?,
+        ..MachineConfig::with_processors(procs).fabric(parse_fabric(p)?)
+    };
+    base.validate().map_err(datasync_sim::SimError::BadConfig)?;
+    let cached = base.cache.enabled();
     let rows = datasync_schemes::compare::compare_all(&nest, &graph, &space, &base, x)?;
     let mut text = String::new();
-    let _ = writeln!(
+    let _ = write!(
         text,
         "{:<34} {:>7} {:>9} {:>9} {:>9} {:>8} {:>7} {:>6} {:>6} {:>9} {:>9} {:>10}",
         "scheme",
@@ -207,8 +275,12 @@ pub fn compare(p: &Parsed) -> Result<String, CliError> {
         "wait max",
         "violations"
     );
+    if cached {
+        let _ = write!(text, " {:>6} {:>7} {:>7}", "hit%", "invals", "coh tx");
+    }
+    text.push('\n');
     for r in rows {
-        let _ = writeln!(
+        let _ = write!(
             text,
             "{:<34} {:>7} {:>9} {:>9} {:>9} {:>8.2} {:>7.1} {:>6.1} {:>6.1} {:>9} {:>9} {:>10}",
             r.scheme,
@@ -224,6 +296,16 @@ pub fn compare(p: &Parsed) -> Result<String, CliError> {
             r.wait_max,
             r.violations
         );
+        if cached {
+            let _ = write!(
+                text,
+                " {:>6.1} {:>7} {:>7}",
+                r.cache_hit_rate * 100.0,
+                r.cache_invalidations,
+                r.cache_coherence
+            );
+        }
+        text.push('\n');
     }
     Ok(text)
 }
@@ -250,15 +332,32 @@ fn prepare_run(
         sync_transport: scheme.natural_transport(),
         sync_fabric: parse_fabric(p)?,
         memory_model,
+        cache: parse_cache(p)?,
         ..MachineConfig::with_processors(procs)
     };
+    config.validate().map_err(datasync_sim::SimError::BadConfig)?;
     Ok((compiled, config, procs))
 }
 
 /// `datasync trace`.
 pub fn trace(p: &Parsed) -> Result<String, CliError> {
     p.expect_only(&[
-        "loop", "file", "n", "m", "scheme", "procs", "x", "banks", "fabric", "out", "events",
+        "loop",
+        "file",
+        "n",
+        "m",
+        "scheme",
+        "procs",
+        "x",
+        "banks",
+        "fabric",
+        "out",
+        "events",
+        "cache",
+        "cache-sets",
+        "cache-assoc",
+        "cache-line",
+        "sync-uncached",
     ])?;
     let (compiled, config, procs) = prepare_run(p)?;
     let capacity = p.get_u64("events", 1 << 20)? as usize;
@@ -284,7 +383,22 @@ pub fn trace(p: &Parsed) -> Result<String, CliError> {
 
 /// `datasync metrics`.
 pub fn metrics(p: &Parsed) -> Result<String, CliError> {
-    p.expect_only(&["loop", "file", "n", "m", "scheme", "procs", "x", "banks", "fabric"])?;
+    p.expect_only(&[
+        "loop",
+        "file",
+        "n",
+        "m",
+        "scheme",
+        "procs",
+        "x",
+        "banks",
+        "fabric",
+        "cache",
+        "cache-sets",
+        "cache-assoc",
+        "cache-line",
+        "sync-uncached",
+    ])?;
     let (compiled, config, _) = prepare_run(p)?;
     let out = compiled.run(&config)?;
     let mut text = String::new();
@@ -320,7 +434,20 @@ fn robustness_exit_code(t: &datasync_schemes::robustness::Tally) -> i32 {
 
 /// `datasync robustness`.
 pub fn robustness(p: &Parsed) -> Result<crate::CliOutput, CliError> {
-    p.expect_only(&["n", "procs", "seed", "max-cycles", "recovery", "fabric", "json"])?;
+    p.expect_only(&[
+        "n",
+        "procs",
+        "seed",
+        "max-cycles",
+        "recovery",
+        "fabric",
+        "json",
+        "cache",
+        "cache-sets",
+        "cache-assoc",
+        "cache-line",
+        "sync-uncached",
+    ])?;
     let n = p.get_u64("n", 16)? as i64;
     let procs = p.get_u64("procs", 4)? as usize;
     let seed = p.get_u64("seed", 1989)?;
@@ -334,7 +461,12 @@ pub fn robustness(p: &Parsed) -> Result<crate::CliOutput, CliError> {
     let fabric_word = p.get("fabric").unwrap_or("dedicated");
     let fabrics: Vec<FabricKind> =
         if fabric_word == "all" { FabricKind::ALL.to_vec() } else { vec![parse_fabric(p)?] };
-    let base = MachineConfig { max_cycles, recovery, ..MachineConfig::with_processors(procs) };
+    let base = MachineConfig {
+        max_cycles,
+        recovery,
+        cache: parse_cache(p)?,
+        ..MachineConfig::with_processors(procs)
+    };
     base.validate().map_err(datasync_sim::SimError::BadConfig)?;
     let intensities = [0u8, 25, 50, 75];
     let matrix =

@@ -21,13 +21,15 @@ USAGE:
       and the profitability decision for a loop.
   datasync simulate   [--loop L] [--n N] [--m M] [--scheme S] [--procs P]
                       [--x X] [--banks B] [--fabric F] [--timeline]
+                      [CACHE KNOBS]
       Run the loop on the simulated multiprocessor under one scheme.
   datasync compare    [--loop L] [--n N] [--m M] [--procs P] [--x X]
-                      [--fabric F]
-      Run the loop under every scheme and print the comparison table.
+                      [--fabric F] [CACHE KNOBS]
+      Run the loop under every scheme and print the comparison table
+      (with hit%/invals/coh-tx columns when caches are on).
   datasync robustness [--n N] [--procs P] [--seed S] [--max-cycles C]
                       [--recovery on|off|repair-only] [--fabric F|all]
-                      [--json PATH]
+                      [--json PATH] [CACHE KNOBS]
       Sweep every scheme across every fault class and intensity; print
       the degradation matrix (ok / recovered / reconfigured / DEGRADED /
       DEADLOCK / TIMEOUT / VIOLATED). Recovery (the self-healing
@@ -60,11 +62,11 @@ USAGE:
       on a >15% throughput regression — the CI perf gate.
   datasync trace      [--loop L] [--n N] [--m M] [--scheme S] [--procs P]
                       [--x X] [--banks B] [--fabric F] [--events E]
-                      [--out PATH]
+                      [--out PATH] [CACHE KNOBS]
       Run one scheme with the event ring enabled and export a Chrome
       trace_event JSON (open in chrome://tracing or ui.perfetto.dev).
   datasync metrics    [--loop L] [--n N] [--m M] [--scheme S] [--procs P]
-                      [--x X] [--banks B] [--fabric F]
+                      [--x X] [--banks B] [--fabric F] [CACHE KNOBS]
       Run one scheme and print the derived metrics table: bus occupancy,
       bank conflicts, per-variable sync traffic, wait-time histograms.
 
@@ -75,6 +77,12 @@ SCHEMES (--scheme): process (default) | process-basic | statement |
 FABRICS (--fabric): dedicated (default, the paper's §6 sync bus) |
                     shared (sync arbitrates against data traffic on one
                     bus) | ideal (zero-latency oracle upper bound)
+CACHE KNOBS: --cache none|mesi|dragon (default none — the paper's
+  cacheless machine) gives every processor a private cache under the
+  data bus with the chosen coherence protocol; --cache-sets S (64),
+  --cache-assoc W (2) and --cache-line WORDS (4) set the geometry;
+  --sync-uncached keeps synchronization variables out of the caches
+  (the §6 cached-vs-uncached sync ablation axis)
 
 EXIT CODES: 0 success | 2 bad arguments or config | 3 deadlock detected |
             4 simulation timed out | 5 completed but only via recovery |
@@ -536,6 +544,47 @@ mod tests {
         let e = run(&["simulate", "--fabric", "warp"]).unwrap_err();
         assert_eq!(e.code, 2);
         assert!(e.message.contains("ideal"), "{}", e.message);
+    }
+
+    #[test]
+    fn cache_flags_thread_through_simulate_and_compare() {
+        for protocol in ["mesi", "dragon"] {
+            let out = run(&["simulate", "--n", "16", "--procs", "4", "--cache", protocol]).unwrap();
+            assert!(out.contains("cache:"), "{protocol}: {out}");
+            assert!(out.contains("violations: 0"), "{protocol}: {out}");
+        }
+        // Cacheless output carries no cache line at all.
+        let plain = run(&["simulate", "--n", "16", "--procs", "4"]).unwrap();
+        assert!(!plain.contains("cache:"), "{plain}");
+        // The comparison table grows the cache columns only when asked.
+        let table = run(&["compare", "--n", "16", "--procs", "4", "--cache", "mesi"]).unwrap();
+        assert!(table.contains("hit%"), "{table}");
+        assert!(table.contains("coh tx"), "{table}");
+        let plain_table = run(&["compare", "--n", "16", "--procs", "4"]).unwrap();
+        assert!(!plain_table.contains("hit%"), "{plain_table}");
+        // Geometry overrides and the sync-uncached switch parse.
+        let small = run(&[
+            "simulate",
+            "--n",
+            "16",
+            "--cache",
+            "dragon",
+            "--cache-sets",
+            "4",
+            "--cache-assoc",
+            "1",
+            "--cache-line",
+            "2",
+            "--sync-uncached",
+        ])
+        .unwrap();
+        assert!(small.contains("violations: 0"), "{small}");
+        // Bad protocol and bad geometry are usage errors.
+        let e = run(&["simulate", "--cache", "moesi"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("dragon"), "{}", e.message);
+        let e = run(&["simulate", "--cache", "mesi", "--cache-sets", "0"]).unwrap_err();
+        assert_eq!(e.code, 2);
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //! so fan-out over tasks that themselves fan out cannot explode the
 //! thread count. `DATASYNC_THREADS` caps or disables parallelism
 //! (`DATASYNC_THREADS=1` forces serial — useful for baselines and
-//! debugging).
+//! debugging). A request above the machine's available parallelism is
+//! capped at it: the workers are pure CPU-bound simulation loops, so
+//! oversubscription buys nothing and costs scheduler churn — on a
+//! one-core host it made the "parallel" sweep measurably *slower* than
+//! serial while still being reported as a multi-thread run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -43,21 +47,57 @@ pub fn threads_from_env(raw: &str) -> Result<usize, String> {
     }
 }
 
-/// The default worker count: `DATASYNC_THREADS` if set and valid, else
-/// the machine's available parallelism, else 1.
+/// The machine's available hardware parallelism (always `>= 1`).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Caps a requested worker count at the hardware parallelism.
+///
+/// The workers are CPU-bound simulation loops; running more of them than
+/// the machine has cores adds context-switch churn without adding
+/// throughput. This is the pure core of [`default_threads`], split out so
+/// the clamp is testable without mutating process environment.
+#[must_use]
+pub fn effective_threads(requested: usize, available: usize) -> usize {
+    requested.min(available.max(1)).max(1)
+}
+
+/// The default worker count: `DATASYNC_THREADS` if set and valid (capped
+/// at [`available_threads`]), else the available parallelism, else 1.
 ///
 /// An invalid `DATASYNC_THREADS` (unparsable, or `0`) is **not**
 /// silently ignored: a warning naming the bad value is printed to
 /// stderr and auto-detection takes over, so a typo degrades loudly
-/// instead of quietly running on the wrong thread count.
+/// instead of quietly running on the wrong thread count. A valid value
+/// above the hardware parallelism is likewise clamped with a warning —
+/// oversubscribed workers made a "4-thread" sweep on a one-core host
+/// come out *slower* than serial while the report still claimed
+/// `threads: 4`.
 pub fn default_threads() -> usize {
     if let Ok(v) = std::env::var("DATASYNC_THREADS") {
         match threads_from_env(&v) {
-            Ok(n) => return n,
+            Ok(n) => {
+                let avail = available_threads();
+                let eff = effective_threads(n, avail);
+                if eff < n {
+                    // Once per process: every par_map re-reads the
+                    // default, and a sweep would otherwise repeat the
+                    // warning hundreds of times.
+                    static WARNED: std::sync::Once = std::sync::Once::new();
+                    WARNED.call_once(|| {
+                        eprintln!(
+                            "warning: DATASYNC_THREADS={n} exceeds the {avail} available \
+                             hardware thread(s); capping at {eff}"
+                        );
+                    });
+                }
+                return eff;
+            }
             Err(msg) => eprintln!("warning: {msg}; falling back to auto-detection"),
         }
     }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    available_threads()
 }
 
 /// Maps `f` over `items` on up to [`default_threads`] scoped threads;
@@ -136,6 +176,24 @@ mod tests {
             let e = threads_from_env(bad).unwrap_err();
             assert!(e.contains("positive integer"), "{bad:?}: {e}");
         }
+    }
+
+    #[test]
+    fn effective_threads_clamps_oversubscription() {
+        // Request within the hardware budget: honored as-is.
+        assert_eq!(effective_threads(2, 8), 2);
+        assert_eq!(effective_threads(8, 8), 8);
+        // Request above it: capped (the one-core CI host bug — a
+        // requested 4 ran as 4 oversubscribed workers and lost to the
+        // serial baseline).
+        assert_eq!(effective_threads(4, 1), 1);
+        assert_eq!(effective_threads(64, 8), 8);
+        // Degenerate inputs never yield zero workers.
+        assert_eq!(effective_threads(1, 0), 1);
+        assert_eq!(effective_threads(0, 4), 1);
+        // And default_threads always lands inside the hardware budget.
+        assert!(default_threads() >= 1);
+        assert!(default_threads() <= available_threads());
     }
 
     #[test]

@@ -66,6 +66,12 @@ pub struct SchemeReport {
     /// Total operations on the scheme's sync variables
     /// (posts + rmws + waits + granted polls).
     pub sync_ops: u64,
+    /// Private-cache hit rate (0 when caches are disabled or untouched).
+    pub cache_hit_rate: f64,
+    /// Lines invalidated in other processors' caches (MESI writes).
+    pub cache_invalidations: u64,
+    /// Coherence-only bus transactions: upgrades + updates + writebacks.
+    pub cache_coherence: u64,
 }
 
 /// Compiles the nest with no synchronization at all (for the sequential
@@ -166,6 +172,9 @@ fn build_report(
         wait_mean: out.metrics.wait_mean(),
         wait_max: out.metrics.wait_max(),
         sync_ops: out.metrics.sync_traffic_total().total(),
+        cache_hit_rate: out.metrics.cache.hit_rate(),
+        cache_invalidations: out.metrics.cache.invalidations,
+        cache_coherence: out.metrics.cache.coherence_traffic(),
     }
 }
 
@@ -238,6 +247,30 @@ mod tests {
         assert!(by_name("reference-based").sync_vars > by_name("statement-oriented").sync_vars);
         assert_eq!(by_name("statement-oriented").sync_vars, 4);
         assert_eq!(by_name("process-oriented (X=8, improved)").sync_vars, 8);
+    }
+
+    #[test]
+    fn compare_all_reports_cache_traffic_when_enabled() {
+        use datasync_sim::{CacheModel, CoherenceProtocol};
+        let nest = fig21_loop(24);
+        let graph = analyze(&nest);
+        let space = IterSpace::of(&nest);
+        let plain = MachineConfig::with_processors(4);
+        let cached = plain.clone().with_cache(CacheModel::private(CoherenceProtocol::Mesi));
+        let rows = compare_all(&nest, &graph, &space, &cached, 8).unwrap();
+        for r in &rows {
+            assert_eq!(r.violations, 0, "{} violated dependences under caches", r.scheme);
+        }
+        assert!(rows.iter().any(|r| r.cache_hit_rate > 0.0), "no scheme produced any cache hits");
+        assert!(
+            rows.iter().any(|r| r.cache_invalidations + r.cache_coherence > 0),
+            "no row produced any coherence activity"
+        );
+        // And the cacheless table reports all-zero cache columns.
+        for r in compare_all(&nest, &graph, &space, &plain, 8).unwrap() {
+            assert_eq!(r.cache_hit_rate, 0.0, "{}: phantom hit rate", r.scheme);
+            assert_eq!(r.cache_invalidations + r.cache_coherence, 0, "{}", r.scheme);
+        }
     }
 
     #[test]

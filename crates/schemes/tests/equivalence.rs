@@ -12,7 +12,8 @@ use datasync_schemes::{
     BarrierPhased, CompiledLoop, InstanceBased, ProcessOriented, ReferenceBased, StatementOriented,
 };
 use datasync_sim::{
-    FabricKind, FaultClass, FaultPlan, MachineConfig, RecoveryPolicy, StepMode, SyncTransport,
+    CacheModel, CoherenceProtocol, FabricKind, FaultClass, FaultPlan, MachineConfig,
+    RecoveryPolicy, StepMode, SyncTransport,
 };
 
 fn roster(procs: usize, x: usize) -> Vec<Box<dyn Scheme>> {
@@ -256,6 +257,131 @@ fn failstop_reconfiguration_is_identical_across_modes() {
                 );
             }
         }
+    }
+}
+
+/// Private caches are a pure timing/traffic model riding the data bus,
+/// and the fast-forward kernel must stay bit-identical to per-cycle
+/// stepping with them enabled — for every scheme under both coherence
+/// protocols, clean and under chaos faults. The shared-memory transport
+/// cells must actually exercise the caches (non-zero traffic), or the
+/// test would prove nothing.
+#[test]
+fn every_scheme_with_private_caches() {
+    let nest = fig21_loop(16);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let base = MachineConfig { max_cycles: 400_000, ..MachineConfig::with_processors(4) };
+    for protocol in CoherenceProtocol::ALL {
+        for scheme in roster(4, 8) {
+            let compiled = scheme.compile(&nest, &graph, &space);
+            let clean =
+                MachineConfig { sync_transport: scheme.natural_transport(), ..base.clone() }
+                    .with_cache(CacheModel::private(protocol));
+            let what = format!("{} {protocol} cached", scheme.name());
+            assert_equivalent(&compiled, &clean, &what);
+            let out = compiled.run(&clean).expect("cached run");
+            assert!(out.metrics.cache.active(), "{what}: caches saw no traffic");
+            if scheme.natural_transport() == SyncTransport::SharedMemory {
+                assert!(
+                    out.metrics.cache.coherence_traffic() > 0,
+                    "{what}: spinning on memory produced no coherence traffic"
+                );
+            }
+            let chaotic = clean.clone().with_faults(FaultPlan::chaos(7, 55));
+            assert_equivalent(&compiled, &chaotic, &format!("{what} chaos"));
+        }
+    }
+}
+
+/// With caching of sync variables disabled (`cache_sync: false`), sync
+/// traffic must bypass the caches entirely while plain shared accesses
+/// still hit — and equivalence must hold in that mixed mode too.
+#[test]
+fn uncached_sync_variables_bypass_the_caches() {
+    let nest = fig21_loop(16);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let scheme = StatementOriented::new();
+    let compiled = scheme.compile(&nest, &graph, &space);
+    let cache = CacheModel::private(CoherenceProtocol::Mesi).sync_uncached();
+    let config = MachineConfig {
+        sync_transport: SyncTransport::SharedMemory,
+        max_cycles: 400_000,
+        ..MachineConfig::with_processors(4)
+    }
+    .with_cache(cache);
+    assert_equivalent(&compiled, &config, "sync-uncached");
+    let out = compiled.run(&config).expect("run");
+    assert!(out.metrics.cache.active(), "data accesses should still use the caches");
+}
+
+/// `CacheModel::None` (the default) must be byte-identical to a config
+/// that never mentions caches at all: the golden pins of earlier PRs
+/// stay valid because the cacheless path is the same code path.
+#[test]
+fn cacheless_model_is_the_default_and_inert() {
+    assert_eq!(CacheModel::default(), CacheModel::None);
+    let nest = fig21_loop(16);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    for scheme in roster(4, 8) {
+        let compiled = scheme.compile(&nest, &graph, &space);
+        let implicit = MachineConfig {
+            sync_transport: scheme.natural_transport(),
+            max_cycles: 400_000,
+            ..MachineConfig::with_processors(4)
+        };
+        let explicit = implicit.clone().with_cache(CacheModel::None);
+        let a = compiled.run(&implicit).expect("implicit");
+        let b = compiled.run(&explicit).expect("explicit");
+        assert_eq!(a.stats, b.stats, "{}: explicit None changed stats", scheme.name());
+        assert_eq!(a.trace, b.trace, "{}: explicit None changed trace", scheme.name());
+        assert_eq!(a.metrics, b.metrics, "{}: explicit None changed metrics", scheme.name());
+        assert!(!a.metrics.cache.active(), "{}: cacheless run counted traffic", scheme.name());
+    }
+}
+
+/// Sync-operation conservation across fabrics (the broadcast-count
+/// "discrepancy" from the bench report): on a fault-free run every
+/// issued sync operation is either granted as its own broadcast or
+/// folded into a queued one by write coalescing, so
+/// `sync_ops_issued == sync_broadcasts + coalesced_writes` on every
+/// fabric — and the *issued* count is fabric-invariant. The dedicated
+/// bus showing fewer broadcasts than the ideal fabric is coalescing
+/// under arbitration latency, not message loss.
+#[test]
+fn sync_op_conservation_holds_on_every_fabric() {
+    let nest = fig21_loop(16);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    for scheme in roster(4, 8) {
+        if scheme.natural_transport() != SyncTransport::DedicatedBus {
+            continue;
+        }
+        let compiled = scheme.compile(&nest, &graph, &space);
+        let mut issued = Vec::new();
+        for kind in FabricKind::ALL {
+            let config = MachineConfig {
+                sync_transport: SyncTransport::DedicatedBus,
+                sync_fabric: kind,
+                max_cycles: 400_000,
+                ..MachineConfig::with_processors(4)
+            };
+            let out = compiled.run(&config).expect("run");
+            assert_eq!(
+                out.stats.sync_ops_issued,
+                out.stats.sync_broadcasts + out.stats.coalesced_writes,
+                "{} {kind}: issued ops must equal broadcasts + coalesced",
+                scheme.name()
+            );
+            issued.push(out.stats.sync_ops_issued);
+        }
+        assert!(
+            issued.windows(2).all(|w| w[0] == w[1]),
+            "{}: issued sync ops differ across fabrics: {issued:?}",
+            scheme.name()
+        );
     }
 }
 

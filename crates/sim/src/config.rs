@@ -82,6 +82,118 @@ impl std::fmt::Display for FabricKind {
     }
 }
 
+/// Which snooping coherence protocol the private caches run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CoherenceProtocol {
+    /// Invalidation-based MESI: a write to a shared line broadcasts a
+    /// BusRdX/upgrade that invalidates every other copy; subsequent
+    /// readers miss and refetch. The classic ping-pong model for sync
+    /// hot-spots (key lines, SC/PC counters).
+    #[default]
+    Mesi,
+    /// Update-based Dragon: a write to a shared line broadcasts the new
+    /// value (BusUpd) to the other copies instead of invalidating them;
+    /// readers keep hitting locally at the cost of a bus word per write.
+    Dragon,
+}
+
+impl CoherenceProtocol {
+    /// Both protocols, in ablation order.
+    pub const ALL: [CoherenceProtocol; 2] = [CoherenceProtocol::Mesi, CoherenceProtocol::Dragon];
+
+    /// Parses the CLI spelling (`mesi`, `dragon`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "mesi" => Some(CoherenceProtocol::Mesi),
+            "dragon" => Some(CoherenceProtocol::Dragon),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CoherenceProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CoherenceProtocol::Mesi => "mesi",
+            CoherenceProtocol::Dragon => "dragon",
+        })
+    }
+}
+
+/// The private-cache layer between the processors and the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheModel {
+    /// No caches: every data-path request arbitrates for the bus and
+    /// reaches memory, exactly as in every pre-cache version of this
+    /// simulator. The default — golden-stat pins are bit-identical under
+    /// it.
+    #[default]
+    None,
+    /// One private snooping cache per processor.
+    Private {
+        /// Coherence protocol the caches run.
+        protocol: CoherenceProtocol,
+        /// Number of sets (>= 1).
+        sets: u32,
+        /// Associativity: ways per set (>= 1).
+        assoc: u32,
+        /// Words per cache line (>= 1); addresses within the same line
+        /// hit the same tag.
+        line_words: u32,
+        /// Whether through-memory synchronization variables are
+        /// cacheable. The paper's Sec 6 ablation axis: cached sync lines
+        /// ping-pong (MESI) or flood updates (Dragon); uncached ones pay
+        /// full memory latency on every poll.
+        cache_sync: bool,
+        /// Cycles a cache hit costs the requesting processor (>= 1; the
+        /// bus is not involved).
+        hit_latency: u32,
+    },
+}
+
+impl CacheModel {
+    /// A private-cache model with the given protocol and small-machine
+    /// defaults (64 sets x 2 ways x 4-word lines, sync cacheable, 1-cycle
+    /// hits).
+    pub fn private(protocol: CoherenceProtocol) -> Self {
+        CacheModel::Private {
+            protocol,
+            sets: 64,
+            assoc: 2,
+            line_words: 4,
+            cache_sync: true,
+            hit_latency: 1,
+        }
+    }
+
+    /// Whether any cache hardware is modeled.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, CacheModel::None)
+    }
+
+    /// Returns the model with through-memory synchronization variables
+    /// made uncacheable (no-op for [`CacheModel::None`]).
+    #[must_use]
+    pub fn sync_uncached(mut self) -> Self {
+        if let CacheModel::Private { cache_sync, .. } = &mut self {
+            *cache_sync = false;
+        }
+        self
+    }
+
+    /// Returns the model with the given geometry (no-op for
+    /// [`CacheModel::None`]).
+    #[must_use]
+    pub fn geometry(mut self, new_sets: u32, new_assoc: u32, new_line_words: u32) -> Self {
+        if let CacheModel::Private { sets, assoc, line_words, .. } = &mut self {
+            *sets = new_sets;
+            *assoc = new_assoc;
+            *line_words = new_line_words;
+        }
+        self
+    }
+}
+
 /// Parameters of the simulated multiprocessor.
 ///
 /// All latencies are in cycles. The defaults model a small bus-based
@@ -97,6 +209,10 @@ pub struct MachineConfig {
     pub memory_latency: u32,
     /// Memory organisation behind the data bus.
     pub memory_model: MemoryModel,
+    /// Private per-processor caches in front of the data bus
+    /// ([`CacheModel::None`] by default: requests go straight to the
+    /// bus, bit-identical to the cacheless machine).
+    pub cache: CacheModel,
     /// Cycles the sync bus is held per broadcast.
     pub sync_bus_latency: u32,
     /// Where synchronization variables live.
@@ -129,6 +245,7 @@ impl Default for MachineConfig {
             data_bus_latency: 2,
             memory_latency: 4,
             memory_model: MemoryModel::BusHeld,
+            cache: CacheModel::None,
             sync_bus_latency: 1,
             sync_transport: SyncTransport::DedicatedBus,
             sync_fabric: FabricKind::Dedicated,
@@ -157,6 +274,12 @@ impl MachineConfig {
     /// Switches the synchronization-fabric backend.
     pub fn fabric(mut self, kind: FabricKind) -> Self {
         self.sync_fabric = kind;
+        self
+    }
+
+    /// Installs a private-cache model.
+    pub fn with_cache(mut self, cache: CacheModel) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -196,6 +319,14 @@ impl MachineConfig {
         }
         if let MemoryModel::Banked { banks: 0 } = self.memory_model {
             return Err("banked memory needs at least one bank".into());
+        }
+        if let CacheModel::Private { sets, assoc, line_words, hit_latency, .. } = self.cache {
+            if sets == 0 || assoc == 0 || line_words == 0 {
+                return Err("private caches need sets, assoc and line_words >= 1".into());
+            }
+            if hit_latency == 0 {
+                return Err("cache hit_latency must be at least 1 cycle".into());
+            }
         }
         if self.faults.broadcast_delay_pct > 0 && self.faults.broadcast_delay_max == 0 {
             return Err("broadcast delay enabled with a zero-cycle cap".into());
@@ -319,6 +450,33 @@ mod tests {
         assert_eq!(MachineConfig::default().sync_fabric, FabricKind::Dedicated);
         let c = MachineConfig::default().fabric(FabricKind::Shared);
         assert_eq!(c.sync_fabric, FabricKind::Shared);
+    }
+
+    #[test]
+    fn cache_model_parses_validates_and_defaults_off() {
+        assert_eq!(MachineConfig::default().cache, CacheModel::None);
+        assert!(!CacheModel::None.enabled());
+        for p in CoherenceProtocol::ALL {
+            assert_eq!(CoherenceProtocol::parse(&p.to_string()), Some(p));
+            let c = MachineConfig::default().with_cache(CacheModel::private(p));
+            assert!(c.cache.enabled());
+            assert!(c.validate().is_ok());
+        }
+        assert_eq!(CoherenceProtocol::parse("moesi"), None);
+        let degenerate = |sets, assoc, line_words, hit_latency| {
+            MachineConfig::default().with_cache(CacheModel::Private {
+                protocol: CoherenceProtocol::Mesi,
+                sets,
+                assoc,
+                line_words,
+                cache_sync: true,
+                hit_latency,
+            })
+        };
+        assert!(degenerate(0, 2, 4, 1).validate().is_err());
+        assert!(degenerate(64, 0, 4, 1).validate().is_err());
+        assert!(degenerate(64, 2, 0, 1).validate().is_err());
+        assert!(degenerate(64, 2, 4, 0).validate().is_err());
     }
 
     #[test]

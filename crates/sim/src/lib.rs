@@ -59,14 +59,16 @@ pub mod timeline;
 pub mod trace;
 
 pub use chrome::render as render_chrome_trace;
-pub use config::{FabricKind, MachineConfig, MemoryModel, SyncTransport};
+pub use config::{
+    CacheModel, CoherenceProtocol, FabricKind, MachineConfig, MemoryModel, SyncTransport,
+};
 pub use events::{EventRing, SimEvent, SimEventKind};
 pub use faults::{FaultClass, FaultCounts, FaultPlan};
 pub use machine::{
     run, run_reference, DedicatedBus, DispatchMode, IdealFabric, Machine, RunOutcome,
     SharedDataBus, SimError, StepMode, SyncFabric, Workload,
 };
-pub use metrics::{RunMetrics, VarTraffic, WaitHistogram};
+pub use metrics::{CacheTraffic, RunMetrics, VarTraffic, WaitHistogram};
 pub use program::{pack_pc, unpack_pc, Instr, Label, Pred, Program, SyncVar};
 pub use recovery::{RecoveryCounts, RecoveryPolicy, WaitEdge};
 pub use rng::SplitMix64;

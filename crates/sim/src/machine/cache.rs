@@ -1,0 +1,746 @@
+//! Private per-processor caches with snooping coherence, interposed
+//! between instruction issue and the data-bus queue.
+//!
+//! The cache layer is a **timing and traffic model only**: every value
+//! still lives in (and is read from) the authoritative global state, so
+//! the functional outcome of a run never depends on cache contents.
+//! Consistency of that shortcut follows from the protocols themselves —
+//! a write to a cached line either invalidates (MESI) or updates
+//! (Dragon) every other copy in the same completion that performs the
+//! global write, so no processor can *hit* on a line whose value a
+//! bus-ordered writer has already replaced.
+//!
+//! What the layer changes is exactly what the paper's Section 6 argues
+//! about: which requests occupy the data bus, for how long, and how
+//! synchronization hot-spots behave. A busy-wait that hits in its own
+//! cache costs [`CacheSystem::hit_latency`] cycles and zero bus traffic
+//! (the software analogue of the dedicated sync bus's local images); a
+//! keyed access ping-pongs the key line between owners (MESI) or floods
+//! update broadcasts (Dragon).
+//!
+//! Transaction vocabulary, carried on [`DataReq::coh`]:
+//!
+//! * [`Coh::Fill`] — BusRd / BusRdX: fetch a line, from memory or
+//!   cache-to-cache when a snooping owner has it; a write-fill also
+//!   performs the protocol's write action (invalidate or update the
+//!   other copies) in the same bus tenure.
+//! * [`Coh::Upgrade`] — MESI ownership upgrade of an already-cached
+//!   Shared line (address-only transaction, no memory involvement).
+//! * [`Coh::Update`] — Dragon BusUpd: broadcast the written word into
+//!   the other caches' copies (no memory involvement).
+//! * [`Coh::Writeback`] — a dirty victim flushed to memory on eviction
+//!   (a [`DataReqKind::Coherence`] request with no waiting processor).
+//!
+//! MESI here uses the four classic states; Dragon uses
+//! Exclusive/SharedClean/SharedModified/Modified with Invalid standing
+//! in for "not present". Both are driven by the same five events (read
+//! hit, write hit, read miss, write miss, snoop) so the unit tests can
+//! walk every edge directly against a [`CacheSystem`].
+
+use super::memory::{DataReq, DataReqKind};
+use super::Machine;
+use crate::config::{CacheModel, CoherenceProtocol};
+
+/// Sync-variable requests are cached under a key far above any data
+/// address, so a sync line never aliases a shared-data line.
+const SYNC_KEY_BASE: u64 = 1 << 48;
+
+/// One cache line's coherence state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum LineState {
+    /// Not present (both protocols).
+    #[default]
+    Invalid,
+    /// MESI: present in this cache and possibly others, clean.
+    Shared,
+    /// Present only here, clean (both protocols).
+    Exclusive,
+    /// Present only here, dirty (both protocols).
+    Modified,
+    /// Dragon: present in several caches, memory up to date.
+    SharedClean,
+    /// Dragon: present in several caches, this copy is the dirty owner.
+    SharedModified,
+}
+
+impl LineState {
+    fn valid(self) -> bool {
+        !matches!(self, LineState::Invalid)
+    }
+
+    fn dirty(self) -> bool {
+        matches!(self, LineState::Modified | LineState::SharedModified)
+    }
+}
+
+/// One line slot: full line address as tag plus an LRU stamp.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    state: LineState,
+    stamp: u64,
+}
+
+/// How a cache lookup classified a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Lookup {
+    /// Served locally (read hit anywhere valid; write hit on an
+    /// exclusive-or-dirty line, with the silent E→M transition already
+    /// applied). No bus transaction.
+    Hit,
+    /// MESI write hit on a Shared line: needs an address-only ownership
+    /// upgrade on the bus.
+    Upgrade,
+    /// Dragon write hit on a shared line: needs a BusUpd broadcast.
+    Update,
+    /// Not present: needs a fill into the chosen victim way.
+    Miss {
+        /// Victim way within the set (invalid-first, else LRU).
+        way: u16,
+    },
+}
+
+/// All private caches plus the pending completions of local hits.
+#[derive(Debug)]
+pub(crate) struct CacheSystem {
+    /// Whether any cache hardware is modeled (false = every request
+    /// passes straight to the bus queue, bit-identical to the
+    /// cacheless machine).
+    pub(crate) enabled: bool,
+    protocol: CoherenceProtocol,
+    sets: usize,
+    assoc: usize,
+    line_words: u64,
+    cache_sync: bool,
+    /// Cycles a local hit costs the requesting processor.
+    hit_latency: u64,
+    /// Bus-held cycles a cache-to-cache transfer costs beyond the
+    /// request phase (a fraction of the memory latency it avoids).
+    pub(crate) c2c_latency: u64,
+    /// Flat `[proc][set][way]` line array.
+    lines: Vec<Line>,
+    /// LRU clock, bumped on every touch/install.
+    tick: u64,
+    /// Per-processor local-hit completion: the request and its due
+    /// cycle (at most one outstanding request per processor).
+    pub(crate) pending: Vec<Option<(DataReq, u64)>>,
+    /// Lower bound on the earliest pending due cycle (`u64::MAX` when
+    /// none), for the fast-forward channel horizon.
+    pub(crate) pending_min: u64,
+    /// Exact count of pending local hits.
+    pub(crate) pending_count: usize,
+}
+
+impl CacheSystem {
+    /// Builds the cache layer for `procs` processors (disabled and
+    /// empty under [`CacheModel::None`]).
+    pub(crate) fn new(model: &CacheModel, procs: usize, memory_latency: u32) -> Self {
+        match *model {
+            CacheModel::None => Self {
+                enabled: false,
+                protocol: CoherenceProtocol::Mesi,
+                sets: 0,
+                assoc: 0,
+                line_words: 1,
+                cache_sync: false,
+                hit_latency: 1,
+                c2c_latency: 1,
+                lines: Vec::new(),
+                tick: 0,
+                pending: Vec::new(),
+                pending_min: u64::MAX,
+                pending_count: 0,
+            },
+            CacheModel::Private { protocol, sets, assoc, line_words, cache_sync, hit_latency } => {
+                Self {
+                    enabled: true,
+                    protocol,
+                    sets: sets as usize,
+                    assoc: assoc as usize,
+                    line_words: u64::from(line_words),
+                    cache_sync,
+                    hit_latency: u64::from(hit_latency),
+                    c2c_latency: u64::from(memory_latency / 2).max(1),
+                    lines: vec![Line::default(); procs * sets as usize * assoc as usize],
+                    tick: 0,
+                    pending: vec![None; procs],
+                    pending_min: u64::MAX,
+                    pending_count: 0,
+                }
+            }
+        }
+    }
+
+    /// The cacheable key of a request (`None` = bypasses the caches).
+    /// Shared accesses key on their address; sync-variable operations
+    /// key on the variable when sync caching is on.
+    pub(crate) fn key_of(&self, req: &DataReq) -> Option<u64> {
+        match req.kind {
+            DataReqKind::Access { .. } => Some(req.addr),
+            DataReqKind::Coherence => None,
+            _ if self.cache_sync => Some(SYNC_KEY_BASE | req.addr),
+            _ => None,
+        }
+    }
+
+    /// The line address a request's key falls on.
+    pub(crate) fn line_of(&self, key: u64) -> u64 {
+        key / self.line_words
+    }
+
+    fn base(&self, proc: usize, line_addr: u64) -> usize {
+        let set = (line_addr as usize) % self.sets;
+        (proc * self.sets + set) * self.assoc
+    }
+
+    fn find(&self, proc: usize, line_addr: u64) -> Option<usize> {
+        let base = self.base(proc, line_addr);
+        (base..base + self.assoc)
+            .find(|&i| self.lines[i].state.valid() && self.lines[i].tag == line_addr)
+    }
+
+    /// Classifies a request against `proc`'s cache, touching LRU state
+    /// and applying the silent E→M transition on an exclusive write
+    /// hit. Called exactly once per issued request.
+    pub(crate) fn classify(&mut self, proc: usize, line_addr: u64, write: bool) -> Lookup {
+        if let Some(i) = self.find(proc, line_addr) {
+            self.tick += 1;
+            self.lines[i].stamp = self.tick;
+            if !write {
+                return Lookup::Hit;
+            }
+            return match self.lines[i].state {
+                LineState::Modified => Lookup::Hit,
+                LineState::Exclusive => {
+                    self.lines[i].state = LineState::Modified;
+                    Lookup::Hit
+                }
+                LineState::Shared => Lookup::Upgrade,
+                LineState::SharedClean | LineState::SharedModified => Lookup::Update,
+                LineState::Invalid => unreachable!("find returns only valid lines"),
+            };
+        }
+        let base = self.base(proc, line_addr);
+        let way = (base..base + self.assoc)
+            .min_by_key(|&i| {
+                if self.lines[i].state.valid() {
+                    self.lines[i].stamp
+                } else {
+                    0 // invalid ways first
+                }
+            })
+            .expect("assoc >= 1");
+        Lookup::Miss { way: (way - base) as u16 }
+    }
+
+    /// Whether any *other* processor holds the line — the snoop that
+    /// decides cache-to-cache supply at grant time.
+    pub(crate) fn snoop_has(&self, line_addr: u64, not_proc: usize) -> bool {
+        (0..self.pending.len()).any(|p| p != not_proc && self.find(p, line_addr).is_some())
+    }
+
+    /// Applies a completed fill into `proc`'s chosen way: evicts the
+    /// victim (returning its line address when it was dirty and must be
+    /// written back), installs the line in the protocol-correct state,
+    /// and runs the snoop action on every other copy. Returns
+    /// `(dirty_victim, invalidated, updated)`.
+    pub(crate) fn apply_fill(
+        &mut self,
+        proc: usize,
+        line_addr: u64,
+        way: u16,
+        write: bool,
+    ) -> (Option<u64>, u64, bool) {
+        let slot = self.base(proc, line_addr) + way as usize;
+        let victim = &self.lines[slot];
+        let dirty_victim = (victim.state.dirty() && victim.tag != line_addr).then_some(victim.tag);
+        let (invalidated, sharers) = self.snoop(proc, line_addr, write);
+        let state = match (self.protocol, write, sharers > 0) {
+            (CoherenceProtocol::Mesi, true, _) => LineState::Modified,
+            (CoherenceProtocol::Mesi, false, true) => LineState::Shared,
+            (CoherenceProtocol::Dragon, true, true) => LineState::SharedModified,
+            (CoherenceProtocol::Dragon, true, false) => LineState::Modified,
+            (CoherenceProtocol::Dragon, false, true) => LineState::SharedClean,
+            (_, false, false) => LineState::Exclusive,
+        };
+        self.tick += 1;
+        self.lines[slot] = Line { tag: line_addr, state, stamp: self.tick };
+        let updated = write && self.protocol == CoherenceProtocol::Dragon && sharers > 0;
+        (dirty_victim, invalidated, updated)
+    }
+
+    /// Applies a completed MESI ownership upgrade: the requester's copy
+    /// becomes Modified, every other copy is invalidated. The
+    /// requester's tag always still matches — a concurrent writer may
+    /// have *invalidated* the slot while the upgrade was queued (the
+    /// upgrade then doubles as the refetch, its bus tenure already
+    /// paid), but only the owning processor ever replaces its own
+    /// slots, and it is blocked on this very transaction.
+    pub(crate) fn apply_upgrade(&mut self, proc: usize, line_addr: u64) -> u64 {
+        let (invalidated, _) = self.snoop(proc, line_addr, true);
+        let slot = self.find(proc, line_addr).unwrap_or_else(|| {
+            let base = self.base(proc, line_addr);
+            (base..base + self.assoc)
+                .find(|&i| self.lines[i].tag == line_addr)
+                .expect("an upgraded line's slot is never reused by its owner")
+        });
+        self.tick += 1;
+        self.lines[slot].state = LineState::Modified;
+        self.lines[slot].stamp = self.tick;
+        invalidated
+    }
+
+    /// Applies a completed Dragon BusUpd: other copies take the written
+    /// word (demoting any dirty owner to SharedClean); the requester
+    /// becomes the SharedModified owner, or plain Modified if every
+    /// other copy was evicted while the update was queued.
+    pub(crate) fn apply_update(&mut self, proc: usize, line_addr: u64) {
+        let (_, sharers) = self.snoop(proc, line_addr, true);
+        if let Some(slot) = self.find(proc, line_addr) {
+            self.tick += 1;
+            self.lines[slot].state =
+                if sharers > 0 { LineState::SharedModified } else { LineState::Modified };
+            self.lines[slot].stamp = self.tick;
+        }
+    }
+
+    /// Runs the snoop action of a bus transaction on every cache except
+    /// the requester's. Returns `(lines invalidated, copies remaining)`.
+    fn snoop(&mut self, requester: usize, line_addr: u64, write: bool) -> (u64, u64) {
+        let mut invalidated = 0;
+        let mut sharers = 0;
+        for p in 0..self.pending.len() {
+            if p == requester {
+                continue;
+            }
+            let Some(i) = self.find(p, line_addr) else { continue };
+            match (self.protocol, write) {
+                // MESI write (BusRdX / upgrade): every other copy dies.
+                (CoherenceProtocol::Mesi, true) => {
+                    self.lines[i].state = LineState::Invalid;
+                    invalidated += 1;
+                }
+                // MESI read: owners and exclusives demote to Shared
+                // (a dirty owner supplies the data cache-to-cache).
+                (CoherenceProtocol::Mesi, false) => {
+                    self.lines[i].state = LineState::Shared;
+                    sharers += 1;
+                }
+                // Dragon write (BusUpd / write-fill): the written word
+                // lands in every copy; any previous dirty owner hands
+                // ownership to the writer and keeps a clean copy.
+                (CoherenceProtocol::Dragon, true) => {
+                    self.lines[i].state = LineState::SharedClean;
+                    sharers += 1;
+                }
+                // Dragon read: exclusives demote to SharedClean, dirty
+                // owners to SharedModified (they keep ownership).
+                (CoherenceProtocol::Dragon, false) => {
+                    self.lines[i].state = match self.lines[i].state {
+                        LineState::Modified | LineState::SharedModified => {
+                            LineState::SharedModified
+                        }
+                        _ => LineState::SharedClean,
+                    };
+                    sharers += 1;
+                }
+            }
+        }
+        (invalidated, sharers)
+    }
+
+    /// The coherence state of `proc`'s copy of a line (tests only).
+    #[cfg(test)]
+    pub(crate) fn state_of(&self, proc: usize, line_addr: u64) -> LineState {
+        self.find(proc, line_addr).map_or(LineState::Invalid, |i| self.lines[i].state)
+    }
+}
+
+impl<'a> Machine<'a> {
+    /// Routes a data-path request through the issuing processor's
+    /// private cache: local hits schedule a pending completion after
+    /// the hit latency; everything else (misses, upgrades, updates,
+    /// uncacheable requests, the cacheless machine) joins the bus
+    /// queue. Every site that previously pushed to `mem.queue` issues
+    /// through here.
+    pub(crate) fn issue_data(&mut self, mut req: DataReq) {
+        if !self.cache.enabled {
+            self.mem.queue.push_back(req);
+            return;
+        }
+        let Some(key) = self.cache.key_of(&req) else {
+            self.mem.queue.push_back(req);
+            return;
+        };
+        let line = self.cache.line_of(key);
+        match self.cache.classify(req.proc, line, req.kind.is_write()) {
+            Lookup::Hit => {
+                self.metrics.cache.hits += 1;
+                let due = self.cycle + self.cache.hit_latency;
+                debug_assert!(self.cache.pending[req.proc].is_none(), "one outstanding per proc");
+                self.cache.pending[req.proc] = Some((req, due));
+                self.cache.pending_min = self.cache.pending_min.min(due);
+                self.cache.pending_count += 1;
+            }
+            Lookup::Upgrade => {
+                req.coh = Coh::Upgrade;
+                self.mem.queue.push_back(req);
+            }
+            Lookup::Update => {
+                req.coh = Coh::Update;
+                self.mem.queue.push_back(req);
+            }
+            Lookup::Miss { way } => {
+                self.metrics.cache.misses += 1;
+                req.coh = Coh::Fill { way, c2c: false };
+                self.mem.queue.push_back(req);
+            }
+        }
+    }
+
+    /// Completes every local cache hit due by the current cycle,
+    /// applying its data effect exactly as a bus completion would.
+    /// Runs before bus/bank completions each stepped cycle.
+    pub(crate) fn complete_cache_pending(&mut self) {
+        if self.cache.pending_min > self.cycle {
+            return;
+        }
+        for p in 0..self.cache.pending.len() {
+            if let Some((req, due)) = self.cache.pending[p] {
+                if due <= self.cycle {
+                    self.cache.pending[p] = None;
+                    self.cache.pending_count -= 1;
+                    self.apply_data_effect(req);
+                }
+            }
+        }
+        // Recompute from scratch: an applied effect can schedule a new
+        // pending hit (a ReadCheck's follow-up write hitting locally).
+        self.cache.pending_min = self
+            .cache
+            .pending
+            .iter()
+            .flatten()
+            .map(|&(_, due)| due)
+            .min()
+            .unwrap_or(u64::MAX);
+    }
+
+    /// Applies the cache-state side of a completed bus transaction:
+    /// fills (with victim writeback), upgrades and updates, plus their
+    /// traffic counters. Called from `apply_data_effect` before the
+    /// functional effect.
+    pub(crate) fn cache_complete(&mut self, req: &DataReq) {
+        let line = match self.cache.key_of(req) {
+            Some(key) => self.cache.line_of(key),
+            None => return, // writebacks carry no cache transition
+        };
+        match req.coh {
+            Coh::Uncached | Coh::Writeback => {}
+            Coh::Fill { way, c2c } => {
+                let write = req.kind.is_write();
+                let (dirty_victim, invalidated, updated) =
+                    self.cache.apply_fill(req.proc, line, way, write);
+                self.metrics.cache.invalidations += invalidated;
+                if updated {
+                    // Dragon write-fill with sharers: the update rides
+                    // the same bus tenure as the fill.
+                    self.metrics.cache.updates += 1;
+                }
+                if c2c {
+                    self.metrics.cache.c2c_transfers += 1;
+                }
+                if let Some(victim_line) = dirty_victim {
+                    self.metrics.cache.writebacks += 1;
+                    self.mem.queue.push_back(DataReq {
+                        proc: req.proc,
+                        kind: DataReqKind::Coherence,
+                        addr: victim_line * self.cache.line_words,
+                        coh: Coh::Writeback,
+                    });
+                }
+            }
+            Coh::Upgrade => {
+                self.metrics.cache.upgrades += 1;
+                self.metrics.cache.invalidations += self.cache.apply_upgrade(req.proc, line);
+            }
+            Coh::Update => {
+                self.metrics.cache.updates += 1;
+                self.cache.apply_update(req.proc, line);
+            }
+        }
+    }
+}
+
+/// The coherence action a queued bus request carries (decided at issue,
+/// refined at grant when the snoop chooses cache-to-cache supply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum Coh {
+    /// No cache involvement: the cacheless machine, uncacheable sync
+    /// requests, and local-hit completions.
+    #[default]
+    Uncached,
+    /// Line fetch (BusRd/BusRdX) into the victim `way`; `c2c` is set at
+    /// grant when a snooping owner supplies the line bus-to-bus.
+    Fill {
+        /// Victim way chosen at issue time.
+        way: u16,
+        /// Served cache-to-cache instead of from memory.
+        c2c: bool,
+    },
+    /// MESI address-only ownership upgrade.
+    Upgrade,
+    /// Dragon BusUpd word broadcast.
+    Update,
+    /// Dirty-victim flush to memory.
+    Writeback,
+}
+
+impl Coh {
+    /// Whether the transaction completes at the bus and never touches a
+    /// memory bank (relevant under [`crate::config::MemoryModel::Banked`]).
+    pub(crate) fn bus_only(self) -> bool {
+        matches!(self, Coh::Upgrade | Coh::Update | Coh::Fill { c2c: true, .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Pred;
+
+    fn sys(protocol: CoherenceProtocol, procs: usize) -> CacheSystem {
+        let model = CacheModel::Private {
+            protocol,
+            sets: 4,
+            assoc: 2,
+            line_words: 4,
+            cache_sync: true,
+            hit_latency: 1,
+        };
+        CacheSystem::new(&model, procs, 4)
+    }
+
+    fn read_fill(c: &mut CacheSystem, proc: usize, line: u64) {
+        let Lookup::Miss { way } = c.classify(proc, line, false) else { panic!("expected a miss") };
+        c.apply_fill(proc, line, way, false);
+    }
+
+    fn write_fill(c: &mut CacheSystem, proc: usize, line: u64) -> (Option<u64>, u64, bool) {
+        let Lookup::Miss { way } = c.classify(proc, line, true) else { panic!("expected a miss") };
+        c.apply_fill(proc, line, way, true)
+    }
+
+    #[test]
+    fn disabled_system_is_inert() {
+        let c = CacheSystem::new(&CacheModel::None, 4, 4);
+        assert!(!c.enabled);
+        assert_eq!(c.pending_min, u64::MAX);
+        assert_eq!(c.pending_count, 0);
+    }
+
+    #[test]
+    fn mesi_read_path_i_e_s() {
+        let mut c = sys(CoherenceProtocol::Mesi, 2);
+        // I --read miss--> E (no sharers).
+        read_fill(&mut c, 0, 10);
+        assert_eq!(c.state_of(0, 10), LineState::Exclusive);
+        // Read hit on E stays E.
+        assert_eq!(c.classify(0, 10, false), Lookup::Hit);
+        assert_eq!(c.state_of(0, 10), LineState::Exclusive);
+        // Second reader: both demote/install to S, snoop sees the copy.
+        assert!(c.snoop_has(10, 1));
+        read_fill(&mut c, 1, 10);
+        assert_eq!(c.state_of(0, 10), LineState::Shared);
+        assert_eq!(c.state_of(1, 10), LineState::Shared);
+        // Read hit on S stays S.
+        assert_eq!(c.classify(1, 10, false), Lookup::Hit);
+        assert_eq!(c.state_of(1, 10), LineState::Shared);
+    }
+
+    #[test]
+    fn mesi_write_path_e_m_and_s_upgrade() {
+        let mut c = sys(CoherenceProtocol::Mesi, 2);
+        // Silent E -> M on an exclusive write hit.
+        read_fill(&mut c, 0, 10);
+        assert_eq!(c.classify(0, 10, true), Lookup::Hit);
+        assert_eq!(c.state_of(0, 10), LineState::Modified);
+        // Write hit on M stays M.
+        assert_eq!(c.classify(0, 10, true), Lookup::Hit);
+        // Shared write hit needs an upgrade; completion invalidates the
+        // other copy and takes M.
+        read_fill(&mut c, 1, 10); // 0: M -> S (c2c), 1: S
+        assert_eq!(c.state_of(0, 10), LineState::Shared);
+        assert_eq!(c.classify(1, 10, true), Lookup::Upgrade);
+        let invalidated = c.apply_upgrade(1, 10);
+        assert_eq!(invalidated, 1);
+        assert_eq!(c.state_of(0, 10), LineState::Invalid);
+        assert_eq!(c.state_of(1, 10), LineState::Modified);
+    }
+
+    #[test]
+    fn mesi_write_miss_invalidates_all_copies() {
+        let mut c = sys(CoherenceProtocol::Mesi, 3);
+        read_fill(&mut c, 0, 10);
+        read_fill(&mut c, 1, 10);
+        // BusRdX from proc 2: both copies die, writer takes M.
+        let (victim, invalidated, updated) = write_fill(&mut c, 2, 10);
+        assert_eq!(victim, None);
+        assert_eq!(invalidated, 2);
+        assert!(!updated);
+        assert_eq!(c.state_of(0, 10), LineState::Invalid);
+        assert_eq!(c.state_of(1, 10), LineState::Invalid);
+        assert_eq!(c.state_of(2, 10), LineState::Modified);
+    }
+
+    #[test]
+    fn mesi_read_miss_demotes_dirty_owner() {
+        let mut c = sys(CoherenceProtocol::Mesi, 2);
+        write_fill(&mut c, 0, 10);
+        assert_eq!(c.state_of(0, 10), LineState::Modified);
+        // Snooped read: owner supplies and demotes M -> S.
+        read_fill(&mut c, 1, 10);
+        assert_eq!(c.state_of(0, 10), LineState::Shared);
+        assert_eq!(c.state_of(1, 10), LineState::Shared);
+    }
+
+    #[test]
+    fn dragon_read_path_e_sc_and_owner_sm() {
+        let mut c = sys(CoherenceProtocol::Dragon, 3);
+        read_fill(&mut c, 0, 10);
+        assert_eq!(c.state_of(0, 10), LineState::Exclusive);
+        // Second reader: E -> Sc on the holder, Sc on the reader.
+        read_fill(&mut c, 1, 10);
+        assert_eq!(c.state_of(0, 10), LineState::SharedClean);
+        assert_eq!(c.state_of(1, 10), LineState::SharedClean);
+        // A dirty owner keeps ownership on a snooped read: M -> Sm.
+        let mut d = sys(CoherenceProtocol::Dragon, 2);
+        write_fill(&mut d, 0, 20);
+        assert_eq!(d.state_of(0, 20), LineState::Modified);
+        read_fill(&mut d, 1, 20);
+        assert_eq!(d.state_of(0, 20), LineState::SharedModified);
+        assert_eq!(d.state_of(1, 20), LineState::SharedClean);
+    }
+
+    #[test]
+    fn dragon_write_hit_broadcasts_update_not_invalidate() {
+        let mut c = sys(CoherenceProtocol::Dragon, 2);
+        read_fill(&mut c, 0, 10);
+        read_fill(&mut c, 1, 10);
+        // Write hit on Sc: BusUpd, no invalidation; writer becomes the
+        // Sm owner, the other copy stays valid as Sc.
+        assert_eq!(c.classify(0, 10, true), Lookup::Update);
+        c.apply_update(0, 10);
+        assert_eq!(c.state_of(0, 10), LineState::SharedModified);
+        assert_eq!(c.state_of(1, 10), LineState::SharedClean);
+        // Write hit on Sm: still an update while sharers remain.
+        assert_eq!(c.classify(0, 10, true), Lookup::Update);
+        // Ownership migrates on a competing update: the old Sm owner
+        // demotes to Sc.
+        assert_eq!(c.classify(1, 10, true), Lookup::Update);
+        c.apply_update(1, 10);
+        assert_eq!(c.state_of(1, 10), LineState::SharedModified);
+        assert_eq!(c.state_of(0, 10), LineState::SharedClean);
+    }
+
+    #[test]
+    fn dragon_update_with_no_remaining_sharers_takes_m() {
+        let mut c = sys(CoherenceProtocol::Dragon, 2);
+        read_fill(&mut c, 0, 10);
+        read_fill(&mut c, 1, 10);
+        assert_eq!(c.classify(0, 10, true), Lookup::Update);
+        // Proc 1 evicts its copy before the update completes: fill the
+        // same set's both ways with other lines (set = line % 4).
+        read_fill(&mut c, 1, 14);
+        read_fill(&mut c, 1, 18);
+        assert_eq!(c.state_of(1, 10), LineState::Invalid);
+        c.apply_update(0, 10);
+        assert_eq!(c.state_of(0, 10), LineState::Modified);
+    }
+
+    #[test]
+    fn dragon_write_miss_with_sharers_updates_them() {
+        let mut c = sys(CoherenceProtocol::Dragon, 3);
+        read_fill(&mut c, 0, 10);
+        read_fill(&mut c, 1, 10);
+        let (_, invalidated, updated) = write_fill(&mut c, 2, 10);
+        assert_eq!(invalidated, 0);
+        assert!(updated);
+        assert_eq!(c.state_of(2, 10), LineState::SharedModified);
+        assert_eq!(c.state_of(0, 10), LineState::SharedClean);
+        assert_eq!(c.state_of(1, 10), LineState::SharedClean);
+    }
+
+    #[test]
+    fn dirty_victim_eviction_reports_writeback() {
+        let mut c = sys(CoherenceProtocol::Mesi, 1);
+        // Lines 2, 6, 10 all land in set 2 (assoc 2): the third fill
+        // evicts the LRU victim.
+        write_fill(&mut c, 0, 2);
+        read_fill(&mut c, 0, 6);
+        let (victim, _, _) = write_fill(&mut c, 0, 10);
+        assert_eq!(victim, Some(2), "dirty LRU line 2 must be written back");
+        assert_eq!(c.state_of(0, 2), LineState::Invalid);
+        // A clean victim needs no writeback.
+        let (victim, _, _) = write_fill(&mut c, 0, 14);
+        assert_eq!(victim, None, "line 6 was clean");
+    }
+
+    #[test]
+    fn lru_prefers_invalid_then_oldest() {
+        let mut c = sys(CoherenceProtocol::Mesi, 1);
+        read_fill(&mut c, 0, 2);
+        // Touch line 2 so it is the newest, then fill line 6.
+        assert_eq!(c.classify(0, 2, false), Lookup::Hit);
+        read_fill(&mut c, 0, 6);
+        // Next miss in the set evicts line 2? No — line 6 is newer than
+        // the re-touched... line 2 was touched before 6 was installed,
+        // so 2 is the LRU victim.
+        let Lookup::Miss { way } = c.classify(0, 10, false) else { panic!() };
+        let base_tag = {
+            c.apply_fill(0, 10, way, false);
+            c.state_of(0, 2)
+        };
+        assert_eq!(base_tag, LineState::Invalid, "LRU line 2 evicted");
+        assert_eq!(c.state_of(0, 6), LineState::Exclusive);
+    }
+
+    #[test]
+    fn sync_keys_do_not_alias_data_addresses() {
+        let c = sys(CoherenceProtocol::Mesi, 1);
+        let data = DataReq::new(0, DataReqKind::Access { write: false }, 3);
+        let sync = DataReq::new(0, DataReqKind::Poll { var: 3, pred: Pred::Geq(1) }, 3);
+        let (dk, sk) = (c.key_of(&data).unwrap(), c.key_of(&sync).unwrap());
+        assert_ne!(c.line_of(dk), c.line_of(sk));
+        // Writebacks never re-enter the cache.
+        let wb = DataReq { proc: 0, kind: DataReqKind::Coherence, addr: 0, coh: Coh::Writeback };
+        assert_eq!(c.key_of(&wb), None);
+    }
+
+    #[test]
+    fn sync_caching_can_be_disabled() {
+        let model = CacheModel::Private {
+            protocol: CoherenceProtocol::Mesi,
+            sets: 4,
+            assoc: 2,
+            line_words: 4,
+            cache_sync: false,
+            hit_latency: 1,
+        };
+        let c = CacheSystem::new(&model, 2, 4);
+        let sync = DataReq::new(0, DataReqKind::SyncRmw { var: 1 }, 1);
+        assert_eq!(c.key_of(&sync), None, "uncached sync bypasses the cache");
+        let data = DataReq::new(0, DataReqKind::Access { write: true }, 8);
+        assert!(c.key_of(&data).is_some(), "data is still cacheable");
+    }
+
+    #[test]
+    fn bus_only_classification() {
+        assert!(Coh::Upgrade.bus_only());
+        assert!(Coh::Update.bus_only());
+        assert!(Coh::Fill { way: 0, c2c: true }.bus_only());
+        assert!(!Coh::Fill { way: 0, c2c: false }.bus_only());
+        assert!(!Coh::Writeback.bus_only());
+        assert!(!Coh::Uncached.bus_only());
+    }
+}

@@ -113,11 +113,7 @@ impl<'a> Machine<'a> {
                 ProcState::SpinMem { retry, phase } => {
                     if let SpinPhase::Backoff { until } = phase {
                         if self.cycle >= until {
-                            self.mem.queue.push_back(DataReq {
-                                proc: p,
-                                kind: retry,
-                                addr: retry_addr(retry),
-                            });
+                            self.issue_data(DataReq::new(p, retry, retry_addr(retry)));
                             self.procs.set_state(
                                 p,
                                 ProcState::SpinMem { retry, phase: SpinPhase::WaitingResult },
@@ -194,8 +190,8 @@ impl<'a> Machine<'a> {
             Instr::Note(label) => {
                 self.trace.record(self.cycle, p, label);
             }
-            Instr::Access { addr, write: _ } => {
-                self.mem.queue.push_back(DataReq { proc: p, kind: DataReqKind::Access, addr });
+            Instr::Access { addr, write } => {
+                self.issue_data(DataReq::new(p, DataReqKind::Access { write }, addr));
                 self.procs.set_state(p, ProcState::BlockedData);
             }
             Instr::SyncSet { var, val } => match self.config.sync_transport {
@@ -204,11 +200,11 @@ impl<'a> Machine<'a> {
                 }
                 SyncTransport::SharedMemory => {
                     self.metrics.sync_vars[var].posts += 1;
-                    self.mem.queue.push_back(DataReq {
-                        proc: p,
-                        kind: DataReqKind::SyncWrite { var, val },
-                        addr: var as u64,
-                    });
+                    self.issue_data(DataReq::new(
+                        p,
+                        DataReqKind::SyncWrite { var, val },
+                        var as u64,
+                    ));
                     self.procs.set_state(p, ProcState::BlockedData);
                 }
             },
@@ -221,11 +217,7 @@ impl<'a> Machine<'a> {
                 }
                 SyncTransport::SharedMemory => {
                     self.metrics.sync_vars[var].rmws += 1;
-                    self.mem.queue.push_back(DataReq {
-                        proc: p,
-                        kind: DataReqKind::SyncRmw { var },
-                        addr: var as u64,
-                    });
+                    self.issue_data(DataReq::new(p, DataReqKind::SyncRmw { var }, var as u64));
                     self.procs.set_state(p, ProcState::BlockedData);
                 }
             },
@@ -241,7 +233,7 @@ impl<'a> Machine<'a> {
                     self.metrics.sync_vars[var].waits += 1;
                     self.begin_wait(p, var, true);
                     let kind = DataReqKind::Poll { var, pred };
-                    self.mem.queue.push_back(DataReq { proc: p, kind, addr: var as u64 });
+                    self.issue_data(DataReq::new(p, kind, var as u64));
                     self.procs.set_state(
                         p,
                         ProcState::SpinMem { retry: kind, phase: SpinPhase::WaitingResult },
@@ -255,11 +247,11 @@ impl<'a> Machine<'a> {
                     }
                 }
                 SyncTransport::SharedMemory => {
-                    self.mem.queue.push_back(DataReq {
-                        proc: p,
-                        kind: DataReqKind::ReadCheck { var, guard, val },
-                        addr: var as u64,
-                    });
+                    self.issue_data(DataReq::new(
+                        p,
+                        DataReqKind::ReadCheck { var, guard, val },
+                        var as u64,
+                    ));
                     self.procs.set_state(p, ProcState::BlockedData);
                 }
             },
@@ -281,7 +273,7 @@ impl<'a> Machine<'a> {
                 SyncTransport::SharedMemory => {
                     self.begin_wait(p, var, true);
                     let kind = DataReqKind::KeyedAttempt { var, geq };
-                    self.mem.queue.push_back(DataReq { proc: p, kind, addr: var as u64 });
+                    self.issue_data(DataReq::new(p, kind, var as u64));
                     self.procs.set_state(
                         p,
                         ProcState::SpinMem { retry: kind, phase: SpinPhase::WaitingResult },

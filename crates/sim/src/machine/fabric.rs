@@ -354,6 +354,7 @@ impl<'a> Machine<'a> {
     /// (Section 6 optimization).
     pub(crate) fn post_sync_write(&mut self, proc: usize, var: SyncVar, val: u64) {
         self.metrics.sync_vars[var].posts += 1;
+        self.stats.sync_ops_issued += 1;
         let seq = self.next_sync_seq();
         if self.config.coalesce_sync_writes {
             for pending in self.sync.queue.iter_mut() {
@@ -381,6 +382,7 @@ impl<'a> Machine<'a> {
 
     /// Queues an atomic fetch-increment broadcast from `proc`.
     pub(crate) fn enqueue_rmw(&mut self, proc: usize, var: SyncVar) {
+        self.stats.sync_ops_issued += 1;
         let seq = self.next_sync_seq();
         self.sync.queue.push_back(QueuedSync::new(SyncReq::Rmw { proc, var }, seq));
     }
@@ -391,6 +393,7 @@ impl<'a> Machine<'a> {
     /// lag an update), but still counts the delivery so traffic columns
     /// stay comparable across fabrics.
     pub(crate) fn apply_instantly(&mut self, var: SyncVar, val: u64) {
+        self.stats.sync_ops_issued += 1;
         self.stats.sync_broadcasts += 1;
         self.sync.vars.global[var] = val;
         self.sync.var_images_mut(var).fill(val);

@@ -2,6 +2,7 @@
 //! banks, and the globally-performed effects of data-path requests
 //! (shared accesses, through-memory sync operations, busy-wait polls).
 
+use super::cache::Coh;
 use super::{Machine, ProcState, SpinPhase};
 use crate::config::MemoryModel;
 use crate::events::SimEventKind;
@@ -12,7 +13,13 @@ use std::collections::VecDeque;
 /// A data-path request kind (what happens when memory performs it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum DataReqKind {
-    Access,
+    Access {
+        write: bool,
+    },
+    /// A pure coherence transaction (dirty-victim writeback): occupies
+    /// the bus/bank like a write but has no waiting processor and no
+    /// globally-performed effect.
+    Coherence,
     SyncWrite {
         var: SyncVar,
         val: u64,
@@ -39,6 +46,25 @@ pub(crate) enum DataReqKind {
     },
 }
 
+impl DataReqKind {
+    /// Whether the request writes memory — what decides between a
+    /// shared fetch and an exclusive/updating one in the cache layer.
+    /// Keyed attempts are pessimistically writes (each attempt is a
+    /// test-and-set-style transaction that takes the line exclusively,
+    /// which is exactly the ping-pong the paper's Section 3 worries
+    /// about); polls and guard reads are reads.
+    pub(crate) fn is_write(self) -> bool {
+        match self {
+            DataReqKind::Access { write } => write,
+            DataReqKind::SyncWrite { .. }
+            | DataReqKind::SyncRmw { .. }
+            | DataReqKind::KeyedAttempt { .. }
+            | DataReqKind::Coherence => true,
+            DataReqKind::Poll { .. } | DataReqKind::ReadCheck { .. } => false,
+        }
+    }
+}
+
 /// Interleaving address of a re-issued spin request.
 pub(crate) fn retry_addr(kind: DataReqKind) -> u64 {
     match kind {
@@ -47,7 +73,7 @@ pub(crate) fn retry_addr(kind: DataReqKind) -> u64 {
         | DataReqKind::SyncRmw { var }
         | DataReqKind::ReadCheck { var, .. }
         | DataReqKind::KeyedAttempt { var, .. } => var as u64,
-        DataReqKind::Access => 0,
+        DataReqKind::Access { .. } | DataReqKind::Coherence => 0,
     }
 }
 
@@ -59,6 +85,17 @@ pub(crate) struct DataReq {
     /// Address used for memory-bank interleaving (sync vars use their
     /// index).
     pub(crate) addr: u64,
+    /// Coherence action carried for the cache layer
+    /// ([`Coh::Uncached`] on a cacheless machine).
+    pub(crate) coh: Coh,
+}
+
+impl DataReq {
+    /// A plain (cache-unrouted) request; [`Machine::issue_data`] decides
+    /// its coherence action.
+    pub(crate) fn new(proc: usize, kind: DataReqKind, addr: u64) -> Self {
+        Self { proc, kind, addr, coh: Coh::Uncached }
+    }
 }
 
 /// One interleaved memory module (only used by [`MemoryModel::Banked`]).
@@ -99,11 +136,20 @@ impl<'a> Machine<'a> {
     /// Completes the data-bus transaction and any bank services ending
     /// this cycle, applying their effects.
     pub(crate) fn complete_data(&mut self) {
+        if self.cache.enabled {
+            self.complete_cache_pending();
+        }
         if let Some((req, end)) = self.mem.active {
             if end == self.cycle {
                 self.mem.active = None;
                 match self.config.memory_model {
                     MemoryModel::BusHeld => self.apply_data_effect(req),
+                    MemoryModel::Banked { .. } if req.coh.bus_only() => {
+                        // Served at the bus (cache-to-cache supply or an
+                        // address/word-only coherence broadcast): never
+                        // touches a memory bank.
+                        self.apply_data_effect(req);
+                    }
                     MemoryModel::Banked { banks } => {
                         // Bus phase done: hand the request to its bank.
                         let bank = (req.addr % banks as u64) as usize;
@@ -152,19 +198,31 @@ impl<'a> Machine<'a> {
             return;
         }
         let f = self.config.faults;
-        if let Some(req) = self.mem.queue.pop_front() {
+        if let Some(mut req) = self.mem.queue.pop_front() {
             self.stats.data_transactions += 1;
             match req.kind {
                 DataReqKind::Poll { .. } => self.stats.spin_polls += 1,
                 DataReqKind::SyncRmw { .. } => self.stats.rmw_ops += 1,
                 _ => {}
             }
+            let bus = u64::from(self.config.data_bus_latency);
             let mut dur = match self.config.memory_model {
-                MemoryModel::BusHeld => {
-                    u64::from(self.config.data_bus_latency + self.config.memory_latency)
-                }
-                MemoryModel::Banked { .. } => u64::from(self.config.data_bus_latency),
+                MemoryModel::BusHeld => bus + u64::from(self.config.memory_latency),
+                MemoryModel::Banked { .. } => bus,
             };
+            if let super::cache::Coh::Fill { way, .. } = req.coh {
+                // The snoop happens at grant: an owning cache supplies
+                // the line bus-to-bus, skipping memory entirely.
+                let key = self.cache.key_of(&req).expect("a fill is always cacheable");
+                let line = self.cache.line_of(key);
+                if self.cache.snoop_has(line, req.proc) {
+                    req.coh = super::cache::Coh::Fill { way, c2c: true };
+                    dur = bus + self.cache.c2c_latency;
+                }
+            } else if req.coh.bus_only() {
+                // Upgrades and updates are address/word-only broadcasts.
+                dur = bus;
+            }
             if f.data_jitter_pct > 0 && self.rng.chance_pct(f.data_jitter_pct) {
                 let extra = u64::from(self.rng.range_u32(1, f.data_jitter_max));
                 dur += extra;
@@ -189,8 +247,12 @@ impl<'a> Machine<'a> {
     /// Applies the globally-performed effect of a data-path request.
     pub(crate) fn apply_data_effect(&mut self, req: DataReq) {
         self.note_progress();
+        if self.cache.enabled {
+            self.cache_complete(&req);
+        }
         match req.kind {
-            DataReqKind::Access => self.unblock(req.proc),
+            DataReqKind::Access { .. } => self.unblock(req.proc),
+            DataReqKind::Coherence => {}
             DataReqKind::SyncWrite { var, val } => {
                 self.write_sync(var, val);
                 self.unblock(req.proc);
@@ -218,11 +280,11 @@ impl<'a> Machine<'a> {
             DataReqKind::ReadCheck { var, guard, val } => {
                 if self.sync.vars.global[var] >= guard {
                     self.metrics.sync_vars[var].posts += 1;
-                    self.mem.queue.push_back(DataReq {
-                        proc: req.proc,
-                        kind: DataReqKind::SyncWrite { var, val },
-                        addr: req.addr,
-                    });
+                    self.issue_data(DataReq::new(
+                        req.proc,
+                        DataReqKind::SyncWrite { var, val },
+                        req.addr,
+                    ));
                 } else {
                     self.unblock(req.proc);
                 }
@@ -258,7 +320,7 @@ mod tests {
     fn retry_addr_interleaves_on_the_sync_var() {
         assert_eq!(retry_addr(DataReqKind::Poll { var: 3, pred: Pred::Geq(1) }), 3);
         assert_eq!(retry_addr(DataReqKind::KeyedAttempt { var: 7, geq: 2 }), 7);
-        assert_eq!(retry_addr(DataReqKind::Access), 0);
+        assert_eq!(retry_addr(DataReqKind::Access { write: false }), 0);
     }
 
     #[test]
@@ -267,10 +329,21 @@ mod tests {
         assert!(!m.banks_pending());
         m.banks[1]
             .queue
-            .push_back(DataReq { proc: 0, kind: DataReqKind::Access, addr: 1 });
+            .push_back(DataReq::new(0, DataReqKind::Access { write: false }, 1));
         assert!(m.banks_pending());
         m.banks[1].queue.clear();
-        m.banks[0].active = Some((DataReq { proc: 0, kind: DataReqKind::Access, addr: 0 }, 5));
+        m.banks[0].active = Some((DataReq::new(0, DataReqKind::Access { write: false }, 0), 5));
         assert!(m.banks_pending());
+    }
+
+    #[test]
+    fn write_classification_is_pessimistic_for_keyed_attempts() {
+        assert!(DataReqKind::Access { write: true }.is_write());
+        assert!(!DataReqKind::Access { write: false }.is_write());
+        assert!(DataReqKind::SyncWrite { var: 0, val: 1 }.is_write());
+        assert!(DataReqKind::SyncRmw { var: 0 }.is_write());
+        assert!(DataReqKind::KeyedAttempt { var: 0, geq: 1 }.is_write());
+        assert!(!DataReqKind::Poll { var: 0, pred: Pred::Geq(1) }.is_write());
+        assert!(!DataReqKind::ReadCheck { var: 0, guard: 1, val: 2 }.is_write());
     }
 }

@@ -76,6 +76,7 @@
 //! processors spinning on images that faults keep stale) terminate
 //! detectably rather than burning cycles until `max_cycles`.
 
+mod cache;
 mod dispatch;
 mod exec;
 pub mod fabric;
@@ -95,6 +96,7 @@ use crate::program::{Pred, SyncVar};
 use crate::rng::SplitMix64;
 use crate::stats::{ProcBreakdown, RunStats};
 use crate::trace::Trace;
+use cache::CacheSystem;
 use dispatch::Dispatcher;
 use fabric::SyncState;
 use memory::{DataReqKind, MemorySystem};
@@ -422,6 +424,9 @@ pub struct Machine<'a> {
     pub(crate) sync: SyncState,
     /// Data-bus arbitration state and the memory banks behind it.
     pub(crate) mem: MemorySystem,
+    /// Private per-processor caches in front of the bus (inert under
+    /// [`crate::config::CacheModel::None`]).
+    pub(crate) cache: CacheSystem,
     /// Iteration dispatch state.
     pub(crate) disp: Dispatcher,
     /// Self-healing ladder state and wait-episode bookkeeping.
@@ -521,6 +526,7 @@ impl<'a> Machine<'a> {
             fabric: config.sync_fabric.backend(),
             sync: SyncState::new(p, n_vars),
             mem: MemorySystem::new(n_banks),
+            cache: CacheSystem::new(&config.cache, p, config.memory_latency),
             disp: Dispatcher::new(workload, p),
             rec: RecoveryEngine::new(p, nack_delay, config.recovery.repairs()),
             sched: Calendar::new(p),
@@ -728,6 +734,7 @@ impl<'a> Machine<'a> {
             && self.sync.active.is_none()
             && self.mem.queue.is_empty()
             && self.sync.queue.is_empty()
+            && self.cache.pending_count == 0
             && !self.mem.banks_pending()
             && !self.disp.dynamic_left(self.workload)
             && self.disp.all_drained()
@@ -771,6 +778,15 @@ impl<'a> Machine<'a> {
                     || b.queue.iter().any(|r| !futile_spin(r.kind))
             });
         if any_active {
+            return None;
+        }
+        // Cache-hit completions still pending are activity unless they
+        // are themselves futile polls (a spinner hitting forever in its
+        // own cache burns no bus traffic but also makes no progress —
+        // the per-processor scan below diagnoses its SpinMem state).
+        if self.cache.pending_count > 0
+            && self.cache.pending.iter().flatten().any(|&(req, _)| !futile_spin(req.kind))
+        {
             return None;
         }
         let mut spinning = Vec::new();
@@ -904,6 +920,11 @@ impl<'a> Machine<'a> {
             return None;
         }
         next = next.min(self.sync.due_min);
+        // Pending cache-hit completions.
+        if self.cache.pending_min <= c {
+            return None;
+        }
+        next = next.min(self.cache.pending_min);
         // Data bus: a completion is an event; an idle bus with a queued
         // request grants this cycle.
         if let Some((_, end)) = self.mem.active {

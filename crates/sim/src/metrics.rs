@@ -92,6 +92,57 @@ impl VarTraffic {
     }
 }
 
+/// Private-cache and coherence-traffic counters, summed over all
+/// processors' caches. All zero when the machine runs without caches
+/// ([`crate::config::CacheModel::None`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheTraffic {
+    /// Requests satisfied by the issuing processor's own cache (no bus
+    /// transaction).
+    pub hits: u64,
+    /// Requests that missed and fetched a line over the bus.
+    pub misses: u64,
+    /// Lines invalidated in other caches by writes (MESI BusRdX /
+    /// upgrade snoops).
+    pub invalidations: u64,
+    /// Ownership upgrades of an already-cached shared line (MESI
+    /// write hit on Shared — an address-only bus transaction).
+    pub upgrades: u64,
+    /// Update broadcasts written into other caches' copies (Dragon
+    /// BusUpd).
+    pub updates: u64,
+    /// Dirty lines written back to memory on eviction.
+    pub writebacks: u64,
+    /// Misses served cache-to-cache by a snooping owner instead of from
+    /// memory.
+    pub c2c_transfers: u64,
+}
+
+impl CacheTraffic {
+    /// Hit fraction of all cache-looked-up requests (0.0 when no
+    /// request went through a cache).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Bus transactions that exist only because of coherence: upgrades,
+    /// updates and writebacks (misses are counted separately — a
+    /// cacheless machine pays them as plain accesses).
+    pub fn coherence_traffic(&self) -> u64 {
+        self.upgrades + self.updates + self.writebacks
+    }
+
+    /// Whether any request was looked up in a cache.
+    pub fn active(&self) -> bool {
+        self.hits + self.misses > 0
+    }
+}
+
 /// Always-on derived metrics of one run (see module docs).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunMetrics {
@@ -104,6 +155,9 @@ pub struct RunMetrics {
     pub bank_busy: u64,
     /// Requests that arrived at an already-busy memory bank.
     pub bank_conflicts: u64,
+    /// Private-cache hit/miss and coherence-traffic counters (all zero
+    /// without caches).
+    pub cache: CacheTraffic,
     /// Per-processor wait-episode histograms.
     pub wait: Vec<WaitHistogram>,
     /// Per-synchronization-variable traffic.
@@ -185,6 +239,22 @@ impl RunMetrics {
                 out,
                 "banks: {} busy cycles, {} conflicts",
                 self.bank_busy, self.bank_conflicts
+            );
+        }
+        if self.cache.active() {
+            let c = self.cache;
+            let _ = writeln!(
+                out,
+                "caches: {:.1}% hit rate ({} hits / {} misses), {} invalidations, \
+                 {} upgrades, {} updates, {} writebacks, {} cache-to-cache",
+                c.hit_rate() * 100.0,
+                c.hits,
+                c.misses,
+                c.invalidations,
+                c.upgrades,
+                c.updates,
+                c.writebacks,
+                c.c2c_transfers,
             );
         }
         let t = self.sync_traffic_total();
@@ -283,6 +353,33 @@ mod tests {
         let t = m.sync_traffic_total();
         assert_eq!((t.posts, t.rmws, t.waits, t.polls), (3, 1, 3, 4));
         assert_eq!(t.total(), 11);
+    }
+
+    #[test]
+    fn cache_traffic_math() {
+        let mut c = CacheTraffic::default();
+        assert!(!c.active());
+        assert_eq!(c.hit_rate(), 0.0);
+        c.hits = 75;
+        c.misses = 25;
+        c.upgrades = 3;
+        c.updates = 4;
+        c.writebacks = 5;
+        c.c2c_transfers = 2;
+        assert!(c.active());
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(c.coherence_traffic(), 12);
+    }
+
+    #[test]
+    fn render_table_shows_cache_line_only_when_active() {
+        let mut m = RunMetrics::new(1, 1);
+        let stats = RunStats { makespan: 10, ..Default::default() };
+        assert!(!m.render_table(&stats).contains("caches:"));
+        m.cache.hits = 9;
+        m.cache.misses = 1;
+        let table = m.render_table(&stats);
+        assert!(table.contains("caches: 90.0% hit rate"), "{table}");
     }
 
     #[test]

@@ -46,6 +46,14 @@ pub struct RunStats {
     pub spin_polls: u64,
     /// Sync-bus broadcasts granted.
     pub sync_broadcasts: u64,
+    /// Dedicated-transport sync operations issued (posted writes and
+    /// RMWs), counted when a processor hands them to the fabric — before
+    /// coalescing folds them and before the fabric grants them. On a
+    /// fault-free run with recovery quiet, every fabric conserves them:
+    /// `sync_ops_issued == sync_broadcasts + coalesced_writes` (the
+    /// cross-fabric broadcast-conservation invariant; redeliveries and
+    /// refresh retransmissions under faults add extra grants on top).
+    pub sync_ops_issued: u64,
     /// Posted sync-bus writes absorbed by write coalescing.
     pub coalesced_writes: u64,
     /// Atomic read-modify-writes performed.
