@@ -1,0 +1,13 @@
+//! Load generator for the sweep service: cached throughput, shed-storm
+//! behavior, p99 latency and the crash-resume drill — the
+//! machine-readable `BENCH_serve.json` artifact.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = datasync_bench::serve::run(quick);
+    print!("{}", report.summary());
+    match std::fs::write("BENCH_serve.json", report.to_json()) {
+        Ok(()) => println!("wrote BENCH_serve.json"),
+        Err(e) => eprintln!("cannot write BENCH_serve.json: {e}"),
+    }
+}

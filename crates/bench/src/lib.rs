@@ -21,6 +21,7 @@
 //! | [`chaos`] | R2 — seeded chaos fuzzing with shrinking reproducers |
 //! | [`perf`] | Self-benchmark — fast-forward kernel and sweep-runner speedups |
 //! | [`scale`] | P-scaling curve — kernel throughput at P = 8 → 1024 |
+//! | [`serve`] | Sweep-service load generator — cached throughput, shed storm, crash-resume drill |
 //!
 //! [`run_all`] fans the experiments across cores via [`sweep`]; every
 //! experiment is a pure function of its parameters, so the parallel run
@@ -44,6 +45,7 @@ pub mod perf;
 pub mod robustness;
 pub mod scale;
 pub mod sec6;
+pub mod serve;
 pub mod sweep;
 pub mod table;
 

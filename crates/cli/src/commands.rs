@@ -510,30 +510,72 @@ pub fn robustness(p: &Parsed) -> Result<crate::CliOutput, CliError> {
     Ok(crate::CliOutput { text, code: robustness_exit_code(&tally) })
 }
 
+/// Replays one reproducer file, appending its verdict to `text`.
+/// Returns the exit code for that case (0 clean, 7 violated).
+fn replay_one(path: &str, text: &mut String) -> Result<i32, CliError> {
+    use datasync_bench::chaos::{run_case, ChaosCase};
+    let doc = std::fs::read_to_string(path)
+        .map_err(|e| CliError::from(format!("cannot read '{path}': {e}")))?;
+    let case = ChaosCase::from_json(&doc)?;
+    let _ = writeln!(
+        text,
+        "replaying {path}: scheme {}, fabric {}, N={}, P={}, plan seed {}",
+        case.scheme, case.fabric, case.iterations, case.processors, case.plan.seed
+    );
+    match run_case(&case) {
+        Ok(()) => {
+            let _ = writeln!(text, "all machine invariants hold");
+            Ok(0)
+        }
+        Err(what) => {
+            let _ = writeln!(text, "invariant violated: {what}");
+            Ok(crate::ExitCode::Violated.code())
+        }
+    }
+}
+
 /// `datasync chaos`.
 pub fn chaos(p: &Parsed) -> Result<crate::CliOutput, CliError> {
-    use datasync_bench::chaos::{run_case, ChaosCase};
     p.expect_only(&["cases", "seed", "out-dir", "replay"])?;
     if let Some(path) = p.get("replay") {
-        let doc = std::fs::read_to_string(path)
-            .map_err(|e| CliError::from(format!("cannot read '{path}': {e}")))?;
-        let case = ChaosCase::from_json(&doc)?;
-        let mut text = String::new();
-        let _ = writeln!(
-            text,
-            "replaying {path}: scheme {}, fabric {}, N={}, P={}, plan seed {}",
-            case.scheme, case.fabric, case.iterations, case.processors, case.plan.seed
-        );
-        return match run_case(&case) {
-            Ok(()) => {
-                let _ = writeln!(text, "all machine invariants hold");
-                Ok(crate::CliOutput { text, code: 0 })
+        // A directory batch-replays every *.json inside it (triaging a
+        // serve quarantine folder in one command); a file replays alone.
+        if std::fs::metadata(path).is_ok_and(|m| m.is_dir()) {
+            let mut files: Vec<String> = std::fs::read_dir(path)
+                .map_err(|e| CliError::from(format!("cannot read '{path}': {e}")))?
+                .filter_map(|entry| {
+                    let p = entry.ok()?.path();
+                    (p.extension().is_some_and(|x| x == "json") && p.is_file())
+                        .then(|| p.to_string_lossy().into_owned())
+                })
+                .collect();
+            files.sort();
+            if files.is_empty() {
+                return Ok(crate::CliOutput {
+                    text: format!("no *.json reproducers in {path} — nothing to replay\n"),
+                    code: 0,
+                });
             }
-            Err(what) => Err(CliError {
-                message: format!("{text}invariant violated: {what}"),
-                code: crate::ExitCode::Violated.code(),
-            }),
-        };
+            let mut text = String::new();
+            let mut failed = 0usize;
+            for file in &files {
+                if replay_one(file, &mut text)? != 0 {
+                    failed += 1;
+                }
+            }
+            let _ = writeln!(text, "{} of {} reproducers hold", files.len() - failed, files.len());
+            let code = if failed == 0 { 0 } else { crate::ExitCode::Violated.code() };
+            if failed > 0 {
+                return Err(CliError { message: text, code });
+            }
+            return Ok(crate::CliOutput { text, code });
+        }
+        let mut text = String::new();
+        let code = replay_one(path, &mut text)?;
+        if code != 0 {
+            return Err(CliError { message: text, code });
+        }
+        return Ok(crate::CliOutput { text, code });
     }
     let cases = p.get_u64("cases", 100)? as usize;
     if cases == 0 {
@@ -570,6 +612,54 @@ pub fn chaos(p: &Parsed) -> Result<crate::CliOutput, CliError> {
         );
     }
     Ok(crate::CliOutput { text, code: crate::ExitCode::Violated.code() })
+}
+
+/// `datasync serve`: run the sweep service until drained by
+/// SIGTERM/SIGINT or `POST /shutdown`.
+pub fn serve(p: &Parsed) -> Result<crate::CliOutput, CliError> {
+    use datasync_serve::{ServeConfig, Server};
+    p.expect_only(&["addr", "state-dir", "queue-cap", "max-cells"])?;
+    let defaults = ServeConfig::default();
+    let queue_cap = p.get_u64("queue-cap", defaults.queue_cap as u64)? as usize;
+    let max_cells = p.get_u64("max-cells", defaults.max_cells as u64)? as usize;
+    if queue_cap == 0 {
+        return Err("--queue-cap must be at least 1".into());
+    }
+    if max_cells == 0 {
+        return Err("--max-cells must be at least 1".into());
+    }
+    let config = ServeConfig {
+        addr: p.get("addr").unwrap_or(&defaults.addr).to_string(),
+        state_dir: p.get("state-dir").map_or(defaults.state_dir, std::path::PathBuf::from),
+        queue_cap,
+        max_cells,
+        watch_signals: true,
+    };
+    datasync_serve::signal::install_handlers();
+    let server = Server::bind(config).map_err(|e| CliError {
+        message: format!("serve failed to start: {e}"),
+        code: crate::ExitCode::ServeFailure.code(),
+    })?;
+    // The ready line goes out before the accept loop starts so wrapper
+    // scripts (and the CI smoke) can wait on it.
+    println!("datasync serve: {}", server.boot_report());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let summary = server.run();
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "drained: {} requests, {} sweeps, {} cells computed, {} cached, \
+         {} quarantined, {} shed",
+        summary.requests,
+        summary.sweeps,
+        summary.cells_computed,
+        summary.cells_cached,
+        summary.cells_quarantined,
+        summary.shed
+    );
+    let code = if summary.drained_clean { 0 } else { crate::ExitCode::ServeFailure.code() };
+    Ok(crate::CliOutput { text, code })
 }
 
 /// `datasync wavefront`.

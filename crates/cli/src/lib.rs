@@ -44,7 +44,21 @@ USAGE:
       dependence oracle, trace monotonicity and stat conservation on
       every cell. A violated cell is shrunk to a minimal reproducer and
       written to DIR as replayable JSON; --replay re-runs one such file
-      byte-exact.
+      byte-exact, or every *.json in a directory (batch triage of a
+      quarantine folder) with the worst outcome as the exit code.
+  datasync serve      [--addr HOST:PORT] [--state-dir DIR]
+                      [--queue-cap N] [--max-cells N]
+      Run the sweep service: POST /sweep takes a JSON grid
+      (schemes x fabrics x iterations x processors x caches x
+      fault-pcts) and streams one JSON line per cell plus a summary
+      with an aggregate hash. Results are memoized by canonical content
+      hash and journaled to DIR (checksummed, append-only), so a
+      killed server resumes with zero recomputation; a full admission
+      queue sheds with 429 + Retry-After instead of queueing; cells
+      that time out twice are quarantined with a chaos reproducer
+      (replay with datasync chaos --replay DIR/quarantine). GET
+      /healthz and GET /stats report liveness and counters;
+      SIGTERM/SIGINT or POST /shutdown drains gracefully.
   datasync wavefront  [--loop L] [--n N] [--m M]
       Derive the wavefront (skewing) schedule of a depth-2 loop.
   datasync unroll     [--loop L] [--n N] [--factor U]
@@ -89,7 +103,8 @@ EXIT CODES: 0 success | 2 bad arguments or config | 3 deadlock detected |
             6 completed only on the degraded fallback scheme |
             7 dependence order violated |
             8 completed but only by reconfiguring around a dead processor |
-            9 perf check found a throughput regression
+            9 perf check found a throughput regression |
+            10 serve runtime failure (bind, journal or accept loop)
 ";
 
 /// The `datasync` process exit codes — the tool's scripting contract,
@@ -119,11 +134,14 @@ pub enum ExitCode {
     /// `9` — the gating perf check measured a throughput regression
     /// beyond its tolerance.
     PerfRegression,
+    /// `10` — the sweep service failed at runtime (bind, journal I/O,
+    /// or the accept loop), as opposed to `2` for bad serve arguments.
+    ServeFailure,
 }
 
 impl ExitCode {
     /// Every documented exit code.
-    pub const ALL: [ExitCode; 9] = [
+    pub const ALL: [ExitCode; 10] = [
         ExitCode::Success,
         ExitCode::Usage,
         ExitCode::Deadlock,
@@ -133,6 +151,7 @@ impl ExitCode {
         ExitCode::Violated,
         ExitCode::Reconfigured,
         ExitCode::PerfRegression,
+        ExitCode::ServeFailure,
     ];
 
     /// The numeric process exit code.
@@ -147,6 +166,7 @@ impl ExitCode {
             ExitCode::Violated => 7,
             ExitCode::Reconfigured => 8,
             ExitCode::PerfRegression => 9,
+            ExitCode::ServeFailure => 10,
         }
     }
 
@@ -166,9 +186,10 @@ impl ExitCode {
             ExitCode::Degraded => 3,
             ExitCode::Usage => 4,
             ExitCode::PerfRegression => 5,
-            ExitCode::Timeout => 6,
-            ExitCode::Deadlock => 7,
-            ExitCode::Violated => 8,
+            ExitCode::ServeFailure => 6,
+            ExitCode::Timeout => 7,
+            ExitCode::Deadlock => 8,
+            ExitCode::Violated => 9,
         }
     }
 
@@ -266,6 +287,7 @@ pub fn run(argv: &[String]) -> Result<CliOutput, CliError> {
         "compare" => commands::compare(&parsed).map(ok),
         "robustness" => commands::robustness(&parsed),
         "chaos" => commands::chaos(&parsed),
+        "serve" => commands::serve(&parsed),
         "wavefront" => commands::wavefront(&parsed).map(ok),
         "unroll" => commands::unroll(&parsed).map(ok),
         "reproduce" => commands::reproduce(&parsed).map(ok),
@@ -470,7 +492,8 @@ mod tests {
             assert_eq!(ExitCode::from_code(e.code()), Some(e), "{e:?}");
         }
         assert_eq!(ExitCode::from_code(1), None, "1 is deliberately unused");
-        assert_eq!(ExitCode::from_code(10), None);
+        assert_eq!(ExitCode::from_code(10), Some(ExitCode::ServeFailure));
+        assert_eq!(ExitCode::from_code(11), None);
         // …and exactly matches the codes documented in the README table
         // (`| \`N\` | meaning |` rows) and the USAGE text.
         let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
@@ -611,6 +634,9 @@ mod tests {
         assert!(out.contains("--recovery"));
         assert!(out.contains("5 completed but only via recovery"));
         assert!(out.contains("8 completed but only by reconfiguring"));
+        assert!(out.contains("datasync serve"));
+        assert!(out.contains("--state-dir"));
+        assert!(out.contains("Retry-After"));
     }
 
     #[test]
@@ -642,6 +668,46 @@ mod tests {
         assert!(run(&["chaos", "--replay", "/nonexistent/x.json"]).is_err());
         std::fs::write(&path, "{}").unwrap();
         assert_eq!(run(&["chaos", "--replay", path.to_str().unwrap()]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn chaos_replays_a_directory_of_reproducers() {
+        use datasync_bench::chaos::ChaosCase;
+        let dir = std::env::temp_dir().join("datasync_cli_chaos_dir_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.json"), ChaosCase::generate(7, 4).to_json()).unwrap();
+        std::fs::write(dir.join("b.json"), ChaosCase::generate(9, 4).to_json()).unwrap();
+        std::fs::write(dir.join("notes.txt"), "not a reproducer").unwrap();
+        let out = run_full(&["chaos", "--replay", dir.to_str().unwrap()]).unwrap();
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.text.contains("2 of 2 reproducers hold"), "{}", out.text);
+        // An unparsable member aborts the batch as a usage error.
+        std::fs::write(dir.join("c.json"), "{}").unwrap();
+        assert_eq!(run(&["chaos", "--replay", dir.to_str().unwrap()]).unwrap_err().code, 2);
+        // An empty directory replays nothing, successfully.
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let out = run_full(&["chaos", "--replay", empty.to_str().unwrap()]).unwrap();
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("nothing to replay"), "{}", out.text);
+    }
+
+    #[test]
+    fn serve_rejects_bad_arguments() {
+        assert_eq!(run(&["serve", "--queue-cap", "0"]).unwrap_err().code, 2);
+        assert_eq!(run(&["serve", "--max-cells", "0"]).unwrap_err().code, 2);
+        assert!(run(&["serve", "--typo", "1"]).is_err());
+    }
+
+    #[test]
+    fn serve_bind_failure_exits_10() {
+        let dir = std::env::temp_dir().join("datasync_cli_serve_bind_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let e = run(&["serve", "--addr", "not-an-addr", "--state-dir", dir.to_str().unwrap()])
+            .unwrap_err();
+        assert_eq!(e.code, ExitCode::ServeFailure.code());
+        assert!(e.message.contains("cannot bind"), "{}", e.message);
     }
 
     #[test]

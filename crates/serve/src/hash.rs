@@ -1,0 +1,75 @@
+//! Content addressing: FNV-1a 64-bit over canonical bytes.
+//!
+//! Cells are memoized and journaled by the hash of their *canonical*
+//! spec serialization ([`crate::spec::CellSpec::canonical_json`]), so
+//! two requests that mean the same run — whatever their JSON field
+//! order or omitted-default fields — address the same cache slot and
+//! journal entry. FNV-1a is not cryptographic; it guards against
+//! corruption and addressing mistakes, not adversaries, which is the
+//! same stance the journal checksum takes.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes a byte string with FNV-1a 64.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fold(FNV_OFFSET, bytes)
+}
+
+/// Streaming FNV-1a: folds `bytes` into running state `h`. Seed with
+/// [`fnv1a_seed`] and keep folding to hash a sequence of chunks (the
+/// aggregate-results hash folds record lines without concatenating
+/// them).
+pub fn fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The initial state for [`fold`].
+pub fn fnv1a_seed() -> u64 {
+    FNV_OFFSET
+}
+
+/// [`fnv1a`] rendered as the fixed-width 16-hex-digit form used in
+/// journal lines, cache keys and quarantine file names.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_published_fnv1a_vectors() {
+        // From the FNV reference test suite.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_form_is_fixed_width() {
+        assert_eq!(fnv1a_hex(b"").len(), 16);
+        assert_eq!(fnv1a_hex(b"x").len(), 16);
+        assert!(fnv1a_hex(b"x").chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn nearby_inputs_diverge() {
+        assert_ne!(fnv1a(b"seed: 1"), fnv1a(b"seed: 2"));
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn folding_chunks_equals_hashing_the_concatenation() {
+        let whole = fnv1a(b"abcdef");
+        let folded = fold(fold(fnv1a_seed(), b"abc"), b"def");
+        assert_eq!(folded, whole);
+    }
+}

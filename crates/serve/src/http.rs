@@ -1,0 +1,279 @@
+//! A deliberately small HTTP/1.1 layer: enough for a JSON service, with
+//! the abuse guards a listening socket needs.
+//!
+//! Requests are read with a hard read-timeout (a slowloris client that
+//! dribbles bytes gets 408 and a closed socket, it cannot pin a worker),
+//! a 16 KiB header cap and a 1 MiB body cap (413 past either). Responses
+//! always send `Connection: close` — one request per connection keeps
+//! the server stateless per socket and lets streamed NDJSON bodies end
+//! at EOF without chunked encoding.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// How long a client may take to deliver a complete request.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-cased by the client per HTTP.
+    pub method: String,
+    /// Request target (path only; no query parsing — the API is POST
+    /// bodies and bare GET paths).
+    pub path: String,
+    /// Decoded body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+/// Why a request could not be read; each maps to one status line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// 400 — malformed request line, headers or body.
+    Bad(String),
+    /// 408 — the client ran out the read timeout mid-request.
+    Timeout,
+    /// 413 — head or body over the caps.
+    TooLarge(String),
+}
+
+impl RequestError {
+    /// The status code this error answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            RequestError::Bad(_) => 400,
+            RequestError::Timeout => 408,
+            RequestError::TooLarge(_) => 413,
+        }
+    }
+
+    /// Human-readable detail for the JSON error body.
+    pub fn detail(&self) -> String {
+        match self {
+            RequestError::Bad(why) => why.clone(),
+            RequestError::Timeout => "request not completed within the read timeout".into(),
+            RequestError::TooLarge(why) => why.clone(),
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Reads one request off the stream under the abuse guards.
+///
+/// # Errors
+///
+/// Returns the [`RequestError`] the caller should answer with; socket
+/// errors surface as 400 (the client is gone or broken either way).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Read until the blank line that ends the head.
+    let head_end = loop {
+        if let Some(i) = find_head_end(&buf) {
+            break i;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(RequestError::Bad("connection closed mid-request".into())),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => return Err(RequestError::Timeout),
+            Err(e) => return Err(RequestError::Bad(format!("read failed: {e}"))),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Bad(format!("malformed request line `{request_line}`")));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| RequestError::Bad("malformed Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::TooLarge(format!("body exceeds {MAX_BODY_BYTES} bytes")));
+    }
+    // Anything already read past the head belongs to the body.
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(RequestError::Bad("connection closed mid-body".into())),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => return Err(RequestError::Timeout),
+            Err(e) => return Err(RequestError::Bad(format!("read failed: {e}"))),
+        }
+    }
+    body.truncate(content_length);
+    let body =
+        String::from_utf8(body).map_err(|_| RequestError::Bad("body is not valid UTF-8".into()))?;
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with a body and closes the exchange.
+pub fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    // The client may already be gone; nothing useful to do about it.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Writes a JSON error body `{"error": ..., "retry_after_s": ...}`.
+pub fn respond_error(
+    stream: &mut TcpStream,
+    status: u16,
+    detail: &str,
+    retry_after_s: Option<u64>,
+) {
+    let retry_header = retry_after_s.map(|s| format!("Retry-After: {s}\r\n")).unwrap_or_default();
+    let body = match retry_after_s {
+        Some(s) => {
+            format!("{{\"error\":\"{}\",\"retry_after_s\":{s}}}\n", crate::json::escape(detail))
+        }
+        None => format!("{{\"error\":\"{}\"}}\n", crate::json::escape(detail)),
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\n{retry_header}\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Starts a streamed NDJSON response (body ends at connection close).
+///
+/// # Errors
+///
+/// Propagates the write error (the client hung up).
+pub fn start_ndjson(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}")
+            .unwrap();
+        let req = read_request(&mut server).expect("well-formed request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sweep");
+        assert_eq!(req.body, "{}");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let (mut client, mut server) = pair();
+        client.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let req = read_request(&mut server).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn garbage_is_a_400() {
+        let (mut client, mut server) = pair();
+        client.write_all(b"complete garbage\r\n\r\n").unwrap();
+        let err = read_request(&mut server).unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn oversized_bodies_are_a_413_without_reading_them() {
+        let (mut client, mut server) = pair();
+        let head =
+            format!("POST /sweep HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        client.write_all(head.as_bytes()).unwrap();
+        let err = read_request(&mut server).unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn a_closed_half_request_is_a_400() {
+        let (client, mut server) = pair();
+        {
+            let mut c = client;
+            c.write_all(b"POST /sweep HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap();
+            // Drop closes the socket with the body short.
+        }
+        let err = read_request(&mut server).unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn slowloris_times_out_as_a_408() {
+        let (mut client, mut server) = pair();
+        client.write_all(b"GET /he").unwrap();
+        // Never send the rest; the 2 s read timeout must fire.
+        let started = std::time::Instant::now();
+        let err = read_request(&mut server).unwrap_err();
+        assert_eq!(err, RequestError::Timeout);
+        assert_eq!(err.status(), 408);
+        assert!(started.elapsed() < Duration::from_secs(30), "must not hang");
+    }
+}

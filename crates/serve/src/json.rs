@@ -1,0 +1,382 @@
+//! A minimal JSON reader (hand-rolled like every serializer in this
+//! dependency-free workspace).
+//!
+//! The service's request bodies and journal lines are small documents of
+//! objects, arrays, strings, booleans and **integer** numbers, so that
+//! is exactly what this parser accepts. Integers are carried as `i128`
+//! so the full `u64` seed range survives parsing (an `f64`-backed number
+//! type would silently round seeds above 2^53 — the content hash would
+//! then collide configs that differ only in their high seed bits).
+//! Fractions and exponents are rejected: no field of the wire format is
+//! fractional, and refusing them keeps number round-trips exact.
+
+/// A parsed JSON value. Object member order is preserved (the canonical
+/// serializer in [`crate::spec`] depends on *emitting* a fixed order,
+/// never on the order it reads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (the wire format has no fractional fields).
+    Num(i128),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, members in source order; duplicate keys keep the last
+    /// occurrence (matching serde_json's default).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object (`None` for other variants or a
+    /// missing key). Duplicate keys resolve to the last occurrence.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an in-range number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an in-range number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The object's keys, in source order (empty for non-objects).
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Obj(members) => members.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Parses a complete JSON document (rejecting trailing garbage).
+///
+/// # Errors
+///
+/// Returns a human-readable message with a byte offset on malformed
+/// input, non-integer numbers, or nesting deeper than 32 levels.
+pub fn parse(doc: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: doc.as_bytes(), at: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.at));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+const MAX_DEPTH: usize = 32;
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.at), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.at))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} levels at byte {}", self.at));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!("unexpected '{}' at byte {}", other as char, self.at)),
+            None => Err("unexpected end of document".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal at byte {}", self.at))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.at += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(format!(
+                "non-integer number at byte {start} (the wire format has no fractional fields)"
+            ));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("digits are utf-8");
+        text.parse::<i128>()
+            .map(Json::Num)
+            .map_err(|_| format!("malformed number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("malformed \\u escape at byte {}", self.at))?;
+                            self.at += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(format!(
+                                "unknown escape '\\{}' at byte {}",
+                                other as char, self.at
+                            ));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unvalidated-per-byte; the source &str is
+                    // already valid UTF-8).
+                    let rest = std::str::from_utf8(&self.bytes[self.at..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
+            }
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_wire_shapes() {
+        let doc = r#"{"a": 1, "b": [2, 3], "c": {"d": "x", "e": true}, "f": null, "g": -7}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("b").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        assert_eq!(v.get("c").and_then(|c| c.get("d")).and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("c").and_then(|c| c.get("e")).and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("f"), Some(&Json::Null));
+        assert_eq!(v.get("g").and_then(Json::as_i64), Some(-7));
+        assert_eq!(v.keys(), vec!["a", "b", "c", "f", "g"]);
+    }
+
+    #[test]
+    fn full_u64_seed_range_survives() {
+        let doc = format!("{{\"seed\": {}}}", u64::MAX);
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("seed").and_then(Json::as_u64), Some(u64::MAX));
+        // An f64-backed parser would have collapsed nearby seeds; i128
+        // keeps adjacent values distinct.
+        let near = format!("{{\"seed\": {}}}", u64::MAX - 1);
+        assert_ne!(parse(&near).unwrap(), v);
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last() {
+        let v = parse(r#"{"a": 1, "a": 2}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = parse(r#"{"s": "a\"b\\c\ndA"}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("a\"b\\c\ndA"));
+        let original = "quote\" slash\\ newline\n tab\t control\u{1}";
+        let doc = format!("{{\"s\": \"{}\"}}", escape(original));
+        assert_eq!(parse(&doc).unwrap().get("s").and_then(Json::as_str), Some(original));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "{\"a\"}",
+            "{\"a\": }",
+            "[1, ]",
+            "{\"a\": 1} x",
+            "nul",
+            "1.5",
+            "1e9",
+            "\"abc",
+            "{\"a\": 01x}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn rejects_absurd_nesting() {
+        let deep = "[".repeat(64) + &"]".repeat(64);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.contains("nesting"), "{e}");
+    }
+
+    #[test]
+    fn empty_containers_parse() {
+        assert_eq!(parse("{}").unwrap(), Json::Obj(vec![]));
+        assert_eq!(parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(parse(" [ ] ").unwrap(), Json::Arr(vec![]));
+    }
+}

@@ -1,0 +1,140 @@
+//! Bounded admission: the service's backpressure valve.
+//!
+//! Every sweep request must reserve its full cell count before any cell
+//! runs; a reservation that would push the in-flight total past the cap
+//! is refused — the server answers 429 with a `Retry-After` instead of
+//! queueing unboundedly (SynCron's overflow philosophy: shed
+//! predictably, never wedge). Reservations are RAII [`Ticket`]s, so a
+//! connection that dies mid-stream releases its slots on unwind.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The shared admission counter.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    cap: usize,
+    in_flight: Arc<AtomicUsize>,
+}
+
+/// A held reservation of `cells` slots; dropping it releases them.
+#[derive(Debug)]
+pub struct Ticket {
+    cells: usize,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl Admission {
+    /// A valve admitting at most `cap` cells in flight.
+    pub fn new(cap: usize) -> Admission {
+        Admission { cap: cap.max(1), in_flight: Arc::new(AtomicUsize::new(0)) }
+    }
+
+    /// The configured cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Cells currently admitted.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Tries to reserve `cells` slots; `None` means shed (queue full).
+    /// A request bigger than the whole cap can still be admitted onto
+    /// an idle valve (it is then alone), so the cap never silently
+    /// forbids a legal request size — the per-request cell cap is a
+    /// separate, explicit limit.
+    pub fn try_admit(&self, cells: usize) -> Option<Ticket> {
+        let mut cur = self.in_flight.load(Ordering::SeqCst);
+        loop {
+            let admissible = cur == 0 || cur + cells <= self.cap;
+            if !admissible {
+                return None;
+            }
+            match self.in_flight.compare_exchange(
+                cur,
+                cur + cells,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Some(Ticket { cells, in_flight: Arc::clone(&self.in_flight) });
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl Ticket {
+    /// Releases `done` of this ticket's slots early (a finished chunk
+    /// frees capacity before the whole request completes).
+    pub fn release(&mut self, done: usize) {
+        let n = done.min(self.cells);
+        self.cells -= n;
+        self.in_flight.fetch_sub(n, Ordering::SeqCst);
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        self.in_flight.fetch_sub(self.cells, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_the_cap_and_sheds_past_it() {
+        let valve = Admission::new(10);
+        let a = valve.try_admit(6).expect("6 of 10 fits");
+        assert_eq!(valve.in_flight(), 6);
+        let b = valve.try_admit(4).expect("10 of 10 fits");
+        assert_eq!(valve.in_flight(), 10);
+        assert!(valve.try_admit(1).is_none(), "the valve is full");
+        drop(a);
+        assert_eq!(valve.in_flight(), 4);
+        assert!(valve.try_admit(6).is_some());
+        drop(b);
+    }
+
+    #[test]
+    fn oversized_requests_are_admitted_only_onto_an_idle_valve() {
+        let valve = Admission::new(4);
+        let big = valve.try_admit(100).expect("an idle valve takes any size");
+        assert!(valve.try_admit(1).is_none(), "everything else sheds meanwhile");
+        drop(big);
+        assert!(valve.try_admit(1).is_some());
+    }
+
+    #[test]
+    fn partial_release_frees_capacity_early() {
+        let valve = Admission::new(10);
+        let mut t = valve.try_admit(8).unwrap();
+        t.release(5);
+        assert_eq!(valve.in_flight(), 3);
+        let other = valve.try_admit(7).expect("freed capacity admits 7 more");
+        assert_eq!(valve.in_flight(), 10);
+        // Over-release is clamped; drop then releases only what remains.
+        t.release(100);
+        assert_eq!(valve.in_flight(), 7);
+        drop(t);
+        assert_eq!(valve.in_flight(), 7);
+        drop(other);
+        assert_eq!(valve.in_flight(), 0);
+    }
+
+    #[test]
+    fn tickets_release_on_unwind() {
+        let valve = Admission::new(4);
+        let v2 = valve.clone();
+        let _ = std::panic::catch_unwind(move || {
+            let _t = v2.try_admit(3).unwrap();
+            panic!("connection died mid-stream");
+        });
+        assert_eq!(valve.in_flight(), 0, "the panicked holder's slots came back");
+    }
+}

@@ -1,0 +1,598 @@
+//! Sweep-cell specifications and their canonical content hash.
+//!
+//! A [`CellSpec`] is one simulator run the service can be asked for: a
+//! scheme × fabric × workload-size × machine-size × cache × fault-plan
+//! point. Its identity is the FNV-1a hash of its **canonical** JSON
+//! form — a fixed field order with every field explicit — so the hash
+//! is invariant to request-side field order and omitted-default fields,
+//! while any *semantic* change (scheme, fabric, geometry, fault
+//! intensity, seed, …) changes it. That hash keys the memo cache, the
+//! journal and the quarantine circuit breaker.
+//!
+//! A [`SweepSpec`] is the request-side grid (lists per axis) that
+//! [`SweepSpec::expand`]s into cells in a deterministic nesting order,
+//! so a resubmitted sweep enumerates the same cells in the same order —
+//! the property the resume drill and the `aggregate_hash` byte-identity
+//! check both rely on.
+
+use crate::hash::fnv1a_hex;
+use crate::json::{self, Json};
+use datasync_sim::{CacheModel, CoherenceProtocol, FabricKind, FaultPlan};
+
+/// Stable scheme keys accepted by the service (the same vocabulary the
+/// chaos fuzzer replays by; `Scheme::name` strings carry parameters and
+/// are not stable identifiers).
+pub const SCHEME_KEYS: [&str; 5] = ["reference", "instance", "statement", "process", "barrier"];
+
+/// Version stamp written into every canonical cell document.
+pub const CELL_SPEC_VERSION: u64 = 1;
+
+/// One sweep cell: everything that determines a run's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Scheme key (see [`SCHEME_KEYS`]).
+    pub scheme: String,
+    /// Sync-fabric backend.
+    pub fabric: FabricKind,
+    /// Loop iteration count (Fig 2.1 workload).
+    pub iterations: i64,
+    /// Processor count.
+    pub processors: usize,
+    /// Private-cache model under the data bus.
+    pub cache: CacheModel,
+    /// Bounded-chaos fault intensity, percent (0 = fault-free).
+    pub fault_pct: u32,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Per-cell cycle budget override; 0 derives the budget from
+    /// `MachineConfig::scaled_max_cycles` (the production default).
+    pub deadline_cycles: u64,
+}
+
+impl Default for CellSpec {
+    fn default() -> Self {
+        CellSpec {
+            scheme: "process".to_string(),
+            fabric: FabricKind::Dedicated,
+            iterations: 16,
+            processors: 4,
+            cache: CacheModel::None,
+            fault_pct: 0,
+            seed: 0,
+            deadline_cycles: 0,
+        }
+    }
+}
+
+/// Default cache geometry when a sweep names a protocol without one
+/// (sets × assoc × line words).
+const DEFAULT_GEOMETRY: (u32, u32, u32) = (16, 2, 4);
+
+impl CellSpec {
+    /// The canonical single-line JSON form: fixed field order, every
+    /// field explicit (a cacheless cell writes zero geometry, matching
+    /// the chaos-reproducer convention). [`CellSpec::content_hash`] is
+    /// defined over these bytes.
+    pub fn canonical_json(&self) -> String {
+        let (cache_word, sets, assoc, line, sync_bit) = match self.cache {
+            CacheModel::None => ("none".to_string(), 0, 0, 0, 0),
+            CacheModel::Private { protocol, sets, assoc, line_words, cache_sync, .. } => {
+                (protocol.to_string(), sets, assoc, line_words, u32::from(cache_sync))
+            }
+        };
+        format!(
+            "{{\"cell_spec\":{},\"scheme\":\"{}\",\"fabric\":\"{}\",\"iterations\":{},\
+             \"processors\":{},\"cache\":\"{}\",\"cache_sets\":{},\"cache_assoc\":{},\
+             \"cache_line\":{},\"cache_sync\":{},\"fault_pct\":{},\"seed\":{},\
+             \"deadline_cycles\":{}}}",
+            CELL_SPEC_VERSION,
+            json::escape(&self.scheme),
+            self.fabric,
+            self.iterations,
+            self.processors,
+            cache_word,
+            sets,
+            assoc,
+            line,
+            sync_bit,
+            self.fault_pct,
+            self.seed,
+            self.deadline_cycles
+        )
+    }
+
+    /// The cell's content address: FNV-1a-64 of the canonical JSON,
+    /// 16 hex digits.
+    pub fn content_hash(&self) -> String {
+        fnv1a_hex(self.canonical_json().as_bytes())
+    }
+
+    /// Reads a cell from a parsed JSON object. Field order is free,
+    /// omitted fields take their defaults (so a request that spells out
+    /// a default hashes identically to one that omits it), unknown keys
+    /// are rejected — a typoed `"procesors"` must not silently run the
+    /// default machine.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first unknown key, ill-typed field, or
+    /// [`CellSpec::validate`] failure.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        const KNOWN: [&str; 13] = [
+            "cell_spec",
+            "scheme",
+            "fabric",
+            "iterations",
+            "processors",
+            "cache",
+            "cache_sets",
+            "cache_assoc",
+            "cache_line",
+            "cache_sync",
+            "fault_pct",
+            "seed",
+            "deadline_cycles",
+        ];
+        if !matches!(doc, Json::Obj(_)) {
+            return Err("cell spec must be a JSON object".into());
+        }
+        if let Some(unknown) = doc.keys().iter().find(|k| !KNOWN.contains(k)) {
+            return Err(format!("unknown cell-spec field `{unknown}`"));
+        }
+        if let Some(v) = doc.get("cell_spec") {
+            if v.as_u64() != Some(CELL_SPEC_VERSION) {
+                return Err("unsupported cell_spec version".into());
+            }
+        }
+        let d = CellSpec::default();
+        let str_field = |key: &str, default: &str| -> Result<String, String> {
+            match doc.get(key) {
+                None => Ok(default.to_string()),
+                Some(v) => {
+                    v.as_str().map(str::to_string).ok_or(format!("`{key}` must be a string"))
+                }
+            }
+        };
+        let num_field = |key: &str, default: u64| -> Result<u64, String> {
+            match doc.get(key) {
+                None => Ok(default),
+                Some(v) => v.as_u64().ok_or(format!("`{key}` must be a non-negative integer")),
+            }
+        };
+        let fabric_name = str_field("fabric", "dedicated")?;
+        let fabric = FabricKind::parse(&fabric_name)
+            .ok_or_else(|| format!("unknown fabric `{fabric_name}`"))?;
+        let cache_word = str_field("cache", "none")?;
+        let cache = parse_cache_word(
+            &cache_word,
+            num_field("cache_sets", u64::from(DEFAULT_GEOMETRY.0))? as u32,
+            num_field("cache_assoc", u64::from(DEFAULT_GEOMETRY.1))? as u32,
+            num_field("cache_line", u64::from(DEFAULT_GEOMETRY.2))? as u32,
+            num_field("cache_sync", 1)? != 0,
+        )?;
+        let spec = CellSpec {
+            scheme: str_field("scheme", &d.scheme)?,
+            fabric,
+            iterations: doc.get("iterations").map_or(Ok(d.iterations), |v| {
+                v.as_i64().ok_or("`iterations` must be an integer")
+            })?,
+            processors: num_field("processors", d.processors as u64)? as usize,
+            cache,
+            fault_pct: num_field("fault_pct", u64::from(d.fault_pct))? as u32,
+            seed: num_field("seed", d.seed)?,
+            deadline_cycles: num_field("deadline_cycles", d.deadline_cycles)?,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parses a cell from raw JSON text (canonical or not).
+    ///
+    /// # Errors
+    ///
+    /// Reports parse and validation failures.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&json::parse(text)?)
+    }
+
+    /// Rejects semantically impossible cells before any run is admitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable rejection reason.
+    pub fn validate(&self) -> Result<(), String> {
+        if !SCHEME_KEYS.contains(&self.scheme.as_str()) {
+            return Err(format!(
+                "unknown scheme `{}` (expected one of {SCHEME_KEYS:?})",
+                self.scheme
+            ));
+        }
+        if self.scheme == "barrier" && !self.processors.is_power_of_two() {
+            return Err(format!(
+                "barrier scheme needs a power-of-two machine, got {} processors",
+                self.processors
+            ));
+        }
+        if !(1..=100_000).contains(&self.iterations) {
+            return Err(format!("iterations must be 1..=100000, got {}", self.iterations));
+        }
+        if !(2..=64).contains(&self.processors) {
+            return Err(format!("processors must be 2..=64, got {}", self.processors));
+        }
+        if self.fault_pct > 100 {
+            return Err(format!("fault_pct must be 0..=100, got {}", self.fault_pct));
+        }
+        Ok(())
+    }
+
+    /// The cell's fault plan: bounded chaos at `fault_pct` (the service
+    /// deliberately excludes the unbounded classes — broadcast loss and
+    /// fail-stop belong to the chaos fuzzer, not a latency-budgeted
+    /// service), or a seeded no-fault plan at zero.
+    pub fn fault_plan(&self) -> FaultPlan {
+        if self.fault_pct > 0 {
+            FaultPlan::chaos(self.seed, self.fault_pct)
+        } else {
+            FaultPlan { seed: self.seed, ..FaultPlan::none() }
+        }
+    }
+}
+
+/// Builds a [`CacheModel`] from the wire vocabulary (`none` or a
+/// protocol name plus geometry).
+fn parse_cache_word(
+    word: &str,
+    sets: u32,
+    assoc: u32,
+    line: u32,
+    cache_sync: bool,
+) -> Result<CacheModel, String> {
+    if word == "none" {
+        return Ok(CacheModel::None);
+    }
+    let protocol =
+        CoherenceProtocol::parse(word).ok_or_else(|| format!("unknown cache `{word}`"))?;
+    let model = CacheModel::private(protocol).geometry(sets, assoc, line);
+    Ok(if cache_sync { model } else { model.sync_uncached() })
+}
+
+/// A sweep request: lists per axis, expanded as a full cross product.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Scheme keys to sweep.
+    pub schemes: Vec<String>,
+    /// Fabrics to sweep.
+    pub fabrics: Vec<FabricKind>,
+    /// Iteration counts to sweep.
+    pub iterations: Vec<i64>,
+    /// Machine sizes to sweep.
+    pub processors: Vec<usize>,
+    /// Cache words to sweep (`none` / `mesi` / `dragon`).
+    pub caches: Vec<String>,
+    /// Fault intensities to sweep (percent).
+    pub fault_pcts: Vec<u32>,
+    /// Fault-plan seed shared by every cell.
+    pub seed: u64,
+    /// Per-cell cycle-budget override (0 = derived).
+    pub deadline_cycles: u64,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        let d = CellSpec::default();
+        SweepSpec {
+            schemes: vec![d.scheme],
+            fabrics: vec![d.fabric],
+            iterations: vec![d.iterations],
+            processors: vec![d.processors],
+            caches: vec!["none".to_string()],
+            fault_pcts: vec![0],
+            seed: 0,
+            deadline_cycles: 0,
+        }
+    }
+}
+
+impl SweepSpec {
+    /// Reads a sweep from a parsed JSON object: every axis is an
+    /// optional array (omitted → the single-cell default), unknown keys
+    /// are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first unknown key, ill-typed axis, empty axis, or
+    /// invalid cell the grid would expand to.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        const KNOWN: [&str; 8] = [
+            "schemes",
+            "fabrics",
+            "iterations",
+            "processors",
+            "caches",
+            "fault_pcts",
+            "seed",
+            "deadline_cycles",
+        ];
+        if !matches!(doc, Json::Obj(_)) {
+            return Err("sweep spec must be a JSON object".into());
+        }
+        if let Some(unknown) = doc.keys().iter().find(|k| !KNOWN.contains(k)) {
+            return Err(format!("unknown sweep field `{unknown}`"));
+        }
+        fn axis<T>(
+            doc: &Json,
+            key: &str,
+            default: Vec<T>,
+            read: impl Fn(&Json) -> Result<T, String>,
+        ) -> Result<Vec<T>, String> {
+            match doc.get(key) {
+                None => Ok(default),
+                Some(v) => {
+                    let items = v.as_arr().ok_or(format!("`{key}` must be an array"))?;
+                    if items.is_empty() {
+                        return Err(format!("`{key}` must not be empty"));
+                    }
+                    items.iter().map(read).collect()
+                }
+            }
+        }
+        let d = SweepSpec::default();
+        let spec = SweepSpec {
+            schemes: axis(doc, "schemes", d.schemes, |v| {
+                v.as_str().map(str::to_string).ok_or("schemes entries must be strings".into())
+            })?,
+            fabrics: axis(doc, "fabrics", d.fabrics, |v| {
+                let name = v.as_str().ok_or("fabrics entries must be strings")?;
+                FabricKind::parse(name).ok_or_else(|| format!("unknown fabric `{name}`"))
+            })?,
+            iterations: axis(doc, "iterations", d.iterations, |v| {
+                v.as_i64().ok_or("iterations entries must be integers".into())
+            })?,
+            processors: axis(doc, "processors", d.processors, |v| {
+                v.as_u64()
+                    .map(|n| n as usize)
+                    .ok_or("processors entries must be integers".into())
+            })?,
+            caches: axis(doc, "caches", d.caches, |v| {
+                let word = v.as_str().ok_or("caches entries must be strings")?;
+                // Validate the vocabulary up front; geometry is defaulted.
+                parse_cache_word(word, 1, 1, 1, true).map(|_| word.to_string())
+            })?,
+            fault_pcts: axis(doc, "fault_pcts", d.fault_pcts, |v| {
+                v.as_u64().map(|n| n as u32).ok_or("fault_pcts entries must be integers".into())
+            })?,
+            seed: match doc.get("seed") {
+                None => d.seed,
+                Some(v) => v.as_u64().ok_or("`seed` must be a non-negative integer")?,
+            },
+            deadline_cycles: match doc.get("deadline_cycles") {
+                None => d.deadline_cycles,
+                Some(v) => v.as_u64().ok_or("`deadline_cycles` must be a non-negative integer")?,
+            },
+        };
+        // Validate every cell the grid implies before admitting any.
+        for cell in spec.expand() {
+            cell.validate()?;
+        }
+        Ok(spec)
+    }
+
+    /// Number of cells the grid expands to.
+    pub fn cell_count(&self) -> usize {
+        self.schemes.len()
+            * self.fabrics.len()
+            * self.iterations.len()
+            * self.processors.len()
+            * self.caches.len()
+            * self.fault_pcts.len()
+    }
+
+    /// Expands the grid into cells in a fixed nesting order (schemes,
+    /// then fabrics, iterations, processors, caches, fault
+    /// intensities). The order is part of the service contract: resume
+    /// and the aggregate hash depend on resubmission enumerating
+    /// identically.
+    pub fn expand(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::with_capacity(self.cell_count().min(1 << 20));
+        let (sets, assoc, line) = DEFAULT_GEOMETRY;
+        for scheme in &self.schemes {
+            for &fabric in &self.fabrics {
+                for &iterations in &self.iterations {
+                    for &processors in &self.processors {
+                        for cache_word in &self.caches {
+                            for &fault_pct in &self.fault_pcts {
+                                let cache = parse_cache_word(cache_word, sets, assoc, line, true)
+                                    .unwrap_or(CacheModel::None);
+                                cells.push(CellSpec {
+                                    scheme: scheme.clone(),
+                                    fabric,
+                                    iterations,
+                                    processors,
+                                    cache,
+                                    fault_pct,
+                                    seed: self.seed,
+                                    deadline_cycles: self.deadline_cycles,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_json_parses_back_to_the_same_cell() {
+        let specs = [
+            CellSpec::default(),
+            CellSpec {
+                scheme: "barrier".into(),
+                fabric: FabricKind::Shared,
+                iterations: 32,
+                processors: 8,
+                cache: CacheModel::private(CoherenceProtocol::Mesi).geometry(4, 1, 2),
+                fault_pct: 40,
+                seed: u64::MAX,
+                deadline_cycles: 123_456,
+            },
+            CellSpec {
+                cache: CacheModel::private(CoherenceProtocol::Dragon)
+                    .geometry(64, 2, 4)
+                    .sync_uncached(),
+                ..CellSpec::default()
+            },
+        ];
+        for spec in specs {
+            let back = CellSpec::parse(&spec.canonical_json()).expect("parse own canonical form");
+            assert_eq!(back, spec);
+            assert_eq!(back.content_hash(), spec.content_hash());
+        }
+    }
+
+    #[test]
+    fn hash_is_invariant_to_field_order_and_omitted_defaults() {
+        let canonical = CellSpec::default().content_hash();
+        // Omitting every field means the default cell.
+        assert_eq!(CellSpec::parse("{}").unwrap().content_hash(), canonical);
+        // Spelling out defaults changes nothing.
+        let explicit = r#"{"scheme": "process", "processors": 4, "fault_pct": 0}"#;
+        assert_eq!(CellSpec::parse(explicit).unwrap().content_hash(), canonical);
+        // Field order is free.
+        let reordered = r#"{"seed": 0, "iterations": 16, "fabric": "dedicated",
+                            "scheme": "process", "deadline_cycles": 0}"#;
+        assert_eq!(CellSpec::parse(reordered).unwrap().content_hash(), canonical);
+        // Cache geometry on a cacheless cell is normalized away.
+        let moot_geometry = r#"{"cache": "none", "cache_sets": 64}"#;
+        assert_eq!(CellSpec::parse(moot_geometry).unwrap().content_hash(), canonical);
+    }
+
+    #[test]
+    fn hash_changes_for_every_semantic_field() {
+        let base = CellSpec {
+            cache: CacheModel::private(CoherenceProtocol::Mesi).geometry(16, 2, 4),
+            ..CellSpec::default()
+        };
+        let variants = [
+            CellSpec { scheme: "instance".into(), ..base.clone() },
+            CellSpec { fabric: FabricKind::Shared, ..base.clone() },
+            CellSpec { fabric: FabricKind::Ideal, ..base.clone() },
+            CellSpec { iterations: 17, ..base.clone() },
+            CellSpec { processors: 8, ..base.clone() },
+            CellSpec { cache: CacheModel::None, ..base.clone() },
+            CellSpec {
+                cache: CacheModel::private(CoherenceProtocol::Dragon).geometry(16, 2, 4),
+                ..base.clone()
+            },
+            CellSpec {
+                cache: CacheModel::private(CoherenceProtocol::Mesi).geometry(4, 2, 4),
+                ..base.clone()
+            },
+            CellSpec {
+                cache: CacheModel::private(CoherenceProtocol::Mesi).geometry(16, 1, 4),
+                ..base.clone()
+            },
+            CellSpec {
+                cache: CacheModel::private(CoherenceProtocol::Mesi).geometry(16, 2, 2),
+                ..base.clone()
+            },
+            CellSpec {
+                cache: CacheModel::private(CoherenceProtocol::Mesi)
+                    .geometry(16, 2, 4)
+                    .sync_uncached(),
+                ..base.clone()
+            },
+            CellSpec { fault_pct: 30, ..base.clone() },
+            CellSpec { seed: 1, ..base.clone() },
+            CellSpec { seed: u64::MAX, ..base.clone() },
+            CellSpec { deadline_cycles: 1_000_000, ..base.clone() },
+        ];
+        let base_hash = base.content_hash();
+        let mut seen = std::collections::HashSet::from([base_hash]);
+        for v in variants {
+            assert!(
+                seen.insert(v.content_hash()),
+                "semantic change did not change the hash: {}",
+                v.canonical_json()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_cells_are_rejected() {
+        assert!(CellSpec::parse(r#"{"procesors": 4}"#).unwrap_err().contains("procesors"));
+        assert!(CellSpec::parse(r#"{"scheme": "quantum"}"#).is_err());
+        assert!(CellSpec::parse(r#"{"scheme": "barrier", "processors": 6}"#).is_err());
+        assert!(CellSpec::parse(r#"{"processors": 1}"#).is_err());
+        assert!(CellSpec::parse(r#"{"processors": 65}"#).is_err());
+        assert!(CellSpec::parse(r#"{"iterations": 0}"#).is_err());
+        assert!(CellSpec::parse(r#"{"fault_pct": 101}"#).is_err());
+        assert!(CellSpec::parse(r#"{"cache": "snoopy"}"#).is_err());
+        assert!(CellSpec::parse(r#"{"cell_spec": 2}"#).is_err());
+        assert!(CellSpec::parse(r#"{"seed": -1}"#).is_err());
+    }
+
+    #[test]
+    fn sweep_expands_deterministically_in_grid_order() {
+        let doc = json::parse(
+            r#"{"schemes": ["process", "instance"], "fabrics": ["dedicated", "shared"],
+                "iterations": [8], "fault_pcts": [0, 30], "seed": 42}"#,
+        )
+        .unwrap();
+        let sweep = SweepSpec::from_json(&doc).unwrap();
+        assert_eq!(sweep.cell_count(), 8);
+        let cells = sweep.expand();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells, sweep.expand(), "expansion must be deterministic");
+        // Outer axis varies slowest.
+        assert!(cells[..4].iter().all(|c| c.scheme == "process"));
+        assert!(cells[4..].iter().all(|c| c.scheme == "instance"));
+        assert_eq!(cells[0].fault_pct, 0);
+        assert_eq!(cells[1].fault_pct, 30);
+        assert!(cells.iter().all(|c| c.seed == 42));
+        // Hashes are pairwise distinct across the grid.
+        let hashes: std::collections::HashSet<String> =
+            cells.iter().map(CellSpec::content_hash).collect();
+        assert_eq!(hashes.len(), cells.len());
+    }
+
+    #[test]
+    fn sweep_rejects_bad_axes_before_admitting_anything() {
+        for bad in [
+            r#"{"schemes": []}"#,
+            r#"{"schemes": "process"}"#,
+            r#"{"schemes": ["quantum"]}"#,
+            r#"{"fabrics": ["warp"]}"#,
+            r#"{"caches": ["victim"]}"#,
+            r#"{"schemes": ["barrier"], "processors": [6]}"#,
+            r#"{"fault_pcts": [200]}"#,
+            r#"{"sweeps": 3}"#,
+        ] {
+            let doc = json::parse(bad).unwrap();
+            assert!(SweepSpec::from_json(&doc).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn default_sweep_is_one_default_cell() {
+        let doc = json::parse("{}").unwrap();
+        let sweep = SweepSpec::from_json(&doc).unwrap();
+        assert_eq!(sweep.cell_count(), 1);
+        assert_eq!(sweep.expand(), vec![CellSpec::default()]);
+    }
+
+    #[test]
+    fn fault_plan_matches_the_intensity() {
+        let quiet = CellSpec::default().fault_plan();
+        assert!(!quiet.is_active());
+        let noisy = CellSpec { fault_pct: 50, seed: 7, ..CellSpec::default() }.fault_plan();
+        assert!(noisy.is_active());
+        assert_eq!(noisy.seed, 7);
+        assert_eq!(noisy, FaultPlan::chaos(7, 50));
+    }
+}

@@ -1,0 +1,226 @@
+//! The content-addressed run store: memo cache + journal + quarantine.
+//!
+//! A [`RunStore`] owns the service's state directory. Completed cells
+//! live in an in-memory map keyed by content hash, backed by the
+//! append-only [`Journal`] for crash-safe resume. Loading re-verifies
+//! **two** layers of integrity per record: the journal line's checksum
+//! (transport-level damage) and the recomputed content hash of the
+//! embedded spec against the stored hash (addressing-level damage — a
+//! record must never be served for a cell it does not describe).
+//! Quarantined cells stay in the map as poison markers, giving the
+//! circuit breaker its memory across restarts; their reproducer JSONs
+//! are written under `quarantine/` for offline replay.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use crate::journal::Journal;
+use crate::record::CellRecord;
+
+/// What loading the store's journal found (surfaced in `/stats` and the
+/// startup log line so damage is visible, not silent).
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Records accepted into the cache.
+    pub replayed: usize,
+    /// Journal lines with checksum/parse damage before the tail.
+    pub corrupt_lines: usize,
+    /// Records whose recomputed spec hash disagreed with the stored one.
+    pub integrity_failures: usize,
+    /// True when the journal ended in a torn append (tolerated).
+    pub truncated_tail: bool,
+}
+
+/// The service's persistent run state.
+#[derive(Debug)]
+pub struct RunStore {
+    records: HashMap<String, CellRecord>,
+    journal: Journal,
+    quarantine_dir: PathBuf,
+    load: LoadReport,
+}
+
+impl RunStore {
+    /// Opens (creating if needed) the store under `state_dir`, replaying
+    /// the journal into the memo cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; journal damage is tolerated and
+    /// reported, never fatal.
+    pub fn open(state_dir: &Path) -> std::io::Result<RunStore> {
+        std::fs::create_dir_all(state_dir)?;
+        let quarantine_dir = state_dir.join("quarantine");
+        std::fs::create_dir_all(&quarantine_dir)?;
+        let journal_path = state_dir.join("journal.log");
+        let replay = Journal::replay(&journal_path)?;
+        let mut load = LoadReport {
+            corrupt_lines: replay.corrupt_lines,
+            truncated_tail: replay.truncated_tail,
+            ..LoadReport::default()
+        };
+        let mut records = HashMap::new();
+        for payload in &replay.payloads {
+            match CellRecord::parse(payload) {
+                Ok(rec) => {
+                    if rec.spec.content_hash() == rec.hash {
+                        // Duplicate hashes keep the last occurrence
+                        // (a re-journaled cell after quarantine review).
+                        records.insert(rec.hash.clone(), rec);
+                        load.replayed += 1;
+                    } else {
+                        load.integrity_failures += 1;
+                    }
+                }
+                Err(_) => load.integrity_failures += 1,
+            }
+        }
+        let journal = Journal::open(&journal_path)?;
+        Ok(RunStore { records, journal, quarantine_dir, load })
+    }
+
+    /// What the journal replay found at open time.
+    pub fn load_report(&self) -> &LoadReport {
+        &self.load
+    }
+
+    /// Cached record for a content hash, if any.
+    pub fn get(&self, hash: &str) -> Option<&CellRecord> {
+        self.records.get(hash)
+    }
+
+    /// Number of cached records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of poisoned (quarantined/violated) records.
+    pub fn poisoned(&self) -> usize {
+        self.records.values().filter(|r| r.is_poisoned()).count()
+    }
+
+    /// Journals and caches a completed cell. The journal append happens
+    /// first: a record the cache can see is always durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal write errors (the record is then *not*
+    /// cached, keeping memory and disk consistent).
+    pub fn insert(&mut self, record: CellRecord) -> std::io::Result<()> {
+        self.journal.append(&record.to_json())?;
+        self.records.insert(record.hash.clone(), record);
+        Ok(())
+    }
+
+    /// Writes a quarantined cell's chaos-format reproducer JSON under
+    /// `quarantine/cell_<hash>.json` for offline `datasync chaos
+    /// --replay`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_reproducer(&self, hash: &str, reproducer: &str) -> std::io::Result<PathBuf> {
+        let path = self.quarantine_dir.join(format!("cell_{hash}.json"));
+        std::fs::write(&path, reproducer)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CellSpec;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "datasync-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn record(iterations: i64, status: &str) -> CellRecord {
+        let spec = CellSpec { iterations, ..CellSpec::default() };
+        CellRecord {
+            hash: spec.content_hash(),
+            spec,
+            status: status.into(),
+            makespan: 100,
+            attempts: 1,
+            budget: 1_000_000,
+            detail: status.into(),
+        }
+    }
+
+    #[test]
+    fn insert_survives_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let mut store = RunStore::open(&dir).unwrap();
+            assert!(store.is_empty());
+            store.insert(record(8, "ok")).unwrap();
+            store.insert(record(9, "quarantined")).unwrap();
+            assert_eq!(store.len(), 2);
+        }
+        let store = RunStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.poisoned(), 1);
+        assert_eq!(store.load_report().replayed, 2);
+        assert_eq!(store.load_report().integrity_failures, 0);
+        let hash = CellSpec { iterations: 8, ..CellSpec::default() }.content_hash();
+        assert_eq!(store.get(&hash).unwrap().status, "ok");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hash_mismatch_is_an_integrity_failure() {
+        let dir = temp_dir("integrity");
+        {
+            let mut store = RunStore::open(&dir).unwrap();
+            let mut bad = record(8, "ok");
+            // An addressing bug: the stored hash names a different cell.
+            bad.hash = CellSpec { iterations: 99, ..CellSpec::default() }.content_hash();
+            store.insert(bad).unwrap();
+            store.insert(record(10, "ok")).unwrap();
+        }
+        let store = RunStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1, "the mismatched record must be dropped");
+        assert_eq!(store.load_report().integrity_failures, 1);
+        assert_eq!(store.load_report().replayed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_hashes_keep_the_last_record() {
+        let dir = temp_dir("dup");
+        {
+            let mut store = RunStore::open(&dir).unwrap();
+            store.insert(record(8, "quarantined")).unwrap();
+            store.insert(record(8, "ok")).unwrap();
+        }
+        let store = RunStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.poisoned(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reproducers_land_in_the_quarantine_dir() {
+        let dir = temp_dir("quarantine");
+        let store = RunStore::open(&dir).unwrap();
+        let path = store
+            .write_reproducer("deadbeefdeadbeef", "{\n  \"chaos_case\": 1\n}\n")
+            .unwrap();
+        assert!(path.ends_with("quarantine/cell_deadbeefdeadbeef.json"));
+        assert!(std::fs::read_to_string(&path).unwrap().contains("chaos_case"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -11,6 +11,7 @@
 //! | [`sim`] | `datasync-sim` | cycle-driven machine: fabric / memory / dispatch / recovery |
 //! | [`core`] | `datasync-core` | the schemes on real threads (PC pools, barriers) |
 //! | [`workloads`] | `datasync-workloads` | relaxation, FFT, PDE, random-loop generators |
+//! | [`serve`] | `datasync-serve` | sweep-as-a-service: HTTP/JSONL server, journaled run cache |
 //!
 //! # Quickstart
 //!
@@ -54,5 +55,6 @@
 pub use datasync_core as core;
 pub use datasync_loopir as loopir;
 pub use datasync_schemes as schemes;
+pub use datasync_serve as serve;
 pub use datasync_sim as sim;
 pub use datasync_workloads as workloads;
