@@ -76,17 +76,21 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
-    // Read until the blank line that ends the head.
+    // Read until the blank line that ends the head, clamping each read
+    // so the buffer never exceeds the cap — the documented 16 KiB limit
+    // is exact, not cap-plus-one-chunk.
     let head_end = loop {
         if let Some(i) = find_head_end(&buf) {
             break i;
         }
-        if buf.len() > MAX_HEAD_BYTES {
+        let room = MAX_HEAD_BYTES.saturating_sub(buf.len());
+        if room == 0 {
             return Err(RequestError::TooLarge(format!(
                 "request head exceeds {MAX_HEAD_BYTES} bytes"
             )));
         }
-        match stream.read(&mut chunk) {
+        let want = room.min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
             Ok(0) => return Err(RequestError::Bad("connection closed mid-request".into())),
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) if is_timeout(&e) => return Err(RequestError::Timeout),
@@ -249,6 +253,17 @@ mod tests {
         let head =
             format!("POST /sweep HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
         client.write_all(head.as_bytes()).unwrap();
+        let err = read_request(&mut server).unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn oversized_heads_are_a_413_at_exactly_the_cap() {
+        let (mut client, mut server) = pair();
+        // A head that never terminates: the server must stop buffering
+        // at the cap, not one read-chunk past it.
+        client.write_all(b"GET / HTTP/1.1\r\nX-Pad: ").unwrap();
+        client.write_all(&vec![b'a'; MAX_HEAD_BYTES + 1024]).unwrap();
         let err = read_request(&mut server).unwrap_err();
         assert_eq!(err.status(), 413);
     }

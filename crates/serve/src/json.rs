@@ -201,17 +201,7 @@ impl Parser<'_> {
                         b'r' => out.push('\r'),
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.at..self.at + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("malformed \\u escape at byte {}", self.at))?;
-                            self.at += 4;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
+                        b'u' => out.push(self.unicode_escape()?),
                         other => {
                             return Err(format!(
                                 "unknown escape '\\{}' at byte {}",
@@ -231,6 +221,51 @@ impl Parser<'_> {
                     self.at += c.len_utf8();
                 }
             }
+        }
+    }
+
+    /// Reads the four hex digits of a `\u` escape (the `\u` itself is
+    /// already consumed).
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.at..self.at + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or("truncated \\u escape")?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| format!("malformed \\u escape at byte {}", self.at))?;
+        self.at += 4;
+        Ok(code)
+    }
+
+    /// Decodes one `\uXXXX` escape body into a scalar. A high surrogate
+    /// must be followed by a `\uDC00`–`\uDFFF` escape and the pair is
+    /// combined into its astral character; unpaired surrogates are
+    /// rejected — replacing them with U+FFFD would silently corrupt
+    /// client strings, and the content hash with them.
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let code = self.hex4()?;
+        match code {
+            0xD800..=0xDBFF => {
+                if self.peek() == Some(b'\\') && self.bytes.get(self.at + 1) == Some(&b'u') {
+                    self.at += 2;
+                    let low_at = self.at;
+                    let low = self.hex4()?;
+                    if !(0xDC00..=0xDFFF).contains(&low) {
+                        return Err(format!(
+                            "high surrogate not followed by a low surrogate at byte {low_at}"
+                        ));
+                    }
+                    let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                    char::from_u32(combined)
+                        .ok_or_else(|| format!("malformed surrogate pair at byte {low_at}"))
+                } else {
+                    Err(format!("unpaired high surrogate ends at byte {}", self.at))
+                }
+            }
+            0xDC00..=0xDFFF => Err(format!("unpaired low surrogate ends at byte {}", self.at)),
+            _ => char::from_u32(code)
+                .ok_or_else(|| format!("invalid \\u escape ends at byte {}", self.at)),
         }
     }
 
@@ -344,6 +379,32 @@ mod tests {
         let original = "quote\" slash\\ newline\n tab\t control\u{1}";
         let doc = format!("{{\"s\": \"{}\"}}", escape(original));
         assert_eq!(parse(&doc).unwrap().get("s").and_then(Json::as_str), Some(original));
+    }
+
+    #[test]
+    fn unicode_escapes_decode_including_surrogate_pairs() {
+        let v = parse(r#"{"s": "\u0041\u00e9\u4e2d"}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("A\u{e9}\u{4e2d}"));
+        // A surrogate pair combines into its astral scalar, not two
+        // replacement characters.
+        let v = parse(r#"{"s": "\ud83d\ude00"}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("\u{1f600}"));
+        let v = parse(r#"{"s": "a\ud83d\ude00b"}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("a\u{1f600}b"));
+    }
+
+    #[test]
+    fn unpaired_surrogates_are_rejected_not_replaced() {
+        for bad in [
+            r#""\ud83d""#,       // lone high surrogate
+            r#""\ud83dxx""#,     // high surrogate then plain text
+            r#""\ud83d\n""#,     // high surrogate then a non-\u escape
+            r#""\ud83d\ud83d""#, // high followed by high
+            r#""\ude00""#,       // lone low surrogate
+            r#""\ude00\ud83d""#, // pair in the wrong order
+        ] {
+            assert!(parse(bad).is_err(), "{bad} should be rejected");
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! summary. A `kill -9` instead loses at most the journal line being
 //! written — the store tolerates that as a truncated tail on restart.
 
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -101,16 +102,16 @@ struct Counters {
     poison_skips: AtomicU64,
     shed: AtomicU64,
     bad_requests: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
+    latencies_us: Mutex<VecDeque<u64>>,
 }
 
 impl Counters {
     fn record_latency(&self, us: u64) {
         let mut ring = self.latencies_us.lock().unwrap_or_else(|e| e.into_inner());
         if ring.len() >= 4096 {
-            ring.remove(0);
+            ring.pop_front();
         }
-        ring.push(us);
+        ring.push_back(us);
     }
 
     fn p99_us(&self) -> u64 {
@@ -118,7 +119,7 @@ impl Counters {
         if ring.is_empty() {
             return 0;
         }
-        let mut sorted = ring.clone();
+        let mut sorted: Vec<u64> = ring.iter().copied().collect();
         sorted.sort_unstable();
         sorted[(sorted.len() - 1) * 99 / 100]
     }
@@ -399,21 +400,25 @@ fn handle_sweep(shared: &Shared, stream: &mut TcpStream, body: &str) {
             return;
         }
     };
-    let cells = sweep.expand();
-    if cells.len() > shared.config.max_cells {
+    // Cap-check on the axis lengths alone (`cell_count` saturates on
+    // overflow) — expansion only happens for grids already under the
+    // cap, so a small body cross-multiplying into billions of cells
+    // costs nothing before its 413.
+    let cell_count = sweep.cell_count();
+    if cell_count > shared.config.max_cells {
         shared.counters.bad_requests.fetch_add(1, Ordering::SeqCst);
         http::respond_error(
             stream,
             413,
             &format!(
-                "sweep expands to {} cells, per-request cap is {} — split the grid",
-                cells.len(),
+                "sweep expands to {cell_count} cells, per-request cap is {} — split the grid",
                 shared.config.max_cells
             ),
             None,
         );
         return;
     }
+    let cells = sweep.expand();
     let Some(mut ticket) = shared.admission.try_admit(cells.len()) else {
         shared.counters.shed.fetch_add(1, Ordering::SeqCst);
         http::respond_error(
@@ -661,6 +666,25 @@ mod tests {
             r#"{"iterations": [1, 2, 3, 4, 5], "seed": 1}"#,
         );
         assert!(big.starts_with("HTTP/1.1 413"), "{big}");
+        // A small body whose axes cross-multiply into millions of cells
+        // is shed by the cap before any expansion allocates.
+        let iterations: Vec<String> = (1..=1000).map(|i| i.to_string()).collect();
+        let fault_pcts: Vec<String> = (0..=100).map(|p| p.to_string()).collect();
+        let hostile = format!(
+            r#"{{"schemes": ["reference", "instance", "statement", "process"],
+                "fabrics": ["dedicated", "shared", "ideal"],
+                "iterations": [{}], "processors": [2, 4, 8, 16],
+                "caches": ["none", "mesi", "dragon"], "fault_pcts": [{}]}}"#,
+            iterations.join(","),
+            fault_pcts.join(",")
+        );
+        let started = std::time::Instant::now();
+        let storm = request(handle.addr(), "POST", "/sweep", &hostile);
+        assert!(storm.starts_with("HTTP/1.1 413"), "{storm}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the cap must fire before grid expansion"
+        );
         let summary = handle.stop();
         assert_eq!(summary.sweeps, 0);
         let _ = std::fs::remove_dir_all(&dir);

@@ -201,28 +201,11 @@ impl CellSpec {
     ///
     /// Returns a human-readable rejection reason.
     pub fn validate(&self) -> Result<(), String> {
-        if !SCHEME_KEYS.contains(&self.scheme.as_str()) {
-            return Err(format!(
-                "unknown scheme `{}` (expected one of {SCHEME_KEYS:?})",
-                self.scheme
-            ));
-        }
-        if self.scheme == "barrier" && !self.processors.is_power_of_two() {
-            return Err(format!(
-                "barrier scheme needs a power-of-two machine, got {} processors",
-                self.processors
-            ));
-        }
-        if !(1..=100_000).contains(&self.iterations) {
-            return Err(format!("iterations must be 1..=100000, got {}", self.iterations));
-        }
-        if !(2..=64).contains(&self.processors) {
-            return Err(format!("processors must be 2..=64, got {}", self.processors));
-        }
-        if self.fault_pct > 100 {
-            return Err(format!("fault_pct must be 0..=100, got {}", self.fault_pct));
-        }
-        Ok(())
+        check_scheme(&self.scheme)?;
+        check_barrier_machine(&self.scheme, self.processors)?;
+        check_iterations(self.iterations)?;
+        check_processors(self.processors)?;
+        check_fault_pct(self.fault_pct)
     }
 
     /// The cell's fault plan: bounded chaos at `fault_pct` (the service
@@ -236,6 +219,49 @@ impl CellSpec {
             FaultPlan { seed: self.seed, ..FaultPlan::none() }
         }
     }
+}
+
+/// Per-field admission checks, shared between [`CellSpec::validate`]
+/// and the expansion-free sweep validation in
+/// [`SweepSpec::validate_axes`] so the two can never drift apart.
+fn check_scheme(scheme: &str) -> Result<(), String> {
+    if SCHEME_KEYS.contains(&scheme) {
+        Ok(())
+    } else {
+        Err(format!("unknown scheme `{scheme}` (expected one of {SCHEME_KEYS:?})"))
+    }
+}
+
+fn check_barrier_machine(scheme: &str, processors: usize) -> Result<(), String> {
+    if scheme == "barrier" && !processors.is_power_of_two() {
+        return Err(format!(
+            "barrier scheme needs a power-of-two machine, got {processors} processors"
+        ));
+    }
+    Ok(())
+}
+
+fn check_iterations(iterations: i64) -> Result<(), String> {
+    if (1..=100_000).contains(&iterations) {
+        Ok(())
+    } else {
+        Err(format!("iterations must be 1..=100000, got {iterations}"))
+    }
+}
+
+fn check_processors(processors: usize) -> Result<(), String> {
+    if (2..=64).contains(&processors) {
+        Ok(())
+    } else {
+        Err(format!("processors must be 2..=64, got {processors}"))
+    }
+}
+
+fn check_fault_pct(fault_pct: u32) -> Result<(), String> {
+    if fault_pct > 100 {
+        return Err(format!("fault_pct must be 0..=100, got {fault_pct}"));
+    }
+    Ok(())
 }
 
 /// Builds a [`CacheModel`] from the wire vocabulary (`none` or a
@@ -370,21 +396,60 @@ impl SweepSpec {
                 Some(v) => v.as_u64().ok_or("`deadline_cycles` must be a non-negative integer")?,
             },
         };
-        // Validate every cell the grid implies before admitting any.
-        for cell in spec.expand() {
-            cell.validate()?;
-        }
+        // Validate every cell the grid implies — element-wise, never by
+        // expanding: a small request body can cross-multiply into
+        // billions of cells, and materializing them here would be a
+        // remote OOM before any cap is consulted.
+        spec.validate_axes()?;
         Ok(spec)
     }
 
-    /// Number of cells the grid expands to.
+    /// Rejects any grid whose expansion would contain an invalid cell,
+    /// in time linear in the axis lengths and without materializing a
+    /// single [`CellSpec`]. Equivalent to validating `expand()` cell by
+    /// cell because every [`CellSpec::validate`] rule reads one field —
+    /// except the barrier/machine-size rule, whose cross product
+    /// collapses to "if any scheme is `barrier`, every machine size
+    /// must be a power of two".
+    ///
+    /// # Errors
+    ///
+    /// Returns the first rejection reason, phrased as
+    /// [`CellSpec::validate`] would phrase it.
+    pub fn validate_axes(&self) -> Result<(), String> {
+        for scheme in &self.schemes {
+            check_scheme(scheme)?;
+        }
+        if self.schemes.iter().any(|s| s == "barrier") {
+            for &processors in &self.processors {
+                check_barrier_machine("barrier", processors)?;
+            }
+        }
+        for &iterations in &self.iterations {
+            check_iterations(iterations)?;
+        }
+        for &processors in &self.processors {
+            check_processors(processors)?;
+        }
+        for &fault_pct in &self.fault_pcts {
+            check_fault_pct(fault_pct)?;
+        }
+        Ok(())
+    }
+
+    /// Number of cells the grid expands to, saturating at `usize::MAX`
+    /// on overflow so a hostile cross product still compares as "too
+    /// large" against any cap instead of wrapping past it.
     pub fn cell_count(&self) -> usize {
-        self.schemes.len()
-            * self.fabrics.len()
-            * self.iterations.len()
-            * self.processors.len()
-            * self.caches.len()
-            * self.fault_pcts.len()
+        [
+            self.fabrics.len(),
+            self.iterations.len(),
+            self.processors.len(),
+            self.caches.len(),
+            self.fault_pcts.len(),
+        ]
+        .iter()
+        .fold(self.schemes.len(), |count, &axis| count.saturating_mul(axis))
     }
 
     /// Expands the grid into cells in a fixed nesting order (schemes,
@@ -575,6 +640,75 @@ mod tests {
         ] {
             let doc = json::parse(bad).unwrap();
             assert!(SweepSpec::from_json(&doc).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn hostile_cross_products_validate_without_expanding() {
+        // ~1.9 billion implied cells in a small body: admission-time
+        // validation must be linear in the axis lengths, not the grid.
+        let mut iterations = String::new();
+        for i in 1..=1000 {
+            if i > 1 {
+                iterations.push(',');
+            }
+            iterations.push_str(&i.to_string());
+        }
+        let fault_pcts: Vec<String> = (0..=100).map(|p| p.to_string()).collect();
+        let body = format!(
+            r#"{{"schemes": ["reference", "instance", "statement", "process", "barrier"],
+                "fabrics": ["dedicated", "shared", "ideal"],
+                "iterations": [{iterations}],
+                "processors": [2, 4, 8, 16],
+                "caches": ["none", "mesi", "dragon"],
+                "fault_pcts": [{}]}}"#,
+            fault_pcts.join(",")
+        );
+        let started = std::time::Instant::now();
+        let sweep = SweepSpec::from_json(&json::parse(&body).unwrap()).unwrap();
+        assert_eq!(sweep.cell_count(), 5 * 3 * 1000 * 4 * 3 * 101);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "validation must not expand the grid"
+        );
+        // An invalid element is still caught without expansion.
+        let bad = body.replace("\"processors\": [2, 4, 8, 16]", "\"processors\": [2, 4, 8, 6]");
+        let err = SweepSpec::from_json(&json::parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("power-of-two"), "{err}");
+    }
+
+    #[test]
+    fn cell_count_saturates_instead_of_wrapping() {
+        // Six axes of 2^11 elements imply 2^66 cells — past usize on
+        // 64-bit targets. A wrapped count could sneak under a cap.
+        let axis = 1usize << 11;
+        let sweep = SweepSpec {
+            schemes: vec!["process".into(); axis],
+            fabrics: vec![FabricKind::Dedicated; axis],
+            iterations: vec![8; axis],
+            processors: vec![4; axis],
+            caches: vec!["none".into(); axis],
+            fault_pcts: vec![0; axis],
+            seed: 0,
+            deadline_cycles: 0,
+        };
+        assert_eq!(sweep.cell_count(), usize::MAX);
+    }
+
+    #[test]
+    fn validate_axes_matches_per_cell_validation() {
+        // On small grids the element-wise check must agree with
+        // expanding and validating cell by cell.
+        let grids = [
+            r#"{"schemes": ["barrier"], "processors": [2, 4]}"#,
+            r#"{"schemes": ["process", "barrier"], "processors": [4, 8], "fault_pcts": [0, 50]}"#,
+        ];
+        for grid in grids {
+            let sweep = SweepSpec::from_json(&json::parse(grid).unwrap()).unwrap();
+            assert!(sweep.validate_axes().is_ok());
+            for cell in sweep.expand() {
+                cell.validate().unwrap();
+            }
         }
     }
 
