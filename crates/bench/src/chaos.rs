@@ -77,7 +77,20 @@ impl ChaosCase {
         if scheme == "barrier" && !processors.is_power_of_two() {
             processors = 4;
         }
-        let fabric = FabricKind::ALL[rng.range_usize(0, FabricKind::ALL.len() - 1)];
+        let mut fabric = FabricKind::ALL[rng.range_usize(0, FabricKind::ALL.len() - 1)];
+        // One cell in three swaps the flat fabric for the two-level
+        // clustered one, drawing a cluster count that divides P plus a
+        // bridge latency and coalescing window.
+        if rng.chance_pct(33) {
+            let divisors: Vec<u32> = (1..=processors as u32)
+                .filter(|c| (processors as u32).is_multiple_of(*c))
+                .collect();
+            fabric = FabricKind::Clustered {
+                clusters: divisors[rng.range_usize(0, divisors.len() - 1)],
+                bridge_latency: rng.range_u32(1, 4),
+                coalesce_window: rng.range_u32(0, 8),
+            };
+        }
         let iterations = rng.range_i64(4, 14);
         // Two cells in five run with private caches, split across the
         // protocols, geometries and the sync-cacheability bit.
@@ -160,7 +173,16 @@ impl ChaosCase {
             }
         };
         let _ = writeln!(out, "  \"cache\": \"{cache_word}\",");
+        let (clusters, bridge_latency, coalesce_window) = match self.fabric {
+            FabricKind::Clustered { clusters, bridge_latency, coalesce_window } => {
+                (clusters, bridge_latency, coalesce_window)
+            }
+            _ => (0, 0, 0),
+        };
         for (key, val) in [
+            ("clusters", clusters),
+            ("bridge_latency", bridge_latency),
+            ("coalesce_window", coalesce_window),
             ("cache_sets", sets),
             ("cache_assoc", assoc),
             ("cache_line", line),
@@ -221,8 +243,22 @@ impl ChaosCase {
             return Err("unsupported chaos_case version".into());
         }
         let fabric_name = text(doc, "fabric")?;
-        let fabric = FabricKind::parse(&fabric_name)
+        let mut fabric = FabricKind::parse(&fabric_name)
             .ok_or_else(|| format!("unknown fabric `{fabric_name}`"))?;
+        // Reproducers written before the clustered fabric existed (and
+        // hand-written docs) may omit the geometry: keep `parse`'s
+        // defaults for any missing field.
+        if let FabricKind::Clustered { clusters, bridge_latency, coalesce_window } = &mut fabric {
+            if let Ok(v) = n32("clusters") {
+                *clusters = v;
+            }
+            if let Ok(v) = n32("bridge_latency") {
+                *bridge_latency = v;
+            }
+            if let Ok(v) = n32("coalesce_window") {
+                *coalesce_window = v;
+            }
+        }
         // Pre-cache reproducer files carry no cache fields: cacheless.
         let cache = match text(doc, "cache").ok().as_deref() {
             None | Some("none") => CacheModel::None,
@@ -405,6 +441,33 @@ pub fn run_case(case: &ChaosCase) -> Result<(), String> {
     if out.stats.recovery.reconfigured() && out.stats.faults.fail_stops == 0 {
         return Err("phantom reconfiguration: rescue rungs fired with no fail-stop".into());
     }
+    // Broadcast conservation on fault-free control cells (faults add
+    // redeliveries and refresh grants on top, so only the clean cells
+    // pin the identities exactly): issued ops fold into broadcasts +
+    // coalesced, and on the clustered fabric every broadcast either
+    // crosses the bridge or aggregates into a pending forward.
+    let fault_free = case.plan == FaultPlan { seed: case.plan.seed, ..FaultPlan::none() };
+    if fault_free {
+        if out.stats.sync_ops_issued != out.stats.sync_broadcasts + out.stats.coalesced_writes {
+            return Err(format!(
+                "conservation leak: {} issued != {} broadcasts + {} coalesced",
+                out.stats.sync_ops_issued, out.stats.sync_broadcasts, out.stats.coalesced_writes
+            ));
+        }
+        if case.fabric.is_clustered() {
+            if out.stats.sync_broadcasts != out.stats.bridge_broadcasts + out.stats.bridge_coalesced
+            {
+                return Err(format!(
+                    "bridge conservation leak: {} broadcasts != {} bridged + {} aggregated",
+                    out.stats.sync_broadcasts,
+                    out.stats.bridge_broadcasts,
+                    out.stats.bridge_coalesced
+                ));
+            }
+        } else if out.stats.bridge_broadcasts + out.stats.bridge_coalesced != 0 {
+            return Err("phantom bridge traffic on a flat fabric".into());
+        }
+    }
     Ok(())
 }
 
@@ -458,6 +521,15 @@ pub fn shrink_with(case: &ChaosCase, fails: impl Fn(&ChaosCase) -> bool) -> Chao
                 improved = true;
             }
         }
+        // Flatten the fabric: a reproducer on the plain dedicated bus
+        // beats a two-level one.
+        if current.fabric.is_clustered() {
+            let cand = ChaosCase { fabric: FabricKind::Dedicated, ..current.clone() };
+            if fails(&cand) {
+                current = cand;
+                improved = true;
+            }
+        }
         // Shrink the workload, then the machine.
         if current.iterations > 2 {
             let cand = ChaosCase { iterations: current.iterations / 2, ..current.clone() };
@@ -467,7 +539,12 @@ pub fn shrink_with(case: &ChaosCase, fails: impl Fn(&ChaosCase) -> bool) -> Chao
             }
         }
         if current.processors > 2 {
-            let cand = ChaosCase { processors: 2, ..current.clone() };
+            let mut cand = ChaosCase { processors: 2, ..current.clone() };
+            // Keep a surviving clustered geometry legal on the smaller
+            // machine (the cluster count must divide P).
+            if let FabricKind::Clustered { clusters, .. } = &mut cand.fabric {
+                *clusters = (*clusters).min(2);
+            }
             if fails(&cand) {
                 current = cand;
                 improved = true;
@@ -580,6 +657,70 @@ mod tests {
         assert_eq!(back.cache, CacheModel::None);
         assert_eq!(back.plan, case.plan);
         assert_eq!(back.scheme, case.scheme);
+    }
+
+    #[test]
+    fn clustered_cells_appear_with_legal_geometry_and_round_trip() {
+        let cells: Vec<ChaosCase> = (0..60).map(|i| ChaosCase::generate(1989, i)).collect();
+        let clustered: Vec<&ChaosCase> = cells.iter().filter(|c| c.fabric.is_clustered()).collect();
+        assert!(!clustered.is_empty(), "the clustered-fabric axis must appear in the mix");
+        for case in clustered {
+            let FabricKind::Clustered { clusters, .. } = case.fabric else { unreachable!() };
+            assert!(
+                clusters >= 1 && (case.processors as u32).is_multiple_of(clusters),
+                "clusters ({clusters}) must divide P ({})",
+                case.processors
+            );
+            let doc = case.to_json();
+            let back = ChaosCase::from_json(&doc).expect("parse clustered doc");
+            assert_eq!(*case, back, "round trip changed the clustered case:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn pre_clustered_reproducer_files_still_parse() {
+        // A pre-clustered-era reproducer carries no cluster fields at all.
+        let case = (0..60)
+            .map(|i| ChaosCase::generate(7, i))
+            .find(|c| !c.fabric.is_clustered())
+            .expect("some cells stay on flat fabrics");
+        let strip = |doc: &str| -> String {
+            doc.lines()
+                .filter(|l| {
+                    !l.contains("clusters")
+                        && !l.contains("bridge_latency")
+                        && !l.contains("coalesce_window")
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let doc = case.to_json();
+        let back = ChaosCase::from_json(&strip(&doc)).expect("parse stripped flat doc");
+        assert_eq!(back, case);
+        // A hand-written clustered doc without geometry fields keeps the
+        // parse defaults rather than erroring.
+        let clustered_doc =
+            doc.replace(&format!("\"fabric\": \"{}\"", case.fabric), "\"fabric\": \"clustered\"");
+        let back = ChaosCase::from_json(&strip(&clustered_doc)).expect("parse geometry-free doc");
+        assert_eq!(back.fabric, FabricKind::clustered(4));
+    }
+
+    #[test]
+    fn shrinker_flattens_the_fabric_and_keeps_cluster_geometry_legal() {
+        let mut case = ChaosCase::generate(1989, 0);
+        case.processors = 4;
+        case.fabric = FabricKind::Clustered { clusters: 4, bridge_latency: 3, coalesce_window: 8 };
+        // A predicate indifferent to the fabric lets the shrinker flatten it.
+        let min = shrink_with(&case, |_| true);
+        assert!(!min.fabric.is_clustered(), "shrinker should flatten the fabric: {min:?}");
+        // A predicate that needs the clustered fabric forces the P move to
+        // keep the cluster count dividing the shrunk machine.
+        let min = shrink_with(&case, |c| c.fabric.is_clustered());
+        assert_eq!(min.processors, 2);
+        let FabricKind::Clustered { clusters, .. } = min.fabric else {
+            panic!("fabric must stay clustered under this predicate")
+        };
+        assert_eq!(2 % clusters, 0, "clusters ({clusters}) must divide the shrunk P");
     }
 
     #[test]

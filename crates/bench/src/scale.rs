@@ -9,6 +9,18 @@
 //! *events*, not processors, so simulated cycles/second should stay
 //! flat-ish while the machine grows 128-fold.
 //!
+//! Alongside the per-scheme kernel-throughput curves, the sweep carries
+//! a **fabric ablation**: a barrier hot-spot microbenchmark (every
+//! processor RMWs one counter each round, then waits for the round
+//! total — pure sync-transport traffic, no data accesses) run on the
+//! flat dedicated bus and on the clustered two-level fabric with
+//! `max(2, P/32)` clusters, out to P = 4096. The flat bus serializes
+//! all P updates per round, so its makespan grows linearly in P; the
+//! clustered fabric grants cluster buses in parallel and aggregates
+//! same-variable submissions at the bridge, holding the round cost
+//! near-constant — the P-scaling story the two-level topology exists
+//! to tell.
+//!
 //! The report serializes to `BENCH_scale.json` (hand-rolled JSON — the
 //! workspace is dependency-free).
 
@@ -20,13 +32,15 @@ use datasync_schemes::scheme::Scheme;
 use datasync_schemes::{
     BarrierPhased, InstanceBased, ProcessOriented, ReferenceBased, StatementOriented,
 };
-use datasync_sim::MachineConfig;
+use datasync_sim::{FabricKind, Instr, Machine, MachineConfig, Pred, Program, StepMode, Workload};
 
 /// One (scheme, P) measurement on the scaling curve.
 #[derive(Debug, Clone)]
 pub struct ScalePoint {
     /// Processors simulated.
     pub procs: usize,
+    /// Cluster count of the two-level geometry (0 = flat fabric).
+    pub clusters: u32,
     /// Makespan of the run (simulated cycles).
     pub makespan: u64,
     /// Wall-clock seconds per run (median of three).
@@ -40,6 +54,10 @@ pub struct ScalePoint {
 pub struct SchemeCurve {
     /// Scheme family label (stable across P).
     pub scheme: String,
+    /// Sync-fabric backend the curve ran on (`dedicated` for the
+    /// natural-transport scheme curves, `clustered` for the two-level
+    /// side of the fabric ablation).
+    pub fabric: String,
     /// One point per processor count, in ascending P order.
     pub points: Vec<ScalePoint>,
 }
@@ -64,12 +82,16 @@ impl ScaleReport {
         out.push_str(&format!("  \"procs\": [{}],\n", axis.join(", ")));
         out.push_str("  \"schemes\": [\n");
         for (i, curve) in self.curves.iter().enumerate() {
-            out.push_str(&format!("    {{\"scheme\": \"{}\", \"points\": [\n", curve.scheme));
+            out.push_str(&format!(
+                "    {{\"scheme\": \"{}\", \"fabric\": \"{}\", \"points\": [\n",
+                curve.scheme, curve.fabric
+            ));
             for (j, pt) in curve.points.iter().enumerate() {
                 out.push_str(&format!(
-                    "      {{\"procs\": {}, \"makespan\": {}, \"wall_seconds\": {:.6}, \
-                     \"cycles_per_sec\": {:.0}}}{}\n",
+                    "      {{\"procs\": {}, \"clusters\": {}, \"makespan\": {}, \
+                     \"wall_seconds\": {:.6}, \"cycles_per_sec\": {:.0}}}{}\n",
                     pt.procs,
+                    pt.clusters,
                     pt.makespan,
                     pt.wall_seconds,
                     pt.cycles_per_sec,
@@ -91,12 +113,37 @@ impl ScaleReport {
             out.push_str(&format!(" {:>10}", format!("P={p}")));
         }
         out.push('\n');
-        for curve in &self.curves {
+        for curve in self.curves.iter().filter(|c| c.scheme != HOTSPOT_SCHEME) {
             out.push_str(&format!("{:<16}", curve.scheme));
             for pt in &curve.points {
                 out.push_str(&format!(" {:>10}", human_rate(pt.cycles_per_sec)));
             }
             out.push('\n');
+        }
+        // The ablation's punchline: simulated makespan by P, flat vs
+        // clustered, on the same hot-spot workload (its own P axis, so
+        // it gets its own table).
+        let ablation: Vec<&SchemeCurve> =
+            self.curves.iter().filter(|c| c.scheme == HOTSPOT_SCHEME).collect();
+        if let Some(first) = ablation.first() {
+            out.push_str("\nbarrier hot-spot makespan (simulated cycles) by fabric\n");
+            out.push_str(&format!("{:<16}", "fabric"));
+            for pt in &first.points {
+                out.push_str(&format!(" {:>12}", format!("P={}", pt.procs)));
+            }
+            out.push('\n');
+            for curve in ablation {
+                out.push_str(&format!("{:<16}", curve.fabric));
+                for pt in &curve.points {
+                    let geom = if pt.clusters > 0 {
+                        format!("{} (c{})", pt.makespan, pt.clusters)
+                    } else {
+                        pt.makespan.to_string()
+                    };
+                    out.push_str(&format!(" {geom:>12}"));
+                }
+                out.push('\n');
+            }
         }
         out
     }
@@ -128,8 +175,53 @@ fn build_scheme(label: &str, procs: usize) -> Box<dyn Scheme> {
 /// Scheme families on the curve (each on its natural transport).
 pub const SCHEMES: [&str; 5] = ["process", "statement", "barrier-phased", "reference", "instance"];
 
+/// Label of the fabric-ablation curves (one per fabric).
+pub const HOTSPOT_SCHEME: &str = "barrier-hotspot";
+
+/// Hot-spot rounds per processor in the fabric ablation.
+const HOTSPOT_ROUNDS: u64 = 4;
+
+/// Compute cycles between hot-spot rounds (enough that processors
+/// arrive staggered, small enough that the sync transport dominates).
+const HOTSPOT_COMPUTE: u32 = 200;
+
+/// Cluster geometry used for the clustered side of the ablation.
+fn hotspot_clusters(p: usize) -> u32 {
+    (p / 32).max(2) as u32
+}
+
+/// The barrier hot-spot microbenchmark: each processor runs
+/// `HOTSPOT_ROUNDS` rounds of compute → RMW one shared counter → wait
+/// for the round total. All sync, no data accesses — the transport is
+/// the whole story.
+fn hotspot_workload(p: usize) -> Workload {
+    let programs: Vec<Program> = (0..p)
+        .map(|_| {
+            // alloc-ok: setup
+            let mut instrs = Vec::with_capacity(3 * HOTSPOT_ROUNDS as usize);
+            for r in 1..=HOTSPOT_ROUNDS {
+                instrs.push(Instr::Compute(HOTSPOT_COMPUTE));
+                instrs.push(Instr::SyncRmw { var: 0 });
+                instrs.push(Instr::SyncWait { var: 0, pred: Pred::Geq(r * p as u64) });
+            }
+            Program::from_instrs(instrs)
+        })
+        .collect();
+    Workload::static_assigned(programs, (0..p).map(|i| vec![i]).collect())
+}
+
+/// Runs the hot-spot workload on one fabric, returning its makespan.
+fn hotspot_makespan(p: usize, fabric: FabricKind) -> u64 {
+    let config = MachineConfig { sync_fabric: fabric, ..MachineConfig::with_processors(p) };
+    let w = hotspot_workload(p);
+    let mut m = Machine::new(&config, &w);
+    m.set_mode(StepMode::FastForward);
+    m.run_to_completion().expect("hot-spot workload must complete").stats.makespan
+}
+
 /// Runs the scaling sweep. `quick` caps the P axis and shrinks costs for
-/// smoke runs; the full axis is P = 8 → 1024.
+/// smoke runs; the full axis is P = 8 → 1024 for the scheme curves and
+/// P = 8 → 4096 for the fabric ablation.
 ///
 /// # Panics
 ///
@@ -142,7 +234,11 @@ pub fn run(quick: bool) -> ScaleReport {
     let inflate = move |_id, _pid| cost;
     let mut curves: Vec<SchemeCurve> = SCHEMES
         .iter()
-        .map(|s| SchemeCurve { scheme: (*s).to_string(), points: Vec::new() })
+        .map(|s| SchemeCurve {
+            scheme: (*s).to_string(),
+            fabric: "dedicated".to_string(),
+            points: Vec::new(),
+        })
         .collect();
     for &p in &procs {
         // Size the loop to the machine so every processor has work.
@@ -164,16 +260,64 @@ pub fn run(quick: bool) -> ScaleReport {
             });
             curve.points.push(ScalePoint {
                 procs: p,
+                clusters: 0,
                 makespan,
                 wall_seconds,
                 cycles_per_sec: makespan as f64 / wall_seconds,
             });
         }
     }
+    // Fabric ablation: the same hot-spot workload on the flat dedicated
+    // bus and on the clustered two-level fabric, out past the scheme
+    // curves' axis — the flat bus's linear-in-P round cost against the
+    // clustered fabric's near-constant one.
+    let ablation_procs: Vec<usize> =
+        if quick { vec![8, 16, 32] } else { vec![8, 32, 128, 256, 512, 1024, 2048, 4096] };
+    let mut flat_curve = SchemeCurve {
+        scheme: HOTSPOT_SCHEME.to_string(),
+        fabric: "dedicated".to_string(),
+        points: Vec::new(),
+    };
+    let mut clustered_curve = SchemeCurve {
+        scheme: HOTSPOT_SCHEME.to_string(),
+        fabric: "clustered".to_string(),
+        points: Vec::new(),
+    };
+    for &p in &ablation_procs {
+        for (curve, fabric, clusters) in [
+            (&mut flat_curve, FabricKind::Dedicated, 0u32),
+            (
+                &mut clustered_curve,
+                FabricKind::Clustered {
+                    clusters: hotspot_clusters(p),
+                    bridge_latency: 2,
+                    coalesce_window: 4,
+                },
+                hotspot_clusters(p),
+            ),
+        ] {
+            let makespan = hotspot_makespan(p, fabric);
+            let wall_seconds = time_runs(|| {
+                let _ = hotspot_makespan(p, fabric);
+            });
+            curve.points.push(ScalePoint {
+                procs: p,
+                clusters,
+                makespan,
+                wall_seconds,
+                cycles_per_sec: makespan as f64 / wall_seconds,
+            });
+        }
+    }
+    curves.push(flat_curve);
+    curves.push(clustered_curve);
     ScaleReport {
         workload: format!(
             "fig 2.1 Doacross, 2P iterations, {cost}cy statements, \
-             every scheme on its natural transport"
+             every scheme on its natural transport; plus a barrier \
+             hot-spot fabric ablation ({HOTSPOT_ROUNDS} rounds, \
+             {HOTSPOT_COMPUTE}cy compute) on dedicated vs clustered \
+             (P/32 clusters, bridge latency 2, coalesce window 4)"
         ),
         procs,
         curves,
@@ -188,23 +332,56 @@ mod tests {
     fn quick_curve_covers_every_scheme_and_serializes() {
         let r = run(true);
         assert_eq!(r.procs, vec![8, 16, 32]);
-        assert_eq!(r.curves.len(), SCHEMES.len());
+        // The 5 scheme curves plus the two fabric-ablation curves.
+        assert_eq!(r.curves.len(), SCHEMES.len() + 2);
         for curve in &r.curves {
             assert_eq!(curve.points.len(), r.procs.len(), "{}", curve.scheme);
             for (pt, p) in curve.points.iter().zip(&r.procs) {
                 assert_eq!(pt.procs, *p);
                 assert!(pt.makespan > 0, "{}", curve.scheme);
                 assert!(pt.cycles_per_sec > 0.0, "{}", curve.scheme);
+                if curve.fabric == "clustered" {
+                    assert!(pt.clusters >= 2, "{}: missing cluster geometry", curve.scheme);
+                } else {
+                    assert_eq!(pt.clusters, 0, "{}: flat points must record 0", curve.scheme);
+                }
             }
         }
         let json = r.to_json();
-        for key in ["\"workload\"", "\"procs\"", "\"schemes\"", "\"cycles_per_sec\""] {
+        for key in
+            ["\"workload\"", "\"procs\"", "\"schemes\"", "\"cycles_per_sec\"", "\"clusters\""]
+        {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(json.contains("\"scheme\": \"barrier-phased\""), "{json}");
+        assert!(json.contains("\"fabric\": \"clustered\""), "{json}");
+        assert!(json.contains("\"fabric\": \"dedicated\""), "{json}");
         let s = r.summary();
         assert!(s.contains("P=32"), "{s}");
         assert!(s.contains("instance"), "{s}");
+        assert!(s.contains("barrier hot-spot makespan"), "{s}");
+    }
+
+    #[test]
+    fn hotspot_ablation_clustered_beats_flat_at_scale() {
+        // The acceptance bar for the two-level fabric: at P = 1024 the
+        // clustered makespan must be at least 2x better than the flat
+        // dedicated bus on the same workload (it is ~5x in practice —
+        // the flat bus serializes all 1024 RMWs per round, the clusters
+        // run 32-wide grants in parallel and the bridge aggregates).
+        let flat = hotspot_makespan(1024, FabricKind::Dedicated);
+        let clustered = hotspot_makespan(
+            1024,
+            FabricKind::Clustered {
+                clusters: hotspot_clusters(1024),
+                bridge_latency: 2,
+                coalesce_window: 4,
+            },
+        );
+        assert!(
+            flat >= 2 * clustered,
+            "clustered must be >=2x better at P=1024: flat {flat} vs clustered {clustered}"
+        );
     }
 
     #[test]

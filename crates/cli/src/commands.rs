@@ -18,10 +18,28 @@ use datasync_sim::{CacheModel, CoherenceProtocol, FabricKind, MachineConfig};
 use std::fmt::Write as _;
 
 /// Parses `--fabric` (defaulting to the paper's dedicated sync bus).
+/// `--fabric clustered` opens the two-level geometry knobs:
+/// `--clusters N` (must divide P), `--bridge-latency L` and
+/// `--coalesce-window W`; giving any of those with a flat fabric is an
+/// error so a typo cannot silently fall back to a flat topology.
 fn parse_fabric(p: &Parsed) -> Result<FabricKind, String> {
     let word = p.get("fabric").unwrap_or("dedicated");
-    FabricKind::parse(word)
-        .ok_or_else(|| format!("unknown --fabric '{word}' (dedicated | shared | ideal)"))
+    let kind = FabricKind::parse(word).ok_or_else(|| {
+        format!("unknown --fabric '{word}' (dedicated | shared | ideal | clustered)")
+    })?;
+    if let FabricKind::Clustered { clusters, bridge_latency, coalesce_window } = kind {
+        return Ok(FabricKind::Clustered {
+            clusters: p.get_u64("clusters", u64::from(clusters))? as u32,
+            bridge_latency: p.get_u64("bridge-latency", u64::from(bridge_latency))? as u32,
+            coalesce_window: p.get_u64("coalesce-window", u64::from(coalesce_window))? as u32,
+        });
+    }
+    for knob in ["clusters", "bridge-latency", "coalesce-window"] {
+        if p.get(knob).is_some() {
+            return Err(format!("--{knob} requires --fabric clustered (got '{word}')"));
+        }
+    }
+    Ok(kind)
 }
 
 /// Parses the private-cache knobs: `--cache none|mesi|dragon` selects
@@ -145,6 +163,9 @@ pub fn simulate(p: &Parsed) -> Result<String, CliError> {
         "x",
         "banks",
         "fabric",
+        "clusters",
+        "bridge-latency",
+        "coalesce-window",
         "timeline",
         "cache",
         "cache-sets",
@@ -237,6 +258,9 @@ pub fn compare(p: &Parsed) -> Result<String, CliError> {
         "procs",
         "x",
         "fabric",
+        "clusters",
+        "bridge-latency",
+        "coalesce-window",
         "cache",
         "cache-sets",
         "cache-assoc",
@@ -257,6 +281,7 @@ pub fn compare(p: &Parsed) -> Result<String, CliError> {
     };
     base.validate().map_err(datasync_sim::SimError::BadConfig)?;
     let cached = base.cache.enabled();
+    let clustered = base.sync_fabric.is_clustered();
     let rows = datasync_schemes::compare::compare_all(&nest, &graph, &space, &base, x)?;
     let mut text = String::new();
     let _ = write!(
@@ -275,6 +300,9 @@ pub fn compare(p: &Parsed) -> Result<String, CliError> {
         "wait max",
         "violations"
     );
+    if clustered {
+        let _ = write!(text, " {:>7} {:>8} {:>7}", "bridge%", "bridged", "aggr");
+    }
     if cached {
         let _ = write!(text, " {:>6} {:>7} {:>7}", "hit%", "invals", "coh tx");
     }
@@ -296,6 +324,15 @@ pub fn compare(p: &Parsed) -> Result<String, CliError> {
             r.wait_max,
             r.violations
         );
+        if clustered {
+            let _ = write!(
+                text,
+                " {:>7.1} {:>8} {:>7}",
+                r.bridge_occupancy * 100.0,
+                r.bridge_broadcasts,
+                r.bridge_coalesced
+            );
+        }
         if cached {
             let _ = write!(
                 text,
@@ -351,6 +388,9 @@ pub fn trace(p: &Parsed) -> Result<String, CliError> {
         "x",
         "banks",
         "fabric",
+        "clusters",
+        "bridge-latency",
+        "coalesce-window",
         "out",
         "events",
         "cache",
@@ -393,6 +433,9 @@ pub fn metrics(p: &Parsed) -> Result<String, CliError> {
         "x",
         "banks",
         "fabric",
+        "clusters",
+        "bridge-latency",
+        "coalesce-window",
         "cache",
         "cache-sets",
         "cache-assoc",
@@ -441,6 +484,9 @@ pub fn robustness(p: &Parsed) -> Result<crate::CliOutput, CliError> {
         "max-cycles",
         "recovery",
         "fabric",
+        "clusters",
+        "bridge-latency",
+        "coalesce-window",
         "json",
         "cache",
         "cache-sets",

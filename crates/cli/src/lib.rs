@@ -70,7 +70,8 @@ USAGE:
       Self-benchmark: fast-forward kernel vs per-cycle reference stepping
       and parallel vs serial sweep throughput; writes BENCH_sim.json.
       --scale instead sweeps every scheme across P = 8 → 1024 processors
-      and writes the throughput curve to BENCH_scale.json. --check
+      plus a barrier hot-spot ablation of the flat vs clustered fabrics
+      out to P = 4096, and writes the curves to BENCH_scale.json. --check
       re-measures the kernel (warm-up, median of five) against the
       committed baseline (--baseline, default BENCH_sim.json) and exits 9
       on a >15% throughput regression — the CI perf gate.
@@ -90,7 +91,12 @@ SCHEMES (--scheme): process (default) | process-basic | statement |
                     reference | instance | barrier-phased
 FABRICS (--fabric): dedicated (default, the paper's §6 sync bus) |
                     shared (sync arbitrates against data traffic on one
-                    bus) | ideal (zero-latency oracle upper bound)
+                    bus) | ideal (zero-latency oracle upper bound) |
+                    clustered (two-level: per-cluster sync buses joined
+                    by a coalescing bridge; --clusters N buses, N must
+                    divide --procs (default 4), --bridge-latency L
+                    cycles per forward (2), --coalesce-window W cycles
+                    to batch same-variable forwards (4))
 CACHE KNOBS: --cache none|mesi|dragon (default none — the paper's
   cacheless machine) gives every processor a private cache under the
   data bus with the chosen coherence protocol; --cache-sets S (64),

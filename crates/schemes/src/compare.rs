@@ -10,7 +10,7 @@ use crate::statement_oriented::StatementOriented;
 use datasync_loopir::graph::DepGraph;
 use datasync_loopir::ir::LoopNest;
 use datasync_loopir::space::IterSpace;
-use datasync_sim::{MachineConfig, Program, RunOutcome, SimError, Workload};
+use datasync_sim::{FabricKind, MachineConfig, Program, RunOutcome, SimError, Workload};
 
 /// One row of a scheme-comparison table.
 #[derive(Debug, Clone)]
@@ -46,6 +46,15 @@ pub struct SchemeReport {
     pub sync_broadcasts: u64,
     /// Broadcasts saved by write coalescing.
     pub coalesced: u64,
+    /// Clustered fabric only: updates the inter-cluster bridge forwarded
+    /// globally (0 on flat fabrics).
+    pub bridge_broadcasts: u64,
+    /// Clustered fabric only: bridge submissions aggregated into a
+    /// pending same-variable forward.
+    pub bridge_coalesced: u64,
+    /// Fraction of the makespan the inter-cluster bridge was held
+    /// (0 on flat fabrics).
+    pub bridge_occupancy: f64,
     /// Speedup over the single-processor no-synchronization baseline.
     pub speedup: f64,
     /// Dependence-order violations found in the trace (must be 0).
@@ -113,7 +122,13 @@ pub fn sequential_cycles(
     cost: Option<CostFn<'_>>,
 ) -> Result<u64, SimError> {
     let compiled = plain_compiled(nest, space, cost);
-    let config = MachineConfig { processors: 1, ..base.clone() };
+    let mut config = MachineConfig { processors: 1, ..base.clone() };
+    if config.sync_fabric.is_clustered() {
+        // The unsynchronized one-processor baseline issues no sync
+        // traffic, and a multi-cluster geometry cannot divide P=1 —
+        // run it on the flat bus (same makespan either way).
+        config.sync_fabric = FabricKind::Dedicated;
+    }
     Ok(compiled.run(&config)?.stats.makespan)
 }
 
@@ -163,6 +178,9 @@ fn build_report(
         spin_polls: out.stats.spin_polls,
         sync_broadcasts: out.stats.sync_broadcasts,
         coalesced: out.stats.coalesced_writes,
+        bridge_broadcasts: out.stats.bridge_broadcasts,
+        bridge_coalesced: out.stats.bridge_coalesced,
+        bridge_occupancy: out.metrics.bridge_occupancy(out.stats.makespan),
         speedup: out.stats.speedup_vs(seq),
         violations: compiled.validate(out).len(),
         var_kind: var_kind.to_string(),

@@ -102,7 +102,11 @@ fn every_scheme_on_every_fabric() {
     let graph = analyze(&nest);
     let space = IterSpace::of(&nest);
     let base = MachineConfig { max_cycles: 400_000, ..MachineConfig::with_processors(4) };
-    for kind in FabricKind::ALL {
+    let kinds = FabricKind::ALL.into_iter().chain([
+        FabricKind::Clustered { clusters: 2, bridge_latency: 2, coalesce_window: 4 },
+        FabricKind::Clustered { clusters: 4, bridge_latency: 1, coalesce_window: 0 },
+    ]);
+    for kind in kinds {
         for scheme in roster(4, 8) {
             let compiled = scheme.compile(&nest, &graph, &space);
             let clean = MachineConfig {
@@ -180,6 +184,45 @@ fn every_scheme_with_recovery_enabled() {
         assert_equivalent(&compiled, &config, &format!("{} recovery total-loss", scheme.name()));
         let config = clean.clone().with_faults(FaultPlan::chaos(13, 55));
         assert_equivalent(&compiled, &config, &format!("{} recovery chaos", scheme.name()));
+    }
+}
+
+/// Regression: on a clustered fabric, bridge lag makes fault-free gap
+/// NACKs legitimate (the predicate holds globally before the update
+/// crosses the bridge), so armed recovery fires refreshes on perfectly
+/// healthy runs. A refresh rides the NACKer's own cluster bus and can
+/// complete *before* an older-seq real post still queued on another
+/// cluster's bus; it must not advance the variable's applied sequence,
+/// or that real post — carrying the genuinely newer value — is
+/// discarded as stale and its write is lost for good. The observable
+/// wedge was a barrier stuck one arrival short: DEADLOCK at P >= 64
+/// with recovery *on* and zero faults injected. Every NACK must heal,
+/// the run must complete, and both kernels must agree bit for bit.
+#[test]
+fn clustered_recovery_refreshes_never_discard_inflight_posts() {
+    let nest = fig21_loop(8);
+    let graph = analyze(&nest);
+    let space = IterSpace::of(&nest);
+    let procs = 64;
+    let scheme = BarrierPhased::new(procs);
+    let compiled = scheme.compile(&nest, &graph, &space);
+    for clusters in [4u32, 8] {
+        let config = MachineConfig {
+            sync_transport: scheme.natural_transport(),
+            sync_fabric: FabricKind::Clustered { clusters, bridge_latency: 2, coalesce_window: 4 },
+            recovery: RecoveryPolicy::Full,
+            max_cycles: 3_000_000,
+            ..MachineConfig::with_processors(procs)
+        };
+        let out = compiled
+            .run(&config)
+            .unwrap_or_else(|e| panic!("fault-free clustered c={clusters} wedged: {e:?}"));
+        assert_eq!(
+            out.stats.recovery.gap_nacks, out.stats.recovery.healed_waits,
+            "c={clusters}: every fault-free NACK must heal"
+        );
+        assert_eq!(out.stats.faults.total(), 0, "c={clusters}: no faults were injected");
+        assert_equivalent(&compiled, &config, &format!("barrier clustered c={clusters} recovery"));
     }
 }
 
@@ -361,7 +404,11 @@ fn sync_op_conservation_holds_on_every_fabric() {
         }
         let compiled = scheme.compile(&nest, &graph, &space);
         let mut issued = Vec::new();
-        for kind in FabricKind::ALL {
+        let kinds = FabricKind::ALL.into_iter().chain([
+            FabricKind::Clustered { clusters: 2, bridge_latency: 2, coalesce_window: 4 },
+            FabricKind::Clustered { clusters: 4, bridge_latency: 1, coalesce_window: 8 },
+        ]);
+        for kind in kinds {
             let config = MachineConfig {
                 sync_transport: SyncTransport::DedicatedBus,
                 sync_fabric: kind,
@@ -375,6 +422,21 @@ fn sync_op_conservation_holds_on_every_fabric() {
                 "{} {kind}: issued ops must equal broadcasts + coalesced",
                 scheme.name()
             );
+            // The clustered fabric extends the identity one level down:
+            // every cluster-bus grant either crosses the bridge or folds
+            // into a pending same-variable forward. Flat fabrics keep
+            // both bridge counters at zero.
+            if kind.is_clustered() {
+                assert_eq!(
+                    out.stats.sync_broadcasts,
+                    out.stats.bridge_broadcasts + out.stats.bridge_coalesced,
+                    "{} {kind}: broadcasts must equal bridged + aggregated",
+                    scheme.name()
+                );
+            } else {
+                assert_eq!(out.stats.bridge_broadcasts, 0, "{kind}: no bridge on flat fabrics");
+                assert_eq!(out.stats.bridge_coalesced, 0, "{kind}: no bridge on flat fabrics");
+            }
             issued.push(out.stats.sync_ops_issued);
         }
         assert!(

@@ -71,8 +71,12 @@ const DEFAULT_GEOMETRY: (u32, u32, u32) = (16, 2, 4);
 impl CellSpec {
     /// The canonical single-line JSON form: fixed field order, every
     /// field explicit (a cacheless cell writes zero geometry, matching
-    /// the chaos-reproducer convention). [`CellSpec::content_hash`] is
-    /// defined over these bytes.
+    /// the chaos-reproducer convention). The one exception is cluster
+    /// geometry, which only a clustered cell writes at all: a flat
+    /// cell's canonical bytes are identical to what the pre-clustered
+    /// service produced, so every journaled hash and run-cache entry
+    /// from older deployments stays valid. [`CellSpec::content_hash`]
+    /// is defined over these bytes.
     pub fn canonical_json(&self) -> String {
         let (cache_word, sets, assoc, line, sync_bit) = match self.cache {
             CacheModel::None => ("none".to_string(), 0, 0, 0, 0),
@@ -80,14 +84,22 @@ impl CellSpec {
                 (protocol.to_string(), sets, assoc, line_words, u32::from(cache_sync))
             }
         };
+        let geometry = match self.fabric {
+            FabricKind::Clustered { clusters, bridge_latency, coalesce_window } => format!(
+                "\"clusters\":{clusters},\"bridge_latency\":{bridge_latency},\
+                 \"coalesce_window\":{coalesce_window},"
+            ),
+            _ => String::new(),
+        };
         format!(
-            "{{\"cell_spec\":{},\"scheme\":\"{}\",\"fabric\":\"{}\",\"iterations\":{},\
+            "{{\"cell_spec\":{},\"scheme\":\"{}\",\"fabric\":\"{}\",{}\"iterations\":{},\
              \"processors\":{},\"cache\":\"{}\",\"cache_sets\":{},\"cache_assoc\":{},\
              \"cache_line\":{},\"cache_sync\":{},\"fault_pct\":{},\"seed\":{},\
              \"deadline_cycles\":{}}}",
             CELL_SPEC_VERSION,
             json::escape(&self.scheme),
             self.fabric,
+            geometry,
             self.iterations,
             self.processors,
             cache_word,
@@ -118,10 +130,13 @@ impl CellSpec {
     /// Reports the first unknown key, ill-typed field, or
     /// [`CellSpec::validate`] failure.
     pub fn from_json(doc: &Json) -> Result<Self, String> {
-        const KNOWN: [&str; 13] = [
+        const KNOWN: [&str; 16] = [
             "cell_spec",
             "scheme",
             "fabric",
+            "clusters",
+            "bridge_latency",
+            "coalesce_window",
             "iterations",
             "processors",
             "cache",
@@ -160,8 +175,24 @@ impl CellSpec {
             }
         };
         let fabric_name = str_field("fabric", "dedicated")?;
-        let fabric = FabricKind::parse(&fabric_name)
+        let mut fabric = FabricKind::parse(&fabric_name)
             .ok_or_else(|| format!("unknown fabric `{fabric_name}`"))?;
+        match &mut fabric {
+            FabricKind::Clustered { clusters, bridge_latency, coalesce_window } => {
+                *clusters = num_field("clusters", u64::from(*clusters))? as u32;
+                *bridge_latency = num_field("bridge_latency", u64::from(*bridge_latency))? as u32;
+                *coalesce_window =
+                    num_field("coalesce_window", u64::from(*coalesce_window))? as u32;
+            }
+            _ => {
+                // Cluster geometry on a flat fabric is moot: type-check
+                // it, then normalize it away — the same rule cacheless
+                // cells apply to cache geometry.
+                num_field("clusters", 0)?;
+                num_field("bridge_latency", 0)?;
+                num_field("coalesce_window", 0)?;
+            }
+        }
         let cache_word = str_field("cache", "none")?;
         let cache = parse_cache_word(
             &cache_word,
@@ -203,6 +234,7 @@ impl CellSpec {
     pub fn validate(&self) -> Result<(), String> {
         check_scheme(&self.scheme)?;
         check_barrier_machine(&self.scheme, self.processors)?;
+        check_fabric_geometry(&self.fabric, self.processors)?;
         check_iterations(self.iterations)?;
         check_processors(self.processors)?;
         check_fault_pct(self.fault_pct)
@@ -237,6 +269,26 @@ fn check_barrier_machine(scheme: &str, processors: usize) -> Result<(), String> 
         return Err(format!(
             "barrier scheme needs a power-of-two machine, got {processors} processors"
         ));
+    }
+    Ok(())
+}
+
+/// Mirrors `MachineConfig::validate`'s clustered-fabric rules so a bad
+/// geometry is rejected at admission, not deep inside a worker.
+fn check_fabric_geometry(fabric: &FabricKind, processors: usize) -> Result<(), String> {
+    if let FabricKind::Clustered { clusters, bridge_latency, .. } = fabric {
+        if *clusters == 0 {
+            return Err("clustered fabric needs at least one cluster".into());
+        }
+        if *bridge_latency == 0 {
+            return Err("bridge_latency must be at least 1 cycle".into());
+        }
+        let c = *clusters as usize;
+        if c > processors || !processors.is_multiple_of(c) {
+            return Err(format!(
+                "clusters ({clusters}) must divide the processor count ({processors})"
+            ));
+        }
     }
     Ok(())
 }
@@ -329,9 +381,12 @@ impl SweepSpec {
     /// Reports the first unknown key, ill-typed axis, empty axis, or
     /// invalid cell the grid would expand to.
     pub fn from_json(doc: &Json) -> Result<Self, String> {
-        const KNOWN: [&str; 8] = [
+        const KNOWN: [&str; 11] = [
             "schemes",
             "fabrics",
+            "clusters",
+            "bridge_latencies",
+            "coalesce_windows",
             "iterations",
             "processors",
             "caches",
@@ -363,14 +418,48 @@ impl SweepSpec {
             }
         }
         let d = SweepSpec::default();
+        let mut fabrics = axis(doc, "fabrics", d.fabrics, |v| {
+            let name = v.as_str().ok_or("fabrics entries must be strings")?;
+            FabricKind::parse(name).ok_or_else(|| format!("unknown fabric `{name}`"))
+        })?;
+        // The cluster-geometry axes ride in lockstep with `fabrics`:
+        // entry i overrides fabric i's geometry. They are not a cross
+        // product — a geometry only means anything next to the
+        // clustered fabric it modifies (a flat entry must carry 0).
+        for (key, write) in [("clusters", 0usize), ("bridge_latencies", 1), ("coalesce_windows", 2)]
+        {
+            let Some(v) = doc.get(key) else { continue };
+            let items = v.as_arr().ok_or(format!("`{key}` must be an array"))?;
+            if items.len() != fabrics.len() {
+                return Err(format!(
+                    "`{key}` must pair one entry with each fabric ({} fabrics, {} entries)",
+                    fabrics.len(),
+                    items.len()
+                ));
+            }
+            for (fabric, item) in fabrics.iter_mut().zip(items) {
+                let n = item
+                    .as_u64()
+                    .ok_or(format!("`{key}` entries must be non-negative integers"))?;
+                match fabric {
+                    FabricKind::Clustered { clusters, bridge_latency, coalesce_window } => {
+                        *[clusters, bridge_latency, coalesce_window][write] = n as u32;
+                    }
+                    flat if n != 0 => {
+                        return Err(format!(
+                            "`{key}` entry {n} is paired with the flat `{flat}` fabric \
+                             (only `clustered` entries take a geometry; use 0 here)"
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
         let spec = SweepSpec {
             schemes: axis(doc, "schemes", d.schemes, |v| {
                 v.as_str().map(str::to_string).ok_or("schemes entries must be strings".into())
             })?,
-            fabrics: axis(doc, "fabrics", d.fabrics, |v| {
-                let name = v.as_str().ok_or("fabrics entries must be strings")?;
-                FabricKind::parse(name).ok_or_else(|| format!("unknown fabric `{name}`"))
-            })?,
+            fabrics,
             iterations: axis(doc, "iterations", d.iterations, |v| {
                 v.as_i64().ok_or("iterations entries must be integers".into())
             })?,
@@ -423,6 +512,13 @@ impl SweepSpec {
         if self.schemes.iter().any(|s| s == "barrier") {
             for &processors in &self.processors {
                 check_barrier_machine("barrier", processors)?;
+            }
+        }
+        // Like the barrier rule, cluster geometry couples two axes:
+        // every clustered fabric entry must divide every machine size.
+        for fabric in &self.fabrics {
+            for &processors in &self.processors {
+                check_fabric_geometry(fabric, processors)?;
             }
         }
         for &iterations in &self.iterations {
@@ -512,6 +608,15 @@ mod tests {
                     .sync_uncached(),
                 ..CellSpec::default()
             },
+            CellSpec {
+                fabric: FabricKind::Clustered {
+                    clusters: 2,
+                    bridge_latency: 3,
+                    coalesce_window: 7,
+                },
+                processors: 8,
+                ..CellSpec::default()
+            },
         ];
         for spec in specs {
             let back = CellSpec::parse(&spec.canonical_json()).expect("parse own canonical form");
@@ -535,6 +640,34 @@ mod tests {
         // Cache geometry on a cacheless cell is normalized away.
         let moot_geometry = r#"{"cache": "none", "cache_sets": 64}"#;
         assert_eq!(CellSpec::parse(moot_geometry).unwrap().content_hash(), canonical);
+        // Cluster geometry on a flat fabric is normalized away too.
+        let moot_clusters = r#"{"clusters": 8, "bridge_latency": 5}"#;
+        assert_eq!(CellSpec::parse(moot_clusters).unwrap().content_hash(), canonical);
+        // A clustered cell with omitted geometry means the defaults.
+        let bare = CellSpec::parse(r#"{"fabric": "clustered"}"#).unwrap();
+        let explicit = CellSpec::parse(
+            r#"{"fabric": "clustered", "clusters": 4, "bridge_latency": 2,
+                "coalesce_window": 4}"#,
+        )
+        .unwrap();
+        assert_eq!(bare.content_hash(), explicit.content_hash());
+        assert_ne!(bare.content_hash(), canonical);
+    }
+
+    #[test]
+    fn flat_canonical_bytes_predate_the_clustered_fabric() {
+        // A flat cell's canonical form carries no cluster fields at
+        // all, so hashes journaled by pre-clustered deployments keep
+        // addressing the same cached runs.
+        let flat = CellSpec::default().canonical_json();
+        assert!(!flat.contains("clusters"), "{flat}");
+        assert!(!flat.contains("bridge_latency"), "{flat}");
+        let clustered =
+            CellSpec { fabric: FabricKind::clustered(4), ..CellSpec::default() }.canonical_json();
+        assert!(
+            clustered.contains("\"clusters\":4,\"bridge_latency\":2,\"coalesce_window\":4"),
+            "{clustered}"
+        );
     }
 
     #[test]
@@ -572,6 +705,24 @@ mod tests {
                     .sync_uncached(),
                 ..base.clone()
             },
+            CellSpec { fabric: FabricKind::clustered(4), ..base.clone() },
+            CellSpec { fabric: FabricKind::clustered(2), ..base.clone() },
+            CellSpec {
+                fabric: FabricKind::Clustered {
+                    clusters: 4,
+                    bridge_latency: 5,
+                    coalesce_window: 4,
+                },
+                ..base.clone()
+            },
+            CellSpec {
+                fabric: FabricKind::Clustered {
+                    clusters: 4,
+                    bridge_latency: 2,
+                    coalesce_window: 0,
+                },
+                ..base.clone()
+            },
             CellSpec { fault_pct: 30, ..base.clone() },
             CellSpec { seed: 1, ..base.clone() },
             CellSpec { seed: u64::MAX, ..base.clone() },
@@ -600,6 +751,42 @@ mod tests {
         assert!(CellSpec::parse(r#"{"cache": "snoopy"}"#).is_err());
         assert!(CellSpec::parse(r#"{"cell_spec": 2}"#).is_err());
         assert!(CellSpec::parse(r#"{"seed": -1}"#).is_err());
+        let err = CellSpec::parse(r#"{"fabric": "clustered", "clusters": 3}"#).unwrap_err();
+        assert!(err.contains("divide"), "{err}");
+        assert!(CellSpec::parse(r#"{"fabric": "clustered", "clusters": 0}"#).is_err());
+        assert!(CellSpec::parse(r#"{"fabric": "clustered", "bridge_latency": 0}"#).is_err());
+        assert!(CellSpec::parse(r#"{"fabric": "dedicated", "clusters": "two"}"#).is_err());
+    }
+
+    #[test]
+    fn sweep_cluster_axes_ride_in_lockstep_with_fabrics() {
+        let doc = json::parse(
+            r#"{"fabrics": ["dedicated", "clustered", "clustered"],
+                "clusters": [0, 2, 4],
+                "bridge_latencies": [0, 1, 2],
+                "coalesce_windows": [0, 0, 6],
+                "processors": [4, 8]}"#,
+        )
+        .unwrap();
+        let sweep = SweepSpec::from_json(&doc).unwrap();
+        assert_eq!(
+            sweep.fabrics,
+            vec![
+                FabricKind::Dedicated,
+                FabricKind::Clustered { clusters: 2, bridge_latency: 1, coalesce_window: 0 },
+                FabricKind::Clustered { clusters: 4, bridge_latency: 2, coalesce_window: 6 },
+            ]
+        );
+        let cells = sweep.expand();
+        assert_eq!(cells.len(), 6);
+        // The geometry lands in the expanded cells and their hashes.
+        let hashes: std::collections::HashSet<String> =
+            cells.iter().map(CellSpec::content_hash).collect();
+        assert_eq!(hashes.len(), cells.len());
+        // Omitting the geometry axes sweeps the default clustered shape.
+        let doc = json::parse(r#"{"fabrics": ["clustered"], "processors": [8]}"#).unwrap();
+        let sweep = SweepSpec::from_json(&doc).unwrap();
+        assert_eq!(sweep.fabrics, vec![FabricKind::clustered(4)]);
     }
 
     #[test]
@@ -637,6 +824,13 @@ mod tests {
             r#"{"schemes": ["barrier"], "processors": [6]}"#,
             r#"{"fault_pcts": [200]}"#,
             r#"{"sweeps": 3}"#,
+            // Cluster axes must pair 1:1 with fabrics…
+            r#"{"fabrics": ["dedicated", "clustered"], "clusters": [2]}"#,
+            // …carry zeros against flat fabrics…
+            r#"{"fabrics": ["dedicated"], "clusters": [2]}"#,
+            // …and divide every machine size in the sweep.
+            r#"{"fabrics": ["clustered"], "clusters": [3], "processors": [4]}"#,
+            r#"{"fabrics": ["clustered"], "bridge_latencies": [0]}"#,
         ] {
             let doc = json::parse(bad).unwrap();
             assert!(SweepSpec::from_json(&doc).is_err(), "{bad} should be rejected");

@@ -71,6 +71,9 @@ pub fn render(trace: &Trace, events: &EventRing, procs: usize) -> String {
                 let name = if rmw { format!("rmw v{var}") } else { format!("post v{var}") };
                 w.complete(&name, "sync", PID_BUSES, TID_SYNC_BUS, c, dur);
             }
+            SimEventKind::BridgeForward { var, dur } => {
+                w.complete(&format!("bridge v{var}"), "sync", PID_BUSES, TID_SYNC_BUS, c, dur);
+            }
             SimEventKind::SyncDeliver { var, val, stale } => {
                 let name = if stale {
                     format!("stale v{var}={val}")

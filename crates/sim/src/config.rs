@@ -55,20 +55,53 @@ pub enum FabricKind {
     /// every local image the instant they issue. Upper bound on what
     /// any sync interconnect could achieve.
     Ideal,
+    /// A two-level hierarchy: `clusters` dedicated per-cluster sync
+    /// buses with independent arbitration, joined by a bridge that
+    /// batches same-variable image updates within `coalesce_window`
+    /// cycles before forwarding one broadcast (`bridge_latency` cycles)
+    /// to every cluster. Intra-cluster sync stays as cheap as the flat
+    /// dedicated bus; only genuinely global traffic pays the bridge,
+    /// and monotone-counter aggregation at the bridge collapses the
+    /// broadcast storms that wall the flat bus at large P.
+    Clustered {
+        /// Number of per-cluster sync buses (must divide `processors`).
+        clusters: u32,
+        /// Cycles the bridge holds its channel per forwarded broadcast.
+        bridge_latency: u32,
+        /// Cycles a variable's first bridge submission waits for
+        /// same-variable followers to coalesce before forwarding
+        /// (0 = forward the same cycle).
+        coalesce_window: u32,
+    },
 }
 
 impl FabricKind {
-    /// All fabric kinds, in ablation order.
+    /// All *flat* fabric kinds, in ablation order. Clustered geometry
+    /// depends on the processor count, so sweeps add it explicitly.
     pub const ALL: [FabricKind; 3] = [FabricKind::Dedicated, FabricKind::Shared, FabricKind::Ideal];
 
-    /// Parses the CLI spelling (`dedicated`, `shared`, `ideal`).
+    /// A clustered fabric with default bridge timing (2-cycle bridge,
+    /// 4-cycle coalescing window).
+    pub fn clustered(clusters: u32) -> Self {
+        FabricKind::Clustered { clusters, bridge_latency: 2, coalesce_window: 4 }
+    }
+
+    /// Parses the CLI spelling (`dedicated`, `shared`, `ideal`,
+    /// `clustered` — the latter with default geometry; CLI knobs
+    /// override the fields).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "dedicated" => Some(FabricKind::Dedicated),
             "shared" => Some(FabricKind::Shared),
             "ideal" => Some(FabricKind::Ideal),
+            "clustered" => Some(FabricKind::clustered(4)),
             _ => None,
         }
+    }
+
+    /// True for [`FabricKind::Clustered`].
+    pub fn is_clustered(&self) -> bool {
+        matches!(self, FabricKind::Clustered { .. })
     }
 }
 
@@ -78,6 +111,7 @@ impl std::fmt::Display for FabricKind {
             FabricKind::Dedicated => "dedicated",
             FabricKind::Shared => "shared",
             FabricKind::Ideal => "ideal",
+            FabricKind::Clustered { .. } => "clustered",
         })
     }
 }
@@ -346,6 +380,21 @@ impl MachineConfig {
         if self.faults.fail_stop_procs > 0 && self.faults.fail_stop_window == 0 {
             return Err("fail-stop enabled with a zero-cycle kill window".into());
         }
+        if let FabricKind::Clustered { clusters, bridge_latency, .. } = self.sync_fabric {
+            if clusters == 0 {
+                return Err("clustered fabric needs at least one cluster".into());
+            }
+            if bridge_latency == 0 {
+                return Err("bridge_latency must be at least 1 cycle".into());
+            }
+            let c = clusters as usize;
+            if c > self.processors || !self.processors.is_multiple_of(c) {
+                return Err(format!(
+                    "clusters ({clusters}) must divide the processor count ({})",
+                    self.processors
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -450,6 +499,33 @@ mod tests {
         assert_eq!(MachineConfig::default().sync_fabric, FabricKind::Dedicated);
         let c = MachineConfig::default().fabric(FabricKind::Shared);
         assert_eq!(c.sync_fabric, FabricKind::Shared);
+    }
+
+    #[test]
+    fn clustered_fabric_parses_and_validates_geometry() {
+        let parsed = FabricKind::parse("clustered").unwrap();
+        assert!(parsed.is_clustered());
+        assert_eq!(parsed.to_string(), "clustered");
+        assert_eq!(parsed, FabricKind::clustered(4));
+        // ALL stays the flat ablation axis: clustered geometry depends
+        // on P, so sweeps opt in explicitly.
+        assert!(FabricKind::ALL.iter().all(|k| !k.is_clustered()));
+
+        let with = |clusters, procs| {
+            MachineConfig::with_processors(procs).fabric(FabricKind::clustered(clusters))
+        };
+        assert!(with(4, 8).validate().is_ok());
+        assert!(with(1, 8).validate().is_ok(), "one cluster is degenerate but legal");
+        assert!(with(8, 8).validate().is_ok(), "one proc per cluster is legal");
+        assert!(with(3, 8).validate().is_err(), "clusters must divide P");
+        assert!(with(16, 8).validate().is_err(), "more clusters than procs");
+        assert!(with(0, 8).validate().is_err());
+        let bad = MachineConfig::with_processors(8).fabric(FabricKind::Clustered {
+            clusters: 4,
+            bridge_latency: 0,
+            coalesce_window: 4,
+        });
+        assert!(bad.validate().is_err(), "zero-latency bridge is degenerate");
     }
 
     #[test]

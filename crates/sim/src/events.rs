@@ -65,6 +65,15 @@ pub enum SimEventKind {
         /// Cycles the sync bus is held.
         dur: u64,
     },
+    /// The inter-cluster bridge began forwarding a (possibly
+    /// aggregated) variable update to every cluster's images, holding
+    /// the bridge channel for `dur` cycles (clustered fabric only).
+    BridgeForward {
+        /// Variable whose current global value will be delivered.
+        var: SyncVar,
+        /// Cycles the bridge is held.
+        dur: u64,
+    },
     /// A broadcast performed: `val` reached the global variable (or was
     /// discarded as a stale redelivery when `stale`).
     SyncDeliver {

@@ -88,7 +88,7 @@ mod workload;
 pub use fabric::{DedicatedBus, IdealFabric, SharedDataBus, SyncFabric};
 pub use workload::{DispatchMode, Workload};
 
-use crate::config::{MachineConfig, MemoryModel};
+use crate::config::{FabricKind, MachineConfig, MemoryModel};
 use crate::events::{EventRing, SimEventKind};
 use crate::faults::FaultClass;
 use crate::metrics::RunMetrics;
@@ -498,8 +498,18 @@ impl<'a> Machine<'a> {
         // contending, a single waiter can legitimately sit behind P
         // whole bus transactions, so the silence bound must grow with
         // the machine, not stay flat.
+        // Two-level delivery stretches legitimate silences and delivery
+        // paths by the coalescing window plus the bridge tenure (and a
+        // cross-cluster waiter can sit behind a bridge queue that grows
+        // with the cluster count).
+        let (n_clusters, bridge_path) = match config.sync_fabric {
+            FabricKind::Clustered { clusters, bridge_latency, coalesce_window } => {
+                (u64::from(clusters.max(1)), u64::from(bridge_latency + coalesce_window))
+            }
+            _ => (1, 0),
+        };
         let watchdog_limit = 256
-            + 8 * u64::from(
+            + 8 * (u64::from(
                 config.spin_retry
                     + config.dispatch_latency
                     + config.data_bus_latency
@@ -509,22 +519,31 @@ impl<'a> Machine<'a> {
                     + f.data_jitter_max
                     + f.stall_max
                     + f.stale_window_max,
-            )
+            ) + bridge_path)
             + 2 * (p as u64)
                 * u64::from(
                     config.sync_bus_latency + config.data_bus_latency + config.memory_latency,
                 );
         // A waiter suspects a gap only after the longest legitimate
-        // delivery path (bus grant + injected delay + stale window) has
-        // comfortably elapsed; by construction this is well under the
-        // watchdog limit, so all NACK tries fit before escalation.
+        // delivery path (bus grant + injected delay + stale window, plus
+        // the window-flush + bridge hop and its queueing when clustered)
+        // has comfortably elapsed; by construction this is well under
+        // the watchdog limit, so all NACK tries fit before escalation.
         let nack_delay = 32
-            + 4 * u64::from(config.sync_bus_latency + f.broadcast_delay_max + f.stale_window_max);
+            + 4 * (u64::from(config.sync_bus_latency + f.broadcast_delay_max + f.stale_window_max)
+                + bridge_path)
+            + 2 * (n_clusters - 1);
+        let mut sync = SyncState::new(p, n_vars);
+        if let FabricKind::Clustered { clusters, bridge_latency, coalesce_window } =
+            config.sync_fabric
+        {
+            sync.install_clusters(clusters, bridge_latency, coalesce_window);
+        }
         Self {
             procs: ProcLanes::new(p, next_stall, fail_at),
             cycle: 0,
             fabric: config.sync_fabric.backend(),
-            sync: SyncState::new(p, n_vars),
+            sync,
             mem: MemorySystem::new(n_banks),
             cache: CacheSystem::new(&config.cache, p, config.memory_latency),
             disp: Dispatcher::new(workload, p),
@@ -734,6 +753,7 @@ impl<'a> Machine<'a> {
             && self.sync.active.is_none()
             && self.mem.queue.is_empty()
             && self.sync.queue.is_empty()
+            && self.sync.clusters_idle()
             && self.cache.pending_count == 0
             && !self.mem.banks_pending()
             && !self.disp.dynamic_left(self.workload)
@@ -759,6 +779,7 @@ impl<'a> Machine<'a> {
         };
         if self.sync.active.is_some()
             || !self.sync.queue.is_empty()
+            || !self.sync.clusters_idle()
             || self.sync.due_min != u64::MAX
         {
             return None;
@@ -954,6 +975,37 @@ impl<'a> Machine<'a> {
             next = next.min(end);
         } else if !self.sync.queue.is_empty() {
             return None;
+        }
+        // Clustered fabric: per-cluster buses, the coalescing window and
+        // the bridge channel are all delivery deadlines FF must honour.
+        // `inflight` gates the walk so flat fabrics (and a drained
+        // clustered one) pay one branch here.
+        if let Some(cl) = self.sync.cluster.as_deref() {
+            if cl.inflight > 0 {
+                for (active, queue) in cl.actives.iter().zip(&cl.queues) {
+                    if let Some((_, end)) = active {
+                        if *end <= c {
+                            return None;
+                        }
+                        next = next.min(*end);
+                    } else if !queue.is_empty() {
+                        return None;
+                    }
+                }
+                let wmin = cl.window_min();
+                if wmin <= c {
+                    return None;
+                }
+                next = next.min(wmin);
+                if let Some((_, end)) = cl.bridge_active {
+                    if end <= c {
+                        return None;
+                    }
+                    next = next.min(end);
+                } else if !cl.bridge_queue.is_empty() {
+                    return None;
+                }
+            }
         }
         Some(next)
     }

@@ -1047,6 +1047,120 @@ fn fast_forward_matches_reference_for_every_fabric() {
     }
 }
 
+/// Representative two-level geometries for a given P: a square-ish
+/// split, one lone cluster (pure bridge overhead), and per-processor
+/// clusters (every broadcast bridges).
+fn clustered_kinds(p: u32) -> Vec<FabricKind> {
+    let mut v = vec![
+        FabricKind::Clustered { clusters: 1, bridge_latency: 2, coalesce_window: 4 },
+        FabricKind::Clustered { clusters: p, bridge_latency: 1, coalesce_window: 0 },
+    ];
+    if p.is_multiple_of(2) {
+        v.push(FabricKind::Clustered { clusters: p / 2, bridge_latency: 3, coalesce_window: 6 });
+    }
+    v
+}
+
+#[test]
+fn fast_forward_matches_reference_on_the_clustered_fabric() {
+    for p in [2usize, 4] {
+        for kind in clustered_kinds(p as u32) {
+            assert_equivalent(&cfg(p).fabric(kind), &chain_workload(10));
+            assert_equivalent(
+                &cfg(p).fabric(kind).with_faults(FaultPlan::chaos(9, 55)),
+                &chain_workload(8),
+            );
+            assert_equivalent(
+                &cfg(p)
+                    .fabric(kind)
+                    .with_faults(FaultPlan::chaos(5, 60))
+                    .with_recovery(RecoveryPolicy::RepairOnly),
+                &chain_workload(8),
+            );
+        }
+    }
+}
+
+#[test]
+fn clustered_equivalence_under_every_fault_class() {
+    let kind = FabricKind::Clustered { clusters: 2, bridge_latency: 2, coalesce_window: 4 };
+    for class in FaultClass::ALL {
+        for seed in [1u64, 7, 42] {
+            let c = cfg(4).fabric(kind).with_faults(FaultPlan::only(class, seed, 70));
+            assert_equivalent(&c, &chain_workload(8));
+            let r = c.with_recovery(RecoveryPolicy::RepairOnly);
+            assert_equivalent(&r, &chain_workload(8));
+        }
+    }
+}
+
+#[test]
+fn clustered_fabric_completes_chains_and_bridges_every_update() {
+    // The chain crosses clusters, so every link rides the bridge; with a
+    // zero-width coalescing window nothing can fold and the extended
+    // conservation identity pins each level exactly.
+    let kind = FabricKind::Clustered { clusters: 2, bridge_latency: 2, coalesce_window: 0 };
+    let out = run(&cfg(4).fabric(kind), &chain_workload(8)).unwrap();
+    assert_eq!(out.sync_final[0], 8, "chain must complete across clusters");
+    assert_eq!(
+        out.stats.sync_ops_issued,
+        out.stats.sync_broadcasts + out.stats.coalesced_writes,
+        "level 1: issued = local broadcasts + coalesced"
+    );
+    assert_eq!(
+        out.stats.sync_broadcasts,
+        out.stats.bridge_broadcasts + out.stats.bridge_coalesced,
+        "level 2: broadcasts = bridged + aggregated"
+    );
+    assert!(out.stats.bridge_broadcasts > 0, "cross-cluster chain must use the bridge");
+    assert!(out.metrics.bridge_busy > 0, "bridge tenure must be charged");
+    // Flat fabrics never touch the bridge counters.
+    for kind in FabricKind::ALL {
+        let flat = run(&cfg(4).fabric(kind), &chain_workload(8)).unwrap();
+        assert_eq!(flat.stats.bridge_broadcasts, 0, "{kind}: flat fabrics have no bridge");
+        assert_eq!(flat.stats.bridge_coalesced, 0, "{kind}: flat fabrics aggregate nothing");
+        assert_eq!(flat.metrics.bridge_busy, 0, "{kind}: flat fabrics hold no bridge");
+    }
+}
+
+#[test]
+fn clustered_bridge_aggregates_same_variable_bursts() {
+    // Every processor posts a distinct value to the same variable inside
+    // one coalescing window: cluster buses serialize locally, and the
+    // bridge folds the concurrent submissions into far fewer global
+    // forwards. Conservation still holds level by level.
+    let posts: Vec<Program> = (0..4)
+        .map(|i| Program::from_instrs(vec![Instr::SyncSet { var: 0, val: i + 1 }]))
+        .collect();
+    let w = Workload::static_assigned(posts, (0..4).map(|i| vec![i]).collect());
+    let kind = FabricKind::Clustered { clusters: 2, bridge_latency: 2, coalesce_window: 16 };
+    let out = run(&cfg(4).fabric(kind), &w).unwrap();
+    assert!(out.stats.bridge_coalesced > 0, "same-variable burst must fold at the bridge");
+    assert_eq!(
+        out.stats.sync_broadcasts,
+        out.stats.bridge_broadcasts + out.stats.bridge_coalesced,
+        "aggregation must conserve broadcasts"
+    );
+    // The bridge forwards the *current* global value, so the final image
+    // everywhere equals the last write the cluster buses applied.
+    assert!(out.sync_final[0] >= 1 && out.sync_final[0] <= 4);
+}
+
+#[test]
+fn clustered_rmw_serializes_globally() {
+    // Increment races resolved through per-cluster buses still serialize
+    // on the shared global: every RMW lands, none are lost to bridging.
+    let prog = Program::from_instrs(vec![Instr::SyncRmw { var: 0 }, Instr::SyncRmw { var: 0 }]);
+    let w = Workload::static_assigned(
+        vec![prog.clone(), prog.clone(), prog.clone(), prog],
+        vec![vec![0], vec![1], vec![2], vec![3]],
+    );
+    let kind = FabricKind::Clustered { clusters: 2, bridge_latency: 2, coalesce_window: 4 };
+    let out = run(&cfg(4).fabric(kind), &w).unwrap();
+    assert_eq!(out.sync_final[0], 8, "all 8 increments must land exactly once");
+    assert_eq!(out.stats.rmw_ops, 8);
+}
+
 #[test]
 fn default_fabric_is_the_dedicated_bus() {
     let w = chain_workload(6);

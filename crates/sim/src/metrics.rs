@@ -149,7 +149,13 @@ pub struct RunMetrics {
     /// Cycles the data bus was held by granted transactions.
     pub data_bus_busy: u64,
     /// Cycles the synchronization bus was held by granted broadcasts.
+    /// On the clustered fabric this sums over every per-cluster bus, so
+    /// like [`RunMetrics::bank_busy`] it can exceed the makespan —
+    /// parallel buses overlap.
     pub sync_bus_busy: u64,
+    /// Cycles the inter-cluster bridge was held by forwarded broadcasts
+    /// (clustered fabric only; 0 on flat fabrics).
+    pub bridge_busy: u64,
     /// Bank-service cycles summed over all memory banks (banked model
     /// only; can exceed the makespan because banks overlap).
     pub bank_busy: u64,
@@ -180,9 +186,17 @@ impl RunMetrics {
         occupancy(self.data_bus_busy, makespan)
     }
 
-    /// Fraction of the makespan the sync bus was held.
+    /// Fraction of the makespan the sync bus was held. On the clustered
+    /// fabric this is the *summed* per-cluster bus occupancy and can
+    /// exceed 1.0; divide by the cluster count for a per-bus figure.
     pub fn sync_bus_occupancy(&self, makespan: u64) -> f64 {
         occupancy(self.sync_bus_busy, makespan)
+    }
+
+    /// Fraction of the makespan the inter-cluster bridge was held
+    /// (0.0 on flat fabrics).
+    pub fn bridge_occupancy(&self, makespan: u64) -> f64 {
+        occupancy(self.bridge_busy, makespan)
     }
 
     /// Completed wait episodes across all processors.
@@ -234,6 +248,15 @@ impl RunMetrics {
             self.data_bus_occupancy(mk) * 100.0,
             self.sync_bus_occupancy(mk) * 100.0,
         );
+        if self.bridge_busy > 0 || stats.bridge_broadcasts > 0 {
+            let _ = writeln!(
+                out,
+                "bridge: {:.1}% occupancy, {} forwarded, {} aggregated",
+                self.bridge_occupancy(mk) * 100.0,
+                stats.bridge_broadcasts,
+                stats.bridge_coalesced,
+            );
+        }
         if self.bank_busy > 0 || self.bank_conflicts > 0 {
             let _ = writeln!(
                 out,
@@ -343,6 +366,19 @@ mod tests {
         assert!((m.data_bus_occupancy(100) - 0.5).abs() < 1e-12);
         assert!((m.sync_bus_occupancy(100) - 0.1).abs() < 1e-12);
         assert_eq!(m.data_bus_occupancy(0), 0.0);
+    }
+
+    #[test]
+    fn render_table_shows_bridge_line_only_when_clustered_traffic_exists() {
+        let mut m = RunMetrics::new(1, 1);
+        let mut stats = RunStats { makespan: 100, ..Default::default() };
+        assert!(!m.render_table(&stats).contains("bridge:"));
+        m.bridge_busy = 20;
+        stats.bridge_broadcasts = 7;
+        stats.bridge_coalesced = 3;
+        assert!((m.bridge_occupancy(100) - 0.2).abs() < 1e-12);
+        let table = m.render_table(&stats);
+        assert!(table.contains("bridge: 20.0% occupancy, 7 forwarded, 3 aggregated"), "{table}");
     }
 
     #[test]

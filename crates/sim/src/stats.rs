@@ -56,6 +56,19 @@ pub struct RunStats {
     pub sync_ops_issued: u64,
     /// Posted sync-bus writes absorbed by write coalescing.
     pub coalesced_writes: u64,
+    /// Clustered fabric only: broadcasts the bridge forwarded to every
+    /// cluster (0 on flat fabrics). Each cluster-bus grant submits its
+    /// variable to the bridge, where it either forwards or folds into a
+    /// pending same-variable forward, extending the conservation
+    /// invariant one level down: on a fault-free run,
+    /// `sync_broadcasts == bridge_broadcasts + bridge_coalesced`, hence
+    /// `sync_ops_issued = local broadcasts + bridged + coalesced`.
+    pub bridge_broadcasts: u64,
+    /// Clustered fabric only: bridge submissions absorbed into a pending
+    /// same-variable forward (monotone-counter aggregation — partial
+    /// barrier/SC/PC counts from many clusters collapse into one global
+    /// update).
+    pub bridge_coalesced: u64,
     /// Atomic read-modify-writes performed.
     pub rmw_ops: u64,
     /// Iterations dispatched.
